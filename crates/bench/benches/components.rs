@@ -1,0 +1,120 @@
+//! Component micro-benchmarks: the substrates the system is built from.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use psmr_btree::{BPlusTree, ConcurrentBPlusTree};
+use psmr_workload::KeyDist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree");
+    group.bench_function("serial_get_100k", |b| {
+        let tree: BPlusTree<u64> = (0..100_000u64).map(|k| (k, k)).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let k = rng.gen_range(0..100_000);
+            std::hint::black_box(tree.get(&k));
+        });
+    });
+    group.bench_function("serial_insert_churn", |b| {
+        let mut tree: BPlusTree<u64> = (0..100_000u64).map(|k| (k, k)).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut next = 100_000u64;
+        b.iter(|| {
+            tree.insert(next, next);
+            let victim = rng.gen_range(0..next);
+            tree.remove(&victim);
+            next += 1;
+        });
+    });
+    group.bench_function("concurrent_get_100k", |b| {
+        let tree: ConcurrentBPlusTree<u64> = ConcurrentBPlusTree::new();
+        for k in 0..100_000u64 {
+            tree.insert(k, k);
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let k = rng.gen_range(0..100_000);
+            std::hint::black_box(tree.get(&k));
+        });
+    });
+    // The per-node latching overhead of the lock-based (BDB-like) tree vs
+    // the plain tree is the ablation behind Figure 3's BDB bar.
+    group.finish();
+}
+
+fn bench_lz(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lz");
+    let block: Vec<u8> = (0..1024u32).map(|i| ((i / 7) % 251) as u8).collect();
+    group.throughput(Throughput::Bytes(1024));
+    group.bench_function("compress_1k", |b| {
+        b.iter(|| std::hint::black_box(psmr_lz::compress(&block)));
+    });
+    let compressed = psmr_lz::compress(&block);
+    group.bench_function("decompress_1k", |b| {
+        b.iter(|| std::hint::black_box(psmr_lz::decompress(&compressed).unwrap()));
+    });
+    // Compression slower than decompression explains the reads-vs-writes
+    // latency gap of Figure 8 (§VII-H).
+    group.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    let uniform = KeyDist::uniform(10_000_000);
+    let zipf = KeyDist::zipf(10_000_000, 1.0);
+    let mut rng = StdRng::seed_from_u64(4);
+    group.bench_function("uniform_sample", |b| {
+        b.iter(|| std::hint::black_box(uniform.sample(&mut rng)))
+    });
+    group.bench_function("zipf_sample", |b| {
+        b.iter(|| std::hint::black_box(zipf.sample(&mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics");
+    group.bench_function("histogram_record", |b| {
+        let hist = psmr_common::metrics::Histogram::new();
+        let mut ns = 100u64;
+        b.iter(|| {
+            hist.record(std::time::Duration::from_nanos(ns));
+            ns = ns.wrapping_mul(6364136223846793005).wrapping_add(1) % 1_000_000_000;
+        });
+    });
+    group.finish();
+}
+
+fn bench_envelope(c: &mut Criterion) {
+    use psmr_common::envelope::Request;
+    use psmr_common::ids::{ClientId, CommandId, RequestId};
+    let mut group = c.benchmark_group("envelope");
+    let req = Request::new(
+        ClientId::new(1),
+        RequestId::new(2),
+        CommandId::new(3),
+        vec![7u8; 16],
+    );
+    group.bench_function("encode_decode", |b| {
+        b.iter_batched(
+            || req.clone(),
+            |req| {
+                let bytes = req.encode();
+                std::hint::black_box(Request::decode(&bytes).unwrap())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_btree,
+    bench_lz,
+    bench_workload,
+    bench_metrics,
+    bench_envelope
+);
+criterion_main!(benches);

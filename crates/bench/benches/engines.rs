@@ -1,0 +1,40 @@
+//! Engine round-trip latency: one command through the full stack of each
+//! technique (client proxy → ordering → execution → response).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psmr_bench::engines::{build_kv, Technique};
+use psmr_core::engines::Engine;
+use psmr_kvstore::KvOp;
+use std::time::Duration;
+
+fn bench_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_round_trip");
+    for technique in Technique::ALL {
+        let workers = match technique {
+            Technique::Psmr => 4,
+            Technique::Bdb => 4,
+            Technique::Smr => 1,
+            _ => 2,
+        };
+        group.bench_function(technique.label(), |b| {
+            let engine = build_kv(technique, workers, 10_000);
+            let mut client = engine.client();
+            let mut key = 0u64;
+            b.iter(|| {
+                key = (key + 1) % 10_000;
+                let op = KvOp::Read { key };
+                std::hint::black_box(client.execute(op.command(), op.encode()));
+            });
+            drop(client);
+            engine.shutdown();
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500)).sample_size(30);
+    targets = bench_round_trip
+}
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Minimal command-line parsing shared by the figure binaries.
+
+use std::time::Duration;
+
+/// Common experiment knobs.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Shrink durations and key counts for CI smoke runs.
+    pub quick: bool,
+    /// Initial keys in the store (the paper uses 10 million).
+    pub keys: u64,
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Measured seconds per data point.
+    pub secs: f64,
+    /// Warmup seconds per data point.
+    pub warmup: f64,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self { quick: false, keys: 200_000, clients: 16, secs: 3.0, warmup: 1.0 }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`-style flags: `--quick`, `--keys N`,
+    /// `--clients N`, `--secs F`, `--warmup F`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown flags or malformed values.
+    pub fn parse(argv: impl IntoIterator<Item = String>) -> Self {
+        let mut args = Self::default();
+        let mut it = argv.into_iter();
+        let _ = it.next(); // program name
+        while let Some(flag) = it.next() {
+            let mut value = |what: &str| -> String {
+                it.next().unwrap_or_else(|| panic!("{flag} needs a {what}"))
+            };
+            match flag.as_str() {
+                "--quick" => {
+                    args.quick = true;
+                }
+                "--keys" => args.keys = value("count").parse().expect("key count"),
+                "--clients" => {
+                    args.clients = value("count").parse().expect("client count")
+                }
+                "--secs" => args.secs = value("duration").parse().expect("seconds"),
+                "--warmup" => args.warmup = value("duration").parse().expect("seconds"),
+                other => panic!(
+                    "unknown flag {other}; known: --quick --keys N --clients N --secs F --warmup F"
+                ),
+            }
+        }
+        if args.quick {
+            args.keys = args.keys.min(50_000);
+            args.secs = args.secs.min(0.6);
+            args.warmup = args.warmup.min(0.2);
+            args.clients = args.clients.min(8);
+        }
+        args
+    }
+
+    /// Parses the real process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args())
+    }
+
+    /// Measured duration per data point.
+    pub fn duration(&self) -> Duration {
+        Duration::from_secs_f64(self.secs)
+    }
+
+    /// Warmup duration per data point.
+    pub fn warmup_duration(&self) -> Duration {
+        Duration::from_secs_f64(self.warmup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BenchArgs {
+        let mut argv = vec!["prog".to_string()];
+        argv.extend(args.iter().map(|s| s.to_string()));
+        BenchArgs::parse(argv)
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let a = parse(&[]);
+        assert!(!a.quick);
+        assert_eq!(a.keys, 200_000);
+    }
+
+    #[test]
+    fn quick_caps_everything() {
+        let a = parse(&["--quick", "--keys", "9999999"]);
+        assert!(a.quick);
+        assert!(a.keys <= 50_000);
+        assert!(a.secs <= 0.6);
+    }
+
+    #[test]
+    fn explicit_values_parse() {
+        let a = parse(&["--keys", "1000", "--clients", "3", "--secs", "1.5", "--warmup", "0.5"]);
+        assert_eq!(a.keys, 1000);
+        assert_eq!(a.clients, 3);
+        assert_eq!(a.secs, 1.5);
+        assert_eq!(a.warmup, 0.5);
+        assert_eq!(a.duration(), Duration::from_secs_f64(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flags_panic() {
+        parse(&["--frobnicate"]);
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 6 of the paper. See `psmr_bench::experiments`.
+
+fn main() {
+    let args = psmr_bench::BenchArgs::from_env();
+    let _ = psmr_bench::experiments::fig6(&args);
+}

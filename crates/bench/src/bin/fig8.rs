@@ -1,0 +1,6 @@
+//! Regenerates Figure 8 of the paper. See `psmr_bench::experiments`.
+
+fn main() {
+    let args = psmr_bench::BenchArgs::from_env();
+    let _ = psmr_bench::experiments::fig8(&args);
+}

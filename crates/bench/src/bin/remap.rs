@@ -1,0 +1,7 @@
+//! Extension experiment: online C-G reconfiguration under adversarial
+//! skew. See `psmr_bench::experiments::remap`.
+
+fn main() {
+    let args = psmr_bench::BenchArgs::from_env();
+    let _ = psmr_bench::experiments::remap(&args);
+}

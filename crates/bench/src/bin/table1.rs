@@ -1,0 +1,5 @@
+//! Regenerates Table I of the paper. See `psmr_bench::experiments`.
+
+fn main() {
+    let _ = psmr_bench::experiments::table1();
+}

@@ -1,0 +1,247 @@
+//! Closed-loop workload drivers.
+//!
+//! The paper's clients "maintain a window of outstanding requests that can
+//! contain up to 50 commands" (§VI-B). Each driver spawns client threads
+//! that keep their window full, records per-command latency, and reports
+//! throughput over the measured interval (excluding warmup).
+
+use psmr_common::cpu::CpuSampler;
+use psmr_common::ids::RequestId;
+use psmr_common::metrics::{Histogram, RunSummary, ThroughputMeter};
+use psmr_core::engines::Engine;
+use psmr_netfs::{NetFsOp, NetFsResult};
+use psmr_workload::{KeyDist, KvMix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Run-length and concurrency knobs for one data point.
+#[derive(Debug, Clone)]
+pub struct DriveOpts {
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Outstanding commands per client (50 in the paper).
+    pub window: usize,
+    /// Warmup excluded from the measurement.
+    pub warmup: Duration,
+    /// Measured interval.
+    pub duration: Duration,
+}
+
+impl Default for DriveOpts {
+    fn default() -> Self {
+        Self {
+            clients: 8,
+            window: 50,
+            warmup: Duration::from_millis(500),
+            duration: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Drives the key-value store on `engine` with the given mix and key
+/// distribution, returning the technique's row for the figure.
+pub fn drive_kv<E: Engine + Sync>(
+    engine: &E,
+    mix: &KvMix,
+    dist: &KeyDist,
+    opts: &DriveOpts,
+) -> RunSummary {
+    let hist = Histogram::new();
+    let measuring = AtomicBool::new(false);
+    let stop = AtomicBool::new(false);
+    let meter = ThroughputMeter::start(); // restarted below; placeholder
+    let mut measured: Option<(ThroughputMeter, CpuSampler)> = None;
+
+    std::thread::scope(|scope| {
+        for c in 0..opts.clients {
+            let hist = &hist;
+            let measuring = &measuring;
+            let stop = &stop;
+            let mut client = engine.client();
+            let mix = mix.clone();
+            let dist = dist.clone();
+            let window = opts.window;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xBEEF + c as u64);
+                let mut submitted: HashMap<RequestId, Instant> = HashMap::new();
+                let mut counted = 0u64;
+                loop {
+                    while client.outstanding() < window {
+                        let op = mix.sample(&dist, &mut rng);
+                        let id = client.submit(op.command(), op.encode());
+                        submitted.insert(id, Instant::now());
+                    }
+                    let (id, _resp) = client.recv_response();
+                    let started = submitted.remove(&id).expect("tracked request");
+                    if measuring.load(Ordering::Relaxed) {
+                        hist.record(started.elapsed());
+                        counted += 1;
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        return counted;
+                    }
+                }
+            });
+        }
+        // Control thread (this scope's main flow).
+        std::thread::sleep(opts.warmup);
+        let meter = ThroughputMeter::start();
+        let cpu = CpuSampler::start();
+        measuring.store(true, Ordering::Relaxed);
+        std::thread::sleep(opts.duration);
+        measuring.store(false, Ordering::Relaxed);
+        meter.add(hist.count());
+        measured = Some((meter, cpu));
+        stop.store(true, Ordering::Relaxed);
+        // Scope waits for client threads; each returns after its next
+        // response, which arrives because requests stay outstanding.
+    });
+    drop(meter);
+
+    let (meter, cpu) = measured.expect("control flow ran");
+    let cpu_pct = cpu.sample_pct().unwrap_or(0.0);
+    RunSummary::from_parts(engine.label(), &hist, &meter, cpu_pct)
+}
+
+/// Which NetFS experiment to run (§VII-H): read-only or write-only, 1024
+/// bytes per request, uniformly chosen files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFsWorkload {
+    /// `read(path, offset, 1024)`.
+    Reads,
+    /// `write(path, offset, 1024 bytes)`.
+    Writes,
+}
+
+/// Drives NetFS on `engine` over the fixture paths.
+pub fn drive_netfs<E: Engine + Sync>(
+    engine: &E,
+    workload: NetFsWorkload,
+    paths: &[String],
+    opts: &DriveOpts,
+) -> RunSummary {
+    let hist = Histogram::new();
+    let measuring = AtomicBool::new(false);
+    let stop = AtomicBool::new(false);
+    let mut measured: Option<(ThroughputMeter, CpuSampler)> = None;
+
+    // 1 KiB of lz-compressible but non-trivial data, as in the paper's
+    // request pipeline.
+    let block: Vec<u8> =
+        (0..1024u32).map(|i| ((i / 7) % 251) as u8).collect();
+
+    std::thread::scope(|scope| {
+        for c in 0..opts.clients {
+            let hist = &hist;
+            let measuring = &measuring;
+            let stop = &stop;
+            let block = &block;
+            let mut client = psmr_netfs::NetFsClient::new(engine.client());
+            let window = opts.window;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xF00D + c as u64);
+                let mut submitted: HashMap<RequestId, Instant> = HashMap::new();
+                loop {
+                    while client.outstanding() < window {
+                        let path = &paths[rng.gen_range(0..paths.len())];
+                        let op = match workload {
+                            NetFsWorkload::Reads => NetFsOp::Read {
+                                path: path.clone(),
+                                offset: 0,
+                                len: 1024,
+                            },
+                            NetFsWorkload::Writes => NetFsOp::Write {
+                                path: path.clone(),
+                                offset: 0,
+                                data: block.clone(),
+                            },
+                        };
+                        let id = client.submit(&op);
+                        submitted.insert(id, Instant::now());
+                    }
+                    let (id, resp) = client.recv();
+                    debug_assert!(
+                        !matches!(resp, NetFsResult::Err(_)),
+                        "workload op failed: {resp:?}"
+                    );
+                    let started = submitted.remove(&id).expect("tracked request");
+                    if measuring.load(Ordering::Relaxed) {
+                        hist.record(started.elapsed());
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                }
+            });
+        }
+        std::thread::sleep(opts.warmup);
+        let meter = ThroughputMeter::start();
+        let cpu = CpuSampler::start();
+        measuring.store(true, Ordering::Relaxed);
+        std::thread::sleep(opts.duration);
+        measuring.store(false, Ordering::Relaxed);
+        meter.add(hist.count());
+        measured = Some((meter, cpu));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let (meter, cpu) = measured.expect("control flow ran");
+    let cpu_pct = cpu.sample_pct().unwrap_or(0.0);
+    RunSummary::from_parts(engine.label(), &hist, &meter, cpu_pct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psmr_common::SystemConfig;
+    use psmr_core::engines::PsmrEngine;
+    use psmr_kvstore::{fine_dependency_spec, KvService};
+
+    fn tiny_opts() -> DriveOpts {
+        DriveOpts {
+            clients: 2,
+            window: 10,
+            warmup: Duration::from_millis(50),
+            duration: Duration::from_millis(200),
+        }
+    }
+
+    #[test]
+    fn kv_driver_produces_a_summary() {
+        let mut cfg = SystemConfig::new(2);
+        cfg.replicas(1);
+        let engine =
+            PsmrEngine::spawn(&cfg, fine_dependency_spec().into_map(), || {
+                KvService::with_keys(1000)
+            });
+        let summary = drive_kv(
+            &engine,
+            &KvMix::read_only(),
+            &KeyDist::uniform(1000),
+            &tiny_opts(),
+        );
+        assert_eq!(summary.technique, "P-SMR");
+        assert!(summary.kcps > 0.0, "made progress: {summary:?}");
+        assert!(summary.avg_latency_ms > 0.0);
+        assert!(!summary.cdf.is_empty());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn netfs_driver_produces_a_summary() {
+        use psmr_netfs::{dependency_spec, NetFsService};
+        let mut cfg = SystemConfig::new(2);
+        cfg.replicas(1);
+        let engine = PsmrEngine::spawn(&cfg, dependency_spec().into_map(), || {
+            NetFsService::with_tree(2, 8, 1024)
+        });
+        let paths = NetFsService::tree_paths(2, 8);
+        let summary =
+            drive_netfs(&engine, NetFsWorkload::Reads, &paths, &tiny_opts());
+        assert!(summary.kcps > 0.0, "made progress: {summary:?}");
+        engine.shutdown();
+    }
+}

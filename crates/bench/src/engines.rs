@@ -1,0 +1,116 @@
+//! Uniform construction of every technique's deployment.
+
+use psmr_common::SystemConfig;
+use psmr_core::client::ClientProxy;
+use psmr_core::engines::{Engine, NoRepEngine, PsmrEngine, SmrEngine, SpSmrEngine};
+use psmr_kvstore::{fine_dependency_spec, KvService, LockedKvEngine};
+
+/// The five techniques of the key-value store evaluation (§VI-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technique {
+    /// Classical state-machine replication.
+    Smr,
+    /// Semi-parallel SMR (scheduler + workers over a total order).
+    SpSmr,
+    /// Parallel SMR (this paper).
+    Psmr,
+    /// Non-replicated scheduler/worker server.
+    NoRep,
+    /// Lock-based multithreaded server (Berkeley DB stand-in).
+    Bdb,
+}
+
+impl Technique {
+    /// All five, in the paper's bar order.
+    pub const ALL: [Technique; 5] = [
+        Technique::NoRep,
+        Technique::Smr,
+        Technique::SpSmr,
+        Technique::Psmr,
+        Technique::Bdb,
+    ];
+
+    /// The paper's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Technique::Smr => "SMR",
+            Technique::SpSmr => "sP-SMR",
+            Technique::Psmr => "P-SMR",
+            Technique::NoRep => "no-rep",
+            Technique::Bdb => "BDB",
+        }
+    }
+}
+
+/// A deployment of any technique, so drivers can treat them uniformly.
+pub enum KvDeployment {
+    /// See [`PsmrEngine`].
+    Psmr(PsmrEngine),
+    /// See [`SmrEngine`].
+    Smr(SmrEngine),
+    /// See [`SpSmrEngine`].
+    SpSmr(SpSmrEngine),
+    /// See [`NoRepEngine`].
+    NoRep(NoRepEngine),
+    /// See [`LockedKvEngine`].
+    Bdb(LockedKvEngine),
+}
+
+impl Engine for KvDeployment {
+    fn client(&self) -> ClientProxy {
+        match self {
+            KvDeployment::Psmr(e) => e.client(),
+            KvDeployment::Smr(e) => e.client(),
+            KvDeployment::SpSmr(e) => e.client(),
+            KvDeployment::NoRep(e) => e.client(),
+            KvDeployment::Bdb(e) => e.client(),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            KvDeployment::Psmr(e) => e.label(),
+            KvDeployment::Smr(e) => e.label(),
+            KvDeployment::SpSmr(e) => e.label(),
+            KvDeployment::NoRep(e) => e.label(),
+            KvDeployment::Bdb(e) => e.label(),
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            KvDeployment::Psmr(e) => e.shutdown(),
+            KvDeployment::Smr(e) => e.shutdown(),
+            KvDeployment::SpSmr(e) => e.shutdown(),
+            KvDeployment::NoRep(e) => e.shutdown(),
+            KvDeployment::Bdb(e) => e.shutdown(),
+        }
+    }
+}
+
+/// The calibrated per-command execution cost the harness applies so the
+/// evaluation runs in the paper's execution-bound regime (see
+/// [`KvService::with_keys_and_work`] and `EXPERIMENTS.md`).
+pub const EXEC_WORK: std::time::Duration = std::time::Duration::from_micros(10);
+
+/// Builds a key-value deployment: `workers` worker threads (server threads
+/// for BDB; ignored by SMR) over a store of `keys` keys, every command
+/// costing [`EXEC_WORK`]. Replicated techniques use two replicas, as in
+/// the paper.
+pub fn build_kv(technique: Technique, workers: usize, keys: u64) -> KvDeployment {
+    let mut cfg = SystemConfig::new(workers.max(1));
+    cfg.replicas(2);
+    let map = fine_dependency_spec().into_map();
+    let factory = move || KvService::with_keys_and_work(keys, EXEC_WORK);
+    match technique {
+        Technique::Psmr => KvDeployment::Psmr(PsmrEngine::spawn(&cfg, map, factory)),
+        Technique::Smr => KvDeployment::Smr(SmrEngine::spawn(&cfg, factory)),
+        Technique::SpSmr => KvDeployment::SpSmr(SpSmrEngine::spawn(&cfg, map, factory)),
+        Technique::NoRep => KvDeployment::NoRep(NoRepEngine::spawn(&cfg, map, factory)),
+        Technique::Bdb => KvDeployment::Bdb(LockedKvEngine::spawn_with_work(
+            workers.max(1),
+            keys,
+            EXEC_WORK,
+        )),
+    }
+}

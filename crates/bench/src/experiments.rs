@@ -1,0 +1,334 @@
+//! One function per table/figure of the paper's evaluation.
+//!
+//! Every function builds the deployments of its experiment, drives them,
+//! prints the rows/series the paper plots, and saves the report under
+//! `target/experiments/`. Thread counts follow §VII: e.g. Figure 3 uses 8
+//! workers for P-SMR, 2 for sP-SMR and no-rep, 1 for SMR and 6 for BDB.
+
+use crate::args::BenchArgs;
+use crate::driver::{drive_kv, drive_netfs, DriveOpts, NetFsWorkload};
+use crate::engines::{build_kv, Technique};
+use crate::report::Report;
+use psmr_common::metrics::RunSummary;
+use psmr_common::SystemConfig;
+use psmr_core::engines::{Engine, PsmrEngine, SmrEngine, SpSmrEngine};
+use psmr_netfs::{dependency_spec as netfs_spec, NetFsService};
+use psmr_workload::{KeyDist, KvMix};
+
+fn opts(args: &BenchArgs) -> DriveOpts {
+    DriveOpts {
+        clients: args.clients,
+        window: 50,
+        warmup: args.warmup_duration(),
+        duration: args.duration(),
+    }
+}
+
+/// Table I: degrees of parallelism in state-machine replication.
+pub fn table1() -> Report {
+    let mut report = Report::new("table1");
+    report.line("Command...   SMR        sP-SMR     P-SMR");
+    report.line("...delivery  sequential sequential parallel");
+    report.line("...execution sequential parallel   parallel");
+    report.line("");
+    report.line("(architectural property; see psmr_core::engines for the");
+    report.line(" implementations: SmrEngine delivers and executes on one");
+    report.line(" thread; SpSmrEngine delivers on one scheduler thread and");
+    report.line(" executes on k workers; PsmrEngine delivers and executes");
+    report.line(" on k worker threads, each merging g_i with g_all.)");
+    report.save();
+    report
+}
+
+/// Figure 3: performance of independent commands (read-only key-value
+/// store, uniform keys).
+pub fn fig3(args: &BenchArgs) -> Report {
+    let mut report = Report::new("fig3");
+    report.line(&format!(
+        "independent commands (100% reads, uniform keys, {} keys)",
+        args.keys
+    ));
+    // Thread counts at each technique's peak. The paper's peaks were
+    // no-rep 2 / sP-SMR 2 / P-SMR 8 / BDB 6 (§VII-C); on this substrate the
+    // scheduler saturates later, so no-rep and sP-SMR peak at more workers
+    // (see fig5 for the full sweep). We report each technique at its own
+    // peak, as the paper does.
+    let deployments = [
+        (Technique::NoRep, 4),
+        (Technique::Smr, 1),
+        (Technique::SpSmr, 6),
+        (Technique::Psmr, 8),
+        (Technique::Bdb, 6),
+    ];
+    let dist = KeyDist::uniform(args.keys);
+    let mix = KvMix::read_only();
+    let mut rows = Vec::new();
+    for (technique, workers) in deployments {
+        let engine = build_kv(technique, workers, args.keys);
+        rows.push(drive_kv(&engine, &mix, &dist, &opts(args)));
+        engine.shutdown();
+    }
+    report.summary_table(&rows, "SMR");
+    report.cdf_section(&rows, 12);
+    report.save();
+    report
+}
+
+/// Figure 4: performance of dependent commands (insert/delete only).
+pub fn fig4(args: &BenchArgs) -> Report {
+    let mut report = Report::new("fig4");
+    report.line(&format!(
+        "dependent commands (50% inserts / 50% deletes, {} keys)",
+        args.keys
+    ));
+    // §VII-D: peak with 1 thread for every technique except BDB (4).
+    let deployments = [
+        (Technique::NoRep, 1),
+        (Technique::Smr, 1),
+        (Technique::SpSmr, 1),
+        (Technique::Psmr, 1),
+        (Technique::Bdb, 4),
+    ];
+    let dist = KeyDist::uniform(args.keys);
+    let mix = KvMix::insert_delete();
+    let mut rows = Vec::new();
+    for (technique, workers) in deployments {
+        let engine = build_kv(technique, workers, args.keys);
+        rows.push(drive_kv(&engine, &mix, &dist, &opts(args)));
+        engine.shutdown();
+    }
+    report.summary_table(&rows, "SMR");
+    report.cdf_section(&rows, 12);
+    report.save();
+    report
+}
+
+/// Figure 5: throughput and per-thread normalized throughput as worker
+/// threads grow, for independent and for dependent commands.
+pub fn fig5(args: &BenchArgs) -> Report {
+    let mut report = Report::new("fig5");
+    let threads: &[usize] =
+        if args.quick { &[1, 2, 4] } else { &[1, 2, 4, 6, 8] };
+    let techniques =
+        [Technique::NoRep, Technique::SpSmr, Technique::Psmr, Technique::Bdb];
+    for (label, mix) in [
+        ("independent (reads)", KvMix::read_only()),
+        ("dependent (insert/delete)", KvMix::insert_delete()),
+    ] {
+        report.line(&format!("--- {label} ---"));
+        let dist = KeyDist::uniform(args.keys);
+        for technique in techniques {
+            let mut series = Vec::new();
+            for &t in threads {
+                let engine = build_kv(technique, t, args.keys);
+                let row = drive_kv(&engine, &mix, &dist, &opts(args));
+                engine.shutdown();
+                series.push((t as f64, row.kcps));
+            }
+            report.series(&format!("{} Kcps", technique.label()), &series);
+            let base = series[0].1.max(f64::MIN_POSITIVE);
+            let normalized: Vec<(f64, f64)> = series
+                .iter()
+                .map(|&(t, k)| (t, (k / t) / base))
+                .collect();
+            report.series(&format!("{} per-thread", technique.label()), &normalized);
+        }
+    }
+    report.save();
+    report
+}
+
+/// Figure 6: mixed workloads — P-SMR (8 workers) vs SMR as the percentage
+/// of dependent commands grows; finds the breakeven point.
+pub fn fig6(args: &BenchArgs) -> Report {
+    let mut report = Report::new("fig6");
+    let percents: &[f64] = if args.quick {
+        &[0.01, 1.0, 10.0]
+    } else {
+        &[0.001, 0.01, 0.1, 1.0, 10.0]
+    };
+    let dist = KeyDist::uniform(args.keys);
+    let mut psmr_thr = Vec::new();
+    let mut psmr_lat = Vec::new();
+    let mut smr_thr = Vec::new();
+    let mut smr_lat = Vec::new();
+    for &pct in percents {
+        let mix = KvMix::mixed(pct);
+        let engine = build_kv(Technique::Psmr, 8, args.keys);
+        let row = drive_kv(&engine, &mix, &dist, &opts(args));
+        engine.shutdown();
+        psmr_thr.push((pct, row.kcps));
+        psmr_lat.push((pct, row.avg_latency_ms));
+        let engine = build_kv(Technique::Smr, 1, args.keys);
+        let row = drive_kv(&engine, &mix, &dist, &opts(args));
+        engine.shutdown();
+        smr_thr.push((pct, row.kcps));
+        smr_lat.push((pct, row.avg_latency_ms));
+    }
+    report.line("x = % dependent commands (log scale in the paper)");
+    report.series("P-SMR Kcps", &psmr_thr);
+    report.series("SMR   Kcps", &smr_thr);
+    report.series("P-SMR lat(ms)", &psmr_lat);
+    report.series("SMR   lat(ms)", &smr_lat);
+    // Breakeven: the largest x where P-SMR still beats SMR.
+    let breakeven = psmr_thr
+        .iter()
+        .zip(&smr_thr)
+        .filter(|((_, p), (_, s))| p >= s)
+        .map(|((x, _), _)| *x)
+        .fold(f64::NAN, f64::max);
+    report.line(&format!(
+        "breakeven (largest %dep where P-SMR >= SMR): {breakeven}"
+    ));
+    report.save();
+    report
+}
+
+/// Figure 7: skewed workloads — 50% updates / 50% reads under uniform and
+/// Zipf(1) key choice, P-SMR vs sP-SMR, threads 1..8.
+pub fn fig7(args: &BenchArgs) -> Report {
+    let mut report = Report::new("fig7");
+    let threads: &[usize] =
+        if args.quick { &[1, 2, 4] } else { &[1, 2, 4, 6, 8] };
+    let mix = KvMix::update_read();
+    for technique in [Technique::Psmr, Technique::SpSmr] {
+        for (dist_label, dist) in [
+            ("uniform", KeyDist::uniform(args.keys)),
+            ("Zipfian", KeyDist::zipf(args.keys, 1.0)),
+        ] {
+            let mut series = Vec::new();
+            for &t in threads {
+                let engine = build_kv(technique, t, args.keys);
+                let row = drive_kv(&engine, &mix, &dist, &opts(args));
+                engine.shutdown();
+                series.push((t as f64, row.kcps));
+            }
+            report
+                .series(&format!("{} {dist_label} Kcps", technique.label()), &series);
+            let base = series[0].1.max(f64::MIN_POSITIVE);
+            let normalized: Vec<(f64, f64)> =
+                series.iter().map(|&(t, k)| (t, (k / t) / base)).collect();
+            report.series(
+                &format!("{} {dist_label} per-thread", technique.label()),
+                &normalized,
+            );
+        }
+    }
+    report.save();
+    report
+}
+
+/// Extension (§IV-D future work): online C-G reconfiguration under an
+/// adversarial skew. The workload's hot keys all collide on worker group 0
+/// (`stride = MPL` under the `key mod k` rule); after a measurement the
+/// experiment installs a remap table spreading the hottest keys across
+/// groups **online** and measures again.
+pub fn remap(args: &BenchArgs) -> Report {
+    use psmr_core::engines::{Engine, PsmrEngine};
+    use psmr_core::remap::{RemapTable, RemappableMap, REMAP};
+    use psmr_kvstore::{fine_dependency_spec, KvService};
+
+    let mut report = Report::new("remap");
+    let mpl = 8usize;
+    let ranks = args.keys / mpl as u64;
+    // All sampled keys are multiples of mpl: every hot key lands on g_0.
+    let dist = KeyDist::strided(KeyDist::zipf(ranks, 1.0), mpl as u64);
+    let mix = KvMix::update_read();
+
+    let mut cfg = SystemConfig::new(mpl);
+    cfg.replicas(2);
+    let rmap = RemappableMap::new(fine_dependency_spec().into_map());
+    let keys = args.keys;
+    let engine = PsmrEngine::spawn_remappable(&cfg, rmap, move || {
+        KvService::with_keys_and_work(keys, crate::engines::EXEC_WORK)
+    });
+
+    // Moderate load: at full saturation the 24-core host is oversubscribed
+    // by the 70+ threads of an MPL-8 deployment and scheduler noise hides
+    // the routing effect this experiment isolates.
+    let mut run_opts = opts(args);
+    run_opts.clients = run_opts.clients.min(8);
+
+    let before = drive_kv(&engine, &mix, &dist, &run_opts);
+    report.line(&format!(
+        "before remap (hot keys collide on g0): {:.1} Kcps, {:.3} ms avg",
+        before.kcps, before.avg_latency_ms
+    ));
+
+    // Spread the 64 hottest keys round-robin across all groups, through
+    // the replicated REMAP command (installs at a deterministic point of
+    // the serialized stream on every replica).
+    let mut table = RemapTable::default();
+    table.epoch = 1;
+    for rank in 0..64u64 {
+        table.pins.insert(
+            rank * mpl as u64,
+            psmr_common::ids::GroupId::new((rank % mpl as u64) as usize),
+        );
+    }
+    let mut admin = engine.client();
+    let resp = admin.execute(REMAP, table.encode());
+    report.line(&format!("remap installed: {}", resp[0] == 1));
+    drop(admin);
+
+    let after = drive_kv(&engine, &mix, &dist, &run_opts);
+    report.line(&format!(
+        "after remap (hot keys spread):       {:.1} Kcps, {:.3} ms avg",
+        after.kcps, after.avg_latency_ms
+    ));
+    report.line(&format!(
+        "online reconfiguration recovered {:.2}x throughput",
+        after.kcps / before.kcps.max(f64::MIN_POSITIVE)
+    ));
+    engine.shutdown();
+    report.save();
+    report
+}
+
+/// Figure 8: NetFS — read-only and write-only 1024-byte workloads over
+/// SMR, sP-SMR and P-SMR (8 path ranges → 9 multicast groups).
+pub fn fig8(args: &BenchArgs) -> Report {
+    let mut report = Report::new("fig8");
+    let dirs = 8u64;
+    let files = if args.quick { 64 } else { 256 };
+    let paths = NetFsService::tree_paths(dirs, files);
+    for workload in [NetFsWorkload::Reads, NetFsWorkload::Writes] {
+        let label = match workload {
+            NetFsWorkload::Reads => "Reads",
+            NetFsWorkload::Writes => "Writes",
+        };
+        report.line(&format!("--- {label} (1024 bytes per request) ---"));
+        let mut rows: Vec<RunSummary> = Vec::new();
+        for technique in ["SMR", "sP-SMR", "P-SMR"] {
+            let mut cfg = SystemConfig::new(8);
+            cfg.replicas(2);
+            let factory = move || NetFsService::with_tree(dirs, files, 1024);
+            let row = match technique {
+                "SMR" => {
+                    let engine = SmrEngine::spawn(&cfg, factory);
+                    let row = drive_netfs(&engine, workload, &paths, &opts(args));
+                    engine.shutdown();
+                    row
+                }
+                "sP-SMR" => {
+                    let engine =
+                        SpSmrEngine::spawn(&cfg, netfs_spec().into_map(), factory);
+                    let row = drive_netfs(&engine, workload, &paths, &opts(args));
+                    engine.shutdown();
+                    row
+                }
+                _ => {
+                    let engine =
+                        PsmrEngine::spawn(&cfg, netfs_spec().into_map(), factory);
+                    let row = drive_netfs(&engine, workload, &paths, &opts(args));
+                    engine.shutdown();
+                    row
+                }
+            };
+            rows.push(row);
+        }
+        report.summary_table(&rows, "SMR");
+    }
+    report.save();
+    report
+}

@@ -1,0 +1,146 @@
+//! Experiment output formatting.
+//!
+//! Prints the rows/series the paper plots and mirrors them to
+//! `target/experiments/<name>.txt` so `EXPERIMENTS.md` can reference them.
+
+use psmr_common::metrics::RunSummary;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// Collects one experiment's text output.
+#[derive(Debug)]
+pub struct Report {
+    name: String,
+    body: String,
+}
+
+impl Report {
+    /// Starts a report for `name` (e.g. `fig3`).
+    pub fn new(name: &str) -> Self {
+        let mut report = Self { name: name.to_string(), body: String::new() };
+        report.line(&format!("=== {name} ==="));
+        report
+    }
+
+    /// Appends a line, echoing it to stdout.
+    pub fn line(&mut self, s: &str) {
+        println!("{s}");
+        self.body.push_str(s);
+        self.body.push('\n');
+    }
+
+    /// Appends a throughput/latency/CPU table for a set of technique rows,
+    /// annotated with the factor relative to `baseline` (the paper prints
+    /// e.g. "3.15 X" over the bars).
+    pub fn summary_table(&mut self, rows: &[RunSummary], baseline: &str) {
+        let base = rows
+            .iter()
+            .find(|r| r.technique == baseline)
+            .map(|r| r.kcps)
+            .filter(|k| *k > 0.0);
+        self.line(&format!(
+            "{:<10} {:>12} {:>8} {:>12} {:>12} {:>8}",
+            "technique", "Kcps", "vs base", "avg lat(ms)", "p99 lat(ms)", "CPU%"
+        ));
+        for row in rows {
+            let factor = match base {
+                Some(b) => format!("{:.2} X", row.kcps / b),
+                None => "-".to_string(),
+            };
+            self.line(&format!(
+                "{:<10} {:>12.1} {:>8} {:>12.3} {:>12.3} {:>8.0}",
+                row.technique, row.kcps, factor, row.avg_latency_ms, row.p99_latency_ms,
+                row.cpu_pct
+            ));
+        }
+    }
+
+    /// Appends the latency CDF points of each row (the bottom-right plots
+    /// of Figures 3 and 4), down-sampled to at most `max_points`.
+    pub fn cdf_section(&mut self, rows: &[RunSummary], max_points: usize) {
+        self.line("--- latency CDF (ms, cumulative fraction) ---");
+        for row in rows {
+            let step = (row.cdf.len() / max_points.max(1)).max(1);
+            let mut line = format!("{:<10}", row.technique);
+            for (ms, frac) in row.cdf.iter().step_by(step) {
+                let _ = write!(line, " ({ms:.2},{frac:.2})");
+            }
+            self.line(&line);
+        }
+    }
+
+    /// Appends an `(x, y)` series (the line plots of Figures 5–7).
+    pub fn series(&mut self, label: &str, points: &[(f64, f64)]) {
+        let mut line = format!("{label:<24}");
+        for (x, y) in points {
+            let _ = write!(line, " ({x}, {y:.1})");
+        }
+        self.line(&line);
+    }
+
+    /// Writes the report to `target/experiments/<name>.txt`.
+    ///
+    /// Returns the path written. Failures to create the directory or file
+    /// are reported but not fatal (the report already went to stdout).
+    pub fn save(&self) -> Option<PathBuf> {
+        let dir = PathBuf::from("target/experiments");
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return None;
+        }
+        let path = dir.join(format!("{}.txt", self.name));
+        match fs::write(&path, &self.body) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+
+    /// The accumulated text.
+    pub fn body(&self) -> &str {
+        &self.body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(technique: &str, kcps: f64) -> RunSummary {
+        RunSummary {
+            technique: technique.into(),
+            kcps,
+            avg_latency_ms: 1.0,
+            p99_latency_ms: 2.0,
+            cpu_pct: 100.0,
+            cdf: vec![(0.5, 0.5), (1.0, 1.0)],
+        }
+    }
+
+    #[test]
+    fn table_shows_relative_factors() {
+        let mut report = Report::new("test");
+        report.summary_table(&[row("SMR", 100.0), row("P-SMR", 315.0)], "SMR");
+        assert!(report.body().contains("3.15 X"));
+        assert!(report.body().contains("1.00 X"));
+    }
+
+    #[test]
+    fn missing_baseline_prints_dashes() {
+        let mut report = Report::new("test");
+        report.summary_table(&[row("P-SMR", 315.0)], "SMR");
+        assert!(report.body().contains(" -"));
+    }
+
+    #[test]
+    fn cdf_and_series_render() {
+        let mut report = Report::new("test");
+        report.cdf_section(&[row("SMR", 1.0)], 10);
+        report.series("P-SMR uniform", &[(1.0, 100.0), (2.0, 200.0)]);
+        assert!(report.body().contains("(0.50,0.50)"));
+        assert!(report.body().contains("(1, 100.0)"));
+    }
+}

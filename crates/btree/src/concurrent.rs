@@ -1,0 +1,487 @@
+//! A lock-coupling concurrent B+-tree.
+//!
+//! This is the workspace's stand-in for Berkeley DB's lock-based in-memory
+//! B-tree (the `BDB` baseline of the paper's evaluation, §VI-B): a
+//! multithreaded store where *locks* — not a scheduler or an ordering
+//! protocol — synchronize command execution.
+//!
+//! Traversals use lock coupling ("crabbing"):
+//!
+//! * **reads** take read locks hand-over-hand: lock the child, release the
+//!   parent;
+//! * **writes** take write locks down the path and release all ancestors as
+//!   soon as the current node is *safe* (an insert cannot split it). Splits
+//!   therefore happen with the affected ancestor path still locked.
+//!
+//! Every operation pays the per-node latching cost, which is the relevant
+//! behavioural property of the baseline: throughput stops scaling once lock
+//! traffic dominates (Figure 5 of the paper: BDB peaks around 4 threads).
+//!
+//! Deletes remove keys from leaves without rebalancing (lazy deletion, as
+//! in several production stores); the tree never returns wrong results but
+//! may keep underfull leaves after heavy deletion.
+
+use parking_lot::{ArcRwLockWriteGuard, RawRwLock, RwLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Maximum number of keys a node may hold before splitting.
+const MAX_KEYS: usize = 64;
+
+type Link<V> = Arc<RwLock<Node<V>>>;
+
+#[derive(Debug)]
+enum Node<V> {
+    Leaf {
+        keys: Vec<u64>,
+        vals: Vec<V>,
+    },
+    Internal {
+        keys: Vec<u64>,
+        children: Vec<Link<V>>,
+    },
+}
+
+impl<V> Node<V> {
+    fn is_safe_for_insert(&self) -> bool {
+        match self {
+            Node::Leaf { keys, .. } => keys.len() < MAX_KEYS,
+            Node::Internal { keys, .. } => keys.len() < MAX_KEYS,
+        }
+    }
+
+    fn child_index(keys: &[u64], key: u64) -> usize {
+        keys.partition_point(|k| *k <= key)
+    }
+}
+
+/// A thread-safe B+-tree synchronized by per-node reader-writer locks.
+///
+/// Cloning the handle shares the underlying tree.
+///
+/// # Example
+///
+/// ```
+/// use psmr_btree::ConcurrentBPlusTree;
+///
+/// let tree: ConcurrentBPlusTree<u64> = ConcurrentBPlusTree::new();
+/// tree.insert(1, 10);
+/// assert_eq!(tree.get(&1), Some(10));
+/// assert_eq!(tree.remove(&1), Some(10));
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentBPlusTree<V> {
+    /// Lock order: `root_holder` first, then nodes top-down. The holder
+    /// indirection lets inserts replace the root when it splits.
+    root_holder: Arc<RwLock<Link<V>>>,
+    len: Arc<AtomicUsize>,
+}
+
+impl<V> Clone for ConcurrentBPlusTree<V> {
+    fn clone(&self) -> Self {
+        Self { root_holder: Arc::clone(&self.root_holder), len: Arc::clone(&self.len) }
+    }
+}
+
+impl<V: Clone + Send + Sync> ConcurrentBPlusTree<V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self {
+            root_holder: Arc::new(RwLock::new(Arc::new(RwLock::new(Node::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+            })))),
+            len: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Number of key/value pairs stored.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Returns whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a key, cloning the value out (readers hold node locks only
+    /// while traversing).
+    pub fn get(&self, key: &u64) -> Option<V> {
+        let root_guard = self.root_holder.read();
+        let mut node = Arc::clone(&root_guard);
+        drop(root_guard);
+        loop {
+            let guard = node.read_arc();
+            match &*guard {
+                Node::Leaf { keys, vals } => {
+                    return keys.binary_search(key).ok().map(|i| vals[i].clone());
+                }
+                Node::Internal { keys, children } => {
+                    let next = Arc::clone(&children[Node::<V>::child_index(keys, *key)]);
+                    drop(guard); // release parent after child is resolved
+                    node = next;
+                }
+            }
+        }
+    }
+
+    /// Updates the value of an existing key. Returns `false` if the key is
+    /// absent (matching the paper's `update` semantics: an error code when
+    /// the key does not exist).
+    pub fn update(&self, key: u64, value: V) -> bool {
+        let root_guard = self.root_holder.read();
+        let mut node = Arc::clone(&root_guard);
+        drop(root_guard);
+        loop {
+            // Read-couple down to the leaf; only the leaf needs a write lock.
+            let is_leaf = matches!(&*node.read_arc(), Node::Leaf { .. });
+            if is_leaf {
+                let mut guard = node.write_arc();
+                match &mut *guard {
+                    Node::Leaf { keys, vals } => {
+                        return match keys.binary_search(&key) {
+                            Ok(i) => {
+                                vals[i] = value;
+                                true
+                            }
+                            Err(_) => false,
+                        };
+                    }
+                    // The node cannot change kind: splits replace children
+                    // vectors but a leaf stays a leaf.
+                    Node::Internal { .. } => unreachable!("leaf changed kind"),
+                }
+            }
+            let guard = node.read_arc();
+            match &*guard {
+                Node::Internal { keys, children } => {
+                    let next = Arc::clone(&children[Node::<V>::child_index(keys, key)]);
+                    drop(guard);
+                    node = next;
+                }
+                Node::Leaf { .. } => continue, // re-check with write lock
+            }
+        }
+    }
+
+    /// Inserts a key/value pair, returning whether the key was new.
+    pub fn insert(&self, key: u64, value: V) -> bool {
+        // Write-crabbing: hold the path of write guards, releasing all
+        // ancestors whenever the current node cannot split.
+        let root_holder_guard = self.root_holder.write();
+        let root = Arc::clone(&root_holder_guard);
+        let mut path: Vec<ArcRwLockWriteGuard<RawRwLock, Node<V>>> = Vec::new();
+        let mut holder: Option<parking_lot::RwLockWriteGuard<'_, Link<V>>> =
+            Some(root_holder_guard);
+        let mut node = root;
+        loop {
+            let guard = node.write_arc();
+            if guard.is_safe_for_insert() {
+                path.clear();
+                holder = None;
+            }
+            match &*guard {
+                Node::Leaf { .. } => {
+                    path.push(guard);
+                    break;
+                }
+                Node::Internal { keys, children } => {
+                    let next = Arc::clone(&children[Node::<V>::child_index(keys, key)]);
+                    path.push(guard);
+                    node = next;
+                }
+            }
+        }
+
+        // Insert into the (write-locked) leaf.
+        let mut leaf = path.pop().expect("leaf guard");
+        let mut split = match &mut *leaf {
+            Node::Leaf { keys, vals } => match keys.binary_search(&key) {
+                Ok(i) => {
+                    vals[i] = value;
+                    return false;
+                }
+                Err(i) => {
+                    keys.insert(i, key);
+                    vals.insert(i, value);
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    if keys.len() > MAX_KEYS {
+                        let mid = keys.len() / 2;
+                        let rk = keys.split_off(mid);
+                        let rv = vals.split_off(mid);
+                        let sep = rk[0];
+                        Some((sep, Arc::new(RwLock::new(Node::Leaf { keys: rk, vals: rv }))))
+                    } else {
+                        None
+                    }
+                }
+            },
+            Node::Internal { .. } => unreachable!("descent ends at a leaf"),
+        };
+        drop(leaf);
+
+        // Propagate splits up the retained (locked) ancestor path.
+        while let Some((sep, right)) = split.take() {
+            match path.pop() {
+                Some(mut parent) => {
+                    match &mut *parent {
+                        Node::Internal { keys, children } => {
+                            let idx = keys.partition_point(|k| *k < sep);
+                            keys.insert(idx, sep);
+                            children.insert(idx + 1, right);
+                            if keys.len() > MAX_KEYS {
+                                let mid = keys.len() / 2;
+                                let promoted = keys[mid];
+                                let rk = keys.split_off(mid + 1);
+                                keys.pop();
+                                let rc = children.split_off(mid + 1);
+                                split = Some((
+                                    promoted,
+                                    Arc::new(RwLock::new(Node::Internal {
+                                        keys: rk,
+                                        children: rc,
+                                    })),
+                                ));
+                            }
+                        }
+                        Node::Leaf { .. } => unreachable!("parents are internal"),
+                    }
+                    drop(parent);
+                }
+                None => {
+                    // The root itself split: grow the tree. The holder write
+                    // guard was retained because the whole path was unsafe.
+                    let mut holder_guard =
+                        holder.take().expect("root split retains the holder lock");
+                    let old_root = Arc::clone(&holder_guard);
+                    *holder_guard = Arc::new(RwLock::new(Node::Internal {
+                        keys: vec![sep],
+                        children: vec![old_root, right],
+                    }));
+                }
+            }
+        }
+        true
+    }
+
+    /// Removes a key, returning its value if present (lazy deletion: leaves
+    /// are not rebalanced).
+    pub fn remove(&self, key: &u64) -> Option<V> {
+        let root_guard = self.root_holder.read();
+        let mut node = Arc::clone(&root_guard);
+        drop(root_guard);
+        loop {
+            let is_leaf = matches!(&*node.read_arc(), Node::Leaf { .. });
+            if is_leaf {
+                let mut guard = node.write_arc();
+                match &mut *guard {
+                    Node::Leaf { keys, vals } => {
+                        return match keys.binary_search(key) {
+                            Ok(i) => {
+                                keys.remove(i);
+                                let v = vals.remove(i);
+                                self.len.fetch_sub(1, Ordering::Relaxed);
+                                Some(v)
+                            }
+                            Err(_) => None,
+                        };
+                    }
+                    Node::Internal { .. } => unreachable!("leaf changed kind"),
+                }
+            }
+            let guard = node.read_arc();
+            match &*guard {
+                Node::Internal { keys, children } => {
+                    let next = Arc::clone(&children[Node::<V>::child_index(keys, *key)]);
+                    drop(guard);
+                    node = next;
+                }
+                Node::Leaf { .. } => continue,
+            }
+        }
+    }
+
+    /// Collects all keys in ascending order (snapshot by subtree; intended
+    /// for tests, not the hot path).
+    pub fn keys(&self) -> Vec<u64> {
+        fn walk<V: Clone>(node: &Link<V>, out: &mut Vec<u64>) {
+            let guard = node.read();
+            match &*guard {
+                Node::Leaf { keys, .. } => out.extend_from_slice(keys),
+                Node::Internal { children, .. } => {
+                    let kids: Vec<_> = children.iter().map(Arc::clone).collect();
+                    drop(guard);
+                    for child in kids {
+                        walk(&child, out);
+                    }
+                }
+            }
+        }
+        let root = Arc::clone(&self.root_holder.read());
+        let mut out = Vec::new();
+        walk(&root, &mut out);
+        out
+    }
+}
+
+impl<V: Clone + Send + Sync> Default for ConcurrentBPlusTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn basic_insert_get_remove() {
+        let tree: ConcurrentBPlusTree<u64> = ConcurrentBPlusTree::new();
+        assert!(tree.insert(1, 10));
+        assert!(!tree.insert(1, 11), "duplicate key overwrites");
+        assert_eq!(tree.get(&1), Some(11));
+        assert_eq!(tree.remove(&1), Some(11));
+        assert_eq!(tree.remove(&1), None);
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn update_only_touches_existing_keys() {
+        let tree: ConcurrentBPlusTree<u64> = ConcurrentBPlusTree::new();
+        assert!(!tree.update(5, 50), "absent key");
+        tree.insert(5, 50);
+        assert!(tree.update(5, 55));
+        assert_eq!(tree.get(&5), Some(55));
+    }
+
+    #[test]
+    fn splits_keep_all_keys_reachable() {
+        let tree: ConcurrentBPlusTree<u64> = ConcurrentBPlusTree::new();
+        for k in 0..20_000u64 {
+            tree.insert(k, k * 2);
+        }
+        assert_eq!(tree.len(), 20_000);
+        for k in [0u64, 63, 64, 65, 9_999, 19_999] {
+            assert_eq!(tree.get(&k), Some(k * 2), "key {k}");
+        }
+        let keys = tree.keys();
+        assert_eq!(keys.len(), 20_000);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted and unique");
+    }
+
+    #[test]
+    fn reverse_and_interleaved_insertion_orders() {
+        let tree: ConcurrentBPlusTree<u64> = ConcurrentBPlusTree::new();
+        for k in (0..5_000u64).rev() {
+            tree.insert(k, k);
+        }
+        for k in 5_000..10_000u64 {
+            tree.insert(k, k);
+        }
+        assert_eq!(tree.keys(), (0..10_000u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_all_land() {
+        let tree: ConcurrentBPlusTree<u64> = ConcurrentBPlusTree::new();
+        let threads = 8;
+        let per = 5_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let tree = tree.clone();
+                thread::spawn(move || {
+                    for i in 0..per {
+                        tree.insert(t * per + i, i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(tree.len() as u64, threads * per);
+        let keys = tree.keys();
+        assert_eq!(keys.len() as u64, threads * per);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn concurrent_mixed_readers_and_writers() {
+        let tree: ConcurrentBPlusTree<u64> = ConcurrentBPlusTree::new();
+        for k in 0..10_000u64 {
+            tree.insert(k, k);
+        }
+        let writers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let tree = tree.clone();
+                thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        let k = (i * 4 + t) % 10_000;
+                        tree.update(k, k + 1);
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let tree = tree.clone();
+                thread::spawn(move || {
+                    let mut seen = 0u64;
+                    for i in 0..5_000u64 {
+                        let k = (i * 7 + t) % 10_000;
+                        if let Some(v) = tree.get(&k) {
+                            assert!(v == k || v == k + 1, "value is old or new, not torn");
+                            seen += 1;
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        for r in readers {
+            assert_eq!(r.join().unwrap(), 5_000, "all keys present throughout");
+        }
+    }
+
+    #[test]
+    fn concurrent_insert_remove_converges() {
+        let tree: ConcurrentBPlusTree<u64> = ConcurrentBPlusTree::new();
+        // Writers insert even keys, removers delete them after insertion;
+        // an insert/remove pair always leaves the tree without the key.
+        for k in 0..2_000u64 {
+            tree.insert(k, k);
+        }
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let tree = tree.clone();
+                thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let k = t * 500 + i;
+                        tree.remove(&k);
+                        tree.insert(k + 10_000, k);
+                        tree.remove(&(k + 10_000));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(tree.len(), 0);
+        assert!(tree.keys().is_empty());
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let tree: ConcurrentBPlusTree<u64> = ConcurrentBPlusTree::new();
+        let clone = tree.clone();
+        tree.insert(1, 1);
+        assert_eq!(clone.get(&1), Some(1));
+        assert_eq!(clone.len(), 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! B+-trees: the storage substrate of the key-value store (paper §V-A).
+//!
+//! Two implementations:
+//!
+//! * [`serial::BPlusTree`] — a complete single-threaded B+-tree with node
+//!   splitting on insert and borrowing/merging on delete. This is the store
+//!   each SMR / sP-SMR / P-SMR / no-rep replica executes commands against
+//!   (replica-side synchronization is provided by the replication protocol,
+//!   not the tree).
+//! * [`concurrent::ConcurrentBPlusTree`] — a lock-coupling ("crabbing")
+//!   concurrent B+-tree using per-node reader-writer locks. This is the
+//!   stand-in for Berkeley DB's lock-based in-memory B-tree (the `BDB`
+//!   baseline of the evaluation): threads synchronize with locks instead of
+//!   a scheduler, and pay per-node latching on every traversal.
+//!
+//! Both trees map `u64` keys to values of a caller-chosen type; the paper's
+//! store uses 8-byte keys and 8-byte values.
+//!
+//! # Example
+//!
+//! ```
+//! use psmr_btree::BPlusTree;
+//!
+//! let mut tree = BPlusTree::new();
+//! tree.insert(5, "five");
+//! assert_eq!(tree.get(&5), Some(&"five"));
+//! assert_eq!(tree.remove(&5), Some("five"));
+//! assert!(tree.is_empty());
+//! ```
+
+pub mod concurrent;
+pub mod serial;
+
+pub use concurrent::ConcurrentBPlusTree;
+pub use serial::BPlusTree;

@@ -1,0 +1,595 @@
+//! A single-threaded B+-tree.
+//!
+//! Values live only in leaves; internal nodes carry separator keys. Inserts
+//! split overfull nodes (possibly up to the root, growing the tree); deletes
+//! rebalance by borrowing from a sibling or merging (possibly shrinking the
+//! tree). These multi-node structural updates are exactly why the paper
+//! declares `insert` and `delete` dependent on *all* commands (§V-A).
+
+/// Maximum number of keys a node may hold before splitting.
+const MAX_KEYS: usize = 64;
+/// Minimum number of keys a non-root node must hold.
+const MIN_KEYS: usize = MAX_KEYS / 2;
+
+#[derive(Debug, Clone)]
+enum Node<V> {
+    Leaf {
+        keys: Vec<u64>,
+        vals: Vec<V>,
+    },
+    Internal {
+        /// Separators: child `i` holds keys `< keys[i]`; child `keys.len()`
+        /// holds the rest.
+        keys: Vec<u64>,
+        children: Vec<Box<Node<V>>>,
+    },
+}
+
+/// What an insert did below: nothing structural, or a split producing a new
+/// right sibling with the given separator.
+enum InsertEffect<V> {
+    Done(Option<V>),
+    Split { sep: u64, right: Box<Node<V>>, replaced: Option<V> },
+}
+
+impl<V> Node<V> {
+    fn new_leaf() -> Self {
+        Node::Leaf { keys: Vec::new(), vals: Vec::new() }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Node::Leaf { keys, .. } => keys.len(),
+            Node::Internal { keys, .. } => keys.len(),
+        }
+    }
+}
+
+/// A single-threaded B+-tree mapping `u64` keys to values.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct BPlusTree<V> {
+    root: Box<Node<V>>,
+    len: usize,
+}
+
+impl<V> BPlusTree<V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self { root: Box::new(Node::new_leaf()), len: 0 }
+    }
+
+    /// Number of key/value pairs stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &u64) -> Option<&V> {
+        let mut node = &*self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    return keys.binary_search(key).ok().map(|i| &vals[i]);
+                }
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k <= key);
+                    node = &children[idx];
+                }
+            }
+        }
+    }
+
+    /// Looks up a key and returns a mutable reference to its value.
+    pub fn get_mut(&mut self, key: &u64) -> Option<&mut V> {
+        let mut node = &mut *self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    return keys.binary_search(key).ok().map(|i| &mut vals[i]);
+                }
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k <= key);
+                    node = &mut children[idx];
+                }
+            }
+        }
+    }
+
+    /// Inserts a key/value pair, returning the previous value if the key
+    /// was present.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        match Self::insert_rec(&mut self.root, key, value) {
+            InsertEffect::Done(replaced) => {
+                if replaced.is_none() {
+                    self.len += 1;
+                }
+                replaced
+            }
+            InsertEffect::Split { sep, right, replaced } => {
+                if replaced.is_none() {
+                    self.len += 1;
+                }
+                // Grow the tree: a new root with two children.
+                let old_root =
+                    std::mem::replace(&mut self.root, Box::new(Node::new_leaf()));
+                self.root = Box::new(Node::Internal {
+                    keys: vec![sep],
+                    children: vec![old_root, right],
+                });
+                replaced
+            }
+        }
+    }
+
+    fn insert_rec(node: &mut Node<V>, key: u64, value: V) -> InsertEffect<V> {
+        match node {
+            Node::Leaf { keys, vals } => {
+                match keys.binary_search(&key) {
+                    Ok(i) => {
+                        let old = std::mem::replace(&mut vals[i], value);
+                        InsertEffect::Done(Some(old))
+                    }
+                    Err(i) => {
+                        keys.insert(i, key);
+                        vals.insert(i, value);
+                        if keys.len() > MAX_KEYS {
+                            let mid = keys.len() / 2;
+                            let right_keys = keys.split_off(mid);
+                            let right_vals = vals.split_off(mid);
+                            let sep = right_keys[0];
+                            InsertEffect::Split {
+                                sep,
+                                right: Box::new(Node::Leaf {
+                                    keys: right_keys,
+                                    vals: right_vals,
+                                }),
+                                replaced: None,
+                            }
+                        } else {
+                            InsertEffect::Done(None)
+                        }
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|k| *k <= key);
+                match Self::insert_rec(&mut children[idx], key, value) {
+                    InsertEffect::Done(replaced) => InsertEffect::Done(replaced),
+                    InsertEffect::Split { sep, right, replaced } => {
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        if keys.len() > MAX_KEYS {
+                            let mid = keys.len() / 2;
+                            // Separator promoted to the parent.
+                            let promoted = keys[mid];
+                            let right_keys = keys.split_off(mid + 1);
+                            keys.pop(); // remove the promoted separator
+                            let right_children = children.split_off(mid + 1);
+                            InsertEffect::Split {
+                                sep: promoted,
+                                right: Box::new(Node::Internal {
+                                    keys: right_keys,
+                                    children: right_children,
+                                }),
+                                replaced,
+                            }
+                        } else {
+                            InsertEffect::Done(replaced)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove(&mut self, key: &u64) -> Option<V> {
+        let removed = Self::remove_rec(&mut self.root, key);
+        if removed.is_some() {
+            self.len -= 1;
+            // Shrink the tree if the root is an internal node with a single
+            // child.
+            let shrink = matches!(
+                &*self.root,
+                Node::Internal { children, .. } if children.len() == 1
+            );
+            if shrink {
+                let old_root =
+                    std::mem::replace(&mut self.root, Box::new(Node::new_leaf()));
+                if let Node::Internal { mut children, .. } = *old_root {
+                    self.root = children.pop().expect("single child");
+                }
+            }
+        }
+        removed
+    }
+
+    fn remove_rec(node: &mut Node<V>, key: &u64) -> Option<V> {
+        match node {
+            Node::Leaf { keys, vals } => match keys.binary_search(key) {
+                Ok(i) => {
+                    keys.remove(i);
+                    Some(vals.remove(i))
+                }
+                Err(_) => None,
+            },
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|k| k <= key);
+                let removed = Self::remove_rec(&mut children[idx], key)?;
+                if children[idx].len() < MIN_KEYS {
+                    Self::rebalance(keys, children, idx);
+                }
+                Some(removed)
+            }
+        }
+    }
+
+    /// Fixes an underfull child at `idx` by borrowing from a sibling or
+    /// merging with one.
+    fn rebalance(keys: &mut Vec<u64>, children: &mut Vec<Box<Node<V>>>, idx: usize) {
+        // Try to borrow from the left sibling.
+        if idx > 0 && children[idx - 1].len() > MIN_KEYS {
+            let (left, right) = children.split_at_mut(idx);
+            let left = &mut *left[idx - 1];
+            let child = &mut *right[0];
+            match (left, child) {
+                (
+                    Node::Leaf { keys: lk, vals: lv },
+                    Node::Leaf { keys: ck, vals: cv },
+                ) => {
+                    let k = lk.pop().expect("left has spare");
+                    let v = lv.pop().expect("left has spare");
+                    ck.insert(0, k);
+                    cv.insert(0, v);
+                    keys[idx - 1] = ck[0];
+                }
+                (
+                    Node::Internal { keys: lk, children: lc },
+                    Node::Internal { keys: ck, children: cc },
+                ) => {
+                    // Rotate through the separator.
+                    let sep = keys[idx - 1];
+                    let k = lk.pop().expect("left has spare");
+                    let c = lc.pop().expect("left has spare");
+                    ck.insert(0, sep);
+                    cc.insert(0, c);
+                    keys[idx - 1] = k;
+                }
+                _ => unreachable!("siblings at the same depth share a kind"),
+            }
+            return;
+        }
+        // Try to borrow from the right sibling.
+        if idx + 1 < children.len() && children[idx + 1].len() > MIN_KEYS {
+            let (left, right) = children.split_at_mut(idx + 1);
+            let child = &mut *left[idx];
+            let sib = &mut *right[0];
+            match (child, sib) {
+                (
+                    Node::Leaf { keys: ck, vals: cv },
+                    Node::Leaf { keys: rk, vals: rv },
+                ) => {
+                    ck.push(rk.remove(0));
+                    cv.push(rv.remove(0));
+                    keys[idx] = rk[0];
+                }
+                (
+                    Node::Internal { keys: ck, children: cc },
+                    Node::Internal { keys: rk, children: rc },
+                ) => {
+                    let sep = keys[idx];
+                    ck.push(sep);
+                    cc.push(rc.remove(0));
+                    keys[idx] = rk.remove(0);
+                }
+                _ => unreachable!("siblings at the same depth share a kind"),
+            }
+            return;
+        }
+        // Merge with a sibling (prefer left).
+        let merge_left = idx > 0;
+        let (li, ri) = if merge_left { (idx - 1, idx) } else { (idx, idx + 1) };
+        let right_node = children.remove(ri);
+        let sep = keys.remove(li);
+        let left_node = &mut *children[li];
+        match (left_node, *right_node) {
+            (
+                Node::Leaf { keys: lk, vals: lv },
+                Node::Leaf { keys: mut rk, vals: mut rv },
+            ) => {
+                lk.append(&mut rk);
+                lv.append(&mut rv);
+            }
+            (
+                Node::Internal { keys: lk, children: lc },
+                Node::Internal { keys: mut rk, children: mut rc },
+            ) => {
+                lk.push(sep);
+                lk.append(&mut rk);
+                lc.append(&mut rc);
+            }
+            _ => unreachable!("siblings at the same depth share a kind"),
+        }
+    }
+
+    /// Iterates over all `(key, value)` pairs in ascending key order.
+    pub fn iter(&self) -> Iter<'_, V> {
+        Iter { stack: vec![(&self.root, 0)] }
+    }
+
+    /// Collects the keys in `[lo, hi)` in ascending order.
+    pub fn range_keys(&self, lo: u64, hi: u64) -> Vec<u64> {
+        self.iter().map(|(k, _)| k).filter(|k| (lo..hi).contains(k)).collect()
+    }
+
+    /// Verifies the structural invariants of the tree, returning a
+    /// description of the first violation found.
+    ///
+    /// Used by the property tests; O(n).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut leaf_depths = Vec::new();
+        Self::check_node(&self.root, None, None, 0, true, &mut leaf_depths)?;
+        if leaf_depths.windows(2).any(|w| w[0] != w[1]) {
+            return Err("leaves at different depths".into());
+        }
+        let counted: usize = self.iter().count();
+        if counted != self.len {
+            return Err(format!("len {} != counted {}", self.len, counted));
+        }
+        Ok(())
+    }
+
+    fn check_node(
+        node: &Node<V>,
+        lo: Option<u64>,
+        hi: Option<u64>,
+        depth: usize,
+        is_root: bool,
+        leaf_depths: &mut Vec<usize>,
+    ) -> Result<(), String> {
+        let in_bounds = |k: u64| {
+            lo.map(|l| k >= l).unwrap_or(true) && hi.map(|h| k < h).unwrap_or(true)
+        };
+        match node {
+            Node::Leaf { keys, vals } => {
+                if keys.len() != vals.len() {
+                    return Err("leaf keys/vals length mismatch".into());
+                }
+                if !is_root && keys.len() < MIN_KEYS.min(1) {
+                    return Err("empty non-root leaf".into());
+                }
+                if keys.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err("leaf keys not strictly sorted".into());
+                }
+                if keys.iter().any(|&k| !in_bounds(k)) {
+                    return Err("leaf key outside separator bounds".into());
+                }
+                if keys.len() > MAX_KEYS {
+                    return Err("leaf overfull".into());
+                }
+                leaf_depths.push(depth);
+                Ok(())
+            }
+            Node::Internal { keys, children } => {
+                if children.len() != keys.len() + 1 {
+                    return Err("internal fanout mismatch".into());
+                }
+                if keys.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err("internal keys not strictly sorted".into());
+                }
+                if keys.iter().any(|&k| !in_bounds(k)) {
+                    return Err("separator outside bounds".into());
+                }
+                if !is_root && keys.len() < MIN_KEYS {
+                    return Err("internal node underfull".into());
+                }
+                if keys.len() > MAX_KEYS {
+                    return Err("internal node overfull".into());
+                }
+                for (i, child) in children.iter().enumerate() {
+                    let clo = if i == 0 { lo } else { Some(keys[i - 1]) };
+                    let chi = if i == keys.len() { hi } else { Some(keys[i]) };
+                    Self::check_node(child, clo, chi, depth + 1, false, leaf_depths)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl<V> Default for BPlusTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> FromIterator<(u64, V)> for BPlusTree<V> {
+    fn from_iter<I: IntoIterator<Item = (u64, V)>>(iter: I) -> Self {
+        let mut tree = Self::new();
+        for (k, v) in iter {
+            tree.insert(k, v);
+        }
+        tree
+    }
+}
+
+impl<V> Extend<(u64, V)> for BPlusTree<V> {
+    fn extend<I: IntoIterator<Item = (u64, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+/// In-order iterator over a [`BPlusTree`], produced by [`BPlusTree::iter`].
+#[derive(Debug)]
+pub struct Iter<'a, V> {
+    /// Stack of (node, next child / entry index).
+    stack: Vec<(&'a Node<V>, usize)>,
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (u64, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (node, idx) = self.stack.pop()?;
+            match node {
+                Node::Leaf { keys, vals } => {
+                    if idx < keys.len() {
+                        self.stack.push((node, idx + 1));
+                        return Some((keys[idx], &vals[idx]));
+                    }
+                }
+                Node::Internal { children, .. } => {
+                    if idx < children.len() {
+                        self.stack.push((node, idx + 1));
+                        self.stack.push((&children[idx], 0));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree_behaves() {
+        let tree: BPlusTree<i32> = BPlusTree::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 0);
+        assert_eq!(tree.get(&1), None);
+        assert!(tree.check_invariants().is_ok());
+        assert_eq!(tree.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut tree = BPlusTree::new();
+        assert_eq!(tree.insert(1, "one"), None);
+        assert_eq!(tree.insert(2, "two"), None);
+        assert_eq!(tree.get(&1), Some(&"one"));
+        assert_eq!(tree.get(&2), Some(&"two"));
+        assert_eq!(tree.get(&3), None);
+        assert_eq!(tree.len(), 2);
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_old_value() {
+        let mut tree = BPlusTree::new();
+        tree.insert(7, 70);
+        assert_eq!(tree.insert(7, 71), Some(70));
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.get(&7), Some(&71));
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut tree = BPlusTree::new();
+        tree.insert(3, 30);
+        *tree.get_mut(&3).expect("present") = 33;
+        assert_eq!(tree.get(&3), Some(&33));
+        assert!(tree.get_mut(&4).is_none());
+    }
+
+    #[test]
+    fn splits_preserve_order_and_invariants() {
+        let mut tree = BPlusTree::new();
+        // Enough keys to force several levels of splits.
+        for k in (0..10_000u64).rev() {
+            tree.insert(k, k * 10);
+        }
+        assert_eq!(tree.len(), 10_000);
+        tree.check_invariants().expect("invariants hold");
+        for k in [0u64, 1, 4_999, 9_999] {
+            assert_eq!(tree.get(&k), Some(&(k * 10)));
+        }
+        let collected: Vec<u64> = tree.iter().map(|(k, _)| k).collect();
+        assert_eq!(collected, (0..10_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_missing_returns_none() {
+        let mut tree: BPlusTree<i32> = BPlusTree::new();
+        assert_eq!(tree.remove(&9), None);
+        tree.insert(1, 1);
+        assert_eq!(tree.remove(&9), None);
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn remove_everything_shrinks_to_empty() {
+        let mut tree = BPlusTree::new();
+        for k in 0..5_000u64 {
+            tree.insert(k, k);
+        }
+        // Remove in an order that exercises borrow-left, borrow-right and
+        // merge paths.
+        for k in (0..5_000u64).step_by(2) {
+            assert_eq!(tree.remove(&k), Some(k), "even key {k}");
+        }
+        tree.check_invariants().expect("after even removals");
+        let mut odd: Vec<u64> = (1..5_000u64).step_by(2).collect();
+        odd.reverse();
+        for k in odd {
+            assert_eq!(tree.remove(&k), Some(k), "odd key {k}");
+        }
+        assert!(tree.is_empty());
+        tree.check_invariants().expect("empty again");
+    }
+
+    #[test]
+    fn mixed_workload_stays_consistent_with_model() {
+        use std::collections::BTreeMap;
+        let mut tree = BPlusTree::new();
+        let mut model = BTreeMap::new();
+        // Deterministic pseudo-random mix.
+        let mut state = 0x12345678u64;
+        for _ in 0..50_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (state >> 33) % 2_000;
+            match state % 4 {
+                0 | 1 => {
+                    assert_eq!(tree.insert(key, state), model.insert(key, state));
+                }
+                2 => {
+                    assert_eq!(tree.remove(&key), model.remove(&key));
+                }
+                _ => {
+                    assert_eq!(tree.get(&key), model.get(&key));
+                }
+            }
+        }
+        tree.check_invariants().expect("invariants after mixed workload");
+        assert_eq!(tree.len(), model.len());
+        let tree_pairs: Vec<(u64, u64)> = tree.iter().map(|(k, v)| (k, *v)).collect();
+        let model_pairs: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(tree_pairs, model_pairs);
+    }
+
+    #[test]
+    fn range_keys_filters_inclusively_exclusive() {
+        let tree: BPlusTree<u64> = (0..100u64).map(|k| (k, k)).collect();
+        assert_eq!(tree.range_keys(10, 15), vec![10, 11, 12, 13, 14]);
+        assert_eq!(tree.range_keys(95, 200), vec![95, 96, 97, 98, 99]);
+        assert!(tree.range_keys(40, 40).is_empty());
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut tree: BPlusTree<u64> = (0..10u64).map(|k| (k, k)).collect();
+        tree.extend((10..20u64).map(|k| (k, k)));
+        assert_eq!(tree.len(), 20);
+        tree.check_invariants().expect("invariants");
+    }
+}

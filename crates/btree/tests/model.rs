@@ -1,0 +1,95 @@
+//! Model-based property tests: both B+-trees must behave exactly like
+//! `std::collections::BTreeMap` under arbitrary operation sequences, and
+//! the serial tree must uphold its structural invariants at every step.
+
+use proptest::prelude::*;
+use psmr_btree::{BPlusTree, ConcurrentBPlusTree};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+    Update(u64, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A small key space maximizes collisions, which is where bugs live.
+    let key = 0u64..200;
+    prop_oneof![
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        key.clone().prop_map(Op::Remove),
+        key.clone().prop_map(Op::Get),
+        (key, any::<u64>()).prop_map(|(k, v)| Op::Update(k, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn serial_tree_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let mut tree = BPlusTree::new();
+        let mut model = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => prop_assert_eq!(tree.insert(k, v), model.insert(k, v)),
+                Op::Remove(k) => prop_assert_eq!(tree.remove(&k), model.remove(&k)),
+                Op::Get(k) => prop_assert_eq!(tree.get(&k), model.get(&k)),
+                Op::Update(k, v) => {
+                    let t = tree.get_mut(&k).map(|slot| *slot = v).is_some();
+                    let m = model.get_mut(&k).map(|slot| *slot = v).is_some();
+                    prop_assert_eq!(t, m);
+                }
+            }
+        }
+        tree.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        prop_assert_eq!(tree.len(), model.len());
+        let tree_pairs: Vec<(u64, u64)> = tree.iter().map(|(k, v)| (k, *v)).collect();
+        let model_pairs: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(tree_pairs, model_pairs);
+    }
+
+    #[test]
+    fn concurrent_tree_matches_btreemap_sequentially(
+        ops in prop::collection::vec(op_strategy(), 1..400)
+    ) {
+        let tree: ConcurrentBPlusTree<u64> = ConcurrentBPlusTree::new();
+        let mut model = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(k, v), model.insert(k, v).is_none());
+                }
+                Op::Remove(k) => prop_assert_eq!(tree.remove(&k), model.remove(&k)),
+                Op::Get(k) => prop_assert_eq!(tree.get(&k), model.get(&k).copied()),
+                Op::Update(k, v) => {
+                    let m = model.get_mut(&k).map(|slot| *slot = v).is_some();
+                    prop_assert_eq!(tree.update(k, v), m);
+                }
+            }
+        }
+        prop_assert_eq!(tree.len(), model.len());
+        let keys: Vec<u64> = model.keys().copied().collect();
+        prop_assert_eq!(tree.keys(), keys);
+    }
+
+    /// Insert-heavy sequences with large keys force deep trees and splits.
+    #[test]
+    fn serial_tree_bulk_insert_then_drain(mut keys in prop::collection::vec(any::<u64>(), 1..500)) {
+        let mut tree = BPlusTree::new();
+        for (i, &k) in keys.iter().enumerate() {
+            tree.insert(k, i as u64);
+        }
+        tree.check_invariants().map_err(TestCaseError::fail)?;
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(tree.len(), keys.len());
+        for &k in &keys {
+            prop_assert!(tree.remove(&k).is_some());
+            }
+        prop_assert!(tree.is_empty());
+        tree.check_invariants().map_err(TestCaseError::fail)?;
+    }
+}

@@ -1,0 +1,180 @@
+//! Wire-level request and response envelopes.
+//!
+//! A [`Request`] is what a client proxy multicasts: the command identifier
+//! plus the command's marshalled input parameters, tagged with the issuing
+//! client and a per-client sequence number (Algorithm 1, line 3 of the
+//! paper: `multicast(γ, [cid, input])`). A [`Response`] travels back to the
+//! client over one-to-one communication.
+//!
+//! Payloads are opaque byte strings at this layer; services define the
+//! actual encoding (see `psmr-kvstore` and `psmr-netfs`).
+
+use crate::ids::{ClientId, CommandId, RequestId};
+use bytes::Bytes;
+use std::fmt;
+
+/// A marshalled command invocation as multicast by a client proxy.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Request {
+    /// The client that issued the command.
+    pub client: ClientId,
+    /// Per-client sequence number; (`client`, `request`) is globally unique.
+    pub request: RequestId,
+    /// The service command being invoked.
+    pub command: CommandId,
+    /// Marshalled input parameters of the command.
+    pub payload: Bytes,
+}
+
+impl Request {
+    /// Creates a request envelope.
+    pub fn new(
+        client: ClientId,
+        request: RequestId,
+        command: CommandId,
+        payload: impl Into<Bytes>,
+    ) -> Self {
+        Self { client, request, command, payload: payload.into() }
+    }
+
+    /// Total marshalled size in bytes, used by the batching coordinator to
+    /// enforce the 8 KB batch cap of the paper (§VI-A).
+    pub fn wire_len(&self) -> usize {
+        // client + request + command ids, plus a length-prefixed payload.
+        8 + 8 + 4 + 4 + self.payload.len()
+    }
+
+    /// Serializes the request into a flat byte vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.extend_from_slice(&self.client.as_raw().to_le_bytes());
+        out.extend_from_slice(&self.request.as_raw().to_le_bytes());
+        out.extend_from_slice(&self.command.as_raw().to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Deserializes a request previously produced by [`Request::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the buffer is truncated or the payload
+    /// length prefix disagrees with the buffer size.
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        if buf.len() < 24 {
+            return Err(DecodeError::Truncated { need: 24, have: buf.len() });
+        }
+        let client = u64::from_le_bytes(buf[0..8].try_into().expect("8-byte slice"));
+        let request = u64::from_le_bytes(buf[8..16].try_into().expect("8-byte slice"));
+        let command = u32::from_le_bytes(buf[16..20].try_into().expect("4-byte slice"));
+        let len = u32::from_le_bytes(buf[20..24].try_into().expect("4-byte slice")) as usize;
+        if buf.len() < 24 + len {
+            return Err(DecodeError::Truncated { need: 24 + len, have: buf.len() });
+        }
+        Ok(Self {
+            client: ClientId::new(client),
+            request: RequestId::new(request),
+            command: CommandId::new(command),
+            payload: Bytes::copy_from_slice(&buf[24..24 + len]),
+        })
+    }
+}
+
+/// The reply a server proxy sends back to the issuing client.
+///
+/// Every replica that executes a command produces the same response
+/// (commands are deterministic); the client proxy keeps the first one and
+/// discards duplicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Sequence number of the request this responds to.
+    pub request: RequestId,
+    /// Marshalled output parameters of the command.
+    pub payload: Bytes,
+}
+
+impl Response {
+    /// Creates a response envelope.
+    pub fn new(request: RequestId, payload: impl Into<Bytes>) -> Self {
+        Self { request, payload: payload.into() }
+    }
+}
+
+/// Error returned when decoding a malformed [`Request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the declared structure was complete.
+    Truncated {
+        /// Bytes required to finish decoding.
+        need: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { need, have } => {
+                write!(f, "truncated request: need {need} bytes, have {have}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Request {
+        Request::new(
+            ClientId::new(42),
+            RequestId::new(7),
+            CommandId::new(3),
+            vec![1, 2, 3, 4, 5],
+        )
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let req = sample();
+        let bytes = req.encode();
+        assert_eq!(bytes.len(), req.wire_len());
+        let back = Request::decode(&bytes).expect("decodes");
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_header() {
+        let err = Request::decode(&[0u8; 10]).unwrap_err();
+        assert_eq!(err, DecodeError::Truncated { need: 24, have: 10 });
+    }
+
+    #[test]
+    fn decode_rejects_truncated_payload() {
+        let mut bytes = sample().encode();
+        bytes.truncate(bytes.len() - 2);
+        let err = Request::decode(&bytes).unwrap_err();
+        assert!(matches!(err, DecodeError::Truncated { .. }));
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let req =
+            Request::new(ClientId::new(0), RequestId::new(0), CommandId::new(0), Vec::new());
+        let back = Request::decode(&req.encode()).expect("decodes");
+        assert_eq!(back, req);
+        assert!(back.payload.is_empty());
+    }
+
+    #[test]
+    fn response_carries_request_id() {
+        let resp = Response::new(RequestId::new(9), vec![8u8]);
+        assert_eq!(resp.request, RequestId::new(9));
+        assert_eq!(&resp.payload[..], &[8u8]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Common error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors surfaced by the replication infrastructure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CommonError {
+    /// A channel endpoint disconnected: the peer thread has shut down.
+    Disconnected {
+        /// Human-readable name of the peer that went away.
+        peer: String,
+    },
+    /// A request referenced a group outside the configured range.
+    UnknownGroup {
+        /// The out-of-range group index.
+        group: usize,
+        /// The number of configured groups.
+        configured: usize,
+    },
+    /// The system was shut down while an operation was still in flight.
+    ShuttingDown,
+    /// A malformed payload could not be decoded by a service.
+    Malformed {
+        /// Description of what failed to decode.
+        what: String,
+    },
+}
+
+impl fmt::Display for CommonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommonError::Disconnected { peer } => write!(f, "peer {peer} disconnected"),
+            CommonError::UnknownGroup { group, configured } => {
+                write!(f, "group g{group} out of range (configured: {configured})")
+            }
+            CommonError::ShuttingDown => write!(f, "system is shutting down"),
+            CommonError::Malformed { what } => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CommonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CommonError::Disconnected { peer: "acceptor a1".into() };
+        assert_eq!(e.to_string(), "peer acceptor a1 disconnected");
+        let e = CommonError::UnknownGroup { group: 9, configured: 5 };
+        assert!(e.to_string().contains("g9"));
+        assert!(CommonError::ShuttingDown.to_string().contains("shutting down"));
+        let e = CommonError::Malformed { what: "kv op tag".into() };
+        assert!(e.to_string().contains("kv op tag"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<CommonError>();
+    }
+}

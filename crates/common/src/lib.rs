@@ -1,0 +1,37 @@
+//! Shared building blocks for the P-SMR reproduction.
+//!
+//! This crate hosts the vocabulary types used by every other crate in the
+//! workspace:
+//!
+//! * [`ids`] — strongly typed identifiers for clients, replicas, multicast
+//!   groups, worker threads and requests,
+//! * [`envelope`] — the wire-level request/response representation exchanged
+//!   between client proxies and server proxies,
+//! * [`config`] — the knobs of the replicated system (multiprogramming
+//!   level, batching, acceptor counts, …),
+//! * [`metrics`] — latency histograms, CDFs and throughput meters used by
+//!   the evaluation harness,
+//! * [`cpu`] — Linux `/proc`-based CPU-utilization sampling, reproducing the
+//!   CPU% bars of Figures 3 and 4 of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use psmr_common::ids::{GroupId, WorkerId};
+//!
+//! let worker = WorkerId::new(3);
+//! // In P-SMR the i-th worker of every replica subscribes to group g_i.
+//! assert_eq!(GroupId::from(worker), GroupId::new(3));
+//! ```
+
+pub mod config;
+pub mod cpu;
+pub mod envelope;
+pub mod error;
+pub mod ids;
+pub mod metrics;
+
+pub use config::SystemConfig;
+pub use envelope::{Request, Response};
+pub use error::CommonError;
+pub use ids::{ClientId, CommandId, GroupId, ReplicaId, RequestId, WorkerId};

@@ -1,0 +1,409 @@
+//! Measurement utilities for the evaluation harness.
+//!
+//! The paper reports, per experiment: throughput in Kilo commands per second
+//! (Kcps), CPU utilization, average latency and latency CDFs. This module
+//! provides the corresponding instruments:
+//!
+//! * [`Histogram`] — a log-bucketed latency histogram (HDR-style) with
+//!   percentile and CDF extraction,
+//! * [`ThroughputMeter`] — counts completed commands over a wall-clock
+//!   window,
+//! * [`RunSummary`] — the per-technique row printed by each figure binary.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of linear sub-buckets per power-of-two bucket. 32 sub-buckets give
+/// a worst-case relative error of ~3%, ample for latency CDFs.
+const SUB_BUCKETS: usize = 32;
+/// Number of power-of-two buckets: covers 1 ns .. ~2^40 ns (~18 minutes).
+const POW_BUCKETS: usize = 40;
+
+/// A lock-free, log-bucketed histogram of durations in nanoseconds.
+///
+/// Recording is wait-free (`fetch_add` on an atomic counter), so worker
+/// threads can record latencies on the hot path without coordinating.
+///
+/// # Example
+///
+/// ```
+/// use psmr_common::metrics::Histogram;
+/// use std::time::Duration;
+///
+/// let h = Histogram::new();
+/// h.record(Duration::from_micros(100));
+/// h.record(Duration::from_micros(200));
+/// assert_eq!(h.count(), 2);
+/// assert!(h.mean() >= Duration::from_micros(100));
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(POW_BUCKETS * SUB_BUCKETS);
+        buckets.resize_with(POW_BUCKETS * SUB_BUCKETS, || AtomicU64::new(0));
+        Self {
+            buckets,
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(ns: u64) -> usize {
+        let ns = ns.max(1);
+        let pow = 63 - ns.leading_zeros() as usize; // floor(log2(ns))
+        let pow = pow.min(POW_BUCKETS - 1);
+        let base = 1u64 << pow;
+        // Position within [2^pow, 2^(pow+1)) scaled to SUB_BUCKETS slots.
+        let offset = ((ns - base) * SUB_BUCKETS as u64 / base) as usize;
+        pow * SUB_BUCKETS + offset.min(SUB_BUCKETS - 1)
+    }
+
+    /// Representative (upper-bound) value of a bucket, in nanoseconds.
+    fn bucket_value(index: usize) -> u64 {
+        let pow = index / SUB_BUCKETS;
+        let sub = (index % SUB_BUCKETS) as u64 + 1;
+        let base = 1u64 << pow;
+        base + base * sub / SUB_BUCKETS as u64
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Arithmetic mean of the recorded samples.
+    ///
+    /// Returns zero when the histogram is empty.
+    pub fn mean(&self) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.total_ns.load(Ordering::Relaxed) / count)
+    }
+
+    /// Maximum recorded sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns.load(Ordering::Relaxed))
+    }
+
+    /// Value at the given percentile (`0.0..=100.0`).
+    ///
+    /// Returns zero when the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is not within `0.0..=100.0`.
+    pub fn percentile(&self, pct: f64) -> Duration {
+        assert!((0.0..=100.0).contains(&pct), "percentile must be in 0..=100");
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((pct / 100.0) * count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Duration::from_nanos(Self::bucket_value(i));
+            }
+        }
+        self.max()
+    }
+
+    /// Extracts the latency CDF as `(latency, cumulative_fraction)` points,
+    /// one per non-empty bucket — the data behind the CDF plots of
+    /// Figures 3 and 4.
+    pub fn cdf(&self) -> Vec<(Duration, f64)> {
+        let count = self.count();
+        if count == 0 {
+            return Vec::new();
+        }
+        let mut points = Vec::new();
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let c = bucket.load(Ordering::Relaxed);
+            if c > 0 {
+                seen += c;
+                points
+                    .push((Duration::from_nanos(Self::bucket_value(i)), seen as f64 / count as f64));
+            }
+        }
+        points
+    }
+
+    /// Merges another histogram's counts into this one.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let c = theirs.load(Ordering::Relaxed);
+            if c > 0 {
+                mine.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.total_ns.fetch_add(other.total_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_ns.fetch_max(other.max_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Counts completed operations and converts them into a rate.
+///
+/// # Example
+///
+/// ```
+/// use psmr_common::metrics::ThroughputMeter;
+///
+/// let meter = ThroughputMeter::start();
+/// meter.add(1000);
+/// let kcps = meter.kcps();
+/// assert!(kcps >= 0.0);
+/// ```
+#[derive(Debug)]
+pub struct ThroughputMeter {
+    started: Instant,
+    completed: AtomicU64,
+}
+
+impl ThroughputMeter {
+    /// Starts a meter at the current instant.
+    pub fn start() -> Self {
+        Self { started: Instant::now(), completed: AtomicU64::new(0) }
+    }
+
+    /// Adds `n` completed operations.
+    pub fn add(&self, n: u64) {
+        self.completed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total completed operations so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Elapsed wall-clock time since the meter started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.completed() as f64 / secs
+        }
+    }
+
+    /// Throughput in Kilo commands per second — the paper's unit.
+    pub fn kcps(&self) -> f64 {
+        self.ops_per_sec() / 1000.0
+    }
+}
+
+/// One technique's row in a figure: the numbers the paper plots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Technique label (`SMR`, `sP-SMR`, `P-SMR`, `no-rep`, `BDB`).
+    pub technique: String,
+    /// Throughput in Kilo commands per second.
+    pub kcps: f64,
+    /// Average latency in milliseconds.
+    pub avg_latency_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_latency_ms: f64,
+    /// Process CPU utilization in percent of one core (100% = one core).
+    pub cpu_pct: f64,
+    /// Latency CDF points `(ms, fraction)`.
+    pub cdf: Vec<(f64, f64)>,
+}
+
+impl RunSummary {
+    /// Builds a summary from a histogram and meter.
+    pub fn from_parts(
+        technique: impl Into<String>,
+        hist: &Histogram,
+        meter: &ThroughputMeter,
+        cpu_pct: f64,
+    ) -> Self {
+        Self {
+            technique: technique.into(),
+            kcps: meter.kcps(),
+            avg_latency_ms: hist.mean().as_secs_f64() * 1e3,
+            p99_latency_ms: hist.percentile(99.0).as_secs_f64() * 1e3,
+            cpu_pct,
+            cdf: hist
+                .cdf()
+                .into_iter()
+                .map(|(d, f)| (d.as_secs_f64() * 1e3, f))
+                .collect(),
+        }
+    }
+}
+
+/// A shared series of `(x, y)` points with labels, for the line plots
+/// (Figures 5–7). Thread-safe so multiple experiment runs can append.
+#[derive(Debug, Default)]
+pub struct Series {
+    points: Mutex<Vec<(f64, f64)>>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point.
+    pub fn push(&self, x: f64, y: f64) {
+        self.points.lock().push((x, y));
+    }
+
+    /// Returns the collected points sorted by `x`.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let mut pts = self.points.lock().clone();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x values"));
+        pts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.percentile(50.0), Duration::ZERO);
+        assert!(h.cdf().is_empty());
+    }
+
+    #[test]
+    fn percentiles_bracket_recorded_values() {
+        let h = Histogram::new();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        let p50 = h.percentile(50.0);
+        // Log-bucketing gives ~3% relative error plus bucket rounding.
+        assert!(p50 >= Duration::from_micros(450), "p50 = {p50:?}");
+        assert!(p50 <= Duration::from_micros(560), "p50 = {p50:?}");
+        let p99 = h.percentile(99.0);
+        assert!(p99 >= Duration::from_micros(930), "p99 = {p99:?}");
+    }
+
+    #[test]
+    fn mean_and_max_are_exact() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_micros(300));
+        assert_eq!(h.mean(), Duration::from_micros(200));
+        assert_eq!(h.max(), Duration::from_micros(300));
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let h = Histogram::new();
+        for us in [10u64, 20, 20, 40, 80, 160] {
+            h.record(Duration::from_micros(us));
+        }
+        let cdf = h.cdf();
+        assert!(!cdf.is_empty());
+        let mut prev = 0.0;
+        for &(_, frac) in &cdf {
+            assert!(frac >= prev);
+            prev = frac;
+        }
+        assert!((cdf.last().expect("non-empty").1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(20));
+        b.record(Duration::from_micros(30));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), Duration::from_micros(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn out_of_range_percentile_panics() {
+        Histogram::new().percentile(101.0);
+    }
+
+    #[test]
+    fn meter_counts_and_rates() {
+        let m = ThroughputMeter::start();
+        m.add(500);
+        m.add(500);
+        assert_eq!(m.completed(), 1000);
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(m.ops_per_sec() > 0.0);
+        assert!(m.kcps() <= m.ops_per_sec());
+    }
+
+    #[test]
+    fn summary_converts_units() {
+        let h = Histogram::new();
+        h.record(Duration::from_millis(2));
+        let m = ThroughputMeter::start();
+        m.add(10);
+        let s = RunSummary::from_parts("SMR", &h, &m, 99.0);
+        assert_eq!(s.technique, "SMR");
+        assert!(s.avg_latency_ms >= 2.0);
+        assert_eq!(s.cpu_pct, 99.0);
+        assert_eq!(s.cdf.len(), 1);
+    }
+
+    #[test]
+    fn series_sorts_points() {
+        let s = Series::new();
+        s.push(4.0, 1.0);
+        s.push(1.0, 2.0);
+        s.push(2.0, 3.0);
+        let pts = s.points();
+        assert_eq!(pts, vec![(1.0, 2.0), (2.0, 3.0), (4.0, 1.0)]);
+    }
+
+    #[test]
+    fn bucket_round_trip_error_is_bounded() {
+        for ns in [1u64, 5, 100, 1_000, 12_345, 1_000_000, 123_456_789] {
+            let idx = Histogram::bucket_index(ns);
+            let rep = Histogram::bucket_value(idx);
+            let err = (rep as f64 - ns as f64).abs() / ns as f64;
+            assert!(err < 0.10, "ns={ns} rep={rep} err={err}");
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! The client proxy of the commodified architecture (Figure 1).
+//!
+//! "Client proxies intercept client invocations, turn them into requests
+//! that include a command identifier and the marshaled parameters, and
+//! multicast the requests to the replicas. … Even though the client proxy
+//! may receive the response for a command from multiple servers, all
+//! responses are the same and the proxy returns only one response to the
+//! client." (§III)
+//!
+//! [`ClientProxy::execute`] is the blocking call of Algorithm 1 lines 1–6.
+//! The evaluation's closed-loop clients keep a window of outstanding
+//! commands (50 in the paper); [`ClientProxy::submit`] /
+//! [`ClientProxy::recv_response`] expose that asynchronous interface.
+
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+use psmr_common::envelope::{Request, Response};
+use psmr_common::ids::{ClientId, CommandId, RequestId};
+use crate::service::SharedRouter;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Where a client proxy hands its marshalled requests: the multicast-backed
+/// engines route by C-G; the non-replicated baselines push into a server
+/// channel directly.
+pub trait RequestSink: Send + Sync {
+    /// Accepts one marshalled request for ordering/execution.
+    fn submit(&self, request: &Request);
+}
+
+/// A client-side proxy: marshals invocations, routes them through the
+/// engine's [`RequestSink`], and deduplicates per-request responses from
+/// the replicas.
+pub struct ClientProxy {
+    id: ClientId,
+    next_request: u64,
+    sink: Arc<dyn RequestSink>,
+    inbox: Receiver<Response>,
+    router: SharedRouter,
+    outstanding: HashSet<RequestId>,
+}
+
+impl std::fmt::Debug for ClientProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientProxy")
+            .field("id", &self.id)
+            .field("outstanding", &self.outstanding.len())
+            .finish()
+    }
+}
+
+impl ClientProxy {
+    /// Creates a proxy for `id`, registering its response inbox with the
+    /// engine's router. Engines construct proxies via `Engine::client`.
+    pub fn new(id: ClientId, sink: Arc<dyn RequestSink>, router: SharedRouter) -> Self {
+        let inbox = router.register(id);
+        Self { id, next_request: 0, sink, inbox, router, outstanding: HashSet::new() }
+    }
+
+    /// This client's identifier.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Number of submitted commands whose response has not yet been
+    /// received.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Executes a command and blocks until its response arrives
+    /// (Algorithm 1 lines 1–6).
+    ///
+    /// Responses for *other* outstanding requests that arrive meanwhile are
+    /// ignored — mixing `execute` with a non-empty window would drop them,
+    /// so issue windowed traffic with [`ClientProxy::submit`] and drain it
+    /// before calling `execute`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine shuts down while the command is in flight.
+    pub fn execute(&mut self, command: CommandId, payload: impl Into<Bytes>) -> Bytes {
+        let request = self.submit(command, payload);
+        loop {
+            let (id, response) = self.recv_response();
+            if id == request {
+                return response;
+            }
+        }
+    }
+
+    /// Submits a command without waiting and returns its request id.
+    pub fn submit(&mut self, command: CommandId, payload: impl Into<Bytes>) -> RequestId {
+        let request = RequestId::new(self.next_request);
+        self.next_request += 1;
+        let req = Request::new(self.id, request, command, payload);
+        self.outstanding.insert(request);
+        self.sink.submit(&req);
+        request
+    }
+
+    /// Blocks until the next *first* response for an outstanding request
+    /// arrives; duplicate responses from other replicas are discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine shuts down while requests are outstanding.
+    pub fn recv_response(&mut self) -> (RequestId, Bytes) {
+        loop {
+            let resp = self
+                .inbox
+                .recv()
+                .expect("engine shut down with requests outstanding");
+            if self.outstanding.remove(&resp.request) {
+                return (resp.request, resp.payload);
+            }
+            // Duplicate from another replica: drop.
+        }
+    }
+
+    /// Non-blocking variant of [`ClientProxy::recv_response`].
+    pub fn try_recv_response(&mut self) -> Option<(RequestId, Bytes)> {
+        while let Ok(resp) = self.inbox.try_recv() {
+            if self.outstanding.remove(&resp.request) {
+                return Some((resp.request, resp.payload));
+            }
+        }
+        None
+    }
+}
+
+impl Drop for ClientProxy {
+    fn drop(&mut self) {
+        self.router.unregister(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ResponseRouter;
+    use parking_lot::Mutex;
+
+    /// A sink that immediately "executes" by echoing the payload back,
+    /// `copies` times (simulating multiple replicas responding).
+    struct EchoSink {
+        router: SharedRouter,
+        copies: usize,
+        log: Mutex<Vec<Request>>,
+    }
+
+    impl RequestSink for EchoSink {
+        fn submit(&self, request: &Request) {
+            self.log.lock().push(request.clone());
+            for _ in 0..self.copies {
+                self.router.respond(
+                    request.client,
+                    Response::new(request.request, request.payload.clone()),
+                );
+            }
+        }
+    }
+
+    fn setup(copies: usize) -> (ClientProxy, Arc<EchoSink>) {
+        let router: SharedRouter = Arc::new(ResponseRouter::new());
+        let sink = Arc::new(EchoSink {
+            router: Arc::clone(&router),
+            copies,
+            log: Mutex::new(Vec::new()),
+        });
+        let proxy = ClientProxy::new(
+            ClientId::new(1),
+            Arc::clone(&sink) as Arc<dyn RequestSink>,
+            router,
+        );
+        (proxy, sink)
+    }
+
+    #[test]
+    fn execute_round_trips_payload() {
+        let (mut proxy, sink) = setup(1);
+        let resp = proxy.execute(CommandId::new(7), vec![1, 2, 3]);
+        assert_eq!(&resp[..], &[1, 2, 3]);
+        assert_eq!(proxy.outstanding(), 0);
+        let log = sink.log.lock();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].command, CommandId::new(7));
+    }
+
+    #[test]
+    fn duplicate_replica_responses_are_discarded() {
+        let (mut proxy, _sink) = setup(3);
+        let r1 = proxy.execute(CommandId::new(0), vec![1]);
+        // The two duplicate responses for request 0 must not satisfy
+        // request 1.
+        let r2 = proxy.execute(CommandId::new(0), vec![2]);
+        assert_eq!(&r1[..], &[1]);
+        assert_eq!(&r2[..], &[2]);
+    }
+
+    #[test]
+    fn windowed_submission_tracks_outstanding() {
+        let (mut proxy, _sink) = setup(2);
+        let ids: Vec<RequestId> =
+            (0..10).map(|i| proxy.submit(CommandId::new(0), vec![i as u8])).collect();
+        assert_eq!(proxy.outstanding(), 10);
+        let mut got = HashSet::new();
+        for _ in 0..10 {
+            let (id, _) = proxy.recv_response();
+            got.insert(id);
+        }
+        assert_eq!(got, ids.into_iter().collect());
+        assert_eq!(proxy.outstanding(), 0);
+        assert!(proxy.try_recv_response().is_none());
+    }
+
+    #[test]
+    fn request_ids_are_sequential_per_client() {
+        let (mut proxy, sink) = setup(1);
+        proxy.submit(CommandId::new(0), vec![]);
+        proxy.submit(CommandId::new(0), vec![]);
+        let log = sink.log.lock();
+        assert_eq!(log[0].request, RequestId::new(0));
+        assert_eq!(log[1].request, RequestId::new(1));
+    }
+
+    #[test]
+    fn drop_unregisters_from_router() {
+        let router: SharedRouter = Arc::new(ResponseRouter::new());
+        let sink = Arc::new(EchoSink {
+            router: Arc::clone(&router),
+            copies: 0,
+            log: Mutex::new(Vec::new()),
+        });
+        {
+            let _proxy = ClientProxy::new(
+                ClientId::new(5),
+                Arc::clone(&sink) as Arc<dyn RequestSink>,
+                Arc::clone(&router),
+            );
+            assert_eq!(router.len(), 1);
+        }
+        assert!(router.is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Replication engines: P-SMR and the baselines it is evaluated against.
+//!
+//! | Engine | Delivery | Execution | Paper section |
+//! |--------|----------|-----------|---------------|
+//! | [`PsmrEngine`] | parallel (k merged streams) | parallel (k workers) | §IV |
+//! | [`SpSmrEngine`] | sequential (1 stream) | parallel (scheduler + k workers) | §III, ref. 4 |
+//! | [`SmrEngine`] | sequential | sequential | §III |
+//! | [`NoRepEngine`] | none (direct channel) | parallel (scheduler + k workers) | §VI-B |
+//!
+//! (Table I of the paper.) The lock-based `BDB` baseline has no ordering
+//! layer at all and lives with the key-value store in `psmr-kvstore`.
+
+pub mod norep;
+pub mod psmr;
+pub(crate) mod scheduler;
+pub mod smr;
+pub mod spsmr;
+pub mod sync;
+
+pub use norep::NoRepEngine;
+pub use psmr::PsmrEngine;
+pub use smr::SmrEngine;
+pub use spsmr::SpSmrEngine;
+
+use crate::client::{ClientProxy, RequestSink};
+use crate::conflict::{CommandClass, CommandMap};
+use crate::remap::{RemapTable, RemappableMap, REMAP};
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+use psmr_common::envelope::Request;
+use psmr_common::ids::GroupId;
+use psmr_multicast::{Destinations, MulticastHandle};
+
+/// A running replicated (or baseline) deployment that clients can connect
+/// to.
+pub trait Engine {
+    /// Connects a new client and returns its proxy.
+    fn client(&self) -> ClientProxy;
+
+    /// Short technique label used by the evaluation output (`P-SMR`,
+    /// `sP-SMR`, `SMR`, `no-rep`).
+    fn label(&self) -> &'static str;
+
+    /// Stops all threads of the deployment and joins them.
+    fn shutdown(self);
+}
+
+/// The C-G function an engine routes with: either a fixed compiled
+/// [`CommandMap`] or an online-reconfigurable [`RemappableMap`]
+/// (the §IV-D future-work extension).
+#[derive(Debug, Clone)]
+pub enum Router {
+    /// The paper's prototype: C-G computed offline, fixed for the run.
+    Fixed(CommandMap),
+    /// C-G with a runtime key→group overlay, updated through [`REMAP`]
+    /// commands on the serialized group.
+    Remappable(RemappableMap),
+}
+
+impl Router {
+    /// The class of a command (see [`CommandMap::class`]).
+    pub fn class(&self, cmd: psmr_common::ids::CommandId) -> CommandClass {
+        match self {
+            Router::Fixed(map) => map.class(cmd),
+            Router::Remappable(map) => map.class(cmd),
+        }
+    }
+
+    /// The C-G function (see [`CommandMap::destinations`]).
+    pub fn destinations(
+        &self,
+        cmd: psmr_common::ids::CommandId,
+        payload: &[u8],
+        mpl: usize,
+    ) -> Destinations {
+        match self {
+            Router::Fixed(map) => map.destinations(cmd, payload, mpl),
+            Router::Remappable(map) => map.destinations(cmd, payload, mpl),
+        }
+    }
+
+    /// Server-side γ derivation (see [`CommandMap::destinations_at`]).
+    /// Only consulted for commands delivered on the shared group, where
+    /// remap pins play no role (globally dependent commands involve every
+    /// group regardless).
+    pub fn destinations_at(
+        &self,
+        cmd: psmr_common::ids::CommandId,
+        payload: &[u8],
+        mpl: usize,
+        delivered_on: GroupId,
+    ) -> Destinations {
+        match self {
+            Router::Fixed(map) => map.destinations_at(cmd, payload, mpl, delivered_on),
+            Router::Remappable(map) => {
+                if cmd == REMAP {
+                    Destinations::all(mpl)
+                } else {
+                    map.base().destinations_at(cmd, payload, mpl, delivered_on)
+                }
+            }
+        }
+    }
+
+    /// Handles a delivered [`REMAP`] command: installs the table. Returns
+    /// `Some(response)` when the command was a remap, `None` otherwise.
+    pub fn try_install(&self, cmd: psmr_common::ids::CommandId, payload: &[u8]) -> Option<Vec<u8>> {
+        match self {
+            Router::Remappable(map) if cmd == REMAP => {
+                let installed = RemapTable::decode(payload)
+                    .map(|table| map.install(table))
+                    .unwrap_or(false);
+                Some(vec![u8::from(installed)])
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Client sink of the multicast-backed engines that route by C-G
+/// (Algorithm 1 lines 1–3).
+pub(crate) struct CgSink {
+    pub handle: MulticastHandle,
+    pub router: Router,
+    pub mpl: usize,
+}
+
+impl RequestSink for CgSink {
+    fn submit(&self, request: &Request) {
+        let payload = Bytes::from(request.encode());
+        // Globally dependent commands always travel on the shared group —
+        // "one [group] for serialized requests" (§VI-C) — even at MPL 1,
+        // where the destination set is technically a singleton. This keeps
+        // the serialized path (and its cost) identical across MPLs.
+        if matches!(self.router.class(request.command), CommandClass::Global) {
+            self.handle.multicast_serial(payload);
+        } else {
+            let dests =
+                self.router.destinations(request.command, &request.payload, self.mpl);
+            self.handle.multicast(&dests, payload);
+        }
+    }
+}
+
+/// Client sink of the single-stream engines (SMR, sP-SMR): every command
+/// goes through the one totally ordered group.
+pub(crate) struct TotalOrderSink {
+    pub handle: MulticastHandle,
+}
+
+impl RequestSink for TotalOrderSink {
+    fn submit(&self, request: &Request) {
+        self.handle
+            .multicast(&Destinations::one(GroupId::new(0)), Bytes::from(request.encode()));
+    }
+}
+
+/// Client sink of the non-replicated baseline: requests go straight into
+/// the server's input channel. `close` disconnects the channel even while
+/// clients still hold sink handles.
+pub(crate) struct ChannelSink {
+    tx: parking_lot::RwLock<Option<Sender<Request>>>,
+}
+
+impl ChannelSink {
+    pub fn new(tx: Sender<Request>) -> Self {
+        Self { tx: parking_lot::RwLock::new(Some(tx)) }
+    }
+
+    /// Drops the sender: the server's receive loop sees a disconnect and
+    /// drains; later submissions are discarded.
+    pub fn close(&self) {
+        self.tx.write().take();
+    }
+}
+
+impl RequestSink for ChannelSink {
+    fn submit(&self, request: &Request) {
+        if let Some(tx) = self.tx.read().as_ref() {
+            let _ = tx.send(request.clone());
+        }
+    }
+}

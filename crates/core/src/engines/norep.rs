@@ -1,0 +1,86 @@
+//! The non-replicated scheduler/worker baseline (`no-rep`, §VI-B).
+//!
+//! A single multithreaded server directly connected to the clients: no
+//! ordering protocol, no replicas. A scheduler thread receives requests
+//! from a channel (arrival order is the total order) and dispatches them to
+//! worker threads under the same deterministic policy as sP-SMR. Comparing
+//! no-rep with sP-SMR isolates the cost of atomic multicast; comparing it
+//! with P-SMR shows the scheduler bottleneck without any replication cost.
+
+use super::scheduler::ExecStage;
+use super::{ChannelSink, Engine};
+use crate::client::ClientProxy;
+use crate::conflict::CommandMap;
+use crate::service::{ResponseRouter, Service, SharedRouter};
+use psmr_common::envelope::Request;
+use psmr_common::ids::ClientId;
+use psmr_common::SystemConfig;
+use crossbeam::channel::bounded;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running no-rep deployment (always exactly one server).
+pub struct NoRepEngine {
+    router: SharedRouter,
+    sink: Arc<ChannelSink>,
+    thread: Option<JoinHandle<()>>,
+    next_client: AtomicU64,
+}
+
+impl NoRepEngine {
+    /// Spawns the server with `cfg.mpl` workers plus a scheduler.
+    pub fn spawn<S: Service>(
+        cfg: &SystemConfig,
+        map: CommandMap,
+        factory: impl Fn() -> S,
+    ) -> Self {
+        let router: SharedRouter = Arc::new(ResponseRouter::new());
+        // Mirror the multicast submit queue's bound so client backpressure
+        // is comparable across engines.
+        let (tx, rx) = bounded::<Request>(16 * 1024);
+        let service = Arc::new(factory());
+        let stage = ExecStage::spawn(
+            cfg.mpl,
+            service,
+            map,
+            Arc::clone(&router),
+            "norep",
+        );
+        let thread = std::thread::Builder::new()
+            .name("norep-sched".into())
+            .spawn(move || {
+                let mut stage = stage;
+                while let Ok(req) = rx.recv() {
+                    stage.schedule(req);
+                }
+                stage.shutdown();
+            })
+            .expect("spawn no-rep scheduler");
+        Self {
+            router,
+            sink: Arc::new(ChannelSink::new(tx)),
+            thread: Some(thread),
+            next_client: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Engine for NoRepEngine {
+    fn client(&self) -> ClientProxy {
+        let id = ClientId::new(self.next_client.fetch_add(1, Ordering::Relaxed));
+        ClientProxy::new(id, Arc::clone(&self.sink) as _, Arc::clone(&self.router))
+    }
+
+    fn label(&self) -> &'static str {
+        "no-rep"
+    }
+
+    fn shutdown(mut self) {
+        // Disconnect the input channel; the scheduler drains and exits.
+        self.sink.close();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}

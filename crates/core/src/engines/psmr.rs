@@ -1,0 +1,198 @@
+//! The P-SMR engine (paper §IV, Algorithm 1).
+//!
+//! Each of the `n` replicas runs `k = MPL` worker threads. Worker `t_i`
+//! consumes the deterministic merge of multicast groups `g_i` and `g_all`:
+//!
+//! * a command delivered on `g_i` was multicast to a single group —
+//!   **parallel mode**: execute and respond immediately (lines 10–13);
+//! * a command delivered on `g_all` was multicast to several groups —
+//!   **synchronous mode**: the involved workers synchronize with signals
+//!   and the deterministically elected executor `e = min{j : g_j ∈ γ}` runs
+//!   the command alone (lines 14–26).
+//!
+//! No component sequences all commands: delivery, scheduling and execution
+//! are all per-worker, which is what lets throughput scale with cores
+//! (Figure 5 of the paper).
+
+use super::sync::{SignalBoard, SignalEndpoint, SignalKind};
+use super::{CgSink, Engine, Router};
+use crate::client::ClientProxy;
+use crate::conflict::CommandMap;
+use crate::remap::RemappableMap;
+use crate::service::{ResponseRouter, Service, SharedRouter};
+use psmr_common::envelope::{Request, Response};
+use psmr_common::ids::{ClientId, GroupId, WorkerId};
+use psmr_common::SystemConfig;
+use psmr_multicast::{MergedStream, MulticastSystem};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running P-SMR deployment.
+///
+/// See the [crate-level quickstart](crate) for an end-to-end example.
+pub struct PsmrEngine {
+    system: MulticastSystem,
+    router: SharedRouter,
+    sink: Arc<CgSink>,
+    boards: Vec<SignalBoard>,
+    threads: Vec<JoinHandle<()>>,
+    next_client: AtomicU64,
+}
+
+impl PsmrEngine {
+    /// Spawns `cfg.n_replicas` replicas with `cfg.mpl` worker threads each,
+    /// every replica initialized with `factory()`.
+    ///
+    /// `factory` must produce identical initial states — replica
+    /// determinism starts from equal initial states (§III).
+    pub fn spawn<S: Service>(
+        cfg: &SystemConfig,
+        map: CommandMap,
+        factory: impl Fn() -> S,
+    ) -> Self {
+        Self::spawn_with_router(cfg, Router::Fixed(map), factory)
+    }
+
+    /// Like [`PsmrEngine::spawn`] with an online-reconfigurable C-G: remap
+    /// tables submitted as [`crate::remap::REMAP`] commands install at a
+    /// deterministic point of the serialized stream on every replica
+    /// (§IV-D's future-work extension).
+    pub fn spawn_remappable<S: Service>(
+        cfg: &SystemConfig,
+        map: RemappableMap,
+        factory: impl Fn() -> S,
+    ) -> Self {
+        Self::spawn_with_router(cfg, Router::Remappable(map), factory)
+    }
+
+    fn spawn_with_router<S: Service>(
+        cfg: &SystemConfig,
+        map: Router,
+        factory: impl Fn() -> S,
+    ) -> Self {
+        let system = MulticastSystem::spawn(cfg);
+        let router: SharedRouter = Arc::new(ResponseRouter::new());
+        let mut threads = Vec::new();
+        let mut boards = Vec::new();
+        for replica in 0..cfg.n_replicas {
+            let service = Arc::new(factory());
+            let (board, endpoints) = SignalBoard::new(cfg.mpl);
+            boards.push(board.clone());
+            for (i, endpoint) in endpoints.into_iter().enumerate() {
+                let worker = WorkerId::new(i);
+                let stream = system.worker_stream(worker);
+                let ctx = WorkerCtx {
+                    me: worker,
+                    service: Arc::clone(&service),
+                    board: board.clone(),
+                    endpoint,
+                    map: map.clone(),
+                    router: Arc::clone(&router),
+                    mpl: cfg.mpl,
+                    all_group: cfg.all_group(),
+                };
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("psmr-r{replica}-t{i}"))
+                        .spawn(move || worker_main(ctx, stream))
+                        .expect("spawn P-SMR worker"),
+                );
+            }
+        }
+        let sink =
+            Arc::new(CgSink { handle: system.handle(), router: map, mpl: cfg.mpl });
+        system.start();
+        Self { system, router, sink, boards, threads, next_client: AtomicU64::new(0) }
+    }
+}
+
+impl Engine for PsmrEngine {
+    fn client(&self) -> ClientProxy {
+        let id = ClientId::new(self.next_client.fetch_add(1, Ordering::Relaxed));
+        ClientProxy::new(id, Arc::clone(&self.sink) as _, Arc::clone(&self.router))
+    }
+
+    fn label(&self) -> &'static str {
+        "P-SMR"
+    }
+
+    fn shutdown(mut self) {
+        self.system.shutdown();
+        for board in &self.boards {
+            board.shutdown();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+struct WorkerCtx<S> {
+    me: WorkerId,
+    service: Arc<S>,
+    board: SignalBoard,
+    endpoint: SignalEndpoint,
+    map: Router,
+    router: SharedRouter,
+    mpl: usize,
+    all_group: GroupId,
+}
+
+/// The body of worker thread `t_i` — Algorithm 1, lines 7–26.
+fn worker_main<S: Service>(mut ctx: WorkerCtx<S>, mut stream: MergedStream) {
+    let my_group = GroupId::from(ctx.me);
+    while let Some(delivered) = stream.next() {
+        let Ok(req) = Request::decode(&delivered.payload) else {
+            debug_assert!(false, "malformed request on stream {}", delivered.group);
+            continue;
+        };
+        if delivered.group != ctx.all_group {
+            // Parallel mode (lines 10–13): multicast to a single group.
+            let resp = ctx.service.execute(req.command, &req.payload);
+            ctx.router.respond(req.client, Response::new(req.request, resp));
+            continue;
+        }
+        // Synchronous mode (lines 14–26): re-derive γ like the server proxy
+        // (line 9) and synchronize the involved workers.
+        let dests = ctx.map.destinations_at(
+            req.command,
+            &req.payload,
+            ctx.mpl,
+            delivered.group,
+        );
+        if !dests.contains(my_group) {
+            // Multicast to a strict subset not containing t_i: skip. (With
+            // the paper's C-G functions γ is all groups here, so every
+            // worker participates.)
+            continue;
+        }
+        let executor = dests.executor().worker();
+        if ctx.me == executor {
+            let others: Vec<WorkerId> = dests
+                .groups()
+                .iter()
+                .filter(|g| **g != my_group)
+                .map(|g| g.worker())
+                .collect();
+            if !ctx.endpoint.wait_ready_from_all(&others) {
+                return; // shutdown
+            }
+            // Remap commands reconfigure the routing tables instead of
+            // invoking the service; everything else executes normally.
+            let resp = match ctx.map.try_install(req.command, &req.payload) {
+                Some(resp) => resp,
+                None => ctx.service.execute(req.command, &req.payload),
+            };
+            ctx.router.respond(req.client, Response::new(req.request, resp));
+            for other in others {
+                ctx.board.signal(ctx.me, other, SignalKind::Resume);
+            }
+        } else {
+            ctx.board.signal(ctx.me, executor, SignalKind::Ready);
+            if !ctx.endpoint.wait_for(executor, SignalKind::Resume) {
+                return; // shutdown
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Classical state-machine replication (paper §III).
+//!
+//! One totally ordered stream; each replica executes every command
+//! sequentially in delivery order with a single thread. No C-Dep is needed:
+//! sequential execution trivially serializes everything.
+
+use super::{Engine, TotalOrderSink};
+use crate::client::ClientProxy;
+use crate::service::{ResponseRouter, Service, SharedRouter};
+use psmr_common::envelope::{Request, Response};
+use psmr_common::ids::ClientId;
+use psmr_common::SystemConfig;
+use psmr_multicast::{MergedStream, MulticastSystem};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running SMR deployment.
+///
+/// # Example
+///
+/// ```
+/// use psmr_core::engines::{Engine, SmrEngine};
+/// use psmr_core::service::Service;
+/// use psmr_common::{ids::CommandId, SystemConfig};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// #[derive(Default)]
+/// struct Counter(AtomicU64);
+/// impl Service for Counter {
+///     fn execute(&self, _c: CommandId, _p: &[u8]) -> Vec<u8> {
+///         (self.0.fetch_add(1, Ordering::SeqCst) + 1).to_le_bytes().to_vec()
+///     }
+/// }
+///
+/// let engine = SmrEngine::spawn(&SystemConfig::new(1), Counter::default);
+/// let mut client = engine.client();
+/// let resp = client.execute(CommandId::new(0), Vec::new());
+/// assert_eq!(u64::from_le_bytes(resp[..].try_into().unwrap()), 1);
+/// engine.shutdown();
+/// ```
+pub struct SmrEngine {
+    system: MulticastSystem,
+    router: SharedRouter,
+    sink: Arc<TotalOrderSink>,
+    threads: Vec<JoinHandle<()>>,
+    next_client: AtomicU64,
+}
+
+impl SmrEngine {
+    /// Spawns `cfg.n_replicas` single-threaded replicas (the configured
+    /// MPL is ignored: SMR executes sequentially by definition).
+    pub fn spawn<S: Service>(cfg: &SystemConfig, factory: impl Fn() -> S) -> Self {
+        let system = MulticastSystem::spawn_single(cfg);
+        let router: SharedRouter = Arc::new(ResponseRouter::new());
+        let mut threads = Vec::new();
+        for replica in 0..cfg.n_replicas {
+            let service = factory();
+            let stream = system.single_stream();
+            let router = Arc::clone(&router);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("smr-r{replica}"))
+                    .spawn(move || executor_main(service, stream, router))
+                    .expect("spawn SMR executor"),
+            );
+        }
+        let sink = Arc::new(TotalOrderSink { handle: system.handle() });
+        system.start();
+        Self { system, router, sink, threads, next_client: AtomicU64::new(0) }
+    }
+}
+
+impl Engine for SmrEngine {
+    fn client(&self) -> ClientProxy {
+        let id = ClientId::new(self.next_client.fetch_add(1, Ordering::Relaxed));
+        ClientProxy::new(id, Arc::clone(&self.sink) as _, Arc::clone(&self.router))
+    }
+
+    fn label(&self) -> &'static str {
+        "SMR"
+    }
+
+    fn shutdown(mut self) {
+        self.system.shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn executor_main<S: Service>(service: S, mut stream: MergedStream, router: SharedRouter) {
+    while let Some(delivered) = stream.next() {
+        let Ok(req) = Request::decode(&delivered.payload) else {
+            debug_assert!(false, "malformed request");
+            continue;
+        };
+        let resp = service.execute(req.command, &req.payload);
+        router.respond(req.client, Response::new(req.request, resp));
+    }
+}

@@ -1,0 +1,227 @@
+//! Worker-thread signalling for P-SMR's synchronous mode.
+//!
+//! Algorithm 1, lines 14–26: when a command is multicast to several groups,
+//! the involved worker threads synchronize with signals — every non-executor
+//! sends signal *(a)* to the deterministically elected executor and waits;
+//! the executor collects all signals, executes, responds, and sends signal
+//! *(b)* back so the others resume.
+//!
+//! Each worker owns one [`SignalEndpoint`] (a receiver plus a reorder
+//! buffer) and can send to any peer through the shared [`SignalBoard`].
+//! Signals are tagged with the sender and the signal kind; a worker waiting
+//! for a specific `(sender, kind)` buffers anything else, which handles the
+//! case where workers progress through different subsets of the shared
+//! stream (a worker not involved in a command skips it and may signal for a
+//! *later* command before the current one completes elsewhere).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use psmr_common::ids::WorkerId;
+use std::collections::VecDeque;
+
+/// Why a signal was sent (the paper's signals (a) and (b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalKind {
+    /// Signal (a): "I reached the command; you may execute."
+    Ready,
+    /// Signal (b): "I executed the command; resume."
+    Resume,
+    /// The deployment is shutting down; abandon any wait.
+    Shutdown,
+}
+
+/// A tagged signal between worker threads of one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signal {
+    /// The sending worker.
+    pub from: WorkerId,
+    /// Ready (a) or Resume (b).
+    pub kind: SignalKind,
+}
+
+/// The sender half shared by all workers of a replica.
+#[derive(Debug, Clone)]
+pub struct SignalBoard {
+    senders: Vec<Sender<Signal>>,
+}
+
+impl SignalBoard {
+    /// Creates a board for `k` workers, returning it together with each
+    /// worker's endpoint (index `i` belongs to worker `t_i`).
+    pub fn new(k: usize) -> (Self, Vec<SignalEndpoint>) {
+        let mut senders = Vec::with_capacity(k);
+        let mut endpoints = Vec::with_capacity(k);
+        for i in 0..k {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            endpoints.push(SignalEndpoint {
+                me: WorkerId::new(i),
+                rx,
+                buffered: VecDeque::new(),
+            });
+        }
+        (Self { senders }, endpoints)
+    }
+
+    /// Sends a signal to worker `to`. Signals to departed workers are
+    /// dropped (shutdown path).
+    pub fn signal(&self, from: WorkerId, to: WorkerId, kind: SignalKind) {
+        let _ = self.senders[to.as_raw()].send(Signal { from, kind });
+    }
+
+    /// Wakes every worker with a [`SignalKind::Shutdown`] signal so that
+    /// blocked waits return `false`. Workers hold board clones, so channel
+    /// disconnection alone cannot unblock them.
+    pub fn shutdown(&self) {
+        for (i, tx) in self.senders.iter().enumerate() {
+            let _ = tx.send(Signal { from: WorkerId::new(i), kind: SignalKind::Shutdown });
+        }
+    }
+}
+
+/// The receiving half owned by one worker.
+#[derive(Debug)]
+pub struct SignalEndpoint {
+    me: WorkerId,
+    rx: Receiver<Signal>,
+    /// Signals received while waiting for a different `(sender, kind)`.
+    buffered: VecDeque<Signal>,
+}
+
+impl SignalEndpoint {
+    /// The worker this endpoint belongs to.
+    pub fn worker(&self) -> WorkerId {
+        self.me
+    }
+
+    /// Blocks until a signal with the given sender and kind has been
+    /// received, buffering every other signal.
+    ///
+    /// Returns `false` if the board shut down (all senders dropped).
+    pub fn wait_for(&mut self, from: WorkerId, kind: SignalKind) -> bool {
+        if let Some(pos) =
+            self.buffered.iter().position(|s| s.from == from && s.kind == kind)
+        {
+            self.buffered.remove(pos);
+            return true;
+        }
+        loop {
+            match self.rx.recv() {
+                Ok(sig) if sig.kind == SignalKind::Shutdown => return false,
+                Ok(sig) if sig.from == from && sig.kind == kind => return true,
+                Ok(sig) => self.buffered.push_back(sig),
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Blocks until a `Ready` signal has been received from **each** worker
+    /// in `senders` (the executor's barrier, lines 18–19).
+    ///
+    /// Returns `false` if the board shut down first.
+    pub fn wait_ready_from_all(&mut self, senders: &[WorkerId]) -> bool {
+        senders.iter().all(|&from| self.wait_for(from, SignalKind::Ready))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn signal_and_wait_round_trip() {
+        let (board, mut eps) = SignalBoard::new(2);
+        board.signal(WorkerId::new(0), WorkerId::new(1), SignalKind::Ready);
+        assert!(eps[1].wait_for(WorkerId::new(0), SignalKind::Ready));
+    }
+
+    #[test]
+    fn out_of_order_signals_are_buffered_not_lost() {
+        let (board, mut eps) = SignalBoard::new(3);
+        // Worker 2's Ready arrives before worker 1's, but we wait for 1 first.
+        board.signal(WorkerId::new(2), WorkerId::new(0), SignalKind::Ready);
+        board.signal(WorkerId::new(1), WorkerId::new(0), SignalKind::Ready);
+        assert!(eps[0].wait_for(WorkerId::new(1), SignalKind::Ready));
+        assert!(eps[0].wait_for(WorkerId::new(2), SignalKind::Ready));
+    }
+
+    #[test]
+    fn kind_mismatch_is_buffered() {
+        let (board, mut eps) = SignalBoard::new(2);
+        board.signal(WorkerId::new(0), WorkerId::new(1), SignalKind::Resume);
+        board.signal(WorkerId::new(0), WorkerId::new(1), SignalKind::Ready);
+        assert!(eps[1].wait_for(WorkerId::new(0), SignalKind::Ready));
+        assert!(eps[1].wait_for(WorkerId::new(0), SignalKind::Resume));
+    }
+
+    #[test]
+    fn wait_ready_from_all_collects_the_set() {
+        let (board, mut eps) = SignalBoard::new(4);
+        let mut e0 = eps.remove(0);
+        let board2 = board.clone();
+        let waiter = thread::spawn(move || {
+            e0.wait_ready_from_all(&[WorkerId::new(1), WorkerId::new(2), WorkerId::new(3)])
+        });
+        thread::sleep(Duration::from_millis(5));
+        for i in [3usize, 1, 2] {
+            board2.signal(WorkerId::new(i), WorkerId::new(0), SignalKind::Ready);
+        }
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn disconnect_unblocks_waiters() {
+        let (board, mut eps) = SignalBoard::new(2);
+        let mut e1 = eps.remove(1);
+        let waiter =
+            thread::spawn(move || e1.wait_for(WorkerId::new(0), SignalKind::Ready));
+        thread::sleep(Duration::from_millis(5));
+        drop(board);
+        drop(eps);
+        assert!(!waiter.join().unwrap(), "wait_for returns false on disconnect");
+    }
+
+    #[test]
+    fn shutdown_signal_unblocks_waiters_despite_live_clones() {
+        let (board, mut eps) = SignalBoard::new(2);
+        let mut e1 = eps.remove(1);
+        let waiter =
+            thread::spawn(move || e1.wait_for(WorkerId::new(0), SignalKind::Ready));
+        thread::sleep(Duration::from_millis(5));
+        board.shutdown(); // board clone stays alive, signal must suffice
+        assert!(!waiter.join().unwrap(), "wait_for returns false on shutdown");
+    }
+
+    #[test]
+    fn full_synchronous_mode_handshake() {
+        // Simulates Algorithm 1's synchronous mode with 3 workers and
+        // executor t_0, repeated for several commands.
+        let (board, eps) = SignalBoard::new(3);
+        let mut handles = Vec::new();
+        for (i, mut ep) in eps.into_iter().enumerate() {
+            let board = board.clone();
+            handles.push(thread::spawn(move || {
+                let me = WorkerId::new(i);
+                let executor = WorkerId::new(0);
+                let mut executed = 0u32;
+                for _cmd in 0..100 {
+                    if me == executor {
+                        let others = [WorkerId::new(1), WorkerId::new(2)];
+                        assert!(ep.wait_ready_from_all(&others));
+                        executed += 1; // "execute the command"
+                        for o in others {
+                            board.signal(me, o, SignalKind::Resume);
+                        }
+                    } else {
+                        board.signal(me, executor, SignalKind::Ready);
+                        assert!(ep.wait_for(executor, SignalKind::Resume));
+                    }
+                }
+                executed
+            }));
+        }
+        let executed: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(executed, 100, "exactly one executor per command");
+    }
+}

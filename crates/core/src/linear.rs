@@ -1,0 +1,215 @@
+//! Offline linearizability checking.
+//!
+//! P-SMR's correctness claim (§IV-E) is linearizability: client commands
+//! can be reordered into a sequence that respects both the sequential
+//! semantics of the commands and their real-time order. The integration
+//! tests record per-key histories of reads and writes against a replicated
+//! store and feed them to [`check_register`], a Wing & Gong-style searcher
+//! for single-register histories with memoization.
+//!
+//! Keys of the key-value store are independent registers (operations on
+//! different keys commute), so a store history is linearizable iff each
+//! per-key sub-history is — which keeps the search tractable.
+
+use std::collections::HashSet;
+
+/// One completed operation on a single register (one key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Invocation timestamp (any monotonic clock, nanoseconds).
+    pub invoked: u64,
+    /// Response timestamp; must be ≥ `invoked`.
+    pub returned: u64,
+    /// The operation and its observed outcome.
+    pub op: RegisterOp,
+}
+
+/// A register operation with its observed result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterOp {
+    /// A write that stored `value`.
+    Write {
+        /// The written value.
+        value: u64,
+    },
+    /// A read that returned `value` (`None` = key absent).
+    Read {
+        /// The observed value.
+        value: Option<u64>,
+    },
+}
+
+/// Verdict of a linearizability check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// A valid linearization exists.
+    Linearizable,
+    /// No valid linearization exists: the history is incorrect.
+    NotLinearizable,
+}
+
+/// Checks a single-register history for linearizability.
+///
+/// `initial` is the register's value before the history begins (`None` =
+/// absent).
+///
+/// # Panics
+///
+/// Panics if the history has more than 63 operations (the memoized search
+/// uses a bitmask) or if any record has `returned < invoked`.
+pub fn check_register(history: &[OpRecord], initial: Option<u64>) -> Verdict {
+    assert!(history.len() < 64, "history too long for the bitmask search");
+    for record in history {
+        assert!(record.returned >= record.invoked, "response precedes invocation");
+    }
+    if history.is_empty() {
+        return Verdict::Linearizable;
+    }
+    let mut seen: HashSet<(u64, Option<u64>)> = HashSet::new();
+    if dfs(history, 0, initial, &mut seen) {
+        Verdict::Linearizable
+    } else {
+        Verdict::NotLinearizable
+    }
+}
+
+/// Depth-first search over linearization prefixes.
+///
+/// `done` is the bitmask of already linearized operations and `state` the
+/// register value after them. An operation may be linearized next only if
+/// no *other* pending operation returned before it was invoked (real-time
+/// order).
+fn dfs(
+    history: &[OpRecord],
+    done: u64,
+    state: Option<u64>,
+    seen: &mut HashSet<(u64, Option<u64>)>,
+) -> bool {
+    if done.count_ones() as usize == history.len() {
+        return true;
+    }
+    if !seen.insert((done, state)) {
+        return false; // already explored this configuration
+    }
+    // The real-time frontier: an op is a candidate if it is pending and its
+    // invocation precedes the earliest return among pending ops.
+    let min_return = history
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| done & (1 << i) == 0)
+        .map(|(_, r)| r.returned)
+        .min()
+        .expect("at least one pending op");
+    for (i, record) in history.iter().enumerate() {
+        if done & (1 << i) != 0 || record.invoked > min_return {
+            continue;
+        }
+        let next_state = match record.op {
+            RegisterOp::Write { value } => Some(value),
+            RegisterOp::Read { value } => {
+                if value != state {
+                    continue; // this read cannot be linearized here
+                }
+                state
+            }
+        };
+        if dfs(history, done | (1 << i), next_state, seen) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(invoked: u64, returned: u64, value: u64) -> OpRecord {
+        OpRecord { invoked, returned, op: RegisterOp::Write { value } }
+    }
+
+    fn r(invoked: u64, returned: u64, value: Option<u64>) -> OpRecord {
+        OpRecord { invoked, returned, op: RegisterOp::Read { value } }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert_eq!(check_register(&[], None), Verdict::Linearizable);
+    }
+
+    #[test]
+    fn sequential_write_then_read() {
+        let h = [w(0, 1, 5), r(2, 3, Some(5))];
+        assert_eq!(check_register(&h, None), Verdict::Linearizable);
+    }
+
+    #[test]
+    fn read_of_never_written_value_is_rejected() {
+        let h = [w(0, 1, 5), r(2, 3, Some(6))];
+        assert_eq!(check_register(&h, None), Verdict::NotLinearizable);
+    }
+
+    #[test]
+    fn stale_read_after_write_returned_is_rejected() {
+        // Write(5) completed before the read was invoked, yet the read saw
+        // the initial value: a real-time violation.
+        let h = [w(0, 1, 5), r(5, 6, None)];
+        assert_eq!(check_register(&h, None), Verdict::NotLinearizable);
+    }
+
+    #[test]
+    fn concurrent_read_may_see_old_or_new() {
+        // Read overlaps the write: both outcomes are linearizable.
+        let old = [w(0, 10, 5), r(1, 2, None)];
+        let new = [w(0, 10, 5), r(1, 2, Some(5))];
+        assert_eq!(check_register(&old, None), Verdict::Linearizable);
+        assert_eq!(check_register(&new, None), Verdict::Linearizable);
+    }
+
+    #[test]
+    fn overlapping_writes_allow_either_order() {
+        let h1 = [w(0, 10, 1), w(1, 9, 2), r(11, 12, Some(1))];
+        let h2 = [w(0, 10, 1), w(1, 9, 2), r(11, 12, Some(2))];
+        assert_eq!(check_register(&h1, None), Verdict::Linearizable);
+        assert_eq!(check_register(&h2, None), Verdict::Linearizable);
+    }
+
+    #[test]
+    fn non_monotonic_reads_are_rejected() {
+        // Two sequential reads observing new-then-old values.
+        let h = [
+            w(0, 1, 1),
+            w(2, 3, 2),
+            r(4, 5, Some(2)),
+            r(6, 7, Some(1)),
+        ];
+        assert_eq!(check_register(&h, None), Verdict::NotLinearizable);
+    }
+
+    #[test]
+    fn initial_value_is_respected() {
+        let h = [r(0, 1, Some(9))];
+        assert_eq!(check_register(&h, Some(9)), Verdict::Linearizable);
+        assert_eq!(check_register(&h, Some(8)), Verdict::NotLinearizable);
+    }
+
+    #[test]
+    fn long_concurrent_history_is_searchable() {
+        // 24 fully concurrent writes + reads stress the memoization.
+        let mut h = Vec::new();
+        for i in 0..12u64 {
+            h.push(w(0, 100, i));
+        }
+        for _ in 0..12 {
+            h.push(r(0, 100, Some(3)));
+        }
+        assert_eq!(check_register(&h, None), Verdict::Linearizable);
+    }
+
+    #[test]
+    #[should_panic(expected = "response precedes invocation")]
+    fn inverted_timestamps_panic() {
+        let h = [w(5, 1, 0)];
+        check_register(&h, None);
+    }
+}

@@ -1,0 +1,274 @@
+//! Online C-G reconfiguration (the paper's future-work item, §IV-D).
+//!
+//! "Accommodating dynamic changes in access patterns … would require
+//! recomputing the C-G. While updating the C-G function online is
+//! possible, in our prototype this is done offline."
+//!
+//! This module makes it online. A [`RemappableMap`] wraps a base
+//! [`CommandMap`] with an overlay that pins individual keys to chosen
+//! groups (e.g. spreading hot keys that the default `key mod k` rule lands
+//! on the same worker). The overlay is versioned by *epoch* and updated
+//! through a dedicated **remap command** that C-Dep classifies as `Global`:
+//! it travels through the serialized group and installs while every worker
+//! of every replica is stopped at the synchronous-mode barrier, so all
+//! replicas switch tables at the same point of the serialized stream.
+//!
+//! # Transition window
+//!
+//! Within one table version the §IV-C guarantee is intact: dependent keyed
+//! commands on the same key share a group and serialize. **Across** a
+//! remap there is a bounded transition window: a command routed with the
+//! old table may still be queued in its old group's stream when traffic
+//! routed with the new table starts arriving at the new group, and the two
+//! are then ordered only per group, not relative to each other. Operators
+//! should therefore either quiesce traffic to the keys being moved (the
+//! usual practice for hot-key migration) or tolerate relaxed ordering
+//! between a moved key's last old-group write and first new-group write.
+//! Removing the window entirely requires epoch-stamping every request and
+//! holding mismatched deliveries, which the paper's offline prototype side-
+//! steps by restarting; we document the trade-off instead of hiding it.
+
+use crate::conflict::{CommandClass, CommandMap};
+use parking_lot::RwLock;
+use psmr_common::ids::{CommandId, GroupId};
+use psmr_multicast::Destinations;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The reserved command id carrying remap tables. Services using
+/// [`RemappableMap`] must not declare their own command with this id.
+pub const REMAP: CommandId = CommandId::new(u32::MAX);
+
+/// A key→group overlay with its epoch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RemapTable {
+    /// Monotonically increasing version.
+    pub epoch: u64,
+    /// Keys pinned to explicit groups; unlisted keys use the base rule.
+    pub pins: HashMap<u64, GroupId>,
+}
+
+impl RemapTable {
+    /// Serializes the table for transport inside a [`REMAP`] command.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = self.epoch.to_le_bytes().to_vec();
+        out.extend_from_slice(&(self.pins.len() as u32).to_le_bytes());
+        // Deterministic order so every replica hashes identical bytes.
+        let mut pins: Vec<(&u64, &GroupId)> = self.pins.iter().collect();
+        pins.sort();
+        for (key, group) in pins {
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(&(group.as_raw() as u64).to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a table encoded by [`RemapTable::encode`].
+    ///
+    /// Returns `None` on malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let epoch = u64::from_le_bytes(bytes.get(0..8)?.try_into().ok()?);
+        let n = u32::from_le_bytes(bytes.get(8..12)?.try_into().ok()?) as usize;
+        let mut pins = HashMap::with_capacity(n);
+        let mut at = 12usize;
+        for _ in 0..n {
+            let key = u64::from_le_bytes(bytes.get(at..at + 8)?.try_into().ok()?);
+            let group =
+                u64::from_le_bytes(bytes.get(at + 8..at + 16)?.try_into().ok()?);
+            pins.insert(key, GroupId::new(group as usize));
+            at += 16;
+        }
+        Some(Self { epoch, pins })
+    }
+}
+
+/// A C-G function whose key→group assignment can be changed at runtime.
+///
+/// Cloneable; clones share the overlay, so the engine's client sinks and
+/// server proxies all observe an installed table.
+///
+/// # Example
+///
+/// ```
+/// use psmr_common::ids::{CommandId, GroupId};
+/// use psmr_core::conflict::{CommandClass, DependencySpec};
+/// use psmr_core::remap::{RemapTable, RemappableMap};
+///
+/// const UPDATE: CommandId = CommandId::new(0);
+/// let mut spec = DependencySpec::new();
+/// spec.declare(UPDATE, CommandClass::Keyed { writes: true })
+///     .key_extractor(|p| u64::from_le_bytes(p[..8].try_into().unwrap()));
+/// let map = RemappableMap::new(spec.into_map());
+///
+/// // Key 0 follows the base rule (0 mod k)…
+/// let d = map.destinations(UPDATE, &0u64.to_le_bytes(), 4);
+/// assert_eq!(d.executor(), GroupId::new(0));
+/// // …until a remap pins it elsewhere.
+/// let mut table = RemapTable::default();
+/// table.epoch = 1;
+/// table.pins.insert(0, GroupId::new(3));
+/// map.install(table);
+/// let d = map.destinations(UPDATE, &0u64.to_le_bytes(), 4);
+/// assert_eq!(d.executor(), GroupId::new(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RemappableMap {
+    base: CommandMap,
+    table: Arc<RwLock<RemapTable>>,
+    installed_epochs: Arc<AtomicU64>,
+}
+
+impl RemappableMap {
+    /// Wraps a base map with an empty overlay (epoch 0).
+    pub fn new(base: CommandMap) -> Self {
+        Self {
+            base,
+            table: Arc::new(RwLock::new(RemapTable::default())),
+            installed_epochs: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The overlay currently in force.
+    pub fn current_table(&self) -> RemapTable {
+        self.table.read().clone()
+    }
+
+    /// Number of successful installs (diagnostics).
+    pub fn installed_count(&self) -> u64 {
+        self.installed_epochs.load(Ordering::Relaxed)
+    }
+
+    /// Installs a new overlay. Tables with a stale epoch are ignored so a
+    /// replayed or reordered remap cannot roll the mapping back.
+    pub fn install(&self, table: RemapTable) -> bool {
+        let mut current = self.table.write();
+        if table.epoch <= current.epoch {
+            return false;
+        }
+        *current = table;
+        self.installed_epochs.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// The class of a command; [`REMAP`] is always `Global`.
+    pub fn class(&self, cmd: CommandId) -> CommandClass {
+        if cmd == REMAP {
+            CommandClass::Global
+        } else {
+            self.base.class(cmd)
+        }
+    }
+
+    /// The C-G function with the overlay applied: pinned keys go to their
+    /// pinned group; everything else follows the base rule.
+    pub fn destinations(&self, cmd: CommandId, payload: &[u8], mpl: usize) -> Destinations {
+        if cmd == REMAP {
+            return Destinations::all(mpl);
+        }
+        if matches!(self.base.class(cmd), CommandClass::Keyed { .. }) {
+            let key = self.base.key(payload);
+            if let Some(&group) = self.table.read().pins.get(&key) {
+                return Destinations::one(GroupId::new(group.as_raw() % mpl));
+            }
+        }
+        self.base.destinations(cmd, payload, mpl)
+    }
+
+    /// Access to the wrapped base map.
+    pub fn base(&self) -> &CommandMap {
+        &self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::DependencySpec;
+
+    const UPDATE: CommandId = CommandId::new(0);
+
+    fn map() -> RemappableMap {
+        let mut spec = DependencySpec::new();
+        spec.declare(UPDATE, CommandClass::Keyed { writes: true })
+            .key_extractor(|p| u64::from_le_bytes(p[..8].try_into().unwrap()));
+        RemappableMap::new(spec.into_map())
+    }
+
+    fn key(k: u64) -> Vec<u8> {
+        k.to_le_bytes().to_vec()
+    }
+
+    #[test]
+    fn table_round_trips() {
+        let mut table = RemapTable { epoch: 7, pins: HashMap::new() };
+        table.pins.insert(1, GroupId::new(3));
+        table.pins.insert(99, GroupId::new(0));
+        let back = RemapTable::decode(&table.encode()).expect("decodes");
+        assert_eq!(back, table);
+        assert_eq!(RemapTable::decode(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn encoding_is_deterministic_regardless_of_insertion_order() {
+        let mut a = RemapTable { epoch: 1, pins: HashMap::new() };
+        a.pins.insert(1, GroupId::new(1));
+        a.pins.insert(2, GroupId::new(2));
+        let mut b = RemapTable { epoch: 1, pins: HashMap::new() };
+        b.pins.insert(2, GroupId::new(2));
+        b.pins.insert(1, GroupId::new(1));
+        assert_eq!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn pins_override_the_base_rule() {
+        let map = map();
+        assert_eq!(map.destinations(UPDATE, &key(5), 4).executor(), GroupId::new(1));
+        let mut table = RemapTable { epoch: 1, pins: HashMap::new() };
+        table.pins.insert(5, GroupId::new(2));
+        assert!(map.install(table));
+        assert_eq!(map.destinations(UPDATE, &key(5), 4).executor(), GroupId::new(2));
+        // Unpinned keys still follow the base rule.
+        assert_eq!(map.destinations(UPDATE, &key(6), 4).executor(), GroupId::new(2));
+    }
+
+    #[test]
+    fn stale_epochs_are_rejected() {
+        let map = map();
+        let mut t1 = RemapTable { epoch: 2, pins: HashMap::new() };
+        t1.pins.insert(1, GroupId::new(3));
+        assert!(map.install(t1));
+        let mut stale = RemapTable { epoch: 1, pins: HashMap::new() };
+        stale.pins.insert(1, GroupId::new(0));
+        assert!(!map.install(stale), "older epoch must not roll back");
+        assert_eq!(map.current_table().epoch, 2);
+        assert_eq!(map.installed_count(), 1);
+    }
+
+    #[test]
+    fn remap_command_is_global() {
+        let map = map();
+        assert_eq!(map.class(REMAP), CommandClass::Global);
+        assert_eq!(map.destinations(REMAP, &[], 4).groups().len(), 4);
+    }
+
+    #[test]
+    fn pins_are_reduced_modulo_mpl() {
+        let map = map();
+        let mut table = RemapTable { epoch: 1, pins: HashMap::new() };
+        table.pins.insert(5, GroupId::new(9));
+        map.install(table);
+        let d = map.destinations(UPDATE, &key(5), 4);
+        assert_eq!(d.executor(), GroupId::new(1)); // 9 % 4
+    }
+
+    #[test]
+    fn clones_share_the_overlay() {
+        let map = map();
+        let clone = map.clone();
+        let mut table = RemapTable { epoch: 1, pins: HashMap::new() };
+        table.pins.insert(7, GroupId::new(0));
+        map.install(table);
+        assert_eq!(clone.current_table().epoch, 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! The service abstraction and the client↔replica plumbing.
+//!
+//! A replicated service is "a state machine [that] consists of state
+//! variables … and a set of commands that change the state" (§III). The
+//! paper's architecture interposes proxies: client proxies marshal
+//! invocations into requests; server proxies unmarshal and invoke the local
+//! replica.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use psmr_common::envelope::Response;
+use psmr_common::ids::{ClientId, CommandId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A deterministic replicated service.
+///
+/// `execute` takes `&self`: worker threads of one replica may invoke it
+/// **concurrently**, but only for commands the service's dependency
+/// specification (C-Dep) declares independent — the replication engine
+/// guarantees dependent commands never run concurrently and are invoked in
+/// the same order on every replica. Services therefore use interior
+/// mutability sized to their own C-Dep: e.g. the key-value store keeps
+/// values in atomics (independent updates may race only with reads of other
+/// keys) and takes an exclusive lock inside structural commands, which its
+/// C-Dep marks global.
+///
+/// Commands must be deterministic: identical state and payload must yield
+/// identical responses and state changes on every replica.
+pub trait Service: Send + Sync + 'static {
+    /// Executes one command against the replica's state and returns the
+    /// marshalled response.
+    fn execute(&self, command: CommandId, payload: &[u8]) -> Vec<u8>;
+}
+
+/// One-to-one response delivery from replicas back to clients.
+///
+/// Stands in for the client↔server sockets of the paper's testbed. Every
+/// replica that executes a command sends a response; the client proxy keeps
+/// the first and discards duplicates.
+#[derive(Debug, Default)]
+pub struct ResponseRouter {
+    routes: RwLock<HashMap<ClientId, Sender<Response>>>,
+}
+
+impl ResponseRouter {
+    /// Creates an empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a client and returns its response inbox.
+    pub fn register(&self, client: ClientId) -> Receiver<Response> {
+        let (tx, rx) = unbounded();
+        self.routes.write().insert(client, tx);
+        rx
+    }
+
+    /// Unregisters a client (its inbox disconnects).
+    pub fn unregister(&self, client: ClientId) {
+        self.routes.write().remove(&client);
+    }
+
+    /// Delivers a response to a client; silently dropped if the client is
+    /// gone (a client that timed out or departed, as with real sockets).
+    pub fn respond(&self, client: ClientId, response: Response) {
+        if let Some(tx) = self.routes.read().get(&client) {
+            let _ = tx.send(response);
+        }
+    }
+
+    /// Number of registered clients.
+    pub fn len(&self) -> usize {
+        self.routes.read().len()
+    }
+
+    /// Returns whether no client is registered.
+    pub fn is_empty(&self) -> bool {
+        self.routes.read().is_empty()
+    }
+}
+
+/// Shared handle to a [`ResponseRouter`].
+pub type SharedRouter = Arc<ResponseRouter>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psmr_common::ids::RequestId;
+
+    #[test]
+    fn router_routes_to_registered_clients() {
+        let router = ResponseRouter::new();
+        let rx = router.register(ClientId::new(1));
+        router.respond(ClientId::new(1), Response::new(RequestId::new(5), vec![1]));
+        let resp = rx.recv().unwrap();
+        assert_eq!(resp.request, RequestId::new(5));
+        assert_eq!(router.len(), 1);
+    }
+
+    #[test]
+    fn responses_to_unknown_clients_are_dropped() {
+        let router = ResponseRouter::new();
+        // Does not panic or block.
+        router.respond(ClientId::new(9), Response::new(RequestId::new(0), vec![]));
+        assert!(router.is_empty());
+    }
+
+    #[test]
+    fn unregister_disconnects_the_inbox() {
+        let router = ResponseRouter::new();
+        let rx = router.register(ClientId::new(2));
+        router.unregister(ClientId::new(2));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn re_register_replaces_the_route() {
+        let router = ResponseRouter::new();
+        let old = router.register(ClientId::new(3));
+        let new = router.register(ClientId::new(3));
+        router.respond(ClientId::new(3), Response::new(RequestId::new(1), vec![7]));
+        assert!(old.try_recv().is_err() || new.try_recv().is_ok());
+        assert_eq!(router.len(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! The key-value store service of the paper (§V-A, §VI-B).
+//!
+//! An in-memory database over a B+-tree with four commands:
+//!
+//! * `insert(k, v)` — adds an entry; may restructure the tree,
+//! * `delete(k)` — removes an entry; may restructure the tree,
+//! * `read(k)` — returns the value of `k`,
+//! * `update(k, v)` — replaces the value of `k`.
+//!
+//! Keys and values are 8-byte integers; the store is initialized with a
+//! configurable number of keys (10 million in the paper's runs).
+//!
+//! Dependencies (§V-A): *"inserts and deletes depend on all commands; an
+//! update on key k depends on other updates on k, on reads on k, and on
+//! inserts and deletes"* — encoded by [`fine_dependency_spec`]. The coarse
+//! alternative of §IV-C (reads anywhere, every write global) is
+//! [`coarse_dependency_spec`], used by the C-Dep-granularity ablation.
+//!
+//! [`locked::LockedKvEngine`] is the lock-based multithreaded baseline
+//! standing in for Berkeley DB: no scheduler, no ordering — server threads
+//! execute directly against a lock-coupling concurrent B+-tree.
+
+pub mod lock_manager;
+pub mod locked;
+pub mod ops;
+pub mod service;
+
+pub use lock_manager::{LockManager, LockMode};
+pub use locked::LockedKvEngine;
+pub use ops::{KvOp, KvResult, DELETE, INSERT, READ, UPDATE};
+pub use service::{coarse_dependency_spec, fine_dependency_spec, KvService};

@@ -1,0 +1,181 @@
+//! Command identifiers and payload marshalling for the key-value store.
+//!
+//! The command signatures of §V-A:
+//!
+//! ```text
+//! insert(in: int k, char[] v, out: int err)
+//! delete(in: int k, out: int err)
+//! read  (in: int k, out: char[] v, int err)
+//! update(in: int k, char[] v, out: int err)
+//! ```
+
+use psmr_common::ids::CommandId;
+
+/// `read(in: int k, out: char[] v, int err)`.
+pub const READ: CommandId = CommandId::new(0);
+/// `update(in: int k, char[] v, out: int err)`.
+pub const UPDATE: CommandId = CommandId::new(1);
+/// `insert(in: int k, char[] v, out: int err)`.
+pub const INSERT: CommandId = CommandId::new(2);
+/// `delete(in: int k, out: int err)`.
+pub const DELETE: CommandId = CommandId::new(3);
+
+/// A decoded store invocation, as used by workload generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOp {
+    /// Read the value of a key.
+    Read {
+        /// The key.
+        key: u64,
+    },
+    /// Replace the value of an existing key.
+    Update {
+        /// The key.
+        key: u64,
+        /// The new value.
+        value: u64,
+    },
+    /// Add a key.
+    Insert {
+        /// The key.
+        key: u64,
+        /// The value.
+        value: u64,
+    },
+    /// Remove a key.
+    Delete {
+        /// The key.
+        key: u64,
+    },
+}
+
+impl KvOp {
+    /// The command identifier of this operation.
+    pub fn command(&self) -> CommandId {
+        match self {
+            KvOp::Read { .. } => READ,
+            KvOp::Update { .. } => UPDATE,
+            KvOp::Insert { .. } => INSERT,
+            KvOp::Delete { .. } => DELETE,
+        }
+    }
+
+    /// The key the operation addresses.
+    pub fn key(&self) -> u64 {
+        match *self {
+            KvOp::Read { key }
+            | KvOp::Update { key, .. }
+            | KvOp::Insert { key, .. }
+            | KvOp::Delete { key } => key,
+        }
+    }
+
+    /// Marshals the input parameters (the request payload).
+    pub fn encode(&self) -> Vec<u8> {
+        match *self {
+            KvOp::Read { key } | KvOp::Delete { key } => key.to_le_bytes().to_vec(),
+            KvOp::Update { key, value } | KvOp::Insert { key, value } => {
+                let mut p = key.to_le_bytes().to_vec();
+                p.extend_from_slice(&value.to_le_bytes());
+                p
+            }
+        }
+    }
+
+    /// Whether the paper's fine C-Dep classifies this as a dependent
+    /// command (inserts and deletes depend on everything).
+    pub fn is_structural(&self) -> bool {
+        matches!(self, KvOp::Insert { .. } | KvOp::Delete { .. })
+    }
+}
+
+/// Extracts the key from any marshalled store payload (first 8 bytes) —
+/// the C-Dep key extractor.
+pub fn key_of_payload(payload: &[u8]) -> u64 {
+    u64::from_le_bytes(payload[..8].try_into().expect("payloads start with the key"))
+}
+
+/// A decoded store response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvResult {
+    /// The operation succeeded (insert/update/delete).
+    Ok,
+    /// A read succeeded with this value.
+    Value(u64),
+    /// The key did not exist (read/update/delete) or already existed
+    /// (insert).
+    Err,
+}
+
+impl KvResult {
+    /// Marshals the output parameters (the response payload).
+    pub fn encode(&self) -> Vec<u8> {
+        match *self {
+            KvResult::Ok => vec![0],
+            KvResult::Err => vec![1],
+            KvResult::Value(v) => {
+                let mut out = vec![2];
+                out.extend_from_slice(&v.to_le_bytes());
+                out
+            }
+        }
+    }
+
+    /// Parses a marshalled response.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed bytes: responses are produced by our own
+    /// service, so corruption is a bug.
+    pub fn decode(payload: &[u8]) -> Self {
+        match payload[0] {
+            0 => KvResult::Ok,
+            1 => KvResult::Err,
+            2 => KvResult::Value(u64::from_le_bytes(
+                payload[1..9].try_into().expect("value bytes"),
+            )),
+            tag => panic!("unknown kv response tag {tag}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_carry_their_command_ids_and_keys() {
+        assert_eq!(KvOp::Read { key: 3 }.command(), READ);
+        assert_eq!(KvOp::Update { key: 3, value: 4 }.command(), UPDATE);
+        assert_eq!(KvOp::Insert { key: 3, value: 4 }.command(), INSERT);
+        assert_eq!(KvOp::Delete { key: 3 }.command(), DELETE);
+        assert_eq!(KvOp::Delete { key: 9 }.key(), 9);
+        assert!(KvOp::Insert { key: 0, value: 0 }.is_structural());
+        assert!(!KvOp::Read { key: 0 }.is_structural());
+    }
+
+    #[test]
+    fn payload_encoding_starts_with_key() {
+        for op in [
+            KvOp::Read { key: 77 },
+            KvOp::Update { key: 77, value: 1 },
+            KvOp::Insert { key: 77, value: 1 },
+            KvOp::Delete { key: 77 },
+        ] {
+            assert_eq!(key_of_payload(&op.encode()), 77);
+        }
+    }
+
+    #[test]
+    fn results_round_trip() {
+        for r in [KvResult::Ok, KvResult::Err, KvResult::Value(123456789)] {
+            assert_eq!(KvResult::decode(&r.encode()), r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown kv response tag")]
+    fn unknown_tag_panics() {
+        KvResult::decode(&[9]);
+    }
+}

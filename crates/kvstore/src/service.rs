@@ -1,0 +1,269 @@
+//! The replicated key-value store service.
+
+use crate::ops::{key_of_payload, KvResult, DELETE, INSERT, READ, UPDATE};
+use parking_lot::RwLock;
+use psmr_btree::BPlusTree;
+use psmr_common::ids::CommandId;
+use psmr_core::conflict::{CommandClass, DependencySpec};
+use psmr_core::service::Service;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The store each replica executes commands against: a B+-tree with 8-byte
+/// keys and 8-byte values.
+///
+/// Concurrency contract (matches the C-Dep of §V-A):
+///
+/// * `insert`/`delete` restructure the tree → they take the tree's write
+///   lock. C-Dep marks them Global, so the engine runs them in isolation
+///   anyway; the lock makes the service safe under any engine.
+/// * `read`/`update` touch one entry → read lock on the tree plus an
+///   atomic load/store on the value cell. Same-key update/update and
+///   update/read races are excluded by C-Dep (same key → same group →
+///   serialized).
+///
+/// # Example
+///
+/// ```
+/// use psmr_core::service::Service;
+/// use psmr_kvstore::{KvService, KvOp, KvResult, READ};
+///
+/// let store = KvService::with_keys(100); // keys 0..100, value = key
+/// let resp = store.execute(READ, &KvOp::Read { key: 42 }.encode());
+/// assert_eq!(KvResult::decode(&resp), KvResult::Value(42));
+/// ```
+#[derive(Debug)]
+pub struct KvService {
+    tree: RwLock<BPlusTree<AtomicU64>>,
+    work: Duration,
+}
+
+impl KvService {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self { tree: RwLock::new(BPlusTree::new()), work: Duration::ZERO }
+    }
+
+    /// Creates a store pre-loaded with keys `0..n`, each mapped to its own
+    /// key value — the paper initializes replicas with 10 million keys.
+    pub fn with_keys(n: u64) -> Self {
+        let mut tree = BPlusTree::new();
+        for k in 0..n {
+            tree.insert(k, AtomicU64::new(k));
+        }
+        Self { tree: RwLock::new(tree), work: Duration::ZERO }
+    }
+
+    /// Like [`KvService::with_keys`], plus a calibrated per-command
+    /// execution cost.
+    ///
+    /// On the paper's testbed the service executes at "main-memory speed"
+    /// (~1.2 µs per command against a 10-million-key tree) while the
+    /// ordering layer delivers millions of commands per second over real
+    /// NICs. On this reproduction's single-host substrate the ordering
+    /// layer is relatively slower, so with a free service *every* technique
+    /// becomes ordering-bound and the execution-side effects the paper
+    /// measures (the single-executor ceiling of SMR, parallel execution in
+    /// P-SMR/sP-SMR) would be invisible. The evaluation harness therefore
+    /// spins for `work` per command to restore the paper's regime; the
+    /// value is reported in `EXPERIMENTS.md`.
+    pub fn with_keys_and_work(n: u64, work: Duration) -> Self {
+        let mut service = Self::with_keys(n);
+        service.work = work;
+        service
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        self.tree.read().len()
+    }
+
+    /// Returns whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for KvService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Service for KvService {
+    fn execute(&self, command: CommandId, payload: &[u8]) -> Vec<u8> {
+        spin_for(self.work);
+        let key = key_of_payload(payload);
+        let result = match command {
+            READ => match self.tree.read().get(&key) {
+                Some(cell) => KvResult::Value(cell.load(Ordering::Acquire)),
+                None => KvResult::Err,
+            },
+            UPDATE => {
+                let value = u64::from_le_bytes(
+                    payload[8..16].try_into().expect("update carries a value"),
+                );
+                match self.tree.read().get(&key) {
+                    Some(cell) => {
+                        cell.store(value, Ordering::Release);
+                        KvResult::Ok
+                    }
+                    None => KvResult::Err,
+                }
+            }
+            INSERT => {
+                let value = u64::from_le_bytes(
+                    payload[8..16].try_into().expect("insert carries a value"),
+                );
+                let mut tree = self.tree.write();
+                // The paper's insert may return an error code; we treat
+                // re-inserting an existing key as the error case and leave
+                // the existing entry untouched.
+                if tree.get(&key).is_some() {
+                    KvResult::Err
+                } else {
+                    tree.insert(key, AtomicU64::new(value));
+                    KvResult::Ok
+                }
+            }
+            DELETE => match self.tree.write().remove(&key) {
+                Some(_) => KvResult::Ok,
+                None => KvResult::Err,
+            },
+            other => panic!("unknown kv command {other}"),
+        };
+        result.encode()
+    }
+}
+
+/// Busy-spins for `work` (no-op when zero): the calibrated execution cost
+/// of [`KvService::with_keys_and_work`].
+pub fn spin_for(work: Duration) {
+    if work.is_zero() {
+        return;
+    }
+    let deadline = std::time::Instant::now() + work;
+    while std::time::Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+}
+
+/// The fine-grained C-Dep of §V-A: updates and reads are keyed; inserts
+/// and deletes depend on everything. This is the spec the paper's P-SMR
+/// prototype uses (the `(x mod k) + 1` C-G of §IV-C).
+pub fn fine_dependency_spec() -> DependencySpec {
+    let mut spec = DependencySpec::new();
+    spec.declare(READ, CommandClass::Keyed { writes: false })
+        .declare(UPDATE, CommandClass::Keyed { writes: true })
+        .declare(INSERT, CommandClass::Global)
+        .declare(DELETE, CommandClass::Global)
+        .key_extractor(key_of_payload);
+    spec
+}
+
+/// The coarse C-Dep of §IV-C's first example: reads go to a single group
+/// chosen round-robin, every write depends on everything. Used by the
+/// dependency-granularity ablation.
+pub fn coarse_dependency_spec() -> DependencySpec {
+    let mut spec = DependencySpec::new();
+    spec.declare(READ, CommandClass::Free)
+        .declare(UPDATE, CommandClass::Global)
+        .declare(INSERT, CommandClass::Global)
+        .declare(DELETE, CommandClass::Global)
+        .key_extractor(key_of_payload);
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::KvOp;
+
+    fn run(store: &KvService, op: KvOp) -> KvResult {
+        KvResult::decode(&store.execute(op.command(), &op.encode()))
+    }
+
+    #[test]
+    fn crud_cycle() {
+        let store = KvService::new();
+        assert_eq!(run(&store, KvOp::Read { key: 1 }), KvResult::Err);
+        assert_eq!(run(&store, KvOp::Insert { key: 1, value: 10 }), KvResult::Ok);
+        assert_eq!(run(&store, KvOp::Read { key: 1 }), KvResult::Value(10));
+        assert_eq!(run(&store, KvOp::Update { key: 1, value: 11 }), KvResult::Ok);
+        assert_eq!(run(&store, KvOp::Read { key: 1 }), KvResult::Value(11));
+        assert_eq!(run(&store, KvOp::Delete { key: 1 }), KvResult::Ok);
+        assert_eq!(run(&store, KvOp::Read { key: 1 }), KvResult::Err);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn error_codes_match_paper_semantics() {
+        let store = KvService::new();
+        // update of a missing key: error.
+        assert_eq!(run(&store, KvOp::Update { key: 5, value: 0 }), KvResult::Err);
+        // delete of a missing key: error.
+        assert_eq!(run(&store, KvOp::Delete { key: 5 }), KvResult::Err);
+        // double insert: error.
+        assert_eq!(run(&store, KvOp::Insert { key: 5, value: 1 }), KvResult::Ok);
+        assert_eq!(run(&store, KvOp::Insert { key: 5, value: 2 }), KvResult::Err);
+        // the failed re-insert replaced nothing.
+        assert_eq!(run(&store, KvOp::Read { key: 5 }), KvResult::Value(1));
+    }
+
+    #[test]
+    fn with_keys_preloads_identity_mapping() {
+        let store = KvService::with_keys(1000);
+        assert_eq!(store.len(), 1000);
+        assert_eq!(run(&store, KvOp::Read { key: 0 }), KvResult::Value(0));
+        assert_eq!(run(&store, KvOp::Read { key: 999 }), KvResult::Value(999));
+        assert_eq!(run(&store, KvOp::Read { key: 1000 }), KvResult::Err);
+    }
+
+    #[test]
+    fn concurrent_reads_and_updates_on_distinct_keys() {
+        let store = std::sync::Arc::new(KvService::with_keys(1024));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let store = std::sync::Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000u64 {
+                    let key = (i * 8 + t) % 1024; // disjoint per thread
+                    if i % 2 == 0 {
+                        assert_eq!(
+                            run(&store, KvOp::Update { key, value: t * 100 + i }),
+                            KvResult::Ok
+                        );
+                    } else {
+                        assert!(matches!(
+                            run(&store, KvOp::Read { key }),
+                            KvResult::Value(_)
+                        ));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 1024);
+    }
+
+    #[test]
+    fn calibrated_work_delays_execution() {
+        let store = KvService::with_keys_and_work(10, Duration::from_micros(200));
+        let started = std::time::Instant::now();
+        run(&store, KvOp::Read { key: 1 });
+        assert!(started.elapsed() >= Duration::from_micros(200));
+    }
+
+    #[test]
+    fn specs_compile_and_classify() {
+        let fine = fine_dependency_spec().into_map();
+        assert!(fine.is_write(INSERT));
+        assert!(fine.is_write(UPDATE));
+        assert!(!fine.is_write(READ));
+        let coarse = coarse_dependency_spec().into_map();
+        assert!(coarse.is_write(UPDATE));
+        assert!(!coarse.is_write(READ));
+    }
+}

@@ -1,0 +1,330 @@
+//! LZ77 block compression — the workspace's stand-in for lz4.
+//!
+//! NetFS compresses every request on the client and decompresses it at the
+//! worker that executes it, then compresses the response on the way back
+//! (§VI-C of the paper; the paper uses lz4). This crate implements a small
+//! LZ77 byte-oriented block format with a greedy hash-chain matcher:
+//!
+//! * compression walks the input keeping a hash table of recent 4-byte
+//!   sequences and emits `(literal run, match)` token pairs, like lz4's
+//!   block format;
+//! * decompression is a single pass of copies — much cheaper than
+//!   compression, preserving the asymmetry the paper uses to explain why
+//!   NetFS reads (which compress large responses) show higher latency than
+//!   writes (§VII-H).
+//!
+//! # Format
+//!
+//! Each token: 1 control byte (`lit_len` in the high nibble, `match_len -
+//! MIN_MATCH` in the low nibble, 15 = "more bytes follow" as in lz4),
+//! extension bytes, literals, then a 2-byte little-endian match offset
+//! (absent for the terminal token).
+//!
+//! # Example
+//!
+//! ```
+//! let data = b"abcabcabcabcabc-abcabcabcabcabc";
+//! let compressed = psmr_lz::compress(data);
+//! assert!(compressed.len() < data.len());
+//! let back = psmr_lz::decompress(&compressed).unwrap();
+//! assert_eq!(back, data);
+//! ```
+
+use std::fmt;
+
+/// Minimum match length worth encoding (shorter matches cost more than
+/// literals).
+const MIN_MATCH: usize = 4;
+/// Maximum backwards distance a match may reference (64 KiB window).
+const MAX_OFFSET: usize = u16::MAX as usize;
+/// Hash table size (power of two).
+const HASH_BITS: u32 = 14;
+
+/// Compresses a byte slice.
+///
+/// The output always decompresses to the input; incompressible data grows
+/// by at most ~1/15 plus a small constant.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut pos = 0usize;
+    let mut literal_start = 0usize;
+
+    let hash = |window: &[u8]| -> usize {
+        let v = u32::from_le_bytes(window[..4].try_into().expect("4 bytes"));
+        (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+    };
+
+    while pos + MIN_MATCH <= input.len() {
+        let h = hash(&input[pos..]);
+        let candidate = table[h];
+        table[h] = pos;
+        let found = candidate != usize::MAX
+            && pos - candidate <= MAX_OFFSET
+            && input[candidate..candidate + MIN_MATCH] == input[pos..pos + MIN_MATCH];
+        if found {
+            // Extend the match as far as possible.
+            let mut len = MIN_MATCH;
+            while pos + len < input.len()
+                && input[candidate + len] == input[pos + len]
+            {
+                len += 1;
+            }
+            emit_token(
+                &mut out,
+                &input[literal_start..pos],
+                Some(((pos - candidate) as u16, len)),
+            );
+            // Seed the table through the match so later data can reference
+            // its interior (cheap approximation of lz4's behaviour).
+            let end = (pos + len).min(input.len().saturating_sub(MIN_MATCH - 1));
+            let mut p = pos + 1;
+            while p < end {
+                table[hash(&input[p..])] = p;
+                p += 2;
+            }
+            pos += len;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    emit_token(&mut out, &input[literal_start..], None);
+    out
+}
+
+fn emit_token(out: &mut Vec<u8>, literals: &[u8], m: Option<(u16, usize)>) {
+    let lit_len = literals.len();
+    let match_len = m.map(|(_, l)| l - MIN_MATCH).unwrap_or(0);
+    let control = ((lit_len.min(15) as u8) << 4) | (match_len.min(15) as u8);
+    out.push(control);
+    if lit_len >= 15 {
+        write_varlen(out, lit_len - 15);
+    }
+    out.extend_from_slice(literals);
+    match m {
+        Some((offset, len)) => {
+            if len - MIN_MATCH >= 15 {
+                write_varlen(out, len - MIN_MATCH - 15);
+            }
+            out.extend_from_slice(&offset.to_le_bytes());
+        }
+        None => {
+            // Terminal token: no offset bytes. The decoder recognizes it by
+            // running out of input after the literals.
+        }
+    }
+}
+
+/// lz4-style length extension: 255-valued bytes accumulate, a sub-255 byte
+/// terminates.
+fn write_varlen(out: &mut Vec<u8>, mut extra: usize) {
+    while extra >= 255 {
+        out.push(255);
+        extra -= 255;
+    }
+    out.push(extra as u8);
+}
+
+fn read_varlen(input: &[u8], pos: &mut usize) -> Result<usize, DecompressError> {
+    let mut total = 0usize;
+    loop {
+        let b = *input.get(*pos).ok_or(DecompressError::Truncated)?;
+        *pos += 1;
+        total += b as usize;
+        if b != 255 {
+            return Ok(total);
+        }
+    }
+}
+
+/// Decompresses a block produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns [`DecompressError`] on truncated input or matches referencing
+/// data before the start of the output.
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    let mut out = Vec::with_capacity(input.len() * 3);
+    let mut pos = 0usize;
+    while pos < input.len() {
+        let control = input[pos];
+        pos += 1;
+        let mut lit_len = (control >> 4) as usize;
+        let mut match_len = (control & 0x0F) as usize + MIN_MATCH;
+        if lit_len == 15 {
+            lit_len += read_varlen(input, &mut pos)?;
+        }
+        if pos + lit_len > input.len() {
+            return Err(DecompressError::Truncated);
+        }
+        out.extend_from_slice(&input[pos..pos + lit_len]);
+        pos += lit_len;
+        if pos == input.len() {
+            break; // terminal token: literals only
+        }
+        if control & 0x0F == 15 {
+            match_len += read_varlen(input, &mut pos)?;
+        }
+        if pos + 2 > input.len() {
+            return Err(DecompressError::Truncated);
+        }
+        let offset =
+            u16::from_le_bytes(input[pos..pos + 2].try_into().expect("2 bytes")) as usize;
+        pos += 2;
+        if offset == 0 || offset > out.len() {
+            return Err(DecompressError::BadOffset { offset, produced: out.len() });
+        }
+        // Byte-by-byte copy: matches may overlap themselves (RLE-style).
+        let start = out.len() - offset;
+        for i in 0..match_len {
+            let b = out[start + i];
+            out.push(b);
+        }
+    }
+    Ok(out)
+}
+
+/// Error returned by [`decompress`] on malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecompressError {
+    /// The block ended in the middle of a token.
+    Truncated,
+    /// A match referenced data before the beginning of the output.
+    BadOffset {
+        /// The offending backwards offset.
+        offset: usize,
+        /// Bytes produced so far.
+        produced: usize,
+    },
+}
+
+impl fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompressError::Truncated => write!(f, "truncated compressed block"),
+            DecompressError::BadOffset { offset, produced } => {
+                write!(f, "match offset {offset} exceeds produced bytes {produced}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) -> Vec<u8> {
+        let c = compress(data);
+        decompress(&c).expect("valid block")
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(round_trip(b""), b"");
+        assert!(compress(b"").len() <= 2);
+    }
+
+    #[test]
+    fn short_literals_pass_through() {
+        for len in 1..=8 {
+            let data: Vec<u8> = (0..len as u8).collect();
+            assert_eq!(round_trip(&data), data);
+        }
+    }
+
+    #[test]
+    fn repetitive_data_compresses_well() {
+        let data = vec![b'x'; 10_000];
+        let c = compress(&data);
+        assert!(c.len() < 200, "RLE-like data: {} bytes", c.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn text_like_data_compresses() {
+        let data = b"the quick brown fox jumps over the lazy dog. \
+                     the quick brown fox jumps over the lazy dog. \
+                     the quick brown fox jumps over the lazy dog."
+            .to_vec();
+        let c = compress(&data);
+        assert!(c.len() < data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_round_trips() {
+        // Pseudo-random bytes: no matches, bounded expansion.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 56) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+        assert!(c.len() <= data.len() + data.len() / 15 + 16);
+    }
+
+    #[test]
+    fn overlapping_matches_decode_correctly() {
+        // "abcabcabc..." forces offset < match_len (self-overlapping copy).
+        let data: Vec<u8> = b"abc".iter().cycle().take(999).copied().collect();
+        assert_eq!(round_trip(&data), data);
+    }
+
+    #[test]
+    fn long_literal_runs_use_extension_bytes() {
+        // >15 distinct literals before any match.
+        let mut data: Vec<u8> = (0u16..600).map(|i| (i % 251) as u8).collect();
+        data.extend_from_slice(&data.clone()); // now a big match exists
+        assert_eq!(round_trip(&data), data);
+    }
+
+    #[test]
+    fn long_matches_use_extension_bytes() {
+        let mut data = b"seed0123".to_vec();
+        let rep: Vec<u8> = data.iter().cycle().take(5000).copied().collect();
+        data = rep;
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_blocks_are_rejected() {
+        let data = b"abcabcabcabcabcabc";
+        let c = compress(data);
+        for cut in 1..c.len() {
+            // Any truncation either errors or (for literal-only prefixes)
+            // yields a strict prefix of the input — never garbage or panic.
+            match decompress(&c[..cut]) {
+                Ok(prefix) => assert!(data.starts_with(&prefix[..])),
+                Err(e) => {
+                    let _ = e.to_string();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_offset_is_rejected() {
+        // Control: 0 literals, match_len 4; offset 7 with nothing produced.
+        let block = [0x00u8, 7, 0];
+        assert!(matches!(
+            decompress(&block),
+            Err(DecompressError::BadOffset { .. })
+        ));
+    }
+
+    #[test]
+    fn compression_is_deterministic() {
+        let data = b"determinism matters for replicated execution".repeat(10);
+        assert_eq!(compress(&data), compress(&data));
+    }
+}

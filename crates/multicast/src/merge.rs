@@ -1,0 +1,317 @@
+//! Deterministic merge of multiple ordered batch streams.
+//!
+//! Each Paxos group produces a stream of batches with contiguous sequence
+//! numbers starting at 1 (skip batches included). A [`MergedStream`] over
+//! streams `S_1 < S_2 < … < S_m` (sorted by group id) delivers commands in
+//! *rounds*: round `r` consists of every command of batch `r` of `S_1`,
+//! then batch `r` of `S_2`, and so on. Because batch contents and sequence
+//! numbers are agreed through consensus, **every subscriber of the same
+//! stream set observes exactly the same interleaving** — the property that
+//! keeps the worker threads `t_i` of different replicas consistent.
+//!
+//! This is the deterministic merge of Multi-Ring Paxos (reference 9 of the paper),
+//! with the skip mechanism supplied by the shared round ticker of
+//! [`psmr_paxos::runtime::Pacing::Ticks`].
+
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+use psmr_common::ids::GroupId;
+use psmr_paxos::runtime::DecidedBatch;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A command handed out by the merge, tagged with its provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivered {
+    /// The group whose stream carried the command.
+    pub group: GroupId,
+    /// Sequence number of the batch within the group's stream.
+    pub batch_seq: u64,
+    /// Position of the command inside its batch.
+    pub offset: usize,
+    /// The opaque command payload.
+    pub payload: Bytes,
+}
+
+/// Deterministically merges one or more group streams into a single ordered
+/// command sequence. See the [module docs](self) for the merge rule.
+#[derive(Debug)]
+pub struct MergedStream {
+    /// Streams sorted by group id; the round-robin order.
+    streams: Vec<(GroupId, Receiver<Arc<DecidedBatch>>)>,
+    /// Index of the stream whose batch is consumed next.
+    cursor: usize,
+    /// Sequence number expected from the stream at `cursor`.
+    round: u64,
+    /// Commands of the current batch not yet handed out.
+    ready: VecDeque<Delivered>,
+    delivered: u64,
+    skipped_batches: u64,
+}
+
+impl MergedStream {
+    /// Builds a merge over the given `(group, subscription)` pairs.
+    ///
+    /// The pairs are sorted by group id internally so that all subscribers
+    /// of the same set of groups use the identical round-robin order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is empty or contains duplicate group ids.
+    pub fn new(mut streams: Vec<(GroupId, Receiver<Arc<DecidedBatch>>)>) -> Self {
+        assert!(!streams.is_empty(), "a merged stream needs at least one input");
+        streams.sort_by_key(|(g, _)| *g);
+        for pair in streams.windows(2) {
+            assert_ne!(pair[0].0, pair[1].0, "duplicate group in merge set");
+        }
+        Self {
+            streams,
+            cursor: 0,
+            round: 1,
+            ready: VecDeque::new(),
+            delivered: 0,
+            skipped_batches: 0,
+        }
+    }
+
+    /// The groups this merge consumes, in round-robin order.
+    pub fn groups(&self) -> Vec<GroupId> {
+        self.streams.iter().map(|(g, _)| *g).collect()
+    }
+
+    /// Total commands delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Total skip (empty) batches consumed so far.
+    pub fn skipped_batches(&self) -> u64 {
+        self.skipped_batches
+    }
+
+    /// Blocks until the next command is available.
+    ///
+    /// Returns `None` when any input stream disconnects (system shutdown).
+    pub fn next(&mut self) -> Option<Delivered> {
+        loop {
+            if let Some(cmd) = self.ready.pop_front() {
+                self.delivered += 1;
+                return Some(cmd);
+            }
+            let (group, rx) = &self.streams[self.cursor];
+            let batch = rx.recv().ok()?;
+            debug_assert_eq!(
+                batch.seq, self.round,
+                "stream {group} delivered batch out of order"
+            );
+            if batch.is_skip() {
+                self.skipped_batches += 1;
+            }
+            for (offset, payload) in batch.commands.iter().enumerate() {
+                self.ready.push_back(Delivered {
+                    group: *group,
+                    batch_seq: batch.seq,
+                    offset,
+                    payload: payload.clone(),
+                });
+            }
+            self.cursor += 1;
+            if self.cursor == self.streams.len() {
+                self.cursor = 0;
+                self.round += 1;
+            }
+        }
+    }
+
+    /// Non-blocking variant of [`MergedStream::next`]: returns `Ok(None)`
+    /// when no command is currently deliverable, and `Err(())` on
+    /// disconnect.
+    pub fn try_next(&mut self) -> Result<Option<Delivered>, Disconnected> {
+        loop {
+            if let Some(cmd) = self.ready.pop_front() {
+                self.delivered += 1;
+                return Ok(Some(cmd));
+            }
+            let (group, rx) = &self.streams[self.cursor];
+            match rx.try_recv() {
+                Ok(batch) => {
+                    debug_assert_eq!(
+                        batch.seq, self.round,
+                        "stream {group} delivered batch out of order"
+                    );
+                    if batch.is_skip() {
+                        self.skipped_batches += 1;
+                    }
+                    for (offset, payload) in batch.commands.iter().enumerate() {
+                        self.ready.push_back(Delivered {
+                            group: *group,
+                            batch_seq: batch.seq,
+                            offset,
+                            payload: payload.clone(),
+                        });
+                    }
+                    self.cursor += 1;
+                    if self.cursor == self.streams.len() {
+                        self.cursor = 0;
+                        self.round += 1;
+                    }
+                }
+                Err(crossbeam::channel::TryRecvError::Empty) => return Ok(None),
+                Err(crossbeam::channel::TryRecvError::Disconnected) => return Err(Disconnected),
+            }
+        }
+    }
+}
+
+/// Error returned by [`MergedStream::try_next`] when an input stream's
+/// group has shut down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl std::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "merged stream input disconnected")
+    }
+}
+
+impl std::error::Error for Disconnected {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    fn batch(seq: u64, cmds: &[&str]) -> Arc<DecidedBatch> {
+        Arc::new(DecidedBatch {
+            seq,
+            commands: cmds.iter().map(|c| Bytes::copy_from_slice(c.as_bytes())).collect(),
+        })
+    }
+
+    fn payloads(stream: &mut MergedStream, n: usize) -> Vec<String> {
+        (0..n)
+            .map(|_| {
+                let d = stream.next().expect("command available");
+                String::from_utf8(d.payload.to_vec()).expect("utf8")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_stream_passes_through_in_order() {
+        let (tx, rx) = unbounded();
+        let mut m = MergedStream::new(vec![(GroupId::new(0), rx)]);
+        tx.send(batch(1, &["a", "b"])).unwrap();
+        tx.send(batch(2, &["c"])).unwrap();
+        assert_eq!(payloads(&mut m, 3), vec!["a", "b", "c"]);
+        assert_eq!(m.delivered_count(), 3);
+    }
+
+    #[test]
+    fn two_streams_interleave_round_robin() {
+        let (tx0, rx0) = unbounded();
+        let (tx1, rx1) = unbounded();
+        let mut m =
+            MergedStream::new(vec![(GroupId::new(0), rx0), (GroupId::new(1), rx1)]);
+        tx0.send(batch(1, &["a1"])).unwrap();
+        tx1.send(batch(1, &["b1"])).unwrap();
+        tx0.send(batch(2, &["a2"])).unwrap();
+        tx1.send(batch(2, &["b2"])).unwrap();
+        assert_eq!(payloads(&mut m, 4), vec!["a1", "b1", "a2", "b2"]);
+    }
+
+    #[test]
+    fn merge_order_is_independent_of_construction_order() {
+        let make = |flip: bool| {
+            let (tx0, rx0) = unbounded();
+            let (tx1, rx1) = unbounded();
+            let inputs = if flip {
+                vec![(GroupId::new(1), rx1), (GroupId::new(0), rx0)]
+            } else {
+                vec![(GroupId::new(0), rx0), (GroupId::new(1), rx1)]
+            };
+            let mut m = MergedStream::new(inputs);
+            tx0.send(batch(1, &["x"])).unwrap();
+            tx1.send(batch(1, &["y"])).unwrap();
+            payloads(&mut m, 2)
+        };
+        assert_eq!(make(false), make(true), "sorted by group id either way");
+    }
+
+    #[test]
+    fn skip_batches_advance_the_round_without_delivering() {
+        let (tx0, rx0) = unbounded();
+        let (tx1, rx1) = unbounded();
+        let mut m =
+            MergedStream::new(vec![(GroupId::new(0), rx0), (GroupId::new(1), rx1)]);
+        // Stream 1 is idle: only skips.
+        tx0.send(batch(1, &["a1"])).unwrap();
+        tx1.send(batch(1, &[])).unwrap();
+        tx0.send(batch(2, &["a2"])).unwrap();
+        tx1.send(batch(2, &[])).unwrap();
+        assert_eq!(payloads(&mut m, 2), vec!["a1", "a2"]);
+        // The round-2 skip of stream 1 is consumed on the next poll.
+        assert_eq!(m.try_next(), Ok(None));
+        assert_eq!(m.skipped_batches(), 2);
+    }
+
+    #[test]
+    fn merge_blocks_on_lagging_stream() {
+        // Without stream 1's batch for the round, its commands must not be
+        // overtaken by stream 0's next round.
+        let (tx0, rx0) = unbounded();
+        let (tx1, rx1) = unbounded();
+        let mut m =
+            MergedStream::new(vec![(GroupId::new(0), rx0), (GroupId::new(1), rx1)]);
+        tx0.send(batch(1, &["a1"])).unwrap();
+        tx0.send(batch(2, &["a2"])).unwrap();
+        assert_eq!(payloads(&mut m, 1), vec!["a1"]);
+        assert_eq!(m.try_next(), Ok(None), "round 1 of stream 1 missing");
+        tx1.send(batch(1, &["b1"])).unwrap();
+        assert_eq!(payloads(&mut m, 2), vec!["b1", "a2"]);
+    }
+
+    #[test]
+    fn try_next_reports_disconnect() {
+        let (tx, rx) = unbounded();
+        let mut m = MergedStream::new(vec![(GroupId::new(0), rx)]);
+        drop(tx);
+        assert_eq!(m.try_next(), Err(Disconnected));
+        assert!(Disconnected.to_string().contains("disconnected"));
+    }
+
+    #[test]
+    fn next_returns_none_on_disconnect() {
+        let (tx, rx) = unbounded();
+        let mut m = MergedStream::new(vec![(GroupId::new(0), rx)]);
+        tx.send(batch(1, &["last"])).unwrap();
+        drop(tx);
+        assert_eq!(payloads(&mut m, 1), vec!["last"]);
+        assert!(m.next().is_none());
+    }
+
+    #[test]
+    fn provenance_fields_are_filled() {
+        let (tx, rx) = unbounded();
+        let mut m = MergedStream::new(vec![(GroupId::new(7), rx)]);
+        tx.send(batch(1, &["a", "b"])).unwrap();
+        let d0 = m.next().unwrap();
+        let d1 = m.next().unwrap();
+        assert_eq!((d0.group, d0.batch_seq, d0.offset), (GroupId::new(7), 1, 0));
+        assert_eq!((d1.group, d1.batch_seq, d1.offset), (GroupId::new(7), 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn empty_merge_set_rejected() {
+        let _ = MergedStream::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate group")]
+    fn duplicate_groups_rejected() {
+        let (_tx0, rx0) = unbounded();
+        let (_tx1, rx1) = unbounded();
+        let _ = MergedStream::new(vec![(GroupId::new(0), rx0), (GroupId::new(0), rx1)]);
+    }
+}

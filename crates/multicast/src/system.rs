@@ -1,0 +1,425 @@
+//! The multicast system: group management and routing.
+
+use crate::merge::MergedStream;
+use bytes::Bytes;
+use psmr_common::ids::{GroupId, WorkerId};
+use psmr_common::SystemConfig;
+use psmr_netsim::live::LiveNet;
+use psmr_paxos::runtime::{GroupHandle, Pacing, PaxosGroup};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The destination set `γ` of a multicast (Algorithm 1, line 2).
+///
+/// The C-G functions of the paper produce either a singleton (independent
+/// command → parallel mode) or the set of all groups (dependent command →
+/// synchronous mode); arbitrary subsets are supported for completeness.
+///
+/// # Example
+///
+/// ```
+/// use psmr_common::ids::GroupId;
+/// use psmr_multicast::Destinations;
+///
+/// let one = Destinations::one(GroupId::new(2));
+/// assert!(one.is_singleton());
+/// let all = Destinations::all(4);
+/// assert_eq!(all.groups().len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Destinations {
+    groups: Vec<GroupId>,
+}
+
+impl Destinations {
+    /// A singleton destination set.
+    pub fn one(group: GroupId) -> Self {
+        Self { groups: vec![group] }
+    }
+
+    /// The set of all `k` per-worker groups `g_0..g_{k-1}`.
+    pub fn all(k: usize) -> Self {
+        Self { groups: (0..k).map(GroupId::new).collect() }
+    }
+
+    /// An arbitrary destination set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty: every command has at least one
+    /// destination.
+    pub fn some(mut groups: Vec<GroupId>) -> Self {
+        assert!(!groups.is_empty(), "a command needs at least one destination group");
+        groups.sort_unstable();
+        groups.dedup();
+        Self { groups }
+    }
+
+    /// Whether the command involves exactly one group (parallel mode).
+    pub fn is_singleton(&self) -> bool {
+        self.groups.len() == 1
+    }
+
+    /// The groups of the set, sorted ascending.
+    pub fn groups(&self) -> &[GroupId] {
+        &self.groups
+    }
+
+    /// Whether the given group is a destination.
+    pub fn contains(&self, group: GroupId) -> bool {
+        self.groups.binary_search(&group).is_ok()
+    }
+
+    /// The deterministically elected executor group: `min{j : g_j ∈ γ}`
+    /// (Algorithm 1, line 16).
+    pub fn executor(&self) -> GroupId {
+        self.groups[0]
+    }
+}
+
+/// A running multicast deployment: one Paxos group per per-worker stream
+/// plus the shared `g_all` stream.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct MulticastSystem {
+    groups: Vec<PaxosGroup>,
+    cfg: SystemConfig,
+    /// The shared round clock of the deployment (absent for single-stream
+    /// layouts): one thread ticking every `cfg.skip_interval`, broadcast to
+    /// every group so all streams advance in lockstep.
+    ticker: Option<TickerHandle>,
+}
+
+#[derive(Debug)]
+struct TickerHandle {
+    run: Arc<AtomicBool>,
+    started: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// Cloneable sender side of a [`MulticastSystem`] used by client proxies.
+#[derive(Debug, Clone)]
+pub struct MulticastHandle {
+    handles: Vec<GroupHandle>,
+    all_group: GroupId,
+}
+
+impl MulticastSystem {
+    /// Spawns the P-SMR group layout: `k` per-worker groups plus `g_all`
+    /// (index `k`), where `k = cfg.mpl`, all round-paced by one shared
+    /// ticker at `cfg.skip_interval`.
+    pub fn spawn(cfg: &SystemConfig) -> Self {
+        let mut tick_txs = Vec::with_capacity(cfg.group_count());
+        let groups = (0..cfg.group_count())
+            .map(|gid| {
+                let (tx, rx) = crossbeam::channel::unbounded();
+                tick_txs.push(tx);
+                PaxosGroup::spawn_with(gid, cfg, LiveNet::new(), Pacing::Ticks(rx))
+            })
+            .collect();
+        let run = Arc::new(AtomicBool::new(true));
+        let started = Arc::new(AtomicBool::new(false));
+        let interval = cfg.skip_interval;
+        let thread = {
+            let run = Arc::clone(&run);
+            let started = Arc::clone(&started);
+            std::thread::Builder::new()
+                .name("mcast-ticker".into())
+                .spawn(move || {
+                    let mut tick = 0u64;
+                    while run.load(Ordering::Relaxed) {
+                        std::thread::sleep(interval);
+                        if !started.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        tick += 1;
+                        for tx in &tick_txs {
+                            let _ = tx.send(tick);
+                        }
+                    }
+                })
+                .expect("spawn multicast ticker")
+        };
+        Self {
+            groups,
+            cfg: cfg.clone(),
+            ticker: Some(TickerHandle { run, started, thread: Some(thread) }),
+        }
+    }
+
+    /// Spawns a single totally-ordered stream (the SMR / sP-SMR layout):
+    /// one group, no skips needed.
+    pub fn spawn_single(cfg: &SystemConfig) -> Self {
+        let mut single = cfg.clone();
+        single.mpl = 1;
+        // Layout: g_0 doubles as the only stream; group count is still
+        // mpl+1 but only g_0 is used. Spawn just g_0 to avoid idle threads.
+        let groups =
+            vec![PaxosGroup::spawn_with(0, &single, LiveNet::new(), Pacing::Batched)];
+        Self { groups, cfg: single, ticker: None }
+    }
+
+    /// The configuration the system was spawned with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Returns a cloneable multicast handle for client proxies.
+    pub fn handle(&self) -> MulticastHandle {
+        MulticastHandle {
+            handles: self.groups.iter().map(|g| g.handle()).collect(),
+            all_group: self.cfg.all_group(),
+        }
+    }
+
+    /// Subscribes worker `t_i` of a replica: a deterministic merge of its
+    /// per-worker stream `g_i` and the shared stream `g_all`.
+    ///
+    /// Every call creates an independent subscription, so each replica's
+    /// `t_i` gets an identical merged sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is outside the configured multiprogramming level
+    /// or if the system was spawned with [`MulticastSystem::spawn_single`].
+    pub fn worker_stream(&self, worker: WorkerId) -> MergedStream {
+        assert!(
+            worker.as_raw() < self.cfg.mpl,
+            "worker {worker} outside MPL {}",
+            self.cfg.mpl
+        );
+        assert!(
+            self.groups.len() > 1,
+            "worker streams require the P-SMR layout (use spawn, not spawn_single)"
+        );
+        let gi = GroupId::from(worker);
+        let gall = self.cfg.all_group();
+        MergedStream::new(vec![
+            (gi, self.groups[gi.as_raw()].subscribe()),
+            (gall, self.groups[gall.as_raw()].subscribe()),
+        ])
+    }
+
+    /// Subscribes to the single totally-ordered stream of a
+    /// [`MulticastSystem::spawn_single`] deployment.
+    pub fn single_stream(&self) -> MergedStream {
+        MergedStream::new(vec![(GroupId::new(0), self.groups[0].subscribe())])
+    }
+
+    /// Starts every group (and the shared ticker). Call once all worker
+    /// streams / subscriptions have been created; before the start no
+    /// batches (or skip rounds) flow.
+    pub fn start(&self) {
+        for g in &self.groups {
+            g.start();
+        }
+        if let Some(ticker) = &self.ticker {
+            ticker.started.store(true, Ordering::Release);
+        }
+    }
+
+    /// Shuts down every group and joins their threads.
+    pub fn shutdown(mut self) {
+        if let Some(mut ticker) = self.ticker.take() {
+            ticker.run.store(false, Ordering::Relaxed);
+            if let Some(t) = ticker.thread.take() {
+                let _ = t.join();
+            }
+        }
+        for g in self.groups {
+            g.shutdown();
+        }
+    }
+}
+
+impl MulticastHandle {
+    /// Multicasts a request payload to the destination set `γ`.
+    ///
+    /// Routing follows §VI-A: a message can be addressed to a single group
+    /// only, so singleton sets go to that group's stream and any larger set
+    /// is routed through `g_all` (which every worker delivers).
+    pub fn multicast(&self, destinations: &Destinations, payload: Bytes) {
+        let target = if destinations.is_singleton() {
+            destinations.executor()
+        } else {
+            self.all_group
+        };
+        self.handles[target.as_raw()].submit(payload);
+    }
+
+    /// Multicasts a payload through the shared serialized-request group
+    /// `g_all`, regardless of destination-set size (§VI-C: "one group
+    /// for serialized requests"). Used for globally dependent commands so
+    /// the serialized path is identical at every MPL, including MPL 1
+    /// where the "all groups" set is technically a singleton.
+    pub fn multicast_serial(&self, payload: Bytes) {
+        self.handles[self.all_group.as_raw()].submit(payload);
+    }
+
+    /// The shared group used for multi-destination commands.
+    pub fn all_group(&self) -> GroupId {
+        self.all_group
+    }
+
+    /// Shuts down all underlying groups (used by engines owning a handle).
+    pub fn shutdown(&self) {
+        for h in &self.handles {
+            h.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn test_cfg(mpl: usize) -> SystemConfig {
+        let mut cfg = SystemConfig::new(mpl);
+        cfg.batch_delay(Duration::from_micros(100))
+            .skip_interval(Duration::from_micros(500));
+        cfg
+    }
+
+    #[test]
+    fn destinations_singleton_and_all() {
+        let d = Destinations::one(GroupId::new(3));
+        assert!(d.is_singleton());
+        assert_eq!(d.executor(), GroupId::new(3));
+        let d = Destinations::all(4);
+        assert!(!d.is_singleton());
+        assert_eq!(d.executor(), GroupId::new(0));
+        assert!(d.contains(GroupId::new(2)));
+        assert!(!d.contains(GroupId::new(4)));
+    }
+
+    #[test]
+    fn destinations_some_sorts_and_dedups() {
+        let d = Destinations::some(vec![GroupId::new(2), GroupId::new(0), GroupId::new(2)]);
+        assert_eq!(d.groups(), &[GroupId::new(0), GroupId::new(2)]);
+        assert_eq!(d.executor(), GroupId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one destination")]
+    fn empty_destinations_rejected() {
+        let _ = Destinations::some(Vec::new());
+    }
+
+    #[test]
+    fn singleton_command_reaches_only_its_worker() {
+        let system = MulticastSystem::spawn(&test_cfg(2));
+        let handle = system.handle();
+        let mut w0 = system.worker_stream(WorkerId::new(0));
+        let mut w1 = system.worker_stream(WorkerId::new(1));
+        system.start();
+        handle.multicast(&Destinations::one(GroupId::new(0)), Bytes::from_static(b"for-w0"));
+        let d = w0.next().expect("w0 delivers");
+        assert_eq!(&d.payload[..], b"for-w0");
+        assert_eq!(d.group, GroupId::new(0));
+        // w1 must not see it: only skips flow on its streams. Drain briefly.
+        std::thread::sleep(Duration::from_millis(10));
+        while let Ok(Some(d)) = w1.try_next() {
+            panic!("w1 unexpectedly delivered {d:?}");
+        }
+        system.shutdown();
+    }
+
+    #[test]
+    fn multi_destination_command_reaches_every_worker() {
+        let system = MulticastSystem::spawn(&test_cfg(3));
+        let handle = system.handle();
+        let mut streams: Vec<_> =
+            (0..3).map(|i| system.worker_stream(WorkerId::new(i))).collect();
+        system.start();
+        handle.multicast(&Destinations::all(3), Bytes::from_static(b"everyone"));
+        for s in &mut streams {
+            let d = s.next().expect("delivered");
+            assert_eq!(&d.payload[..], b"everyone");
+            assert_eq!(d.group, GroupId::new(3), "routed via g_all");
+        }
+        system.shutdown();
+    }
+
+    #[test]
+    fn replicas_of_the_same_worker_see_identical_sequences() {
+        // Two subscriptions for worker 0 = worker t_0 of two replicas.
+        let system = MulticastSystem::spawn(&test_cfg(2));
+        let handle = system.handle();
+        let mut replica_a = system.worker_stream(WorkerId::new(0));
+        let mut replica_b = system.worker_stream(WorkerId::new(0));
+        system.start();
+        // Interleave singleton and all-group traffic.
+        for i in 0..30u32 {
+            let payload = Bytes::from(i.to_le_bytes().to_vec());
+            if i % 3 == 0 {
+                handle.multicast(&Destinations::all(2), payload);
+            } else {
+                handle.multicast(&Destinations::one(GroupId::new(0)), payload);
+            }
+        }
+        let take = |s: &mut MergedStream, n: usize| -> Vec<(GroupId, u64, usize, u32)> {
+            (0..n)
+                .map(|_| {
+                    let d = s.next().expect("delivered");
+                    let v = u32::from_le_bytes(d.payload[..4].try_into().unwrap());
+                    (d.group, d.batch_seq, d.offset, v)
+                })
+                .collect()
+        };
+        assert_eq!(take(&mut replica_a, 30), take(&mut replica_b, 30));
+        system.shutdown();
+    }
+
+    #[test]
+    fn same_group_commands_stay_fifo() {
+        let system = MulticastSystem::spawn(&test_cfg(1));
+        let handle = system.handle();
+        let mut w0 = system.worker_stream(WorkerId::new(0));
+        system.start();
+        for i in 0..100u32 {
+            handle.multicast(
+                &Destinations::one(GroupId::new(0)),
+                Bytes::from(i.to_le_bytes().to_vec()),
+            );
+        }
+        let mut got = Vec::new();
+        while got.len() < 100 {
+            let d = w0.next().expect("delivered");
+            got.push(u32::from_le_bytes(d.payload[..4].try_into().unwrap()));
+        }
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        system.shutdown();
+    }
+
+    #[test]
+    fn single_layout_provides_total_order() {
+        let system = MulticastSystem::spawn_single(&test_cfg(8));
+        let handle = system.handle();
+        let mut a = system.single_stream();
+        let mut b = system.single_stream();
+        system.start();
+        for i in 0..50u32 {
+            handle.multicast(&Destinations::one(GroupId::new(0)), Bytes::from(i.to_le_bytes().to_vec()));
+        }
+        let take = |s: &mut MergedStream, n: usize| -> Vec<u32> {
+            (0..n)
+                .map(|_| {
+                    let d = s.next().expect("delivered");
+                    u32::from_le_bytes(d.payload[..4].try_into().unwrap())
+                })
+                .collect()
+        };
+        assert_eq!(take(&mut a, 50), take(&mut b, 50));
+        system.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside MPL")]
+    fn worker_stream_validates_worker_id() {
+        let system = MulticastSystem::spawn(&test_cfg(2));
+        let _ = system.worker_stream(WorkerId::new(5));
+    }
+}

@@ -1,0 +1,152 @@
+//! The client-side file system proxy.
+//!
+//! Stands in for the FUSE interception layer of §VI-C: applications call
+//! typed methods; the proxy marshals and compresses each call, multicasts
+//! it through the replication engine, and decompresses the response.
+//! Unlike the key-value store (one proxy per client), NetFS shares one
+//! client proxy per node in the paper — here each [`NetFsClient`] wraps one
+//! [`ClientProxy`] and can be shared behind a lock if desired.
+
+use crate::ops::{NetFsOp, NetFsResult, Stat};
+use psmr_core::client::ClientProxy;
+use psmr_common::ids::RequestId;
+
+/// A typed file system client over a replication engine.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct NetFsClient {
+    proxy: ClientProxy,
+}
+
+impl NetFsClient {
+    /// Wraps an engine client.
+    pub fn new(proxy: ClientProxy) -> Self {
+        Self { proxy }
+    }
+
+    fn call(&mut self, op: NetFsOp) -> NetFsResult {
+        let payload = op.encode_payload();
+        let resp = self.proxy.execute(op.command(), payload);
+        NetFsResult::decode(&resp).expect("NetFS responses decode")
+    }
+
+    fn unit(&mut self, op: NetFsOp) -> Result<(), i32> {
+        match self.call(op) {
+            NetFsResult::Ok => Ok(()),
+            NetFsResult::Err(e) => Err(e),
+            other => panic!("unexpected NetFS response {other:?}"),
+        }
+    }
+
+    /// Creates an empty file.
+    pub fn create(&mut self, path: &str) -> Result<(), i32> {
+        self.unit(NetFsOp::Create { path: path.into() })
+    }
+
+    /// Creates a file node (alias of create in our model).
+    pub fn mknod(&mut self, path: &str) -> Result<(), i32> {
+        self.unit(NetFsOp::Mknod { path: path.into() })
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(&mut self, path: &str) -> Result<(), i32> {
+        self.unit(NetFsOp::Mkdir { path: path.into() })
+    }
+
+    /// Removes a file.
+    pub fn unlink(&mut self, path: &str) -> Result<(), i32> {
+        self.unit(NetFsOp::Unlink { path: path.into() })
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&mut self, path: &str) -> Result<(), i32> {
+        self.unit(NetFsOp::Rmdir { path: path.into() })
+    }
+
+    /// Opens a file, returning a descriptor.
+    pub fn open(&mut self, path: &str) -> Result<u64, i32> {
+        match self.call(NetFsOp::Open { path: path.into() }) {
+            NetFsResult::Fd(fd) => Ok(fd),
+            NetFsResult::Err(e) => Err(e),
+            other => panic!("unexpected NetFS response {other:?}"),
+        }
+    }
+
+    /// Opens a directory, returning a descriptor.
+    pub fn opendir(&mut self, path: &str) -> Result<u64, i32> {
+        match self.call(NetFsOp::Opendir { path: path.into() }) {
+            NetFsResult::Fd(fd) => Ok(fd),
+            NetFsResult::Err(e) => Err(e),
+            other => panic!("unexpected NetFS response {other:?}"),
+        }
+    }
+
+    /// Closes a file descriptor.
+    pub fn release(&mut self, fd: u64) -> Result<(), i32> {
+        self.unit(NetFsOp::Release { fd })
+    }
+
+    /// Closes a directory descriptor.
+    pub fn releasedir(&mut self, fd: u64) -> Result<(), i32> {
+        self.unit(NetFsOp::Releasedir { fd })
+    }
+
+    /// Sets a file's modification time.
+    pub fn utimens(&mut self, path: &str, mtime: u64) -> Result<(), i32> {
+        self.unit(NetFsOp::Utimens { path: path.into(), mtime })
+    }
+
+    /// Existence check.
+    pub fn access(&mut self, path: &str) -> Result<(), i32> {
+        self.unit(NetFsOp::Access { path: path.into() })
+    }
+
+    /// Metadata lookup.
+    pub fn lstat(&mut self, path: &str) -> Result<Stat, i32> {
+        match self.call(NetFsOp::Lstat { path: path.into() }) {
+            NetFsResult::Stat(stat) => Ok(stat),
+            NetFsResult::Err(e) => Err(e),
+            other => panic!("unexpected NetFS response {other:?}"),
+        }
+    }
+
+    /// Reads up to `len` bytes at `offset`.
+    pub fn read(&mut self, path: &str, offset: u64, len: u32) -> Result<Vec<u8>, i32> {
+        match self.call(NetFsOp::Read { path: path.into(), offset, len }) {
+            NetFsResult::Data(data) => Ok(data),
+            NetFsResult::Err(e) => Err(e),
+            other => panic!("unexpected NetFS response {other:?}"),
+        }
+    }
+
+    /// Writes `data` at `offset`.
+    pub fn write(&mut self, path: &str, offset: u64, data: &[u8]) -> Result<(), i32> {
+        self.unit(NetFsOp::Write { path: path.into(), offset, data: data.to_vec() })
+    }
+
+    /// Lists a directory.
+    pub fn readdir(&mut self, path: &str) -> Result<Vec<String>, i32> {
+        match self.call(NetFsOp::Readdir { path: path.into() }) {
+            NetFsResult::Entries(entries) => Ok(entries),
+            NetFsResult::Err(e) => Err(e),
+            other => panic!("unexpected NetFS response {other:?}"),
+        }
+    }
+
+    /// Submits a call without waiting (windowed benchmarking).
+    pub fn submit(&mut self, op: &NetFsOp) -> RequestId {
+        self.proxy.submit(op.command(), op.encode_payload())
+    }
+
+    /// Receives the next completed call's decoded response.
+    pub fn recv(&mut self) -> (RequestId, NetFsResult) {
+        let (id, payload) = self.proxy.recv_response();
+        (id, NetFsResult::decode(&payload).expect("NetFS responses decode"))
+    }
+
+    /// Outstanding windowed calls.
+    pub fn outstanding(&self) -> usize {
+        self.proxy.outstanding()
+    }
+}

@@ -1,0 +1,494 @@
+//! The in-memory file system a NetFS replica executes against.
+//!
+//! A tree of directories and files plus the shared file-descriptor table
+//! (§V-B: "each file descriptor seen by a client when opening a file is
+//! mapped to a local file descriptor at each NetFS server. Such mapping is
+//! done with a hash table accessed by all threads").
+//!
+//! Locking discipline (mirrors the service's C-Dep):
+//!
+//! * structural calls and fd-table calls are Global → they take the tree's
+//!   write lock;
+//! * per-path calls take the read lock to resolve the path and then lock
+//!   the file's own mutex for data access. Same-path calls are serialized
+//!   by C-Dep; different-path calls touch different mutexes.
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+
+/// POSIX-ish error codes used by NetFS.
+pub mod errno {
+    /// No such file or directory.
+    pub const ENOENT: i32 = 2;
+    /// Bad file descriptor.
+    pub const EBADF: i32 = 9;
+    /// File exists.
+    pub const EEXIST: i32 = 17;
+    /// Not a directory.
+    pub const ENOTDIR: i32 = 20;
+    /// Is a directory.
+    pub const EISDIR: i32 = 21;
+    /// Directory not empty.
+    pub const ENOTEMPTY: i32 = 39;
+}
+
+use errno::*;
+
+#[derive(Debug)]
+enum Node {
+    File { data: Mutex<Vec<u8>>, mtime: Mutex<u64> },
+    Dir { children: HashMap<String, Node> },
+}
+
+impl Node {
+    fn new_file() -> Self {
+        Node::File { data: Mutex::new(Vec::new()), mtime: Mutex::new(0) }
+    }
+
+    fn new_dir() -> Self {
+        Node::Dir { children: HashMap::new() }
+    }
+}
+
+/// What an open descriptor refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Handle {
+    File(String),
+    Dir(String),
+}
+
+/// The in-memory file system. All methods return POSIX-style results.
+#[derive(Debug)]
+pub struct MemFs {
+    root: RwLock<Node>,
+    /// The shared fd table (one per replica, accessed by all workers).
+    fds: Mutex<FdTable>,
+}
+
+#[derive(Debug, Default)]
+struct FdTable {
+    next: u64,
+    open: HashMap<u64, Handle>,
+}
+
+/// Splits `/a/b/c` into `(["a", "b"], "c")`. Returns `None` for the root
+/// or malformed paths.
+fn split_path(path: &str) -> Option<(Vec<&str>, &str)> {
+    if !path.starts_with('/') {
+        return None;
+    }
+    let mut parts: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let last = parts.pop()?;
+    Some((parts, last))
+}
+
+impl MemFs {
+    /// An empty file system (just `/`).
+    pub fn new() -> Self {
+        Self { root: RwLock::new(Node::new_dir()), fds: Mutex::new(FdTable::default()) }
+    }
+
+    fn with_parent<T>(
+        root: &Node,
+        path: &str,
+        f: impl FnOnce(&HashMap<String, Node>, &str) -> Result<T, i32>,
+    ) -> Result<T, i32> {
+        let (dirs, name) = split_path(path).ok_or(ENOENT)?;
+        let mut node = root;
+        for d in dirs {
+            match node {
+                Node::Dir { children } => {
+                    node = children.get(d).ok_or(ENOENT)?;
+                }
+                Node::File { .. } => return Err(ENOTDIR),
+            }
+        }
+        match node {
+            Node::Dir { children } => f(children, name),
+            Node::File { .. } => Err(ENOTDIR),
+        }
+    }
+
+    fn with_parent_mut<T>(
+        root: &mut Node,
+        path: &str,
+        f: impl FnOnce(&mut HashMap<String, Node>, &str) -> Result<T, i32>,
+    ) -> Result<T, i32> {
+        let (dirs, name) = split_path(path).ok_or(ENOENT)?;
+        let mut node = root;
+        for d in dirs {
+            match node {
+                Node::Dir { children } => {
+                    node = children.get_mut(d).ok_or(ENOENT)?;
+                }
+                Node::File { .. } => return Err(ENOTDIR),
+            }
+        }
+        match node {
+            Node::Dir { children } => f(children, name),
+            Node::File { .. } => Err(ENOTDIR),
+        }
+    }
+
+    /// Creates an empty file (`create` / `mknod`).
+    pub fn create(&self, path: &str) -> Result<(), i32> {
+        let mut root = self.root.write();
+        Self::with_parent_mut(&mut root, path, |children, name| {
+            if children.contains_key(name) {
+                return Err(EEXIST);
+            }
+            children.insert(name.to_string(), Node::new_file());
+            Ok(())
+        })
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(&self, path: &str) -> Result<(), i32> {
+        let mut root = self.root.write();
+        Self::with_parent_mut(&mut root, path, |children, name| {
+            if children.contains_key(name) {
+                return Err(EEXIST);
+            }
+            children.insert(name.to_string(), Node::new_dir());
+            Ok(())
+        })
+    }
+
+    /// Removes a file.
+    pub fn unlink(&self, path: &str) -> Result<(), i32> {
+        let mut root = self.root.write();
+        Self::with_parent_mut(&mut root, path, |children, name| {
+            match children.get(name) {
+                Some(Node::File { .. }) => {
+                    children.remove(name);
+                    Ok(())
+                }
+                Some(Node::Dir { .. }) => Err(EISDIR),
+                None => Err(ENOENT),
+            }
+        })
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&self, path: &str) -> Result<(), i32> {
+        let mut root = self.root.write();
+        Self::with_parent_mut(&mut root, path, |children, name| {
+            match children.get(name) {
+                Some(Node::Dir { children: grand }) => {
+                    if !grand.is_empty() {
+                        return Err(ENOTEMPTY);
+                    }
+                    children.remove(name);
+                    Ok(())
+                }
+                Some(Node::File { .. }) => Err(ENOTDIR),
+                None => Err(ENOENT),
+            }
+        })
+    }
+
+    /// Opens a file, allocating a shared-table descriptor.
+    pub fn open(&self, path: &str) -> Result<u64, i32> {
+        let root = self.root.read();
+        Self::with_parent(&root, path, |children, name| match children.get(name) {
+            Some(Node::File { .. }) => Ok(()),
+            Some(Node::Dir { .. }) => Err(EISDIR),
+            None => Err(ENOENT),
+        })?;
+        let mut fds = self.fds.lock();
+        fds.next += 1;
+        let fd = fds.next;
+        fds.open.insert(fd, Handle::File(path.to_string()));
+        Ok(fd)
+    }
+
+    /// Opens a directory handle.
+    pub fn opendir(&self, path: &str) -> Result<u64, i32> {
+        if path == "/" {
+            let mut fds = self.fds.lock();
+            fds.next += 1;
+            let fd = fds.next;
+            fds.open.insert(fd, Handle::Dir("/".to_string()));
+            return Ok(fd);
+        }
+        let root = self.root.read();
+        Self::with_parent(&root, path, |children, name| match children.get(name) {
+            Some(Node::Dir { .. }) => Ok(()),
+            Some(Node::File { .. }) => Err(ENOTDIR),
+            None => Err(ENOENT),
+        })?;
+        let mut fds = self.fds.lock();
+        fds.next += 1;
+        let fd = fds.next;
+        fds.open.insert(fd, Handle::Dir(path.to_string()));
+        Ok(fd)
+    }
+
+    /// Closes a file descriptor.
+    pub fn release(&self, fd: u64) -> Result<(), i32> {
+        // Take the lock once: a guard held through a `match` scrutinee
+        // would deadlock against the re-insert below.
+        let mut fds = self.fds.lock();
+        match fds.open.remove(&fd) {
+            Some(Handle::File(_)) => Ok(()),
+            Some(h @ Handle::Dir(_)) => {
+                // Wrong kind: restore and fail, like close(2) on a dirfd
+                // opened with opendir in our model.
+                fds.open.insert(fd, h);
+                Err(EBADF)
+            }
+            None => Err(EBADF),
+        }
+    }
+
+    /// Closes a directory descriptor.
+    pub fn releasedir(&self, fd: u64) -> Result<(), i32> {
+        let mut fds = self.fds.lock();
+        match fds.open.remove(&fd) {
+            Some(Handle::Dir(_)) => Ok(()),
+            Some(h @ Handle::File(_)) => {
+                fds.open.insert(fd, h);
+                Err(EBADF)
+            }
+            None => Err(EBADF),
+        }
+    }
+
+    /// Number of open descriptors (tests/diagnostics).
+    pub fn open_fds(&self) -> usize {
+        self.fds.lock().open.len()
+    }
+
+    /// Sets a file's modification time.
+    pub fn utimens(&self, path: &str, mtime: u64) -> Result<(), i32> {
+        let root = self.root.read();
+        Self::with_parent(&root, path, |children, name| match children.get(name) {
+            Some(Node::File { mtime: m, .. }) => {
+                *m.lock() = mtime;
+                Ok(())
+            }
+            Some(Node::Dir { .. }) => Err(EISDIR),
+            None => Err(ENOENT),
+        })
+    }
+
+    /// Existence check.
+    pub fn access(&self, path: &str) -> Result<(), i32> {
+        if path == "/" {
+            return Ok(());
+        }
+        let root = self.root.read();
+        Self::with_parent(&root, path, |children, name| {
+            children.get(name).map(|_| ()).ok_or(ENOENT)
+        })
+    }
+
+    /// Metadata lookup.
+    pub fn lstat(&self, path: &str) -> Result<crate::ops::Stat, i32> {
+        if path == "/" {
+            return Ok(crate::ops::Stat { size: 0, is_dir: true, mtime: 0 });
+        }
+        let root = self.root.read();
+        Self::with_parent(&root, path, |children, name| match children.get(name) {
+            Some(Node::File { data, mtime }) => Ok(crate::ops::Stat {
+                size: data.lock().len() as u64,
+                is_dir: false,
+                mtime: *mtime.lock(),
+            }),
+            Some(Node::Dir { .. }) => {
+                Ok(crate::ops::Stat { size: 0, is_dir: true, mtime: 0 })
+            }
+            None => Err(ENOENT),
+        })
+    }
+
+    /// Reads up to `len` bytes at `offset`.
+    pub fn read(&self, path: &str, offset: u64, len: u32) -> Result<Vec<u8>, i32> {
+        let root = self.root.read();
+        Self::with_parent(&root, path, |children, name| match children.get(name) {
+            Some(Node::File { data, .. }) => {
+                let data = data.lock();
+                let start = (offset as usize).min(data.len());
+                let end = (start + len as usize).min(data.len());
+                Ok(data[start..end].to_vec())
+            }
+            Some(Node::Dir { .. }) => Err(EISDIR),
+            None => Err(ENOENT),
+        })
+    }
+
+    /// Writes `data` at `offset`, zero-filling any gap, and bumps the
+    /// file's mtime deterministically (mtime = max(mtime+1, offset-derived
+    /// counter) is avoided; we simply increment, which is deterministic
+    /// across replicas because same-path writes are serialized).
+    pub fn write(&self, path: &str, offset: u64, data: &[u8]) -> Result<u32, i32> {
+        let root = self.root.read();
+        Self::with_parent(&root, path, |children, name| match children.get(name) {
+            Some(Node::File { data: file, mtime }) => {
+                let mut file = file.lock();
+                let end = offset as usize + data.len();
+                if file.len() < end {
+                    file.resize(end, 0);
+                }
+                file[offset as usize..end].copy_from_slice(data);
+                *mtime.lock() += 1;
+                Ok(data.len() as u32)
+            }
+            Some(Node::Dir { .. }) => Err(EISDIR),
+            None => Err(ENOENT),
+        })
+    }
+
+    /// Lists a directory's entries, sorted (determinism across replicas).
+    pub fn readdir(&self, path: &str) -> Result<Vec<String>, i32> {
+        let root = self.root.read();
+        let list = |children: &HashMap<String, Node>| {
+            let mut names: Vec<String> = children.keys().cloned().collect();
+            names.sort_unstable();
+            names
+        };
+        if path == "/" {
+            return match &*root {
+                Node::Dir { children } => Ok(list(children)),
+                Node::File { .. } => Err(ENOTDIR),
+            };
+        }
+        Self::with_parent(&root, path, |children, name| match children.get(name) {
+            Some(Node::Dir { children: grand }) => Ok(list(grand)),
+            Some(Node::File { .. }) => Err(ENOTDIR),
+            None => Err(ENOENT),
+        })
+    }
+}
+
+impl Default for MemFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mkdir_create_write_read_cycle() {
+        let fs = MemFs::new();
+        fs.mkdir("/docs").unwrap();
+        fs.create("/docs/a.txt").unwrap();
+        assert_eq!(fs.write("/docs/a.txt", 0, b"hello world"), Ok(11));
+        assert_eq!(fs.read("/docs/a.txt", 0, 5).unwrap(), b"hello");
+        assert_eq!(fs.read("/docs/a.txt", 6, 100).unwrap(), b"world");
+        let stat = fs.lstat("/docs/a.txt").unwrap();
+        assert_eq!(stat.size, 11);
+        assert!(!stat.is_dir);
+    }
+
+    #[test]
+    fn write_beyond_eof_zero_fills() {
+        let fs = MemFs::new();
+        fs.create("/f").unwrap();
+        fs.write("/f", 4, b"x").unwrap();
+        assert_eq!(fs.read("/f", 0, 10).unwrap(), b"\0\0\0\0x");
+    }
+
+    #[test]
+    fn missing_paths_return_enoent() {
+        let fs = MemFs::new();
+        assert_eq!(fs.read("/nope", 0, 1), Err(ENOENT));
+        assert_eq!(fs.unlink("/nope"), Err(ENOENT));
+        assert_eq!(fs.access("/nope"), Err(ENOENT));
+        assert_eq!(fs.write("/a/b", 0, b"x"), Err(ENOENT));
+        assert_eq!(fs.lstat("/nope").unwrap_err(), ENOENT);
+    }
+
+    #[test]
+    fn type_confusion_errors() {
+        let fs = MemFs::new();
+        fs.mkdir("/d").unwrap();
+        fs.create("/f").unwrap();
+        assert_eq!(fs.read("/d", 0, 1), Err(EISDIR));
+        assert_eq!(fs.unlink("/d"), Err(EISDIR));
+        assert_eq!(fs.rmdir("/f"), Err(ENOTDIR));
+        assert_eq!(fs.readdir("/f"), Err(ENOTDIR));
+        assert_eq!(fs.mkdir("/d"), Err(EEXIST));
+        assert_eq!(fs.create("/f"), Err(EEXIST));
+        // A file used as an intermediate directory component.
+        assert_eq!(fs.create("/f/x"), Err(ENOTDIR));
+    }
+
+    #[test]
+    fn rmdir_requires_empty() {
+        let fs = MemFs::new();
+        fs.mkdir("/d").unwrap();
+        fs.create("/d/f").unwrap();
+        assert_eq!(fs.rmdir("/d"), Err(ENOTEMPTY));
+        fs.unlink("/d/f").unwrap();
+        fs.rmdir("/d").unwrap();
+        assert_eq!(fs.access("/d"), Err(ENOENT));
+    }
+
+    #[test]
+    fn fd_table_tracks_open_handles() {
+        let fs = MemFs::new();
+        fs.create("/f").unwrap();
+        fs.mkdir("/d").unwrap();
+        let fd = fs.open("/f").unwrap();
+        let dd = fs.opendir("/d").unwrap();
+        assert_ne!(fd, dd);
+        assert_eq!(fs.open_fds(), 2);
+        // Kind mismatches fail.
+        assert_eq!(fs.release(dd), Err(EBADF));
+        assert_eq!(fs.releasedir(fd), Err(EBADF));
+        // Proper closes succeed once.
+        fs.release(fd).unwrap();
+        fs.releasedir(dd).unwrap();
+        assert_eq!(fs.release(fd), Err(EBADF));
+        assert_eq!(fs.open_fds(), 0);
+    }
+
+    #[test]
+    fn readdir_is_sorted() {
+        let fs = MemFs::new();
+        fs.mkdir("/d").unwrap();
+        for name in ["zeta", "alpha", "mid"] {
+            fs.create(&format!("/d/{name}")).unwrap();
+        }
+        assert_eq!(fs.readdir("/d").unwrap(), vec!["alpha", "mid", "zeta"]);
+        assert_eq!(fs.readdir("/").unwrap(), vec!["d"]);
+    }
+
+    #[test]
+    fn utimens_and_mtime_updates() {
+        let fs = MemFs::new();
+        fs.create("/f").unwrap();
+        fs.utimens("/f", 1000).unwrap();
+        assert_eq!(fs.lstat("/f").unwrap().mtime, 1000);
+        fs.write("/f", 0, b"x").unwrap();
+        assert_eq!(fs.lstat("/f").unwrap().mtime, 1001);
+        assert_eq!(fs.utimens("/d", 0), Err(ENOENT));
+    }
+
+    #[test]
+    fn concurrent_rw_on_distinct_files() {
+        let fs = std::sync::Arc::new(MemFs::new());
+        for i in 0..8 {
+            fs.create(&format!("/f{i}")).unwrap();
+        }
+        let mut handles = Vec::new();
+        for t in 0..8usize {
+            let fs = std::sync::Arc::clone(&fs);
+            handles.push(std::thread::spawn(move || {
+                let path = format!("/f{t}");
+                for i in 0..500u64 {
+                    fs.write(&path, 0, &i.to_le_bytes()).unwrap();
+                    let back = fs.read(&path, 0, 8).unwrap();
+                    assert_eq!(back, i.to_le_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! NetFS — the replicated networked file system of the paper (§V-B, §VI-C).
+//!
+//! NetFS implements a subset of the FUSE calls, enough to manipulate files
+//! and directories: `create`, `mknod`, `mkdir`, `unlink`, `rmdir`, `open`,
+//! `utimens`, `release`, `opendir`, `releasedir` (all of which change the
+//! file-system tree or the shared file-descriptor table and therefore
+//! *depend on all calls*), plus `access`, `lstat`, `read`, `write` and
+//! `readdir` (which depend on the calls above and on each other *when they
+//! use the same file path*). Soft and hard links are not supported, as in
+//! the paper.
+//!
+//! Deployment (§VI-C):
+//!
+//! * the client-side **file system proxy** ([`client::NetFsClient`]) stands
+//!   in for the FUSE interception layer: applications call typed methods,
+//!   the proxy marshals, **lz-compresses** the request and multicasts it;
+//! * paths are partitioned into ranges by a stable hash; with MPL = 8 this
+//!   yields the paper's deployment of nine multicast groups — eight for
+//!   per-path requests and one (`g_all`) for serialized requests;
+//! * the worker that executes a request decompresses it, runs it against
+//!   the in-memory file system ([`fs::MemFs`]), and compresses the
+//!   response.
+//!
+//! # Example
+//!
+//! ```
+//! use psmr_common::SystemConfig;
+//! use psmr_core::engines::{Engine, PsmrEngine};
+//! use psmr_netfs::{client::NetFsClient, dependency_spec, service::NetFsService};
+//!
+//! let mut cfg = SystemConfig::new(2);
+//! cfg.replicas(1);
+//! let engine = PsmrEngine::spawn(&cfg, dependency_spec().into_map(), NetFsService::new);
+//! let mut fs = NetFsClient::new(engine.client());
+//! fs.mkdir("/docs").unwrap();
+//! fs.create("/docs/a.txt").unwrap();
+//! fs.write("/docs/a.txt", 0, b"hello").unwrap();
+//! assert_eq!(fs.read("/docs/a.txt", 0, 5).unwrap(), b"hello");
+//! engine.shutdown();
+//! ```
+
+pub mod client;
+pub mod fs;
+pub mod ops;
+pub mod service;
+
+pub use client::NetFsClient;
+pub use ops::{path_key, NetFsOp, NetFsResult};
+pub use service::{dependency_spec, NetFsService};

@@ -1,0 +1,432 @@
+//! NetFS command identifiers, marshalling and path partitioning.
+//!
+//! Request payloads have the shape `[8-byte path key][lz-compressed op
+//! bytes]`: the key prefix stays uncompressed so the C-Dep key extractor
+//! (which runs in both client and server proxies) can route without
+//! decompressing; the op itself is compressed on the client and
+//! decompressed by the executing worker (§VI-C).
+
+use psmr_common::ids::CommandId;
+
+/// `create(path)` — creates an empty file. Structural: depends on all.
+pub const CREATE: CommandId = CommandId::new(10);
+/// `mknod(path)` — creates a file node. Structural.
+pub const MKNOD: CommandId = CommandId::new(11);
+/// `mkdir(path)` — creates a directory. Structural.
+pub const MKDIR: CommandId = CommandId::new(12);
+/// `unlink(path)` — removes a file. Structural.
+pub const UNLINK: CommandId = CommandId::new(13);
+/// `rmdir(path)` — removes an empty directory. Structural.
+pub const RMDIR: CommandId = CommandId::new(14);
+/// `open(path)` — allocates a descriptor in the shared fd table. Depends
+/// on all (the table is shared by every worker).
+pub const OPEN: CommandId = CommandId::new(15);
+/// `utimens(path, mtime)` — sets the modification time. Structural in the
+/// paper's C-Dep.
+pub const UTIMENS: CommandId = CommandId::new(16);
+/// `release(fd)` — closes a descriptor. Shared-table: depends on all.
+pub const RELEASE: CommandId = CommandId::new(17);
+/// `opendir(path)` — opens a directory handle. Shared-table.
+pub const OPENDIR: CommandId = CommandId::new(18);
+/// `releasedir(fd)` — closes a directory handle. Shared-table.
+pub const RELEASEDIR: CommandId = CommandId::new(19);
+/// `access(path)` — existence check. Per-path.
+pub const ACCESS: CommandId = CommandId::new(20);
+/// `lstat(path)` — returns size/kind/mtime. Per-path.
+pub const LSTAT: CommandId = CommandId::new(21);
+/// `read(path, offset, len)` — reads file bytes. Per-path.
+pub const READ: CommandId = CommandId::new(22);
+/// `write(path, offset, data)` — writes file bytes. Per-path.
+pub const WRITE: CommandId = CommandId::new(23);
+/// `readdir(path)` — lists directory entries. Per-path.
+pub const READDIR: CommandId = CommandId::new(24);
+
+/// Stable FNV-1a hash of a path, used to assign paths to ranges (the
+/// paper's "eight path ranges, each one assigned to a separate thread").
+/// Must be identical on clients and servers; hence no `std` hasher.
+pub fn path_key(path: &str) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for b in path.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// A decoded NetFS invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetFsOp {
+    /// See [`CREATE`].
+    Create { path: String },
+    /// See [`MKNOD`].
+    Mknod { path: String },
+    /// See [`MKDIR`].
+    Mkdir { path: String },
+    /// See [`UNLINK`].
+    Unlink { path: String },
+    /// See [`RMDIR`].
+    Rmdir { path: String },
+    /// See [`OPEN`].
+    Open { path: String },
+    /// See [`UTIMENS`].
+    Utimens { path: String, mtime: u64 },
+    /// See [`RELEASE`].
+    Release { fd: u64 },
+    /// See [`OPENDIR`].
+    Opendir { path: String },
+    /// See [`RELEASEDIR`].
+    Releasedir { fd: u64 },
+    /// See [`ACCESS`].
+    Access { path: String },
+    /// See [`LSTAT`].
+    Lstat { path: String },
+    /// See [`READ`].
+    Read { path: String, offset: u64, len: u32 },
+    /// See [`WRITE`].
+    Write { path: String, offset: u64, data: Vec<u8> },
+    /// See [`READDIR`].
+    Readdir { path: String },
+}
+
+#[allow(missing_docs)]
+impl NetFsOp {
+    /// The command identifier of this operation.
+    pub fn command(&self) -> CommandId {
+        match self {
+            NetFsOp::Create { .. } => CREATE,
+            NetFsOp::Mknod { .. } => MKNOD,
+            NetFsOp::Mkdir { .. } => MKDIR,
+            NetFsOp::Unlink { .. } => UNLINK,
+            NetFsOp::Rmdir { .. } => RMDIR,
+            NetFsOp::Open { .. } => OPEN,
+            NetFsOp::Utimens { .. } => UTIMENS,
+            NetFsOp::Release { .. } => RELEASE,
+            NetFsOp::Opendir { .. } => OPENDIR,
+            NetFsOp::Releasedir { .. } => RELEASEDIR,
+            NetFsOp::Access { .. } => ACCESS,
+            NetFsOp::Lstat { .. } => LSTAT,
+            NetFsOp::Read { .. } => READ,
+            NetFsOp::Write { .. } => WRITE,
+            NetFsOp::Readdir { .. } => READDIR,
+        }
+    }
+
+    /// The routing key: the path hash, or the fd for descriptor ops (fd
+    /// ops are globally dependent anyway, so their key is unused).
+    pub fn key(&self) -> u64 {
+        match self {
+            NetFsOp::Release { fd } | NetFsOp::Releasedir { fd } => *fd,
+            NetFsOp::Create { path }
+            | NetFsOp::Mknod { path }
+            | NetFsOp::Mkdir { path }
+            | NetFsOp::Unlink { path }
+            | NetFsOp::Rmdir { path }
+            | NetFsOp::Open { path }
+            | NetFsOp::Utimens { path, .. }
+            | NetFsOp::Opendir { path }
+            | NetFsOp::Access { path }
+            | NetFsOp::Lstat { path }
+            | NetFsOp::Read { path, .. }
+            | NetFsOp::Write { path, .. }
+            | NetFsOp::Readdir { path } => path_key(path),
+        }
+    }
+
+    /// Serializes the op body (everything but the key prefix; this is what
+    /// gets lz-compressed on the wire).
+    pub fn encode_body(&self) -> Vec<u8> {
+        fn with_path(tag: u8, path: &str, extra: &[u8]) -> Vec<u8> {
+            let mut out = vec![tag];
+            out.extend_from_slice(&(path.len() as u32).to_le_bytes());
+            out.extend_from_slice(path.as_bytes());
+            out.extend_from_slice(extra);
+            out
+        }
+        match self {
+            NetFsOp::Create { path } => with_path(0, path, &[]),
+            NetFsOp::Mknod { path } => with_path(1, path, &[]),
+            NetFsOp::Mkdir { path } => with_path(2, path, &[]),
+            NetFsOp::Unlink { path } => with_path(3, path, &[]),
+            NetFsOp::Rmdir { path } => with_path(4, path, &[]),
+            NetFsOp::Open { path } => with_path(5, path, &[]),
+            NetFsOp::Utimens { path, mtime } => with_path(6, path, &mtime.to_le_bytes()),
+            NetFsOp::Release { fd } => {
+                let mut out = vec![7];
+                out.extend_from_slice(&fd.to_le_bytes());
+                out
+            }
+            NetFsOp::Opendir { path } => with_path(8, path, &[]),
+            NetFsOp::Releasedir { fd } => {
+                let mut out = vec![9];
+                out.extend_from_slice(&fd.to_le_bytes());
+                out
+            }
+            NetFsOp::Access { path } => with_path(10, path, &[]),
+            NetFsOp::Lstat { path } => with_path(11, path, &[]),
+            NetFsOp::Read { path, offset, len } => {
+                let mut extra = offset.to_le_bytes().to_vec();
+                extra.extend_from_slice(&len.to_le_bytes());
+                with_path(12, path, &extra)
+            }
+            NetFsOp::Write { path, offset, data } => {
+                let mut extra = offset.to_le_bytes().to_vec();
+                extra.extend_from_slice(&(data.len() as u32).to_le_bytes());
+                extra.extend_from_slice(data);
+                with_path(13, path, &extra)
+            }
+            NetFsOp::Readdir { path } => with_path(14, path, &[]),
+        }
+    }
+
+    /// Parses an op body produced by [`NetFsOp::encode_body`].
+    ///
+    /// Returns `None` on malformed bytes.
+    pub fn decode_body(body: &[u8]) -> Option<Self> {
+        fn read_path(body: &[u8]) -> Option<(String, &[u8])> {
+            let len = u32::from_le_bytes(body.get(0..4)?.try_into().ok()?) as usize;
+            let bytes = body.get(4..4 + len)?;
+            let rest = &body[4 + len..];
+            Some((String::from_utf8(bytes.to_vec()).ok()?, rest))
+        }
+        let (&tag, body) = body.split_first()?;
+        Some(match tag {
+            0 => NetFsOp::Create { path: read_path(body)?.0 },
+            1 => NetFsOp::Mknod { path: read_path(body)?.0 },
+            2 => NetFsOp::Mkdir { path: read_path(body)?.0 },
+            3 => NetFsOp::Unlink { path: read_path(body)?.0 },
+            4 => NetFsOp::Rmdir { path: read_path(body)?.0 },
+            5 => NetFsOp::Open { path: read_path(body)?.0 },
+            6 => {
+                let (path, rest) = read_path(body)?;
+                let mtime = u64::from_le_bytes(rest.get(0..8)?.try_into().ok()?);
+                NetFsOp::Utimens { path, mtime }
+            }
+            7 => NetFsOp::Release {
+                fd: u64::from_le_bytes(body.get(0..8)?.try_into().ok()?),
+            },
+            8 => NetFsOp::Opendir { path: read_path(body)?.0 },
+            9 => NetFsOp::Releasedir {
+                fd: u64::from_le_bytes(body.get(0..8)?.try_into().ok()?),
+            },
+            10 => NetFsOp::Access { path: read_path(body)?.0 },
+            11 => NetFsOp::Lstat { path: read_path(body)?.0 },
+            12 => {
+                let (path, rest) = read_path(body)?;
+                let offset = u64::from_le_bytes(rest.get(0..8)?.try_into().ok()?);
+                let len = u32::from_le_bytes(rest.get(8..12)?.try_into().ok()?);
+                NetFsOp::Read { path, offset, len }
+            }
+            13 => {
+                let (path, rest) = read_path(body)?;
+                let offset = u64::from_le_bytes(rest.get(0..8)?.try_into().ok()?);
+                let len = u32::from_le_bytes(rest.get(8..12)?.try_into().ok()?) as usize;
+                let data = rest.get(12..12 + len)?.to_vec();
+                NetFsOp::Write { path, offset, data }
+            }
+            14 => NetFsOp::Readdir { path: read_path(body)?.0 },
+            _ => return None,
+        })
+    }
+
+    /// Full request payload: `[8-byte key][lz-compressed body]`.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = self.key().to_le_bytes().to_vec();
+        out.extend_from_slice(&psmr_lz::compress(&self.encode_body()));
+        out
+    }
+
+    /// Parses a full request payload.
+    pub fn decode_payload(payload: &[u8]) -> Option<Self> {
+        let body = psmr_lz::decompress(payload.get(8..)?).ok()?;
+        Self::decode_body(&body)
+    }
+}
+
+/// File metadata returned by `lstat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stat {
+    /// File size in bytes (0 for directories).
+    pub size: u64,
+    /// Whether the node is a directory.
+    pub is_dir: bool,
+    /// Modification time (logical, set by `utimens` and writes).
+    pub mtime: u64,
+}
+
+/// A decoded NetFS response (compressed on the wire, §VI-C).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetFsResult {
+    /// Success without data.
+    Ok,
+    /// POSIX-style error code (`ENOENT = 2`, `EEXIST = 17`, `ENOTEMPTY =
+    /// 39`, `EBADF = 9`, `ENOTDIR = 20`, `EISDIR = 21`).
+    Err(i32),
+    /// Bytes read.
+    Data(Vec<u8>),
+    /// Directory entries.
+    Entries(Vec<String>),
+    /// A descriptor from `open`/`opendir`.
+    Fd(u64),
+    /// Metadata from `lstat`.
+    Stat(Stat),
+}
+
+impl NetFsResult {
+    /// Serializes and lz-compresses the response.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        match self {
+            NetFsResult::Ok => body.push(0),
+            NetFsResult::Err(code) => {
+                body.push(1);
+                body.extend_from_slice(&code.to_le_bytes());
+            }
+            NetFsResult::Data(data) => {
+                body.push(2);
+                body.extend_from_slice(&(data.len() as u32).to_le_bytes());
+                body.extend_from_slice(data);
+            }
+            NetFsResult::Entries(entries) => {
+                body.push(3);
+                body.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for e in entries {
+                    body.extend_from_slice(&(e.len() as u32).to_le_bytes());
+                    body.extend_from_slice(e.as_bytes());
+                }
+            }
+            NetFsResult::Fd(fd) => {
+                body.push(4);
+                body.extend_from_slice(&fd.to_le_bytes());
+            }
+            NetFsResult::Stat(stat) => {
+                body.push(5);
+                body.extend_from_slice(&stat.size.to_le_bytes());
+                body.push(u8::from(stat.is_dir));
+                body.extend_from_slice(&stat.mtime.to_le_bytes());
+            }
+        }
+        psmr_lz::compress(&body)
+    }
+
+    /// Decompresses and parses a response.
+    ///
+    /// Returns `None` on malformed bytes.
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        let body = psmr_lz::decompress(payload).ok()?;
+        let (&tag, rest) = body.split_first()?;
+        Some(match tag {
+            0 => NetFsResult::Ok,
+            1 => NetFsResult::Err(i32::from_le_bytes(rest.get(0..4)?.try_into().ok()?)),
+            2 => {
+                let len = u32::from_le_bytes(rest.get(0..4)?.try_into().ok()?) as usize;
+                NetFsResult::Data(rest.get(4..4 + len)?.to_vec())
+            }
+            3 => {
+                let n = u32::from_le_bytes(rest.get(0..4)?.try_into().ok()?) as usize;
+                let mut entries = Vec::with_capacity(n);
+                let mut at = 4usize;
+                for _ in 0..n {
+                    let len =
+                        u32::from_le_bytes(rest.get(at..at + 4)?.try_into().ok()?) as usize;
+                    at += 4;
+                    entries.push(
+                        String::from_utf8(rest.get(at..at + len)?.to_vec()).ok()?,
+                    );
+                    at += len;
+                }
+                NetFsResult::Entries(entries)
+            }
+            4 => NetFsResult::Fd(u64::from_le_bytes(rest.get(0..8)?.try_into().ok()?)),
+            5 => NetFsResult::Stat(Stat {
+                size: u64::from_le_bytes(rest.get(0..8)?.try_into().ok()?),
+                is_dir: *rest.get(8)? != 0,
+                mtime: u64::from_le_bytes(rest.get(9..17)?.try_into().ok()?),
+            }),
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_ops() -> Vec<NetFsOp> {
+        vec![
+            NetFsOp::Create { path: "/a".into() },
+            NetFsOp::Mknod { path: "/a".into() },
+            NetFsOp::Mkdir { path: "/d".into() },
+            NetFsOp::Unlink { path: "/a".into() },
+            NetFsOp::Rmdir { path: "/d".into() },
+            NetFsOp::Open { path: "/a".into() },
+            NetFsOp::Utimens { path: "/a".into(), mtime: 42 },
+            NetFsOp::Release { fd: 3 },
+            NetFsOp::Opendir { path: "/d".into() },
+            NetFsOp::Releasedir { fd: 4 },
+            NetFsOp::Access { path: "/a".into() },
+            NetFsOp::Lstat { path: "/a".into() },
+            NetFsOp::Read { path: "/a".into(), offset: 10, len: 1024 },
+            NetFsOp::Write { path: "/a".into(), offset: 0, data: vec![7; 1024] },
+            NetFsOp::Readdir { path: "/d".into() },
+        ]
+    }
+
+    #[test]
+    fn every_op_round_trips_through_the_payload() {
+        for op in all_ops() {
+            let payload = op.encode_payload();
+            let back = NetFsOp::decode_payload(&payload).expect("decodes");
+            assert_eq!(back, op);
+            // The key prefix is the uncompressed routing key.
+            let key = u64::from_le_bytes(payload[..8].try_into().unwrap());
+            assert_eq!(key, op.key());
+        }
+    }
+
+    #[test]
+    fn results_round_trip() {
+        let results = [
+            NetFsResult::Ok,
+            NetFsResult::Err(2),
+            NetFsResult::Data(vec![1; 1024]),
+            NetFsResult::Entries(vec!["a.txt".into(), "b.txt".into()]),
+            NetFsResult::Fd(99),
+            NetFsResult::Stat(Stat { size: 512, is_dir: false, mtime: 7 }),
+        ];
+        for r in results {
+            assert_eq!(NetFsResult::decode(&r.encode()), Some(r));
+        }
+    }
+
+    #[test]
+    fn path_key_is_stable_and_spreads() {
+        assert_eq!(path_key("/a/b"), path_key("/a/b"));
+        assert_ne!(path_key("/a/b"), path_key("/a/c"));
+        // 1000 distinct paths spread over 8 ranges without pathological
+        // imbalance.
+        let mut counts = [0u32; 8];
+        for i in 0..1000 {
+            counts[(path_key(&format!("/dir/file{i}")) % 8) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((80..200).contains(&c), "range count {c}");
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejected() {
+        assert_eq!(NetFsOp::decode_body(&[]), None);
+        assert_eq!(NetFsOp::decode_body(&[99]), None);
+        assert_eq!(NetFsOp::decode_body(&[0, 255, 0, 0, 0]), None);
+        assert_eq!(NetFsResult::decode(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn write_payloads_compress() {
+        // A 1 KiB write of compressible data must shrink on the wire
+        // (§VI-C: requests are compressed by the client).
+        let op = NetFsOp::Write { path: "/f".into(), offset: 0, data: vec![0u8; 1024] };
+        let payload = op.encode_payload();
+        assert!(payload.len() < 200, "compressed write is {} bytes", payload.len());
+    }
+}

@@ -1,0 +1,35 @@
+//! In-process network simulation.
+//!
+//! The paper's protocols assume an asynchronous message-passing system with
+//! crash failures (§II). This crate provides two substrates that model that
+//! system on a single host:
+//!
+//! * [`sim`] — a **deterministic discrete-event simulator**: actors exchange
+//!   messages through a virtual-time event queue; a seeded RNG controls
+//!   delays, drops, duplication and reordering. Used by the property tests
+//!   that check Paxos safety under adversarial schedules.
+//! * [`live`] — a **threaded channel network**: real OS threads connected by
+//!   `crossbeam` channels, with optional per-link delay/loss injection and
+//!   node crashes. Used by the end-to-end replication runs and benchmarks,
+//!   where channel round-trips stand in for the cluster network of the
+//!   paper's testbed (see the substitution table in `DESIGN.md`).
+//!
+//! # Example: deterministic simulation
+//!
+//! ```
+//! use psmr_netsim::sim::{NodeId, SimConfig, SimNetwork};
+//!
+//! let mut net: SimNetwork<&'static str> = SimNetwork::new(SimConfig::default(), 42);
+//! let a = NodeId::new(0);
+//! let b = NodeId::new(1);
+//! net.send(a, b, "ping");
+//! let delivered = net.step().expect("one message in flight");
+//! assert_eq!(delivered.to, b);
+//! assert_eq!(delivered.message, "ping");
+//! ```
+
+pub mod live;
+pub mod sim;
+
+pub use live::{LinkFault, LiveNet};
+pub use sim::{Delivery, NodeId, SimConfig, SimNetwork};

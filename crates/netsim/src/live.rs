@@ -1,0 +1,276 @@
+//! Threaded channel network with fault injection.
+//!
+//! [`LiveNet`] connects real OS threads through unbounded `crossbeam`
+//! channels, optionally routing traffic through an injector thread that
+//! applies per-link delay and loss. The end-to-end replication runs use the
+//! direct (fault-free) path, whose cost is a single channel hop — our
+//! stand-in for the paper's gigabit cluster links; the fault path is used
+//! by tests that crash acceptors or delay streams.
+
+use crate::sim::NodeId;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A per-link fault: messages on the link are delayed and/or dropped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Fixed extra delay applied to every message on the link.
+    pub delay: Duration,
+    /// Probability that a message on the link is dropped.
+    pub loss: f64,
+}
+
+impl LinkFault {
+    /// A fault that only delays.
+    pub fn delay(delay: Duration) -> Self {
+        Self { delay, loss: 0.0 }
+    }
+
+    /// A fault that only drops, with the given probability.
+    pub fn loss(loss: f64) -> Self {
+        Self { delay: Duration::ZERO, loss }
+    }
+}
+
+#[derive(Debug)]
+struct Shared<M> {
+    inboxes: RwLock<HashMap<NodeId, Sender<(NodeId, M)>>>,
+    faults: RwLock<HashMap<(NodeId, NodeId), LinkFault>>,
+    crashed: RwLock<HashMap<NodeId, ()>>,
+    shutdown: AtomicBool,
+}
+
+/// A live, threaded message network.
+///
+/// Clone handles freely: all clones share the same registry.
+///
+/// # Example
+///
+/// ```
+/// use psmr_netsim::live::LiveNet;
+/// use psmr_netsim::sim::NodeId;
+///
+/// let net: LiveNet<String> = LiveNet::new();
+/// let a = NodeId::new(0);
+/// let b = NodeId::new(1);
+/// let _a_inbox = net.register(a);
+/// let b_inbox = net.register(b);
+/// net.send(a, b, "hello".to_string());
+/// let (from, msg) = b_inbox.recv().unwrap();
+/// assert_eq!(from, a);
+/// assert_eq!(msg, "hello");
+/// ```
+#[derive(Debug)]
+pub struct LiveNet<M> {
+    shared: Arc<Shared<M>>,
+    rng_seed: u64,
+}
+
+impl<M> Clone for LiveNet<M> {
+    fn clone(&self) -> Self {
+        Self { shared: Arc::clone(&self.shared), rng_seed: self.rng_seed }
+    }
+}
+
+impl<M: Send + 'static> LiveNet<M> {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                inboxes: RwLock::new(HashMap::new()),
+                faults: RwLock::new(HashMap::new()),
+                crashed: RwLock::new(HashMap::new()),
+                shutdown: AtomicBool::new(false),
+            }),
+            rng_seed: 0xD15EA5E,
+        }
+    }
+
+    /// Registers a node and returns its inbox.
+    ///
+    /// Re-registering a node replaces its inbox (the old receiver
+    /// disconnects), which models a process restart.
+    pub fn register(&self, node: NodeId) -> Receiver<(NodeId, M)> {
+        let (tx, rx) = unbounded();
+        self.shared.inboxes.write().insert(node, tx);
+        rx
+    }
+
+    /// Sends a message; returns `false` if it was dropped (unknown or
+    /// crashed destination, crashed sender, fault-injected loss, or
+    /// shutdown).
+    pub fn send(&self, from: NodeId, to: NodeId, message: M) -> bool {
+        if self.shared.shutdown.load(Ordering::Relaxed) {
+            return false;
+        }
+        {
+            let crashed = self.shared.crashed.read();
+            if crashed.contains_key(&from) || crashed.contains_key(&to) {
+                return false;
+            }
+        }
+        let fault = self.shared.faults.read().get(&(from, to)).copied();
+        if let Some(fault) = fault {
+            if fault.loss > 0.0 {
+                // Cheap thread-local-free decision; determinism is not
+                // needed on the live path.
+                let mut rng = StdRng::seed_from_u64(
+                    self.rng_seed ^ (from.as_raw() << 32) ^ to.as_raw(),
+                );
+                if rng.gen_bool(fault.loss) {
+                    return false;
+                }
+            }
+            if !fault.delay.is_zero() {
+                std::thread::sleep(fault.delay);
+            }
+        }
+        match self.shared.inboxes.read().get(&to) {
+            Some(tx) => tx.send((from, message)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Installs a fault on the directed link `from → to`.
+    pub fn inject(&self, from: NodeId, to: NodeId, fault: LinkFault) {
+        self.shared.faults.write().insert((from, to), fault);
+    }
+
+    /// Removes any fault on the directed link.
+    pub fn heal(&self, from: NodeId, to: NodeId) {
+        self.shared.faults.write().remove(&(from, to));
+    }
+
+    /// Crashes a node: its inbox is removed and all traffic from/to it is
+    /// dropped from now on (crash-stop).
+    pub fn crash(&self, node: NodeId) {
+        self.shared.crashed.write().insert(node, ());
+        self.shared.inboxes.write().remove(&node);
+    }
+
+    /// Returns whether the node is crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.shared.crashed.read().contains_key(&node)
+    }
+
+    /// Shuts the network down: every subsequent send is dropped and inbox
+    /// receivers disconnect, unblocking any thread parked on `recv()`.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.inboxes.write().clear();
+    }
+}
+
+impl<M: Send + 'static> Default for LiveNet<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn n(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn point_to_point_delivery() {
+        let net: LiveNet<u32> = LiveNet::new();
+        let rx = net.register(n(1));
+        assert!(net.send(n(0), n(1), 7));
+        assert_eq!(rx.recv().unwrap(), (n(0), 7));
+    }
+
+    #[test]
+    fn send_to_unregistered_node_is_dropped() {
+        let net: LiveNet<u32> = LiveNet::new();
+        assert!(!net.send(n(0), n(9), 1));
+    }
+
+    #[test]
+    fn crash_disconnects_inbox_and_blocks_traffic() {
+        let net: LiveNet<u32> = LiveNet::new();
+        let rx = net.register(n(1));
+        net.crash(n(1));
+        assert!(!net.send(n(0), n(1), 1));
+        assert!(rx.recv().is_err(), "inbox sender dropped on crash");
+        assert!(net.is_crashed(n(1)));
+        // A crashed node cannot send either.
+        let _rx2 = net.register(n(2));
+        assert!(!net.send(n(1), n(2), 1));
+    }
+
+    #[test]
+    fn total_loss_fault_drops_everything() {
+        let net: LiveNet<u32> = LiveNet::new();
+        let _rx = net.register(n(1));
+        net.inject(n(0), n(1), LinkFault::loss(1.0));
+        assert!(!net.send(n(0), n(1), 1));
+        net.heal(n(0), n(1));
+        assert!(net.send(n(0), n(1), 2));
+    }
+
+    #[test]
+    fn delay_fault_delays_but_delivers() {
+        let net: LiveNet<u32> = LiveNet::new();
+        let rx = net.register(n(1));
+        net.inject(n(0), n(1), LinkFault::delay(Duration::from_millis(20)));
+        let started = std::time::Instant::now();
+        assert!(net.send(n(0), n(1), 5));
+        assert_eq!(rx.recv().unwrap().1, 5);
+        assert!(started.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn shutdown_unblocks_receivers() {
+        let net: LiveNet<u32> = LiveNet::new();
+        let rx = net.register(n(1));
+        let net2 = net.clone();
+        let waiter = thread::spawn(move || rx.recv().is_err());
+        thread::sleep(Duration::from_millis(10));
+        net2.shutdown();
+        assert!(waiter.join().unwrap(), "recv unblocked with disconnect");
+        assert!(!net.send(n(0), n(1), 1));
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let net: LiveNet<u32> = LiveNet::new();
+        let clone = net.clone();
+        let rx = clone.register(n(3));
+        assert!(net.send(n(0), n(3), 9));
+        assert_eq!(rx.recv().unwrap().1, 9);
+    }
+
+    #[test]
+    fn many_senders_one_receiver() {
+        let net: LiveNet<u64> = LiveNet::new();
+        let rx = net.register(n(0));
+        let mut handles = Vec::new();
+        for t in 1..=8u64 {
+            let net = net.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..100u64 {
+                    assert!(net.send(n(t), n(0), t * 1000 + i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = 0;
+        while let Ok(_) = rx.try_recv() {
+            got += 1;
+        }
+        assert_eq!(got, 800);
+    }
+}

@@ -1,0 +1,362 @@
+//! Deterministic discrete-event network simulator.
+//!
+//! Messages are queued with a virtual delivery time drawn from a seeded RNG;
+//! [`SimNetwork::step`] pops the earliest message. The same seed always
+//! yields the same schedule, which makes protocol property tests
+//! reproducible: a failing seed can be replayed exactly.
+//!
+//! Fault injection: per-link loss probability, message duplication,
+//! asymmetric partitions and node crashes. These model the asynchronous
+//! crash-failure system of the paper's §II.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+/// Identifies a node (an actor) in the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Creates a node id from a raw integer.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw integer value.
+    pub const fn as_raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Tunable fault model of the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Minimum virtual latency of a message, in simulated microseconds.
+    pub min_delay_us: u64,
+    /// Maximum virtual latency of a message.
+    pub max_delay_us: u64,
+    /// Probability that any given message is silently dropped.
+    pub loss: f64,
+    /// Probability that a message is delivered twice (models retransmission
+    /// at-least-once behaviour of a real multicast library).
+    pub duplicate: f64,
+}
+
+impl Default for SimConfig {
+    /// A fair but jittery network: 10–500 µs latency, no loss.
+    fn default() -> Self {
+        Self { min_delay_us: 10, max_delay_us: 500, loss: 0.0, duplicate: 0.0 }
+    }
+}
+
+impl SimConfig {
+    /// A lossy, highly reordering network for adversarial tests.
+    pub fn adversarial() -> Self {
+        Self { min_delay_us: 1, max_delay_us: 10_000, loss: 0.05, duplicate: 0.05 }
+    }
+}
+
+/// A message handed to an actor by [`SimNetwork::step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<M> {
+    /// Sender of the message.
+    pub from: NodeId,
+    /// Destination of the message.
+    pub to: NodeId,
+    /// The payload.
+    pub message: M,
+    /// Virtual time (µs) at which the message is delivered.
+    pub at_us: u64,
+}
+
+#[derive(Debug)]
+struct Queued<M> {
+    at_us: u64,
+    seq: u64, // tie-breaker for determinism
+    from: NodeId,
+    to: NodeId,
+    message: M,
+}
+
+impl<M> PartialEq for Queued<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_us == other.at_us && self.seq == other.seq
+    }
+}
+impl<M> Eq for Queued<M> {}
+impl<M> PartialOrd for Queued<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Queued<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at_us, self.seq).cmp(&(other.at_us, other.seq))
+    }
+}
+
+/// Deterministic discrete-event network.
+///
+/// See the [crate-level example](crate) for basic usage.
+#[derive(Debug)]
+pub struct SimNetwork<M> {
+    config: SimConfig,
+    rng: StdRng,
+    queue: BinaryHeap<Reverse<Queued<M>>>,
+    now_us: u64,
+    seq: u64,
+    crashed: HashSet<NodeId>,
+    /// Directed blocked links (from, to); both directions must be inserted
+    /// to model a symmetric partition.
+    cut_links: HashSet<(NodeId, NodeId)>,
+    sent: u64,
+    dropped: u64,
+}
+
+impl<M: Clone> SimNetwork<M> {
+    /// Creates a network with the given fault model and RNG seed.
+    pub fn new(config: SimConfig, seed: u64) -> Self {
+        Self {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            queue: BinaryHeap::new(),
+            now_us: 0,
+            seq: 0,
+            crashed: HashSet::new(),
+            cut_links: HashSet::new(),
+            sent: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Current virtual time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Number of messages accepted by [`SimNetwork::send`] so far.
+    pub fn sent_count(&self) -> u64 {
+        self.sent
+    }
+
+    /// Number of messages dropped by loss, crash or partition so far.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Sends `message` from `from` to `to`, subject to the fault model.
+    ///
+    /// Messages from or to crashed nodes and messages crossing a cut link
+    /// are dropped. Lost messages count in [`SimNetwork::dropped_count`].
+    pub fn send(&mut self, from: NodeId, to: NodeId, message: M) {
+        self.sent += 1;
+        if self.crashed.contains(&from)
+            || self.crashed.contains(&to)
+            || self.cut_links.contains(&(from, to))
+        {
+            self.dropped += 1;
+            return;
+        }
+        if self.config.loss > 0.0 && self.rng.gen_bool(self.config.loss) {
+            self.dropped += 1;
+            return;
+        }
+        let copies =
+            if self.config.duplicate > 0.0 && self.rng.gen_bool(self.config.duplicate) {
+                2
+            } else {
+                1
+            };
+        for _ in 0..copies {
+            let delay =
+                self.rng.gen_range(self.config.min_delay_us..=self.config.max_delay_us);
+            self.seq += 1;
+            self.queue.push(Reverse(Queued {
+                at_us: self.now_us + delay,
+                seq: self.seq,
+                from,
+                to,
+                message: message.clone(),
+            }));
+        }
+    }
+
+    /// Delivers the next message in virtual-time order, advancing the clock.
+    ///
+    /// Returns `None` when no messages are in flight. Messages addressed to
+    /// nodes that crashed *after* the send are discarded at delivery time
+    /// (the simulation keeps stepping past them).
+    pub fn step(&mut self) -> Option<Delivery<M>> {
+        while let Some(Reverse(q)) = self.queue.pop() {
+            self.now_us = self.now_us.max(q.at_us);
+            if self.crashed.contains(&q.to) {
+                self.dropped += 1;
+                continue;
+            }
+            return Some(Delivery { from: q.from, to: q.to, message: q.message, at_us: q.at_us });
+        }
+        None
+    }
+
+    /// Marks a node as crashed: all of its in-flight and future traffic is
+    /// discarded. Crash failures are permanent (crash-stop model, §II).
+    pub fn crash(&mut self, node: NodeId) {
+        self.crashed.insert(node);
+    }
+
+    /// Returns whether a node has crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// Cuts the directed link `from → to`.
+    pub fn cut(&mut self, from: NodeId, to: NodeId) {
+        self.cut_links.insert((from, to));
+    }
+
+    /// Cuts both directions between two nodes (symmetric partition edge).
+    pub fn partition_pair(&mut self, a: NodeId, b: NodeId) {
+        self.cut(a, b);
+        self.cut(b, a);
+    }
+
+    /// Heals the directed link `from → to`.
+    pub fn heal(&mut self, from: NodeId, to: NodeId) {
+        self.cut_links.remove(&(from, to));
+    }
+
+    /// Heals every cut link.
+    pub fn heal_all(&mut self) {
+        self.cut_links.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn delivers_in_virtual_time_order() {
+        let mut net: SimNetwork<u32> = SimNetwork::new(SimConfig::default(), 7);
+        for i in 0..100 {
+            net.send(n(0), n(1), i);
+        }
+        let mut last = 0;
+        let mut count = 0;
+        while let Some(d) = net.step() {
+            assert!(d.at_us >= last, "time went backwards");
+            last = d.at_us;
+            count += 1;
+        }
+        assert_eq!(count, 100);
+        assert_eq!(net.now_us(), last);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = |seed| {
+            let mut net: SimNetwork<u32> = SimNetwork::new(SimConfig::adversarial(), seed);
+            for i in 0..200 {
+                net.send(n(i % 3), n((i + 1) % 3), i as u32);
+            }
+            let mut order = Vec::new();
+            while let Some(d) = net.step() {
+                order.push((d.at_us, d.message));
+            }
+            order
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100), "different seeds should differ");
+    }
+
+    #[test]
+    fn crashed_node_receives_nothing() {
+        let mut net: SimNetwork<&str> = SimNetwork::new(SimConfig::default(), 1);
+        net.send(n(0), n(1), "pre-crash, in flight");
+        net.crash(n(1));
+        net.send(n(0), n(1), "post-crash");
+        assert!(net.step().is_none(), "both messages discarded");
+        assert!(net.is_crashed(n(1)));
+        assert_eq!(net.dropped_count(), 2);
+    }
+
+    #[test]
+    fn crashed_node_sends_nothing() {
+        let mut net: SimNetwork<&str> = SimNetwork::new(SimConfig::default(), 1);
+        net.crash(n(0));
+        net.send(n(0), n(1), "from the dead");
+        assert!(net.step().is_none());
+    }
+
+    #[test]
+    fn partition_blocks_and_heals() {
+        let mut net: SimNetwork<&str> = SimNetwork::new(SimConfig::default(), 1);
+        net.partition_pair(n(0), n(1));
+        net.send(n(0), n(1), "blocked");
+        net.send(n(1), n(0), "also blocked");
+        assert!(net.step().is_none());
+        net.heal_all();
+        net.send(n(0), n(1), "through");
+        assert_eq!(net.step().expect("delivered").message, "through");
+    }
+
+    #[test]
+    fn asymmetric_cut_only_blocks_one_direction() {
+        let mut net: SimNetwork<&str> = SimNetwork::new(SimConfig::default(), 1);
+        net.cut(n(0), n(1));
+        net.send(n(0), n(1), "blocked");
+        net.send(n(1), n(0), "allowed");
+        let d = net.step().expect("reverse direction open");
+        assert_eq!(d.message, "allowed");
+        assert!(net.step().is_none());
+    }
+
+    #[test]
+    fn loss_drops_roughly_the_configured_fraction() {
+        let cfg = SimConfig { loss: 0.5, ..SimConfig::default() };
+        let mut net: SimNetwork<u32> = SimNetwork::new(cfg, 3);
+        for i in 0..1000 {
+            net.send(n(0), n(1), i);
+        }
+        let delivered = std::iter::from_fn(|| net.step()).count();
+        assert!((300..700).contains(&delivered), "delivered = {delivered}");
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let cfg = SimConfig { duplicate: 1.0, ..SimConfig::default() };
+        let mut net: SimNetwork<u32> = SimNetwork::new(cfg, 3);
+        net.send(n(0), n(1), 42);
+        let copies = std::iter::from_fn(|| net.step()).filter(|d| d.message == 42).count();
+        assert_eq!(copies, 2);
+    }
+
+    #[test]
+    fn counters_track_sent_and_in_flight() {
+        let mut net: SimNetwork<u32> = SimNetwork::new(SimConfig::default(), 5);
+        net.send(n(0), n(1), 1);
+        net.send(n(0), n(1), 2);
+        assert_eq!(net.sent_count(), 2);
+        assert_eq!(net.in_flight(), 2);
+        net.step();
+        assert_eq!(net.in_flight(), 1);
+    }
+}

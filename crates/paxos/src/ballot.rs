@@ -1,0 +1,79 @@
+//! Ballot numbers.
+
+use std::fmt;
+
+/// A Paxos ballot: a round number paired with the proposing node, so that
+/// ballots of distinct proposers never collide.
+///
+/// Ordering is lexicographic on `(round, proposer)`, as required for the
+/// usual Paxos safety argument.
+///
+/// # Example
+///
+/// ```
+/// use psmr_paxos::Ballot;
+///
+/// let b1 = Ballot::new(1, 0);
+/// let b2 = Ballot::new(1, 1);
+/// let b3 = Ballot::new(2, 0);
+/// assert!(b1 < b2 && b2 < b3);
+/// assert!(b1.next_for(0) > b3 || b1.next_for(0).round > b1.round);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ballot {
+    /// Monotonically increasing round number.
+    pub round: u64,
+    /// Identifier of the proposer that owns this ballot.
+    pub proposer: u64,
+}
+
+impl Ballot {
+    /// The null ballot, smaller than any ballot a proposer emits.
+    pub const ZERO: Ballot = Ballot { round: 0, proposer: 0 };
+
+    /// Creates a ballot.
+    pub const fn new(round: u64, proposer: u64) -> Self {
+        Self { round, proposer }
+    }
+
+    /// The smallest ballot owned by `proposer` that is larger than `self`.
+    pub const fn next_for(self, proposer: u64) -> Self {
+        Self { round: self.round + 1, proposer }
+    }
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}.{}", self.round, self.proposer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_round_then_proposer() {
+        assert!(Ballot::new(1, 5) < Ballot::new(2, 0));
+        assert!(Ballot::new(2, 0) < Ballot::new(2, 1));
+        assert_eq!(Ballot::new(3, 3), Ballot::new(3, 3));
+    }
+
+    #[test]
+    fn zero_is_minimal() {
+        assert!(Ballot::ZERO < Ballot::new(1, 0));
+        assert!(Ballot::ZERO <= Ballot::new(0, 0));
+    }
+
+    #[test]
+    fn next_for_is_strictly_larger_regardless_of_proposer() {
+        let b = Ballot::new(7, 9);
+        assert!(b.next_for(0) > b);
+        assert!(b.next_for(9) > b);
+    }
+
+    #[test]
+    fn display_shows_round_and_proposer() {
+        assert_eq!(Ballot::new(4, 2).to_string(), "b4.2");
+    }
+}

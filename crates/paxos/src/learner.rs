@@ -1,0 +1,230 @@
+//! The learner state machine.
+
+use crate::ballot::Ballot;
+use crate::msg::{Instance, PaxosMsg};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A Paxos learner: watches `Accept`/`Accepted` traffic (or `Decide`
+/// shortcuts) and delivers chosen values in instance order.
+///
+/// A value is *chosen* at an instance once a quorum of acceptors report
+/// `Accepted` for the same ballot there; the value itself is learned from
+/// the corresponding `Accept`. Learners deliver chosen values contiguously:
+/// instance `i+1` is never delivered before instance `i`.
+///
+/// # Example
+///
+/// ```
+/// use psmr_paxos::learner::Learner;
+/// use psmr_paxos::{Ballot, PaxosMsg};
+///
+/// let mut learner: Learner<u32> = Learner::new(3);
+/// learner.observe(0, PaxosMsg::Accept { ballot: Ballot::new(1, 0), instance: 0, value: 9 });
+/// learner.observe(0, PaxosMsg::Accepted { ballot: Ballot::new(1, 0), instance: 0 });
+/// learner.observe(1, PaxosMsg::Accepted { ballot: Ballot::new(1, 0), instance: 0 });
+/// assert_eq!(learner.poll(), vec![9]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Learner<V> {
+    n_acceptors: usize,
+    /// Values observed in `Accept` messages: (instance, ballot) → value.
+    proposals: HashMap<(Instance, Ballot), V>,
+    /// Acceptors that reported `Accepted` per (instance, ballot).
+    votes: HashMap<(Instance, Ballot), HashSet<u64>>,
+    /// Chosen but not yet delivered values.
+    chosen: BTreeMap<Instance, V>,
+    next_delivery: Instance,
+    delivered_count: u64,
+}
+
+impl<V: Clone> Learner<V> {
+    /// Creates a learner for a group with `n_acceptors` acceptors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_acceptors` is zero.
+    pub fn new(n_acceptors: usize) -> Self {
+        assert!(n_acceptors > 0, "need at least one acceptor");
+        Self {
+            n_acceptors,
+            proposals: HashMap::new(),
+            votes: HashMap::new(),
+            chosen: BTreeMap::new(),
+            next_delivery: 0,
+            delivered_count: 0,
+        }
+    }
+
+    fn quorum(&self) -> usize {
+        self.n_acceptors / 2 + 1
+    }
+
+    /// Total values delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+
+    /// Next instance the learner is waiting to deliver.
+    pub fn next_instance(&self) -> Instance {
+        self.next_delivery
+    }
+
+    /// Feeds an observed protocol message. `from` is the sender's id (used
+    /// to de-duplicate acceptor votes).
+    pub fn observe(&mut self, from: u64, msg: PaxosMsg<V>) {
+        match msg {
+            PaxosMsg::Accept { ballot, instance, value } => {
+                self.proposals.insert((instance, ballot), value);
+                self.maybe_choose(instance, ballot);
+            }
+            PaxosMsg::Accepted { ballot, instance } => {
+                self.votes.entry((instance, ballot)).or_default().insert(from);
+                self.maybe_choose(instance, ballot);
+            }
+            PaxosMsg::Decide { instance, value } => {
+                // A Decide may arrive after the learner already chose (and
+                // delivered) the instance via a quorum of Accepted votes;
+                // re-inserting it would deliver the instance twice.
+                if instance >= self.next_delivery {
+                    self.chosen.entry(instance).or_insert(value);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn maybe_choose(&mut self, instance: Instance, ballot: Ballot) {
+        if self.chosen.contains_key(&instance) || instance < self.next_delivery {
+            return;
+        }
+        let quorum = self.quorum();
+        let has_quorum = self
+            .votes
+            .get(&(instance, ballot))
+            .is_some_and(|voters| voters.len() >= quorum);
+        if has_quorum {
+            if let Some(value) = self.proposals.get(&(instance, ballot)) {
+                self.chosen.insert(instance, value.clone());
+            }
+        }
+    }
+
+    /// Drains values that are deliverable: chosen and contiguous from the
+    /// last delivered instance.
+    pub fn poll(&mut self) -> Vec<V> {
+        let mut out = Vec::new();
+        while let Some(value) = self.chosen.remove(&self.next_delivery) {
+            // Garbage-collect bookkeeping for the delivered instance.
+            let delivered = self.next_delivery;
+            self.proposals.retain(|(i, _), _| *i != delivered);
+            self.votes.retain(|(i, _), _| *i != delivered);
+            out.push(value);
+            self.next_delivery += 1;
+            self.delivered_count += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accept(instance: Instance, round: u64, value: u32) -> PaxosMsg<u32> {
+        PaxosMsg::Accept { ballot: Ballot::new(round, 0), instance, value }
+    }
+
+    fn accepted(instance: Instance, round: u64) -> PaxosMsg<u32> {
+        PaxosMsg::Accepted { ballot: Ballot::new(round, 0), instance }
+    }
+
+    #[test]
+    fn learns_from_quorum_of_accepted() {
+        let mut l: Learner<u32> = Learner::new(3);
+        l.observe(9, accept(0, 1, 7));
+        l.observe(0, accepted(0, 1));
+        assert!(l.poll().is_empty(), "one vote is not a quorum");
+        l.observe(1, accepted(0, 1));
+        assert_eq!(l.poll(), vec![7]);
+        assert_eq!(l.delivered_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_votes_from_same_acceptor_do_not_count_twice() {
+        let mut l: Learner<u32> = Learner::new(3);
+        l.observe(9, accept(0, 1, 7));
+        l.observe(0, accepted(0, 1));
+        l.observe(0, accepted(0, 1));
+        assert!(l.poll().is_empty());
+    }
+
+    #[test]
+    fn votes_for_different_ballots_do_not_mix() {
+        let mut l: Learner<u32> = Learner::new(3);
+        l.observe(9, accept(0, 1, 7));
+        l.observe(9, accept(0, 2, 8));
+        l.observe(0, accepted(0, 1));
+        l.observe(1, accepted(0, 2));
+        assert!(l.poll().is_empty(), "no single ballot has a quorum");
+        l.observe(2, accepted(0, 2));
+        assert_eq!(l.poll(), vec![8]);
+    }
+
+    #[test]
+    fn delivery_is_contiguous() {
+        let mut l: Learner<u32> = Learner::new(1);
+        l.observe(9, accept(1, 1, 11));
+        l.observe(0, accepted(1, 1));
+        assert!(l.poll().is_empty(), "instance 0 missing");
+        l.observe(9, accept(0, 1, 10));
+        l.observe(0, accepted(0, 1));
+        assert_eq!(l.poll(), vec![10, 11]);
+        assert_eq!(l.next_instance(), 2);
+    }
+
+    #[test]
+    fn decide_shortcut_delivers_without_votes() {
+        let mut l: Learner<u32> = Learner::new(3);
+        l.observe(0, PaxosMsg::Decide { instance: 0, value: 5 });
+        assert_eq!(l.poll(), vec![5]);
+    }
+
+    #[test]
+    fn vote_before_value_still_learns() {
+        let mut l: Learner<u32> = Learner::new(3);
+        l.observe(0, accepted(0, 1));
+        l.observe(1, accepted(0, 1));
+        assert!(l.poll().is_empty(), "value not yet known");
+        l.observe(9, accept(0, 1, 3));
+        assert_eq!(l.poll(), vec![3]);
+    }
+
+    #[test]
+    fn stale_instances_are_ignored_after_delivery() {
+        let mut l: Learner<u32> = Learner::new(1);
+        l.observe(9, accept(0, 1, 1));
+        l.observe(0, accepted(0, 1));
+        assert_eq!(l.poll(), vec![1]);
+        // Late re-delivery of the same instance must not deliver again.
+        l.observe(9, accept(0, 1, 1));
+        l.observe(0, accepted(0, 1));
+        assert!(l.poll().is_empty());
+    }
+
+    #[test]
+    fn late_decide_after_quorum_delivery_is_ignored() {
+        let mut l: Learner<u32> = Learner::new(1);
+        l.observe(9, accept(0, 1, 1));
+        l.observe(0, accepted(0, 1));
+        assert_eq!(l.poll(), vec![1]);
+        // A distinguished learner's Decide for the same instance arrives late.
+        l.observe(9, PaxosMsg::Decide { instance: 0, value: 1 });
+        assert!(l.poll().is_empty(), "instance 0 must not deliver twice");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one acceptor")]
+    fn zero_acceptors_rejected() {
+        let _: Learner<u32> = Learner::new(0);
+    }
+}

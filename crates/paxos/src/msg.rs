@@ -1,0 +1,83 @@
+//! Protocol messages.
+
+use crate::ballot::Ballot;
+
+/// A consensus instance number within one group's stream. Instances are
+/// decided independently; learners deliver them in increasing order.
+pub type Instance = u64;
+
+/// Messages of multi-instance Paxos, generic over the value type `V`.
+///
+/// Names follow the classic phases: `1a` (prepare), `1b` (promise),
+/// `2a` (accept-request), `2b` (accepted). `Decide` is the learn
+/// notification a distinguished learner broadcasts once a quorum of `2b`s
+/// is observed — an optimization the threaded runtime uses so learners need
+/// not track quorums themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PaxosMsg<V> {
+    /// Phase 1a: a proposer asks acceptors to promise ballot `ballot` for
+    /// every instance at or above `from_instance`.
+    Prepare {
+        /// The ballot being prepared.
+        ballot: Ballot,
+        /// First instance covered by the prepare (multi-Paxos: one phase 1
+        /// covers the whole suffix of instances).
+        from_instance: Instance,
+    },
+    /// Phase 1b: an acceptor promises `ballot` and reports every value it
+    /// has already accepted at or above the prepared instance.
+    Promise {
+        /// The promised ballot.
+        ballot: Ballot,
+        /// Previously accepted `(instance, ballot, value)` triples the
+        /// proposer must respect when choosing values.
+        accepted: Vec<(Instance, Ballot, V)>,
+    },
+    /// An acceptor rejects a prepare/accept carrying a stale ballot and
+    /// reveals the highest ballot it has promised, so the proposer can
+    /// retry with a larger one.
+    Nack {
+        /// The ballot that was rejected.
+        rejected: Ballot,
+        /// The highest ballot promised by the acceptor.
+        promised: Ballot,
+    },
+    /// Phase 2a: the proposer asks acceptors to accept `value` at
+    /// `instance` under `ballot`.
+    Accept {
+        /// The ballot under which the value is proposed.
+        ballot: Ballot,
+        /// The instance being decided.
+        instance: Instance,
+        /// The proposed value.
+        value: V,
+    },
+    /// Phase 2b: the acceptor accepted the value at `instance`.
+    Accepted {
+        /// The ballot under which the value was accepted.
+        ballot: Ballot,
+        /// The instance.
+        instance: Instance,
+    },
+    /// Learn notification from a distinguished learner.
+    Decide {
+        /// The decided instance.
+        instance: Instance,
+        /// The chosen value.
+        value: V,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_cloneable_and_comparable() {
+        let m: PaxosMsg<u32> =
+            PaxosMsg::Accept { ballot: Ballot::new(1, 0), instance: 3, value: 42 };
+        assert_eq!(m.clone(), m);
+        let d: PaxosMsg<u32> = PaxosMsg::Decide { instance: 3, value: 42 };
+        assert_ne!(format!("{d:?}"), "");
+    }
+}

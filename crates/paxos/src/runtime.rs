@@ -1,0 +1,718 @@
+//! Threaded Paxos group runtime.
+//!
+//! A [`PaxosGroup`] is the execution of one multicast group's ordering
+//! protocol (§VI-A of the paper): a **coordinator** thread that batches
+//! submitted commands (8 KB cap) and drives phase 2, plus `n` **acceptor**
+//! threads (3 in the paper). Coordinator and acceptors communicate over a
+//! [`LiveNet`], so tests can inject link faults or crash an acceptor and
+//! verify the group still makes progress with a majority.
+//!
+//! The coordinator doubles as distinguished learner: once a quorum of
+//! `Accepted` replies arrives it delivers the batch, in instance order, to
+//! every subscriber. Subscribers are the per-replica worker threads of the
+//! replication engines in `psmr-core`.
+//!
+//! **Pacing.** Streams that are merged with others run round-paced
+//! ([`Pacing::Ticks`]): a deployment-wide ticker clocks every group, each
+//! tick closing one round (empty = *skip*) so all merged streams advance in
+//! lockstep, as with the skip messages of Multi-Ring Paxos. Stand-alone
+//! streams run traffic-driven ([`Pacing::Batched`]).
+
+use crate::msg::PaxosMsg;
+use crate::proposer::Proposer;
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use psmr_common::SystemConfig;
+use psmr_netsim::live::LiveNet;
+use psmr_netsim::sim::NodeId;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::collections::VecDeque;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The value type a group agrees on: a batch of opaque commands.
+type Batch = Vec<Bytes>;
+
+/// An ordered batch delivered to a group subscriber.
+///
+/// `seq` numbers are contiguous and start at 1 within each group's stream;
+/// a batch with no commands is a *skip* emitted to keep merge advancing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecidedBatch {
+    /// 1-based position of this batch in the group's stream.
+    pub seq: u64,
+    /// The ordered commands inside the batch (possibly empty for skips).
+    pub commands: Vec<Bytes>,
+}
+
+impl DecidedBatch {
+    /// Returns whether this is a skip (empty) batch.
+    pub fn is_skip(&self) -> bool {
+        self.commands.is_empty()
+    }
+}
+
+/// How the coordinator paces its stream.
+#[derive(Debug)]
+pub enum Pacing {
+    /// Traffic-driven batching: batches close when full or after the
+    /// linger delay; the stream carries only real traffic. For streams
+    /// nobody merges with another (SMR / sP-SMR deployments).
+    Batched,
+    /// Round-paced: the coordinator closes exactly one round (one
+    /// [`DecidedBatch`]) per tick received on this channel — empty when
+    /// idle, otherwise everything submitted since the previous tick.
+    /// All groups of a deployment share one ticker, so their streams
+    /// advance in lockstep and deterministic merge never drifts (the skip
+    /// mechanism of Multi-Ring Paxos, centrally clocked).
+    Ticks(Receiver<u64>),
+}
+
+/// Messages exchanged between coordinator and acceptors over the live net.
+type NetMsg = PaxosMsg<Batch>;
+
+#[derive(Debug)]
+struct Inner {
+    submit_tx: Sender<Bytes>,
+    subscribers: Mutex<Vec<Sender<Arc<DecidedBatch>>>>,
+    shutdown: AtomicBool,
+    /// Gate: the coordinator proposes nothing (no batches, no skips) until
+    /// the group is started. Subscribers must register before the start so
+    /// that every subscriber observes the stream from sequence number 1 —
+    /// deterministic merge relies on that alignment.
+    started: AtomicBool,
+    decided: AtomicU64,
+    net: LiveNet<NetMsg>,
+    group_id: usize,
+}
+
+/// Handle to a running Paxos group. Cloneable; the group shuts down when
+/// [`GroupHandle::shutdown`] is called (threads are detached daemons that
+/// exit on shutdown).
+#[derive(Debug, Clone)]
+pub struct GroupHandle {
+    inner: Arc<Inner>,
+}
+
+/// Spawner for Paxos group runtimes. See the [crate-level
+/// example](crate) for typical usage.
+#[derive(Debug)]
+pub struct PaxosGroup {
+    handle: GroupHandle,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// Deterministic node-id layout of a group on its live net: coordinator at
+/// `group*100`, acceptor `i` at `group*100 + 1 + i`.
+pub fn coordinator_node(group_id: usize) -> NodeId {
+    NodeId::new(group_id as u64 * 100)
+}
+
+/// Node id of acceptor `i` of a group (see [`coordinator_node`]).
+pub fn acceptor_node(group_id: usize, i: usize) -> NodeId {
+    NodeId::new(group_id as u64 * 100 + 1 + i as u64)
+}
+
+impl PaxosGroup {
+    /// Spawns a traffic-driven group with its own private network.
+    pub fn spawn(group_id: usize, cfg: &SystemConfig) -> Self {
+        Self::spawn_with(group_id, cfg, LiveNet::new(), Pacing::Batched)
+    }
+
+    /// Spawns a group on the given network with the given skip policy.
+    ///
+    /// Tests pass a shared [`LiveNet`] here so they can crash acceptors or
+    /// inject link faults while the group runs.
+    pub fn spawn_with(
+        group_id: usize,
+        cfg: &SystemConfig,
+        net: LiveNet<NetMsg>,
+        pacing: Pacing,
+    ) -> Self {
+        let (submit_tx, submit_rx) = bounded::<Bytes>(16 * 1024);
+        let inner = Arc::new(Inner {
+            submit_tx,
+            subscribers: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            started: AtomicBool::new(false),
+            decided: AtomicU64::new(0),
+            net: net.clone(),
+            group_id,
+        });
+
+        let mut threads = Vec::new();
+        // Acceptor threads.
+        for i in 0..cfg.n_acceptors {
+            let node = acceptor_node(group_id, i);
+            let inbox = net.register(node);
+            let net = net.clone();
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("acceptor-g{group_id}-a{i}"))
+                    .spawn(move || acceptor_main(node, inbox, net, inner))
+                    .expect("spawn acceptor thread"),
+            );
+        }
+        // Coordinator thread.
+        let coord_inbox = net.register(coordinator_node(group_id));
+        let coord_inner = Arc::clone(&inner);
+        let cfg = cfg.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("coord-g{group_id}"))
+                .spawn(move || coordinator_main(cfg, coord_inner, submit_rx, coord_inbox, pacing))
+                .expect("spawn coordinator thread"),
+        );
+
+        Self { handle: GroupHandle { inner }, threads }
+    }
+
+    /// Returns a cloneable handle to the group.
+    pub fn handle(&self) -> GroupHandle {
+        self.handle.clone()
+    }
+
+    /// See [`GroupHandle::submit`].
+    pub fn submit(&self, command: Bytes) {
+        self.handle.submit(command);
+    }
+
+    /// See [`GroupHandle::subscribe`].
+    pub fn subscribe(&self) -> Receiver<Arc<DecidedBatch>> {
+        self.handle.subscribe()
+    }
+
+    /// See [`GroupHandle::start`].
+    pub fn start(&self) {
+        self.handle.start();
+    }
+
+    /// Stops the group and joins its threads.
+    pub fn shutdown(mut self) {
+        self.handle.shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl GroupHandle {
+    /// Submits a command for ordering. Blocks when the group's submission
+    /// queue is full (natural client backpressure); silently drops the
+    /// command if the group has shut down.
+    pub fn submit(&self, command: Bytes) {
+        if self.inner.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let _ = self.inner.submit_tx.send(command);
+    }
+
+    /// Registers a new subscriber. The subscriber receives every batch the
+    /// group decides, from sequence number 1, in stream order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group has already been started: late subscribers would
+    /// observe a truncated stream and break deterministic merge.
+    pub fn subscribe(&self) -> Receiver<Arc<DecidedBatch>> {
+        assert!(
+            !self.inner.started.load(Ordering::Relaxed),
+            "subscribe must happen before the group is started"
+        );
+        let (tx, rx) = unbounded();
+        self.inner.subscribers.lock().push(tx);
+        rx
+    }
+
+    /// Opens the gate: the coordinator starts deciding batches (and skip
+    /// rounds, if enabled). Call after every subscriber has registered.
+    pub fn start(&self) {
+        self.inner.started.store(true, Ordering::Release);
+    }
+
+    /// Number of batches decided so far.
+    pub fn decided_count(&self) -> u64 {
+        self.inner.decided.load(Ordering::Relaxed)
+    }
+
+    /// The group's identifier.
+    pub fn group_id(&self) -> usize {
+        self.inner.group_id
+    }
+
+    /// Signals all threads of the group to stop.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        self.inner.net.shutdown();
+        self.inner.subscribers.lock().clear();
+    }
+}
+
+fn acceptor_main(
+    node: NodeId,
+    inbox: Receiver<(NodeId, NetMsg)>,
+    net: LiveNet<NetMsg>,
+    inner: Arc<Inner>,
+) {
+    let mut acceptor = crate::acceptor::Acceptor::<Batch>::new();
+    loop {
+        match inbox.recv_timeout(Duration::from_millis(50)) {
+            Ok((from, msg)) => {
+                if let Some(reply) = acceptor.handle(msg) {
+                    net.send(node, from, reply);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if inner.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn coordinator_main(
+    cfg: SystemConfig,
+    inner: Arc<Inner>,
+    submit_rx: Receiver<Bytes>,
+    inbox: Receiver<(NodeId, NetMsg)>,
+    pacing: Pacing,
+) {
+    let me = coordinator_node(inner.group_id);
+    let acceptors: Vec<NodeId> =
+        (0..cfg.n_acceptors).map(|i| acceptor_node(inner.group_id, i)).collect();
+    let net = inner.net.clone();
+    let broadcast = move |msgs: Vec<NetMsg>| {
+        for msg in msgs {
+            for &a in &acceptors {
+                net.send(me, a, msg.clone());
+            }
+        }
+    };
+
+    let mut prop: Proposer<Batch> = Proposer::new(me.as_raw(), cfg.n_acceptors);
+    broadcast(vec![prop.start()]);
+
+    // Wait for leadership (phase 1) before accepting traffic.
+    while !prop.is_leading() {
+        if inner.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match inbox.recv_timeout(Duration::from_millis(20)) {
+            Ok((from, msg)) => {
+                let out = prop.handle(from.as_raw(), msg);
+                broadcast(out);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // Retry phase 1: promises may have been lost.
+                broadcast(vec![prop.start()]);
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+
+    match pacing {
+        Pacing::Ticks(ticks) => {
+            round_paced_main(cfg, inner, submit_rx, inbox, ticks, prop, broadcast)
+        }
+        Pacing::Batched => batched_main(cfg, inner, submit_rx, inbox, prop, broadcast),
+    }
+}
+
+/// Traffic-driven batching (single-stream deployments: SMR, sP-SMR).
+///
+/// Batches close when full (8 KB cap) or after the linger delay. The stream
+/// carries only real traffic — fine when nobody merges it with another
+/// stream.
+fn batched_main(
+    cfg: SystemConfig,
+    inner: Arc<Inner>,
+    submit_rx: Receiver<Bytes>,
+    inbox: Receiver<(NodeId, NetMsg)>,
+    mut prop: Proposer<Batch>,
+    broadcast: impl Fn(Vec<NetMsg>),
+) {
+    /// Upper bound on instances proposed but not yet decided; bounds memory
+    /// under overload while keeping the pipeline full.
+    const MAX_INFLIGHT: usize = 256;
+
+    let mut batch: Batch = Vec::new();
+    let mut batch_bytes = 0usize;
+    let mut batch_opened_at: Option<Instant> = None;
+
+    loop {
+        if inner.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+
+        // 0. Hold the gate until the group is started so every subscriber
+        //    sees the stream from its first batch.
+        if !inner.started.load(Ordering::Acquire) {
+            match inbox.recv_timeout(Duration::from_millis(1)) {
+                Ok((from, msg)) => broadcast(prop.handle(from.as_raw(), msg)),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+            continue;
+        }
+
+        // 1. Wait for work on either channel: a new submission or an
+        //    acceptor reply. The timeout covers the batch linger.
+        let timeout = match batch_opened_at {
+            Some(t) => cfg
+                .batch_delay
+                .saturating_sub(t.elapsed())
+                .max(Duration::from_micros(1)),
+            None => Duration::from_millis(5),
+        };
+        crossbeam::channel::select! {
+            recv(submit_rx) -> cmd => {
+                if let Ok(cmd) = cmd {
+                    batch_bytes += cmd.len();
+                    batch.push(cmd);
+                    if batch_opened_at.is_none() {
+                        batch_opened_at = Some(Instant::now());
+                    }
+                }
+            }
+            recv(inbox) -> msg => {
+                match msg {
+                    Ok((from, msg)) => broadcast(prop.handle(from.as_raw(), msg)),
+                    Err(_) => return,
+                }
+            }
+            default(timeout) => {}
+        }
+        // Drain whatever else is queued, without blocking.
+        while batch_bytes < cfg.batch_bytes {
+            match submit_rx.try_recv() {
+                Ok(cmd) => {
+                    batch_bytes += cmd.len();
+                    batch.push(cmd);
+                    if batch_opened_at.is_none() {
+                        batch_opened_at = Some(Instant::now());
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        while let Ok((from, msg)) = inbox.try_recv() {
+            broadcast(prop.handle(from.as_raw(), msg));
+        }
+
+        // 2. Close the batch if full or lingered long enough (respect the
+        //    pipeline cap).
+        let linger_expired = batch_opened_at
+            .map(|t| t.elapsed() >= cfg.batch_delay)
+            .unwrap_or(false);
+        if (batch_bytes >= cfg.batch_bytes || (linger_expired && !batch.is_empty()))
+            && prop.inflight_len() < MAX_INFLIGHT
+        {
+            let full = std::mem::take(&mut batch);
+            batch_bytes = 0;
+            batch_opened_at = None;
+            broadcast(prop.submit(full));
+        }
+
+        // 3. Deliver decided batches to subscribers, in order (one stream
+        //    batch per decided instance).
+        let decided = prop.take_decided();
+        if !decided.is_empty() {
+            let mut subs = inner.subscribers.lock();
+            for (instance, commands) in decided {
+                inner.decided.fetch_add(1, Ordering::Relaxed);
+                let out = Arc::new(DecidedBatch { seq: instance + 1, commands });
+                subs.retain(|tx| tx.send(Arc::clone(&out)).is_ok());
+            }
+        }
+    }
+}
+
+/// Round-paced operation (P-SMR groups, Multi-Ring Paxos style).
+///
+/// Deterministic merge pairs batch `r` of every merged stream, so **all
+/// streams must produce batches at the same rate** — otherwise their
+/// sequence numbers drift apart without bound and a command routed through
+/// the slow stream waits for the fast one to be re-consumed from far
+/// behind. All groups of a deployment therefore share one ticker; on each
+/// tick a group closes exactly one round: everything submitted since the
+/// previous tick, split across Paxos instances of at most `batch_bytes`
+/// each (the paper's 8 KB message cap), or a single empty *skip* instance
+/// when idle.
+fn round_paced_main(
+    cfg: SystemConfig,
+    inner: Arc<Inner>,
+    submit_rx: Receiver<Bytes>,
+    inbox: Receiver<(NodeId, NetMsg)>,
+    ticks: Receiver<u64>,
+    mut prop: Proposer<Batch>,
+    broadcast: impl Fn(Vec<NetMsg>),
+) {
+    // Rounds not yet fully decided: (instances remaining, commands so far).
+    let mut open_rounds: VecDeque<(usize, Vec<Bytes>)> = VecDeque::new();
+    let mut next_seq: u64 = 1;
+
+    loop {
+        if inner.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+
+        // 1. Wait for a tick or an acceptor reply (ticks only flow once the
+        //    deployment has started, which also gates the first round).
+        crossbeam::channel::select! {
+            recv(ticks) -> tick => {
+                if tick.is_err() {
+                    return; // ticker gone: deployment shut down
+                }
+                // Close one round: everything submitted since the last
+                // tick, split into <= batch_bytes instances.
+                let mut instances: Vec<Batch> = vec![Vec::new()];
+                let mut last_bytes = 0usize;
+                while let Ok(cmd) = submit_rx.try_recv() {
+                    if last_bytes + cmd.len() > cfg.batch_bytes
+                        && !instances.last().expect("non-empty").is_empty()
+                    {
+                        instances.push(Vec::new());
+                        last_bytes = 0;
+                    }
+                    last_bytes += cmd.len();
+                    instances.last_mut().expect("non-empty").push(cmd);
+                }
+                open_rounds.push_back((instances.len(), Vec::new()));
+                for instance_batch in instances {
+                    broadcast(prop.submit(instance_batch));
+                }
+            }
+            recv(inbox) -> msg => {
+                match msg {
+                    Ok((from, msg)) => broadcast(prop.handle(from.as_raw(), msg)),
+                    Err(_) => return,
+                }
+            }
+            default(Duration::from_millis(5)) => {}
+        }
+        // Drain queued replies without blocking.
+        while let Ok((from, msg)) = inbox.try_recv() {
+            broadcast(prop.handle(from.as_raw(), msg));
+        }
+
+        // 2. Fold decided instances into their rounds; deliver every round
+        //    whose instances are all decided (instance order == submission
+        //    order, so rounds complete in order).
+        for (_, commands) in prop.take_decided() {
+            let front = open_rounds.front_mut().expect("instance belongs to a round");
+            front.1.extend(commands);
+            front.0 -= 1;
+            if front.0 == 0 {
+                let (_, commands) = open_rounds.pop_front().expect("front exists");
+                inner.decided.fetch_add(1, Ordering::Relaxed);
+                let out = Arc::new(DecidedBatch { seq: next_seq, commands });
+                next_seq += 1;
+                let mut subs = inner.subscribers.lock();
+                subs.retain(|tx| tx.send(Arc::clone(&out)).is_ok());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::new(1);
+        cfg.batch_delay(Duration::from_micros(100))
+            .skip_interval(Duration::from_millis(5));
+        cfg
+    }
+
+    #[test]
+    fn single_command_is_delivered() {
+        let group = PaxosGroup::spawn(1, &test_cfg());
+        let sub = group.subscribe();
+        group.start();
+        group.submit(Bytes::from_static(b"hello"));
+        let batch = sub.recv_timeout(Duration::from_secs(5)).expect("delivered");
+        assert_eq!(batch.seq, 1);
+        assert_eq!(&batch.commands[..], &[Bytes::from_static(b"hello")]);
+        group.shutdown();
+    }
+
+    #[test]
+    fn stream_seq_numbers_are_contiguous() {
+        let group = PaxosGroup::spawn(2, &test_cfg());
+        let sub = group.subscribe();
+        group.start();
+        for i in 0..200u32 {
+            group.submit(Bytes::from(i.to_le_bytes().to_vec()));
+        }
+        let mut got = Vec::new();
+        let mut expect_seq = 1;
+        while got.len() < 200 {
+            let batch = sub.recv_timeout(Duration::from_secs(5)).expect("delivered");
+            assert_eq!(batch.seq, expect_seq, "contiguous stream");
+            expect_seq += 1;
+            got.extend(batch.commands.iter().map(|c| {
+                u32::from_le_bytes(c[..4].try_into().unwrap())
+            }));
+        }
+        assert_eq!(got, (0..200).collect::<Vec<_>>(), "FIFO order preserved");
+        group.shutdown();
+    }
+
+    #[test]
+    fn all_subscribers_see_the_same_stream() {
+        let group = PaxosGroup::spawn(3, &test_cfg());
+        let sub1 = group.subscribe();
+        let sub2 = group.subscribe();
+        group.start();
+        for i in 0..50u32 {
+            group.submit(Bytes::from(i.to_le_bytes().to_vec()));
+        }
+        let drain = |rx: &Receiver<Arc<DecidedBatch>>| {
+            let mut cmds = Vec::new();
+            while cmds.len() < 50 {
+                let b = rx.recv_timeout(Duration::from_secs(5)).expect("delivered");
+                cmds.extend(b.commands.clone());
+            }
+            cmds
+        };
+        assert_eq!(drain(&sub1), drain(&sub2));
+        group.shutdown();
+    }
+
+    #[test]
+    fn batching_respects_size_cap() {
+        let mut cfg = test_cfg();
+        cfg.batch_bytes(64);
+        let group = PaxosGroup::spawn(4, &cfg);
+        let sub = group.subscribe();
+        group.start();
+        // 32 commands of 16 bytes each; no batch may exceed ~64+16 bytes.
+        for i in 0..32u64 {
+            group.submit(Bytes::from(vec![i as u8; 16]));
+        }
+        let mut seen = 0;
+        while seen < 32 {
+            let b = sub.recv_timeout(Duration::from_secs(5)).expect("delivered");
+            let bytes: usize = b.commands.iter().map(|c| c.len()).sum();
+            assert!(bytes <= 64 + 16, "batch of {bytes} bytes exceeds cap");
+            seen += b.commands.len();
+        }
+        group.shutdown();
+    }
+
+    #[test]
+    fn ticked_group_emits_skip_rounds_when_idle() {
+        let (tick_tx, tick_rx) = crossbeam::channel::unbounded();
+        let group =
+            PaxosGroup::spawn_with(5, &test_cfg(), LiveNet::new(), Pacing::Ticks(tick_rx));
+        let sub = group.subscribe();
+        group.start();
+        tick_tx.send(1).unwrap();
+        let batch = sub.recv_timeout(Duration::from_secs(5)).expect("skip arrives");
+        assert!(batch.is_skip());
+        assert_eq!(batch.seq, 1);
+        group.shutdown();
+    }
+
+    #[test]
+    fn ticked_group_packs_submissions_into_one_round() {
+        let (tick_tx, tick_rx) = crossbeam::channel::unbounded();
+        let group =
+            PaxosGroup::spawn_with(9, &test_cfg(), LiveNet::new(), Pacing::Ticks(tick_rx));
+        let sub = group.subscribe();
+        group.start();
+        for i in 0..10u32 {
+            group.submit(Bytes::from(i.to_le_bytes().to_vec()));
+        }
+        // Give submissions time to land in the queue, then tick once.
+        std::thread::sleep(Duration::from_millis(20));
+        tick_tx.send(1).unwrap();
+        let batch = sub.recv_timeout(Duration::from_secs(5)).expect("round arrives");
+        assert_eq!(batch.seq, 1);
+        assert_eq!(batch.commands.len(), 10, "whole backlog in one round");
+        // The next tick with no traffic yields a skip with the next seq.
+        tick_tx.send(2).unwrap();
+        let batch = sub.recv_timeout(Duration::from_secs(5)).expect("skip arrives");
+        assert!(batch.is_skip());
+        assert_eq!(batch.seq, 2);
+        group.shutdown();
+    }
+
+    #[test]
+    fn ticked_round_splits_oversized_backlog_into_capped_instances() {
+        let (tick_tx, tick_rx) = crossbeam::channel::unbounded();
+        let mut cfg = test_cfg();
+        cfg.batch_bytes(64);
+        let group =
+            PaxosGroup::spawn_with(10, &cfg, LiveNet::new(), Pacing::Ticks(tick_rx));
+        let sub = group.subscribe();
+        group.start();
+        for i in 0..32u64 {
+            group.submit(Bytes::from(vec![i as u8; 16]));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        tick_tx.send(1).unwrap();
+        // All 32 commands arrive as ONE stream batch (one round) even
+        // though they were decided as multiple 64-byte Paxos instances.
+        let batch = sub.recv_timeout(Duration::from_secs(5)).expect("round arrives");
+        assert_eq!(batch.seq, 1);
+        assert_eq!(batch.commands.len(), 32);
+        group.shutdown();
+    }
+
+    #[test]
+    fn survives_one_acceptor_crash() {
+        let net: LiveNet<NetMsg> = LiveNet::new();
+        let group = PaxosGroup::spawn_with(6, &test_cfg(), net.clone(), Pacing::Batched);
+        let sub = group.subscribe();
+        group.start();
+        group.submit(Bytes::from_static(b"before"));
+        let b = sub.recv_timeout(Duration::from_secs(5)).expect("pre-crash traffic");
+        assert_eq!(&b.commands[0][..], b"before");
+        // Crash one of the three acceptors: majority (2) remains.
+        net.crash(acceptor_node(6, 2));
+        for _ in 0..20 {
+            group.submit(Bytes::from_static(b"after"));
+        }
+        let mut seen = 0;
+        while seen < 20 {
+            let b = sub.recv_timeout(Duration::from_secs(5)).expect("post-crash progress");
+            seen += b.commands.len();
+        }
+        group.shutdown();
+    }
+
+    #[test]
+    fn decided_count_tracks_batches() {
+        let group = PaxosGroup::spawn(7, &test_cfg());
+        let sub = group.subscribe();
+        group.start();
+        group.submit(Bytes::from_static(b"x"));
+        let _ = sub.recv_timeout(Duration::from_secs(5)).expect("delivered");
+        assert!(group.handle().decided_count() >= 1);
+        assert_eq!(group.handle().group_id(), 7);
+        group.shutdown();
+    }
+
+    #[test]
+    fn shutdown_disconnects_subscribers() {
+        let group = PaxosGroup::spawn(8, &test_cfg());
+        let sub = group.subscribe();
+        group.start();
+        group.shutdown();
+        // After shutdown the subscriber eventually disconnects.
+        loop {
+            match sub.recv_timeout(Duration::from_secs(5)) {
+                Ok(_) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+                Err(RecvTimeoutError::Timeout) => panic!("subscriber not disconnected"),
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Runtime fault injection: groups must keep delivering under degraded
+//! acceptor links and after acceptor crashes (f = 1 of 3, §II's failure
+//! model), and the stream must stay gap-free throughout.
+
+use bytes::Bytes;
+use psmr_common::SystemConfig;
+use psmr_netsim::live::{LinkFault, LiveNet};
+use psmr_paxos::runtime::{acceptor_node, coordinator_node, Pacing, PaxosGroup};
+use std::time::Duration;
+
+fn test_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::new(1);
+    cfg.batch_delay(Duration::from_micros(100)).skip_interval(Duration::from_millis(1));
+    cfg
+}
+
+fn drain_exactly(
+    sub: &crossbeam::channel::Receiver<std::sync::Arc<psmr_paxos::DecidedBatch>>,
+    want: usize,
+) -> Vec<u32> {
+    let mut got = Vec::new();
+    let mut expect_seq = 1u64;
+    while got.len() < want {
+        let batch = sub
+            .recv_timeout(Duration::from_secs(10))
+            .expect("group keeps delivering under faults");
+        assert_eq!(batch.seq, expect_seq, "stream must stay gap-free");
+        expect_seq += 1;
+        got.extend(
+            batch
+                .commands
+                .iter()
+                .map(|c| u32::from_le_bytes(c[..4].try_into().expect("payload"))),
+        );
+    }
+    got
+}
+
+#[test]
+fn delivers_with_one_lossy_acceptor_link() {
+    let net = LiveNet::new();
+    let group = PaxosGroup::spawn_with(1, &test_cfg(), net.clone(), Pacing::Batched);
+    let sub = group.subscribe();
+    group.start();
+    // Coordinator→acceptor-0 link drops everything: quorum {1, 2} remains.
+    net.inject(coordinator_node(1), acceptor_node(1, 0), LinkFault::loss(1.0));
+    for i in 0..100u32 {
+        group.submit(Bytes::from(i.to_le_bytes().to_vec()));
+    }
+    let got = drain_exactly(&sub, 100);
+    assert_eq!(got, (0..100).collect::<Vec<_>>());
+    group.shutdown();
+}
+
+#[test]
+fn delivers_with_a_slow_acceptor() {
+    let net = LiveNet::new();
+    let group = PaxosGroup::spawn_with(2, &test_cfg(), net.clone(), Pacing::Batched);
+    let sub = group.subscribe();
+    group.start();
+    // One acceptor's replies are delayed well beyond the batch linger; the
+    // other two still form a timely quorum.
+    net.inject(
+        acceptor_node(2, 1),
+        coordinator_node(2),
+        LinkFault::delay(Duration::from_millis(20)),
+    );
+    for i in 0..50u32 {
+        group.submit(Bytes::from(i.to_le_bytes().to_vec()));
+    }
+    let got = drain_exactly(&sub, 50);
+    assert_eq!(got, (0..50).collect::<Vec<_>>());
+    group.shutdown();
+}
+
+#[test]
+fn crash_then_heavy_traffic_keeps_fifo_order() {
+    let net = LiveNet::new();
+    let group = PaxosGroup::spawn_with(3, &test_cfg(), net.clone(), Pacing::Batched);
+    let sub = group.subscribe();
+    group.start();
+    for i in 0..200u32 {
+        group.submit(Bytes::from(i.to_le_bytes().to_vec()));
+        if i == 50 {
+            net.crash(acceptor_node(3, 2));
+        }
+    }
+    let got = drain_exactly(&sub, 200);
+    assert_eq!(got, (0..200).collect::<Vec<_>>());
+    group.shutdown();
+}
+
+#[test]
+fn round_paced_group_survives_acceptor_crash() {
+    let net = LiveNet::new();
+    let (tick_tx, tick_rx) = crossbeam::channel::unbounded();
+    let group = PaxosGroup::spawn_with(4, &test_cfg(), net.clone(), Pacing::Ticks(tick_rx));
+    let sub = group.subscribe();
+    group.start();
+    net.crash(acceptor_node(4, 0));
+    let ticker = std::thread::spawn(move || {
+        for tick in 1..=200u64 {
+            let _ = tick_tx.send(tick);
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    });
+    for i in 0..30u32 {
+        group.submit(Bytes::from(i.to_le_bytes().to_vec()));
+    }
+    let got = drain_exactly(&sub, 30);
+    assert_eq!(got, (0..30).collect::<Vec<_>>());
+    ticker.join().expect("ticker finishes");
+    group.shutdown();
+}
+
+#[test]
+fn two_crashed_acceptors_block_progress_until_heal() {
+    // With 2 of 3 acceptors unreachable no quorum exists; traffic must NOT
+    // be delivered (safety over liveness). We verify no delivery within a
+    // grace period, then heal one link and watch the backlog flush.
+    let net = LiveNet::new();
+    let group = PaxosGroup::spawn_with(5, &test_cfg(), net.clone(), Pacing::Batched);
+    let sub = group.subscribe();
+    group.start();
+    net.inject(coordinator_node(5), acceptor_node(5, 0), LinkFault::loss(1.0));
+    net.inject(coordinator_node(5), acceptor_node(5, 1), LinkFault::loss(1.0));
+    for i in 0..10u32 {
+        group.submit(Bytes::from(i.to_le_bytes().to_vec()));
+    }
+    assert!(
+        sub.recv_timeout(Duration::from_millis(200)).is_err(),
+        "no quorum, no delivery"
+    );
+    net.heal(coordinator_node(5), acceptor_node(5, 0));
+    // New traffic re-proposes; the coordinator retries its open batch only
+    // when new submissions arrive, so nudge it.
+    for i in 10..20u32 {
+        group.submit(Bytes::from(i.to_le_bytes().to_vec()));
+    }
+    let got = drain_exactly(&sub, 20);
+    assert_eq!(got, (0..20).collect::<Vec<_>>());
+    group.shutdown();
+}

@@ -1,0 +1,31 @@
+//! Workload generation for the evaluation (paper §VII).
+//!
+//! * [`dist::KeyDist`] — key-selection distributions: uniform (the default
+//!   of §VI-B) and Zipfian with exponent 1 (the skewed workload of §VII-G).
+//! * [`mix::KvMix`] — command mixes over the key-value store: read-only
+//!   (§VII-C), insert/delete-only (§VII-D), mixed with a given percentage
+//!   of dependent commands (§VII-F), and the 50/50 update/read skew
+//!   workload (§VII-G).
+//!
+//! Generators are deterministic given a seed, so experiment runs are
+//! repeatable.
+//!
+//! # Example
+//!
+//! ```
+//! use psmr_workload::dist::KeyDist;
+//! use psmr_workload::mix::KvMix;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let dist = KeyDist::zipf(1_000_000, 1.0);
+//! let mix = KvMix::mixed(0.1); // 0.1% dependent commands (Figure 6)
+//! let op = mix.sample(&dist, &mut rng);
+//! assert!(op.key() < 1_000_000);
+//! ```
+
+pub mod dist;
+pub mod mix;
+
+pub use dist::KeyDist;
+pub use mix::KvMix;

@@ -1,0 +1,171 @@
+//! Command mixes over the key-value store.
+
+use crate::dist::KeyDist;
+use psmr_kvstore::KvOp;
+use rand::Rng;
+
+/// Probabilities of each store command; the remainder after reads, updates
+/// and inserts is deletes.
+///
+/// Constructors map directly to the paper's experiments:
+///
+/// * [`KvMix::read_only`] — §VII-C (independent commands),
+/// * [`KvMix::insert_delete`] — §VII-D (dependent commands),
+/// * [`KvMix::mixed`] — §VII-F (x% inserts+deletes, rest reads),
+/// * [`KvMix::update_read`] — §VII-G (50% updates, 50% reads).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvMix {
+    read: f64,
+    update: f64,
+    insert: f64,
+    delete: f64,
+}
+
+impl KvMix {
+    /// A custom mix; fractions must sum to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction is negative or the sum differs from 1 by more
+    /// than 1e-9.
+    pub fn new(read: f64, update: f64, insert: f64, delete: f64) -> Self {
+        for f in [read, update, insert, delete] {
+            assert!(f >= 0.0, "fractions must be non-negative");
+        }
+        let sum = read + update + insert + delete;
+        assert!((sum - 1.0).abs() < 1e-9, "fractions must sum to 1, got {sum}");
+        Self { read, update, insert, delete }
+    }
+
+    /// 100% reads (Figure 3).
+    pub fn read_only() -> Self {
+        Self::new(1.0, 0.0, 0.0, 0.0)
+    }
+
+    /// 50% inserts, 50% deletes (Figure 4).
+    pub fn insert_delete() -> Self {
+        Self::new(0.0, 0.0, 0.5, 0.5)
+    }
+
+    /// `dependent_pct` percent inserts+deletes (split evenly), the rest
+    /// reads — the x-axis of Figure 6 (e.g. `0.1` means 0.1%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dependent_pct` is outside `0..=100`.
+    pub fn mixed(dependent_pct: f64) -> Self {
+        assert!((0.0..=100.0).contains(&dependent_pct), "percentage out of range");
+        let dep = dependent_pct / 100.0;
+        Self::new(1.0 - dep, 0.0, dep / 2.0, dep / 2.0)
+    }
+
+    /// 50% updates, 50% reads (Figure 7's skew experiment).
+    pub fn update_read() -> Self {
+        Self::new(0.5, 0.5, 0.0, 0.0)
+    }
+
+    /// Fraction of commands that are structural (insert/delete) — the
+    /// "percentage of dependent commands" of §VII-F.
+    pub fn dependent_fraction(&self) -> f64 {
+        self.insert + self.delete
+    }
+
+    /// Draws one operation, with the key taken from `dist`.
+    ///
+    /// Inserted keys are drawn *above* the key space (`n + sample`) so that
+    /// inserts mostly succeed and deletes target existing keys — keeping
+    /// the tree size roughly stable, as the paper's statistics-gathering
+    /// phase assumes ("few inserts and deletes involve changes in multiple
+    /// levels of the tree").
+    pub fn sample<R: Rng + ?Sized>(&self, dist: &KeyDist, rng: &mut R) -> KvOp {
+        let roll: f64 = rng.gen_range(0.0..1.0);
+        let key = dist.sample(rng);
+        if roll < self.read {
+            KvOp::Read { key }
+        } else if roll < self.read + self.update {
+            KvOp::Update { key, value: rng.gen() }
+        } else if roll < self.read + self.update + self.insert {
+            KvOp::Insert { key: dist.n() + key, value: rng.gen() }
+        } else {
+            KvOp::Delete { key }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frequencies(mix: KvMix, samples: u32) -> [f64; 4] {
+        let dist = KeyDist::uniform(1000);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 4];
+        for _ in 0..samples {
+            match mix.sample(&dist, &mut rng) {
+                KvOp::Read { .. } => counts[0] += 1,
+                KvOp::Update { .. } => counts[1] += 1,
+                KvOp::Insert { .. } => counts[2] += 1,
+                KvOp::Delete { .. } => counts[3] += 1,
+            }
+        }
+        counts.map(|c| c as f64 / samples as f64)
+    }
+
+    #[test]
+    fn read_only_is_all_reads() {
+        let f = frequencies(KvMix::read_only(), 10_000);
+        assert_eq!(f, [1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(KvMix::read_only().dependent_fraction(), 0.0);
+    }
+
+    #[test]
+    fn insert_delete_splits_evenly() {
+        let f = frequencies(KvMix::insert_delete(), 100_000);
+        assert_eq!(f[0], 0.0);
+        assert!((f[2] - 0.5).abs() < 0.02, "inserts {f:?}");
+        assert!((f[3] - 0.5).abs() < 0.02, "deletes {f:?}");
+        assert_eq!(KvMix::insert_delete().dependent_fraction(), 1.0);
+    }
+
+    #[test]
+    fn mixed_hits_the_requested_dependent_percentage() {
+        let mix = KvMix::mixed(10.0);
+        let f = frequencies(mix, 200_000);
+        let dep = f[2] + f[3];
+        assert!((dep - 0.10).abs() < 0.01, "dependent fraction {dep}");
+        assert!((mix.dependent_fraction() - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_read_is_half_and_half() {
+        let f = frequencies(KvMix::update_read(), 100_000);
+        assert!((f[0] - 0.5).abs() < 0.02);
+        assert!((f[1] - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn inserts_target_keys_above_the_space() {
+        let mix = KvMix::insert_delete();
+        let dist = KeyDist::uniform(100);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            if let KvOp::Insert { key, .. } = mix.sample(&dist, &mut rng) {
+                assert!(key >= 100);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_fractions_rejected() {
+        let _ = KvMix::new(0.5, 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_percentage_rejected() {
+        let _ = KvMix::mixed(150.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! The paper's key-value store on every replication technique.
+//!
+//! Runs the same workload (95% reads, 4.9% updates, 0.1% structural
+//! inserts/deletes) against SMR, sP-SMR, P-SMR, no-rep and the lock-based
+//! BDB baseline, and prints each technique's throughput — a miniature of
+//! the paper's Figures 3 and 4.
+//!
+//! Run with: `cargo run --release --example kvstore`
+
+use psmr_suite::common::SystemConfig;
+use psmr_suite::core::engines::{Engine, NoRepEngine, PsmrEngine, SmrEngine, SpSmrEngine};
+use psmr_suite::kvstore::{fine_dependency_spec, KvOp, KvService, LockedKvEngine};
+use psmr_suite::workload::{KeyDist, KvMix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const KEYS: u64 = 100_000;
+const OPS: u64 = 40_000;
+
+/// Drives `OPS` windowed commands through one client and returns Kcps.
+fn drive<E: Engine>(engine: &E) -> f64 {
+    let mut client = engine.client();
+    let dist = KeyDist::uniform(KEYS);
+    let mix = KvMix::new(0.95, 0.049, 0.0005, 0.0005);
+    let mut rng = StdRng::seed_from_u64(42);
+    let started = Instant::now();
+    let mut completed = 0u64;
+    let mut issued = 0u64;
+    while completed < OPS {
+        while issued < OPS && client.outstanding() < 50 {
+            let op: KvOp = mix.sample(&dist, &mut rng);
+            client.submit(op.command(), op.encode());
+            issued += 1;
+        }
+        client.recv_response();
+        completed += 1;
+    }
+    completed as f64 / started.elapsed().as_secs_f64() / 1000.0
+}
+
+fn main() {
+    let mut cfg = SystemConfig::new(4);
+    cfg.replicas(2);
+    let map = fine_dependency_spec().into_map();
+    let factory = || KvService::with_keys(KEYS);
+
+    println!("{OPS} commands, {KEYS} keys, 95% reads / 4.9% updates / 0.1% structural\n");
+
+    let engine = SmrEngine::spawn(&cfg, factory);
+    println!("{:<8} {:>8.1} Kcps", engine.label(), drive(&engine));
+    engine.shutdown();
+
+    let engine = SpSmrEngine::spawn(&cfg, map.clone(), factory);
+    println!("{:<8} {:>8.1} Kcps", engine.label(), drive(&engine));
+    engine.shutdown();
+
+    let engine = PsmrEngine::spawn(&cfg, map.clone(), factory);
+    println!("{:<8} {:>8.1} Kcps", engine.label(), drive(&engine));
+    engine.shutdown();
+
+    let engine = NoRepEngine::spawn(&cfg, map, factory);
+    println!("{:<8} {:>8.1} Kcps", engine.label(), drive(&engine));
+    engine.shutdown();
+
+    let engine = LockedKvEngine::spawn(4, KEYS);
+    println!("{:<8} {:>8.1} Kcps", engine.label(), drive(&engine));
+    engine.shutdown();
+
+    println!("\n(shapes, not absolutes: see EXPERIMENTS.md and the figN binaries)");
+}

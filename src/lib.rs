@@ -1,0 +1,25 @@
+//! # psmr-suite — Parallel State-Machine Replication, reproduced in Rust
+//!
+//! This facade crate re-exports the whole workspace so examples,
+//! integration tests and downstream users can depend on a single crate.
+//!
+//! The workspace reproduces *Rethinking State-Machine Replication for
+//! Parallelism* (Marandi, Bezerra, Pedone — ICDCS 2014): the P-SMR
+//! protocol, the SMR / sP-SMR / no-rep / lock-based baselines it is
+//! evaluated against, the Paxos-backed atomic multicast substrate, and the
+//! two services of the paper (a B+-tree key-value store and an in-memory
+//! networked file system).
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured results.
+
+pub use psmr_btree as btree;
+pub use psmr_common as common;
+pub use psmr_core as core;
+pub use psmr_kvstore as kvstore;
+pub use psmr_lz as lz;
+pub use psmr_multicast as multicast;
+pub use psmr_netfs as netfs;
+pub use psmr_netsim as netsim;
+pub use psmr_paxos as paxos;
+pub use psmr_workload as workload;
