@@ -15,7 +15,8 @@ use std::time::Duration;
 
 fn quick_cfg(mpl: usize) -> SystemConfig {
     let mut cfg = SystemConfig::new(mpl);
-    cfg.batch_delay(Duration::from_micros(50)).skip_interval(Duration::from_micros(200));
+    cfg.batch_delay(Duration::from_micros(50))
+        .skip_interval(Duration::from_micros(200));
     cfg
 }
 
@@ -55,10 +56,7 @@ fn bench_batching(c: &mut Criterion) {
                 let payload = Bytes::from_static(&[0u8; 32]);
                 b.iter(|| {
                     for _ in 0..1000 {
-                        handle.multicast(
-                            &Destinations::one(GroupId::new(0)),
-                            payload.clone(),
-                        );
+                        handle.multicast(&Destinations::one(GroupId::new(0)), payload.clone());
                     }
                     for _ in 0..1000 {
                         std::hint::black_box(stream.next().expect("delivered"));
@@ -82,15 +80,15 @@ fn bench_cdep_granularity(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(fine.destinations(psmr_kvstore::READ, &read, 8)));
     });
     group.bench_function("coarse_read_destinations", |b| {
-        b.iter(|| {
-            std::hint::black_box(coarse.destinations(psmr_kvstore::READ, &read, 8))
-        });
+        b.iter(|| std::hint::black_box(coarse.destinations(psmr_kvstore::READ, &read, 8)));
     });
-    let update = KvOp::Update { key: 123456, value: 1 }.encode();
+    let update = KvOp::Update {
+        key: 123456,
+        value: 1,
+    }
+    .encode();
     group.bench_function("fine_update_destinations", |b| {
-        b.iter(|| {
-            std::hint::black_box(fine.destinations(psmr_kvstore::UPDATE, &update, 8))
-        });
+        b.iter(|| std::hint::black_box(fine.destinations(psmr_kvstore::UPDATE, &update, 8)));
     });
     group.finish();
 }
@@ -157,16 +155,14 @@ fn bench_delivery_path(c: &mut Criterion) {
     group.bench_function("four_worker_streams_1000", |b| {
         let system = MulticastSystem::spawn(&quick_cfg(4));
         let handle = system.handle();
-        let mut streams: Vec<_> =
-            (0..4).map(|i| system.worker_stream(WorkerId::new(i))).collect();
+        let mut streams: Vec<_> = (0..4)
+            .map(|i| system.worker_stream(WorkerId::new(i)))
+            .collect();
         system.start();
         let payload = Bytes::from_static(&[0u8; 32]);
         b.iter(|| {
             for i in 0..1000usize {
-                handle.multicast(
-                    &Destinations::one(GroupId::new(i % 4)),
-                    payload.clone(),
-                );
+                handle.multicast(&Destinations::one(GroupId::new(i % 4)), payload.clone());
             }
             for (i, stream) in streams.iter_mut().enumerate() {
                 for _ in 0..(1000 / 4) {

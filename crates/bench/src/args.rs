@@ -19,7 +19,13 @@ pub struct BenchArgs {
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        Self { quick: false, keys: 200_000, clients: 16, secs: 3.0, warmup: 1.0 }
+        Self {
+            quick: false,
+            keys: 200_000,
+            clients: 16,
+            secs: 3.0,
+            warmup: 1.0,
+        }
     }
 }
 
@@ -43,9 +49,7 @@ impl BenchArgs {
                     args.quick = true;
                 }
                 "--keys" => args.keys = value("count").parse().expect("key count"),
-                "--clients" => {
-                    args.clients = value("count").parse().expect("client count")
-                }
+                "--clients" => args.clients = value("count").parse().expect("client count"),
                 "--secs" => args.secs = value("duration").parse().expect("seconds"),
                 "--warmup" => args.warmup = value("duration").parse().expect("seconds"),
                 other => panic!(
@@ -105,7 +109,16 @@ mod tests {
 
     #[test]
     fn explicit_values_parse() {
-        let a = parse(&["--keys", "1000", "--clients", "3", "--secs", "1.5", "--warmup", "0.5"]);
+        let a = parse(&[
+            "--keys",
+            "1000",
+            "--clients",
+            "3",
+            "--secs",
+            "1.5",
+            "--warmup",
+            "0.5",
+        ]);
         assert_eq!(a.keys, 1000);
         assert_eq!(a.clients, 3);
         assert_eq!(a.secs, 1.5);

@@ -52,7 +52,6 @@ pub fn drive_kv<E: Engine + Sync>(
     let hist = Histogram::new();
     let measuring = AtomicBool::new(false);
     let stop = AtomicBool::new(false);
-    let meter = ThroughputMeter::start(); // restarted below; placeholder
     let mut measured: Option<(ThroughputMeter, CpuSampler)> = None;
 
     std::thread::scope(|scope| {
@@ -61,7 +60,7 @@ pub fn drive_kv<E: Engine + Sync>(
             let measuring = &measuring;
             let stop = &stop;
             let mut client = engine.client();
-            let mix = mix.clone();
+            let mix = *mix;
             let dist = dist.clone();
             let window = opts.window;
             scope.spawn(move || {
@@ -99,7 +98,6 @@ pub fn drive_kv<E: Engine + Sync>(
         // Scope waits for client threads; each returns after its next
         // response, which arrives because requests stay outstanding.
     });
-    drop(meter);
 
     let (meter, cpu) = measured.expect("control flow ran");
     let cpu_pct = cpu.sample_pct().unwrap_or(0.0);
@@ -130,8 +128,7 @@ pub fn drive_netfs<E: Engine + Sync>(
 
     // 1 KiB of lz-compressible but non-trivial data, as in the paper's
     // request pipeline.
-    let block: Vec<u8> =
-        (0..1024u32).map(|i| ((i / 7) % 251) as u8).collect();
+    let block: Vec<u8> = (0..1024u32).map(|i| ((i / 7) % 251) as u8).collect();
 
     std::thread::scope(|scope| {
         for c in 0..opts.clients {
@@ -213,10 +210,9 @@ mod tests {
     fn kv_driver_produces_a_summary() {
         let mut cfg = SystemConfig::new(2);
         cfg.replicas(1);
-        let engine =
-            PsmrEngine::spawn(&cfg, fine_dependency_spec().into_map(), || {
-                KvService::with_keys(1000)
-            });
+        let engine = PsmrEngine::spawn(&cfg, fine_dependency_spec().into_map(), || {
+            KvService::with_keys(1000)
+        });
         let summary = drive_kv(
             &engine,
             &KvMix::read_only(),
@@ -239,8 +235,7 @@ mod tests {
             NetFsService::with_tree(2, 8, 1024)
         });
         let paths = NetFsService::tree_paths(2, 8);
-        let summary =
-            drive_netfs(&engine, NetFsWorkload::Reads, &paths, &tiny_opts());
+        let summary = drive_netfs(&engine, NetFsWorkload::Reads, &paths, &tiny_opts());
         assert!(summary.kcps > 0.0, "made progress: {summary:?}");
         engine.shutdown();
     }

@@ -107,10 +107,17 @@ pub fn fig4(args: &BenchArgs) -> Report {
 /// threads grow, for independent and for dependent commands.
 pub fn fig5(args: &BenchArgs) -> Report {
     let mut report = Report::new("fig5");
-    let threads: &[usize] =
-        if args.quick { &[1, 2, 4] } else { &[1, 2, 4, 6, 8] };
-    let techniques =
-        [Technique::NoRep, Technique::SpSmr, Technique::Psmr, Technique::Bdb];
+    let threads: &[usize] = if args.quick {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 4, 6, 8]
+    };
+    let techniques = [
+        Technique::NoRep,
+        Technique::SpSmr,
+        Technique::Psmr,
+        Technique::Bdb,
+    ];
     for (label, mix) in [
         ("independent (reads)", KvMix::read_only()),
         ("dependent (insert/delete)", KvMix::insert_delete()),
@@ -127,10 +134,8 @@ pub fn fig5(args: &BenchArgs) -> Report {
             }
             report.series(&format!("{} Kcps", technique.label()), &series);
             let base = series[0].1.max(f64::MIN_POSITIVE);
-            let normalized: Vec<(f64, f64)> = series
-                .iter()
-                .map(|&(t, k)| (t, (k / t) / base))
-                .collect();
+            let normalized: Vec<(f64, f64)> =
+                series.iter().map(|&(t, k)| (t, (k / t) / base)).collect();
             report.series(&format!("{} per-thread", technique.label()), &normalized);
         }
     }
@@ -188,8 +193,11 @@ pub fn fig6(args: &BenchArgs) -> Report {
 /// Zipf(1) key choice, P-SMR vs sP-SMR, threads 1..8.
 pub fn fig7(args: &BenchArgs) -> Report {
     let mut report = Report::new("fig7");
-    let threads: &[usize] =
-        if args.quick { &[1, 2, 4] } else { &[1, 2, 4, 6, 8] };
+    let threads: &[usize] = if args.quick {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 4, 6, 8]
+    };
     let mix = KvMix::update_read();
     for technique in [Technique::Psmr, Technique::SpSmr] {
         for (dist_label, dist) in [
@@ -203,8 +211,7 @@ pub fn fig7(args: &BenchArgs) -> Report {
                 engine.shutdown();
                 series.push((t as f64, row.kcps));
             }
-            report
-                .series(&format!("{} {dist_label} Kcps", technique.label()), &series);
+            report.series(&format!("{} {dist_label} Kcps", technique.label()), &series);
             let base = series[0].1.max(f64::MIN_POSITIVE);
             let normalized: Vec<(f64, f64)> =
                 series.iter().map(|&(t, k)| (t, (k / t) / base)).collect();
@@ -258,8 +265,10 @@ pub fn remap(args: &BenchArgs) -> Report {
     // Spread the 64 hottest keys round-robin across all groups, through
     // the replicated REMAP command (installs at a deterministic point of
     // the serialized stream on every replica).
-    let mut table = RemapTable::default();
-    table.epoch = 1;
+    let mut table = RemapTable {
+        epoch: 1,
+        ..Default::default()
+    };
     for rank in 0..64u64 {
         table.pins.insert(
             rank * mpl as u64,
@@ -311,15 +320,13 @@ pub fn fig8(args: &BenchArgs) -> Report {
                     row
                 }
                 "sP-SMR" => {
-                    let engine =
-                        SpSmrEngine::spawn(&cfg, netfs_spec().into_map(), factory);
+                    let engine = SpSmrEngine::spawn(&cfg, netfs_spec().into_map(), factory);
                     let row = drive_netfs(&engine, workload, &paths, &opts(args));
                     engine.shutdown();
                     row
                 }
                 _ => {
-                    let engine =
-                        PsmrEngine::spawn(&cfg, netfs_spec().into_map(), factory);
+                    let engine = PsmrEngine::spawn(&cfg, netfs_spec().into_map(), factory);
                     let row = drive_netfs(&engine, workload, &paths, &opts(args));
                     engine.shutdown();
                     row

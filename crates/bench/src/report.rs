@@ -18,7 +18,10 @@ pub struct Report {
 impl Report {
     /// Starts a report for `name` (e.g. `fig3`).
     pub fn new(name: &str) -> Self {
-        let mut report = Self { name: name.to_string(), body: String::new() };
+        let mut report = Self {
+            name: name.to_string(),
+            body: String::new(),
+        };
         report.line(&format!("=== {name} ==="));
         report
     }
@@ -50,7 +53,11 @@ impl Report {
             };
             self.line(&format!(
                 "{:<10} {:>12.1} {:>8} {:>12.3} {:>12.3} {:>8.0}",
-                row.technique, row.kcps, factor, row.avg_latency_ms, row.p99_latency_ms,
+                row.technique,
+                row.kcps,
+                factor,
+                row.avg_latency_ms,
+                row.p99_latency_ms,
                 row.cpu_pct
             ));
         }

@@ -44,7 +44,7 @@ proptest! {
                 }
             }
         }
-        tree.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        tree.check_invariants().map_err(TestCaseError::fail)?;
         prop_assert_eq!(tree.len(), model.len());
         let tree_pairs: Vec<(u64, u64)> = tree.iter().map(|(k, v)| (k, *v)).collect();
         let model_pairs: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();

@@ -49,6 +49,15 @@ pub struct SystemConfig {
     pub skip_interval: Duration,
     /// Per-client window of outstanding commands (50 in the paper, §VI-B).
     pub client_window: usize,
+    /// Decided batches each group retains for replica catch-up, beyond
+    /// what checkpoints have made reclaimable. Checkpoints trim the logs
+    /// down to their cut; this cap additionally bounds memory when no
+    /// checkpoints are taken. `usize::MAX` disables the cap.
+    pub log_retention: usize,
+    /// When set, recoverable engines multicast a `CHECKPOINT` control
+    /// command on the serialized group at this interval, keeping the
+    /// ordered logs trimmed and recovery points fresh.
+    pub checkpoint_interval: Option<Duration>,
 }
 
 impl SystemConfig {
@@ -68,6 +77,8 @@ impl SystemConfig {
             batch_delay: Duration::from_micros(50),
             skip_interval: Duration::from_millis(1),
             client_window: 50,
+            log_retention: 4096,
+            checkpoint_interval: None,
         }
     }
 
@@ -114,6 +125,18 @@ impl SystemConfig {
     /// Sets the per-client outstanding-command window.
     pub fn client_window(&mut self, window: usize) -> &mut Self {
         self.client_window = window.max(1);
+        self
+    }
+
+    /// Sets the per-group retained-log cap (in decided batches).
+    pub fn log_retention(&mut self, batches: usize) -> &mut Self {
+        self.log_retention = batches.max(1);
+        self
+    }
+
+    /// Sets (or clears) the automatic checkpoint interval.
+    pub fn checkpoint_interval(&mut self, interval: Option<Duration>) -> &mut Self {
+        self.checkpoint_interval = interval;
         self
     }
 
@@ -172,7 +195,10 @@ mod tests {
     #[test]
     fn builder_setters_chain() {
         let mut cfg = SystemConfig::new(2);
-        cfg.replicas(3).acceptors(5).batch_bytes(1024).client_window(10);
+        cfg.replicas(3)
+            .acceptors(5)
+            .batch_bytes(1024)
+            .client_window(10);
         assert_eq!(cfg.n_replicas, 3);
         assert_eq!(cfg.n_acceptors, 5);
         assert_eq!(cfg.acceptor_fault_tolerance(), 2);
@@ -190,6 +216,19 @@ mod tests {
         let cfg = SystemConfig::default();
         assert_eq!(cfg.mpl, 1);
         assert_eq!(cfg.group_count(), 2);
+    }
+
+    #[test]
+    fn recovery_knobs_have_safe_defaults_and_chain() {
+        let mut cfg = SystemConfig::new(2);
+        assert_eq!(cfg.log_retention, 4096);
+        assert_eq!(cfg.checkpoint_interval, None);
+        cfg.log_retention(16)
+            .checkpoint_interval(Some(Duration::from_millis(50)));
+        assert_eq!(cfg.log_retention, 16);
+        assert_eq!(cfg.checkpoint_interval, Some(Duration::from_millis(50)));
+        cfg.log_retention(0);
+        assert_eq!(cfg.log_retention, 1, "cap floors at one batch");
     }
 
     #[test]

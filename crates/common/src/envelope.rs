@@ -34,7 +34,12 @@ impl Request {
         command: CommandId,
         payload: impl Into<Bytes>,
     ) -> Self {
-        Self { client, request, command, payload: payload.into() }
+        Self {
+            client,
+            request,
+            command,
+            payload: payload.into(),
+        }
     }
 
     /// Total marshalled size in bytes, used by the batching coordinator to
@@ -63,14 +68,20 @@ impl Request {
     /// length prefix disagrees with the buffer size.
     pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
         if buf.len() < 24 {
-            return Err(DecodeError::Truncated { need: 24, have: buf.len() });
+            return Err(DecodeError::Truncated {
+                need: 24,
+                have: buf.len(),
+            });
         }
         let client = u64::from_le_bytes(buf[0..8].try_into().expect("8-byte slice"));
         let request = u64::from_le_bytes(buf[8..16].try_into().expect("8-byte slice"));
         let command = u32::from_le_bytes(buf[16..20].try_into().expect("4-byte slice"));
         let len = u32::from_le_bytes(buf[20..24].try_into().expect("4-byte slice")) as usize;
         if buf.len() < 24 + len {
-            return Err(DecodeError::Truncated { need: 24 + len, have: buf.len() });
+            return Err(DecodeError::Truncated {
+                need: 24 + len,
+                have: buf.len(),
+            });
         }
         Ok(Self {
             client: ClientId::new(client),
@@ -97,7 +108,10 @@ pub struct Response {
 impl Response {
     /// Creates a response envelope.
     pub fn new(request: RequestId, payload: impl Into<Bytes>) -> Self {
-        Self { request, payload: payload.into() }
+        Self {
+            request,
+            payload: payload.into(),
+        }
     }
 }
 
@@ -164,8 +178,12 @@ mod tests {
 
     #[test]
     fn empty_payload_round_trips() {
-        let req =
-            Request::new(ClientId::new(0), RequestId::new(0), CommandId::new(0), Vec::new());
+        let req = Request::new(
+            ClientId::new(0),
+            RequestId::new(0),
+            CommandId::new(0),
+            Vec::new(),
+        );
         let back = Request::decode(&req.encode()).expect("decodes");
         assert_eq!(back, req);
         assert!(back.payload.is_empty());

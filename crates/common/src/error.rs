@@ -48,12 +48,21 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = CommonError::Disconnected { peer: "acceptor a1".into() };
+        let e = CommonError::Disconnected {
+            peer: "acceptor a1".into(),
+        };
         assert_eq!(e.to_string(), "peer acceptor a1 disconnected");
-        let e = CommonError::UnknownGroup { group: 9, configured: 5 };
+        let e = CommonError::UnknownGroup {
+            group: 9,
+            configured: 5,
+        };
         assert!(e.to_string().contains("g9"));
-        assert!(CommonError::ShuttingDown.to_string().contains("shutting down"));
-        let e = CommonError::Malformed { what: "kv op tag".into() };
+        assert!(CommonError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
+        let e = CommonError::Malformed {
+            what: "kv op tag".into(),
+        };
         assert!(e.to_string().contains("kv op tag"));
     }
 

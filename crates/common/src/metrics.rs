@@ -12,7 +12,9 @@
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Number of linear sub-buckets per power-of-two bucket. 32 sub-buckets give
@@ -115,7 +117,10 @@ impl Histogram {
     ///
     /// Panics if `pct` is not within `0.0..=100.0`.
     pub fn percentile(&self, pct: f64) -> Duration {
-        assert!((0.0..=100.0).contains(&pct), "percentile must be in 0..=100");
+        assert!(
+            (0.0..=100.0).contains(&pct),
+            "percentile must be in 0..=100"
+        );
         let count = self.count();
         if count == 0 {
             return Duration::ZERO;
@@ -145,8 +150,10 @@ impl Histogram {
             let c = bucket.load(Ordering::Relaxed);
             if c > 0 {
                 seen += c;
-                points
-                    .push((Duration::from_nanos(Self::bucket_value(i)), seen as f64 / count as f64));
+                points.push((
+                    Duration::from_nanos(Self::bucket_value(i)),
+                    seen as f64 / count as f64,
+                ));
             }
         }
         points
@@ -160,9 +167,12 @@ impl Histogram {
                 mine.fetch_add(c, Ordering::Relaxed);
             }
         }
-        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
-        self.total_ns.fetch_add(other.total_ns.load(Ordering::Relaxed), Ordering::Relaxed);
-        self.max_ns.fetch_max(other.max_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.total_ns
+            .fetch_add(other.total_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_ns
+            .fetch_max(other.max_ns.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 }
 
@@ -193,7 +203,10 @@ pub struct ThroughputMeter {
 impl ThroughputMeter {
     /// Starts a meter at the current instant.
     pub fn start() -> Self {
-        Self { started: Instant::now(), completed: AtomicU64::new(0) }
+        Self {
+            started: Instant::now(),
+            completed: AtomicU64::new(0),
+        }
     }
 
     /// Adds `n` completed operations.
@@ -293,6 +306,99 @@ impl Series {
     }
 }
 
+/// A monotonically increasing event counter (wait-free `fetch_add`).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one event.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` events.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Well-known counter names (see [`MetricsRegistry`]).
+pub mod counters {
+    /// Requests silently discarded by a sink whose server side is gone
+    /// (`ChannelSink`-style drops) or by a shut-down multicast group.
+    pub const REQUESTS_DROPPED: &str = "requests_dropped";
+    /// Requests a client proxy re-submitted after suspecting loss.
+    pub const REQUESTS_RETRANSMITTED: &str = "requests_retransmitted";
+    /// Coordinated checkpoints installed.
+    pub const CHECKPOINTS_TAKEN: &str = "checkpoints_taken";
+    /// Replicas restarted from a `(checkpoint, log suffix)` pair.
+    pub const REPLICA_RESTARTS: &str = "replica_restarts";
+}
+
+/// A process-wide registry of named [`Counter`]s.
+///
+/// Components that would otherwise fail *silently* (request sinks whose
+/// server has gone away, retransmitting client proxies, the recovery
+/// machinery) record events here so tests and operators can observe
+/// them. Counters are created on first use and never removed.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<HashMap<String, Arc<Counter>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (creating if needed) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut counters = self.counters.lock();
+        match counters.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(Counter::new());
+                counters.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// Convenience: current value of `name` (0 if never touched).
+    pub fn value(&self, name: &str) -> u64 {
+        self.counter(name).get()
+    }
+
+    /// Snapshot of every `(name, count)` pair, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .counters
+            .lock()
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// The process-wide registry instrumented components report into.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,6 +491,29 @@ mod tests {
         assert!(s.avg_latency_ms >= 2.0);
         assert_eq!(s.cpu_pct, 99.0);
         assert_eq!(s.cdf.len(), 1);
+    }
+
+    #[test]
+    fn counters_register_and_accumulate() {
+        let registry = MetricsRegistry::new();
+        assert_eq!(registry.value("never_touched"), 0);
+        let dropped = registry.counter(counters::REQUESTS_DROPPED);
+        dropped.inc();
+        dropped.add(2);
+        assert_eq!(registry.value(counters::REQUESTS_DROPPED), 3);
+        // Same name resolves to the same counter.
+        registry.counter(counters::REQUESTS_DROPPED).inc();
+        assert_eq!(dropped.get(), 4);
+        let snap = registry.snapshot();
+        assert!(snap.contains(&(counters::REQUESTS_DROPPED.to_string(), 4)));
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = global().counter("metrics_test_global_probe");
+        let before = c.get();
+        global().counter("metrics_test_global_probe").inc();
+        assert_eq!(c.get(), before + 1);
     }
 
     #[test]

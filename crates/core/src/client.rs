@@ -12,12 +12,13 @@
 //! commands (50 in the paper); [`ClientProxy::submit`] /
 //! [`ClientProxy::recv_response`] expose that asynchronous interface.
 
+use crate::service::SharedRouter;
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
 use psmr_common::envelope::{Request, Response};
 use psmr_common::ids::{ClientId, CommandId, RequestId};
-use crate::service::SharedRouter;
-use std::collections::HashSet;
+use psmr_common::metrics::{counters, global};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Where a client proxy hands its marshalled requests: the multicast-backed
@@ -37,7 +38,9 @@ pub struct ClientProxy {
     sink: Arc<dyn RequestSink>,
     inbox: Receiver<Response>,
     router: SharedRouter,
-    outstanding: HashSet<RequestId>,
+    /// In-flight requests, kept whole so they can be retransmitted after
+    /// a suspected loss (server restart, dropped channel).
+    outstanding: HashMap<RequestId, Request>,
 }
 
 impl std::fmt::Debug for ClientProxy {
@@ -54,7 +57,14 @@ impl ClientProxy {
     /// engine's router. Engines construct proxies via `Engine::client`.
     pub fn new(id: ClientId, sink: Arc<dyn RequestSink>, router: SharedRouter) -> Self {
         let inbox = router.register(id);
-        Self { id, next_request: 0, sink, inbox, router, outstanding: HashSet::new() }
+        Self {
+            id,
+            next_request: 0,
+            sink,
+            inbox,
+            router,
+            outstanding: HashMap::new(),
+        }
     }
 
     /// This client's identifier.
@@ -94,9 +104,35 @@ impl ClientProxy {
         let request = RequestId::new(self.next_request);
         self.next_request += 1;
         let req = Request::new(self.id, request, command, payload);
-        self.outstanding.insert(request);
+        self.outstanding.insert(request, req.clone());
         self.sink.submit(&req);
         request
+    }
+
+    /// Re-submits every outstanding request through the sink and returns
+    /// how many were retransmitted (also counted in the
+    /// `requests_retransmitted` metric). The recovery path for requests a
+    /// failed server may have dropped before ordering them: replicas that
+    /// already executed a retransmitted command answer again and the
+    /// duplicate response is discarded by the proxy's dedup, so
+    /// retransmission is safe whenever the command either never ordered
+    /// or is idempotent to re-execute.
+    pub fn retransmit_outstanding(&mut self) -> usize {
+        let retransmitted = self.outstanding.len();
+        if retransmitted > 0 {
+            let counter = global().counter(counters::REQUESTS_RETRANSMITTED);
+            // Resubmit in original submission order (request ids are
+            // sequential per client) so the FIFO ordering path sees the
+            // same sequence the client issued — a map-order replay could
+            // invert two writes to the same key.
+            let mut pending: Vec<&Request> = self.outstanding.values().collect();
+            pending.sort_unstable_by_key(|req| req.request);
+            for req in pending {
+                self.sink.submit(req);
+                counter.inc();
+            }
+        }
+        retransmitted
     }
 
     /// Blocks until the next *first* response for an outstanding request
@@ -111,7 +147,7 @@ impl ClientProxy {
                 .inbox
                 .recv()
                 .expect("engine shut down with requests outstanding");
-            if self.outstanding.remove(&resp.request) {
+            if self.outstanding.remove(&resp.request).is_some() {
                 return (resp.request, resp.payload);
             }
             // Duplicate from another replica: drop.
@@ -121,7 +157,7 @@ impl ClientProxy {
     /// Non-blocking variant of [`ClientProxy::recv_response`].
     pub fn try_recv_response(&mut self) -> Option<(RequestId, Bytes)> {
         while let Ok(resp) = self.inbox.try_recv() {
-            if self.outstanding.remove(&resp.request) {
+            if self.outstanding.remove(&resp.request).is_some() {
                 return Some((resp.request, resp.payload));
             }
         }
@@ -140,6 +176,7 @@ mod tests {
     use super::*;
     use crate::service::ResponseRouter;
     use parking_lot::Mutex;
+    use std::collections::HashSet;
 
     /// A sink that immediately "executes" by echoing the payload back,
     /// `copies` times (simulating multiple replicas responding).
@@ -201,8 +238,9 @@ mod tests {
     #[test]
     fn windowed_submission_tracks_outstanding() {
         let (mut proxy, _sink) = setup(2);
-        let ids: Vec<RequestId> =
-            (0..10).map(|i| proxy.submit(CommandId::new(0), vec![i as u8])).collect();
+        let ids: Vec<RequestId> = (0..10)
+            .map(|i| proxy.submit(CommandId::new(0), vec![i as u8]))
+            .collect();
         assert_eq!(proxy.outstanding(), 10);
         let mut got = HashSet::new();
         for _ in 0..10 {
@@ -222,6 +260,22 @@ mod tests {
         let log = sink.log.lock();
         assert_eq!(log[0].request, RequestId::new(0));
         assert_eq!(log[1].request, RequestId::new(1));
+    }
+
+    #[test]
+    fn retransmit_resends_outstanding_and_counts() {
+        let (mut proxy, sink) = setup(0); // sink never responds
+        proxy.submit(CommandId::new(1), vec![1]);
+        proxy.submit(CommandId::new(2), vec![2]);
+        let before = global().value(counters::REQUESTS_RETRANSMITTED);
+        assert_eq!(proxy.retransmit_outstanding(), 2);
+        assert_eq!(global().value(counters::REQUESTS_RETRANSMITTED), before + 2);
+        // Original submissions + retransmissions all reached the sink.
+        assert_eq!(sink.log.lock().len(), 4);
+        // Nothing outstanding: retransmit is a no-op.
+        let (mut responsive, _sink) = setup(1);
+        let _ = responsive.execute(CommandId::new(0), vec![]);
+        assert_eq!(responsive.retransmit_outstanding(), 0);
     }
 
     #[test]

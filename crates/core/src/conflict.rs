@@ -42,6 +42,10 @@ pub enum CommandClass {
     Free,
 }
 
+/// The shared key-extraction function of a C-Dep: maps a command payload to
+/// the key its conflicts are computed over.
+type KeyExtractor = Arc<dyn Fn(&[u8]) -> u64 + Send + Sync>;
+
 /// The C-Dep of a service: a class per command plus the key extractor used
 /// by `Keyed` commands.
 ///
@@ -70,19 +74,24 @@ pub enum CommandClass {
 /// ```
 pub struct DependencySpec {
     classes: HashMap<CommandId, CommandClass>,
-    key_of: Arc<dyn Fn(&[u8]) -> u64 + Send + Sync>,
+    key_of: KeyExtractor,
 }
 
 impl std::fmt::Debug for DependencySpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DependencySpec").field("classes", &self.classes).finish()
+        f.debug_struct("DependencySpec")
+            .field("classes", &self.classes)
+            .finish()
     }
 }
 
 impl DependencySpec {
     /// Creates an empty specification.
     pub fn new() -> Self {
-        Self { classes: HashMap::new(), key_of: Arc::new(|_| 0) }
+        Self {
+            classes: HashMap::new(),
+            key_of: Arc::new(|_| 0),
+        }
     }
 
     /// Declares the class of a command.
@@ -93,10 +102,7 @@ impl DependencySpec {
 
     /// Installs the key extractor used by `Keyed` commands. The extractor
     /// must be deterministic: it runs in both client and server proxies.
-    pub fn key_extractor(
-        &mut self,
-        f: impl Fn(&[u8]) -> u64 + Send + Sync + 'static,
-    ) -> &mut Self {
+    pub fn key_extractor(&mut self, f: impl Fn(&[u8]) -> u64 + Send + Sync + 'static) -> &mut Self {
         self.key_of = Arc::new(f);
         self
     }
@@ -110,7 +116,10 @@ impl DependencySpec {
     /// depends on, breaking the "dependent commands share a group"
     /// requirement of §IV-C.
     pub fn into_map(&self) -> CommandMap {
-        let has_free = self.classes.values().any(|c| matches!(c, CommandClass::Free));
+        let has_free = self
+            .classes
+            .values()
+            .any(|c| matches!(c, CommandClass::Free));
         let has_keyed_write = self
             .classes
             .values()
@@ -143,7 +152,7 @@ impl Default for DependencySpec {
 #[derive(Clone)]
 pub struct CommandMap {
     classes: HashMap<CommandId, CommandClass>,
-    key_of: Arc<dyn Fn(&[u8]) -> u64 + Send + Sync>,
+    key_of: KeyExtractor,
     /// Round-robin counter for `Free` commands (the paper uses a random
     /// group; round-robin is the deterministic-rate equivalent and spreads
     /// load identically).
@@ -152,7 +161,9 @@ pub struct CommandMap {
 
 impl std::fmt::Debug for CommandMap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CommandMap").field("classes", &self.classes).finish()
+        f.debug_struct("CommandMap")
+            .field("classes", &self.classes)
+            .finish()
     }
 }
 
@@ -298,8 +309,7 @@ mod tests {
             .map(|_| map.destinations(GETSTATE, &[], 4).executor())
             .collect();
         // Round-robin over 4 groups, twice around.
-        let expect: Vec<GroupId> =
-            (0..8).map(|i| GroupId::new(i % 4)).collect();
+        let expect: Vec<GroupId> = (0..8).map(|i| GroupId::new(i % 4)).collect();
         assert_eq!(groups, expect);
     }
 

@@ -12,6 +12,7 @@
 
 pub mod norep;
 pub mod psmr;
+pub(crate) mod recover;
 pub(crate) mod scheduler;
 pub mod smr;
 pub mod spsmr;
@@ -59,7 +60,14 @@ pub enum Router {
 
 impl Router {
     /// The class of a command (see [`CommandMap::class`]).
+    ///
+    /// The reserved [`psmr_recovery::CHECKPOINT`] control command is
+    /// `Global` under every router: it must travel on the serialized
+    /// group so all workers quiesce at the same consistent cut.
     pub fn class(&self, cmd: psmr_common::ids::CommandId) -> CommandClass {
+        if cmd == psmr_recovery::CHECKPOINT {
+            return CommandClass::Global;
+        }
         match self {
             Router::Fixed(map) => map.class(cmd),
             Router::Remappable(map) => map.class(cmd),
@@ -90,6 +98,9 @@ impl Router {
         mpl: usize,
         delivered_on: GroupId,
     ) -> Destinations {
+        if cmd == psmr_recovery::CHECKPOINT {
+            return Destinations::all(mpl);
+        }
         match self {
             Router::Fixed(map) => map.destinations_at(cmd, payload, mpl, delivered_on),
             Router::Remappable(map) => {
@@ -135,8 +146,9 @@ impl RequestSink for CgSink {
         if matches!(self.router.class(request.command), CommandClass::Global) {
             self.handle.multicast_serial(payload);
         } else {
-            let dests =
-                self.router.destinations(request.command, &request.payload, self.mpl);
+            let dests = self
+                .router
+                .destinations(request.command, &request.payload, self.mpl);
             self.handle.multicast(&dests, payload);
         }
     }
@@ -150,8 +162,10 @@ pub(crate) struct TotalOrderSink {
 
 impl RequestSink for TotalOrderSink {
     fn submit(&self, request: &Request) {
-        self.handle
-            .multicast(&Destinations::one(GroupId::new(0)), Bytes::from(request.encode()));
+        self.handle.multicast(
+            &Destinations::one(GroupId::new(0)),
+            Bytes::from(request.encode()),
+        );
     }
 }
 
@@ -164,7 +178,9 @@ pub(crate) struct ChannelSink {
 
 impl ChannelSink {
     pub fn new(tx: Sender<Request>) -> Self {
-        Self { tx: parking_lot::RwLock::new(Some(tx)) }
+        Self {
+            tx: parking_lot::RwLock::new(Some(tx)),
+        }
     }
 
     /// Drops the sender: the server's receive loop sees a disconnect and
@@ -176,8 +192,17 @@ impl ChannelSink {
 
 impl RequestSink for ChannelSink {
     fn submit(&self, request: &Request) {
-        if let Some(tx) = self.tx.read().as_ref() {
-            let _ = tx.send(request.clone());
+        use psmr_common::metrics::{counters, global};
+        match self.tx.read().as_ref() {
+            Some(tx) => {
+                if tx.send(request.clone()).is_err() {
+                    // Receiver gone: the server wound down mid-submit.
+                    global().counter(counters::REQUESTS_DROPPED).inc();
+                }
+            }
+            // Closed sink: the request vanishes, as with a dead socket —
+            // but observably so, for recovery tests and operators.
+            None => global().counter(counters::REQUESTS_DROPPED).inc(),
         }
     }
 }

@@ -6,16 +6,27 @@
 //! worker threads under the same deterministic policy as sP-SMR. Comparing
 //! no-rep with sP-SMR isolates the cost of atomic multicast; comparing it
 //! with P-SMR shows the scheduler bottleneck without any replication cost.
+//!
+//! The checkpoint subsystem covers this baseline too —
+//! [`NoRepEngine::spawn_recoverable`] intercepts
+//! [`psmr_recovery::CHECKPOINT`] requests, drains the worker stage and
+//! snapshots the service — but with no ordered log and no peer replicas
+//! there is nothing to replay: a crashed no-rep server loses the tail
+//! past its last checkpoint, which is precisely the availability gap
+//! replication closes.
 
+use super::recover::{auto_checkpointer, CheckpointHook};
 use super::scheduler::ExecStage;
 use super::{ChannelSink, Engine};
 use crate::client::ClientProxy;
 use crate::conflict::CommandMap;
-use crate::service::{ResponseRouter, Service, SharedRouter};
-use psmr_common::envelope::Request;
-use psmr_common::ids::ClientId;
-use psmr_common::SystemConfig;
+use crate::service::{RecoverableService, ResponseRouter, Service, SharedRouter};
 use crossbeam::channel::bounded;
+use psmr_common::envelope::{Request, Response};
+use psmr_common::ids::{ClientId, GroupId};
+use psmr_common::SystemConfig;
+use psmr_multicast::Delivered;
+use psmr_recovery::{AutoCheckpointer, CheckpointStore, CHECKPOINT};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -25,33 +36,73 @@ pub struct NoRepEngine {
     router: SharedRouter,
     sink: Arc<ChannelSink>,
     thread: Option<JoinHandle<()>>,
+    store: Option<Arc<CheckpointStore>>,
+    checkpointer: Option<AutoCheckpointer>,
     next_client: AtomicU64,
 }
 
 impl NoRepEngine {
     /// Spawns the server with `cfg.mpl` workers plus a scheduler.
-    pub fn spawn<S: Service>(
+    pub fn spawn<S: Service>(cfg: &SystemConfig, map: CommandMap, factory: impl Fn() -> S) -> Self {
+        Self::spawn_inner(cfg, map, Arc::new(factory()), None)
+    }
+
+    /// Like [`NoRepEngine::spawn`] with checkpoint support: CHECKPOINT
+    /// requests snapshot the drained service into the returned
+    /// [`CheckpointStore`] (see [`NoRepEngine::checkpoint_store`]).
+    pub fn spawn_recoverable<S: RecoverableService>(
         cfg: &SystemConfig,
         map: CommandMap,
         factory: impl Fn() -> S,
+    ) -> Self {
+        let service: Arc<dyn RecoverableService> = Arc::new(factory());
+        let store = Arc::new(CheckpointStore::new());
+        let hook = CheckpointHook::new(&service, Arc::clone(&store), None, 0);
+        let mut engine = Self::spawn_inner(cfg, map, service as Arc<dyn Service>, Some(hook));
+        engine.store = Some(store);
+        // Honor the config contract shared by every recoverable engine:
+        // with `checkpoint_interval` set, checkpoints happen on their own.
+        engine.checkpointer = cfg
+            .checkpoint_interval
+            .map(|interval| auto_checkpointer(Arc::clone(&engine.sink) as _, interval));
+        engine
+    }
+
+    fn spawn_inner(
+        cfg: &SystemConfig,
+        map: CommandMap,
+        service: Arc<dyn Service>,
+        hook: Option<CheckpointHook>,
     ) -> Self {
         let router: SharedRouter = Arc::new(ResponseRouter::new());
         // Mirror the multicast submit queue's bound so client backpressure
         // is comparable across engines.
         let (tx, rx) = bounded::<Request>(16 * 1024);
-        let service = Arc::new(factory());
-        let stage = ExecStage::spawn(
-            cfg.mpl,
-            service,
-            map,
-            Arc::clone(&router),
-            "norep",
-        );
+        let stage = ExecStage::spawn(cfg.mpl, service, map, Arc::clone(&router), "norep");
+        let sched_router = Arc::clone(&router);
         let thread = std::thread::Builder::new()
             .name("norep-sched".into())
             .spawn(move || {
                 let mut stage = stage;
+                // Arrival order is the total order; the counter stands in
+                // for a stream position when tagging checkpoint cuts.
+                let mut arrival = 0u64;
                 while let Ok(req) = rx.recv() {
+                    arrival += 1;
+                    if req.command == CHECKPOINT {
+                        stage.drain();
+                        let resp = match &hook {
+                            Some(hook) => hook.execute(&Delivered {
+                                group: GroupId::new(0),
+                                batch_seq: arrival,
+                                offset: 0,
+                                payload: bytes::Bytes::new(),
+                            }),
+                            None => Vec::new(),
+                        };
+                        sched_router.respond(req.client, Response::new(req.request, resp));
+                        continue;
+                    }
                     stage.schedule(req);
                 }
                 stage.shutdown();
@@ -61,8 +112,15 @@ impl NoRepEngine {
             router,
             sink: Arc::new(ChannelSink::new(tx)),
             thread: Some(thread),
+            store: None,
+            checkpointer: None,
             next_client: AtomicU64::new(0),
         }
+    }
+
+    /// The checkpoint store of a recoverable deployment.
+    pub fn checkpoint_store(&self) -> Option<Arc<CheckpointStore>> {
+        self.store.clone()
     }
 }
 
@@ -77,6 +135,9 @@ impl Engine for NoRepEngine {
     }
 
     fn shutdown(mut self) {
+        if let Some(driver) = self.checkpointer.take() {
+            driver.stop();
+        }
         // Disconnect the input channel; the scheduler drains and exits.
         self.sink.close();
         if let Some(t) = self.thread.take() {

@@ -1,4 +1,5 @@
-//! The P-SMR engine (paper §IV, Algorithm 1).
+//! The P-SMR engine (paper §IV, Algorithm 1) plus coordinated
+//! checkpointing and replica recovery.
 //!
 //! Each of the `n` replicas runs `k = MPL` worker threads. Worker `t_i`
 //! consumes the deterministic merge of multicast groups `g_i` and `g_all`:
@@ -13,20 +14,40 @@
 //! No component sequences all commands: delivery, scheduling and execution
 //! are all per-worker, which is what lets throughput scale with cores
 //! (Figure 5 of the paper).
+//!
+//! # Checkpointing and recovery
+//!
+//! Deployments spawned with [`PsmrEngine::spawn_recoverable`] support the
+//! crash/recovery scenario family. A [`psmr_recovery::CHECKPOINT`]
+//! control command is classified `Global`, so it travels on `g_all` and
+//! synchronizes all `k` workers exactly like any dependent command — the
+//! synchronous-mode barrier *is* the quiescence point. The elected
+//! executor snapshots the service while its peers wait, installs the
+//! checkpoint into the deployment-wide [`psmr_recovery::CheckpointStore`]
+//! tagged with the command's stream position, and trims the ordered logs
+//! the checkpoint makes reclaimable. [`PsmrEngine::crash_replica`]
+//! crash-stops one replica's workers mid-run;
+//! [`PsmrEngine::restart_replica`] rebuilds it from
+//! `(latest checkpoint, retained log suffix)` and the replica converges
+//! with the rest.
 
+use super::recover::{
+    auto_checkpointer, restore_from_latest, CheckpointHook, EngineRecovery, ReplicaSlot, CRASH_POLL,
+};
 use super::sync::{SignalBoard, SignalEndpoint, SignalKind};
 use super::{CgSink, Engine, Router};
 use crate::client::ClientProxy;
 use crate::conflict::CommandMap;
 use crate::remap::RemappableMap;
-use crate::service::{ResponseRouter, Service, SharedRouter};
+use crate::service::{RecoverableService, ResponseRouter, Service, SharedRouter};
 use psmr_common::envelope::{Request, Response};
-use psmr_common::ids::{ClientId, GroupId, WorkerId};
+use psmr_common::ids::{ClientId, GroupId, ReplicaId, WorkerId};
+use psmr_common::metrics::{counters, global};
 use psmr_common::SystemConfig;
 use psmr_multicast::{MergedStream, MulticastSystem};
-use std::sync::atomic::{AtomicU64, Ordering};
+use psmr_recovery::{CheckpointStore, RecoveryError, CHECKPOINT};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// A running P-SMR deployment.
 ///
@@ -36,7 +57,8 @@ pub struct PsmrEngine {
     router: SharedRouter,
     sink: Arc<CgSink>,
     boards: Vec<SignalBoard>,
-    threads: Vec<JoinHandle<()>>,
+    replicas: Vec<ReplicaSlot>,
+    recovery: Option<EngineRecovery>,
     next_client: AtomicU64,
 }
 
@@ -46,11 +68,7 @@ impl PsmrEngine {
     ///
     /// `factory` must produce identical initial states — replica
     /// determinism starts from equal initial states (§III).
-    pub fn spawn<S: Service>(
-        cfg: &SystemConfig,
-        map: CommandMap,
-        factory: impl Fn() -> S,
-    ) -> Self {
+    pub fn spawn<S: Service>(cfg: &SystemConfig, map: CommandMap, factory: impl Fn() -> S) -> Self {
         Self::spawn_with_router(cfg, Router::Fixed(map), factory)
     }
 
@@ -71,39 +89,250 @@ impl PsmrEngine {
         map: Router,
         factory: impl Fn() -> S,
     ) -> Self {
-        let system = MulticastSystem::spawn(cfg);
-        let router: SharedRouter = Arc::new(ResponseRouter::new());
-        let mut threads = Vec::new();
-        let mut boards = Vec::new();
+        let mut engine = Self::scaffold(cfg, map);
         for replica in 0..cfg.n_replicas {
             let service = Arc::new(factory());
-            let (board, endpoints) = SignalBoard::new(cfg.mpl);
-            boards.push(board.clone());
-            for (i, endpoint) in endpoints.into_iter().enumerate() {
-                let worker = WorkerId::new(i);
-                let stream = system.worker_stream(worker);
-                let ctx = WorkerCtx {
-                    me: worker,
-                    service: Arc::clone(&service),
-                    board: board.clone(),
-                    endpoint,
-                    map: map.clone(),
-                    router: Arc::clone(&router),
-                    mpl: cfg.mpl,
-                    all_group: cfg.all_group(),
-                };
-                threads.push(
-                    std::thread::Builder::new()
-                        .name(format!("psmr-r{replica}-t{i}"))
-                        .spawn(move || worker_main(ctx, stream))
-                        .expect("spawn P-SMR worker"),
-                );
-            }
+            let slot = engine.spawn_replica(cfg, replica, service, None, None);
+            engine.replicas.push(slot);
         }
-        let sink =
-            Arc::new(CgSink { handle: system.handle(), router: map, mpl: cfg.mpl });
-        system.start();
-        Self { system, router, sink, boards, threads, next_client: AtomicU64::new(0) }
+        engine.system.start();
+        engine
+    }
+
+    /// Spawns a deployment whose replicas can be checkpointed, crashed
+    /// and restarted: the service additionally implements
+    /// [`psmr_recovery::Snapshot`]. With `cfg.checkpoint_interval` set, a
+    /// background driver multicasts [`CHECKPOINT`] commands periodically;
+    /// otherwise submit them through any client (the response carries the
+    /// checkpoint id).
+    pub fn spawn_recoverable<S: RecoverableService>(
+        cfg: &SystemConfig,
+        map: CommandMap,
+        factory: impl Fn() -> S + Send + Sync + 'static,
+    ) -> Self {
+        let mut engine = Self::scaffold(cfg, Router::Fixed(map));
+        let store = Arc::new(CheckpointStore::new());
+        let dyn_factory: Arc<dyn Fn() -> Arc<dyn RecoverableService> + Send + Sync> =
+            Arc::new(move || Arc::new(factory()) as Arc<dyn RecoverableService>);
+        for replica in 0..cfg.n_replicas {
+            let service = (dyn_factory)();
+            let hook = CheckpointHook::new(
+                &service,
+                Arc::clone(&store),
+                Some(engine.sink.handle.clone()),
+                0,
+            );
+            let slot =
+                engine.spawn_replica(cfg, replica, service.clone(), Some(service), Some(hook));
+            engine.replicas.push(slot);
+        }
+        engine.system.start();
+        let checkpointer = cfg
+            .checkpoint_interval
+            .map(|interval| auto_checkpointer(Arc::clone(&engine.sink) as _, interval));
+        engine.recovery = Some(EngineRecovery {
+            factory: dyn_factory,
+            store,
+            checkpointer,
+        });
+        engine
+    }
+
+    /// Builds the multicast substrate and client-side plumbing; replicas
+    /// attach afterwards.
+    fn scaffold(cfg: &SystemConfig, map: Router) -> Self {
+        let system = MulticastSystem::spawn(cfg);
+        let router: SharedRouter = Arc::new(ResponseRouter::new());
+        let sink = Arc::new(CgSink {
+            handle: system.handle(),
+            router: map,
+            mpl: cfg.mpl,
+        });
+        Self {
+            system,
+            router,
+            sink,
+            boards: Vec::new(),
+            replicas: Vec::new(),
+            recovery: None,
+            next_client: AtomicU64::new(0),
+        }
+    }
+
+    /// Spawns the `k` worker threads of one replica over fresh
+    /// subscriptions (initial spawn). Restart uses
+    /// [`PsmrEngine::spawn_replica_at`] with resumed streams instead.
+    fn spawn_replica<S: Service + Clone>(
+        &mut self,
+        cfg: &SystemConfig,
+        replica: usize,
+        service: S,
+        dyn_service: Option<Arc<dyn RecoverableService>>,
+        hook: Option<CheckpointHook>,
+    ) -> ReplicaSlot {
+        let streams = (0..cfg.mpl)
+            .map(|i| self.system.worker_stream(WorkerId::new(i)))
+            .collect();
+        self.spawn_replica_at(
+            cfg.mpl,
+            cfg.all_group(),
+            replica,
+            streams,
+            service,
+            dyn_service,
+            hook,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_replica_at<S: Service + Clone>(
+        &mut self,
+        mpl: usize,
+        all_group: GroupId,
+        replica: usize,
+        streams: Vec<MergedStream>,
+        service: S,
+        dyn_service: Option<Arc<dyn RecoverableService>>,
+        hook: Option<CheckpointHook>,
+    ) -> ReplicaSlot {
+        let (board, endpoints) = SignalBoard::new(mpl);
+        let kill = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::with_capacity(mpl);
+        for ((i, endpoint), stream) in endpoints.into_iter().enumerate().zip(streams) {
+            let ctx = WorkerCtx {
+                me: WorkerId::new(i),
+                service: service.clone(),
+                board: board.clone(),
+                endpoint,
+                map: self.sink.router.clone(),
+                router: Arc::clone(&self.router),
+                mpl,
+                all_group,
+                kill: Arc::clone(&kill),
+                hook: hook.clone(),
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("psmr-r{replica}-t{i}"))
+                    .spawn(move || worker_main(ctx, stream))
+                    .expect("spawn P-SMR worker"),
+            );
+        }
+        self.boards.push(board);
+        ReplicaSlot {
+            threads,
+            kill,
+            service: dyn_service,
+            crashed: false,
+        }
+    }
+
+    /// Crash-stops one replica mid-run: its worker threads exit, its
+    /// service state is discarded, and the rest of the deployment keeps
+    /// serving. Idempotent for an already-crashed replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::UnknownReplica`] for an out-of-range id.
+    pub fn crash_replica(&mut self, replica: ReplicaId) -> Result<(), RecoveryError> {
+        let idx = replica.as_raw();
+        let board = self
+            .boards
+            .get(idx)
+            .cloned()
+            .ok_or(RecoveryError::UnknownReplica { replica: idx })?;
+        let slot = self
+            .replicas
+            .get_mut(idx)
+            .ok_or(RecoveryError::UnknownReplica { replica: idx })?;
+        slot.crash(|| board.shutdown());
+        Ok(())
+    }
+
+    /// Restarts a crashed replica from `(latest checkpoint, log suffix)`:
+    /// a fresh service instance is restored from the snapshot, its `k`
+    /// workers re-subscribe at the checkpoint's cut, and the retained
+    /// ordered-log suffix replays until the replica converges with the
+    /// live ones.
+    ///
+    /// # Errors
+    ///
+    /// Requires a recoverable deployment, a previously crashed replica,
+    /// at least one checkpoint, and retained logs covering the cut.
+    pub fn restart_replica(&mut self, replica: ReplicaId) -> Result<(), RecoveryError> {
+        let idx = replica.as_raw();
+        if idx >= self.replicas.len() {
+            return Err(RecoveryError::UnknownReplica { replica: idx });
+        }
+        if !self.replicas[idx].crashed {
+            return Err(RecoveryError::NotCrashed);
+        }
+        let (factory, store) = {
+            let recovery = self
+                .recovery
+                .as_ref()
+                .ok_or(RecoveryError::NotRecoverable)?;
+            (Arc::clone(&recovery.factory), Arc::clone(&recovery.store))
+        };
+        let mpl = self.system.config().mpl;
+        let all_group = self.system.config().all_group();
+        let (service, streams, checkpoint) = restore_from_latest(&store, &*factory, |cut| {
+            (0..mpl)
+                .map(|i| self.system.worker_stream_at(WorkerId::new(i), cut))
+                .collect::<Result<Vec<_>, _>>()
+        })?;
+        let hook = CheckpointHook::new(
+            &service,
+            store,
+            Some(self.sink.handle.clone()),
+            checkpoint.id,
+        );
+        let slot = self.spawn_replica_at(
+            mpl,
+            all_group,
+            idx,
+            streams,
+            service.clone(),
+            Some(service),
+            Some(hook),
+        );
+        // The replacement board was pushed at the end; move it into the
+        // replica's slot so a later crash shuts down the right workers.
+        let board = self.boards.pop().expect("spawn_replica_at pushed a board");
+        self.boards[idx] = board;
+        self.replicas[idx] = slot;
+        global().counter(counters::REPLICA_RESTARTS).inc();
+        Ok(())
+    }
+
+    /// The deployment's checkpoint store (recoverable deployments only).
+    pub fn checkpoint_store(&self) -> Option<Arc<CheckpointStore>> {
+        self.recovery.as_ref().map(|r| Arc::clone(&r.store))
+    }
+
+    /// The live service instance of one replica (recoverable deployments;
+    /// `None` for crashed replicas). Lets tests compare replica states
+    /// through deterministic snapshots.
+    pub fn replica_service(&self, replica: ReplicaId) -> Option<Arc<dyn RecoverableService>> {
+        self.replicas.get(replica.as_raw())?.service.clone()
+    }
+
+    /// Whether the replica is currently crashed.
+    pub fn is_crashed(&self, replica: ReplicaId) -> bool {
+        self.replicas
+            .get(replica.as_raw())
+            .is_some_and(|slot| slot.crashed)
+    }
+
+    /// Crash-stops one acceptor of one Paxos group through the group's
+    /// [`psmr_netsim::live::LiveNet`] — engine-level fault injection.
+    pub fn crash_acceptor(&self, group: GroupId, acceptor: usize) {
+        self.system.crash_acceptor(group, acceptor);
+    }
+
+    /// Decided batches currently retained by `group` for catch-up.
+    pub fn retained_len(&self, group: GroupId) -> usize {
+        self.system.retained_len(group)
     }
 }
 
@@ -118,31 +347,42 @@ impl Engine for PsmrEngine {
     }
 
     fn shutdown(mut self) {
-        self.system.shutdown();
-        for board in &self.boards {
-            board.shutdown();
+        if let Some(recovery) = self.recovery.take() {
+            recovery.stop();
         }
-        for t in self.threads.drain(..) {
-            let _ = t.join();
+        self.system.shutdown();
+        for (slot, board) in self.replicas.iter_mut().zip(&self.boards) {
+            slot.stop(|| board.shutdown());
         }
     }
 }
 
 struct WorkerCtx<S> {
     me: WorkerId,
-    service: Arc<S>,
+    service: S,
     board: SignalBoard,
     endpoint: SignalEndpoint,
     map: Router,
     router: SharedRouter,
     mpl: usize,
     all_group: GroupId,
+    kill: Arc<AtomicBool>,
+    hook: Option<CheckpointHook>,
 }
 
-/// The body of worker thread `t_i` — Algorithm 1, lines 7–26.
+/// The body of worker thread `t_i` — Algorithm 1, lines 7–26, plus the
+/// checkpoint path of the recovery subsystem.
 fn worker_main<S: Service>(mut ctx: WorkerCtx<S>, mut stream: MergedStream) {
     let my_group = GroupId::from(ctx.me);
-    while let Some(delivered) = stream.next() {
+    loop {
+        if ctx.kill.load(Ordering::Relaxed) {
+            return;
+        }
+        let delivered = match stream.next_timeout(CRASH_POLL) {
+            Ok(Some(delivered)) => delivered,
+            Ok(None) => continue, // idle poll: re-check the crash flag
+            Err(_) => return,     // system shut down
+        };
         let Ok(req) = Request::decode(&delivered.payload) else {
             debug_assert!(false, "malformed request on stream {}", delivered.group);
             continue;
@@ -150,17 +390,15 @@ fn worker_main<S: Service>(mut ctx: WorkerCtx<S>, mut stream: MergedStream) {
         if delivered.group != ctx.all_group {
             // Parallel mode (lines 10–13): multicast to a single group.
             let resp = ctx.service.execute(req.command, &req.payload);
-            ctx.router.respond(req.client, Response::new(req.request, resp));
+            ctx.router
+                .respond(req.client, Response::new(req.request, resp));
             continue;
         }
         // Synchronous mode (lines 14–26): re-derive γ like the server proxy
         // (line 9) and synchronize the involved workers.
-        let dests = ctx.map.destinations_at(
-            req.command,
-            &req.payload,
-            ctx.mpl,
-            delivered.group,
-        );
+        let dests = ctx
+            .map
+            .destinations_at(req.command, &req.payload, ctx.mpl, delivered.group);
         if !dests.contains(my_group) {
             // Multicast to a strict subset not containing t_i: skip. (With
             // the paper's C-G functions γ is all groups here, so every
@@ -176,22 +414,34 @@ fn worker_main<S: Service>(mut ctx: WorkerCtx<S>, mut stream: MergedStream) {
                 .map(|g| g.worker())
                 .collect();
             if !ctx.endpoint.wait_ready_from_all(&others) {
-                return; // shutdown
+                return; // shutdown or crash
             }
-            // Remap commands reconfigure the routing tables instead of
-            // invoking the service; everything else executes normally.
-            let resp = match ctx.map.try_install(req.command, &req.payload) {
-                Some(resp) => resp,
-                None => ctx.service.execute(req.command, &req.payload),
+            // Control commands act on the replica instead of the service:
+            // CHECKPOINT snapshots the quiesced state at this exact cut,
+            // REMAP reconfigures the routing tables. Everything else
+            // executes normally.
+            let resp = if req.command == CHECKPOINT {
+                match &ctx.hook {
+                    Some(hook) => hook.execute(&delivered),
+                    // Non-recoverable deployment: acknowledge with an
+                    // empty id so clients are not wedged.
+                    None => Vec::new(),
+                }
+            } else {
+                match ctx.map.try_install(req.command, &req.payload) {
+                    Some(resp) => resp,
+                    None => ctx.service.execute(req.command, &req.payload),
+                }
             };
-            ctx.router.respond(req.client, Response::new(req.request, resp));
+            ctx.router
+                .respond(req.client, Response::new(req.request, resp));
             for other in others {
                 ctx.board.signal(ctx.me, other, SignalKind::Resume);
             }
         } else {
             ctx.board.signal(ctx.me, executor, SignalKind::Ready);
             if !ctx.endpoint.wait_for(executor, SignalKind::Resume) {
-                return; // shutdown
+                return; // shutdown or crash
             }
         }
     }

@@ -1,0 +1,249 @@
+//! Engine-side halves of the checkpoint & recovery subsystem shared by
+//! every engine: executing a delivered [`CHECKPOINT`](psmr_recovery::CHECKPOINT)
+//! command at its consistent cut, the per-engine recovery context
+//! (service factory + checkpoint store + optional periodic driver), and
+//! the replica bookkeeping crash/restart operates on.
+
+use crate::client::RequestSink;
+use crate::service::RecoverableService;
+use psmr_common::envelope::Request;
+use psmr_common::ids::{ClientId, RequestId};
+use psmr_common::metrics::{counters, global};
+use psmr_multicast::{Delivered, MulticastHandle};
+use psmr_recovery::{
+    AutoCheckpointer, Checkpoint, CheckpointStore, RecoveryError, StreamCut, CHECKPOINT,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often blocked replica threads re-check their crash flag.
+pub(crate) const CRASH_POLL: Duration = Duration::from_millis(20);
+
+/// What an executor needs to take a checkpoint when the control command
+/// reaches it: a way to snapshot its replica's service, the shared store
+/// to install into, and (for multicast-backed engines) the handle whose
+/// ordered logs become trimmable afterwards.
+#[derive(Clone)]
+pub(crate) struct CheckpointHook {
+    snapshot: Arc<dyn Fn() -> Vec<u8> + Send + Sync>,
+    store: Arc<CheckpointStore>,
+    trim: Option<MulticastHandle>,
+    /// CHECKPOINT commands this replica has executed, seeded at restart
+    /// with the recovery checkpoint's id. Replicas execute the same
+    /// CHECKPOINT commands in the same order, so every replica derives
+    /// the identical id for a given command without consulting the shared
+    /// store — a lagging replica answers an old request with the same id
+    /// the fast replicas already did, no matter how far behind it is.
+    executed: Arc<AtomicU64>,
+}
+
+impl CheckpointHook {
+    /// Builds the hook for one replica's service. `seed` is 0 for a fresh
+    /// replica and the recovery checkpoint's id for a restarted one (its
+    /// stream resumes just past that checkpoint's command).
+    pub fn new(
+        service: &Arc<dyn RecoverableService>,
+        store: Arc<CheckpointStore>,
+        trim: Option<MulticastHandle>,
+        seed: u64,
+    ) -> Self {
+        let svc = Arc::clone(service);
+        Self {
+            snapshot: Arc::new(move || svc.snapshot()),
+            store,
+            trim,
+            executed: Arc::new(AtomicU64::new(seed)),
+        }
+    }
+
+    /// Executes a delivered [`CHECKPOINT`] command: snapshots the
+    /// (quiesced) service, installs the checkpoint at the command's cut,
+    /// and trims the ordered logs it makes reclaimable. Returns the
+    /// response payload (the checkpoint id, little-endian).
+    pub fn execute(&self, delivered: &Delivered) -> Vec<u8> {
+        let cut = StreamCut {
+            group: delivered.group,
+            seq: delivered.batch_seq,
+            offset: delivered.offset,
+        };
+        let id = self.executed.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.store.install(cut, id, (self.snapshot)()) {
+            global().counter(counters::CHECKPOINTS_TAKEN).inc();
+        }
+        if let Some(handle) = &self.trim {
+            handle.trim_to_cut(&cut);
+        }
+        id.to_le_bytes().to_vec()
+    }
+}
+
+/// The shared restart path: fetches the latest checkpoint, restores a
+/// fresh service from its snapshot, and subscribes the replica's streams
+/// at its cut through `subscribe`. A checkpoint installed *while we
+/// restore* trims the logs past the cut we fetched; when `subscribe`
+/// loses that race, the newer checkpoint is the recovery point — retry
+/// with it instead of failing.
+pub(crate) fn restore_from_latest<S>(
+    store: &CheckpointStore,
+    factory: &(dyn Fn() -> Arc<dyn RecoverableService> + Send + Sync),
+    mut subscribe: impl FnMut(StreamCut) -> Result<S, RecoveryError>,
+) -> Result<(Arc<dyn RecoverableService>, S, Checkpoint), RecoveryError> {
+    let mut checkpoint = store.latest().ok_or(RecoveryError::NoCheckpoint)?;
+    loop {
+        let service = factory();
+        service.restore(&checkpoint.snapshot)?;
+        match subscribe(checkpoint.cut) {
+            Ok(streams) => return Ok((service, streams, checkpoint)),
+            Err(err) => {
+                let newer = store.latest().ok_or(RecoveryError::NoCheckpoint)?;
+                if newer.cut.is_newer_than(&checkpoint.cut) {
+                    checkpoint = newer;
+                    continue;
+                }
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// Engine-level recovery context of a `spawn_recoverable` deployment.
+pub(crate) struct EngineRecovery {
+    /// Produces a fresh (empty) service instance for a restarting
+    /// replica; `restore` then replays the snapshot into it.
+    pub factory: Arc<dyn Fn() -> Arc<dyn RecoverableService> + Send + Sync>,
+    /// The deployment-wide checkpoint repository.
+    pub store: Arc<CheckpointStore>,
+    /// Periodic CHECKPOINT driver (when `cfg.checkpoint_interval` set).
+    pub checkpointer: Option<AutoCheckpointer>,
+}
+
+impl EngineRecovery {
+    /// Stops the periodic driver (call during engine shutdown).
+    pub fn stop(mut self) {
+        if let Some(driver) = self.checkpointer.take() {
+            driver.stop();
+        }
+    }
+}
+
+/// Client id the periodic checkpointer stamps on its control requests.
+/// Never registered with the response router, so the (identical)
+/// responses from all replicas are dropped on arrival.
+const CHECKPOINTER_CLIENT: ClientId = ClientId::new(u64::MAX);
+
+/// Spawns the periodic driver that multicasts a [`CHECKPOINT`] through
+/// `sink` every `interval`.
+pub(crate) fn auto_checkpointer(
+    sink: Arc<dyn RequestSink>,
+    interval: Duration,
+) -> AutoCheckpointer {
+    let mut next_request = 0u64;
+    AutoCheckpointer::spawn(interval, move || {
+        let request = Request::new(
+            CHECKPOINTER_CLIENT,
+            RequestId::new(next_request),
+            CHECKPOINT,
+            Vec::new(),
+        );
+        next_request += 1;
+        sink.submit(&request);
+    })
+}
+
+/// One replica's runtime state, uniform across engines: its threads, the
+/// flag that crash-stops them, and (for recoverable deployments) the
+/// live service instance so tests can compare replica states.
+pub(crate) struct ReplicaSlot {
+    pub threads: Vec<JoinHandle<()>>,
+    pub kill: Arc<AtomicBool>,
+    pub service: Option<Arc<dyn RecoverableService>>,
+    pub crashed: bool,
+}
+
+impl ReplicaSlot {
+    /// Crash-stops the replica: raises the kill flag, runs `unblock`
+    /// (engine-specific wakeup of parked threads), joins every thread
+    /// and discards the replica's service state.
+    pub fn crash(&mut self, unblock: impl FnOnce()) {
+        if self.crashed {
+            return;
+        }
+        self.kill.store(true, Ordering::Relaxed);
+        unblock();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.service = None;
+        self.crashed = true;
+    }
+
+    /// Joins the replica's threads at shutdown (same path as crash, but
+    /// keeps the slot's bookkeeping untouched).
+    pub fn stop(&mut self, unblock: impl FnOnce()) {
+        self.kill.store(true, Ordering::Relaxed);
+        unblock();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::Service;
+    use psmr_common::ids::{CommandId, GroupId};
+    use psmr_recovery::{RestoreError, Snapshot};
+
+    struct Null;
+
+    impl Service for Null {
+        fn execute(&self, _c: CommandId, _p: &[u8]) -> Vec<u8> {
+            Vec::new()
+        }
+    }
+
+    impl Snapshot for Null {
+        fn snapshot(&self) -> Vec<u8> {
+            vec![7]
+        }
+
+        fn restore(&self, _s: &[u8]) -> Result<(), RestoreError> {
+            Ok(())
+        }
+    }
+
+    fn delivered(seq: u64) -> Delivered {
+        Delivered {
+            group: GroupId::new(0),
+            batch_seq: seq,
+            offset: 0,
+            payload: bytes::Bytes::new(),
+        }
+    }
+
+    /// Replicas derive checkpoint ids from their own execution count, so
+    /// a replica lagging arbitrarily far behind answers an old CHECKPOINT
+    /// request with the same id the fast replicas already did.
+    #[test]
+    fn replicas_derive_identical_checkpoint_ids() {
+        let store = Arc::new(CheckpointStore::new());
+        let fast: Arc<dyn RecoverableService> = Arc::new(Null);
+        let fast_hook = CheckpointHook::new(&fast, Arc::clone(&store), None, 0);
+        let slow: Arc<dyn RecoverableService> = Arc::new(Null);
+        let slow_hook = CheckpointHook::new(&slow, Arc::clone(&store), None, 0);
+        // The fast replica executes checkpoints 1 and 2 before the slow
+        // replica gets to the first one.
+        assert_eq!(fast_hook.execute(&delivered(10)), 1u64.to_le_bytes());
+        assert_eq!(fast_hook.execute(&delivered(20)), 2u64.to_le_bytes());
+        assert_eq!(slow_hook.execute(&delivered(10)), 1u64.to_le_bytes());
+        assert_eq!(slow_hook.execute(&delivered(20)), 2u64.to_le_bytes());
+        assert_eq!(store.latest_id(), 2);
+        // A restarted replica seeds from the checkpoint it recovered and
+        // continues the same numbering for the replayed suffix.
+        let restarted_hook = CheckpointHook::new(&slow, store, None, 2);
+        assert_eq!(restarted_hook.execute(&delivered(30)), 3u64.to_le_bytes());
+    }
+}

@@ -14,8 +14,8 @@
 
 use crate::conflict::{CommandClass, CommandMap};
 use crate::service::{Service, SharedRouter};
-use psmr_common::envelope::{Request, Response};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use psmr_common::envelope::{Request, Response};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -32,9 +32,9 @@ pub(crate) struct ExecStage {
 
 impl ExecStage {
     /// Spawns the worker pool for `service`.
-    pub fn spawn<S: Service>(
+    pub fn spawn(
         k: usize,
-        service: Arc<S>,
+        service: Arc<dyn Service>,
         map: CommandMap,
         router: SharedRouter,
         name: &str,
@@ -63,7 +63,13 @@ impl ExecStage {
                     .expect("spawn stage worker"),
             );
         }
-        Self { workers, outstanding, handles, map, rr: 0 }
+        Self {
+            workers,
+            outstanding,
+            handles,
+            map,
+            rr: 0,
+        }
     }
 
     fn worker_count(&self) -> usize {
@@ -76,8 +82,9 @@ impl ExecStage {
     }
 
     /// Busy-waits (with yields) until every worker has drained its queue —
-    /// the scheduler-side synchronization of §VI-C.
-    fn drain(&self) {
+    /// the scheduler-side synchronization of §VI-C. Also the quiescence
+    /// point the checkpoint path uses before snapshotting.
+    pub(crate) fn drain(&self) {
         loop {
             let busy = self
                 .outstanding
@@ -130,8 +137,8 @@ mod tests {
     use super::*;
     use crate::conflict::{CommandClass, DependencySpec};
     use crate::service::ResponseRouter;
-    use psmr_common::ids::{ClientId, CommandId, RequestId};
     use parking_lot::Mutex;
+    use psmr_common::ids::{ClientId, CommandId, RequestId};
 
     const READ: CommandId = CommandId::new(0);
     const UPDATE: CommandId = CommandId::new(1);
@@ -170,7 +177,7 @@ mod tests {
         let router: SharedRouter = Arc::new(ResponseRouter::new());
         let stage = ExecStage::spawn(
             4,
-            Arc::clone(&service),
+            Arc::clone(&service) as Arc<dyn Service>,
             spec.into_map(),
             Arc::clone(&router),
             "test",

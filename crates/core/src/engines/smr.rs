@@ -3,17 +3,27 @@
 //! One totally ordered stream; each replica executes every command
 //! sequentially in delivery order with a single thread. No C-Dep is needed:
 //! sequential execution trivially serializes everything.
+//!
+//! Checkpointing degenerates pleasantly here: the single executor *is*
+//! the consistent cut, so a delivered [`psmr_recovery::CHECKPOINT`]
+//! simply snapshots between two commands. Crash/restart mirrors the
+//! P-SMR engine: [`SmrEngine::crash_replica`] stops a replica's executor
+//! and [`SmrEngine::restart_replica`] replays `(snapshot, log suffix)`.
 
+use super::recover::{
+    auto_checkpointer, restore_from_latest, CheckpointHook, EngineRecovery, ReplicaSlot, CRASH_POLL,
+};
 use super::{Engine, TotalOrderSink};
 use crate::client::ClientProxy;
-use crate::service::{ResponseRouter, Service, SharedRouter};
+use crate::service::{RecoverableService, ResponseRouter, Service, SharedRouter};
 use psmr_common::envelope::{Request, Response};
-use psmr_common::ids::ClientId;
+use psmr_common::ids::{ClientId, GroupId, ReplicaId};
+use psmr_common::metrics::{counters, global};
 use psmr_common::SystemConfig;
 use psmr_multicast::{MergedStream, MulticastSystem};
-use std::sync::atomic::{AtomicU64, Ordering};
+use psmr_recovery::{CheckpointStore, RecoveryError, CHECKPOINT};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// A running SMR deployment.
 ///
@@ -43,7 +53,8 @@ pub struct SmrEngine {
     system: MulticastSystem,
     router: SharedRouter,
     sink: Arc<TotalOrderSink>,
-    threads: Vec<JoinHandle<()>>,
+    replicas: Vec<ReplicaSlot>,
+    recovery: Option<EngineRecovery>,
     next_client: AtomicU64,
 }
 
@@ -51,23 +62,165 @@ impl SmrEngine {
     /// Spawns `cfg.n_replicas` single-threaded replicas (the configured
     /// MPL is ignored: SMR executes sequentially by definition).
     pub fn spawn<S: Service>(cfg: &SystemConfig, factory: impl Fn() -> S) -> Self {
+        let mut engine = Self::scaffold(cfg);
+        for replica in 0..cfg.n_replicas {
+            let service = Arc::new(factory());
+            let stream = engine.system.single_stream();
+            let slot = engine.spawn_replica(replica, stream, service, None, None);
+            engine.replicas.push(slot);
+        }
+        engine.system.start();
+        engine
+    }
+
+    /// Like [`SmrEngine::spawn`] with checkpoint/crash/restart support
+    /// (see [`super::PsmrEngine::spawn_recoverable`] — same contract).
+    pub fn spawn_recoverable<S: RecoverableService>(
+        cfg: &SystemConfig,
+        factory: impl Fn() -> S + Send + Sync + 'static,
+    ) -> Self {
+        let mut engine = Self::scaffold(cfg);
+        let store = Arc::new(CheckpointStore::new());
+        let dyn_factory: Arc<dyn Fn() -> Arc<dyn RecoverableService> + Send + Sync> =
+            Arc::new(move || Arc::new(factory()) as Arc<dyn RecoverableService>);
+        for replica in 0..cfg.n_replicas {
+            let service = (dyn_factory)();
+            let hook = CheckpointHook::new(
+                &service,
+                Arc::clone(&store),
+                Some(engine.sink.handle.clone()),
+                0,
+            );
+            let stream = engine.system.single_stream();
+            let slot =
+                engine.spawn_replica(replica, stream, service.clone(), Some(service), Some(hook));
+            engine.replicas.push(slot);
+        }
+        engine.system.start();
+        let checkpointer = cfg
+            .checkpoint_interval
+            .map(|interval| auto_checkpointer(Arc::clone(&engine.sink) as _, interval));
+        engine.recovery = Some(EngineRecovery {
+            factory: dyn_factory,
+            store,
+            checkpointer,
+        });
+        engine
+    }
+
+    fn scaffold(cfg: &SystemConfig) -> Self {
         let system = MulticastSystem::spawn_single(cfg);
         let router: SharedRouter = Arc::new(ResponseRouter::new());
-        let mut threads = Vec::new();
-        for replica in 0..cfg.n_replicas {
-            let service = factory();
-            let stream = system.single_stream();
-            let router = Arc::clone(&router);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("smr-r{replica}"))
-                    .spawn(move || executor_main(service, stream, router))
-                    .expect("spawn SMR executor"),
-            );
+        let sink = Arc::new(TotalOrderSink {
+            handle: system.handle(),
+        });
+        Self {
+            system,
+            router,
+            sink,
+            replicas: Vec::new(),
+            recovery: None,
+            next_client: AtomicU64::new(0),
         }
-        let sink = Arc::new(TotalOrderSink { handle: system.handle() });
-        system.start();
-        Self { system, router, sink, threads, next_client: AtomicU64::new(0) }
+    }
+
+    fn spawn_replica<S: Service>(
+        &self,
+        replica: usize,
+        stream: MergedStream,
+        service: S,
+        dyn_service: Option<Arc<dyn RecoverableService>>,
+        hook: Option<CheckpointHook>,
+    ) -> ReplicaSlot {
+        let kill = Arc::new(AtomicBool::new(false));
+        let ctx = ExecutorCtx {
+            service,
+            router: Arc::clone(&self.router),
+            kill: Arc::clone(&kill),
+            hook,
+        };
+        let thread = std::thread::Builder::new()
+            .name(format!("smr-r{replica}"))
+            .spawn(move || executor_main(ctx, stream))
+            .expect("spawn SMR executor");
+        ReplicaSlot {
+            threads: vec![thread],
+            kill,
+            service: dyn_service,
+            crashed: false,
+        }
+    }
+
+    /// Crash-stops one replica's executor mid-run (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::UnknownReplica`] for an out-of-range id.
+    pub fn crash_replica(&mut self, replica: ReplicaId) -> Result<(), RecoveryError> {
+        let idx = replica.as_raw();
+        let slot = self
+            .replicas
+            .get_mut(idx)
+            .ok_or(RecoveryError::UnknownReplica { replica: idx })?;
+        slot.crash(|| {});
+        Ok(())
+    }
+
+    /// Restarts a crashed replica from `(latest checkpoint, log suffix)`.
+    ///
+    /// # Errors
+    ///
+    /// Requires a recoverable deployment, a crashed replica, at least one
+    /// checkpoint, and retained logs covering the cut.
+    pub fn restart_replica(&mut self, replica: ReplicaId) -> Result<(), RecoveryError> {
+        let idx = replica.as_raw();
+        if idx >= self.replicas.len() {
+            return Err(RecoveryError::UnknownReplica { replica: idx });
+        }
+        if !self.replicas[idx].crashed {
+            return Err(RecoveryError::NotCrashed);
+        }
+        let (factory, store) = {
+            let recovery = self
+                .recovery
+                .as_ref()
+                .ok_or(RecoveryError::NotRecoverable)?;
+            (Arc::clone(&recovery.factory), Arc::clone(&recovery.store))
+        };
+        let (service, stream, checkpoint) =
+            restore_from_latest(&store, &*factory, |cut| self.system.single_stream_at(cut))?;
+        let hook = CheckpointHook::new(
+            &service,
+            store,
+            Some(self.sink.handle.clone()),
+            checkpoint.id,
+        );
+        self.replicas[idx] =
+            self.spawn_replica(idx, stream, service.clone(), Some(service), Some(hook));
+        global().counter(counters::REPLICA_RESTARTS).inc();
+        Ok(())
+    }
+
+    /// The deployment's checkpoint store (recoverable deployments only).
+    pub fn checkpoint_store(&self) -> Option<Arc<CheckpointStore>> {
+        self.recovery.as_ref().map(|r| Arc::clone(&r.store))
+    }
+
+    /// The live service instance of one replica (recoverable
+    /// deployments; `None` for crashed replicas).
+    pub fn replica_service(&self, replica: ReplicaId) -> Option<Arc<dyn RecoverableService>> {
+        self.replicas.get(replica.as_raw())?.service.clone()
+    }
+
+    /// Crash-stops one acceptor of the ordering group through its live
+    /// network (engine-level fault injection).
+    pub fn crash_acceptor(&self, acceptor: usize) {
+        self.system.crash_acceptor(GroupId::new(0), acceptor);
+    }
+
+    /// Decided batches currently retained by the ordering group.
+    pub fn retained_len(&self) -> usize {
+        self.system.retained_len(GroupId::new(0))
     }
 }
 
@@ -82,20 +235,46 @@ impl Engine for SmrEngine {
     }
 
     fn shutdown(mut self) {
+        if let Some(recovery) = self.recovery.take() {
+            recovery.stop();
+        }
         self.system.shutdown();
-        for t in self.threads.drain(..) {
-            let _ = t.join();
+        for slot in &mut self.replicas {
+            slot.stop(|| {});
         }
     }
 }
 
-fn executor_main<S: Service>(service: S, mut stream: MergedStream, router: SharedRouter) {
-    while let Some(delivered) = stream.next() {
+struct ExecutorCtx<S> {
+    service: S,
+    router: SharedRouter,
+    kill: Arc<AtomicBool>,
+    hook: Option<CheckpointHook>,
+}
+
+fn executor_main<S: Service>(ctx: ExecutorCtx<S>, mut stream: MergedStream) {
+    loop {
+        if ctx.kill.load(Ordering::Relaxed) {
+            return;
+        }
+        let delivered = match stream.next_timeout(CRASH_POLL) {
+            Ok(Some(delivered)) => delivered,
+            Ok(None) => continue,
+            Err(_) => return,
+        };
         let Ok(req) = Request::decode(&delivered.payload) else {
             debug_assert!(false, "malformed request");
             continue;
         };
-        let resp = service.execute(req.command, &req.payload);
-        router.respond(req.client, Response::new(req.request, resp));
+        let resp = if req.command == CHECKPOINT {
+            match &ctx.hook {
+                Some(hook) => hook.execute(&delivered),
+                None => Vec::new(),
+            }
+        } else {
+            ctx.service.execute(req.command, &req.payload)
+        };
+        ctx.router
+            .respond(req.client, Response::new(req.request, resp));
     }
 }

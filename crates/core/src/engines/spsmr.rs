@@ -7,19 +7,29 @@
 //! serializing dependent ones. Delivery and scheduling are sequential;
 //! only execution is parallel — the scheduler is the component that
 //! becomes CPU-bound and caps throughput in Figures 3, 5 and 7.
+//!
+//! Checkpointing rides the scheduler's existing synchronization: a
+//! delivered [`psmr_recovery::CHECKPOINT`] drains the worker stage (the
+//! same quiescence global commands use) and snapshots the service at
+//! that point of the total order. Crash/restart mirrors the other
+//! replicated engines.
 
+use super::recover::{
+    auto_checkpointer, restore_from_latest, CheckpointHook, EngineRecovery, ReplicaSlot, CRASH_POLL,
+};
 use super::scheduler::ExecStage;
 use super::{Engine, TotalOrderSink};
 use crate::client::ClientProxy;
 use crate::conflict::CommandMap;
-use crate::service::{ResponseRouter, Service, SharedRouter};
-use psmr_common::envelope::Request;
-use psmr_common::ids::ClientId;
+use crate::service::{RecoverableService, ResponseRouter, Service, SharedRouter};
+use psmr_common::envelope::{Request, Response};
+use psmr_common::ids::{ClientId, GroupId, ReplicaId};
+use psmr_common::metrics::{counters, global};
 use psmr_common::SystemConfig;
 use psmr_multicast::{MergedStream, MulticastSystem};
-use std::sync::atomic::{AtomicU64, Ordering};
+use psmr_recovery::{CheckpointStore, RecoveryError, CHECKPOINT};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// A running sP-SMR deployment with `cfg.mpl` worker threads per replica
 /// (the scheduler thread is extra, matching the paper's thread accounting).
@@ -27,40 +37,189 @@ pub struct SpSmrEngine {
     system: MulticastSystem,
     router: SharedRouter,
     sink: Arc<TotalOrderSink>,
-    threads: Vec<JoinHandle<()>>,
+    map: CommandMap,
+    mpl: usize,
+    replicas: Vec<ReplicaSlot>,
+    recovery: Option<EngineRecovery>,
     next_client: AtomicU64,
 }
 
 impl SpSmrEngine {
     /// Spawns the deployment; each replica's state comes from `factory()`.
-    pub fn spawn<S: Service>(
+    pub fn spawn<S: Service>(cfg: &SystemConfig, map: CommandMap, factory: impl Fn() -> S) -> Self {
+        let mut engine = Self::scaffold(cfg, map);
+        for replica in 0..cfg.n_replicas {
+            let service: Arc<dyn Service> = Arc::new(factory());
+            let stream = engine.system.single_stream();
+            let slot = engine.spawn_replica(replica, stream, service, None, None);
+            engine.replicas.push(slot);
+        }
+        engine.system.start();
+        engine
+    }
+
+    /// Like [`SpSmrEngine::spawn`] with checkpoint/crash/restart support
+    /// (see [`super::PsmrEngine::spawn_recoverable`] — same contract).
+    pub fn spawn_recoverable<S: RecoverableService>(
         cfg: &SystemConfig,
         map: CommandMap,
-        factory: impl Fn() -> S,
+        factory: impl Fn() -> S + Send + Sync + 'static,
     ) -> Self {
+        let mut engine = Self::scaffold(cfg, map);
+        let store = Arc::new(CheckpointStore::new());
+        let dyn_factory: Arc<dyn Fn() -> Arc<dyn RecoverableService> + Send + Sync> =
+            Arc::new(move || Arc::new(factory()) as Arc<dyn RecoverableService>);
+        for replica in 0..cfg.n_replicas {
+            let service = (dyn_factory)();
+            let hook = CheckpointHook::new(
+                &service,
+                Arc::clone(&store),
+                Some(engine.sink.handle.clone()),
+                0,
+            );
+            let stream = engine.system.single_stream();
+            let slot = engine.spawn_replica(
+                replica,
+                stream,
+                Arc::clone(&service) as Arc<dyn Service>,
+                Some(service),
+                Some(hook),
+            );
+            engine.replicas.push(slot);
+        }
+        engine.system.start();
+        let checkpointer = cfg
+            .checkpoint_interval
+            .map(|interval| auto_checkpointer(Arc::clone(&engine.sink) as _, interval));
+        engine.recovery = Some(EngineRecovery {
+            factory: dyn_factory,
+            store,
+            checkpointer,
+        });
+        engine
+    }
+
+    fn scaffold(cfg: &SystemConfig, map: CommandMap) -> Self {
         let system = MulticastSystem::spawn_single(cfg);
         let router: SharedRouter = Arc::new(ResponseRouter::new());
-        let mut threads = Vec::new();
-        for replica in 0..cfg.n_replicas {
-            let service = Arc::new(factory());
-            let stream = system.single_stream();
-            let stage = ExecStage::spawn(
-                cfg.mpl,
-                service,
-                map.clone(),
-                Arc::clone(&router),
-                &format!("spsmr-r{replica}"),
-            );
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("spsmr-r{replica}-sched"))
-                    .spawn(move || scheduler_main(stream, stage))
-                    .expect("spawn sP-SMR scheduler"),
-            );
+        let sink = Arc::new(TotalOrderSink {
+            handle: system.handle(),
+        });
+        Self {
+            system,
+            router,
+            sink,
+            map,
+            mpl: cfg.mpl,
+            replicas: Vec::new(),
+            recovery: None,
+            next_client: AtomicU64::new(0),
         }
-        let sink = Arc::new(TotalOrderSink { handle: system.handle() });
-        system.start();
-        Self { system, router, sink, threads, next_client: AtomicU64::new(0) }
+    }
+
+    fn spawn_replica(
+        &self,
+        replica: usize,
+        stream: MergedStream,
+        service: Arc<dyn Service>,
+        dyn_service: Option<Arc<dyn RecoverableService>>,
+        hook: Option<CheckpointHook>,
+    ) -> ReplicaSlot {
+        let kill = Arc::new(AtomicBool::new(false));
+        let stage = ExecStage::spawn(
+            self.mpl,
+            service,
+            self.map.clone(),
+            Arc::clone(&self.router),
+            &format!("spsmr-r{replica}"),
+        );
+        let ctx = SchedulerCtx {
+            router: Arc::clone(&self.router),
+            kill: Arc::clone(&kill),
+            hook,
+        };
+        let thread = std::thread::Builder::new()
+            .name(format!("spsmr-r{replica}-sched"))
+            .spawn(move || scheduler_main(ctx, stream, stage))
+            .expect("spawn sP-SMR scheduler");
+        ReplicaSlot {
+            threads: vec![thread],
+            kill,
+            service: dyn_service,
+            crashed: false,
+        }
+    }
+
+    /// Crash-stops one replica (scheduler plus worker stage) mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::UnknownReplica`] for an out-of-range id.
+    pub fn crash_replica(&mut self, replica: ReplicaId) -> Result<(), RecoveryError> {
+        let idx = replica.as_raw();
+        let slot = self
+            .replicas
+            .get_mut(idx)
+            .ok_or(RecoveryError::UnknownReplica { replica: idx })?;
+        slot.crash(|| {});
+        Ok(())
+    }
+
+    /// Restarts a crashed replica from `(latest checkpoint, log suffix)`.
+    ///
+    /// # Errors
+    ///
+    /// Requires a recoverable deployment, a crashed replica, at least one
+    /// checkpoint, and retained logs covering the cut.
+    pub fn restart_replica(&mut self, replica: ReplicaId) -> Result<(), RecoveryError> {
+        let idx = replica.as_raw();
+        if idx >= self.replicas.len() {
+            return Err(RecoveryError::UnknownReplica { replica: idx });
+        }
+        if !self.replicas[idx].crashed {
+            return Err(RecoveryError::NotCrashed);
+        }
+        let (factory, store) = {
+            let recovery = self
+                .recovery
+                .as_ref()
+                .ok_or(RecoveryError::NotRecoverable)?;
+            (Arc::clone(&recovery.factory), Arc::clone(&recovery.store))
+        };
+        let (service, stream, checkpoint) =
+            restore_from_latest(&store, &*factory, |cut| self.system.single_stream_at(cut))?;
+        let hook = CheckpointHook::new(
+            &service,
+            store,
+            Some(self.sink.handle.clone()),
+            checkpoint.id,
+        );
+        self.replicas[idx] = self.spawn_replica(
+            idx,
+            stream,
+            Arc::clone(&service) as Arc<dyn Service>,
+            Some(service),
+            Some(hook),
+        );
+        global().counter(counters::REPLICA_RESTARTS).inc();
+        Ok(())
+    }
+
+    /// The deployment's checkpoint store (recoverable deployments only).
+    pub fn checkpoint_store(&self) -> Option<Arc<CheckpointStore>> {
+        self.recovery.as_ref().map(|r| Arc::clone(&r.store))
+    }
+
+    /// The live service instance of one replica (recoverable
+    /// deployments; `None` for crashed replicas).
+    pub fn replica_service(&self, replica: ReplicaId) -> Option<Arc<dyn RecoverableService>> {
+        self.replicas.get(replica.as_raw())?.service.clone()
+    }
+
+    /// Crash-stops one acceptor of the ordering group (engine-level
+    /// fault injection).
+    pub fn crash_acceptor(&self, acceptor: usize) {
+        self.system.crash_acceptor(GroupId::new(0), acceptor);
     }
 }
 
@@ -75,19 +234,49 @@ impl Engine for SpSmrEngine {
     }
 
     fn shutdown(mut self) {
+        if let Some(recovery) = self.recovery.take() {
+            recovery.stop();
+        }
         self.system.shutdown();
-        for t in self.threads.drain(..) {
-            let _ = t.join();
+        for slot in &mut self.replicas {
+            slot.stop(|| {});
         }
     }
 }
 
-fn scheduler_main(mut stream: MergedStream, mut stage: ExecStage) {
-    while let Some(delivered) = stream.next() {
+struct SchedulerCtx {
+    router: SharedRouter,
+    kill: Arc<AtomicBool>,
+    hook: Option<CheckpointHook>,
+}
+
+fn scheduler_main(ctx: SchedulerCtx, mut stream: MergedStream, mut stage: ExecStage) {
+    loop {
+        if ctx.kill.load(Ordering::Relaxed) {
+            break;
+        }
+        let delivered = match stream.next_timeout(CRASH_POLL) {
+            Ok(Some(delivered)) => delivered,
+            Ok(None) => continue,
+            Err(_) => break,
+        };
         let Ok(req) = Request::decode(&delivered.payload) else {
             debug_assert!(false, "malformed request");
             continue;
         };
+        if req.command == CHECKPOINT {
+            // Quiesce the worker stage — the same synchronization global
+            // commands use — then snapshot at this point of the total
+            // order. The scheduler answers directly; no worker runs it.
+            stage.drain();
+            let resp = match &ctx.hook {
+                Some(hook) => hook.execute(&delivered),
+                None => Vec::new(),
+            };
+            ctx.router
+                .respond(req.client, Response::new(req.request, resp));
+            continue;
+        }
         stage.schedule(req);
     }
     stage.shutdown();

@@ -73,7 +73,10 @@ impl SignalBoard {
     /// disconnection alone cannot unblock them.
     pub fn shutdown(&self) {
         for (i, tx) in self.senders.iter().enumerate() {
-            let _ = tx.send(Signal { from: WorkerId::new(i), kind: SignalKind::Shutdown });
+            let _ = tx.send(Signal {
+                from: WorkerId::new(i),
+                kind: SignalKind::Shutdown,
+            });
         }
     }
 }
@@ -98,8 +101,10 @@ impl SignalEndpoint {
     ///
     /// Returns `false` if the board shut down (all senders dropped).
     pub fn wait_for(&mut self, from: WorkerId, kind: SignalKind) -> bool {
-        if let Some(pos) =
-            self.buffered.iter().position(|s| s.from == from && s.kind == kind)
+        if let Some(pos) = self
+            .buffered
+            .iter()
+            .position(|s| s.from == from && s.kind == kind)
         {
             self.buffered.remove(pos);
             return true;
@@ -119,7 +124,9 @@ impl SignalEndpoint {
     ///
     /// Returns `false` if the board shut down first.
     pub fn wait_ready_from_all(&mut self, senders: &[WorkerId]) -> bool {
-        senders.iter().all(|&from| self.wait_for(from, SignalKind::Ready))
+        senders
+            .iter()
+            .all(|&from| self.wait_for(from, SignalKind::Ready))
     }
 }
 
@@ -174,23 +181,27 @@ mod tests {
     fn disconnect_unblocks_waiters() {
         let (board, mut eps) = SignalBoard::new(2);
         let mut e1 = eps.remove(1);
-        let waiter =
-            thread::spawn(move || e1.wait_for(WorkerId::new(0), SignalKind::Ready));
+        let waiter = thread::spawn(move || e1.wait_for(WorkerId::new(0), SignalKind::Ready));
         thread::sleep(Duration::from_millis(5));
         drop(board);
         drop(eps);
-        assert!(!waiter.join().unwrap(), "wait_for returns false on disconnect");
+        assert!(
+            !waiter.join().unwrap(),
+            "wait_for returns false on disconnect"
+        );
     }
 
     #[test]
     fn shutdown_signal_unblocks_waiters_despite_live_clones() {
         let (board, mut eps) = SignalBoard::new(2);
         let mut e1 = eps.remove(1);
-        let waiter =
-            thread::spawn(move || e1.wait_for(WorkerId::new(0), SignalKind::Ready));
+        let waiter = thread::spawn(move || e1.wait_for(WorkerId::new(0), SignalKind::Ready));
         thread::sleep(Duration::from_millis(5));
         board.shutdown(); // board clone stays alive, signal must suffice
-        assert!(!waiter.join().unwrap(), "wait_for returns false on shutdown");
+        assert!(
+            !waiter.join().unwrap(),
+            "wait_for returns false on shutdown"
+        );
     }
 
     #[test]

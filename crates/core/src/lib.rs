@@ -75,6 +75,6 @@ pub mod service;
 
 pub use client::ClientProxy;
 pub use conflict::{CommandClass, CommandMap, DependencySpec};
-pub use remap::{RemapTable, RemappableMap, REMAP};
 pub use engines::{Engine, NoRepEngine, PsmrEngine, SmrEngine, SpSmrEngine};
+pub use remap::{RemapTable, RemappableMap, REMAP};
 pub use service::Service;

@@ -58,9 +58,15 @@ pub enum Verdict {
 /// Panics if the history has more than 63 operations (the memoized search
 /// uses a bitmask) or if any record has `returned < invoked`.
 pub fn check_register(history: &[OpRecord], initial: Option<u64>) -> Verdict {
-    assert!(history.len() < 64, "history too long for the bitmask search");
+    assert!(
+        history.len() < 64,
+        "history too long for the bitmask search"
+    );
     for record in history {
-        assert!(record.returned >= record.invoked, "response precedes invocation");
+        assert!(
+            record.returned >= record.invoked,
+            "response precedes invocation"
+        );
     }
     if history.is_empty() {
         return Verdict::Linearizable;
@@ -125,11 +131,19 @@ mod tests {
     use super::*;
 
     fn w(invoked: u64, returned: u64, value: u64) -> OpRecord {
-        OpRecord { invoked, returned, op: RegisterOp::Write { value } }
+        OpRecord {
+            invoked,
+            returned,
+            op: RegisterOp::Write { value },
+        }
     }
 
     fn r(invoked: u64, returned: u64, value: Option<u64>) -> OpRecord {
-        OpRecord { invoked, returned, op: RegisterOp::Read { value } }
+        OpRecord {
+            invoked,
+            returned,
+            op: RegisterOp::Read { value },
+        }
     }
 
     #[test]
@@ -177,12 +191,7 @@ mod tests {
     #[test]
     fn non_monotonic_reads_are_rejected() {
         // Two sequential reads observing new-then-old values.
-        let h = [
-            w(0, 1, 1),
-            w(2, 3, 2),
-            r(4, 5, Some(2)),
-            r(6, 7, Some(1)),
-        ];
+        let h = [w(0, 1, 1), w(2, 3, 2), r(4, 5, Some(2)), r(6, 7, Some(1))];
         assert_eq!(check_register(&h, None), Verdict::NotLinearizable);
     }
 

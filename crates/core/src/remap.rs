@@ -74,8 +74,7 @@ impl RemapTable {
         let mut at = 12usize;
         for _ in 0..n {
             let key = u64::from_le_bytes(bytes.get(at..at + 8)?.try_into().ok()?);
-            let group =
-                u64::from_le_bytes(bytes.get(at + 8..at + 16)?.try_into().ok()?);
+            let group = u64::from_le_bytes(bytes.get(at + 8..at + 16)?.try_into().ok()?);
             pins.insert(key, GroupId::new(group as usize));
             at += 16;
         }
@@ -141,10 +140,17 @@ impl RemappableMap {
 
     /// Installs a new overlay. Tables with a stale epoch are ignored so a
     /// replayed or reordered remap cannot roll the mapping back.
+    /// Re-installing the table already in force acks success without
+    /// effect: every replica executes the same REMAP command against the
+    /// shared overlay, and the acks must be deterministic across replicas
+    /// (the client keeps whichever response arrives first).
     pub fn install(&self, table: RemapTable) -> bool {
         let mut current = self.table.write();
-        if table.epoch <= current.epoch {
+        if table.epoch < current.epoch {
             return false;
+        }
+        if table.epoch == current.epoch {
+            return *current == table;
         }
         *current = table;
         self.installed_epochs.fetch_add(1, Ordering::Relaxed);
@@ -201,7 +207,10 @@ mod tests {
 
     #[test]
     fn table_round_trips() {
-        let mut table = RemapTable { epoch: 7, pins: HashMap::new() };
+        let mut table = RemapTable {
+            epoch: 7,
+            pins: HashMap::new(),
+        };
         table.pins.insert(1, GroupId::new(3));
         table.pins.insert(99, GroupId::new(0));
         let back = RemapTable::decode(&table.encode()).expect("decodes");
@@ -211,10 +220,16 @@ mod tests {
 
     #[test]
     fn encoding_is_deterministic_regardless_of_insertion_order() {
-        let mut a = RemapTable { epoch: 1, pins: HashMap::new() };
+        let mut a = RemapTable {
+            epoch: 1,
+            pins: HashMap::new(),
+        };
         a.pins.insert(1, GroupId::new(1));
         a.pins.insert(2, GroupId::new(2));
-        let mut b = RemapTable { epoch: 1, pins: HashMap::new() };
+        let mut b = RemapTable {
+            epoch: 1,
+            pins: HashMap::new(),
+        };
         b.pins.insert(2, GroupId::new(2));
         b.pins.insert(1, GroupId::new(1));
         assert_eq!(a.encode(), b.encode());
@@ -223,22 +238,40 @@ mod tests {
     #[test]
     fn pins_override_the_base_rule() {
         let map = map();
-        assert_eq!(map.destinations(UPDATE, &key(5), 4).executor(), GroupId::new(1));
-        let mut table = RemapTable { epoch: 1, pins: HashMap::new() };
+        assert_eq!(
+            map.destinations(UPDATE, &key(5), 4).executor(),
+            GroupId::new(1)
+        );
+        let mut table = RemapTable {
+            epoch: 1,
+            pins: HashMap::new(),
+        };
         table.pins.insert(5, GroupId::new(2));
         assert!(map.install(table));
-        assert_eq!(map.destinations(UPDATE, &key(5), 4).executor(), GroupId::new(2));
+        assert_eq!(
+            map.destinations(UPDATE, &key(5), 4).executor(),
+            GroupId::new(2)
+        );
         // Unpinned keys still follow the base rule.
-        assert_eq!(map.destinations(UPDATE, &key(6), 4).executor(), GroupId::new(2));
+        assert_eq!(
+            map.destinations(UPDATE, &key(6), 4).executor(),
+            GroupId::new(2)
+        );
     }
 
     #[test]
     fn stale_epochs_are_rejected() {
         let map = map();
-        let mut t1 = RemapTable { epoch: 2, pins: HashMap::new() };
+        let mut t1 = RemapTable {
+            epoch: 2,
+            pins: HashMap::new(),
+        };
         t1.pins.insert(1, GroupId::new(3));
         assert!(map.install(t1));
-        let mut stale = RemapTable { epoch: 1, pins: HashMap::new() };
+        let mut stale = RemapTable {
+            epoch: 1,
+            pins: HashMap::new(),
+        };
         stale.pins.insert(1, GroupId::new(0));
         assert!(!map.install(stale), "older epoch must not roll back");
         assert_eq!(map.current_table().epoch, 2);
@@ -255,7 +288,10 @@ mod tests {
     #[test]
     fn pins_are_reduced_modulo_mpl() {
         let map = map();
-        let mut table = RemapTable { epoch: 1, pins: HashMap::new() };
+        let mut table = RemapTable {
+            epoch: 1,
+            pins: HashMap::new(),
+        };
         table.pins.insert(5, GroupId::new(9));
         map.install(table);
         let d = map.destinations(UPDATE, &key(5), 4);
@@ -266,7 +302,10 @@ mod tests {
     fn clones_share_the_overlay() {
         let map = map();
         let clone = map.clone();
-        let mut table = RemapTable { epoch: 1, pins: HashMap::new() };
+        let mut table = RemapTable {
+            epoch: 1,
+            pins: HashMap::new(),
+        };
         table.pins.insert(7, GroupId::new(0));
         map.install(table);
         assert_eq!(clone.current_table().epoch, 1);

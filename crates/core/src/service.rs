@@ -33,6 +33,21 @@ pub trait Service: Send + Sync + 'static {
     fn execute(&self, command: CommandId, payload: &[u8]) -> Vec<u8>;
 }
 
+impl<S: Service + ?Sized> Service for Arc<S> {
+    fn execute(&self, command: CommandId, payload: &[u8]) -> Vec<u8> {
+        (**self).execute(command, payload)
+    }
+}
+
+/// A service that can also be checkpointed and restored — what the
+/// recoverable engine spawns (`spawn_recoverable`) require. Blanket-
+/// implemented for every `Service + Snapshot`, and object safe so the
+/// engines can hold replicas as `Arc<dyn RecoverableService>` across
+/// crash/restart cycles.
+pub trait RecoverableService: Service + psmr_recovery::Snapshot {}
+
+impl<S: Service + psmr_recovery::Snapshot> RecoverableService for S {}
+
 /// One-to-one response delivery from replicas back to clients.
 ///
 /// Stands in for the client↔server sockets of the paper's testbed. Every

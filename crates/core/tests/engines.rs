@@ -2,13 +2,13 @@
 //! observable behaviour on the same workload, replicas must converge, and
 //! recorded histories must be linearizable.
 
+use parking_lot::RwLock;
 use psmr_common::ids::CommandId;
 use psmr_common::SystemConfig;
 use psmr_core::conflict::{CommandClass, DependencySpec};
 use psmr_core::engines::{Engine, NoRepEngine, PsmrEngine, SmrEngine, SpSmrEngine};
 use psmr_core::linear::{check_register, OpRecord, RegisterOp, Verdict};
 use psmr_core::service::Service;
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -27,7 +27,10 @@ struct RegisterMap {
 
 impl RegisterMap {
     fn new() -> Self {
-        Self { slots: RwLock::new(HashMap::new()), executed: AtomicU64::new(0) }
+        Self {
+            slots: RwLock::new(HashMap::new()),
+            executed: AtomicU64::new(0),
+        }
     }
 }
 
@@ -114,7 +117,12 @@ fn exercise_engine(engine: &dyn Engine) {
     // A global snapshot sees every completed write.
     let resp = client.execute(SNAPSHOT, key_payload(0));
     let sum = u64::from_le_bytes(resp[..8].try_into().unwrap());
-    assert_eq!(sum, (0..16).map(|k| k * 100).sum::<u64>(), "{}", engine.label());
+    assert_eq!(
+        sum,
+        (0..16).map(|k| k * 100).sum::<u64>(),
+        "{}",
+        engine.label()
+    );
     // Overwrites are visible.
     client.execute(WRITE, write_payload(3, 7));
     let resp = client.execute(READ, key_payload(3));
@@ -153,8 +161,11 @@ fn norep_basic_session() {
 /// then checks the recorded per-key histories are linearizable.
 #[test]
 fn psmr_concurrent_history_is_linearizable() {
-    let engine =
-        Arc::new(PsmrEngine::spawn(&cfg(4), spec().into_map(), RegisterMap::new));
+    let engine = Arc::new(PsmrEngine::spawn(
+        &cfg(4),
+        spec().into_map(),
+        RegisterMap::new,
+    ));
     let t0 = Instant::now();
     let mut handles = Vec::new();
     for c in 0..6u64 {
@@ -171,10 +182,19 @@ fn psmr_concurrent_history_is_linearizable() {
                     RegisterOp::Write { value }
                 } else {
                     let resp = client.execute(READ, key_payload(key));
-                    RegisterOp::Read { value: parse_read(&resp) }
+                    RegisterOp::Read {
+                        value: parse_read(&resp),
+                    }
                 };
                 let returned = t0.elapsed().as_nanos() as u64;
-                records.push((key, OpRecord { invoked, returned, op }));
+                records.push((
+                    key,
+                    OpRecord {
+                        invoked,
+                        returned,
+                        op,
+                    },
+                ));
             }
             records
         }));
@@ -209,8 +229,11 @@ fn psmr_concurrent_history_is_linearizable() {
 /// fresh clients to sample both replicas.
 #[test]
 fn psmr_replicas_converge_under_contention() {
-    let engine =
-        Arc::new(PsmrEngine::spawn(&cfg(3), spec().into_map(), RegisterMap::new));
+    let engine = Arc::new(PsmrEngine::spawn(
+        &cfg(3),
+        spec().into_map(),
+        RegisterMap::new,
+    ));
     let mut handles = Vec::new();
     for c in 0..4u64 {
         let engine = Arc::clone(&engine);
@@ -274,11 +297,12 @@ fn psmr_global_commands_execute_in_isolation() {
             }
         }
     }
-    let engine = Arc::new(PsmrEngine::spawn(
-        &cfg(4),
-        spec().into_map(),
-        || ExclusiveProbe { in_global: AtomicU64::new(0), slots: RwLock::new(HashMap::new()) },
-    ));
+    let engine = Arc::new(PsmrEngine::spawn(&cfg(4), spec().into_map(), || {
+        ExclusiveProbe {
+            in_global: AtomicU64::new(0),
+            slots: RwLock::new(HashMap::new()),
+        }
+    }));
     let mut handles = Vec::new();
     for c in 0..4u64 {
         let engine = Arc::clone(&engine);

@@ -30,7 +30,6 @@
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::Arc;
 
 /// Keys per page: key `k` lives on page `k / PAGE_SPAN`. 64 entries per
 /// page mirrors our B+-tree node fanout.
@@ -106,7 +105,11 @@ impl LockManager {
                 if waited {
                     table.contended += 1;
                 }
-                return PageGuard { manager: self, page, mode };
+                return PageGuard {
+                    manager: self,
+                    page,
+                    mode,
+                };
             }
             if mode == LockMode::Exclusive && !waited {
                 state.waiting_writers += 1;
@@ -125,7 +128,11 @@ impl LockManager {
                     state.writer = true;
                     table.acquired += 1;
                     table.contended += 1;
-                    return PageGuard { manager: self, page, mode };
+                    return PageGuard {
+                        manager: self,
+                        page,
+                        mode,
+                    };
                 }
             }
         }
@@ -198,6 +205,7 @@ impl Drop for PageGuard<'_> {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
     use std::thread;
     use std::time::Duration;
 

@@ -81,11 +81,7 @@ impl LockedKvEngine {
     /// # Panics
     ///
     /// Panics if `n_threads` is zero.
-    pub fn spawn_with_work(
-        n_threads: usize,
-        initial_keys: u64,
-        work: std::time::Duration,
-    ) -> Self {
+    pub fn spawn_with_work(n_threads: usize, initial_keys: u64, work: std::time::Duration) -> Self {
         Self::spawn_full(n_threads, initial_keys, work, false)
     }
 
@@ -116,7 +112,9 @@ impl LockedKvEngine {
         let mut threads = Vec::with_capacity(n_threads);
         for i in 0..n_threads {
             let (tx, rx): (Sender<Request>, Receiver<Request>) = bounded(16 * 1024);
-            sockets.push(Arc::new(SocketSink { tx: RwLock::new(Some(tx)) }));
+            sockets.push(Arc::new(SocketSink {
+                tx: RwLock::new(Some(tx)),
+            }));
             let tree = tree.clone();
             let router = Arc::clone(&router);
             let manager = manager.clone();
@@ -127,7 +125,12 @@ impl LockedKvEngine {
                     .expect("spawn locked-kv server thread"),
             );
         }
-        Self { router, sockets, threads, next_client: AtomicU64::new(0) }
+        Self {
+            router,
+            sockets,
+            threads,
+            next_client: AtomicU64::new(0),
+        }
     }
 }
 
@@ -179,7 +182,9 @@ fn server_main(
             },
             UPDATE => {
                 let value = u64::from_le_bytes(
-                    req.payload[8..16].try_into().expect("update carries a value"),
+                    req.payload[8..16]
+                        .try_into()
+                        .expect("update carries a value"),
                 );
                 if tree.update(key, value) {
                     KvResult::Ok
@@ -189,7 +194,9 @@ fn server_main(
             }
             INSERT => {
                 let value = u64::from_le_bytes(
-                    req.payload[8..16].try_into().expect("insert carries a value"),
+                    req.payload[8..16]
+                        .try_into()
+                        .expect("insert carries a value"),
                 );
                 if tree.insert(key, value) {
                     KvResult::Ok
@@ -248,14 +255,12 @@ mod tests {
                 let mut client = engine.client();
                 for i in 0..200u64 {
                     let key = t * 1_000 + i;
-                    let resp = client
-                        .execute(INSERT, KvOp::Insert { key, value: i }.encode());
+                    let resp = client.execute(INSERT, KvOp::Insert { key, value: i }.encode());
                     assert_eq!(KvResult::decode(&resp), KvResult::Ok);
                 }
                 for i in 0..200u64 {
                     let key = t * 1_000 + i;
-                    let resp =
-                        client.execute(DELETE, KvOp::Delete { key }.encode());
+                    let resp = client.execute(DELETE, KvOp::Delete { key }.encode());
                     assert_eq!(KvResult::decode(&resp), KvResult::Ok);
                 }
             }));
@@ -291,8 +296,7 @@ mod tests {
                 for i in 0..300u64 {
                     let key = (t * 47 + i) % 1_000;
                     if i % 3 == 0 {
-                        let resp = client
-                            .execute(UPDATE, KvOp::Update { key, value: i }.encode());
+                        let resp = client.execute(UPDATE, KvOp::Update { key, value: i }.encode());
                         assert_eq!(KvResult::decode(&resp), KvResult::Ok);
                     } else {
                         let resp = client.execute(READ, KvOp::Read { key }.encode());

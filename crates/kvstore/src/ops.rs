@@ -92,7 +92,11 @@ impl KvOp {
 /// Extracts the key from any marshalled store payload (first 8 bytes) —
 /// the C-Dep key extractor.
 pub fn key_of_payload(payload: &[u8]) -> u64 {
-    u64::from_le_bytes(payload[..8].try_into().expect("payloads start with the key"))
+    u64::from_le_bytes(
+        payload[..8]
+            .try_into()
+            .expect("payloads start with the key"),
+    )
 }
 
 /// A decoded store response.

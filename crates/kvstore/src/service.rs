@@ -41,7 +41,10 @@ pub struct KvService {
 impl KvService {
     /// Creates an empty store.
     pub fn new() -> Self {
-        Self { tree: RwLock::new(BPlusTree::new()), work: Duration::ZERO }
+        Self {
+            tree: RwLock::new(BPlusTree::new()),
+            work: Duration::ZERO,
+        }
     }
 
     /// Creates a store pre-loaded with keys `0..n`, each mapped to its own
@@ -51,7 +54,10 @@ impl KvService {
         for k in 0..n {
             tree.insert(k, AtomicU64::new(k));
         }
-        Self { tree: RwLock::new(tree), work: Duration::ZERO }
+        Self {
+            tree: RwLock::new(tree),
+            work: Duration::ZERO,
+        }
     }
 
     /// Like [`KvService::with_keys`], plus a calibrated per-command
@@ -100,9 +106,8 @@ impl Service for KvService {
                 None => KvResult::Err,
             },
             UPDATE => {
-                let value = u64::from_le_bytes(
-                    payload[8..16].try_into().expect("update carries a value"),
-                );
+                let value =
+                    u64::from_le_bytes(payload[8..16].try_into().expect("update carries a value"));
                 match self.tree.read().get(&key) {
                     Some(cell) => {
                         cell.store(value, Ordering::Release);
@@ -112,9 +117,8 @@ impl Service for KvService {
                 }
             }
             INSERT => {
-                let value = u64::from_le_bytes(
-                    payload[8..16].try_into().expect("insert carries a value"),
-                );
+                let value =
+                    u64::from_le_bytes(payload[8..16].try_into().expect("insert carries a value"));
                 let mut tree = self.tree.write();
                 // The paper's insert may return an error code; we treat
                 // re-inserting an existing key as the error case and leave
@@ -133,6 +137,31 @@ impl Service for KvService {
             other => panic!("unknown kv command {other}"),
         };
         result.encode()
+    }
+}
+
+impl psmr_recovery::Snapshot for KvService {
+    /// Deterministic encoding (the shared [`psmr_recovery::encode_kv_pairs`]
+    /// layout): entry count followed by `(key, value)` pairs in ascending
+    /// key order — identical bytes on every replica snapshotting at the
+    /// same cut.
+    fn snapshot(&self) -> Vec<u8> {
+        let tree = self.tree.read();
+        let pairs: Vec<(u64, u64)> = tree
+            .iter()
+            .map(|(key, cell)| (key, cell.load(Ordering::Acquire)))
+            .collect();
+        psmr_recovery::encode_kv_pairs(&pairs)
+    }
+
+    fn restore(&self, snapshot: &[u8]) -> Result<(), psmr_recovery::RestoreError> {
+        let pairs = psmr_recovery::decode_kv_pairs(snapshot)?;
+        let mut rebuilt = BPlusTree::new();
+        for (key, value) in pairs {
+            rebuilt.insert(key, AtomicU64::new(value));
+        }
+        *self.tree.write() = rebuilt;
+        Ok(())
     }
 }
 
@@ -187,9 +216,15 @@ mod tests {
     fn crud_cycle() {
         let store = KvService::new();
         assert_eq!(run(&store, KvOp::Read { key: 1 }), KvResult::Err);
-        assert_eq!(run(&store, KvOp::Insert { key: 1, value: 10 }), KvResult::Ok);
+        assert_eq!(
+            run(&store, KvOp::Insert { key: 1, value: 10 }),
+            KvResult::Ok
+        );
         assert_eq!(run(&store, KvOp::Read { key: 1 }), KvResult::Value(10));
-        assert_eq!(run(&store, KvOp::Update { key: 1, value: 11 }), KvResult::Ok);
+        assert_eq!(
+            run(&store, KvOp::Update { key: 1, value: 11 }),
+            KvResult::Ok
+        );
         assert_eq!(run(&store, KvOp::Read { key: 1 }), KvResult::Value(11));
         assert_eq!(run(&store, KvOp::Delete { key: 1 }), KvResult::Ok);
         assert_eq!(run(&store, KvOp::Read { key: 1 }), KvResult::Err);
@@ -200,12 +235,18 @@ mod tests {
     fn error_codes_match_paper_semantics() {
         let store = KvService::new();
         // update of a missing key: error.
-        assert_eq!(run(&store, KvOp::Update { key: 5, value: 0 }), KvResult::Err);
+        assert_eq!(
+            run(&store, KvOp::Update { key: 5, value: 0 }),
+            KvResult::Err
+        );
         // delete of a missing key: error.
         assert_eq!(run(&store, KvOp::Delete { key: 5 }), KvResult::Err);
         // double insert: error.
         assert_eq!(run(&store, KvOp::Insert { key: 5, value: 1 }), KvResult::Ok);
-        assert_eq!(run(&store, KvOp::Insert { key: 5, value: 2 }), KvResult::Err);
+        assert_eq!(
+            run(&store, KvOp::Insert { key: 5, value: 2 }),
+            KvResult::Err
+        );
         // the failed re-insert replaced nothing.
         assert_eq!(run(&store, KvOp::Read { key: 5 }), KvResult::Value(1));
     }
@@ -230,7 +271,13 @@ mod tests {
                     let key = (i * 8 + t) % 1024; // disjoint per thread
                     if i % 2 == 0 {
                         assert_eq!(
-                            run(&store, KvOp::Update { key, value: t * 100 + i }),
+                            run(
+                                &store,
+                                KvOp::Update {
+                                    key,
+                                    value: t * 100 + i
+                                }
+                            ),
                             KvResult::Ok
                         );
                     } else {
@@ -254,6 +301,60 @@ mod tests {
         let started = std::time::Instant::now();
         run(&store, KvOp::Read { key: 1 });
         assert!(started.elapsed() >= Duration::from_micros(200));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_and_is_deterministic() {
+        use psmr_recovery::Snapshot;
+        let store = KvService::with_keys(100);
+        run(&store, KvOp::Update { key: 7, value: 777 });
+        run(&store, KvOp::Insert { key: 500, value: 1 });
+        run(&store, KvOp::Delete { key: 3 });
+        let snap = store.snapshot();
+        // A twin replica that executed the same commands snapshots the
+        // identical bytes.
+        let twin = KvService::with_keys(100);
+        run(&twin, KvOp::Update { key: 7, value: 777 });
+        run(&twin, KvOp::Insert { key: 500, value: 1 });
+        run(&twin, KvOp::Delete { key: 3 });
+        assert_eq!(twin.snapshot(), snap);
+        // Restoring into a fresh (even divergent) store reproduces state.
+        let recovered = KvService::with_keys(5);
+        recovered.restore(&snap).expect("restores");
+        assert_eq!(recovered.len(), 100);
+        assert_eq!(run(&recovered, KvOp::Read { key: 7 }), KvResult::Value(777));
+        assert_eq!(run(&recovered, KvOp::Read { key: 500 }), KvResult::Value(1));
+        assert_eq!(run(&recovered, KvOp::Read { key: 3 }), KvResult::Err);
+        assert_eq!(recovered.snapshot(), snap);
+    }
+
+    #[test]
+    fn snapshots_restore_across_tree_implementations() {
+        use psmr_recovery::Snapshot;
+        // The serial-tree service and the concurrent tree share one codec:
+        // either one restores from the other's checkpoint.
+        let store = KvService::with_keys(50);
+        run(&store, KvOp::Update { key: 9, value: 99 });
+        let concurrent: psmr_btree::ConcurrentBPlusTree<u64> =
+            psmr_btree::ConcurrentBPlusTree::new();
+        concurrent
+            .restore(&store.snapshot())
+            .expect("cross-restore");
+        assert_eq!(concurrent.len(), 50);
+        assert_eq!(concurrent.get(&9), Some(99));
+        let back = KvService::new();
+        back.restore(&concurrent.snapshot()).expect("round trip");
+        assert_eq!(back.snapshot(), store.snapshot());
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected() {
+        use psmr_recovery::Snapshot;
+        let store = KvService::new();
+        assert!(store.restore(&[1, 2, 3]).is_err(), "truncated header");
+        let mut bad = 2u64.to_le_bytes().to_vec();
+        bad.extend_from_slice(&[0u8; 16]); // claims 2 pairs, carries 1
+        assert!(store.restore(&bad).is_err(), "length mismatch");
     }
 
     #[test]

@@ -65,9 +65,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
         if found {
             // Extend the match as far as possible.
             let mut len = MIN_MATCH;
-            while pos + len < input.len()
-                && input[candidate + len] == input[pos + len]
-            {
+            while pos + len < input.len() && input[candidate + len] == input[pos + len] {
                 len += 1;
             }
             emit_token(
@@ -169,11 +167,13 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
         if pos + 2 > input.len() {
             return Err(DecompressError::Truncated);
         }
-        let offset =
-            u16::from_le_bytes(input[pos..pos + 2].try_into().expect("2 bytes")) as usize;
+        let offset = u16::from_le_bytes(input[pos..pos + 2].try_into().expect("2 bytes")) as usize;
         pos += 2;
         if offset == 0 || offset > out.len() {
-            return Err(DecompressError::BadOffset { offset, produced: out.len() });
+            return Err(DecompressError::BadOffset {
+                offset,
+                produced: out.len(),
+            });
         }
         // Byte-by-byte copy: matches may overlap themselves (RLE-style).
         let start = out.len() - offset;

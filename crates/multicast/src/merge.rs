@@ -14,11 +14,13 @@
 //! [`psmr_paxos::runtime::Pacing::Ticks`].
 
 use bytes::Bytes;
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
 use psmr_common::ids::GroupId;
 use psmr_paxos::runtime::DecidedBatch;
+use psmr_recovery::StreamCut;
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A command handed out by the merge, tagged with its provenance.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +49,10 @@ pub struct MergedStream {
     ready: VecDeque<Delivered>,
     delivered: u64,
     skipped_batches: u64,
+    /// When resuming from a checkpoint cut: commands of batch
+    /// `(group, seq)` at offsets `<= offset` were already executed before
+    /// the cut and must not be redelivered.
+    resume_skip: Option<StreamCut>,
 }
 
 impl MergedStream {
@@ -59,7 +65,10 @@ impl MergedStream {
     ///
     /// Panics if `streams` is empty or contains duplicate group ids.
     pub fn new(mut streams: Vec<(GroupId, Receiver<Arc<DecidedBatch>>)>) -> Self {
-        assert!(!streams.is_empty(), "a merged stream needs at least one input");
+        assert!(
+            !streams.is_empty(),
+            "a merged stream needs at least one input"
+        );
         streams.sort_by_key(|(g, _)| *g);
         for pair in streams.windows(2) {
             assert_ne!(pair[0].0, pair[1].0, "duplicate group in merge set");
@@ -71,6 +80,77 @@ impl MergedStream {
             ready: VecDeque::new(),
             delivered: 0,
             skipped_batches: 0,
+            resume_skip: None,
+        }
+    }
+
+    /// Builds a merge that **resumes** right after the command at `cut`
+    /// (a checkpoint's position in the serialized stream).
+    ///
+    /// The caller must have created the subscriptions at the matching
+    /// sequence numbers: the cut's own stream (and any stream sorting
+    /// after it) from `cut.seq`, every stream sorting before it from
+    /// `cut.seq + 1` — exactly what the deterministic merge had consumed
+    /// when the cut command was delivered. Commands of the cut batch at
+    /// offsets `<= cut.offset` are suppressed (they executed before the
+    /// snapshot was taken).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or duplicate-group stream set, or when the cut
+    /// group is not part of the set.
+    pub fn resume(
+        mut streams: Vec<(GroupId, Receiver<Arc<DecidedBatch>>)>,
+        cut: StreamCut,
+    ) -> Self {
+        assert!(
+            !streams.is_empty(),
+            "a merged stream needs at least one input"
+        );
+        streams.sort_by_key(|(g, _)| *g);
+        for pair in streams.windows(2) {
+            assert_ne!(pair[0].0, pair[1].0, "duplicate group in merge set");
+        }
+        let cursor = streams
+            .iter()
+            .position(|(g, _)| *g == cut.group)
+            .expect("cut group must be part of the merge set");
+        Self {
+            streams,
+            cursor,
+            round: cut.seq,
+            ready: VecDeque::new(),
+            delivered: 0,
+            skipped_batches: 0,
+            resume_skip: Some(cut),
+        }
+    }
+
+    /// Queues the commands of `batch` (arriving from stream `group`),
+    /// honouring a pending resume cut, and advances the round-robin.
+    fn admit(&mut self, group: GroupId, batch: &DecidedBatch) {
+        if batch.is_skip() {
+            self.skipped_batches += 1;
+        }
+        let min_offset = match self.resume_skip {
+            Some(cut) if cut.group == group && cut.seq == batch.seq => {
+                self.resume_skip = None;
+                cut.offset + 1
+            }
+            _ => 0,
+        };
+        for (offset, payload) in batch.commands.iter().enumerate().skip(min_offset) {
+            self.ready.push_back(Delivered {
+                group,
+                batch_seq: batch.seq,
+                offset,
+                payload: payload.clone(),
+            });
+        }
+        self.cursor += 1;
+        if self.cursor == self.streams.len() {
+            self.cursor = 0;
+            self.round += 1;
         }
     }
 
@@ -92,6 +172,9 @@ impl MergedStream {
     /// Blocks until the next command is available.
     ///
     /// Returns `None` when any input stream disconnects (system shutdown).
+    // Deliberately not `Iterator`: iteration would hide the blocking
+    // semantics, and the engines use `next_timeout` anyway.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Delivered> {
         loop {
             if let Some(cmd) = self.ready.pop_front() {
@@ -104,21 +187,42 @@ impl MergedStream {
                 batch.seq, self.round,
                 "stream {group} delivered batch out of order"
             );
-            if batch.is_skip() {
-                self.skipped_batches += 1;
+            let group = *group;
+            self.admit(group, &batch);
+        }
+    }
+
+    /// Like [`MergedStream::next`] but gives up after `timeout` with
+    /// `Ok(None)` — the polling variant replica workers use so a crash
+    /// flag can interrupt an idle stream.
+    ///
+    /// The timeout bounds the **total** wait, not the per-batch wait: on a
+    /// ticker-paced deployment skip batches arrive continuously even with
+    /// zero traffic, and a per-receive timeout would never fire — leaving
+    /// crashed workers blocked here indefinitely.
+    pub fn next_timeout(&mut self, timeout: Duration) -> Result<Option<Delivered>, Disconnected> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(cmd) = self.ready.pop_front() {
+                self.delivered += 1;
+                return Ok(Some(cmd));
             }
-            for (offset, payload) in batch.commands.iter().enumerate() {
-                self.ready.push_back(Delivered {
-                    group: *group,
-                    batch_seq: batch.seq,
-                    offset,
-                    payload: payload.clone(),
-                });
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Ok(None);
             }
-            self.cursor += 1;
-            if self.cursor == self.streams.len() {
-                self.cursor = 0;
-                self.round += 1;
+            let (group, rx) = &self.streams[self.cursor];
+            match rx.recv_timeout(remaining) {
+                Ok(batch) => {
+                    debug_assert_eq!(
+                        batch.seq, self.round,
+                        "stream {group} delivered batch out of order"
+                    );
+                    let group = *group;
+                    self.admit(group, &batch);
+                }
+                Err(RecvTimeoutError::Timeout) => return Ok(None),
+                Err(RecvTimeoutError::Disconnected) => return Err(Disconnected),
             }
         }
     }
@@ -139,22 +243,8 @@ impl MergedStream {
                         batch.seq, self.round,
                         "stream {group} delivered batch out of order"
                     );
-                    if batch.is_skip() {
-                        self.skipped_batches += 1;
-                    }
-                    for (offset, payload) in batch.commands.iter().enumerate() {
-                        self.ready.push_back(Delivered {
-                            group: *group,
-                            batch_seq: batch.seq,
-                            offset,
-                            payload: payload.clone(),
-                        });
-                    }
-                    self.cursor += 1;
-                    if self.cursor == self.streams.len() {
-                        self.cursor = 0;
-                        self.round += 1;
-                    }
+                    let group = *group;
+                    self.admit(group, &batch);
                 }
                 Err(crossbeam::channel::TryRecvError::Empty) => return Ok(None),
                 Err(crossbeam::channel::TryRecvError::Disconnected) => return Err(Disconnected),
@@ -184,7 +274,10 @@ mod tests {
     fn batch(seq: u64, cmds: &[&str]) -> Arc<DecidedBatch> {
         Arc::new(DecidedBatch {
             seq,
-            commands: cmds.iter().map(|c| Bytes::copy_from_slice(c.as_bytes())).collect(),
+            commands: cmds
+                .iter()
+                .map(|c| Bytes::copy_from_slice(c.as_bytes()))
+                .collect(),
         })
     }
 
@@ -211,8 +304,7 @@ mod tests {
     fn two_streams_interleave_round_robin() {
         let (tx0, rx0) = unbounded();
         let (tx1, rx1) = unbounded();
-        let mut m =
-            MergedStream::new(vec![(GroupId::new(0), rx0), (GroupId::new(1), rx1)]);
+        let mut m = MergedStream::new(vec![(GroupId::new(0), rx0), (GroupId::new(1), rx1)]);
         tx0.send(batch(1, &["a1"])).unwrap();
         tx1.send(batch(1, &["b1"])).unwrap();
         tx0.send(batch(2, &["a2"])).unwrap();
@@ -242,8 +334,7 @@ mod tests {
     fn skip_batches_advance_the_round_without_delivering() {
         let (tx0, rx0) = unbounded();
         let (tx1, rx1) = unbounded();
-        let mut m =
-            MergedStream::new(vec![(GroupId::new(0), rx0), (GroupId::new(1), rx1)]);
+        let mut m = MergedStream::new(vec![(GroupId::new(0), rx0), (GroupId::new(1), rx1)]);
         // Stream 1 is idle: only skips.
         tx0.send(batch(1, &["a1"])).unwrap();
         tx1.send(batch(1, &[])).unwrap();
@@ -261,8 +352,7 @@ mod tests {
         // overtaken by stream 0's next round.
         let (tx0, rx0) = unbounded();
         let (tx1, rx1) = unbounded();
-        let mut m =
-            MergedStream::new(vec![(GroupId::new(0), rx0), (GroupId::new(1), rx1)]);
+        let mut m = MergedStream::new(vec![(GroupId::new(0), rx0), (GroupId::new(1), rx1)]);
         tx0.send(batch(1, &["a1"])).unwrap();
         tx0.send(batch(2, &["a2"])).unwrap();
         assert_eq!(payloads(&mut m, 1), vec!["a1"]);
@@ -299,6 +389,79 @@ mod tests {
         let d1 = m.next().unwrap();
         assert_eq!((d0.group, d0.batch_seq, d0.offset), (GroupId::new(7), 1, 0));
         assert_eq!((d1.group, d1.batch_seq, d1.offset), (GroupId::new(7), 1, 1));
+    }
+
+    #[test]
+    fn resume_skips_through_the_cut_and_keeps_round_robin() {
+        // Original stream layout: g0 (per-worker) and g2 (serialized).
+        // The checkpoint sat at g2 batch 2, offset 1: everything up to and
+        // including it already executed. The resumed merge must deliver
+        // g2 batch 2 offset 2, then g0 batch 3, g2 batch 3, ...
+        let (tx0, rx0) = unbounded();
+        let (tx2, rx2) = unbounded();
+        let cut = psmr_recovery::StreamCut {
+            group: GroupId::new(2),
+            seq: 2,
+            offset: 1,
+        };
+        let mut m = MergedStream::resume(vec![(GroupId::new(0), rx0), (GroupId::new(2), rx2)], cut);
+        // The caller replays g2 from seq 2 and g0 from seq 3.
+        tx2.send(batch(2, &["ckpt-1", "CKPT", "after-ckpt"]))
+            .unwrap();
+        tx0.send(batch(3, &["a3"])).unwrap();
+        tx2.send(batch(3, &["b3"])).unwrap();
+        assert_eq!(payloads(&mut m, 3), vec!["after-ckpt", "a3", "b3"]);
+        let d = m.try_next();
+        assert_eq!(d, Ok(None));
+    }
+
+    #[test]
+    fn resume_offsets_stay_original() {
+        let (tx, rx) = unbounded();
+        let cut = psmr_recovery::StreamCut {
+            group: GroupId::new(0),
+            seq: 5,
+            offset: 0,
+        };
+        let mut m = MergedStream::resume(vec![(GroupId::new(0), rx)], cut);
+        tx.send(batch(5, &["skipped", "x", "y"])).unwrap();
+        let d = m.next().unwrap();
+        assert_eq!((d.batch_seq, d.offset), (5, 1), "offsets keep provenance");
+        let d = m.next().unwrap();
+        assert_eq!((d.batch_seq, d.offset), (5, 2));
+    }
+
+    #[test]
+    fn next_timeout_times_out_and_delivers() {
+        let (tx, rx) = unbounded();
+        let mut m = MergedStream::new(vec![(GroupId::new(0), rx)]);
+        assert_eq!(
+            m.next_timeout(std::time::Duration::from_millis(5)),
+            Ok(None)
+        );
+        tx.send(batch(1, &["a"])).unwrap();
+        let d = m
+            .next_timeout(std::time::Duration::from_secs(1))
+            .unwrap()
+            .expect("delivered");
+        assert_eq!(&d.payload[..], b"a");
+        drop(tx);
+        assert_eq!(
+            m.next_timeout(std::time::Duration::from_millis(5)),
+            Err(Disconnected)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cut group must be part")]
+    fn resume_requires_the_cut_group() {
+        let (_tx, rx) = unbounded();
+        let cut = psmr_recovery::StreamCut {
+            group: GroupId::new(9),
+            seq: 1,
+            offset: 0,
+        };
+        let _ = MergedStream::resume(vec![(GroupId::new(0), rx)], cut);
     }
 
     #[test]

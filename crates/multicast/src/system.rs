@@ -5,7 +5,8 @@ use bytes::Bytes;
 use psmr_common::ids::{GroupId, WorkerId};
 use psmr_common::SystemConfig;
 use psmr_netsim::live::LiveNet;
-use psmr_paxos::runtime::{GroupHandle, Pacing, PaxosGroup};
+use psmr_paxos::runtime::{acceptor_node, GroupHandle, NetMsg, Pacing, PaxosGroup};
+use psmr_recovery::{RecoveryError, StreamCut};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -35,12 +36,16 @@ pub struct Destinations {
 impl Destinations {
     /// A singleton destination set.
     pub fn one(group: GroupId) -> Self {
-        Self { groups: vec![group] }
+        Self {
+            groups: vec![group],
+        }
     }
 
     /// The set of all `k` per-worker groups `g_0..g_{k-1}`.
     pub fn all(k: usize) -> Self {
-        Self { groups: (0..k).map(GroupId::new).collect() }
+        Self {
+            groups: (0..k).map(GroupId::new).collect(),
+        }
     }
 
     /// An arbitrary destination set.
@@ -50,7 +55,10 @@ impl Destinations {
     /// Panics if `groups` is empty: every command has at least one
     /// destination.
     pub fn some(mut groups: Vec<GroupId>) -> Self {
-        assert!(!groups.is_empty(), "a command needs at least one destination group");
+        assert!(
+            !groups.is_empty(),
+            "a command needs at least one destination group"
+        );
         groups.sort_unstable();
         groups.dedup();
         Self { groups }
@@ -145,7 +153,11 @@ impl MulticastSystem {
         Self {
             groups,
             cfg: cfg.clone(),
-            ticker: Some(TickerHandle { run, started, thread: Some(thread) }),
+            ticker: Some(TickerHandle {
+                run,
+                started,
+                thread: Some(thread),
+            }),
         }
     }
 
@@ -156,9 +168,17 @@ impl MulticastSystem {
         single.mpl = 1;
         // Layout: g_0 doubles as the only stream; group count is still
         // mpl+1 but only g_0 is used. Spawn just g_0 to avoid idle threads.
-        let groups =
-            vec![PaxosGroup::spawn_with(0, &single, LiveNet::new(), Pacing::Batched)];
-        Self { groups, cfg: single, ticker: None }
+        let groups = vec![PaxosGroup::spawn_with(
+            0,
+            &single,
+            LiveNet::new(),
+            Pacing::Batched,
+        )];
+        Self {
+            groups,
+            cfg: single,
+            ticker: None,
+        }
     }
 
     /// The configuration the system was spawned with.
@@ -206,6 +226,107 @@ impl MulticastSystem {
     /// [`MulticastSystem::spawn_single`] deployment.
     pub fn single_stream(&self) -> MergedStream {
         MergedStream::new(vec![(GroupId::new(0), self.groups[0].subscribe())])
+    }
+
+    /// Re-subscribes worker `t_i` **after** the system started, resuming
+    /// right behind the checkpoint command at `cut` (which sat on the
+    /// shared group). This is the catch-up path of a restarted replica:
+    /// the per-worker stream replays from `cut.seq + 1` and the shared
+    /// stream from `cut.seq` (suppressing the commands up to and
+    /// including the cut), reproducing exactly the merge position every
+    /// worker held when the checkpoint was taken.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::LogTrimmed`] when retention no longer
+    /// covers the cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`MulticastSystem::worker_stream`], or if `cut` is not on the
+    /// shared group.
+    pub fn worker_stream_at(
+        &self,
+        worker: WorkerId,
+        cut: StreamCut,
+    ) -> Result<MergedStream, RecoveryError> {
+        assert!(
+            worker.as_raw() < self.cfg.mpl,
+            "worker {worker} outside MPL {}",
+            self.cfg.mpl
+        );
+        assert!(
+            self.groups.len() > 1,
+            "worker streams require the P-SMR layout (use spawn, not spawn_single)"
+        );
+        let gall = self.cfg.all_group();
+        assert_eq!(
+            cut.group, gall,
+            "P-SMR checkpoints travel on the shared group"
+        );
+        let gi = GroupId::from(worker);
+        let sub = |group: GroupId, from: u64| {
+            self.groups[group.as_raw()]
+                .handle()
+                .subscribe_from(from)
+                .map_err(|_| RecoveryError::LogTrimmed {
+                    group,
+                    needed: from,
+                })
+        };
+        let streams = vec![(gi, sub(gi, cut.seq + 1)?), (gall, sub(gall, cut.seq)?)];
+        Ok(MergedStream::resume(streams, cut))
+    }
+
+    /// Re-subscribes to the single stream of a
+    /// [`MulticastSystem::spawn_single`] deployment after the start,
+    /// resuming right behind the checkpoint command at `cut`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::LogTrimmed`] when retention no longer
+    /// covers the cut.
+    pub fn single_stream_at(&self, cut: StreamCut) -> Result<MergedStream, RecoveryError> {
+        assert_eq!(cut.group, GroupId::new(0), "single-stream cuts sit on g0");
+        let rx = self.groups[0]
+            .handle()
+            .subscribe_from(cut.seq)
+            .map_err(|_| RecoveryError::LogTrimmed {
+                group: cut.group,
+                needed: cut.seq,
+            })?;
+        Ok(MergedStream::resume(vec![(cut.group, rx)], cut))
+    }
+
+    /// The live network of one group, for fault injection (crashing
+    /// acceptors, degrading links) at the engine level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is outside the configured layout.
+    pub fn group_net(&self, group: GroupId) -> LiveNet<NetMsg> {
+        self.groups[group.as_raw()].net()
+    }
+
+    /// Crash-stops acceptor `acceptor` of `group` (f = 1 of the paper's
+    /// 3-acceptor instances keeps committing with the majority).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is outside the configured layout.
+    pub fn crash_acceptor(&self, group: GroupId, acceptor: usize) {
+        let gid = group.as_raw();
+        self.groups[gid].net().crash(acceptor_node(gid, acceptor));
+    }
+
+    /// Decided batches currently retained by `group` for catch-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is outside the configured layout.
+    pub fn retained_len(&self, group: GroupId) -> usize {
+        self.groups[group.as_raw()].handle().retained_len()
     }
 
     /// Starts every group (and the shared ticker). Call once all worker
@@ -263,6 +384,32 @@ impl MulticastHandle {
         self.all_group
     }
 
+    /// Trims every group's retained log down to what a recovery from the
+    /// checkpoint at `cut` still needs: the cut's own stream keeps
+    /// `cut.seq` onward, all earlier-merging streams keep `cut.seq + 1`
+    /// onward. Idempotent — every replica calls this after installing
+    /// the same checkpoint.
+    pub fn trim_to_cut(&self, cut: &StreamCut) {
+        for (gid, handle) in self.handles.iter().enumerate() {
+            let keep_from = if GroupId::new(gid) == cut.group {
+                cut.seq
+            } else {
+                cut.seq + 1
+            };
+            handle.trim_below(keep_from);
+        }
+    }
+
+    /// Decided batches currently retained by `group` (diagnostics and
+    /// retention tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is outside the configured layout.
+    pub fn retained_len(&self, group: GroupId) -> usize {
+        self.handles[group.as_raw()].retained_len()
+    }
+
     /// Shuts down all underlying groups (used by engines owning a handle).
     pub fn shutdown(&self) {
         for h in &self.handles {
@@ -309,19 +456,44 @@ mod tests {
     }
 
     #[test]
+    fn next_timeout_fires_under_steady_skip_traffic() {
+        // On a ticker-paced (merged) deployment, skip batches arrive every
+        // skip_interval even with zero traffic. The timeout must bound the
+        // total wait — a per-receive timeout would never fire, leaving
+        // crashed workers blocked in next_timeout indefinitely.
+        let system = MulticastSystem::spawn(&test_cfg(2));
+        let mut stream = system.worker_stream(WorkerId::new(0));
+        system.start();
+        let started = std::time::Instant::now();
+        let delivered = stream
+            .next_timeout(Duration::from_millis(40))
+            .expect("system alive");
+        assert!(delivered.is_none(), "no traffic was submitted");
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "timed out promptly despite continuous skips ({:?})",
+            started.elapsed()
+        );
+        system.shutdown();
+    }
+
+    #[test]
     fn singleton_command_reaches_only_its_worker() {
         let system = MulticastSystem::spawn(&test_cfg(2));
         let handle = system.handle();
         let mut w0 = system.worker_stream(WorkerId::new(0));
         let mut w1 = system.worker_stream(WorkerId::new(1));
         system.start();
-        handle.multicast(&Destinations::one(GroupId::new(0)), Bytes::from_static(b"for-w0"));
+        handle.multicast(
+            &Destinations::one(GroupId::new(0)),
+            Bytes::from_static(b"for-w0"),
+        );
         let d = w0.next().expect("w0 delivers");
         assert_eq!(&d.payload[..], b"for-w0");
         assert_eq!(d.group, GroupId::new(0));
         // w1 must not see it: only skips flow on its streams. Drain briefly.
         std::thread::sleep(Duration::from_millis(10));
-        while let Ok(Some(d)) = w1.try_next() {
+        if let Ok(Some(d)) = w1.try_next() {
             panic!("w1 unexpectedly delivered {d:?}");
         }
         system.shutdown();
@@ -331,8 +503,9 @@ mod tests {
     fn multi_destination_command_reaches_every_worker() {
         let system = MulticastSystem::spawn(&test_cfg(3));
         let handle = system.handle();
-        let mut streams: Vec<_> =
-            (0..3).map(|i| system.worker_stream(WorkerId::new(i))).collect();
+        let mut streams: Vec<_> = (0..3)
+            .map(|i| system.worker_stream(WorkerId::new(i)))
+            .collect();
         system.start();
         handle.multicast(&Destinations::all(3), Bytes::from_static(b"everyone"));
         for s in &mut streams {
@@ -402,7 +575,10 @@ mod tests {
         let mut b = system.single_stream();
         system.start();
         for i in 0..50u32 {
-            handle.multicast(&Destinations::one(GroupId::new(0)), Bytes::from(i.to_le_bytes().to_vec()));
+            handle.multicast(
+                &Destinations::one(GroupId::new(0)),
+                Bytes::from(i.to_le_bytes().to_vec()),
+            );
         }
         let take = |s: &mut MergedStream, n: usize| -> Vec<u32> {
             (0..n)

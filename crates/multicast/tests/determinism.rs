@@ -38,7 +38,7 @@ fn take(stream: &mut MergedStream, n: usize) -> Vec<(GroupId, u64, usize, u32)> 
 proptest! {
     // End-to-end runs spawn real threads; keep the case count modest.
     #![proptest_config(ProptestConfig {
-        cases: 12, max_shrink_iters: 20, ..ProptestConfig::default()
+        cases: 12, max_shrink_iters: 20
     })]
 
     #[test]
@@ -101,16 +101,21 @@ proptest! {
 fn dependent_commands_order_identically_at_every_worker() {
     let mpl = 4;
     let mut cfg = SystemConfig::new(mpl);
-    cfg.batch_delay(Duration::from_micros(50)).skip_interval(Duration::from_micros(300));
+    cfg.batch_delay(Duration::from_micros(50))
+        .skip_interval(Duration::from_micros(300));
     let system = MulticastSystem::spawn(&cfg);
     let handle = system.handle();
-    let mut workers: Vec<MergedStream> =
-        (0..mpl).map(|i| system.worker_stream(WorkerId::new(i))).collect();
+    let mut workers: Vec<MergedStream> = (0..mpl)
+        .map(|i| system.worker_stream(WorkerId::new(i)))
+        .collect();
     system.start();
 
     let total_all = 40u32;
     for i in 0..total_all {
-        handle.multicast(&Destinations::all(mpl), Bytes::from(i.to_le_bytes().to_vec()));
+        handle.multicast(
+            &Destinations::all(mpl),
+            Bytes::from(i.to_le_bytes().to_vec()),
+        );
         // Sprinkle singles between the dependent commands.
         handle.multicast(
             &Destinations::one(GroupId::new((i as usize) % mpl)),
@@ -123,9 +128,16 @@ fn dependent_commands_order_identically_at_every_worker() {
     for (w, stream) in workers.iter_mut().enumerate() {
         let want = total_all as usize + (total_all as usize / mpl);
         let seq = take(stream, want);
-        let alls: Vec<u32> =
-            seq.iter().filter(|(g, ..)| *g == gall).map(|&(.., v)| v).collect();
-        assert_eq!(alls.len(), total_all as usize, "worker {w} missed g_all traffic");
+        let alls: Vec<u32> = seq
+            .iter()
+            .filter(|(g, ..)| *g == gall)
+            .map(|&(.., v)| v)
+            .collect();
+        assert_eq!(
+            alls.len(),
+            total_all as usize,
+            "worker {w} missed g_all traffic"
+        );
         match &reference {
             None => reference = Some(alls),
             Some(r) => assert_eq!(&alls, r, "worker {w} ordered g_all differently"),

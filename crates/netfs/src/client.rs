@@ -8,8 +8,8 @@
 //! [`ClientProxy`] and can be shared behind a lock if desired.
 
 use crate::ops::{NetFsOp, NetFsResult, Stat};
-use psmr_core::client::ClientProxy;
 use psmr_common::ids::RequestId;
+use psmr_core::client::ClientProxy;
 
 /// A typed file system client over a replication engine.
 ///
@@ -94,7 +94,10 @@ impl NetFsClient {
 
     /// Sets a file's modification time.
     pub fn utimens(&mut self, path: &str, mtime: u64) -> Result<(), i32> {
-        self.unit(NetFsOp::Utimens { path: path.into(), mtime })
+        self.unit(NetFsOp::Utimens {
+            path: path.into(),
+            mtime,
+        })
     }
 
     /// Existence check.
@@ -113,7 +116,11 @@ impl NetFsClient {
 
     /// Reads up to `len` bytes at `offset`.
     pub fn read(&mut self, path: &str, offset: u64, len: u32) -> Result<Vec<u8>, i32> {
-        match self.call(NetFsOp::Read { path: path.into(), offset, len }) {
+        match self.call(NetFsOp::Read {
+            path: path.into(),
+            offset,
+            len,
+        }) {
             NetFsResult::Data(data) => Ok(data),
             NetFsResult::Err(e) => Err(e),
             other => panic!("unexpected NetFS response {other:?}"),
@@ -122,7 +129,11 @@ impl NetFsClient {
 
     /// Writes `data` at `offset`.
     pub fn write(&mut self, path: &str, offset: u64, data: &[u8]) -> Result<(), i32> {
-        self.unit(NetFsOp::Write { path: path.into(), offset, data: data.to_vec() })
+        self.unit(NetFsOp::Write {
+            path: path.into(),
+            offset,
+            data: data.to_vec(),
+        })
     }
 
     /// Lists a directory.
@@ -142,7 +153,10 @@ impl NetFsClient {
     /// Receives the next completed call's decoded response.
     pub fn recv(&mut self) -> (RequestId, NetFsResult) {
         let (id, payload) = self.proxy.recv_response();
-        (id, NetFsResult::decode(&payload).expect("NetFS responses decode"))
+        (
+            id,
+            NetFsResult::decode(&payload).expect("NetFS responses decode"),
+        )
     }
 
     /// Outstanding windowed calls.

@@ -36,17 +36,27 @@ use errno::*;
 
 #[derive(Debug)]
 enum Node {
-    File { data: Mutex<Vec<u8>>, mtime: Mutex<u64> },
-    Dir { children: HashMap<String, Node> },
+    File {
+        data: Mutex<Vec<u8>>,
+        mtime: Mutex<u64>,
+    },
+    Dir {
+        children: HashMap<String, Node>,
+    },
 }
 
 impl Node {
     fn new_file() -> Self {
-        Node::File { data: Mutex::new(Vec::new()), mtime: Mutex::new(0) }
+        Node::File {
+            data: Mutex::new(Vec::new()),
+            mtime: Mutex::new(0),
+        }
     }
 
     fn new_dir() -> Self {
-        Node::Dir { children: HashMap::new() }
+        Node::Dir {
+            children: HashMap::new(),
+        }
     }
 }
 
@@ -85,7 +95,10 @@ fn split_path(path: &str) -> Option<(Vec<&str>, &str)> {
 impl MemFs {
     /// An empty file system (just `/`).
     pub fn new() -> Self {
-        Self { root: RwLock::new(Node::new_dir()), fds: Mutex::new(FdTable::default()) }
+        Self {
+            root: RwLock::new(Node::new_dir()),
+            fds: Mutex::new(FdTable::default()),
+        }
     }
 
     fn with_parent<T>(
@@ -157,33 +170,29 @@ impl MemFs {
     /// Removes a file.
     pub fn unlink(&self, path: &str) -> Result<(), i32> {
         let mut root = self.root.write();
-        Self::with_parent_mut(&mut root, path, |children, name| {
-            match children.get(name) {
-                Some(Node::File { .. }) => {
-                    children.remove(name);
-                    Ok(())
-                }
-                Some(Node::Dir { .. }) => Err(EISDIR),
-                None => Err(ENOENT),
+        Self::with_parent_mut(&mut root, path, |children, name| match children.get(name) {
+            Some(Node::File { .. }) => {
+                children.remove(name);
+                Ok(())
             }
+            Some(Node::Dir { .. }) => Err(EISDIR),
+            None => Err(ENOENT),
         })
     }
 
     /// Removes an empty directory.
     pub fn rmdir(&self, path: &str) -> Result<(), i32> {
         let mut root = self.root.write();
-        Self::with_parent_mut(&mut root, path, |children, name| {
-            match children.get(name) {
-                Some(Node::Dir { children: grand }) => {
-                    if !grand.is_empty() {
-                        return Err(ENOTEMPTY);
-                    }
-                    children.remove(name);
-                    Ok(())
+        Self::with_parent_mut(&mut root, path, |children, name| match children.get(name) {
+            Some(Node::Dir { children: grand }) => {
+                if !grand.is_empty() {
+                    return Err(ENOTEMPTY);
                 }
-                Some(Node::File { .. }) => Err(ENOTDIR),
-                None => Err(ENOENT),
+                children.remove(name);
+                Ok(())
             }
+            Some(Node::File { .. }) => Err(ENOTDIR),
+            None => Err(ENOENT),
         })
     }
 
@@ -286,7 +295,11 @@ impl MemFs {
     /// Metadata lookup.
     pub fn lstat(&self, path: &str) -> Result<crate::ops::Stat, i32> {
         if path == "/" {
-            return Ok(crate::ops::Stat { size: 0, is_dir: true, mtime: 0 });
+            return Ok(crate::ops::Stat {
+                size: 0,
+                is_dir: true,
+                mtime: 0,
+            });
         }
         let root = self.root.read();
         Self::with_parent(&root, path, |children, name| match children.get(name) {
@@ -295,9 +308,11 @@ impl MemFs {
                 is_dir: false,
                 mtime: *mtime.lock(),
             }),
-            Some(Node::Dir { .. }) => {
-                Ok(crate::ops::Stat { size: 0, is_dir: true, mtime: 0 })
-            }
+            Some(Node::Dir { .. }) => Ok(crate::ops::Stat {
+                size: 0,
+                is_dir: true,
+                mtime: 0,
+            }),
             None => Err(ENOENT),
         })
     }
@@ -339,6 +354,125 @@ impl MemFs {
         })
     }
 
+    /// Serializes the complete file system — tree *and* fd table — into
+    /// the deterministic checkpoint encoding: a pre-order walk with
+    /// children visited in sorted name order, then the open descriptors in
+    /// ascending fd order. Replicas at the same consistent cut produce
+    /// byte-identical output.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        fn walk(node: &Node, path: &str, out: &mut Vec<(String, u8, u64, Vec<u8>)>) {
+            if let Node::Dir { children } = node {
+                let mut names: Vec<&String> = children.keys().collect();
+                names.sort_unstable();
+                for name in names {
+                    let child_path = format!("{}/{name}", if path == "/" { "" } else { path });
+                    match &children[name] {
+                        Node::File { data, mtime } => {
+                            out.push((child_path, 1, *mtime.lock(), data.lock().clone()));
+                        }
+                        dir @ Node::Dir { .. } => {
+                            out.push((child_path.clone(), 0, 0, Vec::new()));
+                            walk(dir, &child_path, out);
+                        }
+                    }
+                }
+            }
+        }
+        let root = self.root.read();
+        let mut entries = Vec::new();
+        walk(&root, "/", &mut entries);
+        let mut out = Vec::new();
+        out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        for (path, kind, mtime, data) in entries {
+            out.push(kind);
+            out.extend_from_slice(&(path.len() as u32).to_le_bytes());
+            out.extend_from_slice(path.as_bytes());
+            if kind == 1 {
+                out.extend_from_slice(&mtime.to_le_bytes());
+                out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+                out.extend_from_slice(&data);
+            }
+        }
+        let fds = self.fds.lock();
+        out.extend_from_slice(&fds.next.to_le_bytes());
+        out.extend_from_slice(&(fds.open.len() as u64).to_le_bytes());
+        let mut open: Vec<(&u64, &Handle)> = fds.open.iter().collect();
+        open.sort_unstable_by_key(|(fd, _)| **fd);
+        for (fd, handle) in open {
+            out.extend_from_slice(&fd.to_le_bytes());
+            let (kind, path) = match handle {
+                Handle::Dir(path) => (0u8, path),
+                Handle::File(path) => (1u8, path),
+            };
+            out.push(kind);
+            out.extend_from_slice(&(path.len() as u32).to_le_bytes());
+            out.extend_from_slice(path.as_bytes());
+        }
+        out
+    }
+
+    /// Replaces the file system's entire state with a snapshot produced by
+    /// [`MemFs::snapshot_bytes`]. Only called on a quiesced replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`psmr_recovery::RestoreError`] if the bytes do not decode.
+    pub fn restore_bytes(&self, bytes: &[u8]) -> Result<(), psmr_recovery::RestoreError> {
+        let mut cursor = Cursor { bytes, at: 0 };
+        let mut root = Node::new_dir();
+        let entries = cursor.u64("entry count")?;
+        for _ in 0..entries {
+            let kind = cursor.u8("entry kind")?;
+            let path = cursor.string("entry path")?;
+            let node = match kind {
+                0 => Node::new_dir(),
+                1 => {
+                    let mtime = cursor.u64("file mtime")?;
+                    let len = cursor.u64("file size")? as usize;
+                    let data = cursor.take(len, "file data")?.to_vec();
+                    Node::File {
+                        data: Mutex::new(data),
+                        mtime: Mutex::new(mtime),
+                    }
+                }
+                other => {
+                    return Err(psmr_recovery::RestoreError::new(format!(
+                        "entry kind {other}"
+                    )))
+                }
+            };
+            // Pre-order encoding: the parent directory always precedes its
+            // children, so insertion into the rebuilt tree cannot miss.
+            Self::with_parent_mut(&mut root, &path, |children, name| {
+                children.insert(name.to_string(), node);
+                Ok(())
+            })
+            .map_err(|_| psmr_recovery::RestoreError::new(format!("orphan path {path}")))?;
+        }
+        let mut fds = FdTable {
+            next: cursor.u64("fd counter")?,
+            open: HashMap::new(),
+        };
+        let open = cursor.u64("fd count")?;
+        for _ in 0..open {
+            let fd = cursor.u64("fd")?;
+            let kind = cursor.u8("fd kind")?;
+            let path = cursor.string("fd path")?;
+            let handle = match kind {
+                0 => Handle::Dir(path),
+                1 => Handle::File(path),
+                other => return Err(psmr_recovery::RestoreError::new(format!("fd kind {other}"))),
+            };
+            fds.open.insert(fd, handle);
+        }
+        if cursor.at != bytes.len() {
+            return Err(psmr_recovery::RestoreError::new("trailing bytes"));
+        }
+        *self.root.write() = root;
+        *self.fds.lock() = fds;
+        Ok(())
+    }
+
     /// Lists a directory's entries, sorted (determinism across replicas).
     pub fn readdir(&self, path: &str) -> Result<Vec<String>, i32> {
         let root = self.root.read();
@@ -364,6 +498,42 @@ impl MemFs {
 impl Default for MemFs {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Bounds-checked reader over a snapshot byte stream; every accessor names
+/// the structure it was decoding so malformed snapshots fail descriptively.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&[u8], psmr_recovery::RestoreError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|end| *end <= self.bytes.len())
+            .ok_or_else(|| psmr_recovery::RestoreError::new(what))?;
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, psmr_recovery::RestoreError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, psmr_recovery::RestoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, psmr_recovery::RestoreError> {
+        let len = u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")) as usize;
+        String::from_utf8(self.take(len, what)?.to_vec())
+            .map_err(|_| psmr_recovery::RestoreError::new(what))
     }
 }
 

@@ -83,7 +83,11 @@ pub enum NetFsOp {
     /// See [`READ`].
     Read { path: String, offset: u64, len: u32 },
     /// See [`WRITE`].
-    Write { path: String, offset: u64, data: Vec<u8> },
+    Write {
+        path: String,
+        offset: u64,
+        data: Vec<u8>,
+    },
     /// See [`READDIR`].
     Readdir { path: String },
 }
@@ -190,12 +194,24 @@ impl NetFsOp {
         }
         let (&tag, body) = body.split_first()?;
         Some(match tag {
-            0 => NetFsOp::Create { path: read_path(body)?.0 },
-            1 => NetFsOp::Mknod { path: read_path(body)?.0 },
-            2 => NetFsOp::Mkdir { path: read_path(body)?.0 },
-            3 => NetFsOp::Unlink { path: read_path(body)?.0 },
-            4 => NetFsOp::Rmdir { path: read_path(body)?.0 },
-            5 => NetFsOp::Open { path: read_path(body)?.0 },
+            0 => NetFsOp::Create {
+                path: read_path(body)?.0,
+            },
+            1 => NetFsOp::Mknod {
+                path: read_path(body)?.0,
+            },
+            2 => NetFsOp::Mkdir {
+                path: read_path(body)?.0,
+            },
+            3 => NetFsOp::Unlink {
+                path: read_path(body)?.0,
+            },
+            4 => NetFsOp::Rmdir {
+                path: read_path(body)?.0,
+            },
+            5 => NetFsOp::Open {
+                path: read_path(body)?.0,
+            },
             6 => {
                 let (path, rest) = read_path(body)?;
                 let mtime = u64::from_le_bytes(rest.get(0..8)?.try_into().ok()?);
@@ -204,12 +220,18 @@ impl NetFsOp {
             7 => NetFsOp::Release {
                 fd: u64::from_le_bytes(body.get(0..8)?.try_into().ok()?),
             },
-            8 => NetFsOp::Opendir { path: read_path(body)?.0 },
+            8 => NetFsOp::Opendir {
+                path: read_path(body)?.0,
+            },
             9 => NetFsOp::Releasedir {
                 fd: u64::from_le_bytes(body.get(0..8)?.try_into().ok()?),
             },
-            10 => NetFsOp::Access { path: read_path(body)?.0 },
-            11 => NetFsOp::Lstat { path: read_path(body)?.0 },
+            10 => NetFsOp::Access {
+                path: read_path(body)?.0,
+            },
+            11 => NetFsOp::Lstat {
+                path: read_path(body)?.0,
+            },
             12 => {
                 let (path, rest) = read_path(body)?;
                 let offset = u64::from_le_bytes(rest.get(0..8)?.try_into().ok()?);
@@ -223,7 +245,9 @@ impl NetFsOp {
                 let data = rest.get(12..12 + len)?.to_vec();
                 NetFsOp::Write { path, offset, data }
             }
-            14 => NetFsOp::Readdir { path: read_path(body)?.0 },
+            14 => NetFsOp::Readdir {
+                path: read_path(body)?.0,
+            },
             _ => return None,
         })
     }
@@ -326,12 +350,9 @@ impl NetFsResult {
                 let mut entries = Vec::with_capacity(n);
                 let mut at = 4usize;
                 for _ in 0..n {
-                    let len =
-                        u32::from_le_bytes(rest.get(at..at + 4)?.try_into().ok()?) as usize;
+                    let len = u32::from_le_bytes(rest.get(at..at + 4)?.try_into().ok()?) as usize;
                     at += 4;
-                    entries.push(
-                        String::from_utf8(rest.get(at..at + len)?.to_vec()).ok()?,
-                    );
+                    entries.push(String::from_utf8(rest.get(at..at + len)?.to_vec()).ok()?);
                     at += len;
                 }
                 NetFsResult::Entries(entries)
@@ -359,14 +380,25 @@ mod tests {
             NetFsOp::Unlink { path: "/a".into() },
             NetFsOp::Rmdir { path: "/d".into() },
             NetFsOp::Open { path: "/a".into() },
-            NetFsOp::Utimens { path: "/a".into(), mtime: 42 },
+            NetFsOp::Utimens {
+                path: "/a".into(),
+                mtime: 42,
+            },
             NetFsOp::Release { fd: 3 },
             NetFsOp::Opendir { path: "/d".into() },
             NetFsOp::Releasedir { fd: 4 },
             NetFsOp::Access { path: "/a".into() },
             NetFsOp::Lstat { path: "/a".into() },
-            NetFsOp::Read { path: "/a".into(), offset: 10, len: 1024 },
-            NetFsOp::Write { path: "/a".into(), offset: 0, data: vec![7; 1024] },
+            NetFsOp::Read {
+                path: "/a".into(),
+                offset: 10,
+                len: 1024,
+            },
+            NetFsOp::Write {
+                path: "/a".into(),
+                offset: 0,
+                data: vec![7; 1024],
+            },
             NetFsOp::Readdir { path: "/d".into() },
         ]
     }
@@ -391,7 +423,11 @@ mod tests {
             NetFsResult::Data(vec![1; 1024]),
             NetFsResult::Entries(vec!["a.txt".into(), "b.txt".into()]),
             NetFsResult::Fd(99),
-            NetFsResult::Stat(Stat { size: 512, is_dir: false, mtime: 7 }),
+            NetFsResult::Stat(Stat {
+                size: 512,
+                is_dir: false,
+                mtime: 7,
+            }),
         ];
         for r in results {
             assert_eq!(NetFsResult::decode(&r.encode()), Some(r));
@@ -425,8 +461,16 @@ mod tests {
     fn write_payloads_compress() {
         // A 1 KiB write of compressible data must shrink on the wire
         // (§VI-C: requests are compressed by the client).
-        let op = NetFsOp::Write { path: "/f".into(), offset: 0, data: vec![0u8; 1024] };
+        let op = NetFsOp::Write {
+            path: "/f".into(),
+            offset: 0,
+            data: vec![0u8; 1024],
+        };
         let payload = op.encode_payload();
-        assert!(payload.len() < 200, "compressed write is {} bytes", payload.len());
+        assert!(
+            payload.len() < 200,
+            "compressed write is {} bytes",
+            payload.len()
+        );
     }
 }

@@ -2,8 +2,8 @@
 
 use crate::fs::MemFs;
 use crate::ops::{
-    NetFsOp, NetFsResult, ACCESS, CREATE, LSTAT, MKDIR, MKNOD, OPEN, OPENDIR, READ,
-    READDIR, RELEASE, RELEASEDIR, RMDIR, UNLINK, UTIMENS, WRITE,
+    NetFsOp, NetFsResult, ACCESS, CREATE, LSTAT, MKDIR, MKNOD, OPEN, OPENDIR, READ, READDIR,
+    RELEASE, RELEASEDIR, RMDIR, UNLINK, UTIMENS, WRITE,
 };
 use psmr_common::ids::CommandId;
 use psmr_core::conflict::{CommandClass, DependencySpec};
@@ -32,14 +32,19 @@ impl NetFsService {
         for f in 0..files {
             let path = format!("/d{}/f{f}", f % dirs.max(1));
             service.fs.create(&path).expect("fresh file");
-            service.fs.write(&path, 0, &vec![b'x'; size]).expect("initial data");
+            service
+                .fs
+                .write(&path, 0, &vec![b'x'; size])
+                .expect("initial data");
         }
         service
     }
 
     /// Paths of the fixture created by [`NetFsService::with_tree`].
     pub fn tree_paths(dirs: u64, files: u64) -> Vec<String> {
-        (0..files).map(|f| format!("/d{}/f{f}", f % dirs.max(1))).collect()
+        (0..files)
+            .map(|f| format!("/d{}/f{f}", f % dirs.max(1)))
+            .collect()
     }
 }
 
@@ -53,12 +58,10 @@ impl Service for NetFsService {
         };
         debug_assert_eq!(op.command(), command, "payload/command mismatch");
         let result = match op {
-            NetFsOp::Create { path } | NetFsOp::Mknod { path } => {
-                match self.fs.create(&path) {
-                    Ok(()) => NetFsResult::Ok,
-                    Err(e) => NetFsResult::Err(e),
-                }
-            }
+            NetFsOp::Create { path } | NetFsOp::Mknod { path } => match self.fs.create(&path) {
+                Ok(()) => NetFsResult::Ok,
+                Err(e) => NetFsResult::Err(e),
+            },
             NetFsOp::Mkdir { path } => match self.fs.mkdir(&path) {
                 Ok(()) => NetFsResult::Ok,
                 Err(e) => NetFsResult::Err(e),
@@ -99,24 +102,33 @@ impl Service for NetFsService {
                 Ok(stat) => NetFsResult::Stat(stat),
                 Err(e) => NetFsResult::Err(e),
             },
-            NetFsOp::Read { path, offset, len } => {
-                match self.fs.read(&path, offset, len) {
-                    Ok(data) => NetFsResult::Data(data),
-                    Err(e) => NetFsResult::Err(e),
-                }
-            }
-            NetFsOp::Write { path, offset, data } => {
-                match self.fs.write(&path, offset, &data) {
-                    Ok(_) => NetFsResult::Ok,
-                    Err(e) => NetFsResult::Err(e),
-                }
-            }
+            NetFsOp::Read { path, offset, len } => match self.fs.read(&path, offset, len) {
+                Ok(data) => NetFsResult::Data(data),
+                Err(e) => NetFsResult::Err(e),
+            },
+            NetFsOp::Write { path, offset, data } => match self.fs.write(&path, offset, &data) {
+                Ok(_) => NetFsResult::Ok,
+                Err(e) => NetFsResult::Err(e),
+            },
             NetFsOp::Readdir { path } => match self.fs.readdir(&path) {
                 Ok(entries) => NetFsResult::Entries(entries),
                 Err(e) => NetFsResult::Err(e),
             },
         };
         result.encode()
+    }
+}
+
+impl psmr_recovery::Snapshot for NetFsService {
+    /// Deterministic encoding of the whole replica state: the directory
+    /// tree (pre-order, sorted names) followed by the shared fd table
+    /// (ascending descriptor order) — see [`MemFs::snapshot_bytes`].
+    fn snapshot(&self) -> Vec<u8> {
+        self.fs.snapshot_bytes()
+    }
+
+    fn restore(&self, snapshot: &[u8]) -> Result<(), psmr_recovery::RestoreError> {
+        self.fs.restore_bytes(snapshot)
     }
 }
 
@@ -134,9 +146,7 @@ pub fn dependency_spec() -> DependencySpec {
     }
     spec.declare(WRITE, CommandClass::Keyed { writes: true });
     // Payloads carry the uncompressed path-hash key in their first 8 bytes.
-    spec.key_extractor(|payload| {
-        u64::from_le_bytes(payload[..8].try_into().expect("key prefix"))
-    });
+    spec.key_extractor(|payload| u64::from_le_bytes(payload[..8].try_into().expect("key prefix")));
     spec
 }
 
@@ -153,37 +163,73 @@ mod tests {
     #[test]
     fn full_session_through_the_marshalled_interface() {
         let service = NetFsService::new();
-        assert_eq!(run(&service, NetFsOp::Mkdir { path: "/d".into() }), NetFsResult::Ok);
         assert_eq!(
-            run(&service, NetFsOp::Create { path: "/d/f".into() }),
+            run(&service, NetFsOp::Mkdir { path: "/d".into() }),
             NetFsResult::Ok
         );
         assert_eq!(
             run(
                 &service,
-                NetFsOp::Write { path: "/d/f".into(), offset: 0, data: b"abc".to_vec() }
+                NetFsOp::Create {
+                    path: "/d/f".into()
+                }
             ),
             NetFsResult::Ok
         );
         assert_eq!(
-            run(&service, NetFsOp::Read { path: "/d/f".into(), offset: 0, len: 3 }),
+            run(
+                &service,
+                NetFsOp::Write {
+                    path: "/d/f".into(),
+                    offset: 0,
+                    data: b"abc".to_vec()
+                }
+            ),
+            NetFsResult::Ok
+        );
+        assert_eq!(
+            run(
+                &service,
+                NetFsOp::Read {
+                    path: "/d/f".into(),
+                    offset: 0,
+                    len: 3
+                }
+            ),
             NetFsResult::Data(b"abc".to_vec())
         );
         assert_eq!(
             run(&service, NetFsOp::Readdir { path: "/d".into() }),
             NetFsResult::Entries(vec!["f".into()])
         );
-        let fd = match run(&service, NetFsOp::Open { path: "/d/f".into() }) {
+        let fd = match run(
+            &service,
+            NetFsOp::Open {
+                path: "/d/f".into(),
+            },
+        ) {
             NetFsResult::Fd(fd) => fd,
             other => panic!("expected fd, got {other:?}"),
         };
         assert_eq!(run(&service, NetFsOp::Release { fd }), NetFsResult::Ok);
         assert_eq!(
-            run(&service, NetFsOp::Unlink { path: "/d/f".into() }),
+            run(
+                &service,
+                NetFsOp::Unlink {
+                    path: "/d/f".into()
+                }
+            ),
             NetFsResult::Ok
         );
         assert_eq!(
-            run(&service, NetFsOp::Read { path: "/d/f".into(), offset: 0, len: 1 }),
+            run(
+                &service,
+                NetFsOp::Read {
+                    path: "/d/f".into(),
+                    offset: 0,
+                    len: 1
+                }
+            ),
             NetFsResult::Err(ENOENT)
         );
     }
@@ -210,30 +256,148 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_restore_round_trips_tree_and_fd_table() {
+        use psmr_recovery::Snapshot;
+        let service = NetFsService::with_tree(3, 9, 64);
+        run(
+            &service,
+            NetFsOp::Write {
+                path: "/d1/f1".into(),
+                offset: 2,
+                data: b"zz".to_vec(),
+            },
+        );
+        run(
+            &service,
+            NetFsOp::Utimens {
+                path: "/d2/f2".into(),
+                mtime: 777,
+            },
+        );
+        let fd = match run(
+            &service,
+            NetFsOp::Open {
+                path: "/d0/f0".into(),
+            },
+        ) {
+            NetFsResult::Fd(fd) => fd,
+            other => panic!("expected fd, got {other:?}"),
+        };
+        let snap = service.snapshot();
+        // A twin that executed the same (order-insensitive) commands
+        // snapshots identical bytes.
+        let twin = NetFsService::with_tree(3, 9, 64);
+        run(
+            &twin,
+            NetFsOp::Utimens {
+                path: "/d2/f2".into(),
+                mtime: 777,
+            },
+        );
+        run(
+            &twin,
+            NetFsOp::Write {
+                path: "/d1/f1".into(),
+                offset: 2,
+                data: b"zz".to_vec(),
+            },
+        );
+        run(
+            &twin,
+            NetFsOp::Open {
+                path: "/d0/f0".into(),
+            },
+        );
+        assert_eq!(twin.snapshot(), snap);
+        // Restoring into a divergent replica reproduces everything,
+        // including the open-descriptor table.
+        let recovered = NetFsService::with_tree(1, 1, 8);
+        recovered.restore(&snap).expect("restores");
+        assert_eq!(recovered.snapshot(), snap);
+        assert_eq!(
+            run(
+                &recovered,
+                NetFsOp::Read {
+                    path: "/d1/f1".into(),
+                    offset: 0,
+                    len: 64
+                }
+            ),
+            run(
+                &service,
+                NetFsOp::Read {
+                    path: "/d1/f1".into(),
+                    offset: 0,
+                    len: 64
+                }
+            ),
+        );
+        match run(
+            &recovered,
+            NetFsOp::Lstat {
+                path: "/d2/f2".into(),
+            },
+        ) {
+            NetFsResult::Stat(stat) => assert_eq!(stat.mtime, 777),
+            other => panic!("lstat: {other:?}"),
+        }
+        // The restored fd table still knows the open descriptor and keeps
+        // allocating past it.
+        assert_eq!(run(&recovered, NetFsOp::Release { fd }), NetFsResult::Ok);
+        match run(
+            &recovered,
+            NetFsOp::Open {
+                path: "/d0/f0".into(),
+            },
+        ) {
+            NetFsResult::Fd(next) => assert!(next > fd, "fd counter restored"),
+            other => panic!("reopen: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected() {
+        use psmr_recovery::Snapshot;
+        let service = NetFsService::new();
+        assert!(service.restore(&[1, 2, 3]).is_err(), "truncated header");
+        let mut bad = 1u64.to_le_bytes().to_vec();
+        bad.push(7); // unknown entry kind
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(b"/x");
+        assert!(service.restore(&bad).is_err(), "unknown kind");
+        // A valid snapshot with trailing garbage is rejected too.
+        let mut trailing = service.snapshot();
+        trailing.push(0);
+        assert!(service.restore(&trailing).is_err(), "trailing bytes");
+    }
+
+    #[test]
     fn spec_declares_every_command() {
         let map = dependency_spec().into_map();
         for cmd in [
-            CREATE, MKNOD, MKDIR, UNLINK, RMDIR, OPEN, UTIMENS, RELEASE, OPENDIR,
-            RELEASEDIR, ACCESS, LSTAT, READ, WRITE, READDIR,
+            CREATE, MKNOD, MKDIR, UNLINK, RMDIR, OPEN, UTIMENS, RELEASE, OPENDIR, RELEASEDIR,
+            ACCESS, LSTAT, READ, WRITE, READDIR,
         ] {
             let _ = map.class(cmd); // would panic if undeclared
         }
         // Same-path read/write conflict; different paths don't.
-        let w1 = NetFsOp::Write { path: "/a".into(), offset: 0, data: vec![] };
-        let r1 = NetFsOp::Read { path: "/a".into(), offset: 0, len: 1 };
-        let r2 = NetFsOp::Read { path: "/b".into(), offset: 0, len: 1 };
-        assert!(map.conflicts(
-            WRITE,
-            &w1.encode_payload(),
-            READ,
-            &r1.encode_payload()
-        ));
-        assert!(!map.conflicts(
-            WRITE,
-            &w1.encode_payload(),
-            READ,
-            &r2.encode_payload()
-        ));
+        let w1 = NetFsOp::Write {
+            path: "/a".into(),
+            offset: 0,
+            data: vec![],
+        };
+        let r1 = NetFsOp::Read {
+            path: "/a".into(),
+            offset: 0,
+            len: 1,
+        };
+        let r2 = NetFsOp::Read {
+            path: "/b".into(),
+            offset: 0,
+            len: 1,
+        };
+        assert!(map.conflicts(WRITE, &w1.encode_payload(), READ, &r1.encode_payload()));
+        assert!(!map.conflicts(WRITE, &w1.encode_payload(), READ, &r2.encode_payload()));
         // Structural calls conflict with everything.
         let mk = NetFsOp::Mkdir { path: "/x".into() };
         assert!(map.conflicts(MKDIR, &mk.encode_payload(), READ, &r2.encode_payload()));

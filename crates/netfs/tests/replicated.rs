@@ -15,16 +15,23 @@ fn cfg(mpl: usize) -> SystemConfig {
 }
 
 fn exercise(mut fs: NetFsClient, label: &str) {
-    fs.mkdir("/home").unwrap_or_else(|e| panic!("{label}: mkdir {e}"));
+    fs.mkdir("/home")
+        .unwrap_or_else(|e| panic!("{label}: mkdir {e}"));
     fs.mkdir("/home/user").unwrap();
     fs.create("/home/user/notes.txt").unwrap();
-    fs.write("/home/user/notes.txt", 0, b"first line\n").unwrap();
-    fs.write("/home/user/notes.txt", 11, b"second line\n").unwrap();
+    fs.write("/home/user/notes.txt", 0, b"first line\n")
+        .unwrap();
+    fs.write("/home/user/notes.txt", 11, b"second line\n")
+        .unwrap();
     let data = fs.read("/home/user/notes.txt", 0, 1024).unwrap();
     assert_eq!(data, b"first line\nsecond line\n", "{label}");
     let stat = fs.lstat("/home/user/notes.txt").unwrap();
     assert_eq!(stat.size, 23, "{label}");
-    assert_eq!(fs.readdir("/home/user").unwrap(), vec!["notes.txt"], "{label}");
+    assert_eq!(
+        fs.readdir("/home/user").unwrap(),
+        vec!["notes.txt"],
+        "{label}"
+    );
     let fd = fs.open("/home/user/notes.txt").unwrap();
     fs.release(fd).unwrap();
     fs.unlink("/home/user/notes.txt").unwrap();
@@ -35,8 +42,7 @@ fn exercise(mut fs: NetFsClient, label: &str) {
 
 #[test]
 fn netfs_over_psmr() {
-    let engine =
-        PsmrEngine::spawn(&cfg(4), dependency_spec().into_map(), NetFsService::new);
+    let engine = PsmrEngine::spawn(&cfg(4), dependency_spec().into_map(), NetFsService::new);
     exercise(NetFsClient::new(engine.client()), "P-SMR");
     engine.shutdown();
 }
@@ -50,8 +56,7 @@ fn netfs_over_smr() {
 
 #[test]
 fn netfs_over_spsmr() {
-    let engine =
-        SpSmrEngine::spawn(&cfg(4), dependency_spec().into_map(), NetFsService::new);
+    let engine = SpSmrEngine::spawn(&cfg(4), dependency_spec().into_map(), NetFsService::new);
     exercise(NetFsClient::new(engine.client()), "sP-SMR");
     engine.shutdown();
 }
@@ -89,8 +94,7 @@ fn netfs_concurrent_clients_on_disjoint_files() {
 
 #[test]
 fn netfs_fd_table_is_consistent_across_structural_ops() {
-    let engine =
-        PsmrEngine::spawn(&cfg(3), dependency_spec().into_map(), NetFsService::new);
+    let engine = PsmrEngine::spawn(&cfg(3), dependency_spec().into_map(), NetFsService::new);
     let mut fs = NetFsClient::new(engine.client());
     fs.create("/a").unwrap();
     fs.create("/b").unwrap();

@@ -34,7 +34,10 @@ impl LinkFault {
 
     /// A fault that only drops, with the given probability.
     pub fn loss(loss: f64) -> Self {
-        Self { delay: Duration::ZERO, loss }
+        Self {
+            delay: Duration::ZERO,
+            loss,
+        }
     }
 }
 
@@ -74,7 +77,10 @@ pub struct LiveNet<M> {
 
 impl<M> Clone for LiveNet<M> {
     fn clone(&self) -> Self {
-        Self { shared: Arc::clone(&self.shared), rng_seed: self.rng_seed }
+        Self {
+            shared: Arc::clone(&self.shared),
+            rng_seed: self.rng_seed,
+        }
     }
 }
 
@@ -120,9 +126,8 @@ impl<M: Send + 'static> LiveNet<M> {
             if fault.loss > 0.0 {
                 // Cheap thread-local-free decision; determinism is not
                 // needed on the live path.
-                let mut rng = StdRng::seed_from_u64(
-                    self.rng_seed ^ (from.as_raw() << 32) ^ to.as_raw(),
-                );
+                let mut rng =
+                    StdRng::seed_from_u64(self.rng_seed ^ (from.as_raw() << 32) ^ to.as_raw());
                 if rng.gen_bool(fault.loss) {
                     return false;
                 }
@@ -268,7 +273,7 @@ mod tests {
             h.join().unwrap();
         }
         let mut got = 0;
-        while let Ok(_) = rx.try_recv() {
+        while rx.try_recv().is_ok() {
             got += 1;
         }
         assert_eq!(got, 800);

@@ -54,14 +54,24 @@ pub struct SimConfig {
 impl Default for SimConfig {
     /// A fair but jittery network: 10–500 µs latency, no loss.
     fn default() -> Self {
-        Self { min_delay_us: 10, max_delay_us: 500, loss: 0.0, duplicate: 0.0 }
+        Self {
+            min_delay_us: 10,
+            max_delay_us: 500,
+            loss: 0.0,
+            duplicate: 0.0,
+        }
     }
 }
 
 impl SimConfig {
     /// A lossy, highly reordering network for adversarial tests.
     pub fn adversarial() -> Self {
-        Self { min_delay_us: 1, max_delay_us: 10_000, loss: 0.05, duplicate: 0.05 }
+        Self {
+            min_delay_us: 1,
+            max_delay_us: 10_000,
+            loss: 0.05,
+            duplicate: 0.05,
+        }
     }
 }
 
@@ -175,15 +185,15 @@ impl<M: Clone> SimNetwork<M> {
             self.dropped += 1;
             return;
         }
-        let copies =
-            if self.config.duplicate > 0.0 && self.rng.gen_bool(self.config.duplicate) {
-                2
-            } else {
-                1
-            };
+        let copies = if self.config.duplicate > 0.0 && self.rng.gen_bool(self.config.duplicate) {
+            2
+        } else {
+            1
+        };
         for _ in 0..copies {
-            let delay =
-                self.rng.gen_range(self.config.min_delay_us..=self.config.max_delay_us);
+            let delay = self
+                .rng
+                .gen_range(self.config.min_delay_us..=self.config.max_delay_us);
             self.seq += 1;
             self.queue.push(Reverse(Queued {
                 at_us: self.now_us + delay,
@@ -207,7 +217,12 @@ impl<M: Clone> SimNetwork<M> {
                 self.dropped += 1;
                 continue;
             }
-            return Some(Delivery { from: q.from, to: q.to, message: q.message, at_us: q.at_us });
+            return Some(Delivery {
+                from: q.from,
+                to: q.to,
+                message: q.message,
+                at_us: q.at_us,
+            });
         }
         None
     }
@@ -331,7 +346,10 @@ mod tests {
 
     #[test]
     fn loss_drops_roughly_the_configured_fraction() {
-        let cfg = SimConfig { loss: 0.5, ..SimConfig::default() };
+        let cfg = SimConfig {
+            loss: 0.5,
+            ..SimConfig::default()
+        };
         let mut net: SimNetwork<u32> = SimNetwork::new(cfg, 3);
         for i in 0..1000 {
             net.send(n(0), n(1), i);
@@ -342,10 +360,15 @@ mod tests {
 
     #[test]
     fn duplication_delivers_extra_copies() {
-        let cfg = SimConfig { duplicate: 1.0, ..SimConfig::default() };
+        let cfg = SimConfig {
+            duplicate: 1.0,
+            ..SimConfig::default()
+        };
         let mut net: SimNetwork<u32> = SimNetwork::new(cfg, 3);
         net.send(n(0), n(1), 42);
-        let copies = std::iter::from_fn(|| net.step()).filter(|d| d.message == 42).count();
+        let copies = std::iter::from_fn(|| net.step())
+            .filter(|d| d.message == 42)
+            .count();
         assert_eq!(copies, 2);
     }
 

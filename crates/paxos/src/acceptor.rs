@@ -30,7 +30,10 @@ pub struct Acceptor<V> {
 impl<V: Clone> Acceptor<V> {
     /// Creates an acceptor that has promised nothing.
     pub fn new() -> Self {
-        Self { promised: Ballot::ZERO, accepted: BTreeMap::new() }
+        Self {
+            promised: Ballot::ZERO,
+            accepted: BTreeMap::new(),
+        }
     }
 
     /// Highest ballot promised so far.
@@ -54,7 +57,10 @@ impl<V: Clone> Acceptor<V> {
     /// `Nack`; other messages are ignored (`None`).
     pub fn handle(&mut self, msg: PaxosMsg<V>) -> Option<PaxosMsg<V>> {
         match msg {
-            PaxosMsg::Prepare { ballot, from_instance } => {
+            PaxosMsg::Prepare {
+                ballot,
+                from_instance,
+            } => {
                 // `>=` (not `>`) makes re-prepares of the promised ballot
                 // idempotent: with network reordering a proposer's Prepare
                 // may arrive after one of its own Accepts already bumped the
@@ -71,16 +77,26 @@ impl<V: Clone> Acceptor<V> {
                         .collect();
                     Some(PaxosMsg::Promise { ballot, accepted })
                 } else {
-                    Some(PaxosMsg::Nack { rejected: ballot, promised: self.promised })
+                    Some(PaxosMsg::Nack {
+                        rejected: ballot,
+                        promised: self.promised,
+                    })
                 }
             }
-            PaxosMsg::Accept { ballot, instance, value } => {
+            PaxosMsg::Accept {
+                ballot,
+                instance,
+                value,
+            } => {
                 if ballot >= self.promised {
                     self.promised = ballot;
                     self.accepted.insert(instance, (ballot, value));
                     Some(PaxosMsg::Accepted { ballot, instance })
                 } else {
-                    Some(PaxosMsg::Nack { rejected: ballot, promised: self.promised })
+                    Some(PaxosMsg::Nack {
+                        rejected: ballot,
+                        promised: self.promised,
+                    })
                 }
             }
             // Promise/Accepted/Nack/Decide are proposer- or learner-bound.
@@ -100,21 +116,40 @@ mod tests {
     use super::*;
 
     fn prepare(round: u64) -> PaxosMsg<u32> {
-        PaxosMsg::Prepare { ballot: Ballot::new(round, 0), from_instance: 0 }
+        PaxosMsg::Prepare {
+            ballot: Ballot::new(round, 0),
+            from_instance: 0,
+        }
     }
 
     fn accept(round: u64, instance: Instance, value: u32) -> PaxosMsg<u32> {
-        PaxosMsg::Accept { ballot: Ballot::new(round, 0), instance, value }
+        PaxosMsg::Accept {
+            ballot: Ballot::new(round, 0),
+            instance,
+            value,
+        }
     }
 
     #[test]
     fn promises_higher_ballots_only() {
         let mut acc: Acceptor<u32> = Acceptor::new();
-        assert!(matches!(acc.handle(prepare(2)), Some(PaxosMsg::Promise { .. })));
+        assert!(matches!(
+            acc.handle(prepare(2)),
+            Some(PaxosMsg::Promise { .. })
+        ));
         // Same ballot again: idempotent re-promise.
-        assert!(matches!(acc.handle(prepare(2)), Some(PaxosMsg::Promise { .. })));
-        assert!(matches!(acc.handle(prepare(1)), Some(PaxosMsg::Nack { .. })));
-        assert!(matches!(acc.handle(prepare(3)), Some(PaxosMsg::Promise { .. })));
+        assert!(matches!(
+            acc.handle(prepare(2)),
+            Some(PaxosMsg::Promise { .. })
+        ));
+        assert!(matches!(
+            acc.handle(prepare(1)),
+            Some(PaxosMsg::Nack { .. })
+        ));
+        assert!(matches!(
+            acc.handle(prepare(3)),
+            Some(PaxosMsg::Promise { .. })
+        ));
         assert_eq!(acc.promised(), Ballot::new(3, 0));
     }
 
@@ -123,7 +158,10 @@ mod tests {
         let mut acc: Acceptor<u32> = Acceptor::new();
         acc.handle(prepare(5));
         // Equal ballot accepted.
-        assert!(matches!(acc.handle(accept(5, 0, 10)), Some(PaxosMsg::Accepted { .. })));
+        assert!(matches!(
+            acc.handle(accept(5, 0, 10)),
+            Some(PaxosMsg::Accepted { .. })
+        ));
         // Stale ballot rejected, reveals promised ballot.
         match acc.handle(accept(4, 1, 11)) {
             Some(PaxosMsg::Nack { rejected, promised }) => {
@@ -139,7 +177,10 @@ mod tests {
     #[test]
     fn accept_with_higher_ballot_bumps_promise() {
         let mut acc: Acceptor<u32> = Acceptor::new();
-        assert!(matches!(acc.handle(accept(7, 0, 1)), Some(PaxosMsg::Accepted { .. })));
+        assert!(matches!(
+            acc.handle(accept(7, 0, 1)),
+            Some(PaxosMsg::Accepted { .. })
+        ));
         assert_eq!(acc.promised(), Ballot::new(7, 0));
         // A (reordered) Prepare of the same ballot is re-promised, and the
         // promise reports the accepted value so no information is lost.
@@ -149,7 +190,10 @@ mod tests {
             }
             other => panic!("expected idempotent promise, got {other:?}"),
         }
-        assert!(matches!(acc.handle(prepare(6)), Some(PaxosMsg::Nack { .. })));
+        assert!(matches!(
+            acc.handle(prepare(6)),
+            Some(PaxosMsg::Nack { .. })
+        ));
     }
 
     #[test]
@@ -157,7 +201,10 @@ mod tests {
         let mut acc: Acceptor<u32> = Acceptor::new();
         acc.handle(accept(1, 3, 30));
         acc.handle(accept(1, 7, 70));
-        match acc.handle(PaxosMsg::Prepare { ballot: Ballot::new(2, 1), from_instance: 5 }) {
+        match acc.handle(PaxosMsg::Prepare {
+            ballot: Ballot::new(2, 1),
+            from_instance: 5,
+        }) {
             Some(PaxosMsg::Promise { accepted, .. }) => {
                 assert_eq!(accepted, vec![(7, Ballot::new(1, 0), 70)]);
             }
@@ -177,9 +224,17 @@ mod tests {
     #[test]
     fn ignores_peer_replies() {
         let mut acc: Acceptor<u32> = Acceptor::new();
-        assert!(acc.handle(PaxosMsg::Decide { instance: 0, value: 1 }).is_none());
         assert!(acc
-            .handle(PaxosMsg::Accepted { ballot: Ballot::ZERO, instance: 0 })
+            .handle(PaxosMsg::Decide {
+                instance: 0,
+                value: 1
+            })
+            .is_none());
+        assert!(acc
+            .handle(PaxosMsg::Accepted {
+                ballot: Ballot::ZERO,
+                instance: 0
+            })
             .is_none());
     }
 }

@@ -29,7 +29,10 @@ pub struct Ballot {
 
 impl Ballot {
     /// The null ballot, smaller than any ballot a proposer emits.
-    pub const ZERO: Ballot = Ballot { round: 0, proposer: 0 };
+    pub const ZERO: Ballot = Ballot {
+        round: 0,
+        proposer: 0,
+    };
 
     /// Creates a ballot.
     pub const fn new(round: u64, proposer: u64) -> Self {
@@ -38,7 +41,10 @@ impl Ballot {
 
     /// The smallest ballot owned by `proposer` that is larger than `self`.
     pub const fn next_for(self, proposer: u64) -> Self {
-        Self { round: self.round + 1, proposer }
+        Self {
+            round: self.round + 1,
+            proposer,
+        }
     }
 }
 

@@ -73,21 +73,26 @@ impl<V: Clone> Learner<V> {
     /// to de-duplicate acceptor votes).
     pub fn observe(&mut self, from: u64, msg: PaxosMsg<V>) {
         match msg {
-            PaxosMsg::Accept { ballot, instance, value } => {
+            PaxosMsg::Accept {
+                ballot,
+                instance,
+                value,
+            } => {
                 self.proposals.insert((instance, ballot), value);
                 self.maybe_choose(instance, ballot);
             }
             PaxosMsg::Accepted { ballot, instance } => {
-                self.votes.entry((instance, ballot)).or_default().insert(from);
+                self.votes
+                    .entry((instance, ballot))
+                    .or_default()
+                    .insert(from);
                 self.maybe_choose(instance, ballot);
             }
-            PaxosMsg::Decide { instance, value } => {
-                // A Decide may arrive after the learner already chose (and
-                // delivered) the instance via a quorum of Accepted votes;
-                // re-inserting it would deliver the instance twice.
-                if instance >= self.next_delivery {
-                    self.chosen.entry(instance).or_insert(value);
-                }
+            // A Decide may arrive after the learner already chose (and
+            // delivered) the instance via a quorum of Accepted votes;
+            // re-inserting it would deliver the instance twice.
+            PaxosMsg::Decide { instance, value } if instance >= self.next_delivery => {
+                self.chosen.entry(instance).or_insert(value);
             }
             _ => {}
         }
@@ -131,11 +136,18 @@ mod tests {
     use super::*;
 
     fn accept(instance: Instance, round: u64, value: u32) -> PaxosMsg<u32> {
-        PaxosMsg::Accept { ballot: Ballot::new(round, 0), instance, value }
+        PaxosMsg::Accept {
+            ballot: Ballot::new(round, 0),
+            instance,
+            value,
+        }
     }
 
     fn accepted(instance: Instance, round: u64) -> PaxosMsg<u32> {
-        PaxosMsg::Accepted { ballot: Ballot::new(round, 0), instance }
+        PaxosMsg::Accepted {
+            ballot: Ballot::new(round, 0),
+            instance,
+        }
     }
 
     #[test]
@@ -185,7 +197,13 @@ mod tests {
     #[test]
     fn decide_shortcut_delivers_without_votes() {
         let mut l: Learner<u32> = Learner::new(3);
-        l.observe(0, PaxosMsg::Decide { instance: 0, value: 5 });
+        l.observe(
+            0,
+            PaxosMsg::Decide {
+                instance: 0,
+                value: 5,
+            },
+        );
         assert_eq!(l.poll(), vec![5]);
     }
 
@@ -218,7 +236,13 @@ mod tests {
         l.observe(0, accepted(0, 1));
         assert_eq!(l.poll(), vec![1]);
         // A distinguished learner's Decide for the same instance arrives late.
-        l.observe(9, PaxosMsg::Decide { instance: 0, value: 1 });
+        l.observe(
+            9,
+            PaxosMsg::Decide {
+                instance: 0,
+                value: 1,
+            },
+        );
         assert!(l.poll().is_empty(), "instance 0 must not deliver twice");
     }
 

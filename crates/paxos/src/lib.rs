@@ -43,4 +43,4 @@ pub mod runtime;
 
 pub use ballot::Ballot;
 pub use msg::{Instance, PaxosMsg};
-pub use runtime::{DecidedBatch, GroupHandle, PaxosGroup};
+pub use runtime::{Batch, DecidedBatch, GroupHandle, NetMsg, PaxosGroup, SubscribeError};

@@ -74,10 +74,16 @@ mod tests {
 
     #[test]
     fn messages_are_cloneable_and_comparable() {
-        let m: PaxosMsg<u32> =
-            PaxosMsg::Accept { ballot: Ballot::new(1, 0), instance: 3, value: 42 };
+        let m: PaxosMsg<u32> = PaxosMsg::Accept {
+            ballot: Ballot::new(1, 0),
+            instance: 3,
+            value: 42,
+        };
         assert_eq!(m.clone(), m);
-        let d: PaxosMsg<u32> = PaxosMsg::Decide { instance: 3, value: 42 };
+        let d: PaxosMsg<u32> = PaxosMsg::Decide {
+            instance: 3,
+            value: 42,
+        };
         assert_ne!(format!("{d:?}"), "");
     }
 }

@@ -101,7 +101,10 @@ impl<V: Clone> Proposer<V> {
         self.phase = Phase::Preparing;
         self.promised_by.clear();
         self.recovered.clear();
-        PaxosMsg::Prepare { ballot: self.ballot, from_instance: self.next_delivery }
+        PaxosMsg::Prepare {
+            ballot: self.ballot,
+            from_instance: self.next_delivery,
+        }
     }
 
     /// Queues a value for consensus. If the proposer is leading, the value
@@ -135,7 +138,11 @@ impl<V: Clone> Proposer<V> {
                     decided: false,
                 },
             );
-            out.push(PaxosMsg::Accept { ballot: self.ballot, instance, value });
+            out.push(PaxosMsg::Accept {
+                ballot: self.ballot,
+                instance,
+                value,
+            });
         }
         out
     }
@@ -220,7 +227,11 @@ impl<V: Clone> Proposer<V> {
                     decided: false,
                 },
             );
-            out.push(PaxosMsg::Accept { ballot: self.ballot, instance, value });
+            out.push(PaxosMsg::Accept {
+                ballot: self.ballot,
+                instance,
+                value,
+            });
         }
         out.extend(self.flush_pending());
         out
@@ -271,7 +282,10 @@ mod tests {
         let mut prop: Proposer<u32> = Proposer::new(0, 3);
         let prepare = prop.start();
         assert!(!prop.is_leading());
-        let promise = PaxosMsg::Promise { ballot: prop.ballot(), accepted: vec![] };
+        let promise = PaxosMsg::Promise {
+            ballot: prop.ballot(),
+            accepted: vec![],
+        };
         prop.handle(0, promise.clone());
         assert!(!prop.is_leading(), "one promise is not a quorum of 3");
         prop.handle(1, promise);
@@ -283,7 +297,10 @@ mod tests {
     fn duplicate_promises_do_not_fake_a_quorum() {
         let mut prop: Proposer<u32> = Proposer::new(0, 3);
         prop.start();
-        let promise = PaxosMsg::Promise { ballot: prop.ballot(), accepted: vec![] };
+        let promise = PaxosMsg::Promise {
+            ballot: prop.ballot(),
+            accepted: vec![],
+        };
         prop.handle(0, promise.clone());
         prop.handle(0, promise);
         assert!(!prop.is_leading());
@@ -300,13 +317,15 @@ mod tests {
         let mut prop: Proposer<u32> = Proposer::new(0, 3);
         assert!(prop.submit(99).is_empty(), "not leading yet");
         prop.start();
-        let promise = PaxosMsg::Promise { ballot: prop.ballot(), accepted: vec![] };
+        let promise = PaxosMsg::Promise {
+            ballot: prop.ballot(),
+            accepted: vec![],
+        };
         prop.handle(0, promise.clone());
         let out = prop.handle(1, promise);
         assert!(
-            out.iter().any(
-                |m| matches!(m, PaxosMsg::Accept { value, .. } if *value == 99)
-            ),
+            out.iter()
+                .any(|m| matches!(m, PaxosMsg::Accept { value, .. } if *value == 99)),
             "queued value proposed on leadership: {out:?}"
         );
     }
@@ -319,11 +338,24 @@ mod tests {
         // Acceptor 0 reports it accepted 77 at instance 0 under an older ballot.
         prop.handle(
             0,
-            PaxosMsg::Promise { ballot: b, accepted: vec![(0, Ballot::new(1, 0), 77)] },
+            PaxosMsg::Promise {
+                ballot: b,
+                accepted: vec![(0, Ballot::new(1, 0), 77)],
+            },
         );
-        let out = prop.handle(1, PaxosMsg::Promise { ballot: b, accepted: vec![] });
+        let out = prop.handle(
+            1,
+            PaxosMsg::Promise {
+                ballot: b,
+                accepted: vec![],
+            },
+        );
         match &out[..] {
-            [PaxosMsg::Accept { instance: 0, value: 77, .. }] => {}
+            [PaxosMsg::Accept {
+                instance: 0,
+                value: 77,
+                ..
+            }] => {}
             other => panic!("expected re-proposal of 77, got {other:?}"),
         }
     }
@@ -335,16 +367,27 @@ mod tests {
         let b = prop.ballot();
         prop.handle(
             0,
-            PaxosMsg::Promise { ballot: b, accepted: vec![(0, Ballot::new(1, 0), 7)] },
+            PaxosMsg::Promise {
+                ballot: b,
+                accepted: vec![(0, Ballot::new(1, 0), 7)],
+            },
         );
         let out = prop.handle(
             1,
-            PaxosMsg::Promise { ballot: b, accepted: vec![(0, Ballot::new(2, 0), 8)] },
+            PaxosMsg::Promise {
+                ballot: b,
+                accepted: vec![(0, Ballot::new(2, 0), 8)],
+            },
         );
         assert!(
-            out.iter().any(
-                |m| matches!(m, PaxosMsg::Accept { instance: 0, value: 8, .. })
-            ),
+            out.iter().any(|m| matches!(
+                m,
+                PaxosMsg::Accept {
+                    instance: 0,
+                    value: 8,
+                    ..
+                }
+            )),
             "value accepted under the higher ballot must win: {out:?}"
         );
     }
@@ -353,17 +396,30 @@ mod tests {
     fn quorum_of_accepted_emits_decide() {
         let mut prop: Proposer<u32> = Proposer::new(0, 3);
         prop.start();
-        let promise = PaxosMsg::Promise { ballot: prop.ballot(), accepted: vec![] };
+        let promise = PaxosMsg::Promise {
+            ballot: prop.ballot(),
+            accepted: vec![],
+        };
         prop.handle(0, promise.clone());
         prop.handle(1, promise);
         let accepts = prop.submit(5);
         let (ballot, instance) = match &accepts[..] {
-            [PaxosMsg::Accept { ballot, instance, .. }] => (*ballot, *instance),
+            [PaxosMsg::Accept {
+                ballot, instance, ..
+            }] => (*ballot, *instance),
             other => panic!("expected one accept, got {other:?}"),
         };
-        assert!(prop.handle(0, PaxosMsg::Accepted { ballot, instance }).is_empty());
+        assert!(prop
+            .handle(0, PaxosMsg::Accepted { ballot, instance })
+            .is_empty());
         let out = prop.handle(1, PaxosMsg::Accepted { ballot, instance });
-        assert!(matches!(&out[..], [PaxosMsg::Decide { instance: 0, value: 5 }]));
+        assert!(matches!(
+            &out[..],
+            [PaxosMsg::Decide {
+                instance: 0,
+                value: 5
+            }]
+        ));
         assert_eq!(prop.take_decided(), vec![(0, 5)]);
         assert_eq!(prop.take_decided(), vec![], "decisions drained once");
     }
@@ -372,23 +428,52 @@ mod tests {
     fn decisions_are_delivered_in_contiguous_order() {
         let mut prop: Proposer<u32> = Proposer::new(0, 3);
         prop.start();
-        let promise = PaxosMsg::Promise { ballot: prop.ballot(), accepted: vec![] };
+        let promise = PaxosMsg::Promise {
+            ballot: prop.ballot(),
+            accepted: vec![],
+        };
         prop.handle(0, promise.clone());
         prop.handle(1, promise);
         let a0 = prop.submit(10);
         let a1 = prop.submit(11);
         let ext = |msgs: &[PaxosMsg<u32>]| match msgs {
-            [PaxosMsg::Accept { ballot, instance, .. }] => (*ballot, *instance),
+            [PaxosMsg::Accept {
+                ballot, instance, ..
+            }] => (*ballot, *instance),
             other => panic!("expected accept, got {other:?}"),
         };
         let (b0, i0) = ext(&a0);
         let (b1, i1) = ext(&a1);
         // Decide instance 1 first: nothing deliverable yet.
-        prop.handle(0, PaxosMsg::Accepted { ballot: b1, instance: i1 });
-        prop.handle(1, PaxosMsg::Accepted { ballot: b1, instance: i1 });
+        prop.handle(
+            0,
+            PaxosMsg::Accepted {
+                ballot: b1,
+                instance: i1,
+            },
+        );
+        prop.handle(
+            1,
+            PaxosMsg::Accepted {
+                ballot: b1,
+                instance: i1,
+            },
+        );
         assert!(prop.take_decided().is_empty(), "gap at instance 0");
-        prop.handle(0, PaxosMsg::Accepted { ballot: b0, instance: i0 });
-        prop.handle(1, PaxosMsg::Accepted { ballot: b0, instance: i0 });
+        prop.handle(
+            0,
+            PaxosMsg::Accepted {
+                ballot: b0,
+                instance: i0,
+            },
+        );
+        prop.handle(
+            1,
+            PaxosMsg::Accepted {
+                ballot: b0,
+                instance: i0,
+            },
+        );
         assert_eq!(prop.take_decided(), vec![(0, 10), (1, 11)]);
     }
 
@@ -396,17 +481,25 @@ mod tests {
     fn nack_restarts_with_higher_ballot_and_requeues() {
         let mut prop: Proposer<u32> = Proposer::new(0, 3);
         prop.start();
-        let promise = PaxosMsg::Promise { ballot: prop.ballot(), accepted: vec![] };
+        let promise = PaxosMsg::Promise {
+            ballot: prop.ballot(),
+            accepted: vec![],
+        };
         prop.handle(0, promise.clone());
         prop.handle(1, promise);
         let accepts = prop.submit(42);
         let (ballot, _) = match &accepts[..] {
-            [PaxosMsg::Accept { ballot, instance, .. }] => (*ballot, *instance),
+            [PaxosMsg::Accept {
+                ballot, instance, ..
+            }] => (*ballot, *instance),
             other => panic!("{other:?}"),
         };
         let out = prop.handle(
             2,
-            PaxosMsg::Nack { rejected: ballot, promised: Ballot::new(9, 2) },
+            PaxosMsg::Nack {
+                rejected: ballot,
+                promised: Ballot::new(9, 2),
+            },
         );
         match &out[..] {
             [PaxosMsg::Prepare { ballot: newb, .. }] => {
@@ -416,13 +509,15 @@ mod tests {
         }
         assert!(!prop.is_leading());
         // On re-acquiring leadership the value must be re-proposed.
-        let promise = PaxosMsg::Promise { ballot: prop.ballot(), accepted: vec![] };
+        let promise = PaxosMsg::Promise {
+            ballot: prop.ballot(),
+            accepted: vec![],
+        };
         prop.handle(0, promise.clone());
         let out = prop.handle(1, promise);
         assert!(
-            out.iter().any(
-                |m| matches!(m, PaxosMsg::Accept { value: 42, .. })
-            ),
+            out.iter()
+                .any(|m| matches!(m, PaxosMsg::Accept { value: 42, .. })),
             "{out:?}"
         );
     }

@@ -26,14 +26,14 @@ use parking_lot::Mutex;
 use psmr_common::SystemConfig;
 use psmr_netsim::live::LiveNet;
 use psmr_netsim::sim::NodeId;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::collections::VecDeque;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// The value type a group agrees on: a batch of opaque commands.
-type Batch = Vec<Bytes>;
+pub type Batch = Vec<Bytes>;
 
 /// An ordered batch delivered to a group subscriber.
 ///
@@ -71,12 +71,41 @@ pub enum Pacing {
 }
 
 /// Messages exchanged between coordinator and acceptors over the live net.
-type NetMsg = PaxosMsg<Batch>;
+pub type NetMsg = PaxosMsg<Batch>;
+
+/// Subscribers plus the retained suffix of the decided stream, guarded
+/// together so a late subscriber ([`GroupHandle::subscribe_from`]) can
+/// atomically replay the retained batches and join the live feed with
+/// neither a gap nor a duplicate.
+#[derive(Debug)]
+struct StreamState {
+    subscribers: Vec<Sender<Arc<DecidedBatch>>>,
+    /// Retained decided batches, contiguous by `seq`, oldest first.
+    log: VecDeque<Arc<DecidedBatch>>,
+    /// Sequence number the next decided batch will carry.
+    next_seq: u64,
+    /// Maximum retained batches (checkpoints trim below this cap too).
+    retention: usize,
+}
+
+impl StreamState {
+    /// Appends a decided batch to the log and fans it out.
+    fn deliver(&mut self, batch: Arc<DecidedBatch>) {
+        debug_assert_eq!(batch.seq, self.next_seq, "stream must stay contiguous");
+        self.next_seq = batch.seq + 1;
+        self.log.push_back(Arc::clone(&batch));
+        while self.log.len() > self.retention {
+            self.log.pop_front();
+        }
+        self.subscribers
+            .retain(|tx| tx.send(Arc::clone(&batch)).is_ok());
+    }
+}
 
 #[derive(Debug)]
 struct Inner {
     submit_tx: Sender<Bytes>,
-    subscribers: Mutex<Vec<Sender<Arc<DecidedBatch>>>>,
+    stream: Mutex<StreamState>,
     shutdown: AtomicBool,
     /// Gate: the coordinator proposes nothing (no batches, no skips) until
     /// the group is started. Subscribers must register before the start so
@@ -134,7 +163,12 @@ impl PaxosGroup {
         let (submit_tx, submit_rx) = bounded::<Bytes>(16 * 1024);
         let inner = Arc::new(Inner {
             submit_tx,
-            subscribers: Mutex::new(Vec::new()),
+            stream: Mutex::new(StreamState {
+                subscribers: Vec::new(),
+                log: VecDeque::new(),
+                next_seq: 1,
+                retention: cfg.log_retention.max(1),
+            }),
             shutdown: AtomicBool::new(false),
             started: AtomicBool::new(false),
             decided: AtomicU64::new(0),
@@ -167,7 +201,10 @@ impl PaxosGroup {
                 .expect("spawn coordinator thread"),
         );
 
-        Self { handle: GroupHandle { inner }, threads }
+        Self {
+            handle: GroupHandle { inner },
+            threads,
+        }
     }
 
     /// Returns a cloneable handle to the group.
@@ -190,6 +227,11 @@ impl PaxosGroup {
         self.handle.start();
     }
 
+    /// See [`GroupHandle::net`].
+    pub fn net(&self) -> LiveNet<NetMsg> {
+        self.handle.net()
+    }
+
     /// Stops the group and joins its threads.
     pub fn shutdown(mut self) {
         self.handle.shutdown();
@@ -204,10 +246,14 @@ impl GroupHandle {
     /// queue is full (natural client backpressure); silently drops the
     /// command if the group has shut down.
     pub fn submit(&self, command: Bytes) {
+        use psmr_common::metrics::{counters, global};
         if self.inner.shutdown.load(Ordering::Relaxed) {
+            global().counter(counters::REQUESTS_DROPPED).inc();
             return;
         }
-        let _ = self.inner.submit_tx.send(command);
+        if self.inner.submit_tx.send(command).is_err() {
+            global().counter(counters::REQUESTS_DROPPED).inc();
+        }
     }
 
     /// Registers a new subscriber. The subscriber receives every batch the
@@ -223,8 +269,74 @@ impl GroupHandle {
             "subscribe must happen before the group is started"
         );
         let (tx, rx) = unbounded();
-        self.inner.subscribers.lock().push(tx);
+        self.inner.stream.lock().subscribers.push(tx);
         rx
+    }
+
+    /// Registers a subscriber **after** the group started, replaying the
+    /// retained log from `from_seq` before joining the live feed — the
+    /// catch-up path a restarted replica uses. The replay and the
+    /// registration happen atomically with delivery, so the subscriber
+    /// observes the stream gap-free from `from_seq`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first retained sequence number if the log has been
+    /// trimmed past `from_seq`, or `None` inside the error if `from_seq`
+    /// lies in the future of the stream.
+    pub fn subscribe_from(
+        &self,
+        from_seq: u64,
+    ) -> Result<Receiver<Arc<DecidedBatch>>, SubscribeError> {
+        let mut stream = self.inner.stream.lock();
+        if from_seq > stream.next_seq {
+            return Err(SubscribeError::Future {
+                next_seq: stream.next_seq,
+            });
+        }
+        if let Some(front) = stream.log.front() {
+            if from_seq < front.seq {
+                return Err(SubscribeError::Trimmed {
+                    first_retained: front.seq,
+                });
+            }
+        } else if from_seq < stream.next_seq {
+            return Err(SubscribeError::Trimmed {
+                first_retained: stream.next_seq,
+            });
+        }
+        let (tx, rx) = unbounded();
+        for batch in stream.log.iter().filter(|b| b.seq >= from_seq) {
+            let _ = tx.send(Arc::clone(batch));
+        }
+        stream.subscribers.push(tx);
+        Ok(rx)
+    }
+
+    /// Drops retained batches with `seq < below` — called once a
+    /// checkpoint covers them. Keeps everything a recovery from the
+    /// latest checkpoint could still need.
+    pub fn trim_below(&self, below: u64) {
+        let mut stream = self.inner.stream.lock();
+        while stream.log.front().is_some_and(|b| b.seq < below) {
+            stream.log.pop_front();
+        }
+    }
+
+    /// Number of decided batches currently retained for catch-up.
+    pub fn retained_len(&self) -> usize {
+        self.inner.stream.lock().log.len()
+    }
+
+    /// First retained sequence number, if the log is non-empty.
+    pub fn first_retained_seq(&self) -> Option<u64> {
+        self.inner.stream.lock().log.front().map(|b| b.seq)
+    }
+
+    /// The live network this group's coordinator and acceptors run on;
+    /// tests use it to crash acceptors or degrade links mid-run.
+    pub fn net(&self) -> LiveNet<NetMsg> {
+        self.inner.net.clone()
     }
 
     /// Opens the gate: the coordinator starts deciding batches (and skip
@@ -247,9 +359,39 @@ impl GroupHandle {
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Relaxed);
         self.inner.net.shutdown();
-        self.inner.subscribers.lock().clear();
+        self.inner.stream.lock().subscribers.clear();
     }
 }
+
+/// Error of [`GroupHandle::subscribe_from`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubscribeError {
+    /// The retained log no longer reaches back to the requested seq.
+    Trimmed {
+        /// Oldest sequence number still available.
+        first_retained: u64,
+    },
+    /// The requested seq has not been decided yet.
+    Future {
+        /// The next sequence number the stream will produce.
+        next_seq: u64,
+    },
+}
+
+impl std::fmt::Display for SubscribeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubscribeError::Trimmed { first_retained } => {
+                write!(f, "log trimmed; first retained seq is {first_retained}")
+            }
+            SubscribeError::Future { next_seq } => {
+                write!(f, "requested seq is in the future (next is {next_seq})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubscribeError {}
 
 fn acceptor_main(
     node: NodeId,
@@ -283,8 +425,9 @@ fn coordinator_main(
     pacing: Pacing,
 ) {
     let me = coordinator_node(inner.group_id);
-    let acceptors: Vec<NodeId> =
-        (0..cfg.n_acceptors).map(|i| acceptor_node(inner.group_id, i)).collect();
+    let acceptors: Vec<NodeId> = (0..cfg.n_acceptors)
+        .map(|i| acceptor_node(inner.group_id, i))
+        .collect();
     let net = inner.net.clone();
     let broadcast = move |msgs: Vec<NetMsg>| {
         for msg in msgs {
@@ -422,11 +565,13 @@ fn batched_main(
         //    batch per decided instance).
         let decided = prop.take_decided();
         if !decided.is_empty() {
-            let mut subs = inner.subscribers.lock();
+            let mut stream = inner.stream.lock();
             for (instance, commands) in decided {
                 inner.decided.fetch_add(1, Ordering::Relaxed);
-                let out = Arc::new(DecidedBatch { seq: instance + 1, commands });
-                subs.retain(|tx| tx.send(Arc::clone(&out)).is_ok());
+                stream.deliver(Arc::new(DecidedBatch {
+                    seq: instance + 1,
+                    commands,
+                }));
             }
         }
     }
@@ -504,16 +649,20 @@ fn round_paced_main(
         //    whose instances are all decided (instance order == submission
         //    order, so rounds complete in order).
         for (_, commands) in prop.take_decided() {
-            let front = open_rounds.front_mut().expect("instance belongs to a round");
+            let front = open_rounds
+                .front_mut()
+                .expect("instance belongs to a round");
             front.1.extend(commands);
             front.0 -= 1;
             if front.0 == 0 {
                 let (_, commands) = open_rounds.pop_front().expect("front exists");
                 inner.decided.fetch_add(1, Ordering::Relaxed);
-                let out = Arc::new(DecidedBatch { seq: next_seq, commands });
+                let out = Arc::new(DecidedBatch {
+                    seq: next_seq,
+                    commands,
+                });
                 next_seq += 1;
-                let mut subs = inner.subscribers.lock();
-                subs.retain(|tx| tx.send(Arc::clone(&out)).is_ok());
+                inner.stream.lock().deliver(out);
             }
         }
     }
@@ -556,9 +705,12 @@ mod tests {
             let batch = sub.recv_timeout(Duration::from_secs(5)).expect("delivered");
             assert_eq!(batch.seq, expect_seq, "contiguous stream");
             expect_seq += 1;
-            got.extend(batch.commands.iter().map(|c| {
-                u32::from_le_bytes(c[..4].try_into().unwrap())
-            }));
+            got.extend(
+                batch
+                    .commands
+                    .iter()
+                    .map(|c| u32::from_le_bytes(c[..4].try_into().unwrap())),
+            );
         }
         assert_eq!(got, (0..200).collect::<Vec<_>>(), "FIFO order preserved");
         group.shutdown();
@@ -609,12 +761,13 @@ mod tests {
     #[test]
     fn ticked_group_emits_skip_rounds_when_idle() {
         let (tick_tx, tick_rx) = crossbeam::channel::unbounded();
-        let group =
-            PaxosGroup::spawn_with(5, &test_cfg(), LiveNet::new(), Pacing::Ticks(tick_rx));
+        let group = PaxosGroup::spawn_with(5, &test_cfg(), LiveNet::new(), Pacing::Ticks(tick_rx));
         let sub = group.subscribe();
         group.start();
         tick_tx.send(1).unwrap();
-        let batch = sub.recv_timeout(Duration::from_secs(5)).expect("skip arrives");
+        let batch = sub
+            .recv_timeout(Duration::from_secs(5))
+            .expect("skip arrives");
         assert!(batch.is_skip());
         assert_eq!(batch.seq, 1);
         group.shutdown();
@@ -623,8 +776,7 @@ mod tests {
     #[test]
     fn ticked_group_packs_submissions_into_one_round() {
         let (tick_tx, tick_rx) = crossbeam::channel::unbounded();
-        let group =
-            PaxosGroup::spawn_with(9, &test_cfg(), LiveNet::new(), Pacing::Ticks(tick_rx));
+        let group = PaxosGroup::spawn_with(9, &test_cfg(), LiveNet::new(), Pacing::Ticks(tick_rx));
         let sub = group.subscribe();
         group.start();
         for i in 0..10u32 {
@@ -633,12 +785,16 @@ mod tests {
         // Give submissions time to land in the queue, then tick once.
         std::thread::sleep(Duration::from_millis(20));
         tick_tx.send(1).unwrap();
-        let batch = sub.recv_timeout(Duration::from_secs(5)).expect("round arrives");
+        let batch = sub
+            .recv_timeout(Duration::from_secs(5))
+            .expect("round arrives");
         assert_eq!(batch.seq, 1);
         assert_eq!(batch.commands.len(), 10, "whole backlog in one round");
         // The next tick with no traffic yields a skip with the next seq.
         tick_tx.send(2).unwrap();
-        let batch = sub.recv_timeout(Duration::from_secs(5)).expect("skip arrives");
+        let batch = sub
+            .recv_timeout(Duration::from_secs(5))
+            .expect("skip arrives");
         assert!(batch.is_skip());
         assert_eq!(batch.seq, 2);
         group.shutdown();
@@ -649,8 +805,7 @@ mod tests {
         let (tick_tx, tick_rx) = crossbeam::channel::unbounded();
         let mut cfg = test_cfg();
         cfg.batch_bytes(64);
-        let group =
-            PaxosGroup::spawn_with(10, &cfg, LiveNet::new(), Pacing::Ticks(tick_rx));
+        let group = PaxosGroup::spawn_with(10, &cfg, LiveNet::new(), Pacing::Ticks(tick_rx));
         let sub = group.subscribe();
         group.start();
         for i in 0..32u64 {
@@ -660,7 +815,9 @@ mod tests {
         tick_tx.send(1).unwrap();
         // All 32 commands arrive as ONE stream batch (one round) even
         // though they were decided as multiple 64-byte Paxos instances.
-        let batch = sub.recv_timeout(Duration::from_secs(5)).expect("round arrives");
+        let batch = sub
+            .recv_timeout(Duration::from_secs(5))
+            .expect("round arrives");
         assert_eq!(batch.seq, 1);
         assert_eq!(batch.commands.len(), 32);
         group.shutdown();
@@ -673,7 +830,9 @@ mod tests {
         let sub = group.subscribe();
         group.start();
         group.submit(Bytes::from_static(b"before"));
-        let b = sub.recv_timeout(Duration::from_secs(5)).expect("pre-crash traffic");
+        let b = sub
+            .recv_timeout(Duration::from_secs(5))
+            .expect("pre-crash traffic");
         assert_eq!(&b.commands[0][..], b"before");
         // Crash one of the three acceptors: majority (2) remains.
         net.crash(acceptor_node(6, 2));
@@ -682,7 +841,9 @@ mod tests {
         }
         let mut seen = 0;
         while seen < 20 {
-            let b = sub.recv_timeout(Duration::from_secs(5)).expect("post-crash progress");
+            let b = sub
+                .recv_timeout(Duration::from_secs(5))
+                .expect("post-crash progress");
             seen += b.commands.len();
         }
         group.shutdown();
@@ -697,6 +858,110 @@ mod tests {
         let _ = sub.recv_timeout(Duration::from_secs(5)).expect("delivered");
         assert!(group.handle().decided_count() >= 1);
         assert_eq!(group.handle().group_id(), 7);
+        group.shutdown();
+    }
+
+    #[test]
+    fn late_subscriber_replays_the_retained_suffix() {
+        let group = PaxosGroup::spawn(11, &test_cfg());
+        let live = group.subscribe();
+        group.start();
+        for i in 0..20u32 {
+            group.submit(Bytes::from(i.to_le_bytes().to_vec()));
+        }
+        // Wait until the live subscriber saw everything.
+        let mut seen = 0;
+        let mut last_seq = 0;
+        while seen < 20 {
+            let b = live
+                .recv_timeout(Duration::from_secs(5))
+                .expect("delivered");
+            seen += b.commands.len();
+            last_seq = b.seq;
+        }
+        // A catch-up subscriber from seq 1 replays the identical stream.
+        let replay = group.handle().subscribe_from(1).expect("log retained");
+        let mut got = Vec::new();
+        let mut expect_seq = 1;
+        while got.len() < 20 {
+            let b = replay
+                .recv_timeout(Duration::from_secs(5))
+                .expect("replayed");
+            assert_eq!(b.seq, expect_seq, "replay is gap-free");
+            expect_seq += 1;
+            got.extend(
+                b.commands
+                    .iter()
+                    .map(|c| u32::from_le_bytes(c[..4].try_into().unwrap())),
+            );
+        }
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+        // Mid-stream resumption also works.
+        let partial = group
+            .handle()
+            .subscribe_from(last_seq)
+            .expect("still retained");
+        let b = partial
+            .recv_timeout(Duration::from_secs(5))
+            .expect("replayed");
+        assert_eq!(b.seq, last_seq);
+        group.shutdown();
+    }
+
+    #[test]
+    fn trim_below_bounds_the_log_and_fails_stale_subscribers() {
+        let group = PaxosGroup::spawn(12, &test_cfg());
+        let sub = group.subscribe();
+        group.start();
+        // Submit one at a time, waiting for delivery, so the batcher
+        // cannot coalesce: the stream is guaranteed to span seq >= 3.
+        for i in 0..30u32 {
+            group.submit(Bytes::from(i.to_le_bytes().to_vec()));
+            let mut seen = 0;
+            while seen < 1 {
+                let b = sub.recv_timeout(Duration::from_secs(5)).expect("delivered");
+                seen += b.commands.len();
+            }
+        }
+        let handle = group.handle();
+        let retained_before = handle.retained_len();
+        assert!(retained_before >= 1);
+        handle.trim_below(3);
+        assert_eq!(handle.first_retained_seq(), Some(3));
+        assert!(handle.retained_len() < retained_before + 1);
+        match handle.subscribe_from(1) {
+            Err(SubscribeError::Trimmed { first_retained }) => {
+                assert_eq!(first_retained, 3)
+            }
+            other => panic!("expected trimmed error, got {other:?}"),
+        }
+        assert!(matches!(
+            handle.subscribe_from(u64::MAX),
+            Err(SubscribeError::Future { .. })
+        ));
+        group.shutdown();
+    }
+
+    #[test]
+    fn retention_cap_bounds_memory_without_checkpoints() {
+        let mut cfg = test_cfg();
+        cfg.log_retention(4);
+        let group = PaxosGroup::spawn(13, &cfg);
+        let sub = group.subscribe();
+        group.start();
+        for i in 0..200u32 {
+            group.submit(Bytes::from(i.to_le_bytes().to_vec()));
+        }
+        let mut seen = 0;
+        while seen < 200 {
+            let b = sub.recv_timeout(Duration::from_secs(5)).expect("delivered");
+            seen += b.commands.len();
+        }
+        assert!(
+            group.handle().retained_len() <= 4,
+            "retained {} > cap 4",
+            group.handle().retained_len()
+        );
         group.shutdown();
     }
 

@@ -10,7 +10,8 @@ use std::time::Duration;
 
 fn test_cfg() -> SystemConfig {
     let mut cfg = SystemConfig::new(1);
-    cfg.batch_delay(Duration::from_micros(100)).skip_interval(Duration::from_millis(1));
+    cfg.batch_delay(Duration::from_micros(100))
+        .skip_interval(Duration::from_millis(1));
     cfg
 }
 
@@ -43,7 +44,11 @@ fn delivers_with_one_lossy_acceptor_link() {
     let sub = group.subscribe();
     group.start();
     // Coordinator→acceptor-0 link drops everything: quorum {1, 2} remains.
-    net.inject(coordinator_node(1), acceptor_node(1, 0), LinkFault::loss(1.0));
+    net.inject(
+        coordinator_node(1),
+        acceptor_node(1, 0),
+        LinkFault::loss(1.0),
+    );
     for i in 0..100u32 {
         group.submit(Bytes::from(i.to_le_bytes().to_vec()));
     }
@@ -122,8 +127,16 @@ fn two_crashed_acceptors_block_progress_until_heal() {
     let group = PaxosGroup::spawn_with(5, &test_cfg(), net.clone(), Pacing::Batched);
     let sub = group.subscribe();
     group.start();
-    net.inject(coordinator_node(5), acceptor_node(5, 0), LinkFault::loss(1.0));
-    net.inject(coordinator_node(5), acceptor_node(5, 1), LinkFault::loss(1.0));
+    net.inject(
+        coordinator_node(5),
+        acceptor_node(5, 0),
+        LinkFault::loss(1.0),
+    );
+    net.inject(
+        coordinator_node(5),
+        acceptor_node(5, 1),
+        LinkFault::loss(1.0),
+    );
     for i in 0..10u32 {
         group.submit(Bytes::from(i.to_le_bytes().to_vec()));
     }

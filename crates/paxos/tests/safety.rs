@@ -51,10 +51,12 @@ impl System {
         for msg in msgs {
             // Learners snoop on Accept traffic (they need values).
             for l in 0..self.learners.len() {
-                self.net.send(NodeId::new(p as u64), learner_id(l), msg.clone());
+                self.net
+                    .send(NodeId::new(p as u64), learner_id(l), msg.clone());
             }
             for a in 0..N_ACCEPTORS {
-                self.net.send(NodeId::new(p as u64), acceptor_id(a), msg.clone());
+                self.net
+                    .send(NodeId::new(p as u64), acceptor_id(a), msg.clone());
             }
         }
     }
@@ -69,7 +71,7 @@ impl System {
         let mut steps = 0usize;
         loop {
             // Feed one submission every few steps to interleave with protocol.
-            if steps % 3 == 0 {
+            if steps.is_multiple_of(3) {
                 if let Some((p, v)) = queued.pop() {
                     let out = self.proposers[p].submit(v);
                     self.broadcast_from_proposer(p, out);

@@ -56,7 +56,10 @@ impl KeyDist {
     /// Panics if `n` is zero or `theta` is not positive and finite.
     pub fn zipf(n: u64, theta: f64) -> Self {
         assert!(n > 0, "key space must be non-empty");
-        assert!(theta > 0.0 && theta.is_finite(), "exponent must be positive");
+        assert!(
+            theta > 0.0 && theta.is_finite(),
+            "exponent must be positive"
+        );
         // Generalized harmonic number H_{n,theta}. For n = 10M this loop is
         // a one-off ~40ms cost at construction.
         let harmonic: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).sum();
@@ -70,7 +73,10 @@ impl KeyDist {
     /// Panics if `stride` is zero.
     pub fn strided(inner: KeyDist, stride: u64) -> Self {
         assert!(stride > 0, "stride must be positive");
-        KeyDist::Strided { inner: Box::new(inner), stride }
+        KeyDist::Strided {
+            inner: Box::new(inner),
+            stride,
+        }
     }
 
     /// Key-space size (largest producible key + 1).
@@ -109,9 +115,7 @@ impl KeyDist {
                     if (theta - 1.0).abs() < 1e-9 {
                         acc64 + (r / 64.0).ln()
                     } else {
-                        acc64
-                            + (r.powf(1.0 - theta) - 64f64.powf(1.0 - theta))
-                                / (1.0 - theta)
+                        acc64 + (r.powf(1.0 - theta) - 64f64.powf(1.0 - theta)) / (1.0 - theta)
                     }
                 };
                 let (mut lo, mut hi) = (64f64, n as f64);
@@ -168,7 +172,10 @@ mod tests {
         // With theta=1, n=1e6: H_n ≈ ln(1e6)+0.577 ≈ 14.4; P(k<100) ≈
         // H_100/H_n ≈ 5.19/14.39 ≈ 36%; P(k=0) ≈ 1/14.39 ≈ 7%.
         let head_frac = head as f64 / total as f64;
-        assert!((0.30..0.43).contains(&head_frac), "head fraction {head_frac}");
+        assert!(
+            (0.30..0.43).contains(&head_frac),
+            "head fraction {head_frac}"
+        );
         let k0_frac = key0 as f64 / total as f64;
         assert!((0.05..0.09).contains(&k0_frac), "key-0 fraction {k0_frac}");
     }
@@ -177,7 +184,7 @@ mod tests {
     fn zipf_rank_frequencies_decay() {
         let dist = KeyDist::zipf(10_000, 1.0);
         let mut rng = StdRng::seed_from_u64(3);
-        let mut counts = vec![0u32; 16];
+        let mut counts = [0u32; 16];
         for _ in 0..200_000 {
             let k = dist.sample(&mut rng);
             if (k as usize) < counts.len() {

@@ -33,8 +33,16 @@ impl KvMix {
             assert!(f >= 0.0, "fractions must be non-negative");
         }
         let sum = read + update + insert + delete;
-        assert!((sum - 1.0).abs() < 1e-9, "fractions must sum to 1, got {sum}");
-        Self { read, update, insert, delete }
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "fractions must sum to 1, got {sum}"
+        );
+        Self {
+            read,
+            update,
+            insert,
+            delete,
+        }
     }
 
     /// 100% reads (Figure 3).
@@ -54,7 +62,10 @@ impl KvMix {
     ///
     /// Panics if `dependent_pct` is outside `0..=100`.
     pub fn mixed(dependent_pct: f64) -> Self {
-        assert!((0.0..=100.0).contains(&dependent_pct), "percentage out of range");
+        assert!(
+            (0.0..=100.0).contains(&dependent_pct),
+            "percentage out of range"
+        );
         let dep = dependent_pct / 100.0;
         Self::new(1.0 - dep, 0.0, dep / 2.0, dep / 2.0)
     }
@@ -83,9 +94,15 @@ impl KvMix {
         if roll < self.read {
             KvOp::Read { key }
         } else if roll < self.read + self.update {
-            KvOp::Update { key, value: rng.gen() }
+            KvOp::Update {
+                key,
+                value: rng.gen(),
+            }
         } else if roll < self.read + self.update + self.insert {
-            KvOp::Insert { key: dist.n() + key, value: rng.gen() }
+            KvOp::Insert {
+                key: dist.n() + key,
+                value: rng.gen(),
+            }
         } else {
             KvOp::Delete { key }
         }

@@ -15,9 +15,7 @@
 use psmr_suite::common::SystemConfig;
 use psmr_suite::core::conflict::CommandMap;
 use psmr_suite::core::engines::{Engine, PsmrEngine};
-use psmr_suite::kvstore::{
-    coarse_dependency_spec, fine_dependency_spec, KvOp, KvService,
-};
+use psmr_suite::kvstore::{coarse_dependency_spec, fine_dependency_spec, KvOp, KvService};
 use psmr_suite::workload::KeyDist;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -66,13 +64,17 @@ fn run(label: &str, map: CommandMap, update_fraction: f64) -> f64 {
 }
 
 fn main() {
-    println!(
-        "50% updates / 50% reads, {KEYS} keys, 8 workers, 2 replicas, {CLIENTS} clients\n"
+    println!("50% updates / 50% reads, {KEYS} keys, 8 workers, 2 replicas, {CLIENTS} clients\n");
+    let coarse = run(
+        "coarse C-Dep (writes global)",
+        coarse_dependency_spec().into_map(),
+        0.5,
     );
-    let coarse =
-        run("coarse C-Dep (writes global)", coarse_dependency_spec().into_map(), 0.5);
-    let fine =
-        run("fine C-Dep (writes keyed)", fine_dependency_spec().into_map(), 0.5);
+    let fine = run(
+        "fine C-Dep (writes keyed)",
+        fine_dependency_spec().into_map(),
+        0.5,
+    );
     println!(
         "\nfine-grained C-Dep gives {:.1}x the throughput of the coarse one",
         fine / coarse.max(f64::MIN_POSITIVE)

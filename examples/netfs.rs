@@ -28,8 +28,10 @@ fn main() {
     fs.mkdir("/docs").unwrap();
     fs.create("/src/main.rs").unwrap();
     fs.create("/docs/README.md").unwrap();
-    fs.write("/src/main.rs", 0, b"fn main() { println!(\"hi\"); }\n").unwrap();
-    fs.write("/docs/README.md", 0, b"# replicated fs\n").unwrap();
+    fs.write("/src/main.rs", 0, b"fn main() { println!(\"hi\"); }\n")
+        .unwrap();
+    fs.write("/docs/README.md", 0, b"# replicated fs\n")
+        .unwrap();
 
     // Four concurrent editors, each on its own file: per-path commands run
     // in parallel mode on different worker threads.
@@ -56,7 +58,10 @@ fn main() {
     // Directory listing reflects every editor's file on all replicas.
     println!("/src contains: {:?}", fs.readdir("/src").unwrap());
     let readme = fs.read("/docs/README.md", 0, 4096).unwrap();
-    println!("/docs/README.md: {}", String::from_utf8_lossy(&readme).trim());
+    println!(
+        "/docs/README.md: {}",
+        String::from_utf8_lossy(&readme).trim()
+    );
 
     // Clean up the tree (structural, serialized across all workers).
     for e in 0..4 {
@@ -66,7 +71,10 @@ fn main() {
     fs.unlink("/docs/README.md").unwrap();
     fs.rmdir("/src").unwrap();
     fs.rmdir("/docs").unwrap();
-    println!("tree removed; root now lists: {:?}", fs.readdir("/").unwrap());
+    println!(
+        "tree removed; root now lists: {:?}",
+        fs.readdir("/").unwrap()
+    );
 
     drop(fs);
     match std::sync::Arc::try_unwrap(engine) {

@@ -26,14 +26,12 @@ impl Service for Counters {
         match cmd {
             BUMP => {
                 let which = u64::from_le_bytes(payload[..8].try_into().unwrap());
-                let new = self.slots[(which % N_COUNTERS) as usize]
-                    .fetch_add(1, Ordering::SeqCst)
-                    + 1;
+                let new =
+                    self.slots[(which % N_COUNTERS) as usize].fetch_add(1, Ordering::SeqCst) + 1;
                 new.to_le_bytes().to_vec()
             }
             TOTAL => {
-                let sum: u64 =
-                    self.slots.iter().map(|s| s.load(Ordering::SeqCst)).sum();
+                let sum: u64 = self.slots.iter().map(|s| s.load(Ordering::SeqCst)).sum();
                 sum.to_le_bytes().to_vec()
             }
             other => panic!("unknown command {other}"),

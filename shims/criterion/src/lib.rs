@@ -1,0 +1,239 @@
+//! Minimal offline stand-in for `criterion`: the harness types the
+//! workspace's benches use, with a simple timing loop and a plain-text
+//! report (no statistics, plots or baselines).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark manager; collects groups and prints timings to stdout.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(200),
+            warm_up_time: Duration::from_millis(20),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let (group_cfg, name) = (self.clone(), name.into());
+        run_bench(&group_cfg, &name, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the group's throughput unit (recorded, not reported).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark of the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, name.into());
+        run_bench(self.criterion, &label, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark of the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.0);
+        run_bench(self.criterion, &label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench(cfg: &Criterion, label: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        warm_up: cfg.warm_up_time,
+        measure: cfg.measurement_time,
+        samples: cfg.sample_size,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let per_iter = if bencher.iters == 0 {
+        Duration::ZERO
+    } else {
+        bencher.total / bencher.iters
+    };
+    println!(
+        "bench {label:<48} {per_iter:>12?}/iter ({} iters)",
+        bencher.iters
+    );
+}
+
+/// Passed to benchmark closures to drive the timing loop.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    samples: usize,
+    total: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times repeated runs of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(routine());
+        }
+        let deadline = Instant::now() + self.measure;
+        let mut iters = 0u32;
+        let started = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            if Instant::now() >= deadline || iters as usize >= self.samples * 1000 {
+                break;
+            }
+        }
+        self.total += started.elapsed();
+        self.iters += iters;
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let deadline = Instant::now() + self.measure;
+        let mut iters = 0u32;
+        let mut total = Duration::ZERO;
+        loop {
+            let input = setup();
+            let started = Instant::now();
+            std::hint::black_box(routine(input));
+            total += started.elapsed();
+            iters += 1;
+            if Instant::now() >= deadline || iters as usize >= self.samples * 1000 {
+                break;
+            }
+        }
+        self.total += total;
+        self.iters += iters;
+    }
+}
+
+/// Batch sizing hint of `iter_batched` (ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Declared throughput unit of a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from the parameter value alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// Builds an id from a function name and parameter.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+}
+
+/// Declares a benchmark group function, in either the list or the
+/// `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

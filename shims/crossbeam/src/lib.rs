@@ -1,0 +1,45 @@
+//! Minimal offline stand-in for `crossbeam` — the `channel` module only.
+
+pub mod channel;
+
+/// Polling `select!` over channel receive arms plus a `default(timeout)`
+/// arm, mirroring the subset of `crossbeam::channel::select!` the
+/// workspace uses. Each `recv(rx) -> var` arm binds `var` to
+/// `Result<T, RecvError>`; disconnected channels fire their arm with
+/// `Err(RecvError)`.
+#[macro_export]
+macro_rules! select {
+    (
+        $(recv($rx:expr) -> $var:pat => $body:block)+
+        default($timeout:expr) => $default:block
+    ) => {{
+        let __deadline = ::std::time::Instant::now() + $timeout;
+        'select_loop: loop {
+            $(
+                let __polled = match $crate::channel::Receiver::try_recv(&$rx) {
+                    ::core::result::Result::Ok(v) => {
+                        ::core::option::Option::Some(::core::result::Result::Ok(v))
+                    }
+                    ::core::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                        ::core::option::Option::Some(::core::result::Result::Err(
+                            $crate::channel::RecvError,
+                        ))
+                    }
+                    ::core::result::Result::Err($crate::channel::TryRecvError::Empty) => {
+                        ::core::option::Option::None
+                    }
+                };
+                if let ::core::option::Option::Some(__ready) = __polled {
+                    let $var = __ready;
+                    { $body }
+                    break 'select_loop;
+                }
+            )+
+            if ::std::time::Instant::now() >= __deadline {
+                { $default }
+                break 'select_loop;
+            }
+            ::std::thread::sleep(::std::time::Duration::from_micros(50));
+        }
+    }};
+}

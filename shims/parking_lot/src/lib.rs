@@ -1,0 +1,297 @@
+//! Minimal offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync` primitives with parking_lot's poison-free API:
+//! `lock()`/`read()`/`write()` return guards directly, and the `Arc`
+//! receiver methods (`read_arc`/`write_arc`) return owned guards that
+//! keep the lock alive through an `Arc`.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Marker standing in for parking_lot's raw rwlock type parameter.
+#[derive(Debug, Clone, Copy)]
+pub struct RawRwLock;
+
+// ---------------------------------------------------------------- Mutex
+
+/// A mutex whose `lock` ignores poisoning, as parking_lot's does.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.0.lock().unwrap_or_else(|e| e.into_inner())),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.0, f)
+    }
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    // Option so Condvar::wait can temporarily take the std guard out.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+// -------------------------------------------------------------- Condvar
+
+/// A condition variable compatible with [`MutexGuard`].
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Blocks on the guard's mutex until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard present");
+        let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+// --------------------------------------------------------------- RwLock
+
+/// A reader-writer lock whose accessors ignore poisoning.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates an rwlock.
+    pub const fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Acquires exclusive access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Shared access through an `Arc`, returning an owned guard.
+    pub fn read_arc(self: &Arc<Self>) -> ArcRwLockReadGuard<RawRwLock, T>
+    where
+        T: 'static,
+    {
+        let lock = Arc::clone(self);
+        // SAFETY: the guard borrows `lock.0`, which lives as long as the
+        // Arc stored alongside it; the guard is dropped before the Arc
+        // (see Drop below), so the 'static lifetime is never observable.
+        let guard = unsafe {
+            std::mem::transmute::<
+                std::sync::RwLockReadGuard<'_, T>,
+                std::sync::RwLockReadGuard<'static, T>,
+            >(lock.0.read().unwrap_or_else(|e| e.into_inner()))
+        };
+        ArcRwLockReadGuard {
+            guard: ManuallyDrop::new(guard),
+            _lock: lock,
+            _raw: PhantomData,
+        }
+    }
+
+    /// Exclusive access through an `Arc`, returning an owned guard.
+    pub fn write_arc(self: &Arc<Self>) -> ArcRwLockWriteGuard<RawRwLock, T>
+    where
+        T: 'static,
+    {
+        let lock = Arc::clone(self);
+        // SAFETY: as in `read_arc`.
+        let guard = unsafe {
+            std::mem::transmute::<
+                std::sync::RwLockWriteGuard<'_, T>,
+                std::sync::RwLockWriteGuard<'static, T>,
+            >(lock.0.write().unwrap_or_else(|e| e.into_inner()))
+        };
+        ArcRwLockWriteGuard {
+            guard: ManuallyDrop::new(guard),
+            _lock: lock,
+            _raw: PhantomData,
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.0, f)
+    }
+}
+
+/// Shared-access guard of [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Exclusive-access guard of [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Owned shared-access guard of [`RwLock::read_arc`].
+pub struct ArcRwLockReadGuard<R, T: ?Sized + 'static> {
+    guard: ManuallyDrop<std::sync::RwLockReadGuard<'static, T>>,
+    _lock: Arc<RwLock<T>>,
+    _raw: PhantomData<R>,
+}
+
+impl<R, T: ?Sized + 'static> Deref for ArcRwLockReadGuard<R, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<R, T: ?Sized + 'static> Drop for ArcRwLockReadGuard<R, T> {
+    fn drop(&mut self) {
+        // Drop the guard before the Arc it borrows from.
+        unsafe { ManuallyDrop::drop(&mut self.guard) }
+    }
+}
+
+/// Owned exclusive-access guard of [`RwLock::write_arc`].
+pub struct ArcRwLockWriteGuard<R, T: ?Sized + 'static> {
+    guard: ManuallyDrop<std::sync::RwLockWriteGuard<'static, T>>,
+    _lock: Arc<RwLock<T>>,
+    _raw: PhantomData<R>,
+}
+
+impl<R, T: ?Sized + 'static> Deref for ArcRwLockWriteGuard<R, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<R, T: ?Sized + 'static> DerefMut for ArcRwLockWriteGuard<R, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<R, T: ?Sized + 'static> Drop for ArcRwLockWriteGuard<R, T> {
+    fn drop(&mut self) {
+        unsafe { ManuallyDrop::drop(&mut self.guard) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_and_condvar_round_trip() {
+        let m = Arc::new(Mutex::new(0));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let t = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            while *g == 0 {
+                cv2.wait(&mut g);
+            }
+            *g
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        *m.lock() = 7;
+        cv.notify_all();
+        assert_eq!(t.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn arc_guards_keep_the_lock_alive() {
+        let lock = Arc::new(RwLock::new(5));
+        let read = lock.read_arc();
+        assert_eq!(*read, 5);
+        drop(read);
+        let mut write = lock.write_arc();
+        *write = 6;
+        drop(write);
+        assert_eq!(*lock.read(), 6);
+    }
+}

@@ -1,0 +1,150 @@
+//! Minimal offline stand-in for `proptest`: random-input property
+//! testing without shrinking. Each `proptest!` test samples its
+//! strategies `cases` times from a deterministic per-case RNG and runs
+//! the body; a failing case reports its case number and seed so the run
+//! can be reproduced (re-running the test replays the same sequence —
+//! sampling is fully deterministic).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+// Re-exported for the `proptest!` macro expansion, which runs in the
+// calling crate (that crate need not depend on `rand` itself).
+#[doc(hidden)]
+pub use rand as rand_for_macros;
+
+/// The `use proptest::prelude::*` surface.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Supports the subset of upstream syntax the
+/// workspace uses: an optional `#![proptest_config(expr)]` header and
+/// `fn name(pattern in strategy, ...) { body }` items carrying outer
+/// attributes (`#[test]`, doc comments).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (
+        $(#[$first_attr:meta])*
+        fn $($rest:tt)*
+    ) => {
+        $crate::proptest!(
+            @impl ($crate::test_runner::ProptestConfig::default())
+            $(#[$first_attr])*
+            fn $($rest)*
+        );
+    };
+    (
+        @impl ($config:expr)
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config = $config;
+                for case in 0..config.cases {
+                    // Deterministic per-case seed: reruns replay failures.
+                    let seed = 0x5052_4f50_5445_5354u64
+                        ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let mut runner_rng =
+                        <$crate::rand_for_macros::rngs::StdRng
+                            as $crate::rand_for_macros::SeedableRng>::seed_from_u64(seed);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &$strategy,
+                            &mut runner_rng,
+                        );
+                    )*
+                    let outcome: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!("proptest case {case} (seed {seed:#x}) failed: {e}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// the process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} != {:?}: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right, "assertion failed: {:?} == {:?}", left, right);
+    }};
+}
+
+/// Weighted or unweighted union of strategies producing the same value
+/// type, mirroring `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Union::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Union::boxed($strategy))),+
+        ])
+    };
+}

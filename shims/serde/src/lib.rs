@@ -1,0 +1,12 @@
+//! Minimal offline stand-in for `serde`: marker traits plus no-op
+//! derive macros, enough for `#[derive(Serialize, Deserialize)]` to
+//! compile. The workspace does its own wire-format encoding (see
+//! `psmr_common::envelope`), so no serde serialization runs at runtime.
+
+pub use serde_derive_shim::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

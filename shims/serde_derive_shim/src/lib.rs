@@ -1,0 +1,17 @@
+//! No-op derive macros backing the offline `serde` shim: the workspace
+//! only needs `#[derive(Serialize, Deserialize)]` to *compile*; nothing
+//! serializes through serde at runtime.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

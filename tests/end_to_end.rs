@@ -29,9 +29,15 @@ fn kv(client: &mut psmr_suite::core::ClientProxy, op: KvOp) -> KvResult {
 fn all_engines_agree_on_a_sequential_script() {
     let script: Vec<KvOp> = (0..200u64)
         .map(|i| match i % 5 {
-            0 => KvOp::Insert { key: 1000 + i, value: i },
+            0 => KvOp::Insert {
+                key: 1000 + i,
+                value: i,
+            },
             1 => KvOp::Read { key: i % 50 },
-            2 => KvOp::Update { key: i % 50, value: i * 7 },
+            2 => KvOp::Update {
+                key: i % 50,
+                value: i * 7,
+            },
             3 => KvOp::Read { key: 1000 + i - 3 },
             _ => KvOp::Delete { key: 1000 + i - 4 },
         })
@@ -96,7 +102,14 @@ fn psmr_kvstore_history_is_linearizable() {
                     }
                 };
                 let returned = t0.elapsed().as_nanos() as u64;
-                records.push((key, OpRecord { invoked, returned, op }));
+                records.push((
+                    key,
+                    OpRecord {
+                        invoked,
+                        returned,
+                        op,
+                    },
+                ));
             }
             records
         }));
@@ -139,13 +152,30 @@ fn psmr_dependent_burst_makes_progress() {
             for i in 0..60u64 {
                 match i % 3 {
                     0 => {
-                        kv(&mut client, KvOp::Insert { key: 10_000 + c * 100 + i, value: i });
+                        kv(
+                            &mut client,
+                            KvOp::Insert {
+                                key: 10_000 + c * 100 + i,
+                                value: i,
+                            },
+                        );
                     }
                     1 => {
-                        kv(&mut client, KvOp::Delete { key: 10_000 + c * 100 + i - 1 });
+                        kv(
+                            &mut client,
+                            KvOp::Delete {
+                                key: 10_000 + c * 100 + i - 1,
+                            },
+                        );
                     }
                     _ => {
-                        kv(&mut client, KvOp::Update { key: i % 100, value: i });
+                        kv(
+                            &mut client,
+                            KvOp::Update {
+                                key: i % 100,
+                                value: i,
+                            },
+                        );
                     }
                 }
             }
@@ -166,11 +196,9 @@ fn psmr_dependent_burst_makes_progress() {
 /// through different clients: final reads agree with a serial model run.
 #[test]
 fn psmr_final_state_matches_observed_acks() {
-    let engine = PsmrEngine::spawn(
-        &cfg(3),
-        fine_dependency_spec().into_map(),
-        || psmr_suite::kvstore::KvService::with_keys(0),
-    );
+    let engine = PsmrEngine::spawn(&cfg(3), fine_dependency_spec().into_map(), || {
+        psmr_suite::kvstore::KvService::with_keys(0)
+    });
     let mut client = engine.client();
     // Inserts either succeed or report Err (already present) — never both
     // succeed for the same key across two clients.

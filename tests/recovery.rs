@@ -1,0 +1,428 @@
+//! Crash/recovery integration tests for the checkpoint subsystem
+//! (`psmr-recovery`): a replica crashed under a live kvstore workload
+//! rejoins from `(latest checkpoint, retained log suffix)` and converges
+//! to byte-identical service state, while the client-observed history
+//! stays linearizable; engines keep committing when one acceptor of a
+//! Paxos group crash-stops; checkpoints keep the ordered logs trimmed.
+
+use psmr_suite::common::ids::{GroupId, ReplicaId};
+use psmr_suite::common::metrics::{counters, global};
+use psmr_suite::common::SystemConfig;
+use psmr_suite::core::engines::{Engine, NoRepEngine, PsmrEngine, SmrEngine, SpSmrEngine};
+use psmr_suite::core::linear::{check_register, OpRecord, RegisterOp, Verdict};
+use psmr_suite::core::ClientProxy;
+use psmr_suite::kvstore::{fine_dependency_spec, KvOp, KvResult, KvService};
+use psmr_suite::recovery::RecoveryError;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+const KEYS: u64 = 8;
+
+fn cfg(mpl: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::new(mpl);
+    cfg.replicas(2)
+        .batch_delay(Duration::from_micros(100))
+        .skip_interval(Duration::from_micros(500))
+        .checkpoint_interval(Some(Duration::from_millis(20)));
+    cfg
+}
+
+fn kv(client: &mut ClientProxy, op: KvOp) -> KvResult {
+    KvResult::decode(&client.execute(op.command(), op.encode()))
+}
+
+/// Runs one closed-loop client: updates and reads over `KEYS` keys,
+/// recording invocation/response times for the linearizability check.
+fn client_session(mut client: ClientProxy, c: u64, ops: u64, t0: Instant) -> Vec<(u64, OpRecord)> {
+    let mut records = Vec::new();
+    for i in 0..ops {
+        let key = (c * 3 + i) % KEYS;
+        let invoked = t0.elapsed().as_nanos() as u64;
+        let op = if (i + c).is_multiple_of(2) {
+            let value = c * 1_000_000 + i;
+            assert_eq!(kv(&mut client, KvOp::Update { key, value }), KvResult::Ok);
+            RegisterOp::Write { value }
+        } else {
+            match kv(&mut client, KvOp::Read { key }) {
+                KvResult::Value(v) => RegisterOp::Read { value: Some(v) },
+                other => panic!("read failed: {other:?}"),
+            }
+        };
+        let returned = t0.elapsed().as_nanos() as u64;
+        records.push((
+            key,
+            OpRecord {
+                invoked,
+                returned,
+                op,
+            },
+        ));
+    }
+    records
+}
+
+/// Every per-key history must be linearizable (initial value of key `k`
+/// is `k`, the `with_keys` pre-load).
+fn assert_linearizable(records: Vec<(u64, OpRecord)>) {
+    let mut by_key: HashMap<u64, Vec<OpRecord>> = HashMap::new();
+    for (key, rec) in records {
+        by_key.entry(key).or_default().push(rec);
+    }
+    for (key, history) in by_key {
+        assert!(history.len() < 64, "sized for the checker");
+        assert_eq!(
+            check_register(&history, Some(key)),
+            Verdict::Linearizable,
+            "key {key}"
+        );
+    }
+}
+
+/// Polls until both replicas' deterministic snapshots are byte-identical.
+fn await_convergence(
+    service_of: impl Fn(
+        ReplicaId,
+    )
+        -> Option<std::sync::Arc<dyn psmr_suite::core::service::RecoverableService>>,
+) {
+    use psmr_suite::recovery::Snapshot;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let s0 = service_of(ReplicaId::new(0))
+            .expect("replica 0 alive")
+            .snapshot();
+        let s1 = service_of(ReplicaId::new(1))
+            .expect("replica 1 alive")
+            .snapshot();
+        if s0 == s1 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replicas did not converge after restart"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Blocks until the deployment has installed at least one checkpoint the
+/// crashed replica can later restart from.
+fn await_checkpoint(store: &psmr_suite::recovery::CheckpointStore) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while store.latest_id() == 0 {
+        assert!(Instant::now() < deadline, "no checkpoint was ever taken");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The acceptance scenario for P-SMR: crash replica 1 while 4 clients
+/// hammer the store, restart it from the latest coordinated checkpoint,
+/// and verify (a) the surviving replica kept the history linearizable
+/// throughout, and (b) the restarted replica replays the retained log
+/// suffix into byte-identical state.
+#[test]
+fn psmr_replica_crashes_and_rejoins_from_checkpoint() {
+    let restarts_before = global().value(counters::REPLICA_RESTARTS);
+    let mut engine =
+        PsmrEngine::spawn_recoverable(&cfg(4), fine_dependency_spec().into_map(), || {
+            KvService::with_keys(KEYS)
+        });
+    let store = engine.checkpoint_store().expect("recoverable deployment");
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..4u64)
+        .map(|c| {
+            let client = engine.client();
+            std::thread::spawn(move || client_session(client, c, 40, t0))
+        })
+        .collect();
+
+    await_checkpoint(&store);
+    engine.crash_replica(ReplicaId::new(1)).expect("crash");
+    assert!(engine.is_crashed(ReplicaId::new(1)));
+    // The deployment keeps serving on the surviving replica while one
+    // replica is down; give the workload time to make progress into the
+    // retained log suffix the restart must replay.
+    std::thread::sleep(Duration::from_millis(50));
+    engine.restart_replica(ReplicaId::new(1)).expect("restart");
+    assert!(!engine.is_crashed(ReplicaId::new(1)));
+
+    let mut records = Vec::new();
+    for h in handles {
+        records.extend(h.join().unwrap());
+    }
+    assert_linearizable(records);
+    await_convergence(|r| engine.replica_service(r));
+    assert!(store.latest_id() >= 1);
+    assert!(global().value(counters::REPLICA_RESTARTS) > restarts_before);
+    engine.shutdown();
+}
+
+/// The same crash/restart scenario on classical SMR, whose single
+/// executor makes every point between two commands a consistent cut.
+#[test]
+fn smr_replica_crashes_and_rejoins_from_checkpoint() {
+    let mut engine = SmrEngine::spawn_recoverable(&cfg(1), || KvService::with_keys(KEYS));
+    let store = engine.checkpoint_store().expect("recoverable deployment");
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..3u64)
+        .map(|c| {
+            let client = engine.client();
+            std::thread::spawn(move || client_session(client, c, 40, t0))
+        })
+        .collect();
+
+    await_checkpoint(&store);
+    engine.crash_replica(ReplicaId::new(1)).expect("crash");
+    std::thread::sleep(Duration::from_millis(50));
+    engine.restart_replica(ReplicaId::new(1)).expect("restart");
+
+    let mut records = Vec::new();
+    for h in handles {
+        records.extend(h.join().unwrap());
+    }
+    assert_linearizable(records);
+    await_convergence(|r| engine.replica_service(r));
+    engine.shutdown();
+}
+
+/// sP-SMR (the CBASE-style scheduler baseline) supports the same
+/// crash/restart cycle through the shared subsystem.
+#[test]
+fn spsmr_replica_crashes_and_rejoins_from_checkpoint() {
+    let mut engine =
+        SpSmrEngine::spawn_recoverable(&cfg(3), fine_dependency_spec().into_map(), || {
+            KvService::with_keys(KEYS)
+        });
+    let store = engine.checkpoint_store().expect("recoverable deployment");
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..3u64)
+        .map(|c| {
+            let client = engine.client();
+            std::thread::spawn(move || client_session(client, c, 40, t0))
+        })
+        .collect();
+
+    await_checkpoint(&store);
+    engine.crash_replica(ReplicaId::new(1)).expect("crash");
+    std::thread::sleep(Duration::from_millis(50));
+    engine.restart_replica(ReplicaId::new(1)).expect("restart");
+
+    let mut records = Vec::new();
+    for h in handles {
+        records.extend(h.join().unwrap());
+    }
+    assert_linearizable(records);
+    await_convergence(|r| engine.replica_service(r));
+    engine.shutdown();
+}
+
+/// Engine-level Paxos fault tolerance: with 3 acceptors per group, every
+/// ordered engine keeps committing after one acceptor of its ordering
+/// group crash-stops mid-run (previously only `paxos/tests/faults.rs`
+/// exercised this, below the engine layer).
+#[test]
+fn engines_keep_committing_with_one_acceptor_down() {
+    let map = fine_dependency_spec().into_map();
+    let factory = || KvService::with_keys(KEYS);
+
+    let run_half = |client: &mut ClientProxy, base: u64| {
+        for i in 0..20u64 {
+            let key = (base + i) % KEYS;
+            assert_eq!(
+                kv(
+                    client,
+                    KvOp::Update {
+                        key,
+                        value: base + i
+                    }
+                ),
+                KvResult::Ok,
+                "update {i} after base {base}"
+            );
+        }
+    };
+
+    // P-SMR: crash an acceptor of a worker group and one of g_all.
+    let config = cfg(3);
+    let engine = PsmrEngine::spawn(&config, map.clone(), factory);
+    let mut client = engine.client();
+    run_half(&mut client, 0);
+    engine.crash_acceptor(GroupId::new(0), 2);
+    engine.crash_acceptor(config.all_group(), 2);
+    run_half(&mut client, 100);
+    drop(client);
+    engine.shutdown();
+
+    // SMR: single ordering group.
+    let engine = SmrEngine::spawn(&cfg(1), factory);
+    let mut client = engine.client();
+    run_half(&mut client, 0);
+    engine.crash_acceptor(2);
+    run_half(&mut client, 100);
+    drop(client);
+    engine.shutdown();
+
+    // sP-SMR: single ordering group feeding the scheduler.
+    let engine = SpSmrEngine::spawn(&cfg(3), map, factory);
+    let mut client = engine.client();
+    run_half(&mut client, 0);
+    engine.crash_acceptor(2);
+    run_half(&mut client, 100);
+    drop(client);
+    engine.shutdown();
+}
+
+/// Checkpoints bound memory: the ordered-delivery logs retained for
+/// catch-up are trimmed down to the latest checkpoint's cut.
+#[test]
+fn checkpoints_trim_retained_ordered_logs() {
+    let taken_before = global().value(counters::CHECKPOINTS_TAKEN);
+    let mut config = cfg(2);
+    config.replicas(1).checkpoint_interval(None); // explicit checkpoints only
+    let engine = PsmrEngine::spawn_recoverable(&config, fine_dependency_spec().into_map(), || {
+        KvService::with_keys(KEYS)
+    });
+    let mut client = engine.client();
+    // Sequential closed-loop traffic: every command lands in its own batch,
+    // so the per-group logs grow with the run.
+    for i in 0..120u64 {
+        assert_eq!(
+            kv(
+                &mut client,
+                KvOp::Update {
+                    key: i % KEYS,
+                    value: i
+                }
+            ),
+            KvResult::Ok
+        );
+    }
+    let groups: Vec<GroupId> = (0..2)
+        .map(GroupId::new)
+        .chain([config.all_group()])
+        .collect();
+    let retained_before: usize = groups.iter().map(|g| engine.retained_len(*g)).sum();
+    assert!(
+        retained_before >= 100,
+        "logs grew with the workload: {retained_before}"
+    );
+
+    let resp = client.execute(psmr_suite::recovery::CHECKPOINT, Vec::new());
+    let id = u64::from_le_bytes(resp[..8].try_into().expect("checkpoint id"));
+    assert!(id >= 1, "checkpoint response carries its id");
+    let retained_after: usize = groups.iter().map(|g| engine.retained_len(*g)).sum();
+    assert!(
+        retained_after < retained_before / 2,
+        "trim reclaimed the covered prefix ({retained_before} -> {retained_after})"
+    );
+    assert!(global().value(counters::CHECKPOINTS_TAKEN) > taken_before);
+    drop(client);
+    engine.shutdown();
+}
+
+/// Crashing a replica of an *idle* deployment returns promptly: the
+/// worker poll timeout bounds total wait even while ticker skip batches
+/// arrive continuously with zero client traffic.
+#[test]
+fn crash_replica_returns_promptly_on_an_idle_deployment() {
+    let mut config = cfg(4);
+    config.checkpoint_interval(None);
+    let mut engine =
+        PsmrEngine::spawn_recoverable(&config, fine_dependency_spec().into_map(), || {
+            KvService::with_keys(KEYS)
+        });
+    std::thread::sleep(Duration::from_millis(30)); // let skips flow
+    let started = Instant::now();
+    engine.crash_replica(ReplicaId::new(1)).expect("crash");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "idle crash took {:?}",
+        started.elapsed()
+    );
+    engine.shutdown();
+}
+
+/// The no-rep baseline honors `checkpoint_interval` like every other
+/// recoverable engine: checkpoints happen without any client submitting
+/// CHECKPOINT commands.
+#[test]
+fn norep_auto_checkpoints_at_the_configured_interval() {
+    let mut config = SystemConfig::new(2);
+    config
+        .replicas(1)
+        .checkpoint_interval(Some(Duration::from_millis(10)));
+    let engine = NoRepEngine::spawn_recoverable(&config, fine_dependency_spec().into_map(), || {
+        KvService::with_keys(KEYS)
+    });
+    let store = engine.checkpoint_store().expect("recoverable deployment");
+    await_checkpoint(&store);
+    assert!(store.latest_id() >= 1);
+    engine.shutdown();
+}
+
+/// The recovery API refuses nonsensical transitions with typed errors.
+#[test]
+fn recovery_api_contract_errors() {
+    let mut config = cfg(2);
+    config.checkpoint_interval(None);
+    let mut engine =
+        PsmrEngine::spawn_recoverable(&config, fine_dependency_spec().into_map(), || {
+            KvService::with_keys(KEYS)
+        });
+    assert_eq!(
+        engine.crash_replica(ReplicaId::new(7)),
+        Err(RecoveryError::UnknownReplica { replica: 7 })
+    );
+    assert_eq!(
+        engine.restart_replica(ReplicaId::new(0)),
+        Err(RecoveryError::NotCrashed)
+    );
+    engine.crash_replica(ReplicaId::new(1)).expect("crash");
+    // No checkpoint was ever taken: the replica cannot come back.
+    assert_eq!(
+        engine.restart_replica(ReplicaId::new(1)),
+        Err(RecoveryError::NoCheckpoint)
+    );
+    engine.shutdown();
+
+    // Non-recoverable deployments refuse restart outright.
+    let mut plain = PsmrEngine::spawn(&cfg(2), fine_dependency_spec().into_map(), || {
+        KvService::with_keys(KEYS)
+    });
+    plain
+        .crash_replica(ReplicaId::new(1))
+        .expect("crash works without recovery");
+    assert_eq!(
+        plain.restart_replica(ReplicaId::new(1)),
+        Err(RecoveryError::NotRecoverable)
+    );
+    plain.shutdown();
+}
+
+/// `ChannelSink`-style silent drops and client retransmissions are
+/// observable through the metrics registry, so recovery tests (and
+/// operators) can tell "lost" from "slow".
+#[test]
+fn dropped_and_retransmitted_requests_are_observable() {
+    let mut config = SystemConfig::new(2);
+    config.replicas(1);
+    let engine = NoRepEngine::spawn(&config, fine_dependency_spec().into_map(), || {
+        KvService::with_keys(KEYS)
+    });
+    let mut client = engine.client();
+    assert_eq!(kv(&mut client, KvOp::Read { key: 1 }), KvResult::Value(1));
+    engine.shutdown();
+
+    // The server is gone; submissions vanish into the closed sink — but
+    // observably so.
+    let dropped_before = global().value(counters::REQUESTS_DROPPED);
+    let retrans_before = global().value(counters::REQUESTS_RETRANSMITTED);
+    let op = KvOp::Read { key: 2 };
+    client.submit(op.command(), op.encode());
+    assert!(global().value(counters::REQUESTS_DROPPED) > dropped_before);
+    // The client-side failover path re-submits everything outstanding and
+    // counts what it re-sent.
+    assert_eq!(client.retransmit_outstanding(), 1);
+    assert!(global().value(counters::REQUESTS_RETRANSMITTED) > retrans_before);
+    assert!(global().value(counters::REQUESTS_DROPPED) >= dropped_before + 2);
+}

@@ -26,39 +26,64 @@ fn kv(client: &mut psmr_suite::core::ClientProxy, op: KvOp) -> KvResult {
 fn remap_installs_and_rerouted_traffic_stays_correct() {
     let rmap = RemappableMap::new(fine_dependency_spec().into_map());
     let rmap_probe = rmap.clone();
-    let engine =
-        PsmrEngine::spawn_remappable(&cfg(4), rmap, || KvService::with_keys(64));
+    let engine = PsmrEngine::spawn_remappable(&cfg(4), rmap, || KvService::with_keys(64));
     let mut client = engine.client();
 
     // Warm traffic before the remap.
     for k in 0..32u64 {
-        assert_eq!(kv(&mut client, KvOp::Update { key: k, value: k + 1 }), KvResult::Ok);
+        assert_eq!(
+            kv(
+                &mut client,
+                KvOp::Update {
+                    key: k,
+                    value: k + 1
+                }
+            ),
+            KvResult::Ok
+        );
     }
 
     // Pin keys 0..8 all onto group 3.
-    let mut table = RemapTable::default();
-    table.epoch = 1;
+    let mut table = RemapTable {
+        epoch: 1,
+        ..Default::default()
+    };
     for k in 0..8u64 {
         table.pins.insert(k, GroupId::new(3));
     }
     let resp = client.execute(REMAP, table.encode());
     assert_eq!(resp[0], 1, "install acknowledged");
-    assert_eq!(rmap_probe.current_table().epoch, 1, "client-side map updated");
+    assert_eq!(
+        rmap_probe.current_table().epoch,
+        1,
+        "client-side map updated"
+    );
 
     // Rerouted traffic still reads its own writes and serializes per key.
     for k in 0..8u64 {
         assert_eq!(
-            kv(&mut client, KvOp::Update { key: k, value: 100 + k }),
+            kv(
+                &mut client,
+                KvOp::Update {
+                    key: k,
+                    value: 100 + k
+                }
+            ),
             KvResult::Ok
         );
-        assert_eq!(kv(&mut client, KvOp::Read { key: k }), KvResult::Value(100 + k));
+        assert_eq!(
+            kv(&mut client, KvOp::Read { key: k }),
+            KvResult::Value(100 + k)
+        );
     }
     // Unpinned keys too.
     assert_eq!(kv(&mut client, KvOp::Read { key: 20 }), KvResult::Value(21));
 
     // A stale epoch is rejected replica-wide.
-    let mut stale = RemapTable::default();
-    stale.epoch = 1;
+    let mut stale = RemapTable {
+        epoch: 1,
+        ..Default::default()
+    };
     stale.pins.insert(0, GroupId::new(0));
     let resp = client.execute(REMAP, stale.encode());
     assert_eq!(resp[0], 0, "stale epoch refused");
@@ -83,10 +108,7 @@ fn concurrent_traffic_across_a_remap_stays_consistent() {
             for i in 0..80u64 {
                 let key = (c * 5 + i) % 16;
                 let value = c * 10_000 + i;
-                assert_eq!(
-                    kv(&mut client, KvOp::Update { key, value }),
-                    KvResult::Ok
-                );
+                assert_eq!(kv(&mut client, KvOp::Update { key, value }), KvResult::Ok);
                 wrote.insert(key, value);
             }
             // Read-your-writes per client at the end: the value is ours or
@@ -104,11 +126,15 @@ fn concurrent_traffic_across_a_remap_stays_consistent() {
         handles.push(std::thread::spawn(move || {
             let mut admin = engine.client();
             for epoch in 1..=5u64 {
-                let mut table = RemapTable::default();
-                table.epoch = epoch;
+                let mut table = RemapTable {
+                    epoch,
+                    ..Default::default()
+                };
                 for k in 0..16u64 {
                     // Rotate the pinning each epoch.
-                    table.pins.insert(k, GroupId::new(((k + epoch) % 4) as usize));
+                    table
+                        .pins
+                        .insert(k, GroupId::new(((k + epoch) % 4) as usize));
                 }
                 let resp = admin.execute(REMAP, table.encode());
                 assert_eq!(resp[0], 1, "epoch {epoch} installs");
