@@ -1,0 +1,7 @@
+//! Extension experiment: checkpoint-under-load and recovery time.
+//! See `psmr_bench::experiments::ckpt_load`.
+
+fn main() {
+    let args = psmr_bench::BenchArgs::from_env();
+    let _ = psmr_bench::experiments::ckpt_load(&args);
+}

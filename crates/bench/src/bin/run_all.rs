@@ -13,5 +13,6 @@ fn main() {
     let _ = experiments::fig7(&args);
     let _ = experiments::fig8(&args);
     let _ = experiments::remap(&args);
+    let _ = experiments::ckpt_load(&args);
     println!("all experiments written to target/experiments/");
 }

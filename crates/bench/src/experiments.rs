@@ -294,6 +294,135 @@ pub fn remap(args: &BenchArgs) -> Report {
     report
 }
 
+/// Extension: checkpoint-under-load — what the recovery subsystem costs
+/// while the store is saturated, and how long a crash→restart→converge
+/// cycle takes end to end.
+///
+/// Three measurements on a recoverable P-SMR deployment:
+///
+/// 1. **Baseline** — no checkpoints, the engine as the paper runs it.
+/// 2. **Checkpointing under load** — periodic coordinated checkpoints
+///    with durable (on-disk) snapshots; the throughput dip against the
+///    baseline is the price of the §V machinery.
+/// 3. **Recovery time** — crash a replica mid-load, restart it
+///    (disk-first, peer-transfer fallback), and measure both the restart
+///    call (fetch + restore + re-subscribe) and the log replay until the
+///    replicas' snapshots are byte-identical.
+pub fn ckpt_load(args: &BenchArgs) -> Report {
+    use psmr_common::ids::ReplicaId;
+    use psmr_common::metrics::{counters, global};
+    use psmr_core::engines::PsmrEngine;
+    use psmr_kvstore::{fine_dependency_spec, KvService};
+    use psmr_recovery::Snapshot;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let mut report = Report::new("ckpt_load");
+    let mpl = 4usize;
+    let keys = args.keys;
+    let interval = if args.quick {
+        Duration::from_millis(50)
+    } else {
+        Duration::from_millis(100)
+    };
+    let map = fine_dependency_spec().into_map();
+    let factory = move || KvService::with_keys_and_work(keys, crate::engines::EXEC_WORK);
+    let dist = KeyDist::uniform(keys);
+    let mix = KvMix::update_read();
+    let mut run_opts = opts(args);
+    run_opts.clients = run_opts.clients.min(8);
+
+    // 1. Baseline: recoverable deployment, checkpointing off.
+    let mut cfg = SystemConfig::new(mpl);
+    cfg.replicas(2);
+    let engine = PsmrEngine::spawn_recoverable(&cfg, map.clone(), factory);
+    let base = drive_kv(&engine, &mix, &dist, &run_opts);
+    engine.shutdown();
+    report.line(&format!(
+        "baseline (no checkpoints):      {:.1} Kcps, {:.3} ms avg",
+        base.kcps, base.avg_latency_ms
+    ));
+
+    // 2. Checkpointing under load: periodic CHECKPOINTs + durable disk.
+    let snap_dir = std::env::temp_dir().join(format!("psmr-ckpt-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    cfg.checkpoint_interval(Some(interval))
+        .snapshot_dir(Some(snap_dir.clone()));
+    let mut engine = PsmrEngine::spawn_recoverable(&cfg, map, factory);
+    let taken_before = global().value(counters::CHECKPOINTS_TAKEN);
+    let under = drive_kv(&engine, &mix, &dist, &run_opts);
+    let taken = global().value(counters::CHECKPOINTS_TAKEN) - taken_before;
+    let dip = (1.0 - under.kcps / base.kcps.max(f64::MIN_POSITIVE)) * 100.0;
+    report.line(&format!(
+        "checkpointing every {:?} + disk: {:.1} Kcps, {:.3} ms avg (dip {:.1}%, {} checkpoints installed)",
+        interval, under.kcps, under.avg_latency_ms, dip, taken
+    ));
+
+    // 3. Recovery time: crash replica 1 under load, let the survivors
+    // checkpoint past it, restart it and time restart + convergence.
+    let stop = Arc::new(AtomicBool::new(false));
+    let load: Vec<_> = (0..4u64)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let mut client = engine.client();
+            std::thread::spawn(move || {
+                use psmr_kvstore::{KvOp, KvResult};
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let op = KvOp::Update {
+                        key: (c * 31 + i) % keys.max(1),
+                        value: i,
+                    };
+                    let resp = client.execute(op.command(), op.encode());
+                    assert_eq!(KvResult::decode(&resp), KvResult::Ok);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+    engine
+        .crash_replica(ReplicaId::new(1))
+        .expect("crash replica 1");
+    std::thread::sleep(interval * 2); // survivors checkpoint past the crash
+    let restart_started = Instant::now();
+    let recovery = engine
+        .restart_replica(ReplicaId::new(1))
+        .expect("restart replica 1");
+    let restart_ms = restart_started.elapsed().as_secs_f64() * 1e3;
+    stop.store(true, Ordering::Relaxed);
+    for h in load {
+        h.join().expect("load client");
+    }
+    let converge_deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let s0 = engine
+            .replica_service(ReplicaId::new(0))
+            .map(|s| s.snapshot());
+        let s1 = engine
+            .replica_service(ReplicaId::new(1))
+            .map(|s| s.snapshot());
+        if s0.is_some() && s0 == s1 {
+            break;
+        }
+        assert!(
+            Instant::now() < converge_deadline,
+            "restarted replica did not converge"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let recovered_ms = restart_started.elapsed().as_secs_f64() * 1e3;
+    report.line(&format!(
+        "crash→restart: {restart_ms:.1} ms (snapshot fetch + restore + re-subscribe), \
+         converged after {recovered_ms:.1} ms total; recovered via {:?}, {} peer fallback(s)",
+        recovery.source, recovery.transfer_fallbacks
+    ));
+    engine.shutdown();
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    report.save();
+    report
+}
+
 /// Figure 8: NetFS — read-only and write-only 1024-byte workloads over
 /// SMR, sP-SMR and P-SMR (8 path ranges → 9 multicast groups).
 pub fn fig8(args: &BenchArgs) -> Report {

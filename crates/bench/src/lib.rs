@@ -16,6 +16,8 @@
 //! | `fig6` | mixed workloads (breakeven point) |
 //! | `fig7` | skewed workloads (uniform vs Zipf) |
 //! | `fig8` | NetFS reads and writes |
+//! | `remap` | extension: online C-G reconfiguration under skew |
+//! | `ckpt_load` | extension: checkpoint-under-load dip + recovery time |
 //! | `run_all` | everything above, writing `EXPERIMENTS.md` data |
 //!
 //! All binaries accept `--quick` (shorter runs for CI), `--keys N`,

@@ -7,6 +7,7 @@
 //! 8 KB batch cap of the multicast library.
 
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Configuration of a replicated deployment.
@@ -58,6 +59,21 @@ pub struct SystemConfig {
     /// command on the serialized group at this interval, keeping the
     /// ordered logs trimmed and recovery points fresh.
     pub checkpoint_interval: Option<Duration>,
+    /// When set, every replica of a recoverable deployment persists its
+    /// checkpoints to `<snapshot_dir>/r<replica>` (atomic rename,
+    /// crc-checked load), and a restarting replica recovers from its own
+    /// disk before falling back to peer state transfer. `None` keeps
+    /// checkpoints in memory only.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Chunk size of peer-to-peer state transfer: a served snapshot is
+    /// streamed as `ceil(len / transfer_chunk_bytes)` messages so a peer
+    /// crash mid-transfer is detectable per chunk rather than per
+    /// snapshot.
+    pub transfer_chunk_bytes: usize,
+    /// How long a fetching replica waits for each state-transfer message
+    /// (the offer and every chunk) before declaring the serving peer dead
+    /// and falling back to the next one.
+    pub transfer_timeout: Duration,
 }
 
 impl SystemConfig {
@@ -79,6 +95,9 @@ impl SystemConfig {
             client_window: 50,
             log_retention: 4096,
             checkpoint_interval: None,
+            snapshot_dir: None,
+            transfer_chunk_bytes: 4096,
+            transfer_timeout: Duration::from_millis(250),
         }
     }
 
@@ -137,6 +156,25 @@ impl SystemConfig {
     /// Sets (or clears) the automatic checkpoint interval.
     pub fn checkpoint_interval(&mut self, interval: Option<Duration>) -> &mut Self {
         self.checkpoint_interval = interval;
+        self
+    }
+
+    /// Sets (or clears) the directory durable snapshots are persisted
+    /// under. Each replica uses the `r<replica>` subdirectory.
+    pub fn snapshot_dir(&mut self, dir: Option<PathBuf>) -> &mut Self {
+        self.snapshot_dir = dir;
+        self
+    }
+
+    /// Sets the state-transfer chunk size in bytes (floored at 1).
+    pub fn transfer_chunk_bytes(&mut self, bytes: usize) -> &mut Self {
+        self.transfer_chunk_bytes = bytes.max(1);
+        self
+    }
+
+    /// Sets the per-message state-transfer timeout.
+    pub fn transfer_timeout(&mut self, timeout: Duration) -> &mut Self {
+        self.transfer_timeout = timeout;
         self
     }
 
@@ -229,6 +267,20 @@ mod tests {
         assert_eq!(cfg.checkpoint_interval, Some(Duration::from_millis(50)));
         cfg.log_retention(0);
         assert_eq!(cfg.log_retention, 1, "cap floors at one batch");
+    }
+
+    #[test]
+    fn transfer_and_durability_knobs_have_safe_defaults_and_chain() {
+        let mut cfg = SystemConfig::new(2);
+        assert_eq!(cfg.snapshot_dir, None);
+        assert_eq!(cfg.transfer_chunk_bytes, 4096);
+        assert_eq!(cfg.transfer_timeout, Duration::from_millis(250));
+        cfg.snapshot_dir(Some(PathBuf::from("/tmp/psmr")))
+            .transfer_chunk_bytes(0)
+            .transfer_timeout(Duration::from_millis(50));
+        assert_eq!(cfg.snapshot_dir.as_deref(), Some("/tmp/psmr".as_ref()));
+        assert_eq!(cfg.transfer_chunk_bytes, 1, "chunk size floors at 1");
+        assert_eq!(cfg.transfer_timeout, Duration::from_millis(50));
     }
 
     #[test]

@@ -343,6 +343,24 @@ pub mod counters {
     pub const CHECKPOINTS_TAKEN: &str = "checkpoints_taken";
     /// Replicas restarted from a `(checkpoint, log suffix)` pair.
     pub const REPLICA_RESTARTS: &str = "replica_restarts";
+    /// State-transfer fetch requests a serving peer answered with an
+    /// offer (chunks follow).
+    pub const TRANSFERS_SERVED: &str = "transfers_served";
+    /// State transfers a fetching replica completed with a verified
+    /// digest.
+    pub const TRANSFERS_COMPLETED: &str = "transfers_completed";
+    /// Snapshot chunks sent by serving peers.
+    pub const TRANSFER_CHUNKS_SENT: &str = "transfer_chunks_sent";
+    /// Times a fetching replica gave up on a peer (timeout, digest
+    /// mismatch, mid-transfer crash) and moved to the next one.
+    pub const TRANSFER_FALLBACKS: &str = "transfer_fallbacks";
+    /// Checkpoints persisted to a replica's durable store.
+    pub const SNAPSHOTS_PERSISTED: &str = "snapshots_persisted";
+    /// Checkpoints loaded back from a durable store at recovery.
+    pub const SNAPSHOTS_LOADED: &str = "snapshots_loaded";
+    /// Durable snapshot files rejected at load (bad magic, truncation,
+    /// crc mismatch) — corrupt files are skipped, not fatal.
+    pub const SNAPSHOT_LOAD_FAILURES: &str = "snapshot_load_failures";
 }
 
 /// A process-wide registry of named [`Counter`]s.

@@ -20,6 +20,7 @@ pub mod sync;
 
 pub use norep::NoRepEngine;
 pub use psmr::PsmrEngine;
+pub use recover::{RecoveryReport, RecoverySource};
 pub use smr::SmrEngine;
 pub use spsmr::SpSmrEngine;
 
@@ -124,6 +125,31 @@ impl Router {
                 Some(vec![u8::from(installed)])
             }
             _ => None,
+        }
+    }
+
+    /// The remap epoch in force and its encoded overlay table — what the
+    /// state-transfer handshake advertises to a restarting replica.
+    /// Fixed routers report `(0, empty)`.
+    pub fn epoch_table(&self) -> (u64, Vec<u8>) {
+        match self {
+            Router::Fixed(_) => (0, Vec::new()),
+            Router::Remappable(map) => {
+                let table = map.current_table();
+                (table.epoch, table.encode())
+            }
+        }
+    }
+
+    /// Adopts the overlay table a state-transfer handshake carried (the
+    /// remap-epoch half of recovery). Stale or malformed tables are
+    /// ignored — [`RemappableMap::install`] is epoch-monotonic — and
+    /// fixed routers have nothing to install.
+    pub fn install_fetched(&self, table: &[u8]) {
+        if let (Router::Remappable(map), false) = (self, table.is_empty()) {
+            if let Some(table) = RemapTable::decode(table) {
+                map.install(table);
+            }
         }
     }
 }

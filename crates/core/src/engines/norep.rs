@@ -13,9 +13,14 @@
 //! snapshots the service — but with no ordered log and no peer replicas
 //! there is nothing to replay: a crashed no-rep server loses the tail
 //! past its last checkpoint, which is precisely the availability gap
-//! replication closes.
+//! replication closes. With `SystemConfig::snapshot_dir` set the server
+//! persists those checkpoints durably and **cold-starts from its own
+//! disk**: a fresh `spawn_recoverable` over the same directory restores
+//! the newest valid snapshot before serving — the no-rep half of the
+//! "fresh process recovers from its own disk" story (minus the log
+//! replay and peer catch-up only replication can offer).
 
-use super::recover::{auto_checkpointer, CheckpointHook};
+use super::recover::{auto_checkpointer, fixed_epoch, CheckpointHook};
 use super::scheduler::ExecStage;
 use super::{ChannelSink, Engine};
 use crate::client::ClientProxy;
@@ -44,12 +49,22 @@ pub struct NoRepEngine {
 impl NoRepEngine {
     /// Spawns the server with `cfg.mpl` workers plus a scheduler.
     pub fn spawn<S: Service>(cfg: &SystemConfig, map: CommandMap, factory: impl Fn() -> S) -> Self {
-        Self::spawn_inner(cfg, map, Arc::new(factory()), None)
+        Self::spawn_inner(cfg, map, Arc::new(factory()), None, 0)
     }
 
     /// Like [`NoRepEngine::spawn`] with checkpoint support: CHECKPOINT
     /// requests snapshot the drained service into the returned
     /// [`CheckpointStore`] (see [`NoRepEngine::checkpoint_store`]).
+    ///
+    /// With `cfg.snapshot_dir` set, checkpoints also persist to
+    /// `<snapshot_dir>/r0` and a fresh spawn over the same directory
+    /// **cold-starts from the newest valid snapshot** before serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configured snapshot directory cannot be created
+    /// or a found snapshot does not decode into the service — a server
+    /// asked to be durable must not come up silently empty.
     pub fn spawn_recoverable<S: RecoverableService>(
         cfg: &SystemConfig,
         map: CommandMap,
@@ -57,8 +72,47 @@ impl NoRepEngine {
     ) -> Self {
         let service: Arc<dyn RecoverableService> = Arc::new(factory());
         let store = Arc::new(CheckpointStore::new());
-        let hook = CheckpointHook::new(&service, Arc::clone(&store), None, 0);
-        let mut engine = Self::spawn_inner(cfg, map, service as Arc<dyn Service>, Some(hook));
+        let durable = cfg.snapshot_dir.as_ref().map(|dir| {
+            Arc::new(
+                psmr_recovery::DurableStore::open(dir.join("r0"))
+                    .expect("create snapshot directory"),
+            )
+        });
+        // Cold-start: a restarted process finds its own newest snapshot
+        // on disk and resumes from it (everything past that checkpoint is
+        // lost — the availability gap replication closes).
+        let mut seed = 0;
+        // The arrival counter stands in for a stream position when cuts
+        // are tagged; resume it past the recovered cut so the next
+        // checkpoint still reads as newer than the recovered one.
+        let mut arrival_seed = 0;
+        if let Some(loaded) = durable.as_ref().and_then(|d| d.load_latest()) {
+            service
+                .restore(&loaded.checkpoint.snapshot)
+                .expect("disk snapshot passed crc but not the service codec");
+            seed = loaded.checkpoint.id;
+            arrival_seed = loaded.checkpoint.cut.seq;
+            store.install(
+                loaded.checkpoint.cut,
+                loaded.checkpoint.id,
+                loaded.checkpoint.snapshot,
+            );
+        }
+        let hook = CheckpointHook::new(
+            &service,
+            Arc::clone(&store),
+            durable,
+            fixed_epoch(),
+            None,
+            seed,
+        );
+        let mut engine = Self::spawn_inner(
+            cfg,
+            map,
+            service as Arc<dyn Service>,
+            Some(hook),
+            arrival_seed,
+        );
         engine.store = Some(store);
         // Honor the config contract shared by every recoverable engine:
         // with `checkpoint_interval` set, checkpoints happen on their own.
@@ -73,6 +127,7 @@ impl NoRepEngine {
         map: CommandMap,
         service: Arc<dyn Service>,
         hook: Option<CheckpointHook>,
+        arrival_seed: u64,
     ) -> Self {
         let router: SharedRouter = Arc::new(ResponseRouter::new());
         // Mirror the multicast submit queue's bound so client backpressure
@@ -85,8 +140,9 @@ impl NoRepEngine {
             .spawn(move || {
                 let mut stage = stage;
                 // Arrival order is the total order; the counter stands in
-                // for a stream position when tagging checkpoint cuts.
-                let mut arrival = 0u64;
+                // for a stream position when tagging checkpoint cuts
+                // (seeded past a cold-start's recovered cut).
+                let mut arrival = arrival_seed;
                 while let Ok(req) = rx.recv() {
                     arrival += 1;
                     if req.command == CHECKPOINT {

@@ -23,16 +23,24 @@
 //! synchronizes all `k` workers exactly like any dependent command — the
 //! synchronous-mode barrier *is* the quiescence point. The elected
 //! executor snapshots the service while its peers wait, installs the
-//! checkpoint into the deployment-wide [`psmr_recovery::CheckpointStore`]
-//! tagged with the command's stream position, and trims the ordered logs
-//! the checkpoint makes reclaimable. [`PsmrEngine::crash_replica`]
-//! crash-stops one replica's workers mid-run;
-//! [`PsmrEngine::restart_replica`] rebuilds it from
-//! `(latest checkpoint, retained log suffix)` and the replica converges
-//! with the rest.
+//! checkpoint into its replica's own [`psmr_recovery::CheckpointStore`]
+//! tagged with the command's stream position, persists it durably when
+//! `SystemConfig::snapshot_dir` is set, and trims the ordered logs the
+//! checkpoint makes reclaimable. Each replica serves its store to
+//! restarting peers through a `psmr_recovery::transfer` server.
+//! [`PsmrEngine::crash_replica`] crash-stops one replica's workers
+//! mid-run; [`PsmrEngine::restart_replica`] recovers it disk-first with
+//! peer fallback — own durable snapshot when the retained logs still
+//! cover it, chunked digest-verified state transfer from a live peer
+//! otherwise — replays the retained log suffix, and the replica
+//! converges with the rest. With
+//! [`PsmrEngine::spawn_recoverable_remappable`], the transfer handshake
+//! additionally carries the remap epoch in force, so a replica that
+//! checkpointed under an old C-Dep mapping rejoins under the current
+//! one.
 
 use super::recover::{
-    auto_checkpointer, restore_from_latest, CheckpointHook, EngineRecovery, ReplicaSlot, CRASH_POLL,
+    auto_checkpointer, CheckpointHook, EngineRecovery, RecoveryReport, ReplicaSlot, CRASH_POLL,
 };
 use super::sync::{SignalBoard, SignalEndpoint, SignalKind};
 use super::{CgSink, Engine, Router};
@@ -104,37 +112,55 @@ impl PsmrEngine {
     /// [`psmr_recovery::Snapshot`]. With `cfg.checkpoint_interval` set, a
     /// background driver multicasts [`CHECKPOINT`] commands periodically;
     /// otherwise submit them through any client (the response carries the
-    /// checkpoint id).
+    /// checkpoint id). With `cfg.snapshot_dir` set, every replica also
+    /// persists its checkpoints to disk and recovers from them.
     pub fn spawn_recoverable<S: RecoverableService>(
         cfg: &SystemConfig,
         map: CommandMap,
         factory: impl Fn() -> S + Send + Sync + 'static,
     ) -> Self {
-        let mut engine = Self::scaffold(cfg, Router::Fixed(map));
-        let store = Arc::new(CheckpointStore::new());
+        Self::spawn_recoverable_with_router(cfg, Router::Fixed(map), factory)
+    }
+
+    /// Like [`PsmrEngine::spawn_recoverable`] with an online-remappable
+    /// C-G (see [`PsmrEngine::spawn_remappable`]): the state-transfer
+    /// handshake carries the remap epoch and overlay table in force, so
+    /// a replica restarting across a remap rejoins under the current
+    /// mapping.
+    pub fn spawn_recoverable_remappable<S: RecoverableService>(
+        cfg: &SystemConfig,
+        map: RemappableMap,
+        factory: impl Fn() -> S + Send + Sync + 'static,
+    ) -> Self {
+        Self::spawn_recoverable_with_router(cfg, Router::Remappable(map), factory)
+    }
+
+    fn spawn_recoverable_with_router<S: RecoverableService>(
+        cfg: &SystemConfig,
+        map: Router,
+        factory: impl Fn() -> S + Send + Sync + 'static,
+    ) -> Self {
+        let mut engine = Self::scaffold(cfg, map);
         let dyn_factory: Arc<dyn Fn() -> Arc<dyn RecoverableService> + Send + Sync> =
             Arc::new(move || Arc::new(factory()) as Arc<dyn RecoverableService>);
+        let epoch_router = engine.sink.router.clone();
+        let mut recovery = EngineRecovery::build(
+            cfg,
+            Arc::clone(&dyn_factory),
+            Arc::new(move || epoch_router.epoch_table()),
+        );
         for replica in 0..cfg.n_replicas {
             let service = (dyn_factory)();
-            let hook = CheckpointHook::new(
-                &service,
-                Arc::clone(&store),
-                Some(engine.sink.handle.clone()),
-                0,
-            );
+            let hook = recovery.hook_for(replica, &service, Some(engine.sink.handle.clone()), 0);
             let slot =
                 engine.spawn_replica(cfg, replica, service.clone(), Some(service), Some(hook));
             engine.replicas.push(slot);
         }
         engine.system.start();
-        let checkpointer = cfg
+        recovery.checkpointer = cfg
             .checkpoint_interval
             .map(|interval| auto_checkpointer(Arc::clone(&engine.sink) as _, interval));
-        engine.recovery = Some(EngineRecovery {
-            factory: dyn_factory,
-            store,
-            checkpointer,
-        });
+        engine.recovery = Some(recovery);
         engine
     }
 
@@ -246,20 +272,29 @@ impl PsmrEngine {
             .get_mut(idx)
             .ok_or(RecoveryError::UnknownReplica { replica: idx })?;
         slot.crash(|| board.shutdown());
+        if let Some(recovery) = self.recovery.as_mut() {
+            recovery.on_crash(idx);
+        }
         Ok(())
     }
 
-    /// Restarts a crashed replica from `(latest checkpoint, log suffix)`:
-    /// a fresh service instance is restored from the snapshot, its `k`
-    /// workers re-subscribe at the checkpoint's cut, and the retained
-    /// ordered-log suffix replays until the replica converges with the
-    /// live ones.
+    /// Restarts a crashed replica the way a redeployed process would:
+    /// recover the newest usable checkpoint **disk-first with peer
+    /// fallback** (own durable snapshot while the retained logs still
+    /// cover its cut, digest-verified chunked state transfer from a live
+    /// peer otherwise), adopt the remap epoch the transfer handshake
+    /// carried, re-subscribe the `k` worker streams at the checkpoint's
+    /// cut, and replay the retained ordered-log suffix until the replica
+    /// converges with the live ones. Returns a [`RecoveryReport`] naming
+    /// the path taken.
     ///
     /// # Errors
     ///
-    /// Requires a recoverable deployment, a previously crashed replica,
-    /// at least one checkpoint, and retained logs covering the cut.
-    pub fn restart_replica(&mut self, replica: ReplicaId) -> Result<(), RecoveryError> {
+    /// Requires a recoverable deployment, a previously crashed replica, a
+    /// recovery point (disk snapshot or live peer with a checkpoint), and
+    /// retained logs covering its cut ([`RecoveryError::CutTrimmed`] when
+    /// concurrent checkpoints trim every candidate cut mid-restart).
+    pub fn restart_replica(&mut self, replica: ReplicaId) -> Result<RecoveryReport, RecoveryError> {
         let idx = replica.as_raw();
         if idx >= self.replicas.len() {
             return Err(RecoveryError::UnknownReplica { replica: idx });
@@ -267,25 +302,32 @@ impl PsmrEngine {
         if !self.replicas[idx].crashed {
             return Err(RecoveryError::NotCrashed);
         }
-        let (factory, store) = {
-            let recovery = self
-                .recovery
-                .as_ref()
-                .ok_or(RecoveryError::NotRecoverable)?;
-            (Arc::clone(&recovery.factory), Arc::clone(&recovery.store))
-        };
+        if self.recovery.is_none() {
+            return Err(RecoveryError::NotRecoverable);
+        }
+        let live_peers: Vec<usize> = (0..self.replicas.len())
+            .filter(|&p| p != idx && !self.replicas[p].crashed)
+            .collect();
         let mpl = self.system.config().mpl;
         let all_group = self.system.config().all_group();
-        let (service, streams, checkpoint) = restore_from_latest(&store, &*factory, |cut| {
-            (0..mpl)
-                .map(|i| self.system.worker_stream_at(WorkerId::new(i), cut))
-                .collect::<Result<Vec<_>, _>>()
-        })?;
-        let hook = CheckpointHook::new(
+        let system = &self.system;
+        let router = self.sink.router.clone();
+        let recovery = self.recovery.as_mut().expect("checked above");
+        let (service, streams, report) = recovery.recover(
+            idx,
+            &live_peers,
+            &|table| router.install_fetched(table),
+            |cut| {
+                (0..mpl)
+                    .map(|i| system.worker_stream_at(WorkerId::new(i), cut))
+                    .collect::<Result<Vec<_>, _>>()
+            },
+        )?;
+        let hook = recovery.hook_for(
+            idx,
             &service,
-            store,
             Some(self.sink.handle.clone()),
-            checkpoint.id,
+            report.checkpoint_id,
         );
         let slot = self.spawn_replica_at(
             mpl,
@@ -302,12 +344,18 @@ impl PsmrEngine {
         self.boards[idx] = board;
         self.replicas[idx] = slot;
         global().counter(counters::REPLICA_RESTARTS).inc();
-        Ok(())
+        Ok(report)
     }
 
-    /// The deployment's checkpoint store (recoverable deployments only).
+    /// The checkpoint store of one live replica (recoverable deployments
+    /// only): every replica installs the same checkpoints, so any live
+    /// store answers "what is the deployment's newest recovery point".
     pub fn checkpoint_store(&self) -> Option<Arc<CheckpointStore>> {
-        self.recovery.as_ref().map(|r| Arc::clone(&r.store))
+        let recovery = self.recovery.as_ref()?;
+        self.replicas
+            .iter()
+            .position(|slot| !slot.crashed)
+            .map(|idx| Arc::clone(&recovery.replicas[idx].store))
     }
 
     /// The live service instance of one replica (recoverable deployments;
@@ -328,6 +376,16 @@ impl PsmrEngine {
     /// [`psmr_netsim::live::LiveNet`] — engine-level fault injection.
     pub fn crash_acceptor(&self, group: GroupId, acceptor: usize) {
         self.system.crash_acceptor(group, acceptor);
+    }
+
+    /// Severs the state-transfer link `from → to` after `budget` more
+    /// messages — engine-level fault injection modeling a serving peer
+    /// that dies mid-transfer (the fetcher times out and falls back to
+    /// its next peer). No-op on non-recoverable deployments.
+    pub fn sever_transfer_link(&self, from: ReplicaId, to: ReplicaId, budget: u64) {
+        if let Some(recovery) = &self.recovery {
+            recovery.sever_transfer_link(from.as_raw(), to.as_raw(), budget);
+        }
     }
 
     /// Decided batches currently retained by `group` for catch-up.

@@ -1,17 +1,31 @@
 //! Engine-side halves of the checkpoint & recovery subsystem shared by
-//! every engine: executing a delivered [`CHECKPOINT`](psmr_recovery::CHECKPOINT)
-//! command at its consistent cut, the per-engine recovery context
-//! (service factory + checkpoint store + optional periodic driver), and
-//! the replica bookkeeping crash/restart operates on.
+//! every engine: executing a delivered [`psmr_recovery::CHECKPOINT`]
+//! command at its consistent cut (and persisting it durably), the
+//! per-engine recovery context — per-replica checkpoint stores, the
+//! state-transfer fabric replicas recover over, durable snapshot
+//! directories, the optional periodic driver — and the replica
+//! bookkeeping crash/restart operates on.
+//!
+//! Recovery is **deployment-shaped**, not a shared-memory fiction: each
+//! replica owns its checkpoint store and serves it to peers through a
+//! [`StateTransferServer`]; a restarting replica recovers from its own
+//! disk snapshot when the retained logs still cover it, and falls back
+//! to fetching a fresher checkpoint from a live peer otherwise.
 
 use crate::client::RequestSink;
 use crate::service::RecoverableService;
 use psmr_common::envelope::Request;
 use psmr_common::ids::{ClientId, RequestId};
 use psmr_common::metrics::{counters, global};
+use psmr_common::SystemConfig;
 use psmr_multicast::{Delivered, MulticastHandle};
+use psmr_netsim::NodeId;
+use psmr_recovery::transfer::{
+    fetch_latest, probe_latest, StateTransferServer, TransferNet, TransferSource,
+};
 use psmr_recovery::{
-    AutoCheckpointer, Checkpoint, CheckpointStore, RecoveryError, StreamCut, CHECKPOINT,
+    AutoCheckpointer, Checkpoint, CheckpointStore, DurableStore, RecoveryError, StreamCut,
+    TransferError, CHECKPOINT,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -21,21 +35,63 @@ use std::time::Duration;
 /// How often blocked replica threads re-check their crash flag.
 pub(crate) const CRASH_POLL: Duration = Duration::from_millis(20);
 
+/// How often a restart re-fetches from peers when a concurrent trim
+/// races the cut it is restoring at, before giving up with
+/// [`RecoveryError::CutTrimmed`].
+const REFETCH_ATTEMPTS: usize = 3;
+
+/// Durable snapshot files each replica keeps on disk (the newest ones).
+const DISK_RETAIN: usize = 2;
+
+/// Supplies the remap epoch currently in force and its encoded overlay
+/// table — `(0, empty)` for fixed-C-G deployments.
+pub(crate) type EpochSource = Arc<dyn Fn() -> (u64, Vec<u8>) + Send + Sync>;
+
+/// An [`EpochSource`] for engines without online remapping.
+pub(crate) fn fixed_epoch() -> EpochSource {
+    Arc::new(|| (0, Vec::new()))
+}
+
+/// The state-transfer address of a replica.
+fn transfer_node(replica: usize) -> NodeId {
+    NodeId::new(replica as u64)
+}
+
+/// Adapts one replica's checkpoint store (plus the deployment's epoch
+/// source) into what a [`StateTransferServer`] serves.
+struct StoreSource {
+    store: Arc<CheckpointStore>,
+    epoch: EpochSource,
+}
+
+impl TransferSource for StoreSource {
+    fn latest(&self) -> Option<Checkpoint> {
+        self.store.latest()
+    }
+
+    fn epoch_table(&self) -> (u64, Vec<u8>) {
+        (self.epoch)()
+    }
+}
+
 /// What an executor needs to take a checkpoint when the control command
-/// reaches it: a way to snapshot its replica's service, the shared store
-/// to install into, and (for multicast-backed engines) the handle whose
-/// ordered logs become trimmable afterwards.
+/// reaches it: a way to snapshot its replica's service, the replica's
+/// own store to install into, the durable store to persist into, and
+/// (for multicast-backed engines) the handle whose ordered logs become
+/// trimmable afterwards.
 #[derive(Clone)]
 pub(crate) struct CheckpointHook {
     snapshot: Arc<dyn Fn() -> Vec<u8> + Send + Sync>,
     store: Arc<CheckpointStore>,
+    durable: Option<Arc<DurableStore>>,
+    epoch: EpochSource,
     trim: Option<MulticastHandle>,
     /// CHECKPOINT commands this replica has executed, seeded at restart
     /// with the recovery checkpoint's id. Replicas execute the same
     /// CHECKPOINT commands in the same order, so every replica derives
-    /// the identical id for a given command without consulting the shared
-    /// store — a lagging replica answers an old request with the same id
-    /// the fast replicas already did, no matter how far behind it is.
+    /// the identical id for a given command deterministically — a lagging
+    /// replica answers an old request with the same id the fast replicas
+    /// already did, no matter how far behind it is.
     executed: Arc<AtomicU64>,
 }
 
@@ -46,6 +102,8 @@ impl CheckpointHook {
     pub fn new(
         service: &Arc<dyn RecoverableService>,
         store: Arc<CheckpointStore>,
+        durable: Option<Arc<DurableStore>>,
+        epoch: EpochSource,
         trim: Option<MulticastHandle>,
         seed: u64,
     ) -> Self {
@@ -53,6 +111,8 @@ impl CheckpointHook {
         Self {
             snapshot: Arc::new(move || svc.snapshot()),
             store,
+            durable,
+            epoch,
             trim,
             executed: Arc::new(AtomicU64::new(seed)),
         }
@@ -60,8 +120,9 @@ impl CheckpointHook {
 
     /// Executes a delivered [`CHECKPOINT`] command: snapshots the
     /// (quiesced) service, installs the checkpoint at the command's cut,
-    /// and trims the ordered logs it makes reclaimable. Returns the
-    /// response payload (the checkpoint id, little-endian).
+    /// persists it durably (when the deployment configured a snapshot
+    /// directory), and trims the ordered logs it makes reclaimable.
+    /// Returns the response payload (the checkpoint id, little-endian).
     pub fn execute(&self, delivered: &Delivered) -> Vec<u8> {
         let cut = StreamCut {
             group: delivered.group,
@@ -69,8 +130,30 @@ impl CheckpointHook {
             offset: delivered.offset,
         };
         let id = self.executed.fetch_add(1, Ordering::Relaxed) + 1;
-        if self.store.install(cut, id, (self.snapshot)()) {
-            global().counter(counters::CHECKPOINTS_TAKEN).inc();
+        let snapshot = (self.snapshot)();
+        match &self.durable {
+            // Workers are quiesced while this runs: without a durable
+            // store, hand the bytes straight over — no copy on the path
+            // that lengthens the checkpoint stall.
+            None => {
+                if self.store.install(cut, id, snapshot) {
+                    global().counter(counters::CHECKPOINTS_TAKEN).inc();
+                }
+            }
+            Some(durable) => {
+                if self.store.install(cut, id, snapshot.clone()) {
+                    global().counter(counters::CHECKPOINTS_TAKEN).inc();
+                    let (epoch, _) = (self.epoch)();
+                    // Disk trouble must not take the replica down with
+                    // it: the in-memory checkpoint is installed either
+                    // way, and load-time crc checks keep a bad write
+                    // from ever being trusted.
+                    let checkpoint = Checkpoint { id, cut, snapshot };
+                    if durable.persist(&checkpoint, epoch).is_ok() {
+                        let _ = durable.retain_newest(DISK_RETAIN);
+                    }
+                }
+            }
         }
         if let Some(handle) = &self.trim {
             handle.trim_to_cut(&cut);
@@ -79,33 +162,43 @@ impl CheckpointHook {
     }
 }
 
-/// The shared restart path: fetches the latest checkpoint, restores a
-/// fresh service from its snapshot, and subscribes the replica's streams
-/// at its cut through `subscribe`. A checkpoint installed *while we
-/// restore* trims the logs past the cut we fetched; when `subscribe`
-/// loses that race, the newer checkpoint is the recovery point — retry
-/// with it instead of failing.
-pub(crate) fn restore_from_latest<S>(
-    store: &CheckpointStore,
-    factory: &(dyn Fn() -> Arc<dyn RecoverableService> + Send + Sync),
-    mut subscribe: impl FnMut(StreamCut) -> Result<S, RecoveryError>,
-) -> Result<(Arc<dyn RecoverableService>, S, Checkpoint), RecoveryError> {
-    let mut checkpoint = store.latest().ok_or(RecoveryError::NoCheckpoint)?;
-    loop {
-        let service = factory();
-        service.restore(&checkpoint.snapshot)?;
-        match subscribe(checkpoint.cut) {
-            Ok(streams) => return Ok((service, streams, checkpoint)),
-            Err(err) => {
-                let newer = store.latest().ok_or(RecoveryError::NoCheckpoint)?;
-                if newer.cut.is_newer_than(&checkpoint.cut) {
-                    checkpoint = newer;
-                    continue;
-                }
-                return Err(err);
-            }
-        }
-    }
+/// Where a restarted replica's recovery snapshot came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoverySource {
+    /// The replica's own durable snapshot directory.
+    Disk,
+    /// State transfer from the given live replica.
+    Peer(usize),
+}
+
+/// What a completed restart reports back: enough for operators (and
+/// tests) to see which recovery path ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Where the recovery snapshot came from.
+    pub source: RecoverySource,
+    /// Id of the checkpoint the replica restored from.
+    pub checkpoint_id: u64,
+    /// The stream cut the replica resumed its subscriptions at.
+    pub cut: StreamCut,
+    /// Remap epoch learned from the transfer handshake (falling back to
+    /// the epoch persisted with the disk snapshot when no peer answered).
+    pub epoch: u64,
+    /// Peers abandoned mid-transfer before one served (0 when recovery
+    /// came from disk or the first peer).
+    pub transfer_fallbacks: u64,
+    /// Id of the newest valid snapshot found on the replica's own disk,
+    /// whether or not it was used.
+    pub disk_checkpoint: Option<u64>,
+}
+
+/// Per-replica recovery state: the replica's own checkpoint store, its
+/// durable snapshot directory, and the server streaming its checkpoints
+/// to restarting peers.
+pub(crate) struct ReplicaRecovery {
+    pub store: Arc<CheckpointStore>,
+    pub durable: Option<Arc<DurableStore>>,
+    server: Option<StateTransferServer>,
 }
 
 /// Engine-level recovery context of a `spawn_recoverable` deployment.
@@ -113,17 +206,306 @@ pub(crate) struct EngineRecovery {
     /// Produces a fresh (empty) service instance for a restarting
     /// replica; `restore` then replays the snapshot into it.
     pub factory: Arc<dyn Fn() -> Arc<dyn RecoverableService> + Send + Sync>,
-    /// The deployment-wide checkpoint repository.
-    pub store: Arc<CheckpointStore>,
+    /// Per-replica stores/servers/disks (index = replica id).
+    pub replicas: Vec<ReplicaRecovery>,
+    /// The network state transfers run over.
+    net: TransferNet,
+    epoch: EpochSource,
+    chunk_bytes: usize,
+    timeout: Duration,
     /// Periodic CHECKPOINT driver (when `cfg.checkpoint_interval` set).
     pub checkpointer: Option<AutoCheckpointer>,
 }
 
 impl EngineRecovery {
-    /// Stops the periodic driver (call during engine shutdown).
+    /// Builds the recovery context of a fresh deployment: one store,
+    /// transfer server and (with `cfg.snapshot_dir`) durable directory
+    /// per replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a configured snapshot directory cannot be created —
+    /// a deployment asked to be durable must not come up silently
+    /// non-durable.
+    pub fn build(
+        cfg: &SystemConfig,
+        factory: Arc<dyn Fn() -> Arc<dyn RecoverableService> + Send + Sync>,
+        epoch: EpochSource,
+    ) -> Self {
+        let net: TransferNet = TransferNet::new();
+        let replicas = (0..cfg.n_replicas)
+            .map(|idx| {
+                let store = Arc::new(CheckpointStore::new());
+                let durable = cfg.snapshot_dir.as_ref().map(|dir| {
+                    Arc::new(
+                        DurableStore::open(dir.join(format!("r{idx}")))
+                            .expect("create replica snapshot directory"),
+                    )
+                });
+                let server = StateTransferServer::spawn(
+                    net.clone(),
+                    transfer_node(idx),
+                    Arc::new(StoreSource {
+                        store: Arc::clone(&store),
+                        epoch: Arc::clone(&epoch),
+                    }),
+                    cfg.transfer_chunk_bytes,
+                );
+                ReplicaRecovery {
+                    store,
+                    durable,
+                    server: Some(server),
+                }
+            })
+            .collect();
+        Self {
+            factory,
+            replicas,
+            net,
+            epoch,
+            chunk_bytes: cfg.transfer_chunk_bytes,
+            timeout: cfg.transfer_timeout,
+            checkpointer: None,
+        }
+    }
+
+    /// The checkpoint hook of one replica, seeded for a fresh spawn
+    /// (`seed` 0) or a restart (the recovery checkpoint's id).
+    pub fn hook_for(
+        &self,
+        replica: usize,
+        service: &Arc<dyn RecoverableService>,
+        trim: Option<MulticastHandle>,
+        seed: u64,
+    ) -> CheckpointHook {
+        let slot = &self.replicas[replica];
+        CheckpointHook::new(
+            service,
+            Arc::clone(&slot.store),
+            slot.durable.clone(),
+            Arc::clone(&self.epoch),
+            trim,
+            seed,
+        )
+    }
+
+    /// Takes a crashed replica off the transfer fabric: its serving
+    /// thread stops and its node crash-stops, so fetching peers see it
+    /// as silence.
+    pub fn on_crash(&mut self, replica: usize) {
+        if let Some(server) = self.replicas[replica].server.take() {
+            server.stop();
+        }
+        self.net.crash(transfer_node(replica));
+    }
+
+    /// The restart path shared by every replicated engine: recover the
+    /// replica's state **disk-first** (its own durable snapshot, when the
+    /// retained logs still cover that cut) with **peer fallback** (a
+    /// fresher checkpoint fetched from the first live peer that completes
+    /// a digest-verified transfer), restore a fresh service from the
+    /// chosen snapshot, and subscribe its streams at the cut through
+    /// `subscribe`.
+    ///
+    /// The handshake comes first and costs no snapshot bytes: a
+    /// [`probe_latest`] asks the peers for their newest checkpoint's
+    /// manifest, whose remap epoch and table are handed to
+    /// `install_table` before any stream is subscribed — a replica that
+    /// checkpointed under an old C-Dep mapping rejoins under the current
+    /// one. The full chunked transfer runs only if the disk candidate is
+    /// absent or its log suffix is gone.
+    ///
+    /// A checkpoint installed *while we restore* trims the logs past the
+    /// cut being restored; when `subscribe` loses that race the restart
+    /// re-fetches a fresher checkpoint from the peers (bounded attempts)
+    /// and, if none exists, surfaces [`RecoveryError::CutTrimmed`]
+    /// instead of looping on the stale cut.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::NoCheckpoint`] when there is no disk snapshot and
+    /// no live peer; [`RecoveryError::Transfer`] when peers exist but
+    /// none completed a transfer and no disk snapshot stood in;
+    /// [`RecoveryError::CutTrimmed`] when trims raced every candidate
+    /// cut; plus whatever `subscribe` or snapshot decoding surface.
+    pub fn recover<S>(
+        &mut self,
+        replica: usize,
+        live_peers: &[usize],
+        install_table: &dyn Fn(&[u8]),
+        mut subscribe: impl FnMut(StreamCut) -> Result<S, RecoveryError>,
+    ) -> Result<(Arc<dyn RecoverableService>, S, RecoveryReport), RecoveryError> {
+        let me = transfer_node(replica);
+        self.net.restart(me);
+        let durable = self.replicas[replica].durable.clone();
+        let disk = durable.as_ref().and_then(|d| d.load_latest());
+        let disk_checkpoint = disk.as_ref().map(|d| d.checkpoint.id);
+        let peer_nodes: Vec<NodeId> = live_peers.iter().map(|&p| transfer_node(p)).collect();
+        // The remap-epoch handshake: adopt the cluster's current mapping
+        // before subscribing any stream. Manifest only — no snapshot
+        // bytes move unless the disk candidate fails below. A disk-only
+        // recovery (no peer answering) keeps the epoch persisted with
+        // the snapshot.
+        let probed = probe_latest(&self.net, me, &peer_nodes, self.timeout).ok();
+        if let Some(p) = &probed {
+            install_table(&p.table);
+        }
+        let cluster_epoch = probed.as_ref().map(|p| p.epoch);
+
+        let mut newest_tried: Option<StreamCut> = None;
+        if let Some(d) = disk {
+            let epoch = cluster_epoch.unwrap_or(d.epoch);
+            newest_tried = Some(d.checkpoint.cut);
+            // An inner Err(()) means the cut was trimmed; fall through to
+            // the peers.
+            if let Ok((service, streams, checkpoint)) =
+                self.try_restore(d.checkpoint, &mut subscribe)?
+            {
+                return Ok(self.finish(
+                    replica,
+                    service,
+                    streams,
+                    checkpoint,
+                    RecoverySource::Disk,
+                    epoch,
+                    0,
+                    disk_checkpoint,
+                ));
+            }
+        }
+
+        // Peer transfer, re-fetching a bounded number of times when a
+        // checkpoint installed mid-restart trims the cut being restored.
+        for _ in 0..=REFETCH_ATTEMPTS {
+            let f = match fetch_latest(&self.net, me, &peer_nodes, self.timeout) {
+                Ok(f) => f,
+                Err(e) => {
+                    return Err(match (newest_tried, e) {
+                        // A disk candidate was tried and trimmed, and no
+                        // peer can offer anything fresher.
+                        (Some(cut), _) => RecoveryError::CutTrimmed { cut },
+                        (None, TransferError::NoPeers) => RecoveryError::NoCheckpoint,
+                        (None, e) => e.into(),
+                    });
+                }
+            };
+            if let Some(tried) = newest_tried {
+                if !f.checkpoint.cut.is_newer_than(&tried) {
+                    // No fresher point exists; looping on the stale cut
+                    // would never terminate. Surface the race as a typed
+                    // error.
+                    return Err(RecoveryError::CutTrimmed { cut: tried });
+                }
+            }
+            newest_tried = Some(f.checkpoint.cut);
+            install_table(&f.table);
+            let peer = f.from.as_raw() as usize;
+            let (epoch, fallbacks) = (f.epoch, f.fallbacks);
+            if let Ok((service, streams, checkpoint)) =
+                self.try_restore(f.checkpoint, &mut subscribe)?
+            {
+                return Ok(self.finish(
+                    replica,
+                    service,
+                    streams,
+                    checkpoint,
+                    RecoverySource::Peer(peer),
+                    epoch,
+                    fallbacks,
+                    disk_checkpoint,
+                ));
+            }
+        }
+        Err(RecoveryError::CutTrimmed {
+            cut: newest_tried.expect("at least one candidate was tried"),
+        })
+    }
+
+    /// Restores a fresh service from `checkpoint` and subscribes at its
+    /// cut. The outer `Result` carries fatal errors; the inner `Err(())`
+    /// means "this cut's log suffix is trimmed — try a fresher one".
+    #[allow(clippy::type_complexity)]
+    fn try_restore<S>(
+        &self,
+        checkpoint: Checkpoint,
+        subscribe: &mut impl FnMut(StreamCut) -> Result<S, RecoveryError>,
+    ) -> Result<Result<(Arc<dyn RecoverableService>, S, Checkpoint), ()>, RecoveryError> {
+        let service = (self.factory)();
+        service.restore(&checkpoint.snapshot)?;
+        match subscribe(checkpoint.cut) {
+            Ok(streams) => Ok(Ok((service, streams, checkpoint))),
+            Err(RecoveryError::LogTrimmed { .. }) => Ok(Err(())),
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Installs the recovered replica back into the fabric: a fresh store
+    /// seeded with the recovery checkpoint, the checkpoint persisted to
+    /// its own disk (so the *next* restart finds it locally), and a new
+    /// transfer server.
+    #[allow(clippy::too_many_arguments)]
+    fn finish<S>(
+        &mut self,
+        replica: usize,
+        service: Arc<dyn RecoverableService>,
+        streams: S,
+        checkpoint: Checkpoint,
+        source: RecoverySource,
+        epoch: u64,
+        transfer_fallbacks: u64,
+        disk_checkpoint: Option<u64>,
+    ) -> (Arc<dyn RecoverableService>, S, RecoveryReport) {
+        let durable = self.replicas[replica].durable.clone();
+        let store = Arc::new(CheckpointStore::new());
+        store.install(checkpoint.cut, checkpoint.id, checkpoint.snapshot.clone());
+        if let (Some(durable), RecoverySource::Peer(_)) = (&durable, source) {
+            if durable.persist(&checkpoint, epoch).is_ok() {
+                let _ = durable.retain_newest(DISK_RETAIN);
+            }
+        }
+        let server = StateTransferServer::spawn(
+            self.net.clone(),
+            transfer_node(replica),
+            Arc::new(StoreSource {
+                store: Arc::clone(&store),
+                epoch: Arc::clone(&self.epoch),
+            }),
+            self.chunk_bytes,
+        );
+        self.replicas[replica] = ReplicaRecovery {
+            store,
+            durable,
+            server: Some(server),
+        };
+        let report = RecoveryReport {
+            source,
+            checkpoint_id: checkpoint.id,
+            cut: checkpoint.cut,
+            epoch,
+            transfer_fallbacks,
+            disk_checkpoint,
+        };
+        (service, streams, report)
+    }
+
+    /// Severs the transfer-fabric link `from → to` after `budget` more
+    /// messages (fault injection: a serving peer dying mid-transfer).
+    pub fn sever_transfer_link(&self, from: usize, to: usize, budget: u64) {
+        self.net
+            .sever_after(transfer_node(from), transfer_node(to), budget);
+    }
+
+    /// Stops the periodic driver, every transfer server and the fabric
+    /// (call during engine shutdown).
     pub fn stop(mut self) {
         if let Some(driver) = self.checkpointer.take() {
             driver.stop();
+        }
+        self.net.shutdown();
+        for slot in &mut self.replicas {
+            if let Some(server) = slot.server.take() {
+                server.stop();
+            }
         }
     }
 }
@@ -224,6 +606,14 @@ mod tests {
         }
     }
 
+    fn hook(
+        service: &Arc<dyn RecoverableService>,
+        store: Arc<CheckpointStore>,
+        seed: u64,
+    ) -> CheckpointHook {
+        CheckpointHook::new(service, store, None, fixed_epoch(), None, seed)
+    }
+
     /// Replicas derive checkpoint ids from their own execution count, so
     /// a replica lagging arbitrarily far behind answers an old CHECKPOINT
     /// request with the same id the fast replicas already did.
@@ -231,9 +621,9 @@ mod tests {
     fn replicas_derive_identical_checkpoint_ids() {
         let store = Arc::new(CheckpointStore::new());
         let fast: Arc<dyn RecoverableService> = Arc::new(Null);
-        let fast_hook = CheckpointHook::new(&fast, Arc::clone(&store), None, 0);
+        let fast_hook = hook(&fast, Arc::clone(&store), 0);
         let slow: Arc<dyn RecoverableService> = Arc::new(Null);
-        let slow_hook = CheckpointHook::new(&slow, Arc::clone(&store), None, 0);
+        let slow_hook = hook(&slow, Arc::clone(&store), 0);
         // The fast replica executes checkpoints 1 and 2 before the slow
         // replica gets to the first one.
         assert_eq!(fast_hook.execute(&delivered(10)), 1u64.to_le_bytes());
@@ -243,7 +633,171 @@ mod tests {
         assert_eq!(store.latest_id(), 2);
         // A restarted replica seeds from the checkpoint it recovered and
         // continues the same numbering for the replayed suffix.
-        let restarted_hook = CheckpointHook::new(&slow, store, None, 2);
+        let restarted_hook = hook(&slow, store, 2);
         assert_eq!(restarted_hook.execute(&delivered(30)), 3u64.to_le_bytes());
+    }
+
+    fn test_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::new(1);
+        cfg.replicas(2)
+            .transfer_timeout(Duration::from_millis(60))
+            .transfer_chunk_bytes(4);
+        cfg
+    }
+
+    fn null_factory() -> Arc<dyn Fn() -> Arc<dyn RecoverableService> + Send + Sync> {
+        Arc::new(|| Arc::new(Null) as Arc<dyn RecoverableService>)
+    }
+
+    fn cut_at(seq: u64) -> StreamCut {
+        StreamCut {
+            group: GroupId::new(1),
+            seq,
+            offset: 0,
+        }
+    }
+
+    fn unique_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("psmr-recover-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// The CutTrimmed fix: when every candidate cut's log suffix is
+    /// trimmed and the peers have nothing fresher, recovery surfaces a
+    /// typed error instead of looping on the stale checkpoint.
+    #[test]
+    fn recover_surfaces_cut_trimmed_when_trims_race() {
+        let mut recovery = EngineRecovery::build(&test_cfg(), null_factory(), fixed_epoch());
+        recovery.replicas[0].store.install(cut_at(5), 1, vec![7]);
+        recovery.on_crash(1);
+        let result = recovery.recover::<()>(1, &[0], &|_| {}, |cut| {
+            Err(RecoveryError::LogTrimmed {
+                group: cut.group,
+                needed: cut.seq,
+            })
+        });
+        let Err(err) = result else {
+            panic!("expected CutTrimmed");
+        };
+        assert_eq!(err, RecoveryError::CutTrimmed { cut: cut_at(5) });
+        recovery.stop();
+    }
+
+    /// No disk snapshot, no live peer: nothing to restart from.
+    #[test]
+    fn recover_without_disk_or_peers_is_no_checkpoint() {
+        let mut recovery = EngineRecovery::build(&test_cfg(), null_factory(), fixed_epoch());
+        recovery.on_crash(1);
+        let result = recovery.recover::<()>(1, &[], &|_| {}, |_| Ok(()));
+        let Err(err) = result else {
+            panic!("expected NoCheckpoint");
+        };
+        assert_eq!(err, RecoveryError::NoCheckpoint);
+        recovery.stop();
+    }
+
+    /// Disk-first: when the replica's own durable snapshot is as fresh
+    /// as the peers' and its log suffix is retained, recovery never
+    /// transfers the snapshot bytes at all.
+    #[test]
+    fn recover_prefers_its_own_disk_when_logs_cover_it() {
+        let mut cfg = test_cfg();
+        let dir = unique_dir("disk-first");
+        cfg.snapshot_dir(Some(dir.clone()));
+        let mut recovery = EngineRecovery::build(&cfg, null_factory(), fixed_epoch());
+        let checkpoint = Checkpoint {
+            id: 3,
+            cut: cut_at(7),
+            snapshot: vec![7],
+        };
+        recovery.replicas[1]
+            .durable
+            .as_ref()
+            .expect("durable configured")
+            .persist(&checkpoint, 0)
+            .unwrap();
+        recovery.replicas[0].store.install(cut_at(7), 3, vec![7]);
+        recovery.on_crash(1);
+        let (_, (), report) = recovery
+            .recover(1, &[0], &|_| {}, |_| Ok(()))
+            .expect("recover from disk");
+        assert_eq!(report.source, RecoverySource::Disk);
+        assert_eq!(report.checkpoint_id, 3);
+        assert_eq!(report.disk_checkpoint, Some(3));
+        recovery.stop();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Peer fallback: a stale disk snapshot whose log suffix is trimmed
+    /// loses to the fresher checkpoint fetched from a live peer — and
+    /// the fetched checkpoint is persisted to the replica's own disk so
+    /// the *next* restart finds it locally.
+    #[test]
+    fn recover_falls_back_to_a_peer_past_a_stale_disk_snapshot() {
+        let mut cfg = test_cfg();
+        let dir = unique_dir("peer-fallback");
+        cfg.snapshot_dir(Some(dir.clone()));
+        let mut recovery = EngineRecovery::build(&cfg, null_factory(), fixed_epoch());
+        let stale = Checkpoint {
+            id: 2,
+            cut: cut_at(4),
+            snapshot: vec![7],
+        };
+        recovery.replicas[1]
+            .durable
+            .as_ref()
+            .expect("durable configured")
+            .persist(&stale, 0)
+            .unwrap();
+        recovery.replicas[0].store.install(cut_at(9), 5, vec![7]);
+        recovery.on_crash(1);
+        let (_, (), report) = recovery
+            .recover(1, &[0], &|_| {}, |cut| {
+                if cut.seq < 9 {
+                    Err(RecoveryError::LogTrimmed {
+                        group: cut.group,
+                        needed: cut.seq,
+                    })
+                } else {
+                    Ok(())
+                }
+            })
+            .expect("recover from peer");
+        assert_eq!(report.source, RecoverySource::Peer(0));
+        assert_eq!(report.checkpoint_id, 5);
+        assert_eq!(report.disk_checkpoint, Some(2));
+        let on_disk = recovery.replicas[1]
+            .durable
+            .as_ref()
+            .unwrap()
+            .load_latest()
+            .expect("fetched checkpoint persisted locally");
+        assert_eq!(on_disk.checkpoint.id, 5);
+        recovery.stop();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The hook persists installed checkpoints (with the epoch in force)
+    /// to the replica's durable store and prunes old files.
+    #[test]
+    fn checkpoint_hook_persists_durably() {
+        let dir = std::env::temp_dir().join(format!("psmr-hook-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let durable = Arc::new(DurableStore::open(&dir).unwrap());
+        let store = Arc::new(CheckpointStore::new());
+        let service: Arc<dyn RecoverableService> = Arc::new(Null);
+        let epoch: EpochSource = Arc::new(|| (42, vec![1]));
+        let hook = CheckpointHook::new(&service, store, Some(Arc::clone(&durable)), epoch, None, 0);
+        for seq in 1..=4 {
+            hook.execute(&delivered(seq * 10));
+        }
+        let latest = durable.load_latest().expect("persisted");
+        assert_eq!(latest.checkpoint.id, 4);
+        assert_eq!(latest.epoch, 42);
+        assert_eq!(latest.checkpoint.snapshot, vec![7]);
+        // retain_newest keeps the directory bounded.
+        assert_eq!(durable.retain_newest(DISK_RETAIN).unwrap(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -15,7 +15,7 @@
 //! replicated engines.
 
 use super::recover::{
-    auto_checkpointer, restore_from_latest, CheckpointHook, EngineRecovery, ReplicaSlot, CRASH_POLL,
+    auto_checkpointer, CheckpointHook, EngineRecovery, RecoveryReport, ReplicaSlot, CRASH_POLL,
 };
 use super::scheduler::ExecStage;
 use super::{Engine, TotalOrderSink};
@@ -66,17 +66,13 @@ impl SpSmrEngine {
         factory: impl Fn() -> S + Send + Sync + 'static,
     ) -> Self {
         let mut engine = Self::scaffold(cfg, map);
-        let store = Arc::new(CheckpointStore::new());
         let dyn_factory: Arc<dyn Fn() -> Arc<dyn RecoverableService> + Send + Sync> =
             Arc::new(move || Arc::new(factory()) as Arc<dyn RecoverableService>);
+        let mut recovery =
+            EngineRecovery::build(cfg, Arc::clone(&dyn_factory), super::recover::fixed_epoch());
         for replica in 0..cfg.n_replicas {
             let service = (dyn_factory)();
-            let hook = CheckpointHook::new(
-                &service,
-                Arc::clone(&store),
-                Some(engine.sink.handle.clone()),
-                0,
-            );
+            let hook = recovery.hook_for(replica, &service, Some(engine.sink.handle.clone()), 0);
             let stream = engine.system.single_stream();
             let slot = engine.spawn_replica(
                 replica,
@@ -88,14 +84,10 @@ impl SpSmrEngine {
             engine.replicas.push(slot);
         }
         engine.system.start();
-        let checkpointer = cfg
+        recovery.checkpointer = cfg
             .checkpoint_interval
             .map(|interval| auto_checkpointer(Arc::clone(&engine.sink) as _, interval));
-        engine.recovery = Some(EngineRecovery {
-            factory: dyn_factory,
-            store,
-            checkpointer,
-        });
+        engine.recovery = Some(recovery);
         engine
     }
 
@@ -162,16 +154,22 @@ impl SpSmrEngine {
             .get_mut(idx)
             .ok_or(RecoveryError::UnknownReplica { replica: idx })?;
         slot.crash(|| {});
+        if let Some(recovery) = self.recovery.as_mut() {
+            recovery.on_crash(idx);
+        }
         Ok(())
     }
 
-    /// Restarts a crashed replica from `(latest checkpoint, log suffix)`.
+    /// Restarts a crashed replica disk-first with peer fallback (see
+    /// [`super::PsmrEngine::restart_replica`] — same recovery path over
+    /// the single totally ordered stream).
     ///
     /// # Errors
     ///
-    /// Requires a recoverable deployment, a crashed replica, at least one
-    /// checkpoint, and retained logs covering the cut.
-    pub fn restart_replica(&mut self, replica: ReplicaId) -> Result<(), RecoveryError> {
+    /// Requires a recoverable deployment, a crashed replica, a recovery
+    /// point (disk snapshot or live peer), and retained logs covering
+    /// its cut.
+    pub fn restart_replica(&mut self, replica: ReplicaId) -> Result<RecoveryReport, RecoveryError> {
         let idx = replica.as_raw();
         if idx >= self.replicas.len() {
             return Err(RecoveryError::UnknownReplica { replica: idx });
@@ -179,20 +177,25 @@ impl SpSmrEngine {
         if !self.replicas[idx].crashed {
             return Err(RecoveryError::NotCrashed);
         }
-        let (factory, store) = {
-            let recovery = self
-                .recovery
-                .as_ref()
-                .ok_or(RecoveryError::NotRecoverable)?;
-            (Arc::clone(&recovery.factory), Arc::clone(&recovery.store))
-        };
-        let (service, stream, checkpoint) =
-            restore_from_latest(&store, &*factory, |cut| self.system.single_stream_at(cut))?;
-        let hook = CheckpointHook::new(
+        if self.recovery.is_none() {
+            return Err(RecoveryError::NotRecoverable);
+        }
+        let live_peers: Vec<usize> = (0..self.replicas.len())
+            .filter(|&p| p != idx && !self.replicas[p].crashed)
+            .collect();
+        let system = &self.system;
+        let recovery = self.recovery.as_mut().expect("checked above");
+        let (service, stream, report) = recovery.recover(
+            idx,
+            &live_peers,
+            &|_table| {}, // sP-SMR routes everything through one stream
+            |cut| system.single_stream_at(cut),
+        )?;
+        let hook = recovery.hook_for(
+            idx,
             &service,
-            store,
             Some(self.sink.handle.clone()),
-            checkpoint.id,
+            report.checkpoint_id,
         );
         self.replicas[idx] = self.spawn_replica(
             idx,
@@ -202,12 +205,17 @@ impl SpSmrEngine {
             Some(hook),
         );
         global().counter(counters::REPLICA_RESTARTS).inc();
-        Ok(())
+        Ok(report)
     }
 
-    /// The deployment's checkpoint store (recoverable deployments only).
+    /// The checkpoint store of one live replica (recoverable deployments
+    /// only).
     pub fn checkpoint_store(&self) -> Option<Arc<CheckpointStore>> {
-        self.recovery.as_ref().map(|r| Arc::clone(&r.store))
+        let recovery = self.recovery.as_ref()?;
+        self.replicas
+            .iter()
+            .position(|slot| !slot.crashed)
+            .map(|idx| Arc::clone(&recovery.replicas[idx].store))
     }
 
     /// The live service instance of one replica (recoverable

@@ -45,6 +45,10 @@ impl LinkFault {
 struct Shared<M> {
     inboxes: RwLock<HashMap<NodeId, Sender<(NodeId, M)>>>,
     faults: RwLock<HashMap<(NodeId, NodeId), LinkFault>>,
+    /// Directed links with a message budget left before they go dead:
+    /// `sever_after` installs a count, every delivery decrements it, and a
+    /// link at zero drops everything (models a sender dying mid-stream).
+    cuts: RwLock<HashMap<(NodeId, NodeId), u64>>,
     crashed: RwLock<HashMap<NodeId, ()>>,
     shutdown: AtomicBool,
 }
@@ -91,6 +95,7 @@ impl<M: Send + 'static> LiveNet<M> {
             shared: Arc::new(Shared {
                 inboxes: RwLock::new(HashMap::new()),
                 faults: RwLock::new(HashMap::new()),
+                cuts: RwLock::new(HashMap::new()),
                 crashed: RwLock::new(HashMap::new()),
                 shutdown: AtomicBool::new(false),
             }),
@@ -121,6 +126,18 @@ impl<M: Send + 'static> LiveNet<M> {
                 return false;
             }
         }
+        // Fast path: the cuts map is empty in every non-fault-injection
+        // run, and the message path is hot (every Paxos hop) — only take
+        // the exclusive lock when a cut is actually installed.
+        if !self.shared.cuts.read().is_empty() {
+            let mut cuts = self.shared.cuts.write();
+            if let Some(remaining) = cuts.get_mut(&(from, to)) {
+                if *remaining == 0 {
+                    return false;
+                }
+                *remaining -= 1;
+            }
+        }
         let fault = self.shared.faults.read().get(&(from, to)).copied();
         if let Some(fault) = fault {
             if fault.loss > 0.0 {
@@ -147,9 +164,19 @@ impl<M: Send + 'static> LiveNet<M> {
         self.shared.faults.write().insert((from, to), fault);
     }
 
-    /// Removes any fault on the directed link.
+    /// Removes any fault on the directed link, including a pending or
+    /// tripped [`LiveNet::sever_after`] cut.
     pub fn heal(&self, from: NodeId, to: NodeId) {
         self.shared.faults.write().remove(&(from, to));
+        self.shared.cuts.write().remove(&(from, to));
+    }
+
+    /// Severs the directed link `from → to` after `budget` more messages:
+    /// the next `budget` sends deliver, everything after is dropped. With
+    /// `budget` 0 the link is dead immediately. Used by recovery tests to
+    /// crash a state-transfer peer *mid-stream*, deterministically.
+    pub fn sever_after(&self, from: NodeId, to: NodeId, budget: u64) {
+        self.shared.cuts.write().insert((from, to), budget);
     }
 
     /// Crashes a node: its inbox is removed and all traffic from/to it is
@@ -162,6 +189,14 @@ impl<M: Send + 'static> LiveNet<M> {
     /// Returns whether the node is crashed.
     pub fn is_crashed(&self, node: NodeId) -> bool {
         self.shared.crashed.read().contains_key(&node)
+    }
+
+    /// Clears a node's crash-stop status so a **new incarnation** of the
+    /// process can [`LiveNet::register`] under the same id. The restarted
+    /// node has a fresh (empty) inbox; nothing sent while it was down is
+    /// recovered — exactly a process restart.
+    pub fn restart(&self, node: NodeId) {
+        self.shared.crashed.write().remove(&node);
     }
 
     /// Shuts the network down: every subsequent send is dropped and inbox
@@ -212,6 +247,44 @@ mod tests {
         // A crashed node cannot send either.
         let _rx2 = net.register(n(2));
         assert!(!net.send(n(1), n(2), 1));
+    }
+
+    #[test]
+    fn sever_after_delivers_a_budget_then_goes_dead() {
+        let net: LiveNet<u32> = LiveNet::new();
+        let rx = net.register(n(1));
+        net.sever_after(n(0), n(1), 2);
+        assert!(net.send(n(0), n(1), 1));
+        assert!(net.send(n(0), n(1), 2));
+        assert!(!net.send(n(0), n(1), 3), "budget exhausted");
+        assert!(!net.send(n(0), n(1), 4), "stays dead");
+        // Other links are unaffected.
+        let rx2 = net.register(n(2));
+        assert!(net.send(n(0), n(2), 9));
+        assert_eq!(rx.try_recv().unwrap().1, 1);
+        assert_eq!(rx.try_recv().unwrap().1, 2);
+        assert!(rx.try_recv().is_err());
+        assert_eq!(rx2.try_recv().unwrap().1, 9);
+        // heal() clears the cut.
+        net.heal(n(0), n(1));
+        assert!(net.send(n(0), n(1), 5));
+    }
+
+    #[test]
+    fn restart_clears_crash_stop_for_a_new_incarnation() {
+        let net: LiveNet<u32> = LiveNet::new();
+        let _old = net.register(n(1));
+        net.crash(n(1));
+        assert!(!net.send(n(0), n(1), 1));
+        net.restart(n(1));
+        assert!(!net.is_crashed(n(1)));
+        // Still unreachable until the new incarnation registers…
+        assert!(!net.send(n(0), n(1), 2));
+        let fresh = net.register(n(1));
+        assert!(net.send(n(0), n(1), 3));
+        // …and the fresh inbox holds only post-restart traffic.
+        assert_eq!(fresh.try_recv().unwrap().1, 3);
+        assert!(fresh.try_recv().is_err());
     }
 
     #[test]

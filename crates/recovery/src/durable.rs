@@ -1,0 +1,345 @@
+//! Durable (on-disk) snapshots.
+//!
+//! A [`DurableStore`] persists each coordinated checkpoint — snapshot
+//! bytes plus its [`StreamCut`] manifest and the remap epoch in force —
+//! as one self-describing file. Writes go to a temporary file first and
+//! are published with an **atomic rename**, so a crash mid-write never
+//! leaves a half-visible checkpoint: the store either still serves the
+//! previous file or already serves the complete new one. Loads verify a
+//! CRC-32 over the snapshot body and skip (never trust) corrupt files.
+//!
+//! This is the "recover from your own disk" half of the recovery story:
+//! a fully-restarted replica process restores from the newest valid file
+//! in its own directory, then catches up from live peers (see
+//! [`crate::transfer`]) when the cluster has checkpointed past it.
+
+use crate::{Checkpoint, StreamCut};
+use psmr_common::ids::GroupId;
+use psmr_common::metrics::{counters, global};
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic: identifies a durable P-SMR snapshot.
+const MAGIC: &[u8; 8] = b"PSMRSNAP";
+/// On-disk layout version.
+const VERSION: u32 = 1;
+/// Fixed header length: magic + version + id + cut (group, seq, offset)
+/// + epoch + body length + body crc.
+const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 4;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial) of `bytes`.
+///
+/// Bitwise implementation — snapshots are persisted at checkpoint
+/// cadence, not on the request hot path, so a lookup table buys nothing.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// A checkpoint as recovered from disk: the in-memory artifact plus the
+/// remap epoch that was in force when it was persisted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurableCheckpoint {
+    /// The persisted checkpoint (id, cut, snapshot bytes).
+    pub checkpoint: Checkpoint,
+    /// Remap epoch in force when the checkpoint was taken.
+    pub epoch: u64,
+}
+
+/// One replica's on-disk checkpoint repository.
+///
+/// # Example
+///
+/// ```
+/// use psmr_common::ids::GroupId;
+/// use psmr_recovery::{Checkpoint, DurableStore, StreamCut};
+///
+/// let dir = std::env::temp_dir().join("psmr-durable-doctest");
+/// let _ = std::fs::remove_dir_all(&dir);
+/// let store = DurableStore::open(&dir).unwrap();
+/// assert!(store.load_latest().is_none());
+/// let ckpt = Checkpoint {
+///     id: 1,
+///     cut: StreamCut { group: GroupId::new(2), seq: 9, offset: 0 },
+///     snapshot: vec![1, 2, 3],
+/// };
+/// store.persist(&ckpt, 0).unwrap();
+/// let back = store.load_latest().unwrap();
+/// assert_eq!(back.checkpoint, ckpt);
+/// std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct DurableStore {
+    dir: PathBuf,
+}
+
+impl DurableStore {
+    /// Opens (creating if needed) the store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The directory the store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Persists one checkpoint (tagged with the remap `epoch` in force):
+    /// writes `ckpt-<id>.psmr.tmp`, fsyncs, then atomically renames it
+    /// into place. Returns the published path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error of the failed write/rename; a failed
+    /// persist leaves no partial file visible to [`DurableStore::load_latest`].
+    pub fn persist(&self, checkpoint: &Checkpoint, epoch: u64) -> io::Result<PathBuf> {
+        let name = format!("ckpt-{:020}.psmr", checkpoint.id);
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        let published = self.dir.join(name);
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(&encode(checkpoint, epoch))?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &published)?;
+        global().counter(counters::SNAPSHOTS_PERSISTED).inc();
+        Ok(published)
+    }
+
+    /// Loads the newest valid checkpoint: scans every `*.psmr` file,
+    /// decodes and crc-verifies each, and returns the one with the
+    /// newest [`StreamCut`]. Corrupt or truncated files are skipped (and
+    /// counted under `snapshot_load_failures`), never trusted.
+    pub fn load_latest(&self) -> Option<DurableCheckpoint> {
+        let mut newest: Option<DurableCheckpoint> = None;
+        for path in self.snapshot_files() {
+            match read_file(&path) {
+                Some(loaded) => {
+                    let newer = newest.as_ref().is_none_or(|best| {
+                        loaded.checkpoint.cut.is_newer_than(&best.checkpoint.cut)
+                    });
+                    if newer {
+                        newest = Some(loaded);
+                    }
+                }
+                None => {
+                    global().counter(counters::SNAPSHOT_LOAD_FAILURES).inc();
+                }
+            }
+        }
+        if newest.is_some() {
+            global().counter(counters::SNAPSHOTS_LOADED).inc();
+        }
+        newest
+    }
+
+    /// Deletes all but the `keep` newest snapshot files (by checkpoint id,
+    /// which grows with the cut). Returns how many files were removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first deletion error; earlier deletions stick.
+    pub fn retain_newest(&self, keep: usize) -> io::Result<usize> {
+        let mut files = self.snapshot_files();
+        files.sort();
+        let excess = files.len().saturating_sub(keep);
+        for path in &files[..excess] {
+            fs::remove_file(path)?;
+        }
+        Ok(excess)
+    }
+
+    /// Paths of every published (non-temporary) snapshot file.
+    fn snapshot_files(&self) -> Vec<PathBuf> {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "psmr"))
+            .collect()
+    }
+}
+
+/// Serializes a checkpoint into the on-disk layout (see module docs).
+fn encode(checkpoint: &Checkpoint, epoch: u64) -> Vec<u8> {
+    let body = &checkpoint.snapshot;
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&checkpoint.id.to_le_bytes());
+    out.extend_from_slice(&(checkpoint.cut.group.as_raw() as u64).to_le_bytes());
+    out.extend_from_slice(&checkpoint.cut.seq.to_le_bytes());
+    out.extend_from_slice(&(checkpoint.cut.offset as u64).to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Parses and verifies the on-disk layout. `None` on any mismatch.
+fn decode(bytes: &[u8]) -> Option<DurableCheckpoint> {
+    if bytes.len() < HEADER_LEN || &bytes[..8] != MAGIC {
+        return None;
+    }
+    let u32_at = |at: usize| -> u32 { u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) };
+    let u64_at = |at: usize| -> u64 { u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) };
+    if u32_at(8) != VERSION {
+        return None;
+    }
+    let id = u64_at(12);
+    let cut = StreamCut {
+        group: GroupId::new(usize::try_from(u64_at(20)).ok()?),
+        seq: u64_at(28),
+        offset: usize::try_from(u64_at(36)).ok()?,
+    };
+    let epoch = u64_at(44);
+    let len = usize::try_from(u64_at(52)).ok()?;
+    let crc = u32_at(60);
+    let body = bytes.get(HEADER_LEN..)?;
+    if body.len() != len || crc32(body) != crc {
+        return None;
+    }
+    Some(DurableCheckpoint {
+        checkpoint: Checkpoint {
+            id,
+            cut,
+            snapshot: body.to_vec(),
+        },
+        epoch,
+    })
+}
+
+/// Reads and decodes one snapshot file; `None` on any I/O or format error.
+fn read_file(path: &Path) -> Option<DurableCheckpoint> {
+    let mut bytes = Vec::new();
+    fs::File::open(path).ok()?.read_to_end(&mut bytes).ok()?;
+    decode(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "psmr-durable-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn ckpt(id: u64, seq: u64, snapshot: Vec<u8>) -> Checkpoint {
+        Checkpoint {
+            id,
+            cut: StreamCut {
+                group: GroupId::new(4),
+                seq,
+                offset: 1,
+            },
+            snapshot,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn persist_then_load_round_trips_with_epoch() {
+        let dir = unique_dir("roundtrip");
+        let store = DurableStore::open(&dir).unwrap();
+        assert!(store.load_latest().is_none(), "empty store");
+        store.persist(&ckpt(1, 5, vec![1, 2, 3]), 7).unwrap();
+        store.persist(&ckpt(2, 9, vec![4, 5]), 8).unwrap();
+        let latest = store.load_latest().expect("two files on disk");
+        assert_eq!(latest.checkpoint.id, 2);
+        assert_eq!(latest.checkpoint.cut.seq, 9);
+        assert_eq!(latest.checkpoint.snapshot, vec![4, 5]);
+        assert_eq!(latest.epoch, 8);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_files_are_skipped_not_trusted() {
+        let dir = unique_dir("corrupt");
+        let store = DurableStore::open(&dir).unwrap();
+        let good = ckpt(1, 5, vec![9; 64]);
+        store.persist(&good, 0).unwrap();
+        // A newer-looking file with a flipped body byte: crc must reject it.
+        let mut bytes = encode(&ckpt(2, 9, vec![7; 64]), 0);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(dir.join("ckpt-00000000000000000002.psmr"), bytes).unwrap();
+        // Garbage that is not even a header.
+        fs::write(dir.join("ckpt-garbage.psmr"), b"not a snapshot").unwrap();
+        let failures_before = global().value(counters::SNAPSHOT_LOAD_FAILURES);
+        let latest = store.load_latest().expect("the good file survives");
+        assert_eq!(latest.checkpoint, good);
+        assert!(global().value(counters::SNAPSHOT_LOAD_FAILURES) >= failures_before + 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_stray_tmp_file_is_invisible() {
+        let dir = unique_dir("tmp");
+        let store = DurableStore::open(&dir).unwrap();
+        // A crash between write and rename leaves only the .tmp behind.
+        fs::write(
+            dir.join("ckpt-00000000000000000001.psmr.tmp"),
+            encode(&ckpt(1, 5, vec![1]), 0),
+        )
+        .unwrap();
+        assert!(store.load_latest().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retain_newest_prunes_old_files() {
+        let dir = unique_dir("retain");
+        let store = DurableStore::open(&dir).unwrap();
+        for id in 1..=5 {
+            store
+                .persist(&ckpt(id, id * 10, vec![id as u8]), 0)
+                .unwrap();
+        }
+        assert_eq!(store.retain_newest(2).unwrap(), 3);
+        let latest = store.load_latest().expect("newest kept");
+        assert_eq!(latest.checkpoint.id, 5);
+        assert_eq!(store.retain_newest(2).unwrap(), 0, "idempotent");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_header_and_wrong_version_are_rejected() {
+        assert_eq!(decode(b"PSMRSNAP"), None);
+        let mut bytes = encode(&ckpt(1, 1, vec![1]), 0);
+        bytes[8] = 99; // version
+        assert_eq!(decode(&bytes), None);
+        let ok = encode(&ckpt(1, 1, vec![1]), 0);
+        assert_eq!(decode(&ok[..ok.len() - 1]), None, "truncated body");
+    }
+}

@@ -22,10 +22,33 @@
 //! * [`AutoCheckpointer`] — a periodic driver submitting [`CHECKPOINT`]
 //!   commands at the configured interval.
 //!
+//! Two further modules make recovery deployment-shaped instead of an
+//! in-process fiction:
+//!
+//! * [`durable`] — [`DurableStore`]: checkpoints persisted to disk with
+//!   atomic rename and crc-checked load, so a fully-restarted process
+//!   recovers from its own directory,
+//! * [`transfer`] — [`StateTransferServer`] / [`fetch_latest`]: a
+//!   restarting replica pulls the latest checkpoint from a live peer in
+//!   digest-verified chunks, learning the current remap epoch from the
+//!   offer handshake and falling back to the next peer when one crashes
+//!   mid-transfer.
+//!
 //! The engine-side halves (quiescing workers, replaying the
 //! `(snapshot, log suffix)` pair into a restarted replica) live in
 //! `psmr-core`; the ordered-log retention they rely on lives in
 //! `psmr-paxos`.
+
+#![warn(missing_docs)]
+
+pub mod durable;
+pub mod transfer;
+
+pub use durable::{DurableCheckpoint, DurableStore};
+pub use transfer::{
+    fetch_latest, probe_latest, FetchedState, ProbedState, StateTransferServer, TransferError,
+    TransferMsg, TransferNet, TransferSource,
+};
 
 use parking_lot::Mutex;
 use psmr_common::ids::{CommandId, GroupId};
@@ -261,6 +284,16 @@ pub enum RecoveryError {
         /// The first sequence number the recovery needed.
         needed: u64,
     },
+    /// The recovery checkpoint's cut was trimmed out from under the
+    /// restart (a concurrent checkpoint raced it) and no fresher
+    /// recovery point could be obtained — the restart must be retried
+    /// against a fresher source rather than looping on the stale cut.
+    CutTrimmed {
+        /// The cut whose log suffix disappeared mid-restart.
+        cut: StreamCut,
+    },
+    /// Peer state transfer failed and no local snapshot could stand in.
+    Transfer(transfer::TransferError),
     /// The snapshot bytes failed to decode.
     Restore(RestoreError),
 }
@@ -279,6 +312,10 @@ impl fmt::Display for RecoveryError {
             RecoveryError::LogTrimmed { group, needed } => {
                 write!(f, "log of {group} trimmed past needed seq {needed}")
             }
+            RecoveryError::CutTrimmed { cut } => {
+                write!(f, "recovery cut {cut} was trimmed mid-restart; retry")
+            }
+            RecoveryError::Transfer(e) => write!(f, "{e}"),
             RecoveryError::Restore(e) => write!(f, "{e}"),
         }
     }
@@ -289,6 +326,12 @@ impl std::error::Error for RecoveryError {}
 impl From<RestoreError> for RecoveryError {
     fn from(e: RestoreError) -> Self {
         RecoveryError::Restore(e)
+    }
+}
+
+impl From<transfer::TransferError> for RecoveryError {
+    fn from(e: transfer::TransferError) -> Self {
+        RecoveryError::Transfer(e)
     }
 }
 
@@ -431,5 +474,9 @@ mod tests {
         assert!(e.to_string().contains("g1"));
         let e: RecoveryError = RestoreError::new("kv pair count").into();
         assert!(e.to_string().contains("kv pair count"));
+        let e = RecoveryError::CutTrimmed { cut: cut(4, 1) };
+        assert!(e.to_string().contains("trimmed mid-restart"));
+        let e: RecoveryError = transfer::TransferError::NoPeers.into();
+        assert!(e.to_string().contains("no live peer"));
     }
 }

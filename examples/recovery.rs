@@ -1,5 +1,6 @@
 //! Crash a replica mid-workload and watch it rejoin from a coordinated
-//! checkpoint — the `psmr-recovery` subsystem end to end.
+//! checkpoint — the `psmr-recovery` subsystem end to end: durable
+//! on-disk snapshots, peer state transfer, and log replay.
 //!
 //! ```text
 //! cargo run --release --example recovery
@@ -14,10 +15,13 @@ use psmr_suite::recovery::{Snapshot, CHECKPOINT};
 use std::time::{Duration, Instant};
 
 fn main() {
+    let snap_dir = std::env::temp_dir().join(format!("psmr-recovery-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snap_dir);
     let mut cfg = SystemConfig::new(4);
     cfg.replicas(2)
         .batch_delay(Duration::from_micros(100))
-        .skip_interval(Duration::from_micros(500));
+        .skip_interval(Duration::from_micros(500))
+        .snapshot_dir(Some(snap_dir.clone()));
     let mut engine = PsmrEngine::spawn_recoverable(&cfg, fine_dependency_spec().into_map(), || {
         KvService::with_keys(64)
     });
@@ -62,10 +66,11 @@ fn main() {
             KvResult::Ok
         );
     }
-    engine.restart_replica(ReplicaId::new(1)).expect("restart");
+    let report = engine.restart_replica(ReplicaId::new(1)).expect("restart");
     println!(
-        "replica s1 restarted from (checkpoint #{}, log suffix)",
-        store.latest_id()
+        "replica s1 restarted from (checkpoint #{}, log suffix): \
+         recovered via {:?} at cut {}, disk had {:?}",
+        report.checkpoint_id, report.source, report.cut, report.disk_checkpoint
     );
 
     // Phase 3: the rejoined replica converges to byte-identical state.
@@ -96,4 +101,5 @@ fn main() {
     );
     drop(client);
     engine.shutdown();
+    let _ = std::fs::remove_dir_all(&snap_dir);
 }

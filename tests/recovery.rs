@@ -3,20 +3,34 @@
 //! rejoins from `(latest checkpoint, retained log suffix)` and converges
 //! to byte-identical service state, while the client-observed history
 //! stays linearizable; engines keep committing when one acceptor of a
-//! Paxos group crash-stops; checkpoints keep the ordered logs trimmed.
+//! Paxos group crash-stops; checkpoints keep the ordered logs trimmed;
+//! restarts recover **disk-first with peer fallback** (own durable
+//! snapshot, then chunked state transfer from a live peer), survive a
+//! peer crashing mid-transfer, and rejoin across a remap epoch.
 
 use psmr_suite::common::ids::{GroupId, ReplicaId};
 use psmr_suite::common::metrics::{counters, global};
 use psmr_suite::common::SystemConfig;
-use psmr_suite::core::engines::{Engine, NoRepEngine, PsmrEngine, SmrEngine, SpSmrEngine};
+use psmr_suite::core::engines::{
+    Engine, NoRepEngine, PsmrEngine, RecoverySource, SmrEngine, SpSmrEngine,
+};
 use psmr_suite::core::linear::{check_register, OpRecord, RegisterOp, Verdict};
+use psmr_suite::core::remap::{RemapTable, RemappableMap, REMAP};
 use psmr_suite::core::ClientProxy;
 use psmr_suite::kvstore::{fine_dependency_spec, KvOp, KvResult, KvService};
-use psmr_suite::recovery::RecoveryError;
+use psmr_suite::recovery::{RecoveryError, TransferError};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 const KEYS: u64 = 8;
+
+/// A fresh per-test temp directory for durable snapshots.
+fn unique_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("psmr-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
 
 fn cfg(mpl: usize) -> SystemConfig {
     let mut cfg = SystemConfig::new(mpl);
@@ -378,10 +392,14 @@ fn recovery_api_contract_errors() {
         Err(RecoveryError::NotCrashed)
     );
     engine.crash_replica(ReplicaId::new(1)).expect("crash");
-    // No checkpoint was ever taken: the replica cannot come back.
+    // No checkpoint was ever taken: the live peer answers the fetch with
+    // NotFound, there is no disk snapshot, and the replica cannot come
+    // back — typed as a failed transfer across every attempted peer.
     assert_eq!(
         engine.restart_replica(ReplicaId::new(1)),
-        Err(RecoveryError::NoCheckpoint)
+        Err(RecoveryError::Transfer(TransferError::AllPeersFailed {
+            attempted: 1
+        }))
     );
     engine.shutdown();
 
@@ -397,6 +415,256 @@ fn recovery_api_contract_errors() {
         Err(RecoveryError::NotRecoverable)
     );
     plain.shutdown();
+}
+
+/// The acceptance scenario for durable recovery, modeling a replica
+/// killed and restarted as a fresh process: its in-memory state is gone,
+/// its disk survives. Phase A restarts while the retained logs still
+/// cover the replica's own disk snapshot — recovery is local
+/// (`RecoverySource::Disk`) plus log replay. Phase B crashes it again
+/// and checkpoints past it, trimming the logs its disk snapshot needs —
+/// recovery falls back to chunked peer state transfer
+/// (`RecoverySource::Peer`) plus log replay. Clients hammer the store
+/// throughout; the observed history must stay linearizable and the
+/// restarted replica must converge to byte-identical state.
+#[test]
+fn psmr_fresh_process_recovers_from_disk_then_catches_up_from_peers() {
+    let dir = unique_dir("psmr-durable");
+    let mut config = cfg(4);
+    config
+        .checkpoint_interval(None) // explicit checkpoints: the test controls the trims
+        .snapshot_dir(Some(dir.clone()))
+        .transfer_chunk_bytes(32)
+        .transfer_timeout(Duration::from_millis(150));
+    let mut engine =
+        PsmrEngine::spawn_recoverable(&config, fine_dependency_spec().into_map(), || {
+            KvService::with_keys(KEYS)
+        });
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..3u64)
+        .map(|c| {
+            let client = engine.client();
+            std::thread::spawn(move || client_session(client, c, 60, t0))
+        })
+        .collect();
+
+    let mut admin = engine.client();
+    let checkpoint = |admin: &mut ClientProxy| {
+        let resp = admin.execute(psmr_suite::recovery::CHECKPOINT, Vec::new());
+        u64::from_le_bytes(resp[..8].try_into().expect("checkpoint id"))
+    };
+    // Phase A: checkpoint, wait until replica 1 has persisted it to its
+    // own disk (each replica executes the command and persists locally),
+    // crash, restart. The logs still cover the disk cut: recovery is
+    // local.
+    let id = checkpoint(&mut admin);
+    assert!(id >= 1);
+    let r1_dir = dir.join("r1");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let persisted = std::fs::read_dir(&r1_dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .any(|e| e.path().extension().is_some_and(|x| x == "psmr"))
+            })
+            .unwrap_or(false);
+        if persisted {
+            break;
+        }
+        assert!(Instant::now() < deadline, "replica 1 never persisted");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    engine.crash_replica(ReplicaId::new(1)).expect("crash");
+    std::thread::sleep(Duration::from_millis(30)); // grow the replayable suffix
+    let report = engine.restart_replica(ReplicaId::new(1)).expect("restart");
+    assert_eq!(
+        report.source,
+        RecoverySource::Disk,
+        "logs still cover the disk cut: recovery must be local ({report:?})"
+    );
+    assert!(report.disk_checkpoint.is_some());
+
+    // Phase B: crash again, checkpoint on the survivor (trimming the
+    // logs past what replica 1's disk covers), restart. Recovery must
+    // fetch the fresher checkpoint from the live peer.
+    engine.crash_replica(ReplicaId::new(1)).expect("crash");
+    let id = checkpoint(&mut admin);
+    assert!(id >= 2);
+    let report = engine.restart_replica(ReplicaId::new(1)).expect("restart");
+    assert_eq!(
+        report.source,
+        RecoverySource::Peer(0),
+        "disk cut was trimmed: recovery must transfer from the peer ({report:?})"
+    );
+    assert!(global().value(counters::TRANSFERS_COMPLETED) >= 1);
+    assert!(global().value(counters::SNAPSHOTS_LOADED) >= 1);
+
+    let mut records = Vec::new();
+    for h in handles {
+        records.extend(h.join().unwrap());
+    }
+    assert_linearizable(records);
+    await_convergence(|r| engine.replica_service(r));
+    engine.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Mid-transfer peer crash: the first serving peer dies after the offer
+/// and one chunk; the fetcher times out and completes the transfer from
+/// the fallback peer.
+#[test]
+fn psmr_restart_survives_a_peer_crashing_mid_transfer() {
+    let mut config = cfg(2);
+    config
+        .replicas(3)
+        .checkpoint_interval(None)
+        .transfer_chunk_bytes(32) // KEYS*16+8 bytes => several chunks
+        .transfer_timeout(Duration::from_millis(120));
+    let mut engine =
+        PsmrEngine::spawn_recoverable(&config, fine_dependency_spec().into_map(), || {
+            KvService::with_keys(KEYS)
+        });
+    let mut client = engine.client();
+    for i in 0..30u64 {
+        assert_eq!(
+            kv(
+                &mut client,
+                KvOp::Update {
+                    key: i % KEYS,
+                    value: i
+                }
+            ),
+            KvResult::Ok
+        );
+    }
+    let resp = client.execute(psmr_suite::recovery::CHECKPOINT, Vec::new());
+    assert!(u64::from_le_bytes(resp[..8].try_into().unwrap()) >= 1);
+
+    engine.crash_replica(ReplicaId::new(2)).expect("crash");
+    // Peer 0 (tried first) will die after offer + one chunk.
+    engine.sever_transfer_link(ReplicaId::new(0), ReplicaId::new(2), 2);
+    let fallbacks_before = global().value(counters::TRANSFER_FALLBACKS);
+    let report = engine.restart_replica(ReplicaId::new(2)).expect("restart");
+    assert_eq!(
+        report.source,
+        RecoverySource::Peer(1),
+        "transfer must complete on the fallback peer ({report:?})"
+    );
+    assert_eq!(report.transfer_fallbacks, 1);
+    assert!(global().value(counters::TRANSFER_FALLBACKS) > fallbacks_before);
+
+    // The restarted replica serves and converges.
+    await_convergence(|r| engine.replica_service(r));
+    drop(client);
+    engine.shutdown();
+}
+
+/// Recovery across a remap epoch: replica 1 checkpoints under the base
+/// mapping (epoch 0), crashes, misses a REMAP that pins a hot key to
+/// another group (epoch 1), and restarts. The state-transfer handshake
+/// carries the current epoch, the replica re-subscribes under the new
+/// mapping, and the deployment converges with a linearizable history.
+#[test]
+fn psmr_restart_across_a_remap_epoch_adopts_the_current_mapping() {
+    let mut config = cfg(4);
+    config.transfer_timeout(Duration::from_millis(150));
+    let rmap = RemappableMap::new(fine_dependency_spec().into_map());
+    let mut engine =
+        PsmrEngine::spawn_recoverable_remappable(&config, rmap, || KvService::with_keys(KEYS));
+    let store = engine.checkpoint_store().expect("recoverable deployment");
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..3u64)
+        .map(|c| {
+            let client = engine.client();
+            std::thread::spawn(move || client_session(client, c, 60, t0))
+        })
+        .collect();
+
+    await_checkpoint(&store);
+    engine.crash_replica(ReplicaId::new(1)).expect("crash");
+
+    // While replica 1 is down, move key 0 to group 3 — a new C-Dep epoch.
+    let mut table = RemapTable {
+        epoch: 1,
+        ..Default::default()
+    };
+    table.pins.insert(0, GroupId::new(3));
+    let mut admin = engine.client();
+    let resp = admin.execute(REMAP, table.encode());
+    assert_eq!(&resp[..], [1], "remap installed on the live replicas");
+    drop(admin);
+
+    std::thread::sleep(Duration::from_millis(50));
+    let report = engine.restart_replica(ReplicaId::new(1)).expect("restart");
+    assert_eq!(
+        report.epoch, 1,
+        "the transfer handshake must carry the current remap epoch ({report:?})"
+    );
+
+    let mut records = Vec::new();
+    for h in handles {
+        records.extend(h.join().unwrap());
+    }
+    assert_linearizable(records);
+    await_convergence(|r| engine.replica_service(r));
+    engine.shutdown();
+}
+
+/// The no-rep baseline's durable half: a server killed and re-spawned
+/// over the same snapshot directory cold-starts from its own newest
+/// valid snapshot. State checkpointed before the kill survives; the
+/// un-checkpointed tail is lost — exactly the availability gap
+/// replication closes.
+#[test]
+fn norep_cold_starts_from_its_own_disk_snapshot() {
+    let dir = unique_dir("norep-cold");
+    let mut config = SystemConfig::new(2);
+    config.replicas(1).snapshot_dir(Some(dir.clone()));
+
+    // First incarnation: write, checkpoint, write more, die.
+    let engine = NoRepEngine::spawn_recoverable(&config, fine_dependency_spec().into_map(), || {
+        KvService::with_keys(KEYS)
+    });
+    let mut client = engine.client();
+    assert_eq!(
+        kv(&mut client, KvOp::Update { key: 1, value: 11 }),
+        KvResult::Ok
+    );
+    let resp = client.execute(psmr_suite::recovery::CHECKPOINT, Vec::new());
+    let id = u64::from_le_bytes(resp[..8].try_into().unwrap());
+    assert_eq!(id, 1);
+    assert_eq!(
+        kv(&mut client, KvOp::Update { key: 2, value: 22 }),
+        KvResult::Ok,
+        "written after the checkpoint: will be lost"
+    );
+    drop(client);
+    engine.shutdown();
+
+    // Second incarnation over the same directory.
+    let engine = NoRepEngine::spawn_recoverable(&config, fine_dependency_spec().into_map(), || {
+        KvService::with_keys(KEYS)
+    });
+    let store = engine.checkpoint_store().expect("recoverable");
+    assert_eq!(store.latest_id(), 1, "cold-started from checkpoint 1");
+    let mut client = engine.client();
+    assert_eq!(
+        kv(&mut client, KvOp::Read { key: 1 }),
+        KvResult::Value(11),
+        "checkpointed write survived the process death"
+    );
+    assert_eq!(
+        kv(&mut client, KvOp::Read { key: 2 }),
+        KvResult::Value(2),
+        "un-checkpointed tail rolled back to the pre-load value"
+    );
+    // Checkpoint numbering continues across incarnations.
+    let resp = client.execute(psmr_suite::recovery::CHECKPOINT, Vec::new());
+    assert_eq!(u64::from_le_bytes(resp[..8].try_into().unwrap()), 2);
+    drop(client);
+    engine.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// `ChannelSink`-style silent drops and client retransmissions are
