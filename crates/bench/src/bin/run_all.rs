@@ -1,5 +1,7 @@
-//! Runs every table/figure experiment in sequence, writing all reports to
-//! `target/experiments/`. Use `--quick` for a CI-sized pass.
+//! Runs every table/figure experiment in sequence, writing all reports
+//! to `target/experiments/` — human-readable `<name>.txt` plus the
+//! machine-readable `BENCH_<name>.json` perf-trajectory artifacts. Use
+//! `--quick` for a CI-sized pass.
 
 use psmr_bench::experiments;
 
@@ -14,5 +16,6 @@ fn main() {
     let _ = experiments::fig8(&args);
     let _ = experiments::remap(&args);
     let _ = experiments::ckpt_load(&args);
-    println!("all experiments written to target/experiments/");
+    let _ = experiments::wal_overhead(&args);
+    println!("all experiments written to target/experiments/ (BENCH_*.json for machines)");
 }

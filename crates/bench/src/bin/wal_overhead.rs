@@ -1,0 +1,8 @@
+//! Extension experiment: throughput cost of the durable ordered log
+//! (write-ahead logging on the ordered path, group commit vs
+//! fsync-per-append). See `psmr_bench::experiments::wal_overhead`.
+
+fn main() {
+    let args = psmr_bench::BenchArgs::from_env();
+    let _ = psmr_bench::experiments::wal_overhead(&args);
+}

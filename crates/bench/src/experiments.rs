@@ -68,6 +68,9 @@ pub fn fig3(args: &BenchArgs) -> Report {
         rows.push(drive_kv(&engine, &mix, &dist, &opts(args)));
         engine.shutdown();
     }
+    for row in &rows {
+        report.metric(&format!("{}_kcps", row.technique), row.kcps);
+    }
     report.summary_table(&rows, "SMR");
     report.cdf_section(&rows, 12);
     report.save();
@@ -96,6 +99,9 @@ pub fn fig4(args: &BenchArgs) -> Report {
         let engine = build_kv(technique, workers, args.keys);
         rows.push(drive_kv(&engine, &mix, &dist, &opts(args)));
         engine.shutdown();
+    }
+    for row in &rows {
+        report.metric(&format!("{}_kcps", row.technique), row.kcps);
     }
     report.summary_table(&rows, "SMR");
     report.cdf_section(&rows, 12);
@@ -289,6 +295,8 @@ pub fn remap(args: &BenchArgs) -> Report {
         "online reconfiguration recovered {:.2}x throughput",
         after.kcps / before.kcps.max(f64::MIN_POSITIVE)
     ));
+    report.metric("before_remap_kcps", before.kcps);
+    report.metric("after_remap_kcps", after.kcps);
     engine.shutdown();
     report.save();
     report
@@ -417,8 +425,93 @@ pub fn ckpt_load(args: &BenchArgs) -> Report {
          converged after {recovered_ms:.1} ms total; recovered via {:?}, {} peer fallback(s)",
         recovery.source, recovery.transfer_fallbacks
     ));
+    report.metric("baseline_kcps", base.kcps);
+    report.metric("checkpointing_kcps", under.kcps);
+    report.metric("checkpoint_dip_pct", dip);
+    report.metric("restart_ms", restart_ms);
+    report.metric("converge_ms", recovered_ms);
     engine.shutdown();
     let _ = std::fs::remove_dir_all(&snap_dir);
+    report.save();
+    report
+}
+
+/// Extension: what durably logging the ordered path costs. Three P-SMR
+/// deployments under the same update/read load:
+///
+/// 1. **Baseline** — no WAL: the ordered logs live in memory only (the
+///    pre-`psmr-wal` deployment; a whole-cluster crash is fatal).
+/// 2. **WAL, group commit** — every decided batch is appended and one
+///    `fsync` is amortized over `wal_batch` appends. The throughput dip
+///    against the baseline is the price of whole-deployment
+///    recoverability.
+/// 3. **WAL, fsync-per-append** — `wal_batch = 1`, the unamortized
+///    worst case; the gap between 2 and 3 is what group commit buys.
+pub fn wal_overhead(args: &BenchArgs) -> Report {
+    use psmr_core::engines::PsmrEngine;
+    use psmr_kvstore::{fine_dependency_spec, KvService};
+
+    let mut report = Report::new("wal_overhead");
+    let mpl = 4usize;
+    let keys = args.keys;
+    let map = fine_dependency_spec().into_map();
+    let factory = move || KvService::with_keys_and_work(keys, crate::engines::EXEC_WORK);
+    let dist = KeyDist::uniform(keys);
+    let mix = KvMix::update_read();
+    let mut run_opts = opts(args);
+    run_opts.clients = run_opts.clients.min(8);
+
+    let run = |label: &str, metric: &str, wal_batch: Option<usize>, report: &mut Report| -> f64 {
+        let mut cfg = SystemConfig::new(mpl);
+        cfg.replicas(2);
+        let dir = wal_batch.map(|batch| {
+            let dir = std::env::temp_dir()
+                .join(format!("psmr-wal-overhead-{}-{batch}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            cfg.wal_dir(Some(dir.clone())).wal_batch(batch);
+            dir
+        });
+        let engine = PsmrEngine::spawn_recoverable(&cfg, map.clone(), factory);
+        let row = drive_kv(&engine, &mix, &dist, &run_opts);
+        engine.shutdown();
+        if let Some(dir) = dir {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        report.line(&format!(
+            "{label}: {:.1} Kcps, {:.3} ms avg",
+            row.kcps, row.avg_latency_ms
+        ));
+        report.metric(metric, row.kcps);
+        row.kcps
+    };
+
+    let default_batch = SystemConfig::new(1).wal_batch;
+    let base = run(
+        "baseline (no WAL)            ",
+        "baseline_kcps",
+        None,
+        &mut report,
+    );
+    let group = run(
+        "WAL, group commit (default)   ",
+        "wal_group_commit_kcps",
+        Some(default_batch),
+        &mut report,
+    );
+    let every = run(
+        "WAL, fsync every append       ",
+        "wal_fsync_each_kcps",
+        Some(1),
+        &mut report,
+    );
+
+    let dip = (1.0 - group / base.max(f64::MIN_POSITIVE)) * 100.0;
+    let dip_unamortized = (1.0 - every / base.max(f64::MIN_POSITIVE)) * 100.0;
+    report.line(&format!(
+        "group-commit dip vs baseline: {dip:.1}% (fsync-per-append: {dip_unamortized:.1}%)"
+    ));
+    report.metric("group_commit_dip_pct", dip);
+    report.metric("fsync_each_dip_pct", dip_unamortized);
     report.save();
     report
 }

@@ -1,7 +1,11 @@
 //! Experiment output formatting.
 //!
 //! Prints the rows/series the paper plots and mirrors them to
-//! `target/experiments/<name>.txt` so `EXPERIMENTS.md` can reference them.
+//! `target/experiments/<name>.txt` so `EXPERIMENTS.md` can reference
+//! them. Headline numbers recorded through [`Report::metric`] are
+//! additionally written as machine-readable
+//! `target/experiments/BENCH_<name>.json`, the perf-trajectory artifact
+//! CI and tooling consume.
 
 use psmr_common::metrics::RunSummary;
 use std::fmt::Write as _;
@@ -13,6 +17,7 @@ use std::path::PathBuf;
 pub struct Report {
     name: String,
     body: String,
+    metrics: Vec<(String, f64)>,
 }
 
 impl Report {
@@ -21,9 +26,20 @@ impl Report {
         let mut report = Self {
             name: name.to_string(),
             body: String::new(),
+            metrics: Vec::new(),
         };
         report.line(&format!("=== {name} ==="));
         report
+    }
+
+    /// Records one headline number for the machine-readable
+    /// `BENCH_<name>.json` (insertion order is preserved; re-recording a
+    /// key overwrites it).
+    pub fn metric(&mut self, key: &str, value: f64) {
+        match self.metrics.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = value,
+            None => self.metrics.push((key.to_string(), value)),
+        }
     }
 
     /// Appends a line, echoing it to stdout.
@@ -86,15 +102,24 @@ impl Report {
         self.line(&line);
     }
 
-    /// Writes the report to `target/experiments/<name>.txt`.
+    /// Writes the report to `target/experiments/<name>.txt`, plus —
+    /// when [`Report::metric`] recorded anything — the machine-readable
+    /// `target/experiments/BENCH_<name>.json`.
     ///
-    /// Returns the path written. Failures to create the directory or file
-    /// are reported but not fatal (the report already went to stdout).
+    /// Returns the text path written. Failures to create the directory
+    /// or files are reported but not fatal (the report already went to
+    /// stdout).
     pub fn save(&self) -> Option<PathBuf> {
         let dir = PathBuf::from("target/experiments");
         if let Err(e) = fs::create_dir_all(&dir) {
             eprintln!("cannot create {}: {e}", dir.display());
             return None;
+        }
+        if !self.metrics.is_empty() {
+            let json_path = dir.join(format!("BENCH_{}.json", self.name));
+            if let Err(e) = fs::write(&json_path, self.metrics_json()) {
+                eprintln!("cannot write {}: {e}", json_path.display());
+            }
         }
         let path = dir.join(format!("{}.txt", self.name));
         match fs::write(&path, &self.body) {
@@ -109,6 +134,28 @@ impl Report {
     /// The accumulated text.
     pub fn body(&self) -> &str {
         &self.body
+    }
+
+    /// Renders the recorded metrics as a JSON object (hand-formatted:
+    /// the workspace has no JSON dependency). Non-finite values become
+    /// `null` so the artifact always parses.
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = write!(out, "  \"name\": \"{}\",\n  \"metrics\": {{", self.name);
+        for (i, (key, value)) in self.metrics.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let key: String = key
+                .chars()
+                .map(|c| if c == '"' || c == '\\' { '_' } else { c })
+                .collect();
+            if value.is_finite() {
+                let _ = write!(out, "{sep}\n    \"{key}\": {value}");
+            } else {
+                let _ = write!(out, "{sep}\n    \"{key}\": null");
+            }
+        }
+        out.push_str("\n  }\n}\n");
+        out
     }
 }
 
@@ -149,5 +196,21 @@ mod tests {
         report.series("P-SMR uniform", &[(1.0, 100.0), (2.0, 200.0)]);
         assert!(report.body().contains("(0.50,0.50)"));
         assert!(report.body().contains("(1, 100.0)"));
+    }
+
+    #[test]
+    fn metrics_render_as_json() {
+        let mut report = Report::new("walx");
+        report.metric("baseline_kcps", 123.5);
+        report.metric("dip_pct", f64::NAN);
+        report.metric("baseline_kcps", 124.0); // overwrite, keep order
+        let json = report.metrics_json();
+        assert!(json.contains("\"name\": \"walx\""));
+        assert!(json.contains("\"baseline_kcps\": 124"));
+        assert!(
+            json.contains("\"dip_pct\": null"),
+            "NaN must not break JSON"
+        );
+        assert!(json.find("baseline_kcps").unwrap() < json.find("dip_pct").unwrap());
     }
 }

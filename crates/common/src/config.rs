@@ -7,8 +7,55 @@
 //! 8 KB batch cap of the multicast library.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::path::PathBuf;
 use std::time::Duration;
+
+/// A durability/recovery knob set to a value that cannot work.
+///
+/// Returned by [`SystemConfig::validate`]; deployments check their
+/// configuration up front instead of clamping bad values silently or
+/// panicking deep inside the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `transfer_chunk_bytes` is zero: a state transfer could never make
+    /// progress (every chunk would carry no bytes).
+    ZeroTransferChunk,
+    /// `log_retention` is zero: no decided batch would ever be retained,
+    /// so no replica could catch up past its own crash.
+    ZeroRetention,
+    /// `wal_batch` is zero: the group-commit window would never admit an
+    /// append, wedging the ordered log.
+    ZeroWalBatch,
+    /// `wal_segment_bytes` is zero: every append would rotate into a
+    /// fresh segment, degenerating the log into one file per record.
+    ZeroWalSegment,
+    /// `batch_bytes` is zero: no command would ever fit in a batch.
+    ZeroBatchBytes,
+    /// `client_window` is zero: clients could never have a request in
+    /// flight.
+    ZeroClientWindow,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroTransferChunk => {
+                write!(f, "transfer_chunk_bytes must be at least 1")
+            }
+            ConfigError::ZeroRetention => write!(f, "log_retention must be at least 1 batch"),
+            ConfigError::ZeroWalBatch => write!(f, "wal_batch must be at least 1 append"),
+            ConfigError::ZeroWalSegment => {
+                write!(f, "wal_segment_bytes must be at least 1")
+            }
+            ConfigError::ZeroBatchBytes => write!(f, "batch_bytes must be at least 1"),
+            ConfigError::ZeroClientWindow => write!(f, "client_window must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Configuration of a replicated deployment.
 ///
@@ -74,6 +121,19 @@ pub struct SystemConfig {
     /// (the offer and every chunk) before declaring the serving peer dead
     /// and falling back to the next one.
     pub transfer_timeout: Duration,
+    /// When set, every multicast group appends its decided batches to a
+    /// durable write-ahead log under `<wal_dir>/g<group>` — the ordered
+    /// suffix a whole-deployment cold start replays after restoring the
+    /// newest snapshots. `None` keeps the ordered logs in memory only
+    /// (a deployment where every replica crashes is then unrecoverable).
+    pub wal_dir: Option<PathBuf>,
+    /// Group-commit window of the write-ahead log: one `fsync` is issued
+    /// every `wal_batch` appended records, amortizing the sync cost over
+    /// the batch. `1` syncs every append (safest, slowest).
+    pub wal_batch: usize,
+    /// Size threshold at which the write-ahead log rotates to a fresh
+    /// segment file. Trimming reclaims whole segments by unlink.
+    pub wal_segment_bytes: usize,
 }
 
 impl SystemConfig {
@@ -98,7 +158,42 @@ impl SystemConfig {
             snapshot_dir: None,
             transfer_chunk_bytes: 4096,
             transfer_timeout: Duration::from_millis(250),
+            wal_dir: None,
+            wal_batch: 16,
+            wal_segment_bytes: 4 * 1024 * 1024,
         }
+    }
+
+    /// Checks the durability/recovery knobs for values that cannot work,
+    /// returning the first violation as a typed [`ConfigError`].
+    ///
+    /// Engines and the multicast substrate validate at spawn, so a
+    /// zeroed knob fails fast at construction instead of being silently
+    /// clamped or panicking deep inside the stack.
+    ///
+    /// # Errors
+    ///
+    /// See the [`ConfigError`] variants for each rejected knob.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.transfer_chunk_bytes == 0 {
+            return Err(ConfigError::ZeroTransferChunk);
+        }
+        if self.log_retention == 0 {
+            return Err(ConfigError::ZeroRetention);
+        }
+        if self.wal_batch == 0 {
+            return Err(ConfigError::ZeroWalBatch);
+        }
+        if self.wal_segment_bytes == 0 {
+            return Err(ConfigError::ZeroWalSegment);
+        }
+        if self.batch_bytes == 0 {
+            return Err(ConfigError::ZeroBatchBytes);
+        }
+        if self.client_window == 0 {
+            return Err(ConfigError::ZeroClientWindow);
+        }
+        Ok(())
     }
 
     /// Sets the number of replicas.
@@ -123,9 +218,10 @@ impl SystemConfig {
         self
     }
 
-    /// Sets the batch size cap in bytes.
+    /// Sets the batch size cap in bytes (zero is rejected by
+    /// [`SystemConfig::validate`]).
     pub fn batch_bytes(&mut self, bytes: usize) -> &mut Self {
-        self.batch_bytes = bytes.max(1);
+        self.batch_bytes = bytes;
         self
     }
 
@@ -141,15 +237,17 @@ impl SystemConfig {
         self
     }
 
-    /// Sets the per-client outstanding-command window.
+    /// Sets the per-client outstanding-command window (zero is rejected
+    /// by [`SystemConfig::validate`]).
     pub fn client_window(&mut self, window: usize) -> &mut Self {
-        self.client_window = window.max(1);
+        self.client_window = window;
         self
     }
 
-    /// Sets the per-group retained-log cap (in decided batches).
+    /// Sets the per-group retained-log cap in decided batches (zero is
+    /// rejected by [`SystemConfig::validate`]).
     pub fn log_retention(&mut self, batches: usize) -> &mut Self {
-        self.log_retention = batches.max(1);
+        self.log_retention = batches;
         self
     }
 
@@ -166,15 +264,37 @@ impl SystemConfig {
         self
     }
 
-    /// Sets the state-transfer chunk size in bytes (floored at 1).
+    /// Sets the state-transfer chunk size in bytes (zero is rejected by
+    /// [`SystemConfig::validate`]).
     pub fn transfer_chunk_bytes(&mut self, bytes: usize) -> &mut Self {
-        self.transfer_chunk_bytes = bytes.max(1);
+        self.transfer_chunk_bytes = bytes;
         self
     }
 
     /// Sets the per-message state-transfer timeout.
     pub fn transfer_timeout(&mut self, timeout: Duration) -> &mut Self {
         self.transfer_timeout = timeout;
+        self
+    }
+
+    /// Sets (or clears) the directory the per-group write-ahead logs
+    /// live under. Each multicast group uses the `g<group>` subdirectory.
+    pub fn wal_dir(&mut self, dir: Option<PathBuf>) -> &mut Self {
+        self.wal_dir = dir;
+        self
+    }
+
+    /// Sets the WAL group-commit window in appends per `fsync` (zero is
+    /// rejected by [`SystemConfig::validate`]).
+    pub fn wal_batch(&mut self, appends: usize) -> &mut Self {
+        self.wal_batch = appends;
+        self
+    }
+
+    /// Sets the WAL segment-rotation threshold in bytes (zero is
+    /// rejected by [`SystemConfig::validate`]).
+    pub fn wal_segment_bytes(&mut self, bytes: usize) -> &mut Self {
+        self.wal_segment_bytes = bytes;
         self
     }
 
@@ -266,7 +386,11 @@ mod tests {
         assert_eq!(cfg.log_retention, 16);
         assert_eq!(cfg.checkpoint_interval, Some(Duration::from_millis(50)));
         cfg.log_retention(0);
-        assert_eq!(cfg.log_retention, 1, "cap floors at one batch");
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ZeroRetention),
+            "zero retention is rejected, not clamped"
+        );
     }
 
     #[test]
@@ -279,8 +403,75 @@ mod tests {
             .transfer_chunk_bytes(0)
             .transfer_timeout(Duration::from_millis(50));
         assert_eq!(cfg.snapshot_dir.as_deref(), Some("/tmp/psmr".as_ref()));
-        assert_eq!(cfg.transfer_chunk_bytes, 1, "chunk size floors at 1");
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ZeroTransferChunk),
+            "zero chunk size is rejected, not clamped"
+        );
         assert_eq!(cfg.transfer_timeout, Duration::from_millis(50));
+    }
+
+    #[test]
+    fn wal_knobs_have_safe_defaults_and_chain() {
+        let mut cfg = SystemConfig::new(2);
+        assert_eq!(cfg.wal_dir, None);
+        assert_eq!(cfg.wal_batch, 16);
+        assert_eq!(cfg.wal_segment_bytes, 4 * 1024 * 1024);
+        cfg.wal_dir(Some(PathBuf::from("/tmp/psmr-wal")))
+            .wal_batch(4)
+            .wal_segment_bytes(1024);
+        assert_eq!(cfg.wal_dir.as_deref(), Some("/tmp/psmr-wal".as_ref()));
+        assert_eq!(cfg.wal_batch, 4);
+        assert_eq!(cfg.wal_segment_bytes, 1024);
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_each_zeroed_knob_with_a_typed_error() {
+        let check = |mutate: fn(&mut SystemConfig), expected: ConfigError| {
+            let mut cfg = SystemConfig::new(2);
+            assert_eq!(cfg.validate(), Ok(()), "defaults are valid");
+            mutate(&mut cfg);
+            let err = cfg.validate().expect_err("zeroed knob must be rejected");
+            assert_eq!(err, expected);
+            assert!(!err.to_string().is_empty());
+        };
+        check(
+            |c| {
+                c.transfer_chunk_bytes(0);
+            },
+            ConfigError::ZeroTransferChunk,
+        );
+        check(
+            |c| {
+                c.log_retention(0);
+            },
+            ConfigError::ZeroRetention,
+        );
+        check(
+            |c| {
+                c.wal_batch(0);
+            },
+            ConfigError::ZeroWalBatch,
+        );
+        check(
+            |c| {
+                c.wal_segment_bytes(0);
+            },
+            ConfigError::ZeroWalSegment,
+        );
+        check(
+            |c| {
+                c.batch_bytes(0);
+            },
+            ConfigError::ZeroBatchBytes,
+        );
+        check(
+            |c| {
+                c.client_window(0);
+            },
+            ConfigError::ZeroClientWindow,
+        );
     }
 
     #[test]

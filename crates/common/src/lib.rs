@@ -11,6 +11,8 @@
 //!   level, batching, acceptor counts, …),
 //! * [`metrics`] — latency histograms, CDFs and throughput meters used by
 //!   the evaluation harness,
+//! * [`crc`] — the CRC-32 both durability layers (snapshot files, WAL
+//!   record frames) guard their bytes with,
 //! * [`cpu`] — Linux `/proc`-based CPU-utilization sampling, reproducing the
 //!   CPU% bars of Figures 3 and 4 of the paper.
 //!
@@ -26,12 +28,13 @@
 
 pub mod config;
 pub mod cpu;
+pub mod crc;
 pub mod envelope;
 pub mod error;
 pub mod ids;
 pub mod metrics;
 
-pub use config::SystemConfig;
+pub use config::{ConfigError, SystemConfig};
 pub use envelope::{Request, Response};
 pub use error::CommonError;
 pub use ids::{ClientId, CommandId, GroupId, ReplicaId, RequestId, WorkerId};

@@ -361,6 +361,27 @@ pub mod counters {
     /// Durable snapshot files rejected at load (bad magic, truncation,
     /// crc mismatch) — corrupt files are skipped, not fatal.
     pub const SNAPSHOT_LOAD_FAILURES: &str = "snapshot_load_failures";
+    /// Decided batches appended to a write-ahead log.
+    pub const WAL_APPENDS: &str = "wal_appends";
+    /// `fsync` calls the write-ahead logs issued (one per group-commit
+    /// window, so `wal_appends / wal_fsyncs` approximates the achieved
+    /// commit batch size).
+    pub const WAL_FSYNCS: &str = "wal_fsyncs";
+    /// WAL appends that failed with an I/O error (the ordered stream
+    /// keeps running; durability of the failed record is lost).
+    pub const WAL_APPEND_FAILURES: &str = "wal_append_failures";
+    /// Records recovered by WAL replay (cold start or reopening a log).
+    pub const WAL_REPLAY_RECORDS: &str = "wal_replay_records";
+    /// Torn tails dropped by WAL replay: a truncated or corrupt final
+    /// record whose prefix still replays cleanly.
+    pub const WAL_TORN_TAILS: &str = "wal_torn_tails";
+    /// WAL segment files created (the first segment plus every rotation).
+    pub const WAL_SEGMENTS_CREATED: &str = "wal_segments_created";
+    /// WAL segment files reclaimed by trim-below-unlink.
+    pub const WAL_SEGMENTS_TRIMMED: &str = "wal_segments_trimmed";
+    /// Whole-deployment cold starts completed (every replica restarted
+    /// from disk with no live peer).
+    pub const COLD_STARTS: &str = "cold_starts";
 }
 
 /// A process-wide registry of named [`Counter`]s.

@@ -164,6 +164,123 @@ impl PsmrEngine {
         engine
     }
 
+    /// **Cold-starts a whole deployment from disk** — every replica
+    /// restarts at once with **no live peer to fetch from**, the
+    /// scenario a whole-cluster crash leaves behind. Requires a
+    /// deployment previously spawned with `cfg.wal_dir` (the durable
+    /// ordered logs) and, for state older than the logs' retention,
+    /// `cfg.snapshot_dir`. Recovery replays everything the logs hold:
+    /// complete after a process-level crash; after a power failure, up
+    /// to the open group-commit window (`wal_batch - 1` unsynced
+    /// appends per group) can be missing from the tail.
+    ///
+    /// The multicast substrate replays each group's write-ahead log into
+    /// its retained stream (the sequence numbering *continues* — cuts
+    /// taken before the crash stay comparable); each replica then
+    /// restores its newest valid durable snapshot, re-subscribes its
+    /// `k` worker streams at the snapshot's cut, and replays the WAL
+    /// suffix through the ordinary worker loop until it has re-executed
+    /// everything the dead deployment ever ordered. A replica with no
+    /// snapshot at all replays the entire log from scratch
+    /// ([`RecoverySource::WalOnly`](super::RecoverySource::WalOnly)).
+    ///
+    /// Returns the running engine plus one [`RecoveryReport`] per
+    /// replica.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::CutTrimmed`] when a replica's snapshots exist
+    /// but the logs no longer cover any of their cuts;
+    /// [`RecoveryError::LogTrimmed`] when a replica has no snapshot and
+    /// the logs do not reach back to the stream's beginning; plus
+    /// whatever snapshot decoding surfaces. On error everything spawned
+    /// so far is shut down before returning.
+    pub fn cold_start<S: RecoverableService>(
+        cfg: &SystemConfig,
+        map: CommandMap,
+        factory: impl Fn() -> S + Send + Sync + 'static,
+    ) -> Result<(Self, Vec<RecoveryReport>), RecoveryError> {
+        let mut engine = Self::scaffold(cfg, Router::Fixed(map));
+        // Replayed commands re-respond to the client ids of the dead
+        // incarnation; fresh clients must not collide with them or a
+        // replayed response answers a new request. Stream positions are
+        // monotonic across incarnations, so the furthest one stamps a
+        // disjoint client-id range per cold start. The *maximum* over
+        // all groups matters: a crash can land after a per-worker group
+        // appended its round but before g_all appended its own, and a
+        // g_all-only stamp would then repeat.
+        let stamp = (0..cfg.group_count())
+            .map(|g| engine.system.next_seq(GroupId::new(g)))
+            .max()
+            .unwrap_or(1);
+        engine.next_client = AtomicU64::new(stamp << 32);
+        let dyn_factory: Arc<dyn Fn() -> Arc<dyn RecoverableService> + Send + Sync> =
+            Arc::new(move || Arc::new(factory()) as Arc<dyn RecoverableService>);
+        let epoch_router = engine.sink.router.clone();
+        let mut recovery = EngineRecovery::build(
+            cfg,
+            Arc::clone(&dyn_factory),
+            Arc::new(move || epoch_router.epoch_table()),
+        );
+        let mut reports = Vec::new();
+        let mut failure = None;
+        for replica in 0..cfg.n_replicas {
+            let recovered = {
+                let system = &engine.system;
+                recovery.cold_start(
+                    replica,
+                    cfg.all_group(),
+                    |cut| {
+                        (0..cfg.mpl)
+                            .map(|i| system.worker_stream_at(WorkerId::new(i), cut))
+                            .collect::<Result<Vec<_>, _>>()
+                    },
+                    || {
+                        (0..cfg.mpl)
+                            .map(|i| system.worker_stream_from_start(WorkerId::new(i)))
+                            .collect::<Result<Vec<_>, _>>()
+                    },
+                )
+            };
+            let (service, streams, report) = match recovered {
+                Ok(recovered) => recovered,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            };
+            let hook = recovery.hook_for(
+                replica,
+                &service,
+                Some(engine.sink.handle.clone()),
+                report.checkpoint_id,
+            );
+            let slot = engine.spawn_replica_at(
+                cfg.mpl,
+                cfg.all_group(),
+                replica,
+                streams,
+                service.clone(),
+                Some(service),
+                Some(hook),
+            );
+            engine.replicas.push(slot);
+            reports.push(report);
+        }
+        if let Some(e) = failure {
+            engine.recovery = Some(recovery);
+            engine.shutdown();
+            return Err(e);
+        }
+        engine.system.start();
+        recovery.checkpointer = cfg
+            .checkpoint_interval
+            .map(|interval| auto_checkpointer(Arc::clone(&engine.sink) as _, interval));
+        engine.recovery = Some(recovery);
+        global().counter(counters::COLD_STARTS).inc();
+        Ok((engine, reports))
+    }
+
     /// Builds the multicast substrate and client-side plumbing; replicas
     /// attach afterwards.
     fn scaffold(cfg: &SystemConfig, map: Router) -> Self {
@@ -276,6 +393,20 @@ impl PsmrEngine {
             recovery.on_crash(idx);
         }
         Ok(())
+    }
+
+    /// Crash-stops **every replica at once** — the whole-deployment
+    /// power failure. The state-transfer fabric goes dark with them
+    /// (`LiveNet::crash_all`), so nothing is left to answer a fetch:
+    /// the only way back is [`PsmrEngine::cold_start`] over the same
+    /// `wal_dir`/`snapshot_dir` after shutting this instance down.
+    pub fn crash_all_replicas(&mut self) {
+        for idx in 0..self.replicas.len() {
+            let _ = self.crash_replica(ReplicaId::new(idx));
+        }
+        if let Some(recovery) = self.recovery.as_mut() {
+            recovery.crash_everything();
+        }
     }
 
     /// Restarts a crashed replica the way a redeployed process would:

@@ -15,7 +15,7 @@
 use crate::client::RequestSink;
 use crate::service::RecoverableService;
 use psmr_common::envelope::Request;
-use psmr_common::ids::{ClientId, RequestId};
+use psmr_common::ids::{ClientId, GroupId, RequestId};
 use psmr_common::metrics::{counters, global};
 use psmr_common::SystemConfig;
 use psmr_multicast::{Delivered, MulticastHandle};
@@ -169,6 +169,10 @@ pub enum RecoverySource {
     Disk,
     /// State transfer from the given live replica.
     Peer(usize),
+    /// No snapshot at all: the replica rebuilt its entire state by
+    /// replaying the durable ordered log from the beginning (a cold
+    /// start before any checkpoint was ever taken).
+    WalOnly,
 }
 
 /// What a completed restart reports back: enough for operators (and
@@ -419,6 +423,101 @@ impl EngineRecovery {
         Err(RecoveryError::CutTrimmed {
             cut: newest_tried.expect("at least one candidate was tried"),
         })
+    }
+
+    /// The whole-deployment cold-start path of one replica: **no live
+    /// peer exists**, so recovery is disk-only. The replica walks its
+    /// own durable snapshots newest-first (a corrupt newest file was
+    /// already skipped by the store; a snapshot whose stream position
+    /// the replayed WAL cannot serve falls through to the next), and —
+    /// when it has no usable snapshot at all — rebuilds from scratch by
+    /// replaying the entire durable ordered log (`subscribe_start`).
+    /// The recovered checkpoint is installed into the replica's (fresh)
+    /// in-memory store so the transfer fabric serves it to later
+    /// single-replica restarts.
+    ///
+    /// `scratch_group` tags the synthetic stream cut of a from-scratch
+    /// report (the serialized group for P-SMR, `g0` for single-stream
+    /// engines).
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::CutTrimmed`] when snapshots exist but the WAL no
+    /// longer covers any of their cuts; [`RecoveryError::LogTrimmed`]
+    /// when no snapshot exists and the WAL does not reach back to the
+    /// stream's beginning; plus whatever restore surfaces.
+    pub fn cold_start<S>(
+        &mut self,
+        replica: usize,
+        scratch_group: GroupId,
+        mut subscribe_at: impl FnMut(StreamCut) -> Result<S, RecoveryError>,
+        subscribe_start: impl FnOnce() -> Result<S, RecoveryError>,
+    ) -> Result<(Arc<dyn RecoverableService>, S, RecoveryReport), RecoveryError> {
+        let durable = self.replicas[replica].durable.clone();
+        let candidates = durable.as_ref().map(|d| d.load_all()).unwrap_or_default();
+        let disk_checkpoint = candidates.first().map(|d| d.checkpoint.id);
+        let mut newest_tried: Option<StreamCut> = None;
+        for candidate in candidates {
+            let epoch = candidate.epoch;
+            if newest_tried.is_none() {
+                newest_tried = Some(candidate.checkpoint.cut);
+            }
+            // Inner Err(()) = this cut's suffix is unavailable; an older
+            // snapshot may still sit inside the replayed stream (e.g.
+            // when the newest outlived a partially lost WAL directory).
+            if let Ok((service, streams, checkpoint)) =
+                self.try_restore(candidate.checkpoint, &mut subscribe_at)?
+            {
+                self.replicas[replica].store.install(
+                    checkpoint.cut,
+                    checkpoint.id,
+                    checkpoint.snapshot.clone(),
+                );
+                let report = RecoveryReport {
+                    source: RecoverySource::Disk,
+                    checkpoint_id: checkpoint.id,
+                    cut: checkpoint.cut,
+                    epoch,
+                    transfer_fallbacks: 0,
+                    disk_checkpoint,
+                };
+                return Ok((service, streams, report));
+            }
+        }
+        if let Some(cut) = newest_tried {
+            // Snapshots exist but none of their cuts can be served: the
+            // WAL was trimmed past them (or lost). Surface the typed
+            // race instead of silently rebuilding a truncated state.
+            return Err(RecoveryError::CutTrimmed { cut });
+        }
+        let service = (self.factory)();
+        let streams = subscribe_start()?;
+        let report = RecoveryReport {
+            source: RecoverySource::WalOnly,
+            checkpoint_id: 0,
+            cut: StreamCut {
+                group: scratch_group,
+                seq: 0,
+                offset: 0,
+            },
+            epoch: 0,
+            transfer_fallbacks: 0,
+            disk_checkpoint: None,
+        };
+        Ok((service, streams, report))
+    }
+
+    /// Takes **every** replica off the transfer fabric at once — the
+    /// whole-deployment power failure. All serving threads stop and the
+    /// fabric crash-stops every node, so nothing survives to answer a
+    /// fetch.
+    pub fn crash_everything(&mut self) {
+        self.net.crash_all();
+        for slot in &mut self.replicas {
+            if let Some(server) = slot.server.take() {
+                server.stop();
+            }
+        }
     }
 
     /// Restores a fresh service from `checkpoint` and subscribes at its
@@ -774,6 +873,91 @@ mod tests {
             .load_latest()
             .expect("fetched checkpoint persisted locally");
         assert_eq!(on_disk.checkpoint.id, 5);
+        recovery.stop();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Cold start walks the replica's own disk: a snapshot restores as
+    /// `Disk` (seeding the fresh in-memory store), an empty disk falls
+    /// back to replaying the whole durable log (`WalOnly`).
+    #[test]
+    fn cold_start_prefers_disk_and_falls_back_to_wal_only() {
+        let mut cfg = test_cfg();
+        let dir = unique_dir("cold-start");
+        cfg.snapshot_dir(Some(dir.clone()));
+        let mut recovery = EngineRecovery::build(&cfg, null_factory(), fixed_epoch());
+        recovery.replicas[0]
+            .durable
+            .as_ref()
+            .expect("durable configured")
+            .persist(
+                &Checkpoint {
+                    id: 2,
+                    cut: cut_at(6),
+                    snapshot: vec![7],
+                },
+                5,
+            )
+            .unwrap();
+        let (_, (), report) = recovery
+            .cold_start(0, GroupId::new(1), |_| Ok(()), || Ok(()))
+            .expect("cold start from disk");
+        assert_eq!(report.source, RecoverySource::Disk);
+        assert_eq!(report.checkpoint_id, 2);
+        assert_eq!(report.epoch, 5, "epoch persisted with the snapshot");
+        assert_eq!(
+            recovery.replicas[0].store.latest_id(),
+            2,
+            "recovered checkpoint seeds the fresh store"
+        );
+        // Replica 1 never persisted anything: scratch replay.
+        let (_, (), report) = recovery
+            .cold_start(1, GroupId::new(1), |_| Ok(()), || Ok(()))
+            .expect("cold start from the log alone");
+        assert_eq!(report.source, RecoverySource::WalOnly);
+        assert_eq!(report.checkpoint_id, 0);
+        assert_eq!(report.disk_checkpoint, None);
+        recovery.stop();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Snapshots exist but the durable log no longer covers any of
+    /// their cuts: the cold start surfaces the typed error instead of
+    /// silently rebuilding a truncated state from scratch.
+    #[test]
+    fn cold_start_surfaces_cut_trimmed_when_the_log_is_gone() {
+        let mut cfg = test_cfg();
+        let dir = unique_dir("cold-trimmed");
+        cfg.snapshot_dir(Some(dir.clone()));
+        let mut recovery = EngineRecovery::build(&cfg, null_factory(), fixed_epoch());
+        recovery.replicas[0]
+            .durable
+            .as_ref()
+            .expect("durable configured")
+            .persist(
+                &Checkpoint {
+                    id: 1,
+                    cut: cut_at(9),
+                    snapshot: vec![7],
+                },
+                0,
+            )
+            .unwrap();
+        let result = recovery.cold_start::<()>(
+            0,
+            GroupId::new(1),
+            |cut| {
+                Err(RecoveryError::LogTrimmed {
+                    group: cut.group,
+                    needed: cut.seq,
+                })
+            },
+            || panic!("scratch must not run while snapshots exist"),
+        );
+        assert_eq!(
+            result.map(|_| ()),
+            Err(RecoveryError::CutTrimmed { cut: cut_at(9) })
+        );
         recovery.stop();
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -100,6 +100,81 @@ impl SmrEngine {
         engine
     }
 
+    /// Cold-starts a whole SMR deployment from disk with no live peer
+    /// (see [`super::PsmrEngine::cold_start`] — same contract over the
+    /// single totally ordered stream).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`super::PsmrEngine::cold_start`].
+    pub fn cold_start<S: RecoverableService>(
+        cfg: &SystemConfig,
+        factory: impl Fn() -> S + Send + Sync + 'static,
+    ) -> Result<(Self, Vec<RecoveryReport>), RecoveryError> {
+        let mut engine = Self::scaffold(cfg);
+        // Fresh clients must not collide with the client ids inside
+        // replayed commands (see `PsmrEngine::cold_start`).
+        engine.next_client = AtomicU64::new(engine.system.next_seq(GroupId::new(0)) << 32);
+        let dyn_factory: Arc<dyn Fn() -> Arc<dyn RecoverableService> + Send + Sync> =
+            Arc::new(move || Arc::new(factory()) as Arc<dyn RecoverableService>);
+        let mut recovery =
+            EngineRecovery::build(cfg, Arc::clone(&dyn_factory), super::recover::fixed_epoch());
+        let mut reports = Vec::new();
+        let mut failure = None;
+        for replica in 0..cfg.n_replicas {
+            let recovered = {
+                let system = &engine.system;
+                recovery.cold_start(
+                    replica,
+                    GroupId::new(0),
+                    |cut| system.single_stream_at(cut),
+                    || system.single_stream_from_start(),
+                )
+            };
+            let (service, stream, report) = match recovered {
+                Ok(recovered) => recovered,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            };
+            let hook = recovery.hook_for(
+                replica,
+                &service,
+                Some(engine.sink.handle.clone()),
+                report.checkpoint_id,
+            );
+            let slot =
+                engine.spawn_replica(replica, stream, service.clone(), Some(service), Some(hook));
+            engine.replicas.push(slot);
+            reports.push(report);
+        }
+        if let Some(e) = failure {
+            engine.recovery = Some(recovery);
+            engine.shutdown();
+            return Err(e);
+        }
+        engine.system.start();
+        recovery.checkpointer = cfg
+            .checkpoint_interval
+            .map(|interval| auto_checkpointer(Arc::clone(&engine.sink) as _, interval));
+        engine.recovery = Some(recovery);
+        global().counter(counters::COLD_STARTS).inc();
+        Ok((engine, reports))
+    }
+
+    /// Crash-stops every replica at once (see
+    /// [`super::PsmrEngine::crash_all_replicas`]); recover with
+    /// [`SmrEngine::cold_start`] over the same directories.
+    pub fn crash_all_replicas(&mut self) {
+        for idx in 0..self.replicas.len() {
+            let _ = self.crash_replica(ReplicaId::new(idx));
+        }
+        if let Some(recovery) = self.recovery.as_mut() {
+            recovery.crash_everything();
+        }
+    }
+
     fn scaffold(cfg: &SystemConfig) -> Self {
         let system = MulticastSystem::spawn_single(cfg);
         let router: SharedRouter = Arc::new(ResponseRouter::new());

@@ -1,6 +1,6 @@
 //! The service abstraction and the client↔replica plumbing.
 //!
-//! A replicated service is "a state machine [that] consists of state
+//! A replicated service is "a state machine \[that\] consists of state
 //! variables … and a set of commands that change the state" (§III). The
 //! paper's architecture interposes proxies: client proxies marshal
 //! invocations into requests; server proxies unmarshal and invoke the local

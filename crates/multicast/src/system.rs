@@ -7,9 +7,28 @@ use psmr_common::SystemConfig;
 use psmr_netsim::live::LiveNet;
 use psmr_paxos::runtime::{acceptor_node, GroupHandle, NetMsg, Pacing, PaxosGroup};
 use psmr_recovery::{RecoveryError, StreamCut};
+use psmr_wal::{Wal, WalOptions};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Opens group `gid`'s write-ahead log when the deployment configured a
+/// WAL directory (`<wal_dir>/g<gid>`).
+///
+/// # Panics
+///
+/// Panics when the log cannot be opened or replayed — a deployment that
+/// asked for a durable ordered log must not come up silently
+/// non-durable.
+fn group_wal(cfg: &SystemConfig, gid: usize) -> Option<Arc<Wal>> {
+    cfg.wal_dir.as_ref().map(|dir| {
+        let opts = WalOptions {
+            segment_bytes: cfg.wal_segment_bytes,
+            batch: cfg.wal_batch,
+        };
+        Arc::new(Wal::open(dir.join(format!("g{gid}")), opts).expect("open group write-ahead log"))
+    })
+}
 
 /// The destination set `γ` of a multicast (Algorithm 1, line 2).
 ///
@@ -117,14 +136,34 @@ pub struct MulticastHandle {
 impl MulticastSystem {
     /// Spawns the P-SMR group layout: `k` per-worker groups plus `g_all`
     /// (index `k`), where `k = cfg.mpl`, all round-paced by one shared
-    /// ticker at `cfg.skip_interval`.
+    /// ticker at `cfg.skip_interval`. With `cfg.wal_dir` set, every
+    /// group's decided stream is additionally appended to a durable
+    /// write-ahead log under `<wal_dir>/g<gid>`, and a spawn over a
+    /// directory a previous incarnation wrote **continues** the old
+    /// streams (sequence numbers and retained logs included) — the
+    /// substrate half of a whole-deployment cold start. Note that a
+    /// *fresh* deployment must use a fresh WAL directory; only the
+    /// cold-start paths subscribe correctly to a resumed stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg` fails [`SystemConfig::validate`] or a
+    /// configured write-ahead log cannot be opened.
     pub fn spawn(cfg: &SystemConfig) -> Self {
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid SystemConfig: {e}"));
         let mut tick_txs = Vec::with_capacity(cfg.group_count());
         let groups = (0..cfg.group_count())
             .map(|gid| {
                 let (tx, rx) = crossbeam::channel::unbounded();
                 tick_txs.push(tx);
-                PaxosGroup::spawn_with(gid, cfg, LiveNet::new(), Pacing::Ticks(rx))
+                PaxosGroup::spawn_with_wal(
+                    gid,
+                    cfg,
+                    LiveNet::new(),
+                    Pacing::Ticks(rx),
+                    group_wal(cfg, gid),
+                )
             })
             .collect();
         let run = Arc::new(AtomicBool::new(true));
@@ -162,17 +201,26 @@ impl MulticastSystem {
     }
 
     /// Spawns a single totally-ordered stream (the SMR / sP-SMR layout):
-    /// one group, no skips needed.
+    /// one group, no skips needed. Durable-log behavior matches
+    /// [`MulticastSystem::spawn`], with only `g0`'s log in play.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg` fails [`SystemConfig::validate`] or a
+    /// configured write-ahead log cannot be opened.
     pub fn spawn_single(cfg: &SystemConfig) -> Self {
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid SystemConfig: {e}"));
         let mut single = cfg.clone();
         single.mpl = 1;
         // Layout: g_0 doubles as the only stream; group count is still
         // mpl+1 but only g_0 is used. Spawn just g_0 to avoid idle threads.
-        let groups = vec![PaxosGroup::spawn_with(
+        let groups = vec![PaxosGroup::spawn_with_wal(
             0,
             &single,
             LiveNet::new(),
             Pacing::Batched,
+            group_wal(cfg, 0),
         )];
         Self {
             groups,
@@ -279,6 +327,63 @@ impl MulticastSystem {
         Ok(MergedStream::resume(streams, cut))
     }
 
+    /// Subscribes worker `t_i` from the **beginning of the retained
+    /// streams** (sequence number 1): the WAL-only cold-start path of a
+    /// replica that has no snapshot at all — everything it ever executed
+    /// is rebuilt by replaying the durable ordered logs from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::LogTrimmed`] when the logs no longer
+    /// reach back to sequence number 1 (a checkpoint trimmed them; the
+    /// replica needs a snapshot to recover).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`MulticastSystem::worker_stream`].
+    pub fn worker_stream_from_start(
+        &self,
+        worker: WorkerId,
+    ) -> Result<MergedStream, RecoveryError> {
+        assert!(
+            worker.as_raw() < self.cfg.mpl,
+            "worker {worker} outside MPL {}",
+            self.cfg.mpl
+        );
+        assert!(
+            self.groups.len() > 1,
+            "worker streams require the P-SMR layout (use spawn, not spawn_single)"
+        );
+        let gi = GroupId::from(worker);
+        let gall = self.cfg.all_group();
+        let sub = |group: GroupId| {
+            self.groups[group.as_raw()]
+                .handle()
+                .subscribe_from(1)
+                .map_err(|_| RecoveryError::LogTrimmed { group, needed: 1 })
+        };
+        Ok(MergedStream::new(vec![(gi, sub(gi)?), (gall, sub(gall)?)]))
+    }
+
+    /// Subscribes to the single stream of a
+    /// [`MulticastSystem::spawn_single`] deployment from the beginning
+    /// of the retained stream (see
+    /// [`MulticastSystem::worker_stream_from_start`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::LogTrimmed`] when the log no longer
+    /// reaches back to sequence number 1.
+    pub fn single_stream_from_start(&self) -> Result<MergedStream, RecoveryError> {
+        let group = GroupId::new(0);
+        let rx = self.groups[0]
+            .handle()
+            .subscribe_from(1)
+            .map_err(|_| RecoveryError::LogTrimmed { group, needed: 1 })?;
+        Ok(MergedStream::new(vec![(group, rx)]))
+    }
+
     /// Re-subscribes to the single stream of a
     /// [`MulticastSystem::spawn_single`] deployment after the start,
     /// resuming right behind the checkpoint command at `cut`.
@@ -327,6 +432,17 @@ impl MulticastSystem {
     /// Panics if `group` is outside the configured layout.
     pub fn retained_len(&self, group: GroupId) -> usize {
         self.groups[group.as_raw()].handle().retained_len()
+    }
+
+    /// Sequence number `group`'s stream will assign next — monotonic
+    /// across incarnations of a WAL-backed deployment (see
+    /// [`psmr_paxos::runtime::GroupHandle::next_seq`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is outside the configured layout.
+    pub fn next_seq(&self, group: GroupId) -> u64 {
+        self.groups[group.as_raw()].handle().next_seq()
     }
 
     /// Starts every group (and the shared ticker). Call once all worker
@@ -597,5 +713,62 @@ mod tests {
     fn worker_stream_validates_worker_id() {
         let system = MulticastSystem::spawn(&test_cfg(2));
         let _ = system.worker_stream(WorkerId::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SystemConfig")]
+    fn zeroed_durability_knob_is_rejected_at_spawn() {
+        let mut cfg = test_cfg(1);
+        cfg.wal_batch(0);
+        let _ = MulticastSystem::spawn(&cfg);
+    }
+
+    /// The durable-log contract at the multicast layer: a deployment
+    /// respawned over the WAL directory of a dead incarnation replays
+    /// the identical merged command sequence from the beginning — the
+    /// property every cold-started worker relies on.
+    #[test]
+    fn wal_backed_deployment_replays_identically_after_respawn() {
+        let dir = std::env::temp_dir().join(format!("psmr-mcast-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = test_cfg(2);
+        cfg.wal_dir(Some(dir.clone()));
+
+        let take = |s: &mut MergedStream, n: usize| -> Vec<(GroupId, u64, usize, u32)> {
+            (0..n)
+                .map(|_| {
+                    let d = s.next().expect("delivered");
+                    let v = u32::from_le_bytes(d.payload[..4].try_into().unwrap());
+                    (d.group, d.batch_seq, d.offset, v)
+                })
+                .collect()
+        };
+
+        // First incarnation: mixed singleton and serialized traffic.
+        let system = MulticastSystem::spawn(&cfg);
+        let handle = system.handle();
+        let mut w0 = system.worker_stream(WorkerId::new(0));
+        system.start();
+        for i in 0..20u32 {
+            let payload = Bytes::from(i.to_le_bytes().to_vec());
+            if i % 4 == 0 {
+                handle.multicast(&Destinations::all(2), payload);
+            } else {
+                handle.multicast(&Destinations::one(GroupId::new(0)), payload);
+            }
+        }
+        let before = take(&mut w0, 20);
+        system.shutdown();
+
+        // Second incarnation over the same directory: the whole stream
+        // set replays from the durable logs, provenance included.
+        let system = MulticastSystem::spawn(&cfg);
+        let mut w0 = system
+            .worker_stream_from_start(WorkerId::new(0))
+            .expect("logs never trimmed");
+        let after = take(&mut w0, 20);
+        assert_eq!(before, after, "replayed merge is byte-identical");
+        system.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -191,6 +191,21 @@ impl<M: Send + 'static> LiveNet<M> {
         self.shared.crashed.read().contains_key(&node)
     }
 
+    /// Crash-stops **every currently registered node** at once — the
+    /// whole-deployment power failure. Every inbox disconnects and all
+    /// traffic is dropped until nodes are individually
+    /// [`LiveNet::restart`]ed (or, for a cold start, a fresh network is
+    /// built by the new incarnation). Nodes registered *after* this call
+    /// are unaffected.
+    pub fn crash_all(&self) {
+        let mut inboxes = self.shared.inboxes.write();
+        let mut crashed = self.shared.crashed.write();
+        for (&node, _) in inboxes.iter() {
+            crashed.insert(node, ());
+        }
+        inboxes.clear();
+    }
+
     /// Clears a node's crash-stop status so a **new incarnation** of the
     /// process can [`LiveNet::register`] under the same id. The restarted
     /// node has a fresh (empty) inbox; nothing sent while it was down is
@@ -285,6 +300,28 @@ mod tests {
         // …and the fresh inbox holds only post-restart traffic.
         assert_eq!(fresh.try_recv().unwrap().1, 3);
         assert!(fresh.try_recv().is_err());
+    }
+
+    #[test]
+    fn crash_all_takes_down_every_registered_node() {
+        let net: LiveNet<u32> = LiveNet::new();
+        let rx1 = net.register(n(1));
+        let rx2 = net.register(n(2));
+        net.crash_all();
+        assert!(net.is_crashed(n(1)) && net.is_crashed(n(2)));
+        assert!(!net.send(n(1), n(2), 7), "crashed nodes cannot talk");
+        assert!(rx1.recv().is_err() && rx2.recv().is_err());
+        // A node restarted after the blackout registers a fresh inbox.
+        net.restart(n(1));
+        let fresh = net.register(n(1));
+        net.restart(n(2));
+        let _ = net.register(n(2));
+        assert!(net.send(n(2), n(1), 9));
+        assert_eq!(fresh.recv().unwrap().1, 9);
+        // Nodes registered after the blackout are unaffected by it.
+        let rx3 = net.register(n(3));
+        assert!(net.send(n(1), n(3), 1));
+        assert_eq!(rx3.recv().unwrap().1, 1);
     }
 
     #[test]

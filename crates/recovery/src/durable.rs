@@ -28,21 +28,9 @@ const VERSION: u32 = 1;
 /// + epoch + body length + body crc.
 const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 4;
 
-/// CRC-32 (IEEE 802.3, reflected polynomial) of `bytes`.
-///
-/// Bitwise implementation — snapshots are persisted at checkpoint
-/// cadence, not on the request hot path, so a lookup table buys nothing.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
+/// CRC-32 of the snapshot body — the shared [`psmr_common::crc::crc32`],
+/// the same checksum the WAL record frames use.
+pub use psmr_common::crc::crc32;
 
 /// A checkpoint as recovered from disk: the in-memory artifact plus the
 /// remap epoch that was in force when it was persisted.
@@ -123,28 +111,44 @@ impl DurableStore {
     /// Loads the newest valid checkpoint: scans every `*.psmr` file,
     /// decodes and crc-verifies each, and returns the one with the
     /// newest [`StreamCut`]. Corrupt or truncated files are skipped (and
-    /// counted under `snapshot_load_failures`), never trusted.
+    /// counted under `snapshot_load_failures`), never trusted — a
+    /// damaged newest file therefore **falls back to the next-older
+    /// valid checkpoint** instead of erroring the restart.
     pub fn load_latest(&self) -> Option<DurableCheckpoint> {
-        let mut newest: Option<DurableCheckpoint> = None;
+        let newest = self.load_all().into_iter().next();
+        if newest.is_some() {
+            global().counter(counters::SNAPSHOTS_LOADED).inc();
+        }
+        newest
+    }
+
+    /// Loads **every** valid checkpoint, newest cut first — the
+    /// candidate list a cold start walks when the newest snapshot's log
+    /// suffix turns out unusable. Corrupt files are skipped exactly as
+    /// in [`DurableStore::load_latest`].
+    pub fn load_all(&self) -> Vec<DurableCheckpoint> {
+        let mut valid = Vec::new();
         for path in self.snapshot_files() {
             match read_file(&path) {
-                Some(loaded) => {
-                    let newer = newest.as_ref().is_none_or(|best| {
-                        loaded.checkpoint.cut.is_newer_than(&best.checkpoint.cut)
-                    });
-                    if newer {
-                        newest = Some(loaded);
-                    }
-                }
+                Some(loaded) => valid.push(loaded),
                 None => {
                     global().counter(counters::SNAPSHOT_LOAD_FAILURES).inc();
                 }
             }
         }
-        if newest.is_some() {
-            global().counter(counters::SNAPSHOTS_LOADED).inc();
-        }
-        newest
+        valid.sort_by(|a, b| {
+            (
+                b.checkpoint.cut.seq,
+                b.checkpoint.cut.offset,
+                b.checkpoint.id,
+            )
+                .cmp(&(
+                    a.checkpoint.cut.seq,
+                    a.checkpoint.cut.offset,
+                    a.checkpoint.id,
+                ))
+        });
+        valid
     }
 
     /// Deletes all but the `keep` newest snapshot files (by checkpoint id,
@@ -300,6 +304,60 @@ mod tests {
         let latest = store.load_latest().expect("the good file survives");
         assert_eq!(latest.checkpoint, good);
         assert!(global().value(counters::SNAPSHOT_LOAD_FAILURES) >= failures_before + 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The corruption-fallback contract: when the *newest* persisted
+    /// checkpoint is truncated on disk, a restart falls back to the
+    /// next-older valid file instead of erroring (or trusting garbage).
+    #[test]
+    fn truncated_newest_falls_back_to_the_older_checkpoint() {
+        let dir = unique_dir("truncated-newest");
+        let store = DurableStore::open(&dir).unwrap();
+        let older = ckpt(1, 5, vec![1; 128]);
+        store.persist(&older, 3).unwrap();
+        let newest_path = store.persist(&ckpt(2, 9, vec![2; 128]), 3).unwrap();
+        // Tear the newest file as a crashed write would.
+        let bytes = fs::read(&newest_path).unwrap();
+        fs::write(&newest_path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let loaded = store.load_latest().expect("older checkpoint survives");
+        assert_eq!(loaded.checkpoint, older);
+        assert_eq!(loaded.epoch, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Same fallback for a bit flip anywhere in the newest file's body.
+    #[test]
+    fn bit_flipped_newest_falls_back_to_the_older_checkpoint() {
+        let dir = unique_dir("bitflip-newest");
+        let store = DurableStore::open(&dir).unwrap();
+        let older = ckpt(1, 5, vec![1; 64]);
+        store.persist(&older, 0).unwrap();
+        let newest_path = store.persist(&ckpt(2, 9, vec![2; 64]), 0).unwrap();
+        let mut bytes = fs::read(&newest_path).unwrap();
+        let mid = HEADER_LEN + 32;
+        bytes[mid] ^= 0x01;
+        fs::write(&newest_path, &bytes).unwrap();
+
+        let loaded = store.load_latest().expect("older checkpoint survives");
+        assert_eq!(loaded.checkpoint, older);
+        // load_all exposes the full candidate list, newest valid first.
+        let all = store.load_all();
+        assert_eq!(all.len(), 1, "the corrupt file is not a candidate");
+        assert_eq!(all[0].checkpoint.id, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_all_orders_candidates_newest_cut_first() {
+        let dir = unique_dir("load-all");
+        let store = DurableStore::open(&dir).unwrap();
+        for (id, seq) in [(2u64, 20u64), (1, 10), (3, 30)] {
+            store.persist(&ckpt(id, seq, vec![id as u8]), 0).unwrap();
+        }
+        let ids: Vec<u64> = store.load_all().iter().map(|d| d.checkpoint.id).collect();
+        assert_eq!(ids, vec![3, 2, 1]);
         fs::remove_dir_all(&dir).unwrap();
     }
 
