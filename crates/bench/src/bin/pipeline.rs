@@ -1,0 +1,10 @@
+//! Extension experiment: the pipelined zero-copy delivery path —
+//! consensus batch size × pipelined vs inline group commit, with the
+//! perf-sanity assertion that pipelining beats inline fsync-per-append
+//! (the configuration offering the same acknowledged ⇒ durable
+//! guarantee). See `psmr_bench::experiments::pipeline`.
+
+fn main() {
+    let args = psmr_bench::BenchArgs::from_env();
+    let _ = psmr_bench::experiments::pipeline(&args, true);
+}

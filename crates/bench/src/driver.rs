@@ -7,7 +7,9 @@
 
 use psmr_common::cpu::CpuSampler;
 use psmr_common::ids::RequestId;
-use psmr_common::metrics::{Histogram, RunSummary, ThroughputMeter};
+use psmr_common::metrics::{
+    counters, gauges, global, Histogram, PipelineStats, RunSummary, ThroughputMeter,
+};
 use psmr_core::engines::Engine;
 use psmr_netfs::{NetFsOp, NetFsResult};
 use psmr_workload::{KeyDist, KvMix};
@@ -41,6 +43,41 @@ impl Default for DriveOpts {
     }
 }
 
+/// Snapshot of the global hot-path pressure metrics, for computing the
+/// deltas one measured run produced.
+struct PressureBaseline {
+    delivery_stalls: u64,
+    exec_stalls: u64,
+    held: u64,
+}
+
+impl PressureBaseline {
+    fn take() -> Self {
+        // High-water gauges have no delta; reset them so the summary
+        // reports this run's peaks, not the process's.
+        global().gauge(gauges::DELIVERY_QUEUE_DEPTH).reset_max();
+        global().gauge(gauges::WAL_INFLIGHT).reset_max();
+        Self {
+            delivery_stalls: global().value(counters::DELIVERY_BACKPRESSURE_STALLS),
+            exec_stalls: global().value(counters::EXEC_BACKPRESSURE_STALLS),
+            held: global().value(counters::RESPONSES_HELD),
+        }
+    }
+
+    /// Deltas since the baseline, plus the (global) high-water gauges.
+    fn delta(&self) -> PipelineStats {
+        PipelineStats {
+            delivery_backpressure_stalls: global().value(counters::DELIVERY_BACKPRESSURE_STALLS)
+                - self.delivery_stalls,
+            exec_backpressure_stalls: global().value(counters::EXEC_BACKPRESSURE_STALLS)
+                - self.exec_stalls,
+            responses_held: global().value(counters::RESPONSES_HELD) - self.held,
+            delivery_queue_max: global().gauge_max(gauges::DELIVERY_QUEUE_DEPTH),
+            wal_inflight_max: global().gauge_max(gauges::WAL_INFLIGHT),
+        }
+    }
+}
+
 /// Drives the key-value store on `engine` with the given mix and key
 /// distribution, returning the technique's row for the figure.
 pub fn drive_kv<E: Engine + Sync>(
@@ -53,6 +90,7 @@ pub fn drive_kv<E: Engine + Sync>(
     let measuring = AtomicBool::new(false);
     let stop = AtomicBool::new(false);
     let mut measured: Option<(ThroughputMeter, CpuSampler)> = None;
+    let pressure = PressureBaseline::take();
 
     std::thread::scope(|scope| {
         for c in 0..opts.clients {
@@ -101,7 +139,9 @@ pub fn drive_kv<E: Engine + Sync>(
 
     let (meter, cpu) = measured.expect("control flow ran");
     let cpu_pct = cpu.sample_pct().unwrap_or(0.0);
-    RunSummary::from_parts(engine.label(), &hist, &meter, cpu_pct)
+    let mut summary = RunSummary::from_parts(engine.label(), &hist, &meter, cpu_pct);
+    summary.pipeline = pressure.delta();
+    summary
 }
 
 /// Which NetFS experiment to run (§VII-H): read-only or write-only, 1024
@@ -202,7 +242,9 @@ mod tests {
             clients: 2,
             window: 10,
             warmup: Duration::from_millis(50),
-            duration: Duration::from_millis(200),
+            // Generous enough that even a test host saturated by the
+            // rest of the parallel suite measures some completions.
+            duration: Duration::from_millis(500),
         }
     }
 

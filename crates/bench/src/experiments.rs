@@ -70,6 +70,8 @@ pub fn fig3(args: &BenchArgs) -> Report {
     }
     for row in &rows {
         report.metric(&format!("{}_kcps", row.technique), row.kcps);
+        report.metric(&format!("{}_p50_ms", row.technique), row.p50_latency_ms);
+        report.metric(&format!("{}_p99_ms", row.technique), row.p99_latency_ms);
     }
     report.summary_table(&rows, "SMR");
     report.cdf_section(&rows, 12);
@@ -102,6 +104,8 @@ pub fn fig4(args: &BenchArgs) -> Report {
     }
     for row in &rows {
         report.metric(&format!("{}_kcps", row.technique), row.kcps);
+        report.metric(&format!("{}_p50_ms", row.technique), row.p50_latency_ms);
+        report.metric(&format!("{}_p99_ms", row.technique), row.p99_latency_ms);
     }
     report.summary_table(&rows, "SMR");
     report.cdf_section(&rows, 12);
@@ -436,22 +440,22 @@ pub fn ckpt_load(args: &BenchArgs) -> Report {
     report
 }
 
-/// Extension: what durably logging the ordered path costs. Three P-SMR
-/// deployments under the same update/read load:
+/// One WAL-configuration data point on a recoverable P-SMR deployment,
+/// shared by [`wal_overhead`] and [`pipeline`].
 ///
-/// 1. **Baseline** — no WAL: the ordered logs live in memory only (the
-///    pre-`psmr-wal` deployment; a whole-cluster crash is fatal).
-/// 2. **WAL, group commit** — every decided batch is appended and one
-///    `fsync` is amortized over `wal_batch` appends. The throughput dip
-///    against the baseline is the price of whole-deployment
-///    recoverability.
-/// 3. **WAL, fsync-per-append** — `wal_batch = 1`, the unamortized
-///    worst case; the gap between 2 and 3 is what group commit buys.
-pub fn wal_overhead(args: &BenchArgs) -> Report {
+/// `wal` is `None` for the no-WAL baseline, or
+/// `Some((wal_batch, pipelined))` — `wal_batch` only matters with
+/// `pipelined == false` (the pipelined sync thread group-commits
+/// adaptively).
+fn run_wal_point(
+    args: &BenchArgs,
+    tag: &str,
+    batch_bytes: Option<usize>,
+    wal: Option<(usize, bool)>,
+) -> RunSummary {
     use psmr_core::engines::PsmrEngine;
     use psmr_kvstore::{fine_dependency_spec, KvService};
 
-    let mut report = Report::new("wal_overhead");
     let mpl = 4usize;
     let keys = args.keys;
     let map = fine_dependency_spec().into_map();
@@ -461,58 +465,209 @@ pub fn wal_overhead(args: &BenchArgs) -> Report {
     let mut run_opts = opts(args);
     run_opts.clients = run_opts.clients.min(8);
 
-    let run = |label: &str, metric: &str, wal_batch: Option<usize>, report: &mut Report| -> f64 {
-        let mut cfg = SystemConfig::new(mpl);
-        cfg.replicas(2);
-        let dir = wal_batch.map(|batch| {
-            let dir = std::env::temp_dir()
-                .join(format!("psmr-wal-overhead-{}-{batch}", std::process::id()));
-            let _ = std::fs::remove_dir_all(&dir);
-            cfg.wal_dir(Some(dir.clone())).wal_batch(batch);
-            dir
-        });
-        let engine = PsmrEngine::spawn_recoverable(&cfg, map.clone(), factory);
-        let row = drive_kv(&engine, &mix, &dist, &run_opts);
-        engine.shutdown();
-        if let Some(dir) = dir {
-            let _ = std::fs::remove_dir_all(&dir);
-        }
+    let mut cfg = SystemConfig::new(mpl);
+    cfg.replicas(2);
+    if let Some(bytes) = batch_bytes {
+        cfg.batch_bytes(bytes);
+    }
+    let dir = wal.map(|(batch, pipelined)| {
+        let dir = std::env::temp_dir().join(format!("psmr-walpt-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        cfg.wal_dir(Some(dir.clone()))
+            .wal_batch(batch)
+            .wal_pipeline(pipelined);
+        dir
+    });
+    let engine = PsmrEngine::spawn_recoverable(&cfg, map, factory);
+    let row = drive_kv(&engine, &mix, &dist, &run_opts);
+    engine.shutdown();
+    if let Some(dir) = dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    row
+}
+
+/// Extension: what durably logging the ordered path costs. Four P-SMR
+/// deployments under the same update/read load:
+///
+/// 1. **Baseline** — no WAL: the ordered logs live in memory only (the
+///    pre-`psmr-wal` deployment; a whole-cluster crash is fatal).
+/// 2. **WAL, group commit** — every decided batch is appended and one
+///    `fsync` is amortized over `wal_batch` appends, inline before
+///    fan-out. The throughput dip against the baseline is the price of
+///    whole-deployment recoverability.
+/// 3. **WAL, fsync-per-append** — `wal_batch = 1`, the unamortized
+///    worst case; the gap between 2 and 3 is what group commit buys.
+/// 4. **WAL, pipelined** — `wal_pipeline = true`: fan-out overlaps the
+///    fsync and responses gate on the durability watermark. The gap
+///    between 2 and 4 is what the pipelined hot path recovers — at a
+///    *stronger* power-failure guarantee (acknowledged ⇒ fsynced,
+///    which inline group commit does not promise).
+pub fn wal_overhead(args: &BenchArgs) -> Report {
+    let mut report = Report::new("wal_overhead");
+    let default_batch = SystemConfig::new(1).wal_batch;
+    let mut point = |label: &str, metric: &str, tag: &str, wal: Option<(usize, bool)>| -> f64 {
+        let row = run_wal_point(args, tag, None, wal);
         report.line(&format!(
-            "{label}: {:.1} Kcps, {:.3} ms avg",
-            row.kcps, row.avg_latency_ms
+            "{label}: {:.1} Kcps, {:.3} ms avg, {:.3} ms p99",
+            row.kcps, row.avg_latency_ms, row.p99_latency_ms
         ));
         report.metric(metric, row.kcps);
         row.kcps
     };
 
-    let default_batch = SystemConfig::new(1).wal_batch;
-    let base = run(
+    let base = point(
         "baseline (no WAL)            ",
         "baseline_kcps",
+        "none",
         None,
-        &mut report,
     );
-    let group = run(
+    let group = point(
         "WAL, group commit (default)   ",
         "wal_group_commit_kcps",
-        Some(default_batch),
-        &mut report,
+        "group",
+        Some((default_batch, false)),
     );
-    let every = run(
+    let every = point(
         "WAL, fsync every append       ",
         "wal_fsync_each_kcps",
-        Some(1),
-        &mut report,
+        "each",
+        Some((1, false)),
+    );
+    let pipelined = point(
+        "WAL, pipelined group commit   ",
+        "wal_pipeline_kcps",
+        "pipe",
+        Some((default_batch, true)),
     );
 
     let dip = (1.0 - group / base.max(f64::MIN_POSITIVE)) * 100.0;
     let dip_unamortized = (1.0 - every / base.max(f64::MIN_POSITIVE)) * 100.0;
+    let dip_pipelined = (1.0 - pipelined / base.max(f64::MIN_POSITIVE)) * 100.0;
+    // How much of each inline-fsync configuration's dip the pipelined
+    // mode recovers (100% = no dip left, negative = pipelining lost
+    // ground — expect that against *group commit*, whose responses never
+    // wait for durability, on single-core hosts where there is no spare
+    // core to overlap onto).
+    let recovered = |inline_dip: f64| -> f64 {
+        if inline_dip > 0.0 {
+            ((inline_dip - dip_pipelined) / inline_dip * 100.0).clamp(-1000.0, 100.0)
+        } else {
+            100.0
+        }
+    };
+    let recovered_pct = recovered(dip);
+    let recovered_each_pct = recovered(dip_unamortized);
     report.line(&format!(
-        "group-commit dip vs baseline: {dip:.1}% (fsync-per-append: {dip_unamortized:.1}%)"
+        "group-commit dip vs baseline: {dip:.1}% (fsync-per-append: {dip_unamortized:.1}%, \
+         pipelined: {dip_pipelined:.1}%)"
+    ));
+    report.line(&format!(
+        "pipelining recovered {recovered_each_pct:.0}% of the fsync-per-append dip \
+         ({recovered_pct:.0}% of the group-commit dip)"
     ));
     report.metric("group_commit_dip_pct", dip);
     report.metric("fsync_each_dip_pct", dip_unamortized);
+    report.metric("pipeline_dip_pct", dip_pipelined);
+    report.metric("pipeline_recovered_pct", recovered_pct);
+    report.metric("pipeline_recovered_vs_fsync_each_pct", recovered_each_pct);
     report.save();
+    report
+}
+
+/// Extension: the pipelined hot path, swept across consensus batch
+/// sizes × pipeline on/off. For each batch-size cap the experiment
+/// prices the same WAL-backed P-SMR deployment with inline group commit
+/// versus pipelined group commit (WAL/execution overlap + Arc-shared
+/// zero-copy fan-out + bounded delivery rings feed both), reporting
+/// throughput, p50/p99 tail latency, and the backpressure/holdback
+/// pressure observed. Emits `BENCH_pipeline.json` — the perf-trajectory
+/// artifact for the delivery path.
+///
+/// When `assert_sanity` is set (the CI smoke), the run asserts that
+/// pipelined group commit beats inline **fsync-per-append** — the
+/// configuration it makes obsolete: both promise acknowledged ⇒
+/// durable, only one stalls ordering behind every fsync.
+pub fn pipeline(args: &BenchArgs, assert_sanity: bool) -> Report {
+    let mut report = Report::new("pipeline");
+    let batch_sizes: &[usize] = if args.quick {
+        &[8 * 1024]
+    } else {
+        &[2 * 1024, 8 * 1024, 32 * 1024]
+    };
+    let default_batch = SystemConfig::new(1).wal_batch;
+    let mut inline_rows = Vec::new();
+    let mut piped_rows = Vec::new();
+    for &bytes in batch_sizes {
+        use psmr_common::metrics::{counters, global};
+        let fsyncs_before = global().value(counters::WAL_FSYNCS);
+        let inline = run_wal_point(
+            args,
+            &format!("in{bytes}"),
+            Some(bytes),
+            Some((default_batch, false)),
+        );
+        let inline_fsyncs = global().value(counters::WAL_FSYNCS) - fsyncs_before;
+        let piped = run_wal_point(args, &format!("pl{bytes}"), Some(bytes), Some((1, true)));
+        let piped_fsyncs = global().value(counters::WAL_FSYNCS) - fsyncs_before - inline_fsyncs;
+        report.line(&format!(
+            "batch {bytes:>6} B | inline: {:>7.1} Kcps ({:.3}/{:.3} ms p50/p99, {:.0}% cpu, {} fsyncs) | \
+             pipelined: {:>7.1} Kcps ({:.3}/{:.3} ms p50/p99, {:.0}% cpu, {} fsyncs) | {} held, {} delivery stalls",
+            inline.kcps,
+            inline.p50_latency_ms,
+            inline.p99_latency_ms,
+            inline.cpu_pct,
+            inline_fsyncs,
+            piped.kcps,
+            piped.p50_latency_ms,
+            piped.p99_latency_ms,
+            piped.cpu_pct,
+            piped_fsyncs,
+            piped.pipeline.responses_held,
+            piped.pipeline.delivery_backpressure_stalls,
+        ));
+        report.metric(&format!("inline_b{bytes}_kcps"), inline.kcps);
+        report.metric(&format!("pipeline_b{bytes}_kcps"), piped.kcps);
+        report.metric(&format!("inline_b{bytes}_p50_ms"), inline.p50_latency_ms);
+        report.metric(&format!("pipeline_b{bytes}_p50_ms"), piped.p50_latency_ms);
+        report.metric(&format!("inline_b{bytes}_p99_ms"), inline.p99_latency_ms);
+        report.metric(&format!("pipeline_b{bytes}_p99_ms"), piped.p99_latency_ms);
+        inline_rows.push(inline);
+        piped_rows.push(piped);
+    }
+    // The sanity pair: pipelined (gated, overlapped) vs the inline
+    // fsync-per-append configuration that offers the same acknowledged ⇒
+    // durable guarantee. Best-of-two per side: a single --quick point on
+    // a loaded CI box carries ~10% scheduler noise.
+    let best = |tag: &str, wal: (usize, bool)| -> f64 {
+        (0..2)
+            .map(|i| run_wal_point(args, &format!("{tag}{i}"), Some(8 * 1024), Some(wal)).kcps)
+            .fold(0.0, f64::max)
+    };
+    let strict = best("strict", (1, false));
+    let piped_default = best("pldef", (1, true));
+    report.line(&format!(
+        "same-guarantee pair @8KB: fsync-per-append {strict:.1} Kcps vs pipelined \
+         {piped_default:.1} Kcps ({:.2}x)",
+        piped_default / strict.max(f64::MIN_POSITIVE)
+    ));
+    report.metric("fsync_each_kcps", strict);
+    report.metric("pipeline_kcps", piped_default);
+    report.metric(
+        "pipeline_vs_fsync_each_x",
+        piped_default / strict.max(f64::MIN_POSITIVE),
+    );
+    report.save();
+    if assert_sanity {
+        // 5% epsilon: the guarantee-equivalent inline mode must never
+        // meaningfully beat the pipelined path; anything within the
+        // noise floor is a pass, a real regression is not.
+        assert!(
+            piped_default >= strict * 0.95,
+            "perf sanity: pipelined group commit ({piped_default:.1} Kcps) must not lose \
+             to inline fsync-per-append ({strict:.1} Kcps)"
+        );
+    }
     report
 }
 

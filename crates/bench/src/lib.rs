@@ -18,6 +18,8 @@
 //! | `fig8` | NetFS reads and writes |
 //! | `remap` | extension: online C-G reconfiguration under skew |
 //! | `ckpt_load` | extension: checkpoint-under-load dip + recovery time |
+//! | `wal_overhead` | extension: durable-log cost (inline vs pipelined group commit) |
+//! | `pipeline` | extension: pipelined delivery path, batch size × pipeline on/off |
 //! | `run_all` | everything above, writing `EXPERIMENTS.md` data |
 //!
 //! All binaries accept `--quick` (shorter runs for CI), `--keys N`,

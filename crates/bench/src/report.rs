@@ -59,8 +59,8 @@ impl Report {
             .map(|r| r.kcps)
             .filter(|k| *k > 0.0);
         self.line(&format!(
-            "{:<10} {:>12} {:>8} {:>12} {:>12} {:>8}",
-            "technique", "Kcps", "vs base", "avg lat(ms)", "p99 lat(ms)", "CPU%"
+            "{:<10} {:>12} {:>8} {:>12} {:>12} {:>12} {:>8}",
+            "technique", "Kcps", "vs base", "avg lat(ms)", "p50 lat(ms)", "p99 lat(ms)", "CPU%"
         ));
         for row in rows {
             let factor = match base {
@@ -68,11 +68,12 @@ impl Report {
                 None => "-".to_string(),
             };
             self.line(&format!(
-                "{:<10} {:>12.1} {:>8} {:>12.3} {:>12.3} {:>8.0}",
+                "{:<10} {:>12.1} {:>8} {:>12.3} {:>12.3} {:>12.3} {:>8.0}",
                 row.technique,
                 row.kcps,
                 factor,
                 row.avg_latency_ms,
+                row.p50_latency_ms,
                 row.p99_latency_ms,
                 row.cpu_pct
             ));
@@ -168,9 +169,11 @@ mod tests {
             technique: technique.into(),
             kcps,
             avg_latency_ms: 1.0,
+            p50_latency_ms: 0.8,
             p99_latency_ms: 2.0,
             cpu_pct: 100.0,
             cdf: vec![(0.5, 0.5), (1.0, 1.0)],
+            pipeline: Default::default(),
         }
     }
 

@@ -36,6 +36,12 @@ pub enum ConfigError {
     /// `client_window` is zero: clients could never have a request in
     /// flight.
     ZeroClientWindow,
+    /// `delivery_queue` is zero: no decided batch could ever be handed to
+    /// a subscriber, wedging delivery at the first round.
+    ZeroDeliveryQueue,
+    /// `exec_ring` is zero: no request could ever be enqueued to an
+    /// execution worker, wedging the scheduler stage.
+    ZeroExecRing,
 }
 
 impl fmt::Display for ConfigError {
@@ -51,6 +57,10 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroBatchBytes => write!(f, "batch_bytes must be at least 1"),
             ConfigError::ZeroClientWindow => write!(f, "client_window must be at least 1"),
+            ConfigError::ZeroDeliveryQueue => {
+                write!(f, "delivery_queue must be at least 1 batch")
+            }
+            ConfigError::ZeroExecRing => write!(f, "exec_ring must be at least 1 request"),
         }
     }
 }
@@ -129,11 +139,41 @@ pub struct SystemConfig {
     pub wal_dir: Option<PathBuf>,
     /// Group-commit window of the write-ahead log: one `fsync` is issued
     /// every `wal_batch` appended records, amortizing the sync cost over
-    /// the batch. `1` syncs every append (safest, slowest).
+    /// the batch. `1` syncs every append (safest, slowest). Ignored when
+    /// `wal_pipeline` is on (the sync thread group-commits adaptively).
     pub wal_batch: usize,
     /// Size threshold at which the write-ahead log rotates to a fresh
     /// segment file. Trimming reclaims whole segments by unlink.
     pub wal_segment_bytes: usize,
+    /// Pipelined group commit: decided batches are appended to the WAL
+    /// and fanned out to subscribers **immediately**, while the covering
+    /// `fsync` runs on one sync thread **shared by every group of the
+    /// deployment** (each paced pass group-commits all logs with open
+    /// command windows). Execution overlaps durability; client
+    /// responses are held back until the per-group durability watermark
+    /// covers the command's batch, so an executed-but-not-yet-durable
+    /// command is never observable. Off by default (inline appends,
+    /// `wal_batch`-windowed fsync). Only meaningful with `wal_dir` set.
+    pub wal_pipeline: bool,
+    /// Minimum interval between two fsync passes of the deployment's
+    /// shared sync thread — the group-commit pacing (each pass syncs
+    /// every group with an open command window, so per-pass fsync work
+    /// scales with group count). Smaller values shrink the
+    /// response-holdback latency; larger values amortize each fsync over
+    /// more appends and spend less CPU on sync churn. Only meaningful
+    /// with `wal_pipeline`.
+    pub wal_sync_pace: Duration,
+    /// Capacity, in decided batches, of each subscriber's delivery queue
+    /// (the ring between a group's delivery and a replica worker). When a
+    /// slow worker fills its ring the coordinator blocks, throttling
+    /// ordering instead of growing memory without bound
+    /// (`delivery_backpressure_stalls` counts those stalls).
+    pub delivery_queue: usize,
+    /// Capacity, in requests, of each execution worker's ring (the
+    /// scheduler→worker queues of sP-SMR and no-rep). A full ring blocks
+    /// the scheduler — delivery throttles instead of buffering unboundedly
+    /// (`exec_backpressure_stalls` counts those stalls).
+    pub exec_ring: usize,
 }
 
 impl SystemConfig {
@@ -161,6 +201,10 @@ impl SystemConfig {
             wal_dir: None,
             wal_batch: 16,
             wal_segment_bytes: 4 * 1024 * 1024,
+            wal_pipeline: false,
+            wal_sync_pace: Duration::from_millis(1),
+            delivery_queue: 1024,
+            exec_ring: 4096,
         }
     }
 
@@ -192,6 +236,12 @@ impl SystemConfig {
         }
         if self.client_window == 0 {
             return Err(ConfigError::ZeroClientWindow);
+        }
+        if self.delivery_queue == 0 {
+            return Err(ConfigError::ZeroDeliveryQueue);
+        }
+        if self.exec_ring == 0 {
+            return Err(ConfigError::ZeroExecRing);
         }
         Ok(())
     }
@@ -295,6 +345,34 @@ impl SystemConfig {
     /// rejected by [`SystemConfig::validate`]).
     pub fn wal_segment_bytes(&mut self, bytes: usize) -> &mut Self {
         self.wal_segment_bytes = bytes;
+        self
+    }
+
+    /// Enables (or disables) pipelined group commit: fan-out proceeds
+    /// while the covering `fsync` runs on the WAL sync thread, and client
+    /// responses are gated on the durability watermark instead.
+    pub fn wal_pipeline(&mut self, on: bool) -> &mut Self {
+        self.wal_pipeline = on;
+        self
+    }
+
+    /// Sets the pipelined sync thread's group-commit pacing interval.
+    pub fn wal_sync_pace(&mut self, pace: Duration) -> &mut Self {
+        self.wal_sync_pace = pace;
+        self
+    }
+
+    /// Sets the per-subscriber delivery-queue capacity in decided batches
+    /// (zero is rejected by [`SystemConfig::validate`]).
+    pub fn delivery_queue(&mut self, batches: usize) -> &mut Self {
+        self.delivery_queue = batches;
+        self
+    }
+
+    /// Sets the per-worker execution-ring capacity in requests (zero is
+    /// rejected by [`SystemConfig::validate`]).
+    pub fn exec_ring(&mut self, requests: usize) -> &mut Self {
+        self.exec_ring = requests;
         self
     }
 
@@ -472,6 +550,31 @@ mod tests {
             },
             ConfigError::ZeroClientWindow,
         );
+        check(
+            |c| {
+                c.delivery_queue(0);
+            },
+            ConfigError::ZeroDeliveryQueue,
+        );
+        check(
+            |c| {
+                c.exec_ring(0);
+            },
+            ConfigError::ZeroExecRing,
+        );
+    }
+
+    #[test]
+    fn pipeline_knobs_have_safe_defaults_and_chain() {
+        let mut cfg = SystemConfig::new(2);
+        assert!(!cfg.wal_pipeline);
+        assert_eq!(cfg.delivery_queue, 1024);
+        assert_eq!(cfg.exec_ring, 4096);
+        cfg.wal_pipeline(true).delivery_queue(8).exec_ring(16);
+        assert!(cfg.wal_pipeline);
+        assert_eq!(cfg.delivery_queue, 8);
+        assert_eq!(cfg.exec_ring, 16);
+        assert_eq!(cfg.validate(), Ok(()));
     }
 
     #[test]

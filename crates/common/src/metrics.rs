@@ -240,6 +240,24 @@ impl ThroughputMeter {
     }
 }
 
+/// Hot-path pressure observed during one measured run: backpressure
+/// stalls, held responses and high-water queue depths, snapshotted as
+/// deltas of the global registry by the workload drivers.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Delivery stalls on full subscriber queues during the run.
+    pub delivery_backpressure_stalls: u64,
+    /// Scheduler stalls on full execution-worker rings during the run.
+    pub exec_backpressure_stalls: u64,
+    /// Responses held back for durability during the run.
+    pub responses_held: u64,
+    /// Deepest subscriber delivery queue observed (batches).
+    pub delivery_queue_max: u64,
+    /// Largest open pipelined group-commit window observed (records
+    /// appended but not yet fsynced).
+    pub wal_inflight_max: u64,
+}
+
 /// One technique's row in a figure: the numbers the paper plots.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunSummary {
@@ -249,12 +267,16 @@ pub struct RunSummary {
     pub kcps: f64,
     /// Average latency in milliseconds.
     pub avg_latency_ms: f64,
+    /// Median latency in milliseconds.
+    pub p50_latency_ms: f64,
     /// 99th-percentile latency in milliseconds.
     pub p99_latency_ms: f64,
     /// Process CPU utilization in percent of one core (100% = one core).
     pub cpu_pct: f64,
     /// Latency CDF points `(ms, fraction)`.
     pub cdf: Vec<(f64, f64)>,
+    /// Backpressure/holdback pressure observed during the run.
+    pub pipeline: PipelineStats,
 }
 
 impl RunSummary {
@@ -269,6 +291,7 @@ impl RunSummary {
             technique: technique.into(),
             kcps: meter.kcps(),
             avg_latency_ms: hist.mean().as_secs_f64() * 1e3,
+            p50_latency_ms: hist.percentile(50.0).as_secs_f64() * 1e3,
             p99_latency_ms: hist.percentile(99.0).as_secs_f64() * 1e3,
             cpu_pct,
             cdf: hist
@@ -276,6 +299,7 @@ impl RunSummary {
                 .into_iter()
                 .map(|(d, f)| (d.as_secs_f64() * 1e3, f))
                 .collect(),
+            pipeline: PipelineStats::default(),
         }
     }
 }
@@ -332,6 +356,47 @@ impl Counter {
     }
 }
 
+/// An instantaneous level (queue depth, in-flight records) with a
+/// high-water mark. Recording is wait-free, so hot-path components can
+/// report depths without coordinating.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    current: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the current level, updating the high-water mark.
+    pub fn set(&self, level: u64) {
+        self.current.store(level, Ordering::Relaxed);
+        self.max.fetch_max(level, Ordering::Relaxed);
+    }
+
+    /// The most recently recorded level.
+    pub fn get(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever recorded (since the last
+    /// [`Gauge::reset_max`]).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Clears the high-water mark (the current level stays). Measurement
+    /// harnesses call this at the start of a run so [`Gauge::max`]
+    /// reports the run's own peak, not the process's.
+    pub fn reset_max(&self) {
+        self.max
+            .store(self.current.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
 /// Well-known counter names (see [`MetricsRegistry`]).
 pub mod counters {
     /// Requests silently discarded by a sink whose server side is gone
@@ -370,6 +435,10 @@ pub mod counters {
     /// WAL appends that failed with an I/O error (the ordered stream
     /// keeps running; durability of the failed record is lost).
     pub const WAL_APPEND_FAILURES: &str = "wal_append_failures";
+    /// Pipelined group-commit `fsync`s that failed with an I/O error:
+    /// the appends landed, the covering sync did not, and the group's
+    /// durability watermark is abandoned (everything held releases).
+    pub const WAL_SYNC_FAILURES: &str = "wal_sync_failures";
     /// Records recovered by WAL replay (cold start or reopening a log).
     pub const WAL_REPLAY_RECORDS: &str = "wal_replay_records";
     /// Torn tails dropped by WAL replay: a truncated or corrupt final
@@ -382,6 +451,28 @@ pub mod counters {
     /// Whole-deployment cold starts completed (every replica restarted
     /// from disk with no live peer).
     pub const COLD_STARTS: &str = "cold_starts";
+    /// Times a group's delivery blocked on a full subscriber queue (a
+    /// slow worker throttling ordering — the bounded-ring backpressure
+    /// working as designed).
+    pub const DELIVERY_BACKPRESSURE_STALLS: &str = "delivery_backpressure_stalls";
+    /// Times a scheduler blocked on a full execution-worker ring.
+    pub const EXEC_BACKPRESSURE_STALLS: &str = "exec_backpressure_stalls";
+    /// Client responses held back because their batch's covering `fsync`
+    /// had not yet landed (pipelined group commit only).
+    pub const RESPONSES_HELD: &str = "responses_held";
+    /// Held-back responses released once the durability watermark caught
+    /// up.
+    pub const RESPONSES_RELEASED: &str = "responses_released";
+}
+
+/// Well-known gauge names (see [`MetricsRegistry::gauge`]).
+pub mod gauges {
+    /// Depth of the deepest subscriber delivery queue observed at send
+    /// time (batches waiting for a worker).
+    pub const DELIVERY_QUEUE_DEPTH: &str = "delivery_queue_depth";
+    /// Records appended to a pipelined WAL but not yet covered by an
+    /// `fsync` (the open group-commit window of the sync thread).
+    pub const WAL_INFLIGHT: &str = "wal_inflight";
 }
 
 /// A process-wide registry of named [`Counter`]s.
@@ -393,6 +484,7 @@ pub mod counters {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: Mutex<HashMap<String, Arc<Counter>>>,
+    gauges: Mutex<HashMap<String, Arc<Gauge>>>,
 }
 
 impl MetricsRegistry {
@@ -414,9 +506,27 @@ impl MetricsRegistry {
         }
     }
 
+    /// Returns (creating if needed) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut gauges = self.gauges.lock();
+        match gauges.get(name) {
+            Some(g) => Arc::clone(g),
+            None => {
+                let g = Arc::new(Gauge::new());
+                gauges.insert(name.to_string(), Arc::clone(&g));
+                g
+            }
+        }
+    }
+
     /// Convenience: current value of `name` (0 if never touched).
     pub fn value(&self, name: &str) -> u64 {
         self.counter(name).get()
+    }
+
+    /// Convenience: high-water mark of gauge `name` (0 if never set).
+    pub fn gauge_max(&self, name: &str) -> u64 {
+        self.gauge(name).max()
     }
 
     /// Snapshot of every `(name, count)` pair, sorted by name.
@@ -545,6 +655,40 @@ mod tests {
         assert_eq!(dropped.get(), 4);
         let snap = registry.snapshot();
         assert!(snap.contains(&(counters::REQUESTS_DROPPED.to_string(), 4)));
+    }
+
+    #[test]
+    fn gauges_track_level_and_high_water_mark() {
+        let registry = MetricsRegistry::new();
+        let depth = registry.gauge(gauges::DELIVERY_QUEUE_DEPTH);
+        assert_eq!(depth.get(), 0);
+        depth.set(7);
+        depth.set(3);
+        assert_eq!(depth.get(), 3, "gauge reports the latest level");
+        assert_eq!(depth.max(), 7, "high-water mark sticks");
+        assert_eq!(registry.gauge_max(gauges::DELIVERY_QUEUE_DEPTH), 7);
+        // Same name resolves to the same gauge.
+        registry.gauge(gauges::DELIVERY_QUEUE_DEPTH).set(9);
+        assert_eq!(depth.max(), 9);
+    }
+
+    #[test]
+    fn summary_reports_percentiles() {
+        let h = Histogram::new();
+        for us in 1..=100u64 {
+            h.record(Duration::from_micros(us * 10));
+        }
+        let m = ThroughputMeter::start();
+        m.add(100);
+        let s = RunSummary::from_parts("P-SMR", &h, &m, 0.0);
+        assert!(s.p50_latency_ms > 0.0);
+        assert!(
+            s.p50_latency_ms <= s.p99_latency_ms,
+            "p50 {} > p99 {}",
+            s.p50_latency_ms,
+            s.p99_latency_ms
+        );
+        assert_eq!(s.pipeline, PipelineStats::default());
     }
 
     #[test]

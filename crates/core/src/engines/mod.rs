@@ -10,6 +10,7 @@
 //! (Table I of the paper.) The lock-based `BDB` baseline has no ordering
 //! layer at all and lives with the key-value store in `psmr-kvstore`.
 
+pub(crate) mod holdback;
 pub mod norep;
 pub mod psmr;
 pub(crate) mod recover;

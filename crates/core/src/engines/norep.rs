@@ -20,6 +20,7 @@
 //! "fresh process recovers from its own disk" story (minus the log
 //! replay and peer catch-up only replication can offer).
 
+use super::holdback::ResponseGate;
 use super::recover::{auto_checkpointer, fixed_epoch, CheckpointHook};
 use super::scheduler::ExecStage;
 use super::{ChannelSink, Engine};
@@ -133,7 +134,16 @@ impl NoRepEngine {
         // Mirror the multicast submit queue's bound so client backpressure
         // is comparable across engines.
         let (tx, rx) = bounded::<Request>(16 * 1024);
-        let stage = ExecStage::spawn(cfg.mpl, service, map, Arc::clone(&router), "norep");
+        // No ordered log, no durability gate: responses pass straight
+        // through (the stage's bounded rings still bound memory).
+        let stage = ExecStage::spawn(
+            cfg.mpl,
+            service,
+            map,
+            ResponseGate::passthrough(Arc::clone(&router)),
+            cfg.exec_ring,
+            "norep",
+        );
         let sched_router = Arc::clone(&router);
         let thread = std::thread::Builder::new()
             .name("norep-sched".into())
@@ -159,7 +169,7 @@ impl NoRepEngine {
                         sched_router.respond(req.client, Response::new(req.request, resp));
                         continue;
                     }
-                    stage.schedule(req);
+                    stage.schedule(req, GroupId::new(0), arrival);
                 }
                 stage.shutdown();
             })

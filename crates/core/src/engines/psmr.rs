@@ -39,6 +39,7 @@
 //! checkpointed under an old C-Dep mapping rejoins under the current
 //! one.
 
+use super::holdback::ResponseGate;
 use super::recover::{
     auto_checkpointer, CheckpointHook, EngineRecovery, RecoveryReport, ReplicaSlot, CRASH_POLL,
 };
@@ -63,6 +64,9 @@ use std::sync::Arc;
 pub struct PsmrEngine {
     system: MulticastSystem,
     router: SharedRouter,
+    /// Response path of every worker: passthrough normally, durability-
+    /// gated when `cfg.wal_pipeline` is on.
+    gate: Arc<ResponseGate>,
     sink: Arc<CgSink>,
     boards: Vec<SignalBoard>,
     replicas: Vec<ReplicaSlot>,
@@ -286,6 +290,7 @@ impl PsmrEngine {
     fn scaffold(cfg: &SystemConfig, map: Router) -> Self {
         let system = MulticastSystem::spawn(cfg);
         let router: SharedRouter = Arc::new(ResponseRouter::new());
+        let gate = ResponseGate::for_view(Arc::clone(&router), system.durability());
         let sink = Arc::new(CgSink {
             handle: system.handle(),
             router: map,
@@ -294,6 +299,7 @@ impl PsmrEngine {
         Self {
             system,
             router,
+            gate,
             sink,
             boards: Vec::new(),
             replicas: Vec::new(),
@@ -348,7 +354,7 @@ impl PsmrEngine {
                 board: board.clone(),
                 endpoint,
                 map: self.sink.router.clone(),
-                router: Arc::clone(&self.router),
+                gate: Arc::clone(&self.gate),
                 mpl,
                 all_group,
                 kill: Arc::clone(&kill),
@@ -509,6 +515,33 @@ impl PsmrEngine {
         self.system.crash_acceptor(group, acceptor);
     }
 
+    /// Fault injection for pipelined deployments: freezes (or thaws)
+    /// every group's WAL sync thread. While held, fsyncs never land, the
+    /// durability watermarks stop, and the response gate holds every new
+    /// acknowledgment — the window a crash-between-fan-out-and-fsync
+    /// test needs to keep open. No-op without `cfg.wal_pipeline`.
+    pub fn hold_wal_sync(&self, hold: bool) {
+        self.system.hold_wal_sync(hold);
+    }
+
+    /// Shuts the deployment down **through a power failure**: every
+    /// group stops and each WAL's un-fsynced suffix is discarded
+    /// (`psmr_wal::Wal::discard_unsynced`), modeling power loss with
+    /// the group-commit windows open. Returns the total records
+    /// discarded. Recover with [`PsmrEngine::cold_start`] over the same
+    /// directories.
+    pub fn shutdown_power_fail(mut self) -> u64 {
+        if let Some(recovery) = self.recovery.take() {
+            recovery.stop();
+        }
+        let dropped = self.system.shutdown_power_fail();
+        for (slot, board) in self.replicas.iter_mut().zip(&self.boards) {
+            slot.stop(|| board.shutdown());
+        }
+        self.gate.stop();
+        dropped
+    }
+
     /// Severs the state-transfer link `from → to` after `budget` more
     /// messages — engine-level fault injection modeling a serving peer
     /// that dies mid-transfer (the fetcher times out and falls back to
@@ -543,6 +576,7 @@ impl Engine for PsmrEngine {
         for (slot, board) in self.replicas.iter_mut().zip(&self.boards) {
             slot.stop(|| board.shutdown());
         }
+        self.gate.stop();
     }
 }
 
@@ -552,7 +586,7 @@ struct WorkerCtx<S> {
     board: SignalBoard,
     endpoint: SignalEndpoint,
     map: Router,
-    router: SharedRouter,
+    gate: Arc<ResponseGate>,
     mpl: usize,
     all_group: GroupId,
     kill: Arc<AtomicBool>,
@@ -578,9 +612,15 @@ fn worker_main<S: Service>(mut ctx: WorkerCtx<S>, mut stream: MergedStream) {
         };
         if delivered.group != ctx.all_group {
             // Parallel mode (lines 10–13): multicast to a single group.
+            // The response releases once the batch is durable (gated
+            // deployments) — execution itself never waits.
             let resp = ctx.service.execute(req.command, &req.payload);
-            ctx.router
-                .respond(req.client, Response::new(req.request, resp));
+            ctx.gate.respond_at(
+                delivered.group,
+                delivered.batch_seq,
+                req.client,
+                Response::new(req.request, resp),
+            );
             continue;
         }
         // Synchronous mode (lines 14–26): re-derive γ like the server proxy
@@ -622,8 +662,12 @@ fn worker_main<S: Service>(mut ctx: WorkerCtx<S>, mut stream: MergedStream) {
                     None => ctx.service.execute(req.command, &req.payload),
                 }
             };
-            ctx.router
-                .respond(req.client, Response::new(req.request, resp));
+            ctx.gate.respond_at(
+                delivered.group,
+                delivered.batch_seq,
+                req.client,
+                Response::new(req.request, resp),
+            );
             for other in others {
                 ctx.board.signal(ctx.me, other, SignalKind::Resume);
             }

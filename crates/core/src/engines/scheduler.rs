@@ -12,18 +12,32 @@
 //! after execution. Replicas applying this policy to the same input sequence
 //! dispatch identically.
 
+use super::holdback::ResponseGate;
 use crate::conflict::{CommandClass, CommandMap};
-use crate::service::{Service, SharedRouter};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::service::Service;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use psmr_common::envelope::{Request, Response};
+use psmr_common::ids::GroupId;
+use psmr_common::metrics::{counters, global};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// One scheduled request plus the stream provenance its response is
+/// gated on (zeros for ungated engines like no-rep).
+struct Sched {
+    req: Request,
+    group: GroupId,
+    seq: u64,
+}
+
 /// A scheduler plus `k` worker threads executing against one replica's
-/// service instance.
+/// service instance, fed through **bounded rings**: a full ring blocks
+/// the scheduler (counted under `exec_backpressure_stalls`), so a slow
+/// worker throttles delivery instead of buffering requests without
+/// bound.
 pub(crate) struct ExecStage {
-    workers: Vec<Sender<Request>>,
+    workers: Vec<Sender<Sched>>,
     outstanding: Arc<Vec<AtomicU64>>,
     handles: Vec<JoinHandle<()>>,
     map: CommandMap,
@@ -31,12 +45,14 @@ pub(crate) struct ExecStage {
 }
 
 impl ExecStage {
-    /// Spawns the worker pool for `service`.
+    /// Spawns the worker pool for `service`; each worker's ring holds at
+    /// most `ring` requests and responses flow through `gate`.
     pub fn spawn(
         k: usize,
         service: Arc<dyn Service>,
         map: CommandMap,
-        router: SharedRouter,
+        gate: Arc<ResponseGate>,
+        ring: usize,
         name: &str,
     ) -> Self {
         assert!(k > 0, "need at least one worker");
@@ -45,18 +61,24 @@ impl ExecStage {
         let mut workers = Vec::with_capacity(k);
         let mut handles = Vec::with_capacity(k);
         for i in 0..k {
-            let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
+            let (tx, rx): (Sender<Sched>, Receiver<Sched>) = bounded(ring.max(1));
             workers.push(tx);
             let service = Arc::clone(&service);
-            let router = Arc::clone(&router);
+            let gate = Arc::clone(&gate);
             let outstanding = Arc::clone(&outstanding);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("{name}-w{i}"))
                     .spawn(move || {
-                        while let Ok(req) = rx.recv() {
+                        while let Ok(sched) = rx.recv() {
+                            let req = sched.req;
                             let resp = service.execute(req.command, &req.payload);
-                            router.respond(req.client, Response::new(req.request, resp));
+                            gate.respond_at(
+                                sched.group,
+                                sched.seq,
+                                req.client,
+                                Response::new(req.request, resp),
+                            );
                             outstanding[i].fetch_sub(1, Ordering::Release);
                         }
                     })
@@ -76,9 +98,22 @@ impl ExecStage {
         self.workers.len()
     }
 
-    fn enqueue(&self, worker: usize, req: Request) {
+    fn enqueue(&self, worker: usize, sched: Sched) {
         self.outstanding[worker].fetch_add(1, Ordering::Acquire);
-        let _ = self.workers[worker].send(req);
+        match self.workers[worker].try_send(sched) {
+            Ok(()) => {}
+            Err(TrySendError::Full(sched)) => {
+                // Ring full: the scheduler stalls here, which is the
+                // backpressure propagating upstream to delivery.
+                global().counter(counters::EXEC_BACKPRESSURE_STALLS).inc();
+                if self.workers[worker].send(sched).is_err() {
+                    self.outstanding[worker].fetch_sub(1, Ordering::Release);
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.outstanding[worker].fetch_sub(1, Ordering::Release);
+            }
+        }
     }
 
     /// Busy-waits (with yields) until every worker has drained its queue —
@@ -97,28 +132,30 @@ impl ExecStage {
         }
     }
 
-    /// Schedules one delivered request. This is the scheduler's only entry
-    /// point; calling it from a single thread with the replica's delivery
-    /// order yields deterministic execution.
-    pub fn schedule(&mut self, req: Request) {
+    /// Schedules one delivered request, tagged with the stream
+    /// provenance `(group, seq)` its response is gated on. This is the
+    /// scheduler's only entry point; calling it from a single thread
+    /// with the replica's delivery order yields deterministic execution.
+    pub fn schedule(&mut self, req: Request, group: GroupId, seq: u64) {
         let k = self.worker_count();
-        match self.map.class(req.command) {
+        let sched = Sched { req, group, seq };
+        match self.map.class(sched.req.command) {
             CommandClass::Global => {
                 // Dependent on everything: wait for ongoing work, run it
                 // alone, wait for it before dispatching anything else.
                 self.drain();
-                self.enqueue((self.rr as usize) % k, req);
+                self.enqueue((self.rr as usize) % k, sched);
                 self.rr += 1;
                 self.drain();
             }
             CommandClass::Keyed { .. } => {
-                let worker = (self.map.key(&req.payload) % k as u64) as usize;
-                self.enqueue(worker, req);
+                let worker = (self.map.key(&sched.req.payload) % k as u64) as usize;
+                self.enqueue(worker, sched);
             }
             CommandClass::Free => {
                 let worker = (self.rr as usize) % k;
                 self.rr += 1;
-                self.enqueue(worker, req);
+                self.enqueue(worker, sched);
             }
         }
     }
@@ -136,7 +173,7 @@ impl ExecStage {
 mod tests {
     use super::*;
     use crate::conflict::{CommandClass, DependencySpec};
-    use crate::service::ResponseRouter;
+    use crate::service::{ResponseRouter, SharedRouter};
     use parking_lot::Mutex;
     use psmr_common::ids::{ClientId, CommandId, RequestId};
 
@@ -164,7 +201,7 @@ mod tests {
         }
     }
 
-    fn stage() -> (ExecStage, Arc<Recorder>, SharedRouter) {
+    fn stage_with_ring(ring: usize) -> (ExecStage, Arc<Recorder>, SharedRouter) {
         let mut spec = DependencySpec::new();
         spec.declare(READ, CommandClass::Keyed { writes: false })
             .declare(UPDATE, CommandClass::Keyed { writes: true })
@@ -179,10 +216,15 @@ mod tests {
             4,
             Arc::clone(&service) as Arc<dyn Service>,
             spec.into_map(),
-            Arc::clone(&router),
+            ResponseGate::passthrough(Arc::clone(&router)),
+            ring,
             "test",
         );
         (stage, service, router)
+    }
+
+    fn stage() -> (ExecStage, Arc<Recorder>, SharedRouter) {
+        stage_with_ring(4096)
     }
 
     fn req(cmd: CommandId, key: u64, id: u64) -> Request {
@@ -194,14 +236,18 @@ mod tests {
         )
     }
 
+    fn schedule(stage: &mut ExecStage, req: Request) {
+        stage.schedule(req, psmr_common::ids::GroupId::new(0), 0);
+    }
+
     #[test]
     fn global_commands_run_in_isolation() {
         let (mut stage, service, _router) = stage();
         for i in 0..50u64 {
             if i % 10 == 9 {
-                stage.schedule(req(GLOBAL, i, i));
+                schedule(&mut stage, req(GLOBAL, i, i));
             } else {
-                stage.schedule(req(UPDATE, i, i));
+                schedule(&mut stage, req(UPDATE, i, i));
             }
         }
         stage.shutdown();
@@ -215,7 +261,7 @@ mod tests {
         for i in 0..100u64 {
             let mut r = req(UPDATE, 3, i);
             r.request = RequestId::new(i);
-            stage.schedule(r);
+            schedule(&mut stage, r);
         }
         stage.shutdown();
         let log = service.log.lock();
@@ -231,17 +277,37 @@ mod tests {
     fn keyed_commands_fan_out_across_workers() {
         let (mut stage, service, _router) = stage();
         for i in 0..40u64 {
-            stage.schedule(req(READ, i, i));
+            schedule(&mut stage, req(READ, i, i));
         }
         stage.shutdown();
         assert_eq!(service.log.lock().len(), 40);
+    }
+
+    /// A slow worker behind a tiny ring throttles the scheduler: the
+    /// stall is counted, memory stays bounded at the ring's capacity,
+    /// and every request still executes once the worker catches up.
+    #[test]
+    fn full_ring_stalls_the_scheduler_and_counts_it() {
+        let (mut stage, service, _router) = stage_with_ring(1);
+        let stalls_before = global().value(counters::EXEC_BACKPRESSURE_STALLS);
+        // All on key 3 → one worker; each execution sleeps, so the
+        // 1-slot ring must fill and stall the scheduler repeatedly.
+        for i in 0..32u64 {
+            schedule(&mut stage, req(UPDATE, 3, i));
+        }
+        assert!(
+            global().value(counters::EXEC_BACKPRESSURE_STALLS) > stalls_before,
+            "a 1-slot ring under 32 back-to-back requests must stall"
+        );
+        stage.shutdown();
+        assert_eq!(service.log.lock().len(), 32, "nothing was dropped");
     }
 
     #[test]
     fn responses_reach_the_router() {
         let (mut stage, _service, router) = stage();
         let rx = router.register(ClientId::new(0));
-        stage.schedule(req(READ, 1, 7));
+        schedule(&mut stage, req(READ, 1, 7));
         stage.shutdown();
         let resp = rx.recv().unwrap();
         assert_eq!(resp.request, RequestId::new(7));

@@ -10,6 +10,7 @@
 //! P-SMR engine: [`SmrEngine::crash_replica`] stops a replica's executor
 //! and [`SmrEngine::restart_replica`] replays `(snapshot, log suffix)`.
 
+use super::holdback::ResponseGate;
 use super::recover::{
     auto_checkpointer, CheckpointHook, EngineRecovery, RecoveryReport, ReplicaSlot, CRASH_POLL,
 };
@@ -52,6 +53,7 @@ use std::sync::Arc;
 pub struct SmrEngine {
     system: MulticastSystem,
     router: SharedRouter,
+    gate: Arc<ResponseGate>,
     sink: Arc<TotalOrderSink>,
     replicas: Vec<ReplicaSlot>,
     recovery: Option<EngineRecovery>,
@@ -178,12 +180,14 @@ impl SmrEngine {
     fn scaffold(cfg: &SystemConfig) -> Self {
         let system = MulticastSystem::spawn_single(cfg);
         let router: SharedRouter = Arc::new(ResponseRouter::new());
+        let gate = ResponseGate::for_view(Arc::clone(&router), system.durability());
         let sink = Arc::new(TotalOrderSink {
             handle: system.handle(),
         });
         Self {
             system,
             router,
+            gate,
             sink,
             replicas: Vec::new(),
             recovery: None,
@@ -202,7 +206,7 @@ impl SmrEngine {
         let kill = Arc::new(AtomicBool::new(false));
         let ctx = ExecutorCtx {
             service,
-            router: Arc::clone(&self.router),
+            gate: Arc::clone(&self.gate),
             kill: Arc::clone(&kill),
             hook,
         };
@@ -325,12 +329,13 @@ impl Engine for SmrEngine {
         for slot in &mut self.replicas {
             slot.stop(|| {});
         }
+        self.gate.stop();
     }
 }
 
 struct ExecutorCtx<S> {
     service: S,
-    router: SharedRouter,
+    gate: Arc<ResponseGate>,
     kill: Arc<AtomicBool>,
     hook: Option<CheckpointHook>,
 }
@@ -357,7 +362,11 @@ fn executor_main<S: Service>(ctx: ExecutorCtx<S>, mut stream: MergedStream) {
         } else {
             ctx.service.execute(req.command, &req.payload)
         };
-        ctx.router
-            .respond(req.client, Response::new(req.request, resp));
+        ctx.gate.respond_at(
+            delivered.group,
+            delivered.batch_seq,
+            req.client,
+            Response::new(req.request, resp),
+        );
     }
 }

@@ -14,6 +14,7 @@
 //! that point of the total order. Crash/restart mirrors the other
 //! replicated engines.
 
+use super::holdback::ResponseGate;
 use super::recover::{
     auto_checkpointer, CheckpointHook, EngineRecovery, RecoveryReport, ReplicaSlot, CRASH_POLL,
 };
@@ -36,9 +37,11 @@ use std::sync::Arc;
 pub struct SpSmrEngine {
     system: MulticastSystem,
     router: SharedRouter,
+    gate: Arc<ResponseGate>,
     sink: Arc<TotalOrderSink>,
     map: CommandMap,
     mpl: usize,
+    exec_ring: usize,
     replicas: Vec<ReplicaSlot>,
     recovery: Option<EngineRecovery>,
     next_client: AtomicU64,
@@ -175,15 +178,18 @@ impl SpSmrEngine {
     fn scaffold(cfg: &SystemConfig, map: CommandMap) -> Self {
         let system = MulticastSystem::spawn_single(cfg);
         let router: SharedRouter = Arc::new(ResponseRouter::new());
+        let gate = ResponseGate::for_view(Arc::clone(&router), system.durability());
         let sink = Arc::new(TotalOrderSink {
             handle: system.handle(),
         });
         Self {
             system,
             router,
+            gate,
             sink,
             map,
             mpl: cfg.mpl,
+            exec_ring: cfg.exec_ring,
             replicas: Vec::new(),
             recovery: None,
             next_client: AtomicU64::new(0),
@@ -203,11 +209,12 @@ impl SpSmrEngine {
             self.mpl,
             service,
             self.map.clone(),
-            Arc::clone(&self.router),
+            Arc::clone(&self.gate),
+            self.exec_ring,
             &format!("spsmr-r{replica}"),
         );
         let ctx = SchedulerCtx {
-            router: Arc::clone(&self.router),
+            gate: Arc::clone(&self.gate),
             kill: Arc::clone(&kill),
             hook,
         };
@@ -330,11 +337,12 @@ impl Engine for SpSmrEngine {
         for slot in &mut self.replicas {
             slot.stop(|| {});
         }
+        self.gate.stop();
     }
 }
 
 struct SchedulerCtx {
-    router: SharedRouter,
+    gate: Arc<ResponseGate>,
     kill: Arc<AtomicBool>,
     hook: Option<CheckpointHook>,
 }
@@ -362,11 +370,16 @@ fn scheduler_main(ctx: SchedulerCtx, mut stream: MergedStream, mut stage: ExecSt
                 Some(hook) => hook.execute(&delivered),
                 None => Vec::new(),
             };
-            ctx.router
-                .respond(req.client, Response::new(req.request, resp));
+            ctx.gate.respond_at(
+                delivered.group,
+                delivered.batch_seq,
+                req.client,
+                Response::new(req.request, resp),
+            );
             continue;
         }
-        stage.schedule(req);
+        let (group, seq) = (delivered.group, delivered.batch_seq);
+        stage.schedule(req, group, seq);
     }
     stage.shutdown();
 }

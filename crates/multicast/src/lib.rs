@@ -40,4 +40,4 @@ pub mod merge;
 pub mod system;
 
 pub use merge::{Delivered, MergedStream};
-pub use system::{Destinations, MulticastHandle, MulticastSystem};
+pub use system::{Destinations, DurabilityView, MulticastHandle, MulticastSystem};

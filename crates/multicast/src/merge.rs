@@ -274,10 +274,11 @@ mod tests {
     fn batch(seq: u64, cmds: &[&str]) -> Arc<DecidedBatch> {
         Arc::new(DecidedBatch {
             seq,
-            commands: cmds
-                .iter()
-                .map(|c| Bytes::copy_from_slice(c.as_bytes()))
-                .collect(),
+            commands: Arc::new(
+                cmds.iter()
+                    .map(|c| Bytes::copy_from_slice(c.as_bytes()))
+                    .collect(),
+            ),
         })
     }
 

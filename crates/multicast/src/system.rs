@@ -5,29 +5,54 @@ use bytes::Bytes;
 use psmr_common::ids::{GroupId, WorkerId};
 use psmr_common::SystemConfig;
 use psmr_netsim::live::LiveNet;
-use psmr_paxos::runtime::{acceptor_node, GroupHandle, NetMsg, Pacing, PaxosGroup};
+use psmr_paxos::runtime::{
+    acceptor_node, DurabilityHub, GroupHandle, NetMsg, Pacing, PaxosGroup, WalMode, WalSyncer,
+};
 use psmr_recovery::{RecoveryError, StreamCut};
 use psmr_wal::{Wal, WalOptions};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-/// Opens group `gid`'s write-ahead log when the deployment configured a
-/// WAL directory (`<wal_dir>/g<gid>`).
+/// Opens group `gid`'s write-ahead log (when the deployment configured a
+/// WAL directory, `<wal_dir>/g<gid>`) in the mode `cfg.wal_pipeline`
+/// selects. Pipelined logs never fsync on the append path — the per-group
+/// sync thread owns the group-commit cadence — so their inline window is
+/// unbounded.
 ///
 /// # Panics
 ///
 /// Panics when the log cannot be opened or replayed — a deployment that
 /// asked for a durable ordered log must not come up silently
 /// non-durable.
-fn group_wal(cfg: &SystemConfig, gid: usize) -> Option<Arc<Wal>> {
-    cfg.wal_dir.as_ref().map(|dir| {
-        let opts = WalOptions {
-            segment_bytes: cfg.wal_segment_bytes,
-            batch: cfg.wal_batch,
-        };
-        Arc::new(Wal::open(dir.join(format!("g{gid}")), opts).expect("open group write-ahead log"))
-    })
+fn group_wal_mode(cfg: &SystemConfig, gid: usize, syncer: &Option<Arc<WalSyncer>>) -> WalMode {
+    let Some(dir) = cfg.wal_dir.as_ref() else {
+        return WalMode::None;
+    };
+    let opts = WalOptions {
+        segment_bytes: cfg.wal_segment_bytes,
+        batch: if cfg.wal_pipeline {
+            usize::MAX
+        } else {
+            cfg.wal_batch
+        },
+    };
+    let wal =
+        Arc::new(Wal::open(dir.join(format!("g{gid}")), opts).expect("open group write-ahead log"));
+    match syncer {
+        Some(syncer) => WalMode::Pipelined {
+            wal,
+            syncer: Arc::clone(syncer),
+        },
+        None => WalMode::Inline(wal),
+    }
+}
+
+/// The shared sync thread of a pipelined deployment (`None` when
+/// pipelining is off or no WAL is configured).
+fn deployment_syncer(cfg: &SystemConfig) -> Option<Arc<WalSyncer>> {
+    (cfg.wal_pipeline && cfg.wal_dir.is_some()).then(|| WalSyncer::spawn(cfg.wal_sync_pace))
 }
 
 /// The destination set `γ` of a multicast (Algorithm 1, line 2).
@@ -117,6 +142,48 @@ pub struct MulticastSystem {
     /// layouts): one thread ticking every `cfg.skip_interval`, broadcast to
     /// every group so all streams advance in lockstep.
     ticker: Option<TickerHandle>,
+    /// Shared WAL sync thread of a pipelined (`cfg.wal_pipeline`)
+    /// deployment.
+    syncer: Option<Arc<WalSyncer>>,
+}
+
+/// Read-side of a pipelined deployment's durability state: per-group
+/// watermarks plus the hub a response-holdback thread parks on.
+/// Cloneable; obtained from [`MulticastSystem::durability`].
+#[derive(Debug, Clone)]
+pub struct DurabilityView {
+    handles: Vec<GroupHandle>,
+    hub: Arc<DurabilityHub>,
+}
+
+impl DurabilityView {
+    /// The durability watermark of `group`: the highest stream sequence
+    /// number whose batch is covered by an `fsync`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is outside the deployment's layout.
+    pub fn durable_seq(&self, group: GroupId) -> u64 {
+        self.handles[group.as_raw()].durable_seq()
+    }
+
+    /// Current hub version (see [`DurabilityView::wait_past`]).
+    pub fn version(&self) -> u64 {
+        self.hub.version()
+    }
+
+    /// Parks until any group's watermark advances past the version
+    /// `seen` (or `timeout` elapses); returns the version observed.
+    pub fn wait_past(&self, seen: u64, timeout: Duration) -> u64 {
+        self.hub.wait_past(seen, timeout)
+    }
+
+    /// Installs (or clears) the callback the sync thread runs inline
+    /// after each watermark advance (see
+    /// [`psmr_paxos::runtime::DurabilityHub::set_on_bump`]).
+    pub fn set_on_bump(&self, observer: Option<Arc<dyn Fn() + Send + Sync>>) {
+        self.hub.set_on_bump(observer);
+    }
 }
 
 #[derive(Debug)]
@@ -152,17 +219,18 @@ impl MulticastSystem {
     pub fn spawn(cfg: &SystemConfig) -> Self {
         cfg.validate()
             .unwrap_or_else(|e| panic!("invalid SystemConfig: {e}"));
+        let syncer = deployment_syncer(cfg);
         let mut tick_txs = Vec::with_capacity(cfg.group_count());
         let groups = (0..cfg.group_count())
             .map(|gid| {
                 let (tx, rx) = crossbeam::channel::unbounded();
                 tick_txs.push(tx);
-                PaxosGroup::spawn_with_wal(
+                PaxosGroup::spawn_with_wal_mode(
                     gid,
                     cfg,
                     LiveNet::new(),
                     Pacing::Ticks(rx),
-                    group_wal(cfg, gid),
+                    group_wal_mode(cfg, gid, &syncer),
                 )
             })
             .collect();
@@ -197,6 +265,7 @@ impl MulticastSystem {
                 started,
                 thread: Some(thread),
             }),
+            syncer,
         }
     }
 
@@ -213,20 +282,66 @@ impl MulticastSystem {
             .unwrap_or_else(|e| panic!("invalid SystemConfig: {e}"));
         let mut single = cfg.clone();
         single.mpl = 1;
+        let syncer = deployment_syncer(cfg);
         // Layout: g_0 doubles as the only stream; group count is still
         // mpl+1 but only g_0 is used. Spawn just g_0 to avoid idle threads.
-        let groups = vec![PaxosGroup::spawn_with_wal(
+        let groups = vec![PaxosGroup::spawn_with_wal_mode(
             0,
             &single,
             LiveNet::new(),
             Pacing::Batched,
-            group_wal(cfg, 0),
+            group_wal_mode(cfg, 0, &syncer),
         )];
         Self {
             groups,
             cfg: single,
             ticker: None,
+            syncer,
         }
+    }
+
+    /// The durability view of a pipelined deployment (`None` unless
+    /// `cfg.wal_pipeline` was on with a WAL directory configured): what
+    /// the engines' response-holdback gates read watermarks from.
+    pub fn durability(&self) -> Option<DurabilityView> {
+        self.syncer.as_ref().map(|syncer| DurabilityView {
+            handles: self.groups.iter().map(|g| g.handle()).collect(),
+            hub: Arc::clone(syncer.hub()),
+        })
+    }
+
+    /// Fault injection: freezes (or thaws) every group's pipelined sync
+    /// thread — fsyncs stop landing and durability watermarks stop
+    /// advancing, while ordering and fan-out continue. No-op on
+    /// non-pipelined deployments.
+    pub fn hold_wal_sync(&self, hold: bool) {
+        for g in &self.groups {
+            g.handle().hold_wal_sync(hold);
+        }
+    }
+
+    /// Shuts the system down **through a power failure**: stops every
+    /// group *without* the syncer's final flush, then discards each
+    /// WAL's un-fsynced suffix — modeling the machine losing power with
+    /// the group-commit windows open (a plain [`MulticastSystem::shutdown`]
+    /// would flush those windows first, silently turning the scenario
+    /// into a clean shutdown). Returns the total records discarded.
+    pub fn shutdown_power_fail(mut self) -> u64 {
+        let handles: Vec<GroupHandle> = self.groups.iter().map(|g| g.handle()).collect();
+        if let Some(mut ticker) = self.ticker.take() {
+            ticker.run.store(false, Ordering::Relaxed);
+            if let Some(t) = ticker.thread.take() {
+                let _ = t.join();
+            }
+        }
+        let syncer = self.syncer.take();
+        for g in self.groups {
+            g.shutdown();
+        }
+        if let Some(syncer) = syncer {
+            syncer.abort();
+        }
+        handles.iter().map(|h| h.power_fail()).sum()
     }
 
     /// The configuration the system was spawned with.
@@ -457,7 +572,8 @@ impl MulticastSystem {
         }
     }
 
-    /// Shuts down every group and joins their threads.
+    /// Shuts down every group and joins their threads (the shared WAL
+    /// syncer, if any, flushes its open windows and stops last).
     pub fn shutdown(mut self) {
         if let Some(mut ticker) = self.ticker.take() {
             ticker.run.store(false, Ordering::Relaxed);
@@ -465,8 +581,12 @@ impl MulticastSystem {
                 let _ = t.join();
             }
         }
+        let syncer = self.syncer.take();
         for g in self.groups {
             g.shutdown();
+        }
+        if let Some(syncer) = syncer {
+            syncer.stop();
         }
     }
 }
@@ -721,6 +841,73 @@ mod tests {
         let mut cfg = test_cfg(1);
         cfg.wal_batch(0);
         let _ = MulticastSystem::spawn(&cfg);
+    }
+
+    /// Pipelined group commit at the multicast layer: the durability
+    /// view reports per-group watermarks that catch up to everything
+    /// delivered, and a held sync followed by a power-fail shutdown
+    /// loses exactly the unsynced suffix — the durable prefix replays
+    /// identically in the next incarnation.
+    #[test]
+    fn pipelined_deployment_tracks_watermarks_and_survives_power_failure() {
+        let dir = std::env::temp_dir().join(format!("psmr-mcast-pipe-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = test_cfg(2);
+        cfg.wal_dir(Some(dir.clone())).wal_pipeline(true);
+
+        let system = MulticastSystem::spawn(&cfg);
+        let view = system.durability().expect("pipelined deployment");
+        let handle = system.handle();
+        let mut w0 = system.worker_stream(WorkerId::new(0));
+        system.start();
+        for i in 0..10u32 {
+            handle.multicast(
+                &Destinations::one(GroupId::new(0)),
+                Bytes::from(i.to_le_bytes().to_vec()),
+            );
+        }
+        let mut last_seq = 0;
+        for _ in 0..10 {
+            let d = w0.next().expect("delivered");
+            last_seq = d.batch_seq;
+        }
+        // The sync thread catches the watermark up to what was delivered.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while view.durable_seq(GroupId::new(0)) < last_seq {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "watermark never caught up"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Freeze the fsyncs, push more traffic, and lose power.
+        system.hold_wal_sync(true);
+        for i in 100..105u32 {
+            handle.multicast(
+                &Destinations::one(GroupId::new(0)),
+                Bytes::from(i.to_le_bytes().to_vec()),
+            );
+        }
+        for _ in 0..5 {
+            let _ = w0.next().expect("delivered before the crash");
+        }
+        let dropped = system.shutdown_power_fail();
+        assert!(dropped >= 5, "held suffix discarded ({dropped})");
+
+        // The next incarnation replays only the durable prefix.
+        cfg.wal_pipeline(false);
+        let system = MulticastSystem::spawn(&cfg);
+        let mut w0 = system
+            .worker_stream_from_start(WorkerId::new(0))
+            .expect("never trimmed");
+        let mut got = Vec::new();
+        while got.len() < 10 {
+            let d = w0.next().expect("replayed");
+            got.push(u32::from_le_bytes(d.payload[..4].try_into().unwrap()));
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        system.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// The durable-log contract at the multicast layer: a deployment

@@ -21,9 +21,9 @@
 use crate::msg::PaxosMsg;
 use crate::proposer::Proposer;
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
-use psmr_common::metrics::{counters, global};
+use psmr_common::metrics::{counters, gauges, global};
 use psmr_common::SystemConfig;
 use psmr_netsim::live::LiveNet;
 use psmr_netsim::sim::NodeId;
@@ -34,19 +34,30 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// The value type a group agrees on: a batch of opaque commands.
-pub type Batch = Vec<Bytes>;
+/// The value type a group agrees on: an **Arc-shared** batch of opaque
+/// commands.
+///
+/// Sharing the allocation is what makes the hot path zero-copy: phase-2
+/// fan-out hands every acceptor (and the learner bookkeeping inside the
+/// proposer) a reference-count bump instead of a deep clone of the batch,
+/// and the decided value moves into the delivered [`DecidedBatch`]
+/// without being copied out of the consensus layer.
+pub type Batch = Arc<Vec<Bytes>>;
 
 /// An ordered batch delivered to a group subscriber.
 ///
 /// `seq` numbers are contiguous and start at 1 within each group's stream;
 /// a batch with no commands is a *skip* emitted to keep merge advancing.
+/// The command payloads are the same `Bytes` the clients submitted and the
+/// same allocation the consensus messages carried — one buffer end to end.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecidedBatch {
     /// 1-based position of this batch in the group's stream.
     pub seq: u64,
-    /// The ordered commands inside the batch (possibly empty for skips).
-    pub commands: Vec<Bytes>,
+    /// The ordered commands inside the batch (possibly empty for skips),
+    /// shared with every other subscriber rather than cloned per
+    /// subscriber.
+    pub commands: Batch,
 }
 
 impl DecidedBatch {
@@ -75,6 +86,335 @@ pub enum Pacing {
 /// Messages exchanged between coordinator and acceptors over the live net.
 pub type NetMsg = PaxosMsg<Batch>;
 
+/// Deployment-wide fsync notification hub for pipelined group commit.
+///
+/// The WAL sync thread bumps the hub after advancing durability
+/// watermarks; response-holdback logic (in `psmr-core`) installs an
+/// on-bump observer that runs **inline on the sync thread** — releasing
+/// held responses in the same scheduling quantum as the fsync that
+/// covered them — and can additionally park on [`DurabilityHub::wait_past`].
+#[derive(Default)]
+pub struct DurabilityHub {
+    version: std::sync::Mutex<u64>,
+    cv: std::sync::Condvar,
+    /// Invoked inline by [`DurabilityHub::bump`] after the version moves.
+    observer: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
+}
+
+impl std::fmt::Debug for DurabilityHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurabilityHub")
+            .field("version", &self.version())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DurabilityHub {
+    /// Creates a hub at version 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current notification version (monotonic).
+    pub fn version(&self) -> u64 {
+        *self.version.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Installs (or, with `None`, removes) the on-bump observer. Called
+    /// with the watermark-advance callback of the response gate; must be
+    /// cleared at gate shutdown (the hub holds the observer strongly).
+    pub fn set_on_bump(&self, observer: Option<Arc<dyn Fn() + Send + Sync>>) {
+        *self.observer.lock() = observer;
+    }
+
+    /// Advances the version, wakes every waiter and runs the observer
+    /// (called by the sync thread after a watermark moved).
+    pub fn bump(&self) {
+        let mut v = self.version.lock().unwrap_or_else(|e| e.into_inner());
+        *v += 1;
+        drop(v);
+        self.cv.notify_all();
+        let observer = self.observer.lock().clone();
+        if let Some(observer) = observer {
+            observer();
+        }
+    }
+
+    /// Blocks until the version moves past `seen` or `timeout` elapses;
+    /// returns the version observed on wakeup.
+    pub fn wait_past(&self, seen: u64, timeout: Duration) -> u64 {
+        let deadline = Instant::now() + timeout;
+        let mut v = self.version.lock().unwrap_or_else(|e| e.into_inner());
+        while *v <= seen {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, _) = self
+                .cv
+                .wait_timeout(v, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            v = next;
+        }
+        *v
+    }
+}
+
+/// How a group's durable log is driven.
+#[derive(Debug, Clone)]
+pub enum WalMode {
+    /// No durable log: the ordered stream lives in memory only.
+    None,
+    /// Inline group commit: every decided batch is appended **and its
+    /// windowed `fsync` runs on the ordering thread** before fan-out —
+    /// the conservative mode (`wal_batch` appends per fsync).
+    Inline(Arc<Wal>),
+    /// Pipelined group commit: the batch is appended and fanned out
+    /// immediately; the covering `fsync` runs on the deployment's shared
+    /// [`WalSyncer`] thread, which advances
+    /// [`GroupHandle::durable_seq`]. Execution overlaps durability;
+    /// callers gate externally-visible effects (client responses) on the
+    /// watermark.
+    Pipelined {
+        /// The group's durable log.
+        wal: Arc<Wal>,
+        /// The deployment's shared sync thread.
+        syncer: Arc<WalSyncer>,
+    },
+}
+
+impl WalMode {
+    fn wal(&self) -> Option<&Arc<Wal>> {
+        match self {
+            WalMode::None => None,
+            WalMode::Inline(wal) | WalMode::Pipelined { wal, .. } => Some(wal),
+        }
+    }
+}
+
+/// Per-group pipelined-commit state shared between the ordering thread
+/// and the deployment's [`WalSyncer`].
+#[derive(Debug)]
+struct Pipeline {
+    wal: Arc<Wal>,
+    /// Highest stream seq appended to the log so far.
+    appended: AtomicU64,
+    /// Highest appended seq whose batch **carries commands** — the part
+    /// of the log a response may be waiting on. Skip-only suffixes sync
+    /// lazily: nothing observable gates on them.
+    urgent: AtomicU64,
+    /// Durability watermark: highest seq covered by an `fsync`
+    /// (`u64::MAX` once the log is poisoned — durability abandoned, the
+    /// stream keeps flowing, as in inline mode's detach-on-error).
+    durable: AtomicU64,
+    /// Fault injection: freeze this group's fsyncs (they "never land").
+    hold: AtomicBool,
+}
+
+impl Pipeline {
+    fn new(wal: Arc<Wal>) -> Self {
+        // Everything replayed from disk at open is already durable.
+        let durable = wal.durable_next_seq().saturating_sub(1);
+        Self {
+            wal,
+            appended: AtomicU64::new(durable),
+            urgent: AtomicU64::new(durable),
+            durable: AtomicU64::new(durable),
+            hold: AtomicBool::new(false),
+        }
+    }
+
+    /// The append path failed: durability is gone for good, so stop
+    /// gating on it (matches inline mode, which detaches the WAL and
+    /// keeps the in-memory stream flowing).
+    fn poison(&self) {
+        self.durable.store(u64::MAX, Ordering::Release);
+    }
+}
+
+/// The deployment-wide WAL sync thread of pipelined group commit.
+///
+/// One thread serves **every** group: each pass group-commits all logs
+/// with a command batch in their open window, publishes the advanced
+/// watermarks and bumps the shared [`DurabilityHub`] once. Passes are
+/// floored `pace` apart, so one fsync amortizes a whole pacing window of
+/// appends — per-group sync threads chasing every record would burn a
+/// core on fsync churn under a steady skip stream. Skip-only windows
+/// (nothing observable gates on them) are flushed on a lazy timer
+/// instead of eagerly.
+#[derive(Debug)]
+pub struct WalSyncer {
+    shared: Arc<SyncerShared>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+#[derive(Debug)]
+struct SyncerShared {
+    hub: Arc<DurabilityHub>,
+    pace: Duration,
+    pipelines: Mutex<Vec<Arc<Pipeline>>>,
+    stop: AtomicBool,
+    /// Skip the final flush on stop (power-failure shutdown: the open
+    /// windows are about to be discarded, flushing them would model a
+    /// clean shutdown instead).
+    abandon: AtomicBool,
+    park: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+/// How often skip-only open windows are flushed.
+const LAZY_SYNC_EVERY: Duration = Duration::from_millis(20);
+
+impl WalSyncer {
+    /// Spawns the sync thread with the given pacing interval; groups
+    /// attach as they spawn with [`WalMode::Pipelined`].
+    pub fn spawn(pace: Duration) -> Arc<Self> {
+        let shared = Arc::new(SyncerShared {
+            hub: Arc::new(DurabilityHub::new()),
+            pace,
+            pipelines: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            abandon: AtomicBool::new(false),
+            park: std::sync::Mutex::new(false),
+            cv: std::sync::Condvar::new(),
+        });
+        let thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("wal-syncer".into())
+                .spawn(move || syncer_main(&shared))
+                .expect("spawn WAL sync thread")
+        };
+        Arc::new(Self {
+            shared,
+            thread: Mutex::new(Some(thread)),
+        })
+    }
+
+    /// The hub response-holdback threads park on.
+    pub fn hub(&self) -> &Arc<DurabilityHub> {
+        &self.shared.hub
+    }
+
+    fn attach(&self, pipeline: Arc<Pipeline>) {
+        self.shared.pipelines.lock().push(pipeline);
+    }
+
+    /// Ordering-thread side: an urgent (command-carrying) record landed
+    /// in some log; wake the sync thread.
+    fn nudge(&self) {
+        let mut pending = self.shared.park.lock().unwrap_or_else(|e| e.into_inner());
+        *pending = true;
+        drop(pending);
+        self.shared.cv.notify_one();
+    }
+
+    /// Stops the sync thread after one final flush pass (held groups
+    /// excepted: their "in-flight" fsync never lands) and joins it.
+    /// Call once every attached group has shut down.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.cv.notify_all();
+        if let Some(thread) = self.thread.lock().take() {
+            let _ = thread.join();
+        }
+        // Drop the attachments so Wal handles (and their fds) release.
+        self.shared.pipelines.lock().clear();
+    }
+
+    /// Stops the sync thread **without** the final flush — the
+    /// power-failure shutdown, where every open group-commit window is
+    /// about to be discarded and flushing it first would silently turn
+    /// the scenario into a clean shutdown.
+    pub fn abort(&self) {
+        self.shared.abandon.store(true, Ordering::Relaxed);
+        self.stop();
+    }
+}
+
+/// One fsync pass over the attached pipelines. Returns whether any
+/// watermark advanced.
+fn sync_pass(
+    shared: &SyncerShared,
+    lazy: bool,
+    inflight_gauge: &psmr_common::metrics::Gauge,
+) -> bool {
+    let pipelines: Vec<Arc<Pipeline>> = shared.pipelines.lock().clone();
+    let mut advanced = false;
+    for pipeline in pipelines {
+        if pipeline.hold.load(Ordering::Relaxed) {
+            continue;
+        }
+        let durable = pipeline.durable.load(Ordering::Acquire);
+        if durable == u64::MAX {
+            continue; // poisoned: nothing gates on this log anymore
+        }
+        let target = if lazy {
+            pipeline.appended.load(Ordering::Acquire)
+        } else {
+            pipeline.urgent.load(Ordering::Acquire)
+        };
+        if target <= durable {
+            continue;
+        }
+        inflight_gauge.set(pipeline.appended.load(Ordering::Acquire) - durable);
+        if pipeline.wal.sync().is_ok() {
+            let synced = pipeline.wal.durable_next_seq().saturating_sub(1);
+            pipeline.durable.store(synced, Ordering::Release);
+        } else {
+            global().counter(counters::WAL_SYNC_FAILURES).inc();
+            pipeline.poison();
+        }
+        advanced = true;
+    }
+    advanced
+}
+
+fn syncer_main(shared: &SyncerShared) {
+    let inflight_gauge = global().gauge(gauges::WAL_INFLIGHT);
+    let mut last_pass = Instant::now() - shared.pace;
+    let mut last_lazy = Instant::now();
+    loop {
+        {
+            let mut pending = shared.park.lock().unwrap_or_else(|e| e.into_inner());
+            while !*pending && !shared.stop.load(Ordering::Relaxed) {
+                let (next, timed_out) = shared
+                    .cv
+                    .wait_timeout(pending, LAZY_SYNC_EVERY)
+                    .unwrap_or_else(|e| e.into_inner());
+                pending = next;
+                if timed_out.timed_out() {
+                    break; // lazy pass: flush skip-only windows
+                }
+            }
+            *pending = false;
+        }
+        let stopping = shared.stop.load(Ordering::Relaxed);
+        if stopping && shared.abandon.load(Ordering::Relaxed) {
+            return; // power failure: the open windows die unflushed
+        }
+        if !stopping {
+            // Pace the commits: everything appended while we sleep joins
+            // this pass's group commit.
+            let since = last_pass.elapsed();
+            if since < shared.pace {
+                std::thread::sleep(shared.pace - since);
+            }
+        }
+        let lazy = stopping || last_lazy.elapsed() >= LAZY_SYNC_EVERY;
+        if sync_pass(shared, lazy, &inflight_gauge) {
+            shared.hub.bump();
+        }
+        last_pass = Instant::now();
+        if lazy {
+            last_lazy = last_pass;
+        }
+        if stopping {
+            return;
+        }
+    }
+}
+
 /// Subscribers plus the retained suffix of the decided stream, guarded
 /// together so a late subscriber ([`GroupHandle::subscribe_from`]) can
 /// atomically replay the retained batches and join the live feed with
@@ -88,43 +428,22 @@ struct StreamState {
     next_seq: u64,
     /// Maximum retained batches (checkpoints trim below this cap too).
     retention: usize,
+    /// Capacity, in batches, of each subscriber's bounded delivery ring.
+    queue_cap: usize,
     /// Durable ordered log, when the deployment configured one: every
     /// decided batch is appended before fan-out, so the stream survives
     /// a whole-deployment crash and a cold start can replay it.
     wal: Option<Arc<Wal>>,
 }
 
-impl StreamState {
-    /// Appends a decided batch to the log (durably first, when a WAL is
-    /// attached) and fans it out.
-    fn deliver(&mut self, batch: Arc<DecidedBatch>) {
-        debug_assert_eq!(batch.seq, self.next_seq, "stream must stay contiguous");
-        if let Some(wal) = &self.wal {
-            // Disk trouble must not stop the ordering protocol: the
-            // in-memory stream keeps flowing. But a record that failed
-            // to land ends the *durable prefix* — replay could never
-            // cross the hole, so appending later records would only
-            // misrepresent the log. Detach the WAL at the first failure
-            // and surface the gap through the counter.
-            if wal.append(batch.seq, &batch.commands).is_err() {
-                global().counter(counters::WAL_APPEND_FAILURES).inc();
-                self.wal = None;
-            }
-        }
-        self.next_seq = batch.seq + 1;
-        self.log.push_back(Arc::clone(&batch));
-        while self.log.len() > self.retention {
-            self.log.pop_front();
-        }
-        self.subscribers
-            .retain(|tx| tx.send(Arc::clone(&batch)).is_ok());
-    }
-}
-
 #[derive(Debug)]
 struct Inner {
     submit_tx: Sender<Bytes>,
     stream: Mutex<StreamState>,
+    /// Pipelined-commit state of a [`WalMode::Pipelined`] group, plus
+    /// the deployment syncer to nudge after urgent appends.
+    pipeline: Option<Arc<Pipeline>>,
+    syncer: Option<Arc<WalSyncer>>,
     shutdown: AtomicBool,
     /// Gate: the coordinator proposes nothing (no batches, no skips) until
     /// the group is started. Subscribers must register before the start so
@@ -134,6 +453,93 @@ struct Inner {
     decided: AtomicU64,
     net: LiveNet<NetMsg>,
     group_id: usize,
+}
+
+impl Inner {
+    /// Appends a decided batch to the log (durably, when a WAL is
+    /// attached) and fans it out to every subscriber.
+    ///
+    /// Only the stream bookkeeping runs under the stream lock; the sends
+    /// happen **outside** it, so a full subscriber ring blocks the
+    /// ordering thread (backpressure — a slow worker throttles ordering
+    /// instead of growing memory without bound) without also blocking
+    /// [`GroupHandle::trim_below`] or a catch-up subscription behind the
+    /// lock. Only the single ordering thread calls this, so the
+    /// out-of-lock sends stay in stream order.
+    fn deliver(&self, batch: Arc<DecidedBatch>) {
+        let targets: Vec<Sender<Arc<DecidedBatch>>> = {
+            let mut stream = self.stream.lock();
+            debug_assert_eq!(batch.seq, stream.next_seq, "stream must stay contiguous");
+            if let Some(wal) = &stream.wal {
+                // Disk trouble must not stop the ordering protocol: the
+                // in-memory stream keeps flowing. But a record that failed
+                // to land ends the *durable prefix* — replay could never
+                // cross the hole, so appending later records would only
+                // misrepresent the log. Detach the WAL at the first failure
+                // and surface the gap through the counter (and release any
+                // responses a pipelined deployment was holding: the
+                // durability they wait for can no longer arrive).
+                if wal.append(batch.seq, &batch.commands).is_err() {
+                    global().counter(counters::WAL_APPEND_FAILURES).inc();
+                    stream.wal = None;
+                    if let Some(pipeline) = &self.pipeline {
+                        pipeline.poison();
+                        if let Some(syncer) = &self.syncer {
+                            // Release anything held on this log: the
+                            // durability it waits for can never arrive.
+                            syncer.hub().bump();
+                        }
+                    }
+                } else if let Some(pipeline) = &self.pipeline {
+                    pipeline.appended.store(batch.seq, Ordering::Release);
+                    if !batch.is_skip() {
+                        pipeline.urgent.store(batch.seq, Ordering::Release);
+                        if let Some(syncer) = &self.syncer {
+                            syncer.nudge();
+                        }
+                    }
+                }
+            }
+            stream.next_seq = batch.seq + 1;
+            stream.log.push_back(Arc::clone(&batch));
+            while stream.log.len() > stream.retention {
+                stream.log.pop_front();
+            }
+            // Every subscriber captured here registered before this batch
+            // entered the retained log, so none of them saw it through a
+            // catch-up replay; every later subscriber replays it from the
+            // log instead. Exactly-once either way.
+            stream.subscribers.clone()
+        };
+        let mut dead: Vec<&Sender<Arc<DecidedBatch>>> = Vec::new();
+        for tx in &targets {
+            match tx.try_send(Arc::clone(&batch)) {
+                Ok(()) => {}
+                Err(TrySendError::Full(b)) => {
+                    // Registry lookups stay off the non-stalled path.
+                    global()
+                        .counter(counters::DELIVERY_BACKPRESSURE_STALLS)
+                        .inc();
+                    global()
+                        .gauge(gauges::DELIVERY_QUEUE_DEPTH)
+                        .set(tx.len() as u64);
+                    if tx.send(b).is_err() {
+                        dead.push(tx);
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => dead.push(tx),
+            }
+        }
+        if !dead.is_empty() {
+            // Prune disconnected subscribers under the lock; identity
+            // comparison keeps a subscriber registered between capture
+            // and pruning untouched.
+            let mut stream = self.stream.lock();
+            stream
+                .subscribers
+                .retain(|s| !dead.iter().any(|d| d.same_channel(s)));
+        }
+    }
 }
 
 /// Handle to a running Paxos group. Cloneable; the group shuts down when
@@ -183,14 +589,35 @@ impl PaxosGroup {
     }
 
     /// Like [`PaxosGroup::spawn_with`], additionally attaching a durable
-    /// write-ahead log. Every decided batch is appended to the log before
-    /// fan-out, [`GroupHandle::trim_below`] trims its segments, and —
-    /// crucially for whole-deployment cold starts — the log's existing
-    /// records are **replayed into the retained log** here, so the
-    /// stream *continues* the old sequence numbering instead of
-    /// restarting at 1: checkpoint cuts taken before the crash stay
-    /// comparable, and `subscribe_from` reaches back into the pre-crash
-    /// suffix.
+    /// write-ahead log in the inline (conservative) mode — shorthand for
+    /// [`PaxosGroup::spawn_with_wal_mode`] with [`WalMode::Inline`].
+    ///
+    /// # Panics
+    ///
+    /// See [`PaxosGroup::spawn_with_wal_mode`].
+    pub fn spawn_with_wal(
+        group_id: usize,
+        cfg: &SystemConfig,
+        net: LiveNet<NetMsg>,
+        pacing: Pacing,
+        wal: Option<Arc<Wal>>,
+    ) -> Self {
+        let mode = match wal {
+            Some(wal) => WalMode::Inline(wal),
+            None => WalMode::None,
+        };
+        Self::spawn_with_wal_mode(group_id, cfg, net, pacing, mode)
+    }
+
+    /// Spawns a group with the given durable-log mode. Every decided
+    /// batch is appended to the log before fan-out ([`WalMode::Inline`])
+    /// or concurrently with it ([`WalMode::Pipelined`]),
+    /// [`GroupHandle::trim_below`] trims its segments, and — crucially
+    /// for whole-deployment cold starts — the log's existing records are
+    /// **replayed into the retained log** here, so the stream
+    /// *continues* the old sequence numbering instead of restarting at
+    /// 1: checkpoint cuts taken before the crash stay comparable, and
+    /// `subscribe_from` reaches back into the pre-crash suffix.
     ///
     /// # Panics
     ///
@@ -199,20 +626,23 @@ impl PaxosGroup {
     /// segment — a torn tail self-heals, a hole in the middle of the
     /// stream cannot) — a group asked to be durable must not come up
     /// with a silently truncated stream.
-    pub fn spawn_with_wal(
+    pub fn spawn_with_wal_mode(
         group_id: usize,
         cfg: &SystemConfig,
         net: LiveNet<NetMsg>,
         pacing: Pacing,
-        wal: Option<Arc<Wal>>,
+        mode: WalMode,
     ) -> Self {
         let mut log = VecDeque::new();
         let mut next_seq = 1;
-        if let Some(wal) = &wal {
+        if let Some(wal) = mode.wal() {
             for record in wal.replay().expect("replay group write-ahead log") {
                 log.push_back(Arc::new(DecidedBatch {
                     seq: record.seq,
-                    commands: record.commands,
+                    // The replayed commands move straight into the
+                    // retained log — no per-batch deep clone on the
+                    // respawn path.
+                    commands: Arc::new(record.commands),
                 }));
             }
             next_seq = wal.next_seq();
@@ -228,6 +658,14 @@ impl PaxosGroup {
                  replay reaches seq {replayed_through}, tail is at {next_seq}"
             );
         }
+        let (pipeline, syncer) = match &mode {
+            WalMode::Pipelined { wal, syncer } => {
+                let pipeline = Arc::new(Pipeline::new(Arc::clone(wal)));
+                syncer.attach(Arc::clone(&pipeline));
+                (Some(pipeline), Some(Arc::clone(syncer)))
+            }
+            _ => (None, None),
+        };
         let (submit_tx, submit_rx) = bounded::<Bytes>(16 * 1024);
         let inner = Arc::new(Inner {
             submit_tx,
@@ -236,8 +674,11 @@ impl PaxosGroup {
                 log,
                 next_seq,
                 retention: cfg.log_retention.max(1),
-                wal,
+                queue_cap: cfg.delivery_queue.max(1),
+                wal: mode.wal().cloned(),
             }),
+            pipeline,
+            syncer,
             shutdown: AtomicBool::new(false),
             started: AtomicBool::new(false),
             decided: AtomicU64::new(0),
@@ -336,8 +777,9 @@ impl GroupHandle {
             !self.inner.started.load(Ordering::Relaxed),
             "subscribe must happen before the group is started"
         );
-        let (tx, rx) = unbounded();
-        self.inner.stream.lock().subscribers.push(tx);
+        let mut stream = self.inner.stream.lock();
+        let (tx, rx) = bounded(stream.queue_cap);
+        stream.subscribers.push(tx);
         rx
     }
 
@@ -373,7 +815,12 @@ impl GroupHandle {
                 first_retained: stream.next_seq,
             });
         }
-        let (tx, rx) = unbounded();
+        // The ring must hold the whole replayed suffix up front (nobody
+        // consumes until this returns) plus the normal live headroom;
+        // the replayed entries are Arc clones of retained batches, so
+        // the extra capacity costs pointers, not payload copies.
+        let replayed = stream.log.iter().filter(|b| b.seq >= from_seq).count();
+        let (tx, rx) = bounded(replayed + stream.queue_cap);
         for batch in stream.log.iter().filter(|b| b.seq >= from_seq) {
             let _ = tx.send(Arc::clone(batch));
         }
@@ -444,7 +891,46 @@ impl GroupHandle {
         self.inner.group_id
     }
 
-    /// Signals all threads of the group to stop.
+    /// The group's durability watermark: the highest stream sequence
+    /// number whose batch is known covered by an `fsync`.
+    ///
+    /// * [`WalMode::Pipelined`]: advanced by the sync thread; gates
+    ///   response release in the engines. `u64::MAX` once the log failed
+    ///   (durability abandoned, nothing left to wait for).
+    /// * [`WalMode::Inline`] / no WAL: everything delivered counts as
+    ///   stable under the process-crash model, so this tracks
+    ///   `next_seq - 1`.
+    pub fn durable_seq(&self) -> u64 {
+        match &self.inner.pipeline {
+            Some(pipeline) => pipeline.durable.load(Ordering::Acquire),
+            None => self.inner.stream.lock().next_seq - 1,
+        }
+    }
+
+    /// Fault injection: freezes (or thaws) the pipelined sync thread, as
+    /// if the covering `fsync` never completed. While held, the
+    /// durability watermark stops advancing — and a group shut down
+    /// while held skips its final flush, modeling a crash between
+    /// fan-out and fsync. No-op for non-pipelined groups.
+    pub fn hold_wal_sync(&self, hold: bool) {
+        if let Some(pipeline) = &self.inner.pipeline {
+            pipeline.hold.store(hold, Ordering::Relaxed);
+        }
+    }
+
+    /// Power-failure fault injection: discards the WAL's un-fsynced
+    /// suffix ([`psmr_wal::Wal::discard_unsynced`]). Call after the
+    /// group's threads have stopped — a live ordering thread would race
+    /// the truncation. Returns how many records were dropped (0 without
+    /// a WAL).
+    pub fn power_fail(&self) -> u64 {
+        let wal = self.inner.stream.lock().wal.clone();
+        wal.map_or(0, |wal| wal.discard_unsynced().unwrap_or(0))
+    }
+
+    /// Signals all threads of the group to stop. (A pipelined
+    /// deployment's shared [`WalSyncer`] is stopped separately, once
+    /// every group attached to it has shut down.)
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Relaxed);
         self.inner.net.shutdown();
@@ -575,7 +1061,7 @@ fn batched_main(
     // A WAL-seeded stream continues the pre-crash numbering: Paxos
     // instances restart at 0 each incarnation, the stream seq does not.
     let seq_base = inner.stream.lock().next_seq;
-    let mut batch: Batch = Vec::new();
+    let mut batch: Vec<Bytes> = Vec::new();
     let mut batch_bytes = 0usize;
     let mut batch_opened_at: Option<Instant> = None;
 
@@ -650,21 +1136,20 @@ fn batched_main(
             let full = std::mem::take(&mut batch);
             batch_bytes = 0;
             batch_opened_at = None;
-            broadcast(prop.submit(full));
+            // One Arc for phase 2: every acceptor receives the same
+            // shared value, never a deep clone of the commands.
+            broadcast(prop.submit(Arc::new(full)));
         }
 
         // 3. Deliver decided batches to subscribers, in order (one stream
-        //    batch per decided instance).
-        let decided = prop.take_decided();
-        if !decided.is_empty() {
-            let mut stream = inner.stream.lock();
-            for (instance, commands) in decided {
-                inner.decided.fetch_add(1, Ordering::Relaxed);
-                stream.deliver(Arc::new(DecidedBatch {
-                    seq: seq_base + instance,
-                    commands,
-                }));
-            }
+        //    batch per decided instance). The decided value moves into
+        //    the stream batch as the same shared allocation.
+        for (instance, commands) in prop.take_decided() {
+            inner.decided.fetch_add(1, Ordering::Relaxed);
+            inner.deliver(Arc::new(DecidedBatch {
+                seq: seq_base + instance,
+                commands,
+            }));
         }
     }
 }
@@ -708,7 +1193,7 @@ fn round_paced_main(
                 }
                 // Close one round: everything submitted since the last
                 // tick, split into <= batch_bytes instances.
-                let mut instances: Vec<Batch> = vec![Vec::new()];
+                let mut instances: Vec<Vec<Bytes>> = vec![Vec::new()];
                 let mut last_bytes = 0usize;
                 while let Ok(cmd) = submit_rx.try_recv() {
                     if last_bytes + cmd.len() > cfg.batch_bytes
@@ -722,7 +1207,7 @@ fn round_paced_main(
                 }
                 open_rounds.push_back((instances.len(), Vec::new()));
                 for instance_batch in instances {
-                    broadcast(prop.submit(instance_batch));
+                    broadcast(prop.submit(Arc::new(instance_batch)));
                 }
             }
             recv(inbox) -> msg => {
@@ -740,22 +1225,24 @@ fn round_paced_main(
 
         // 2. Fold decided instances into their rounds; deliver every round
         //    whose instances are all decided (instance order == submission
-        //    order, so rounds complete in order).
+        //    order, so rounds complete in order). Folding clones only the
+        //    `Bytes` handles — the payload allocations stay shared with
+        //    the consensus layer.
         for (_, commands) in prop.take_decided() {
             let front = open_rounds
                 .front_mut()
                 .expect("instance belongs to a round");
-            front.1.extend(commands);
+            front.1.extend(commands.iter().cloned());
             front.0 -= 1;
             if front.0 == 0 {
                 let (_, commands) = open_rounds.pop_front().expect("front exists");
                 inner.decided.fetch_add(1, Ordering::Relaxed);
                 let out = Arc::new(DecidedBatch {
                     seq: next_seq,
-                    commands,
+                    commands: Arc::new(commands),
                 });
                 next_seq += 1;
-                inner.stream.lock().deliver(out);
+                inner.deliver(out);
             }
         }
     }
@@ -822,7 +1309,7 @@ mod tests {
             let mut cmds = Vec::new();
             while cmds.len() < 50 {
                 let b = rx.recv_timeout(Duration::from_secs(5)).expect("delivered");
-                cmds.extend(b.commands.clone());
+                cmds.extend(b.commands.iter().cloned());
             }
             cmds
         };
@@ -1177,6 +1664,204 @@ mod tests {
         group.handle().trim_below(last_seq);
         group.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The WAL/execution overlap contract: with the sync thread held
+    /// (the fsync "in flight forever"), decided batches still fan out —
+    /// execution is never gated on durability — while the durability
+    /// watermark stays put; releasing the hold lets the watermark catch
+    /// up and bumps the hub.
+    #[test]
+    fn pipelined_group_fans_out_before_the_covering_fsync() {
+        use psmr_wal::{Wal, WalOptions};
+        let dir = std::env::temp_dir().join(format!("psmr-paxos-pipe-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal = Arc::new(
+            Wal::open(
+                &dir,
+                WalOptions {
+                    segment_bytes: 4 * 1024 * 1024,
+                    batch: usize::MAX,
+                },
+            )
+            .unwrap(),
+        );
+        let syncer = WalSyncer::spawn(Duration::from_micros(200));
+        let hub = Arc::clone(syncer.hub());
+        let group = PaxosGroup::spawn_with_wal_mode(
+            30,
+            &test_cfg(),
+            LiveNet::new(),
+            Pacing::Batched,
+            WalMode::Pipelined {
+                wal,
+                syncer: Arc::clone(&syncer),
+            },
+        );
+        let handle = group.handle();
+        let sub = group.subscribe();
+        group.start();
+        handle.hold_wal_sync(true);
+        let hub_before = hub.version();
+        group.submit(Bytes::from_static(b"overlapped"));
+        let batch = sub
+            .recv_timeout(Duration::from_secs(5))
+            .expect("fan-out does not wait for the fsync");
+        assert_eq!(&batch.commands[0][..], b"overlapped");
+        assert_eq!(
+            handle.durable_seq(),
+            0,
+            "held sync thread must not advance the watermark"
+        );
+        handle.hold_wal_sync(false);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while handle.durable_seq() < batch.seq {
+            assert!(Instant::now() < deadline, "watermark never caught up");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            hub.version() > hub_before,
+            "fsync completion bumped the hub"
+        );
+        group.shutdown();
+        syncer.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Crash between fan-out and fsync: a pipelined group shut down
+    /// while its sync thread is held loses exactly the un-fsynced
+    /// suffix to a power failure — the respawned stream replays the
+    /// durable prefix and nothing after the watermark.
+    #[test]
+    fn pipelined_power_failure_loses_only_the_unsynced_suffix() {
+        use psmr_wal::{Wal, WalOptions};
+        let dir = std::env::temp_dir().join(format!("psmr-paxos-pwr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = WalOptions {
+            segment_bytes: 4 * 1024 * 1024,
+            batch: usize::MAX,
+        };
+        let syncer = WalSyncer::spawn(Duration::from_micros(200));
+        let group = PaxosGroup::spawn_with_wal_mode(
+            31,
+            &test_cfg(),
+            LiveNet::new(),
+            Pacing::Batched,
+            WalMode::Pipelined {
+                wal: Arc::new(Wal::open(&dir, opts).unwrap()),
+                syncer: Arc::clone(&syncer),
+            },
+        );
+        let handle = group.handle();
+        let sub = group.subscribe();
+        group.start();
+        // Phase 1: decided and fsynced (watermark catches up).
+        let mut durable_seq = 0;
+        for i in 0..5u32 {
+            group.submit(Bytes::from(i.to_le_bytes().to_vec()));
+            let b = sub.recv_timeout(Duration::from_secs(5)).expect("delivered");
+            durable_seq = b.seq;
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while handle.durable_seq() < durable_seq {
+            assert!(Instant::now() < deadline, "watermark never caught up");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Phase 2: the fsync never lands — decided, fanned out, undurable.
+        handle.hold_wal_sync(true);
+        for i in 100..103u32 {
+            group.submit(Bytes::from(i.to_le_bytes().to_vec()));
+            let _ = sub.recv_timeout(Duration::from_secs(5)).expect("delivered");
+        }
+        assert_eq!(handle.durable_seq(), durable_seq, "suffix is not durable");
+        // Crash + power failure: threads stop, the unsynced tail is gone.
+        group.shutdown();
+        syncer.stop();
+        let dropped = handle.power_fail();
+        assert!(dropped >= 3, "the held suffix was discarded ({dropped})");
+
+        // The respawn sees exactly the durable prefix.
+        let group = PaxosGroup::spawn_with_wal(
+            31,
+            &test_cfg(),
+            LiveNet::new(),
+            Pacing::Batched,
+            Some(Arc::new(Wal::open(&dir, opts).unwrap())),
+        );
+        assert_eq!(group.handle().next_seq(), durable_seq + 1);
+        let replay = group.handle().subscribe_from(1).expect("prefix retained");
+        let mut got = Vec::new();
+        while got.len() < 5 {
+            let b = replay
+                .recv_timeout(Duration::from_secs(5))
+                .expect("replayed");
+            got.extend(
+                b.commands
+                    .iter()
+                    .map(|c| u32::from_le_bytes(c[..4].try_into().unwrap())),
+            );
+        }
+        assert_eq!(
+            got,
+            (0..5).collect::<Vec<_>>(),
+            "prefix intact, suffix gone"
+        );
+        group.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Bounded delivery rings: a subscriber that stops consuming
+    /// throttles the ordering thread at its ring's capacity — memory
+    /// stays bounded, the stall is counted, and everything flows once
+    /// the subscriber drains.
+    #[test]
+    fn slow_subscriber_throttles_ordering_with_bounded_memory() {
+        let mut cfg = test_cfg();
+        cfg.batch_bytes(32).delivery_queue(4);
+        let group = PaxosGroup::spawn_with(32, &cfg, LiveNet::new(), Pacing::Batched);
+        let sub = group.subscribe();
+        group.start();
+        let stalls_before = global().value(counters::DELIVERY_BACKPRESSURE_STALLS);
+        // 48-byte commands against a 32-byte cap: one batch per command,
+        // far more batches than the 4-slot ring holds.
+        for i in 0..32u8 {
+            group.submit(Bytes::from(vec![i; 48]));
+        }
+        // The ring fills and delivery stalls behind it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while global().value(counters::DELIVERY_BACKPRESSURE_STALLS) == stalls_before {
+            assert!(Instant::now() < deadline, "backpressure stall never seen");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            sub.len() <= 4,
+            "ring exceeded its bound: {} batches queued",
+            sub.len()
+        );
+        // Draining un-throttles ordering: every command still arrives,
+        // in order.
+        let mut got = Vec::new();
+        while got.len() < 32 {
+            let b = sub.recv_timeout(Duration::from_secs(5)).expect("delivered");
+            got.extend(b.commands.iter().map(|c| c[0]));
+        }
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+        group.shutdown();
+    }
+
+    #[test]
+    fn durability_hub_wakes_waiters_past_a_version() {
+        let hub = Arc::new(DurabilityHub::new());
+        let seen = hub.version();
+        // Timeout path: nothing bumps.
+        assert_eq!(hub.wait_past(seen, Duration::from_millis(5)), seen);
+        let waiter = {
+            let hub = Arc::clone(&hub);
+            std::thread::spawn(move || hub.wait_past(seen, Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        hub.bump();
+        assert!(waiter.join().unwrap() > seen);
     }
 
     #[test]

@@ -135,6 +135,12 @@ struct Inner {
     next_seq: u64,
     /// Appends since the last fsync (the open group-commit window).
     unsynced: usize,
+    /// Sequence number the record *after the last fsynced one* would
+    /// carry — the durability watermark pipelined group commit publishes.
+    synced_next_seq: u64,
+    /// Bytes of the active segment covered by the last fsync (what
+    /// [`Wal::discard_unsynced`] truncates back to).
+    synced_bytes: u64,
     /// Lifetime appends through this handle (per-log view of the global
     /// `wal_appends` counter).
     appends: u64,
@@ -200,6 +206,10 @@ impl Wal {
             inner: Mutex::new(Inner {
                 segments,
                 active,
+                // What is on disk at open *is* the durable baseline: a
+                // reopen starts with nothing in the unsynced window.
+                synced_next_seq: next_seq,
+                synced_bytes: active_bytes,
                 active_bytes,
                 next_seq,
                 unsynced: 0,
@@ -277,6 +287,7 @@ impl Wal {
                 // on; replay never finds a torn record behind the tail.
                 old.sync_all()?;
                 inner.unsynced = 0;
+                inner.synced_next_seq = inner.next_seq;
             }
             let path = self.dir.join(format!("seg-{seq:020}.wal"));
             let mut file = fs::OpenOptions::new()
@@ -295,6 +306,9 @@ impl Wal {
             });
             inner.active = Some(file);
             inner.active_bytes = HEADER_LEN as u64;
+            // The fresh header survives a discard: truncating back to it
+            // leaves a valid, empty segment.
+            inner.synced_bytes = HEADER_LEN as u64;
             global().counter(counters::WAL_SEGMENTS_CREATED).inc();
         }
         let frame = encode_record(seq, commands);
@@ -308,6 +322,8 @@ impl Wal {
         if inner.unsynced >= self.opts.batch {
             inner.active.as_ref().expect("active").sync_all()?;
             inner.unsynced = 0;
+            inner.synced_next_seq = inner.next_seq;
+            inner.synced_bytes = inner.active_bytes;
             inner.fsyncs += 1;
             global().counter(counters::WAL_FSYNCS).inc();
         }
@@ -327,22 +343,91 @@ impl Wal {
     /// Forces the open group-commit window to disk (no-op when every
     /// appended record is already synced).
     ///
+    /// The `fsync` itself runs **outside the log's lock**: appends keep
+    /// flowing while the sync is in flight, which is what lets a
+    /// pipelined sync thread group-commit without stalling the ordering
+    /// thread. The durability markers are published afterwards and only
+    /// ever move forward, so a rotation racing the sync cannot regress
+    /// them.
+    ///
     /// # Errors
     ///
     /// Returns the underlying `fsync` error.
     pub fn sync(&self) -> io::Result<()> {
-        let mut inner = self.inner.lock();
-        if inner.unsynced > 0 {
-            inner
+        // Snapshot the open window under the lock; fsync outside it.
+        let (file, covered_seq, covered_bytes, covered_segment) = {
+            let inner = self.inner.lock();
+            if inner.unsynced == 0 {
+                return Ok(());
+            }
+            let file = inner
                 .active
                 .as_ref()
                 .expect("unsynced implies active")
-                .sync_all()?;
-            inner.unsynced = 0;
+                .try_clone()?;
+            (
+                file,
+                inner.next_seq,
+                inner.active_bytes,
+                inner.segments.len(),
+            )
+        };
+        file.sync_all()?;
+        let mut inner = self.inner.lock();
+        if covered_seq > inner.synced_next_seq {
+            inner.synced_next_seq = covered_seq;
+            // A rotation may have swapped the active segment while the
+            // fsync ran; its seal already published the old segment, and
+            // the new segment's byte marker must not be overwritten with
+            // the old file's length.
+            if inner.segments.len() == covered_segment {
+                inner.synced_bytes = covered_bytes;
+            }
             inner.fsyncs += 1;
             global().counter(counters::WAL_FSYNCS).inc();
         }
+        // Records appended while the fsync ran stay in the open window.
+        inner.unsynced = (inner.next_seq - inner.synced_next_seq) as usize;
         Ok(())
+    }
+
+    /// Sequence number the record after the **last fsynced** one would
+    /// carry — the per-log durability watermark. Records with
+    /// `seq < durable_next_seq()` survive a power failure; the window
+    /// `durable_next_seq()..next_seq()` is written but not yet covered
+    /// by an `fsync`.
+    pub fn durable_next_seq(&self) -> u64 {
+        self.inner.lock().synced_next_seq
+    }
+
+    /// **Power-failure fault injection**: drops the open group-commit
+    /// window by truncating the active segment back to its last fsynced
+    /// length, exactly what a power cut would do to the unsynced tail.
+    /// Returns how many appended records were discarded. Crash-recovery
+    /// tests use this to turn an in-process "crash" (where the page
+    /// cache, and thus every written byte, survives) into the power-loss
+    /// model the durability watermark defends against.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the active segment cannot be
+    /// truncated.
+    pub fn discard_unsynced(&self) -> io::Result<u64> {
+        let mut inner = self.inner.lock();
+        let discarded = inner.next_seq - inner.synced_next_seq;
+        if discarded == 0 {
+            return Ok(0);
+        }
+        let synced_bytes = inner.synced_bytes;
+        inner
+            .active
+            .as_ref()
+            .expect("unsynced records imply an active segment")
+            .set_len(synced_bytes)?;
+        inner.active_bytes = synced_bytes;
+        inner.next_seq = inner.synced_next_seq;
+        inner.unsynced = 0;
+        Ok(discarded)
     }
 
     /// Reclaims segments whose **every** record has `seq < below` by
@@ -447,7 +532,10 @@ struct ParsedSegment {
 }
 
 /// Scans one segment's bytes, stopping at the first invalid frame.
-fn parse_segment(bytes: &[u8], first_seq: u64) -> ParsedSegment {
+/// Command payloads are zero-copy [`Bytes::slice`]s of the segment
+/// buffer — replay hands the stream back without re-allocating each
+/// command.
+fn parse_segment(bytes: &Bytes, first_seq: u64) -> ParsedSegment {
     let mut records = Vec::new();
     let mut expect_seq = first_seq;
     let header_ok = bytes.len() >= HEADER_LEN
@@ -469,13 +557,14 @@ fn parse_segment(bytes: &[u8], first_seq: u64) -> ParsedSegment {
         if body_len > MAX_BODY {
             break;
         }
-        let Some(body) = bytes.get(at + FRAME_LEN..at + FRAME_LEN + body_len) else {
-            break;
-        };
-        if crc32(body) != crc {
+        if bytes.len() < at + FRAME_LEN + body_len {
             break;
         }
-        let Some(record) = decode_body(body) else {
+        let body = bytes.slice(at + FRAME_LEN..at + FRAME_LEN + body_len);
+        if crc32(&body) != crc {
+            break;
+        }
+        let Some(record) = decode_body(&body) else {
             break;
         };
         if record.seq != expect_seq {
@@ -494,8 +583,9 @@ fn parse_segment(bytes: &[u8], first_seq: u64) -> ParsedSegment {
 }
 
 /// Decodes a crc-verified record body. `None` on a malformed layout
-/// (possible despite the crc only if the writer was buggy).
-fn decode_body(body: &[u8]) -> Option<WalRecord> {
+/// (possible despite the crc only if the writer was buggy). Command
+/// payloads are slices sharing the segment buffer — no per-command copy.
+fn decode_body(body: &Bytes) -> Option<WalRecord> {
     let seq = u64::from_le_bytes(body.get(..8)?.try_into().ok()?);
     let count = u64::from_le_bytes(body.get(8..16)?.try_into().ok()?);
     let count = usize::try_from(count).ok()?;
@@ -504,9 +594,9 @@ fn decode_body(body: &[u8]) -> Option<WalRecord> {
     for _ in 0..count {
         let len = u32::from_le_bytes(body.get(at..at + 4)?.try_into().ok()?) as usize;
         at += 4;
-        let payload = body.get(at..at + len)?;
+        body.get(at..at + len)?;
+        commands.push(body.slice(at..at + len));
         at += len;
-        commands.push(Bytes::copy_from_slice(payload));
     }
     if at != body.len() {
         return None;
@@ -544,11 +634,12 @@ fn sync_dir(dir: &Path) -> io::Result<()> {
     fs::File::open(dir)?.sync_all()
 }
 
-/// Reads a whole file into memory (segments are bounded by rotation).
-fn read_file(path: &Path) -> io::Result<Vec<u8>> {
+/// Reads a whole file into one shared buffer (segments are bounded by
+/// rotation); replayed command payloads slice it without copying.
+fn read_file(path: &Path) -> io::Result<Bytes> {
     let mut bytes = Vec::new();
     fs::File::open(path)?.read_to_end(&mut bytes)?;
-    Ok(bytes)
+    Ok(Bytes::from(bytes))
 }
 
 #[cfg(test)]
@@ -680,6 +771,60 @@ mod tests {
         wal.trim_below(u64::MAX).unwrap();
         assert_eq!(wal.segment_count(), 1);
         assert_eq!(wal.next_seq(), 21);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The durability watermark: `durable_next_seq` trails `next_seq` by
+    /// the open group-commit window and catches up on every fsync, and
+    /// `discard_unsynced` drops exactly that window — the power-failure
+    /// half of crash testing.
+    #[test]
+    fn durable_watermark_tracks_fsyncs_and_discard_drops_the_window() {
+        let dir = unique_dir("watermark");
+        let wal = Wal::open(&dir, opts(usize::MAX, usize::MAX)).unwrap();
+        assert_eq!(wal.durable_next_seq(), 1);
+        for seq in 1..=5 {
+            wal.append(seq, &[cmd(seq as u8, 16)]).unwrap();
+        }
+        assert_eq!(wal.next_seq(), 6);
+        assert_eq!(wal.durable_next_seq(), 1, "nothing fsynced yet");
+        wal.sync().unwrap();
+        assert_eq!(wal.durable_next_seq(), 6, "sync advances the watermark");
+        // Append past the watermark, then lose power.
+        for seq in 6..=8 {
+            wal.append(seq, &[cmd(seq as u8, 16)]).unwrap();
+        }
+        assert_eq!(wal.discard_unsynced().unwrap(), 3);
+        assert_eq!(wal.next_seq(), 6, "stream resumes at the watermark");
+        assert_eq!(wal.replay().unwrap().len(), 5, "durable prefix intact");
+        // The healed log keeps appending cleanly from the watermark.
+        wal.append(6, &[cmd(9, 16)]).unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.replay().unwrap().len(), 6);
+        assert_eq!(wal.discard_unsynced().unwrap(), 0, "nothing open");
+        // A reopened log treats everything on disk as durable.
+        drop(wal);
+        let wal = Wal::open(&dir, opts(usize::MAX, usize::MAX)).unwrap();
+        assert_eq!(wal.durable_next_seq(), wal.next_seq());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Discard across a rotation boundary: sealed segments are durable,
+    /// only the active segment's unsynced records vanish.
+    #[test]
+    fn discard_unsynced_preserves_sealed_segments() {
+        let dir = unique_dir("watermark-rotate");
+        // Tiny segments force a rotation; no automatic commit fsyncs.
+        let wal = Wal::open(&dir, opts(128, usize::MAX)).unwrap();
+        for seq in 1..=6 {
+            wal.append(seq, &[cmd(seq as u8, 100)]).unwrap();
+        }
+        assert!(wal.segment_count() >= 2, "rotation happened");
+        let discarded = wal.discard_unsynced().unwrap();
+        assert!(discarded >= 1);
+        let replayed = wal.replay().unwrap();
+        assert_eq!(replayed.len() as u64, 6 - discarded);
+        assert_eq!(wal.next_seq(), 7 - discarded);
         fs::remove_dir_all(&dir).unwrap();
     }
 

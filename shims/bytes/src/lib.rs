@@ -7,7 +7,7 @@
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply clonable, immutable slice of bytes.
@@ -17,7 +17,12 @@ pub struct Bytes(Repr);
 #[derive(Clone)]
 enum Repr {
     Static(&'static [u8]),
-    Shared(Arc<[u8]>),
+    /// A window into a shared allocation: `buf[start..end]`.
+    Shared {
+        buf: Arc<[u8]>,
+        start: usize,
+        end: usize,
+    },
 }
 
 impl Bytes {
@@ -33,7 +38,9 @@ impl Bytes {
 
     /// Copies a slice into a new shared buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Repr::Shared(Arc::from(data)))
+        let buf: Arc<[u8]> = Arc::from(data);
+        let end = buf.len();
+        Bytes(Repr::Shared { buf, start: 0, end })
     }
 
     /// Length in bytes.
@@ -46,10 +53,42 @@ impl Bytes {
         self.as_slice().is_empty()
     }
 
+    /// Returns a sub-window of this buffer **without copying**: the
+    /// returned [`Bytes`] shares the same allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let from = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let to = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            from <= to && to <= self.len(),
+            "slice {from}..{to} out of bounds of {}",
+            self.len()
+        );
+        match &self.0 {
+            Repr::Static(s) => Bytes(Repr::Static(&s[from..to])),
+            Repr::Shared { buf, start, .. } => Bytes(Repr::Shared {
+                buf: Arc::clone(buf),
+                start: start + from,
+                end: start + to,
+            }),
+        }
+    }
+
     fn as_slice(&self) -> &[u8] {
         match &self.0 {
             Repr::Static(s) => s,
-            Repr::Shared(s) => s,
+            Repr::Shared { buf, start, end } => &buf[*start..*end],
         }
     }
 }
@@ -76,7 +115,9 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Repr::Shared(Arc::from(v)))
+        let buf: Arc<[u8]> = Arc::from(v);
+        let end = buf.len();
+        Bytes(Repr::Shared { buf, start: 0, end })
     }
 }
 
@@ -153,5 +194,24 @@ mod tests {
         assert_eq!(Bytes::from_static(b"abc"), Bytes::copy_from_slice(b"abc"));
         assert!(Bytes::new().is_empty());
         assert_eq!(Bytes::from_static(b"abc").len(), 3);
+    }
+
+    #[test]
+    fn slice_shares_the_allocation() {
+        let whole = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let mid = whole.slice(2..5);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        let inner = mid.slice(1..=1);
+        assert_eq!(&inner[..], &[3]);
+        assert_eq!(whole.slice(..).len(), 6);
+        assert!(whole.slice(6..6).is_empty());
+        let s = Bytes::from_static(b"hello").slice(1..3);
+        assert_eq!(&s[..], b"el");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_slice_panics() {
+        let _ = Bytes::from(vec![1, 2]).slice(1..4);
     }
 }

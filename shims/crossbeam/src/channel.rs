@@ -80,6 +80,45 @@ impl<T> Sender<T> {
         self.0.recv_ready.notify_one();
         Ok(())
     }
+
+    /// Non-blocking send: fails instead of waiting on a full bounded
+    /// channel.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] when a bounded channel is at capacity,
+    /// [`TrySendError::Disconnected`] when every receiver is gone; both
+    /// hand the message back.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.0.state.lock().expect("channel lock");
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = state.cap {
+            if state.queue.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.0.recv_ready.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.0.state.lock().expect("channel lock").queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether both halves refer to the same channel.
+    pub fn same_channel(&self, other: &Sender<T>) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
 }
 
 impl<T> Receiver<T> {
@@ -210,6 +249,15 @@ impl<T> fmt::Debug for Receiver<T> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
 
+/// Error of [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded channel is at capacity; the message is handed back.
+    Full(T),
+    /// Every receiver is gone; the message is handed back.
+    Disconnected(T),
+}
+
 /// Error of [`Receiver::recv`]: channel empty with no senders left.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecvError;
@@ -273,6 +321,19 @@ mod tests {
         assert_eq!(rx.recv(), Ok(1));
         t.join().unwrap().unwrap();
         assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(tx.len(), 1);
+        assert!(tx.same_channel(&tx.clone()));
+        let (other, _keep) = bounded::<i32>(1);
+        assert!(!tx.same_channel(&other));
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
     }
 
     #[test]

@@ -253,6 +253,146 @@ fn psmr_whole_deployment_cold_starts_from_disk_under_load() {
     cleanup("psmr");
 }
 
+/// The full blackout scenario with **pipelined group commit**
+/// (`wal_pipeline`): fan-out overlaps the fsyncs, responses gate on the
+/// durability watermark, and the acknowledged history across both
+/// incarnations stays linearizable — under power-failure semantics this
+/// mode is *stronger* than inline group commit (acknowledged ⇒
+/// fsynced), so the cold-start guarantees of PR 3 carry over unchanged.
+#[test]
+fn psmr_cold_starts_linearizably_with_pipelined_group_commit() {
+    let mut config = cfg(3, "pipe");
+    config.wal_pipeline(true);
+    let snap_dir = config.snapshot_dir.clone().expect("configured");
+    let t0 = Instant::now();
+
+    let mut engine =
+        PsmrEngine::spawn_recoverable(&config, fine_dependency_spec().into_map(), || {
+            KvService::with_keys(KEYS)
+        });
+    let handles: Vec<_> = (0..3u64)
+        .map(|c| {
+            let client = engine.client();
+            std::thread::spawn(move || client_session(client, c * 1_000_000, 30, t0))
+        })
+        .collect();
+    let mut records = Vec::new();
+    for h in handles {
+        records.extend(h.join().unwrap());
+    }
+    await_persisted(&snap_dir, 2);
+    engine.crash_all_replicas();
+    engine.shutdown();
+
+    // Cold start over the same directories: pipelining changes when
+    // fsyncs land, never what replay recovers for acknowledged commands.
+    let (engine, reports) =
+        PsmrEngine::cold_start(&config, fine_dependency_spec().into_map(), || {
+            KvService::with_keys(KEYS)
+        })
+        .expect("cold start");
+    assert_eq!(reports.len(), 2);
+    await_convergence(|r| service_snapshot(engine.replica_service(r)));
+    let handles: Vec<_> = (0..3u64)
+        .map(|c| {
+            let client = engine.client();
+            std::thread::spawn(move || client_session(client, (10 + c) * 1_000_000, 30, t0))
+        })
+        .collect();
+    for h in handles {
+        records.extend(h.join().unwrap());
+    }
+    assert_linearizable(records);
+    engine.shutdown();
+    cleanup("pipe");
+}
+
+/// Crash **between fan-out and fsync**: with every sync thread held (the
+/// covering fsyncs "in flight forever"), submitted writes execute and
+/// replicate but their responses are never released — so when the power
+/// failure then erases the un-fsynced suffix, only *unacknowledged*
+/// writes are lost and the cold-started state plus acknowledged history
+/// stays linearizable.
+#[test]
+fn pipelined_crash_before_fsync_never_released_the_lost_suffix() {
+    let mut config = cfg(2, "heldfsync");
+    config.wal_pipeline(true);
+    config.checkpoint_interval(None); // WAL-only: the log IS the state
+    let mut engine =
+        PsmrEngine::spawn_recoverable(&config, fine_dependency_spec().into_map(), || {
+            KvService::with_keys(KEYS)
+        });
+
+    // Phase 1: acknowledged traffic (fsyncs flowing normally).
+    let mut client = engine.client();
+    for key in 0..KEYS {
+        assert_eq!(
+            kv(
+                &mut client,
+                KvOp::Update {
+                    key,
+                    value: 5000 + key
+                }
+            ),
+            KvResult::Ok
+        );
+    }
+
+    // Phase 2: freeze the fsyncs, then submit writes that will execute
+    // but can never durably land. Their responses must be withheld.
+    // (The short sleep lets a sync pass already in flight finish, so no
+    // phase-2 append can slip under a pre-hold fsync.)
+    engine.hold_wal_sync(true);
+    std::thread::sleep(Duration::from_millis(50));
+    let held_ids: Vec<_> = (0..KEYS)
+        .map(|key| {
+            let op = KvOp::Update {
+                key,
+                value: 9000 + key,
+            };
+            client.submit(op.command(), op.encode())
+        })
+        .collect();
+    // Give the deployment ample time to order and execute them.
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(
+        client.try_recv_response().is_none(),
+        "a response was released for a write whose covering fsync never landed"
+    );
+    assert_eq!(client.outstanding(), held_ids.len());
+    drop(client);
+
+    // Phase 3: crash everything and lose power — the un-fsynced suffix
+    // (and only it) is gone.
+    engine.crash_all_replicas();
+    let dropped = engine.shutdown_power_fail();
+    assert!(
+        dropped > 0,
+        "the held suffix should have been open (un-fsynced) at the crash"
+    );
+
+    // Phase 4: cold start. The acknowledged phase-1 values survive; the
+    // never-acknowledged phase-2 values are allowed to be lost — and
+    // with the suffix discarded they must be.
+    let (engine, _reports) =
+        PsmrEngine::cold_start(&config, fine_dependency_spec().into_map(), || {
+            KvService::with_keys(KEYS)
+        })
+        .expect("cold start after power failure");
+    await_convergence(|r| service_snapshot(engine.replica_service(r)));
+    let mut client = engine.client();
+    for key in 0..KEYS {
+        assert_eq!(
+            kv(&mut client, KvOp::Read { key }),
+            KvResult::Value(5000 + key),
+            "key {key}: acknowledged write survives, unacknowledged suffix is gone"
+        );
+    }
+    drop(client);
+    engine.shutdown();
+    cleanup("heldfsync");
+}
+
 /// Cold start **before any checkpoint was ever taken**: the durable
 /// ordered logs alone rebuild the whole deployment from scratch
 /// (`RecoverySource::WalOnly`).
