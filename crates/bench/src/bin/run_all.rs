@@ -18,5 +18,6 @@ fn main() {
     let _ = experiments::ckpt_load(&args);
     let _ = experiments::wal_overhead(&args);
     let _ = experiments::pipeline(&args, false);
+    let _ = experiments::stage_breakdown(&args, false);
     println!("all experiments written to target/experiments/ (BENCH_*.json for machines)");
 }

@@ -1,0 +1,10 @@
+//! Extension experiment: command-lifecycle stage breakdown — per-stage
+//! latency of the submit → ordered → appended → delivered → executed →
+//! released chain across the three WAL modes, with the assertion that
+//! the traced chain accounts for at least 90% of the measured
+//! end-to-end mean. See `psmr_bench::experiments::stage_breakdown`.
+
+fn main() {
+    let args = psmr_bench::BenchArgs::from_env();
+    let _ = psmr_bench::experiments::stage_breakdown(&args, true);
+}

@@ -1,0 +1,23 @@
+//! Validates every `target/experiments/BENCH_*.json` artifact against
+//! the checked-in `bench_schema.txt`: missing required metrics, `null`
+//! (non-finite) values, and artifacts with no schema section all fail.
+//! See `psmr_bench::validate`.
+
+use std::path::Path;
+
+fn main() {
+    match psmr_bench::validate::validate_dir(Path::new("target/experiments")) {
+        Ok(validated) => {
+            for file in &validated {
+                println!("ok: {file}");
+            }
+            println!("{} artifact(s) match bench_schema.txt", validated.len());
+        }
+        Err(problems) => {
+            for p in &problems {
+                eprintln!("FAIL: {p}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

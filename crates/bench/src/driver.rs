@@ -7,9 +7,7 @@
 
 use psmr_common::cpu::CpuSampler;
 use psmr_common::ids::RequestId;
-use psmr_common::metrics::{
-    counters, gauges, global, Histogram, PipelineStats, RunSummary, ThroughputMeter,
-};
+use psmr_common::metrics::{global, Histogram, PipelineStats, RunSummary, ThroughputMeter};
 use psmr_core::engines::Engine;
 use psmr_netfs::{NetFsOp, NetFsResult};
 use psmr_workload::{KeyDist, KvMix};
@@ -43,41 +41,6 @@ impl Default for DriveOpts {
     }
 }
 
-/// Snapshot of the global hot-path pressure metrics, for computing the
-/// deltas one measured run produced.
-struct PressureBaseline {
-    delivery_stalls: u64,
-    exec_stalls: u64,
-    held: u64,
-}
-
-impl PressureBaseline {
-    fn take() -> Self {
-        // High-water gauges have no delta; reset them so the summary
-        // reports this run's peaks, not the process's.
-        global().gauge(gauges::DELIVERY_QUEUE_DEPTH).reset_max();
-        global().gauge(gauges::WAL_INFLIGHT).reset_max();
-        Self {
-            delivery_stalls: global().value(counters::DELIVERY_BACKPRESSURE_STALLS),
-            exec_stalls: global().value(counters::EXEC_BACKPRESSURE_STALLS),
-            held: global().value(counters::RESPONSES_HELD),
-        }
-    }
-
-    /// Deltas since the baseline, plus the (global) high-water gauges.
-    fn delta(&self) -> PipelineStats {
-        PipelineStats {
-            delivery_backpressure_stalls: global().value(counters::DELIVERY_BACKPRESSURE_STALLS)
-                - self.delivery_stalls,
-            exec_backpressure_stalls: global().value(counters::EXEC_BACKPRESSURE_STALLS)
-                - self.exec_stalls,
-            responses_held: global().value(counters::RESPONSES_HELD) - self.held,
-            delivery_queue_max: global().gauge_max(gauges::DELIVERY_QUEUE_DEPTH),
-            wal_inflight_max: global().gauge_max(gauges::WAL_INFLIGHT),
-        }
-    }
-}
-
 /// Drives the key-value store on `engine` with the given mix and key
 /// distribution, returning the technique's row for the figure.
 pub fn drive_kv<E: Engine + Sync>(
@@ -90,7 +53,9 @@ pub fn drive_kv<E: Engine + Sync>(
     let measuring = AtomicBool::new(false);
     let stop = AtomicBool::new(false);
     let mut measured: Option<(ThroughputMeter, CpuSampler)> = None;
-    let pressure = PressureBaseline::take();
+    // Baseline the registry (resetting gauge high-water marks) so the
+    // summary reports this run's deltas and peaks, not the process's.
+    let baseline = global().baseline();
 
     std::thread::scope(|scope| {
         for c in 0..opts.clients {
@@ -140,7 +105,7 @@ pub fn drive_kv<E: Engine + Sync>(
     let (meter, cpu) = measured.expect("control flow ran");
     let cpu_pct = cpu.sample_pct().unwrap_or(0.0);
     let mut summary = RunSummary::from_parts(engine.label(), &hist, &meter, cpu_pct);
-    summary.pipeline = pressure.delta();
+    summary.pipeline = PipelineStats::from_snapshot(&global().snapshot_deltas(&baseline));
     summary
 }
 
@@ -266,6 +231,43 @@ mod tests {
         assert!(summary.avg_latency_ms > 0.0);
         assert!(!summary.cdf.is_empty());
         engine.shutdown();
+    }
+
+    /// Back-to-back runs must report independent pipeline deltas: the
+    /// baseline taken at the start of each run snapshots the counters
+    /// and resets every gauge's high-water mark (to its current level),
+    /// so a busy first run cannot leak its peaks or stall counts into a
+    /// quiet second run's summary.
+    #[test]
+    fn back_to_back_runs_capture_independent_pipeline_deltas() {
+        use psmr_common::metrics::{counters, gauges, MetricsRegistry};
+        let registry = MetricsRegistry::new();
+
+        // Run 1: heavy pressure.
+        let base = registry.baseline();
+        registry.counter(counters::RESPONSES_HELD).add(7);
+        registry
+            .counter(counters::DELIVERY_BACKPRESSURE_STALLS)
+            .add(3);
+        registry.gauge(gauges::WAL_INFLIGHT).set(40);
+        let run1 = PipelineStats::from_snapshot(&registry.snapshot_deltas(&base));
+        assert_eq!(run1.responses_held, 7);
+        assert_eq!(run1.delivery_backpressure_stalls, 3);
+        assert_eq!(run1.wal_inflight_max, 40);
+
+        // Pressure subsides between runs (the engine drained).
+        registry.gauge(gauges::WAL_INFLIGHT).set(1);
+
+        // Run 2: quiet. Counters delta from the new baseline and the
+        // high-water mark restarts from the current level, not run 1's
+        // peak.
+        let base = registry.baseline();
+        registry.counter(counters::RESPONSES_HELD).add(2);
+        registry.gauge(gauges::WAL_INFLIGHT).set(5);
+        let run2 = PipelineStats::from_snapshot(&registry.snapshot_deltas(&base));
+        assert_eq!(run2.responses_held, 2);
+        assert_eq!(run2.delivery_backpressure_stalls, 0);
+        assert_eq!(run2.wal_inflight_max, 5, "run 1's peak must not leak");
     }
 
     #[test]

@@ -75,7 +75,44 @@ pub fn fig3(args: &BenchArgs) -> Report {
     }
     report.summary_table(&rows, "SMR");
     report.cdf_section(&rows, 12);
+
+    // Bench sanity: command-lifecycle tracing at its default 1-in-N
+    // sampling rate must be effectively free on the hot path — the knob
+    // exists to be left on. Best-of-two per side: single points carry
+    // scheduler noise on a shared host.
+    let psmr_kcps_at = |trace_sample: u64| -> f64 {
+        use psmr_core::engines::PsmrEngine;
+        use psmr_kvstore::{fine_dependency_spec, KvService};
+        let keys = args.keys;
+        let mut cfg = SystemConfig::new(8);
+        cfg.replicas(2).trace_sample(trace_sample);
+        let engine = PsmrEngine::spawn(&cfg, fine_dependency_spec().into_map(), move || {
+            KvService::with_keys_and_work(keys, crate::engines::EXEC_WORK)
+        });
+        let row = drive_kv(&engine, &mix, &dist, &opts(args));
+        engine.shutdown();
+        row.kcps
+    };
+    let default_sample = SystemConfig::new(1).trace_sample;
+    let traced = (0..2)
+        .map(|_| psmr_kcps_at(default_sample))
+        .fold(0.0, f64::max);
+    let untraced = (0..2).map(|_| psmr_kcps_at(0)).fold(0.0, f64::max);
+    let ratio = traced / untraced.max(f64::MIN_POSITIVE);
+    report.line(&format!(
+        "trace overhead @1-in-{default_sample}: {traced:.1} Kcps traced vs {untraced:.1} Kcps \
+         untraced ({:.1}% of untraced)",
+        ratio * 100.0
+    ));
+    report.metric("psmr_traced_kcps", traced);
+    report.metric("psmr_untraced_kcps", untraced);
+    report.metric("trace_overhead_ratio", ratio);
     report.save();
+    assert!(
+        ratio >= 0.95,
+        "perf sanity: default trace sampling ({traced:.1} Kcps) must stay within 5% of \
+         tracing disabled ({untraced:.1} Kcps)"
+    );
     report
 }
 
@@ -667,6 +704,141 @@ pub fn pipeline(args: &BenchArgs, assert_sanity: bool) -> Report {
             "perf sanity: pipelined group commit ({piped_default:.1} Kcps) must not lose \
              to inline fsync-per-append ({strict:.1} Kcps)"
         );
+    }
+    report
+}
+
+/// Extension (observability): where inside the pipeline a command's
+/// latency goes. Three WAL configurations of the same recoverable P-SMR
+/// deployment run under the update/read load with sampled
+/// command-lifecycle tracing: per-stage mean/p50/p99 of the submit →
+/// ordered → appended → delivered → executed → released chain, plus the
+/// fsync-durability lag where the mode has one. The chain means
+/// telescope — their sum is the traced end-to-end mean — and each
+/// mode's `*_attributed_pct` metric reports how much of the
+/// client-measured mean latency the chain accounts for.
+///
+/// The pipelined mode additionally exercises the exposition path: a
+/// periodic JSONL snapshotter runs during the measurement and the final
+/// labeled registry dump is saved alongside the report.
+///
+/// When `assert_attribution` is set (the CI smoke), the run asserts the
+/// chain attributes at least 90% of the measured end-to-end mean in
+/// every mode — the "no invisible stage" guarantee.
+pub fn stage_breakdown(args: &BenchArgs, assert_attribution: bool) -> Report {
+    use psmr_common::export::{expose_text, JsonlSnapshotter};
+    use psmr_common::metrics::global;
+    use psmr_common::trace;
+    use psmr_core::engines::PsmrEngine;
+    use psmr_kvstore::{fine_dependency_spec, KvService};
+    use std::time::Duration;
+
+    let mut report = Report::new("stage_breakdown");
+    let default_batch = SystemConfig::new(1).wal_batch;
+    // Sample densely: this experiment wants per-stage statistics, not
+    // minimal overhead (fig3 prices the default knob).
+    let sample = 4u64;
+    let mpl = 4usize;
+    let keys = args.keys;
+    let dist = KeyDist::uniform(keys);
+    let mix = KvMix::update_read();
+    let mut run_opts = opts(args);
+    // Attribution compares means, which need a stable measurement: few
+    // client threads (less wakeup queueing outside the traced chain) and
+    // a floor on the measured window even in --quick runs.
+    run_opts.clients = run_opts.clients.min(4);
+    run_opts.duration = run_opts.duration.max(Duration::from_secs(2));
+
+    let modes: [(&str, &str, usize, bool); 3] = [
+        ("inline", "inline fsync-per-append", 1, false),
+        ("group", "inline group commit", default_batch, false),
+        ("pipelined", "pipelined group commit", default_batch, true),
+    ];
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let mut attributed = Vec::new();
+    for (mode, label, wal_batch, pipelined) in modes {
+        let map = fine_dependency_spec().into_map();
+        let factory = move || KvService::with_keys_and_work(keys, crate::engines::EXEC_WORK);
+        let mut cfg = SystemConfig::new(mpl);
+        cfg.replicas(2).trace_sample(sample);
+        let dir = std::env::temp_dir().join(format!("psmr-stagebd-{}-{mode}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        cfg.wal_dir(Some(dir.clone()))
+            .wal_batch(wal_batch)
+            .wal_pipeline(pipelined);
+        // Fresh slate per mode: the report must aggregate only this
+        // configuration's lifecycles.
+        trace::global().reset();
+        let snapshotter = pipelined.then(|| {
+            let out = std::path::PathBuf::from("target/experiments");
+            let _ = std::fs::create_dir_all(&out);
+            let path = out.join("stage_breakdown_metrics.jsonl");
+            let _ = std::fs::remove_file(&path);
+            JsonlSnapshotter::spawn(global(), path, Duration::from_millis(100)).ok()
+        });
+        let engine = PsmrEngine::spawn_recoverable(&cfg, map, factory);
+        let row = drive_kv(&engine, &mix, &dist, &run_opts);
+        engine.shutdown();
+        if let Some(Some(snapshotter)) = snapshotter {
+            let jsonl = snapshotter.stop();
+            let lines = std::fs::read_to_string(&jsonl)
+                .map(|s| s.lines().count())
+                .unwrap_or(0);
+            report.line(&format!(
+                "metrics time series: {} JSONL snapshots in {}",
+                lines,
+                jsonl.display()
+            ));
+            let dump = expose_text(global());
+            let txt = jsonl.with_extension("txt");
+            if std::fs::write(&txt, &dump).is_ok() {
+                report.line(&format!(
+                    "final labeled registry dump ({} instruments) in {}",
+                    dump.lines().count(),
+                    txt.display()
+                ));
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let tr = trace::global().report();
+        let measured = Duration::from_secs_f64(row.avg_latency_ms / 1e3);
+        let pct = tr.attributed_pct(measured);
+        report.line(&format!(
+            "--- {label}: {:.1} Kcps, {:.3} ms measured mean, {} traced ({} dropped), \
+             chain accounts for {pct:.1}% ---",
+            row.kcps, row.avg_latency_ms, tr.traced, tr.dropped
+        ));
+        for stat in &tr.intervals {
+            if stat.count == 0 {
+                continue; // e.g. no fsync-durability stage outside pipelined mode
+            }
+            report.line(&format!(
+                "{mode:>9} {:<22} mean {:>8.3} ms  p50 {:>8.3} ms  p99 {:>8.3} ms  (n={})",
+                stat.name,
+                ms(stat.mean),
+                ms(stat.p50),
+                ms(stat.p99),
+                stat.count
+            ));
+            report.metric(&format!("{mode}_{}_mean_ms", stat.name), ms(stat.mean));
+            report.metric(&format!("{mode}_{}_p50_ms", stat.name), ms(stat.p50));
+            report.metric(&format!("{mode}_{}_p99_ms", stat.name), ms(stat.p99));
+        }
+        report.metric(&format!("{mode}_kcps"), row.kcps);
+        report.metric(&format!("{mode}_measured_mean_ms"), row.avg_latency_ms);
+        report.metric(&format!("{mode}_attributed_pct"), pct);
+        attributed.push((label, pct));
+    }
+    report.save();
+    if assert_attribution {
+        for (label, pct) in attributed {
+            assert!(
+                pct >= 90.0,
+                "observability sanity: the traced stage chain of the {label} mode accounts \
+                 for only {pct:.1}% of the measured end-to-end mean (floor: 90%)"
+            );
+        }
     }
     report
 }

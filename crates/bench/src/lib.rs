@@ -20,7 +20,9 @@
 //! | `ckpt_load` | extension: checkpoint-under-load dip + recovery time |
 //! | `wal_overhead` | extension: durable-log cost (inline vs pipelined group commit) |
 //! | `pipeline` | extension: pipelined delivery path, batch size × pipeline on/off |
+//! | `stage_breakdown` | extension: per-stage lifecycle latency across the WAL modes |
 //! | `run_all` | everything above, writing `EXPERIMENTS.md` data |
+//! | `validate_bench` | checks every `BENCH_*.json` against `bench_schema.txt` |
 //!
 //! All binaries accept `--quick` (shorter runs for CI), `--keys N`,
 //! `--clients N` and `--secs F`. Absolute numbers depend on the host; the
@@ -32,6 +34,7 @@ pub mod driver;
 pub mod engines;
 pub mod experiments;
 pub mod report;
+pub mod validate;
 
 pub use args::BenchArgs;
 pub use driver::{drive_kv, drive_netfs, DriveOpts, NetFsWorkload};

@@ -174,6 +174,13 @@ pub struct SystemConfig {
     /// the scheduler — delivery throttles instead of buffering unboundedly
     /// (`exec_backpressure_stalls` counts those stalls).
     pub exec_ring: usize,
+    /// Command-lifecycle trace sampling: every N-th batch sequence per
+    /// group is stamped through the pipeline stages (submitted → ordered
+    /// → appended → delivered → executed → released) and aggregated into
+    /// per-stage latency histograms. `0` disables tracing. The default
+    /// (32) is cheap enough to leave on (see the bench's trace-overhead
+    /// sanity check).
+    pub trace_sample: u64,
 }
 
 impl SystemConfig {
@@ -205,6 +212,7 @@ impl SystemConfig {
             wal_sync_pace: Duration::from_millis(1),
             delivery_queue: 1024,
             exec_ring: 4096,
+            trace_sample: 32,
         }
     }
 
@@ -373,6 +381,14 @@ impl SystemConfig {
     /// rejected by [`SystemConfig::validate`]).
     pub fn exec_ring(&mut self, requests: usize) -> &mut Self {
         self.exec_ring = requests;
+        self
+    }
+
+    /// Sets the lifecycle-trace sampling rate: every N-th batch sequence
+    /// per group is traced through the pipeline stages. `0` is a valid
+    /// off-switch (unlike the capacity knobs, tracing is optional).
+    pub fn trace_sample(&mut self, every_nth: u64) -> &mut Self {
+        self.trace_sample = every_nth;
         self
     }
 
@@ -575,6 +591,24 @@ mod tests {
         assert_eq!(cfg.delivery_queue, 8);
         assert_eq!(cfg.exec_ring, 16);
         assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn trace_sampling_defaults_on_and_zero_is_a_valid_off_switch() {
+        let mut cfg = SystemConfig::new(2);
+        assert_eq!(
+            cfg.trace_sample, 32,
+            "tracing is cheap enough to default on"
+        );
+        cfg.trace_sample(0);
+        assert_eq!(cfg.trace_sample, 0);
+        assert_eq!(
+            cfg.validate(),
+            Ok(()),
+            "0 disables tracing; it is not a zeroed-capacity error"
+        );
+        cfg.trace_sample(128);
+        assert_eq!(cfg.trace_sample, 128);
     }
 
     #[test]

@@ -103,6 +103,11 @@ pub struct Response {
     pub request: RequestId,
     /// Marshalled output parameters of the command.
     pub payload: Bytes,
+    /// `(group, stream seq)` of the batch that carried the command, set
+    /// on the replica's release path. The client proxy uses it to stamp
+    /// the final lifecycle trace stage at first receipt, so the traced
+    /// chain ends where the measured latency ends — at the client.
+    pub origin: Option<(usize, u64)>,
 }
 
 impl Response {
@@ -111,6 +116,7 @@ impl Response {
         Self {
             request,
             payload: payload.into(),
+            origin: None,
         }
     }
 }

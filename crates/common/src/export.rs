@@ -1,0 +1,235 @@
+//! Metrics exposition: a one-shot text dump and a periodic JSONL
+//! snapshotter.
+//!
+//! Both read a [`MetricsRegistry`] — counters, gauge `(current, max)`
+//! pairs and histogram summaries, labeled scopes included. The JSONL
+//! snapshotter appends one self-contained JSON object per period to a
+//! file, so a run leaves a coarse time series behind without any
+//! scrape infrastructure. JSON is hand-formatted: the workspace carries
+//! no JSON dependency.
+
+use crate::metrics::MetricsRegistry;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Replaces the two JSON-hostile characters a metric name could in
+/// principle carry; label syntax (`{}`, `=`, `,`) passes through.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c == '"' || c == '\\' { '_' } else { c })
+        .collect()
+}
+
+/// Renders the registry as a human-readable exposition dump: one line
+/// per instrument, labeled scopes alongside their rollups.
+pub fn expose_text(registry: &MetricsRegistry) -> String {
+    let snap = registry.snapshot();
+    let mut out = String::new();
+    out.push_str("# counters\n");
+    for (name, value) in &snap.counters {
+        let _ = writeln!(out, "{name} {value}");
+    }
+    out.push_str("# gauges (current / max)\n");
+    for (name, current, max) in &snap.gauges {
+        let _ = writeln!(out, "{name} {current} / {max}");
+    }
+    out.push_str("# histograms (count, mean/p50/p99/max ns)\n");
+    for (name, h) in registry.histograms() {
+        let _ = writeln!(
+            out,
+            "{name} {} {}/{}/{}/{}",
+            h.count(),
+            h.mean().as_nanos(),
+            h.percentile(50.0).as_nanos(),
+            h.percentile(99.0).as_nanos(),
+            h.max().as_nanos()
+        );
+    }
+    out
+}
+
+/// Renders one self-contained JSON object of the registry's current
+/// state — the line format of [`JsonlSnapshotter`].
+pub fn snapshot_json_line(registry: &MetricsRegistry) -> String {
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or(Duration::ZERO)
+        .as_millis();
+    let snap = registry.snapshot();
+    let mut out = String::new();
+    let _ = write!(out, "{{\"ts_ms\":{ts_ms},\"counters\":{{");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\"{}\":{value}", sanitize(name));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, current, max)) in snap.gauges.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\"{}\":{{\"current\":{current},\"max\":{max}}}",
+            sanitize(name)
+        );
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in registry.histograms().iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\"{}\":{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+            sanitize(name),
+            h.count(),
+            h.mean().as_nanos(),
+            h.percentile(50.0).as_nanos(),
+            h.percentile(99.0).as_nanos(),
+            h.max().as_nanos()
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+/// A background thread appending one metrics snapshot per period to a
+/// JSONL file.
+///
+/// Stop it explicitly with [`JsonlSnapshotter::stop`] (a final snapshot
+/// is appended so even sub-period runs capture something) or let `Drop`
+/// do the same.
+#[derive(Debug)]
+pub struct JsonlSnapshotter {
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+    path: PathBuf,
+}
+
+impl JsonlSnapshotter {
+    /// Spawns the snapshotter, appending to `path` every `period`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of opening (creating) `path` for append.
+    pub fn spawn(
+        registry: &'static MetricsRegistry,
+        path: impl Into<PathBuf>,
+        period: Duration,
+    ) -> io::Result<Self> {
+        let path = path.into();
+        let mut file: File = OpenOptions::new().create(true).append(true).open(&path)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("metrics-jsonl".into())
+            .spawn(move || {
+                let write_line = |file: &mut File| {
+                    let line = snapshot_json_line(registry);
+                    let _ = file
+                        .write_all(line.as_bytes())
+                        .and_then(|()| file.write_all(b"\n"))
+                        .and_then(|()| file.flush());
+                };
+                while !stop_flag.load(Ordering::Relaxed) {
+                    // Sleep in small steps so stop() returns promptly
+                    // even with a long period.
+                    let mut slept = Duration::ZERO;
+                    while slept < period && !stop_flag.load(Ordering::Relaxed) {
+                        let step = (period - slept).min(Duration::from_millis(20));
+                        thread::sleep(step);
+                        slept += step;
+                    }
+                    write_line(&mut file);
+                }
+            })
+            .expect("spawn metrics-jsonl thread");
+        Ok(Self {
+            stop,
+            handle: Some(handle),
+            path,
+        })
+    }
+
+    /// The file being appended to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Stops the thread after one final snapshot and returns the path.
+    pub fn stop(mut self) -> PathBuf {
+        self.halt();
+        self.path.clone()
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for JsonlSnapshotter {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{counters, gauges, global, histograms};
+
+    #[test]
+    fn text_dump_lists_every_instrument_kind() {
+        let registry = MetricsRegistry::new();
+        registry.counter(counters::WAL_APPENDS).add(3);
+        registry.gauge(gauges::WAL_INFLIGHT).set(5);
+        registry
+            .scoped("group", 1)
+            .histogram(histograms::WAL_FSYNC_NS)
+            .record(Duration::from_micros(80));
+        let text = expose_text(&registry);
+        assert!(text.contains("wal_appends 3"));
+        assert!(text.contains("wal_inflight 5 / 5"));
+        assert!(text.contains("wal_fsync_ns{group=1} 1 "));
+    }
+
+    #[test]
+    fn json_line_is_well_formed() {
+        let registry = MetricsRegistry::new();
+        registry.counter(counters::WAL_FSYNCS).inc();
+        registry.gauge(gauges::DELIVERY_QUEUE_DEPTH).set(2);
+        let line = snapshot_json_line(&registry);
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"ts_ms\":"));
+        assert!(line.contains("\"wal_fsyncs\":1"));
+        assert!(line.contains("\"delivery_queue_depth\":{\"current\":2,\"max\":2}"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn snapshotter_appends_lines_until_stopped() {
+        let path = std::env::temp_dir().join(format!(
+            "psmr-jsonl-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let snapshotter =
+            JsonlSnapshotter::spawn(global(), &path, Duration::from_millis(10)).expect("spawn");
+        std::thread::sleep(Duration::from_millis(40));
+        let written = snapshotter.stop();
+        assert_eq!(written, path);
+        let body = std::fs::read_to_string(&path).expect("snapshot file");
+        let lines: Vec<&str> = body.lines().collect();
+        assert!(!lines.is_empty(), "at least the final snapshot lands");
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

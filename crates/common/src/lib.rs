@@ -9,8 +9,13 @@
 //!   between client proxies and server proxies,
 //! * [`config`] — the knobs of the replicated system (multiprogramming
 //!   level, batching, acceptor counts, …),
-//! * [`metrics`] — latency histograms, CDFs and throughput meters used by
-//!   the evaluation harness,
+//! * [`metrics`] — latency histograms, CDFs, throughput meters and the
+//!   labeled counter/gauge/histogram registry used by the evaluation
+//!   harness and the instrumented hot path,
+//! * [`trace`] — sampled command-lifecycle tracing: per-stage latency of
+//!   decided batches through order → append → deliver → execute → release,
+//! * [`export`] — metrics exposition (one-shot text dump, periodic JSONL
+//!   snapshotter),
 //! * [`crc`] — the CRC-32 both durability layers (snapshot files, WAL
 //!   record frames) guard their bytes with,
 //! * [`cpu`] — Linux `/proc`-based CPU-utilization sampling, reproducing the
@@ -31,8 +36,10 @@ pub mod cpu;
 pub mod crc;
 pub mod envelope;
 pub mod error;
+pub mod export;
 pub mod ids;
 pub mod metrics;
+pub mod trace;
 
 pub use config::{ConfigError, SystemConfig};
 pub use envelope::{Request, Response};

@@ -13,6 +13,7 @@
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -71,12 +72,17 @@ impl Histogram {
         pow * SUB_BUCKETS + offset.min(SUB_BUCKETS - 1)
     }
 
-    /// Representative (upper-bound) value of a bucket, in nanoseconds.
+    /// Representative (midpoint) value of a bucket, in nanoseconds.
+    ///
+    /// The midpoint halves the worst-case bias of reporting a bucket
+    /// *bound*: percentiles land at most half a sub-bucket off in either
+    /// direction instead of up to a full sub-bucket high.
     fn bucket_value(index: usize) -> u64 {
         let pow = index / SUB_BUCKETS;
-        let sub = (index % SUB_BUCKETS) as u64 + 1;
+        let sub = (index % SUB_BUCKETS) as u64;
         let base = 1u64 << pow;
-        base + base * sub / SUB_BUCKETS as u64
+        // Midpoint of [base·(1 + sub/SUB), base·(1 + (sub+1)/SUB)).
+        base + base * (2 * sub + 1) / (2 * SUB_BUCKETS as u64)
     }
 
     /// Records one latency sample.
@@ -157,6 +163,19 @@ impl Histogram {
             }
         }
         points
+    }
+
+    /// Clears every bucket and aggregate back to the empty state.
+    ///
+    /// Not atomic with respect to concurrent recording — call between
+    /// runs, when the recording threads are quiesced.
+    pub fn clear(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
     }
 
     /// Merges another histogram's counts into this one.
@@ -256,6 +275,22 @@ pub struct PipelineStats {
     /// Largest open pipelined group-commit window observed (records
     /// appended but not yet fsynced).
     pub wal_inflight_max: u64,
+}
+
+impl PipelineStats {
+    /// Reads the run's pressure out of a delta snapshot (see
+    /// [`MetricsRegistry::snapshot_deltas`]): stall/hold counters arrive
+    /// as deltas over the run's baseline, gauge maxes as the run's own
+    /// peaks (the baseline cleared the high-water marks).
+    pub fn from_snapshot(snap: &MetricsSnapshot) -> Self {
+        Self {
+            delivery_backpressure_stalls: snap.counter(counters::DELIVERY_BACKPRESSURE_STALLS),
+            exec_backpressure_stalls: snap.counter(counters::EXEC_BACKPRESSURE_STALLS),
+            responses_held: snap.counter(counters::RESPONSES_HELD),
+            delivery_queue_max: snap.gauge_max(gauges::DELIVERY_QUEUE_DEPTH),
+            wal_inflight_max: snap.gauge_max(gauges::WAL_INFLIGHT),
+        }
+    }
 }
 
 /// One technique's row in a figure: the numbers the paper plots.
@@ -463,6 +498,18 @@ pub mod counters {
     /// Held-back responses released once the durability watermark caught
     /// up.
     pub const RESPONSES_RELEASED: &str = "responses_released";
+    /// Commands executed by replica workers. Workers record through
+    /// per-worker labeled views (`commands_executed{replica=R,worker=W}`)
+    /// that roll up here.
+    pub const COMMANDS_EXECUTED: &str = "commands_executed";
+}
+
+/// Well-known histogram names (see [`MetricsRegistry::histogram`]).
+pub mod histograms {
+    /// Observed latency of WAL commit `fsync`s. Recorded per group
+    /// (`wal_fsync_ns{group=G}`) with a global rollup — the input a
+    /// future adaptive `wal_sync_pace` controller needs.
+    pub const WAL_FSYNC_NS: &str = "wal_fsync_ns";
 }
 
 /// Well-known gauge names (see [`MetricsRegistry::gauge`]).
@@ -475,16 +522,59 @@ pub mod gauges {
     pub const WAL_INFLIGHT: &str = "wal_inflight";
 }
 
-/// A process-wide registry of named [`Counter`]s.
+/// A point-in-time (or delta, see [`MetricsRegistry::snapshot_deltas`])
+/// view of a registry: counters *and* gauges, both sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, count)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, current, max)` per gauge.
+    pub gauges: Vec<(String, u64, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// High-water mark of gauge `name` (0 if absent).
+    pub fn gauge_max(&self, name: &str) -> u64 {
+        self.gauges
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map_or(0, |(_, _, m)| *m)
+    }
+}
+
+/// Counter values at the start of a measured run, captured by
+/// [`MetricsRegistry::baseline`] so [`MetricsRegistry::snapshot_deltas`]
+/// can report only what the run itself did.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsBaseline {
+    counters: HashMap<String, u64>,
+}
+
+/// A process-wide registry of named [`Counter`]s, [`Gauge`]s and
+/// [`Histogram`]s.
 ///
 /// Components that would otherwise fail *silently* (request sinks whose
 /// server has gone away, retransmitting client proxies, the recovery
 /// machinery) record events here so tests and operators can observe
-/// them. Counters are created on first use and never removed.
+/// them. Instruments are created on first use and never removed.
+///
+/// Beyond the flat global names, [`MetricsRegistry::scoped`] opens a
+/// **labeled view** (`wal_fsyncs{group=3}`, `commands_executed{worker=1}`)
+/// whose instruments write through to the plain global name, so per-group
+/// and per-worker detail always rolls up to the familiar totals.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: Mutex<HashMap<String, Arc<Counter>>>,
     gauges: Mutex<HashMap<String, Arc<Gauge>>>,
+    histograms: Mutex<HashMap<String, Arc<Histogram>>>,
 }
 
 impl MetricsRegistry {
@@ -519,6 +609,31 @@ impl MetricsRegistry {
         }
     }
 
+    /// Returns (creating if needed) the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut histograms = self.histograms.lock();
+        match histograms.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::new());
+                histograms.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// Opens a labeled view of this registry: instruments resolved
+    /// through the returned scope record into both `name{key=value}` and
+    /// the plain `name` rollup. Chain [`MetricsScope::and`] for compound
+    /// labels. Resolve scoped instruments **once** (at spawn) — the
+    /// label formatting happens here, not on the hot path.
+    pub fn scoped(&self, key: &str, value: impl fmt::Display) -> MetricsScope<'_> {
+        MetricsScope {
+            registry: self,
+            label: format!("{key}={value}"),
+        }
+    }
+
     /// Convenience: current value of `name` (0 if never touched).
     pub fn value(&self, name: &str) -> u64 {
         self.counter(name).get()
@@ -529,16 +644,191 @@ impl MetricsRegistry {
         self.gauge(name).max()
     }
 
-    /// Snapshot of every `(name, count)` pair, sorted by name.
-    pub fn snapshot(&self) -> Vec<(String, u64)> {
-        let mut out: Vec<(String, u64)> = self
+    /// Every registered histogram as `(name, histogram)`, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        let mut out: Vec<(String, Arc<Histogram>)> = self
+            .histograms
+            .lock()
+            .iter()
+            .map(|(name, h)| (name.clone(), Arc::clone(h)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Snapshot of every counter and gauge, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<(String, u64)> = self
             .counters
             .lock()
             .iter()
             .map(|(name, c)| (name.clone(), c.get()))
             .collect();
-        out.sort();
-        out
+        counters.sort();
+        let mut gauges: Vec<(String, u64, u64)> = self
+            .gauges
+            .lock()
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get(), g.max()))
+            .collect();
+        gauges.sort();
+        MetricsSnapshot { counters, gauges }
+    }
+
+    /// Marks the start of a measured run: records every counter's
+    /// current value and clears every gauge's high-water mark, so a
+    /// later [`MetricsRegistry::snapshot_deltas`] reports only the run's
+    /// own events and peaks.
+    pub fn baseline(&self) -> MetricsBaseline {
+        let counters = self
+            .counters
+            .lock()
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        for gauge in self.gauges.lock().values() {
+            gauge.reset_max();
+        }
+        MetricsBaseline { counters }
+    }
+
+    /// Snapshot relative to `base`: counter values minus their baseline
+    /// (counters born after the baseline report their full value),
+    /// gauges as `(name, current, max-since-baseline)`.
+    pub fn snapshot_deltas(&self, base: &MetricsBaseline) -> MetricsSnapshot {
+        let mut snap = self.snapshot();
+        for (name, value) in &mut snap.counters {
+            *value -= base.counters.get(name.as_str()).copied().unwrap_or(0);
+        }
+        snap
+    }
+}
+
+/// A labeled view of a [`MetricsRegistry`] (see
+/// [`MetricsRegistry::scoped`]).
+#[derive(Debug, Clone)]
+pub struct MetricsScope<'a> {
+    registry: &'a MetricsRegistry,
+    label: String,
+}
+
+impl MetricsScope<'_> {
+    /// Extends the label with another `key=value` dimension:
+    /// `registry.scoped("replica", 0).and("worker", 3)` labels
+    /// instruments `{replica=0,worker=3}`.
+    pub fn and(mut self, key: &str, value: impl fmt::Display) -> Self {
+        use fmt::Write as _;
+        let _ = write!(self.label, ",{key}={value}");
+        self
+    }
+
+    /// The scope's rendered label, e.g. `group=3` or `replica=0,worker=3`.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn labeled(&self, name: &str) -> String {
+        format!("{name}{{{}}}", self.label)
+    }
+
+    /// Write-through counter pair: `name{label}` plus the `name` rollup.
+    pub fn counter(&self, name: &str) -> ScopedCounter {
+        ScopedCounter {
+            labeled: self.registry.counter(&self.labeled(name)),
+            rollup: self.registry.counter(name),
+        }
+    }
+
+    /// Write-through gauge pair: `name{label}` plus the `name` rollup.
+    pub fn gauge(&self, name: &str) -> ScopedGauge {
+        ScopedGauge {
+            labeled: self.registry.gauge(&self.labeled(name)),
+            rollup: self.registry.gauge(name),
+        }
+    }
+
+    /// Write-through histogram pair: `name{label}` plus the `name`
+    /// rollup.
+    pub fn histogram(&self, name: &str) -> ScopedHistogram {
+        ScopedHistogram {
+            labeled: self.registry.histogram(&self.labeled(name)),
+            rollup: self.registry.histogram(name),
+        }
+    }
+}
+
+/// A counter recording into a labeled name and its global rollup.
+#[derive(Debug, Clone)]
+pub struct ScopedCounter {
+    labeled: Arc<Counter>,
+    rollup: Arc<Counter>,
+}
+
+impl ScopedCounter {
+    /// Adds one event to the labeled counter and the rollup.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` events to the labeled counter and the rollup.
+    pub fn add(&self, n: u64) {
+        self.labeled.add(n);
+        self.rollup.add(n);
+    }
+
+    /// The labeled (per-scope) count.
+    pub fn get(&self) -> u64 {
+        self.labeled.get()
+    }
+}
+
+/// A gauge recording into a labeled name and its global rollup.
+#[derive(Debug, Clone)]
+pub struct ScopedGauge {
+    labeled: Arc<Gauge>,
+    rollup: Arc<Gauge>,
+}
+
+impl ScopedGauge {
+    /// Records `level` on the labeled gauge and the rollup.
+    pub fn set(&self, level: u64) {
+        self.labeled.set(level);
+        self.rollup.set(level);
+    }
+
+    /// The labeled (per-scope) current level.
+    pub fn get(&self) -> u64 {
+        self.labeled.get()
+    }
+
+    /// The labeled (per-scope) high-water mark.
+    pub fn max(&self) -> u64 {
+        self.labeled.max()
+    }
+}
+
+/// A histogram recording into a labeled name and its global rollup.
+#[derive(Debug, Clone)]
+pub struct ScopedHistogram {
+    labeled: Arc<Histogram>,
+    rollup: Arc<Histogram>,
+}
+
+impl ScopedHistogram {
+    /// Records one sample into the labeled histogram and the rollup.
+    pub fn record(&self, latency: Duration) {
+        self.labeled.record(latency);
+        self.rollup.record(latency);
+    }
+
+    /// The labeled (per-scope) sample count.
+    pub fn count(&self) -> u64 {
+        self.labeled.count()
+    }
+
+    /// The labeled (per-scope) histogram.
+    pub fn labeled(&self) -> &Histogram {
+        &self.labeled
     }
 }
 
@@ -567,12 +857,14 @@ mod tests {
         for us in 1..=1000u64 {
             h.record(Duration::from_micros(us));
         }
+        // Bucket midpoints bound the error at half a sub-bucket (~1.6%)
+        // either side of the true percentile, not a full bucket high.
         let p50 = h.percentile(50.0);
-        // Log-bucketing gives ~3% relative error plus bucket rounding.
-        assert!(p50 >= Duration::from_micros(450), "p50 = {p50:?}");
-        assert!(p50 <= Duration::from_micros(560), "p50 = {p50:?}");
+        assert!(p50 >= Duration::from_micros(485), "p50 = {p50:?}");
+        assert!(p50 <= Duration::from_micros(520), "p50 = {p50:?}");
         let p99 = h.percentile(99.0);
-        assert!(p99 >= Duration::from_micros(930), "p99 = {p99:?}");
+        assert!(p99 >= Duration::from_micros(975), "p99 = {p99:?}");
+        assert!(p99 <= Duration::from_micros(1010), "p99 = {p99:?}");
     }
 
     #[test]
@@ -654,7 +946,10 @@ mod tests {
         registry.counter(counters::REQUESTS_DROPPED).inc();
         assert_eq!(dropped.get(), 4);
         let snap = registry.snapshot();
-        assert!(snap.contains(&(counters::REQUESTS_DROPPED.to_string(), 4)));
+        assert!(snap
+            .counters
+            .contains(&(counters::REQUESTS_DROPPED.to_string(), 4)));
+        assert_eq!(snap.counter(counters::REQUESTS_DROPPED), 4);
     }
 
     #[test]
@@ -717,5 +1012,118 @@ mod tests {
             let err = (rep as f64 - ns as f64).abs() / ns as f64;
             assert!(err < 0.10, "ns={ns} rep={rep} err={err}");
         }
+    }
+
+    #[test]
+    fn clear_empties_a_histogram() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(10));
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+        assert!(h.cdf().is_empty());
+        h.record(Duration::from_micros(20));
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn snapshot_includes_gauge_rows() {
+        let registry = MetricsRegistry::new();
+        let depth = registry.gauge(gauges::DELIVERY_QUEUE_DEPTH);
+        depth.set(9);
+        depth.set(2);
+        let snap = registry.snapshot();
+        assert!(snap
+            .gauges
+            .contains(&(gauges::DELIVERY_QUEUE_DEPTH.to_string(), 2, 9)));
+        assert_eq!(snap.gauge_max(gauges::DELIVERY_QUEUE_DEPTH), 9);
+        assert_eq!(snap.gauge_max("never_set"), 0);
+    }
+
+    #[test]
+    fn baseline_and_deltas_isolate_a_run() {
+        let registry = MetricsRegistry::new();
+        let stalls = registry.counter(counters::DELIVERY_BACKPRESSURE_STALLS);
+        let depth = registry.gauge(gauges::DELIVERY_QUEUE_DEPTH);
+        stalls.add(10);
+        depth.set(50);
+        depth.set(0);
+
+        let base = registry.baseline();
+        stalls.add(3);
+        depth.set(7);
+        // A counter born after the baseline reports its full value.
+        registry.counter(counters::RESPONSES_HELD).add(2);
+
+        let snap = registry.snapshot_deltas(&base);
+        assert_eq!(snap.counter(counters::DELIVERY_BACKPRESSURE_STALLS), 3);
+        assert_eq!(snap.counter(counters::RESPONSES_HELD), 2);
+        assert_eq!(
+            snap.gauge_max(gauges::DELIVERY_QUEUE_DEPTH),
+            7,
+            "baseline cleared the pre-run high-water mark of 50"
+        );
+    }
+
+    #[test]
+    fn pipeline_stats_read_from_a_delta_snapshot() {
+        let registry = MetricsRegistry::new();
+        let base = registry.baseline();
+        registry
+            .counter(counters::DELIVERY_BACKPRESSURE_STALLS)
+            .add(4);
+        registry.counter(counters::RESPONSES_HELD).add(6);
+        registry.gauge(gauges::WAL_INFLIGHT).set(11);
+        let stats = PipelineStats::from_snapshot(&registry.snapshot_deltas(&base));
+        assert_eq!(stats.delivery_backpressure_stalls, 4);
+        assert_eq!(stats.responses_held, 6);
+        assert_eq!(stats.wal_inflight_max, 11);
+        assert_eq!(stats.exec_backpressure_stalls, 0);
+    }
+
+    #[test]
+    fn scoped_instruments_write_through_to_the_rollup() {
+        let registry = MetricsRegistry::new();
+        let scope = registry.scoped("group", 3);
+        assert_eq!(scope.label(), "group=3");
+
+        let scoped = scope.counter(counters::WAL_FSYNCS);
+        scoped.add(5);
+        assert_eq!(scoped.get(), 5);
+        assert_eq!(registry.value("wal_fsyncs{group=3}"), 5);
+        assert_eq!(registry.value(counters::WAL_FSYNCS), 5, "rollup sees it");
+        // A sibling scope shares the rollup but not the labeled counter.
+        registry
+            .scoped("group", 4)
+            .counter(counters::WAL_FSYNCS)
+            .inc();
+        assert_eq!(registry.value(counters::WAL_FSYNCS), 6);
+        assert_eq!(scoped.get(), 5);
+
+        let gauge = scope.gauge(gauges::WAL_INFLIGHT);
+        gauge.set(8);
+        assert_eq!(gauge.get(), 8);
+        assert_eq!(gauge.max(), 8);
+        assert_eq!(registry.gauge_max("wal_inflight{group=3}"), 8);
+        assert_eq!(registry.gauge_max(gauges::WAL_INFLIGHT), 8);
+
+        let hist = scope.histogram(histograms::WAL_FSYNC_NS);
+        hist.record(Duration::from_micros(120));
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.labeled().count(), 1);
+        assert_eq!(registry.histogram(histograms::WAL_FSYNC_NS).count(), 1);
+        let names: Vec<String> = registry.histograms().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["wal_fsync_ns", "wal_fsync_ns{group=3}"]);
+    }
+
+    #[test]
+    fn compound_labels_chain() {
+        let registry = MetricsRegistry::new();
+        let scope = registry.scoped("replica", 0).and("worker", 3);
+        assert_eq!(scope.label(), "replica=0,worker=3");
+        scope.counter(counters::COMMANDS_EXECUTED).inc();
+        assert_eq!(registry.value("commands_executed{replica=0,worker=3}"), 1);
+        assert_eq!(registry.value(counters::COMMANDS_EXECUTED), 1);
     }
 }

@@ -1,0 +1,538 @@
+//! Sampled command-lifecycle tracing.
+//!
+//! The pipelined hot path crosses many threads — coordinator batching,
+//! consensus, WAL append, fan-out, execution, fsync, response release —
+//! and an end-to-end latency histogram alone cannot localize a regression
+//! to a stage. This module stamps a **sampled** subset of decided batches
+//! (1-in-N, [`TraceRecorder::set_sample`], the `trace_sample` config knob)
+//! at each well-defined [`Stage`] and folds completed lifecycles into
+//! per-stage latency [`Histogram`]s, so one [`TraceReport`] answers
+//! "where does the time go?".
+//!
+//! Stamping is wait-free: a fixed open-addressed table of atomic slots,
+//! claimed on the first stamp ([`Stage::Submitted`]) and finalized on the
+//! last ([`Stage::Released`]). When the table is contended a trace is
+//! dropped (counted, never waited out), and an unclaimed trace makes every
+//! later stamp a no-op — tracing never blocks the hot path.
+//!
+//! The first [`CHAIN_INTERVALS`] intervals telescope: submitted → ordered
+//! → WAL-appended → delivered → execute-start → executed → released. Only
+//! lifecycles carrying **every** chain stamp are folded in, so the chain
+//! means sum exactly to the traced `end_to_end` mean — no unattributed
+//! time. `appended_to_durable` (pipelined WAL only) overlaps the chain
+//! and is reported separately.
+
+use crate::metrics::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Lifecycle stages a sampled batch is stamped at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// The first command of the batch entered its group's submit queue.
+    Submitted = 0,
+    /// The batch was decided by consensus and entered delivery.
+    Ordered = 1,
+    /// The batch was appended to its group's WAL (deployments without a
+    /// WAL stamp this immediately after ordering, so the chain closes).
+    WalAppended = 2,
+    /// A replica worker received the batch from its delivery stream.
+    Delivered = 3,
+    /// Execution of the batch's first command began.
+    ExecStart = 4,
+    /// Execution of the batch's first command finished.
+    Executed = 5,
+    /// A covering `fsync` made the batch durable (pipelined WAL only).
+    FsyncDurable = 6,
+    /// The first response for the batch was accepted by the issuing
+    /// client's proxy — the lifecycle ends where the client observes it.
+    Released = 7,
+}
+
+const N_STAGES: usize = 8;
+
+/// Names of the aggregated intervals, in [`TraceReport`] order. The first
+/// [`CHAIN_INTERVALS`] telescope from `Submitted` to `Released`.
+pub const INTERVAL_NAMES: [&str; 8] = [
+    "submit_to_ordered",
+    "ordered_to_appended",
+    "appended_to_delivered",
+    "delivered_to_exec",
+    "exec",
+    "executed_to_released",
+    "appended_to_durable",
+    "end_to_end",
+];
+
+/// How many of [`INTERVAL_NAMES`] form the telescoping chain whose means
+/// sum to the `end_to_end` mean.
+pub const CHAIN_INTERVALS: usize = 6;
+
+/// The chain stamps in lifecycle order; adjacent pairs bound the first
+/// [`CHAIN_INTERVALS`] intervals.
+const CHAIN: [Stage; 7] = [
+    Stage::Submitted,
+    Stage::Ordered,
+    Stage::WalAppended,
+    Stage::Delivered,
+    Stage::ExecStart,
+    Stage::Executed,
+    Stage::Released,
+];
+
+const SLOTS: usize = 1024;
+const PROBES: usize = 8;
+/// Slot-key sentinel held while one thread folds a finished lifecycle;
+/// late stamps see neither `0` nor their key and become no-ops.
+const FINALIZING: u64 = u64::MAX;
+const SEQ_MASK: u64 = (1 << 48) - 1;
+
+#[derive(Debug)]
+struct Slot {
+    key: AtomicU64,
+    stamps: [AtomicU64; N_STAGES],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            key: AtomicU64::new(0),
+            stamps: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A wait-free recorder of sampled batch lifecycles.
+///
+/// Instrumented components stamp the process-wide [`global`] recorder;
+/// tests and harnesses may hold their own instance.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    epoch: Instant,
+    sample: AtomicU64,
+    slots: Vec<Slot>,
+    intervals: [Histogram; INTERVAL_NAMES.len()],
+    traced: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder with sampling **off** (`sample == 0`). The
+    /// multicast substrate enables it at spawn from the deployment's
+    /// `trace_sample` knob.
+    pub fn new() -> Self {
+        let mut slots = Vec::with_capacity(SLOTS);
+        slots.resize_with(SLOTS, Slot::new);
+        Self {
+            epoch: Instant::now(),
+            sample: AtomicU64::new(0),
+            slots,
+            intervals: std::array::from_fn(|_| Histogram::new()),
+            traced: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the sampling rate: every N-th batch sequence per group is
+    /// traced; `0` disables tracing entirely.
+    pub fn set_sample(&self, n: u64) {
+        self.sample.store(n, Ordering::Relaxed);
+    }
+
+    /// The current sampling rate (`0` = off).
+    pub fn sample(&self) -> u64 {
+        self.sample.load(Ordering::Relaxed)
+    }
+
+    /// Whether batch sequence `seq` is in the sample.
+    pub fn sampled(&self, seq: u64) -> bool {
+        let n = self.sample.load(Ordering::Relaxed);
+        n != 0 && seq.is_multiple_of(n)
+    }
+
+    fn key(group: usize, seq: u64) -> u64 {
+        ((group as u64 + 1) << 48) | (seq & SEQ_MASK)
+    }
+
+    fn index(key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 54) as usize % SLOTS
+    }
+
+    /// Nanoseconds since the recorder's epoch, offset by one so `0`
+    /// always means "not stamped".
+    fn stamp_ns(&self, at: Instant) -> u64 {
+        let ns = at.saturating_duration_since(self.epoch).as_nanos();
+        ns.min(u128::from(u64::MAX - 1)) as u64 + 1
+    }
+
+    /// Stamps `stage` for batch `(group, seq)` at the current instant.
+    /// A no-op unless `seq` is sampled and (for stages after
+    /// [`Stage::Submitted`]) the lifecycle was successfully claimed.
+    pub fn stamp(&self, group: usize, seq: u64, stage: Stage) {
+        self.stamp_at(group, seq, stage, Instant::now());
+    }
+
+    /// Like [`TraceRecorder::stamp`] with an explicit timestamp — used
+    /// where the event time precedes the stamping point (a coordinator
+    /// stamps `Submitted` with the instant the batch *opened*).
+    pub fn stamp_at(&self, group: usize, seq: u64, stage: Stage, at: Instant) {
+        if !self.sampled(seq) {
+            return;
+        }
+        let key = Self::key(group, seq);
+        let slot = if stage == Stage::Submitted {
+            self.claim(key)
+        } else {
+            self.lookup(key)
+        };
+        let Some(slot) = slot else { return };
+        let t = self.stamp_ns(at);
+        // First stamp wins: a batch carries many commands and the first
+        // one through each stage defines the batch's stage time.
+        let first = slot.stamps[stage as usize]
+            .compare_exchange(0, t, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok();
+        if first && stage == Stage::Released {
+            self.finalize(slot, key);
+        }
+    }
+
+    /// Stamps [`Stage::FsyncDurable`] for every sampled sequence in
+    /// `(after, upto]` — the range one covering `fsync` just made
+    /// durable. Called by the WAL sync thread before it publishes the
+    /// new watermark, so the stamp always precedes the release.
+    pub fn stamp_durable_range(&self, group: usize, after: u64, upto: u64) {
+        let n = self.sample.load(Ordering::Relaxed);
+        if n == 0 || upto <= after || upto == u64::MAX {
+            return;
+        }
+        let mut seq = (after / n + 1) * n; // first sampled seq > after
+        while seq <= upto {
+            self.stamp(group, seq, Stage::FsyncDurable);
+            seq += n;
+        }
+    }
+
+    fn claim(&self, key: u64) -> Option<&Slot> {
+        let h = Self::index(key);
+        for i in 0..PROBES {
+            let slot = &self.slots[(h + i) % SLOTS];
+            match slot
+                .key
+                .compare_exchange(0, key, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => return Some(slot),
+                Err(cur) if cur == key => return Some(slot),
+                Err(_) => continue,
+            }
+        }
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    fn lookup(&self, key: u64) -> Option<&Slot> {
+        let h = Self::index(key);
+        for i in 0..PROBES {
+            let slot = &self.slots[(h + i) % SLOTS];
+            if slot.key.load(Ordering::Acquire) == key {
+                return Some(slot);
+            }
+        }
+        None
+    }
+
+    /// Folds a finished lifecycle into the interval histograms and frees
+    /// its slot. Exactly one thread gets past the `FINALIZING` swap.
+    fn finalize(&self, slot: &Slot, key: u64) {
+        if slot
+            .key
+            .compare_exchange(key, FINALIZING, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let mut st = [0u64; N_STAGES];
+        for (i, s) in slot.stamps.iter().enumerate() {
+            st[i] = s.load(Ordering::Acquire);
+        }
+        // Only complete chains are folded in: every chain interval then
+        // aggregates the same lifecycles, so their means telescope to
+        // exactly the end_to_end mean.
+        if CHAIN.iter().all(|s| st[*s as usize] != 0) {
+            for (i, pair) in CHAIN.windows(2).enumerate() {
+                let d = st[pair[1] as usize].saturating_sub(st[pair[0] as usize]);
+                self.intervals[i].record(Duration::from_nanos(d));
+            }
+            let e2e = st[Stage::Released as usize].saturating_sub(st[Stage::Submitted as usize]);
+            self.intervals[7].record(Duration::from_nanos(e2e));
+            self.traced.fetch_add(1, Ordering::Relaxed);
+        }
+        let appended = st[Stage::WalAppended as usize];
+        let durable = st[Stage::FsyncDurable as usize];
+        if appended != 0 && durable != 0 {
+            self.intervals[6].record(Duration::from_nanos(durable.saturating_sub(appended)));
+        }
+        for s in slot.stamps.iter() {
+            s.store(0, Ordering::Relaxed);
+        }
+        slot.key.store(0, Ordering::Release);
+    }
+
+    /// Lifecycles folded into the chain intervals so far.
+    pub fn traced(&self) -> u64 {
+        self.traced.load(Ordering::Relaxed)
+    }
+
+    /// Sampled lifecycles dropped because the slot table was contended.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots the aggregated per-stage statistics.
+    pub fn report(&self) -> TraceReport {
+        let intervals = INTERVAL_NAMES
+            .iter()
+            .zip(self.intervals.iter())
+            .map(|(name, h)| IntervalStats {
+                name,
+                count: h.count(),
+                mean: h.mean(),
+                p50: h.percentile(50.0),
+                p99: h.percentile(99.0),
+                max: h.max(),
+            })
+            .collect();
+        TraceReport {
+            intervals,
+            traced: self.traced(),
+            dropped: self.dropped(),
+        }
+    }
+
+    /// Clears every aggregate and every in-flight slot. Call between
+    /// measured runs (with the pipeline quiesced) so a run's report only
+    /// reflects its own lifecycles.
+    pub fn reset(&self) {
+        for h in &self.intervals {
+            h.clear();
+        }
+        self.traced.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
+        for slot in &self.slots {
+            for s in &slot.stamps {
+                s.store(0, Ordering::Relaxed);
+            }
+            slot.key.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Aggregated statistics of one traced interval.
+#[derive(Debug, Clone)]
+pub struct IntervalStats {
+    /// Interval name (see [`INTERVAL_NAMES`]).
+    pub name: &'static str,
+    /// Lifecycles folded into this interval.
+    pub count: u64,
+    /// Arithmetic mean (exact, not bucketed).
+    pub mean: Duration,
+    /// Median (log-bucketed, ~3% relative error).
+    pub p50: Duration,
+    /// 99th percentile (log-bucketed).
+    pub p99: Duration,
+    /// Largest observed value.
+    pub max: Duration,
+}
+
+/// A snapshot of every aggregated interval plus the trace bookkeeping.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// One entry per [`INTERVAL_NAMES`] name, in that order.
+    pub intervals: Vec<IntervalStats>,
+    /// Complete lifecycles folded into the chain intervals.
+    pub traced: u64,
+    /// Sampled lifecycles dropped to slot-table contention.
+    pub dropped: u64,
+}
+
+impl TraceReport {
+    /// The statistics of interval `name`, if present.
+    pub fn stat(&self, name: &str) -> Option<&IntervalStats> {
+        self.intervals.iter().find(|s| s.name == name)
+    }
+
+    /// Sum of the chain-interval means — the traced end-to-end mean
+    /// reconstructed stage by stage.
+    pub fn chain_sum(&self) -> Duration {
+        self.intervals
+            .iter()
+            .take(CHAIN_INTERVALS)
+            .map(|s| s.mean)
+            .sum()
+    }
+
+    /// Percentage of `measured_e2e` (e.g. a client-side mean latency)
+    /// the chain accounts for. Returns `0.0` when `measured_e2e` is
+    /// zero or nothing was traced.
+    pub fn attributed_pct(&self, measured_e2e: Duration) -> f64 {
+        if measured_e2e.is_zero() || self.traced == 0 {
+            return 0.0;
+        }
+        self.chain_sum().as_secs_f64() / measured_e2e.as_secs_f64() * 100.0
+    }
+}
+
+/// The process-wide recorder every instrumented stage stamps into.
+pub fn global() -> &'static TraceRecorder {
+    static GLOBAL: OnceLock<TraceRecorder> = OnceLock::new();
+    GLOBAL.get_or_init(TraceRecorder::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_chain(rec: &TraceRecorder, group: usize, seq: u64, t0: Instant) {
+        let step = Duration::from_millis(1);
+        for (i, stage) in CHAIN.iter().enumerate() {
+            rec.stamp_at(group, seq, *stage, t0 + step * i as u32);
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_ignores_stamps() {
+        let rec = TraceRecorder::new();
+        assert_eq!(rec.sample(), 0);
+        full_chain(&rec, 0, 0, Instant::now());
+        let report = rec.report();
+        assert_eq!(report.traced, 0);
+        assert!(report.intervals.iter().all(|s| s.count == 0));
+    }
+
+    #[test]
+    fn sampling_selects_every_nth_sequence() {
+        let rec = TraceRecorder::new();
+        rec.set_sample(4);
+        assert!(rec.sampled(0));
+        assert!(!rec.sampled(1));
+        assert!(rec.sampled(8));
+        rec.set_sample(0);
+        assert!(!rec.sampled(0));
+    }
+
+    #[test]
+    fn complete_chain_telescopes_exactly() {
+        let rec = TraceRecorder::new();
+        rec.set_sample(1);
+        let t0 = Instant::now();
+        full_chain(&rec, 2, 7, t0);
+        let report = rec.report();
+        assert_eq!(report.traced, 1);
+        for stat in report.intervals.iter().take(CHAIN_INTERVALS) {
+            assert_eq!(stat.count, 1, "{} must have one sample", stat.name);
+        }
+        let e2e = report.stat("end_to_end").expect("e2e").mean;
+        // Means are exact (total/count), so the telescoped sum matches
+        // end-to-end to the nanosecond.
+        assert_eq!(report.chain_sum(), e2e);
+        assert!((report.attributed_pct(e2e) - 100.0).abs() < 1e-9);
+        // Finalize freed the slot: the aggregates survive, the slot is
+        // reusable for the same key.
+        full_chain(&rec, 2, 7, t0);
+        assert_eq!(rec.report().traced, 2);
+    }
+
+    #[test]
+    fn incomplete_chain_is_not_folded() {
+        let rec = TraceRecorder::new();
+        rec.set_sample(1);
+        let t0 = Instant::now();
+        rec.stamp_at(0, 3, Stage::Submitted, t0);
+        rec.stamp_at(0, 3, Stage::Ordered, t0 + Duration::from_millis(1));
+        // No WalAppended/Delivered/Exec* stamps: released closes the
+        // lifecycle but nothing is attributed.
+        rec.stamp_at(0, 3, Stage::Released, t0 + Duration::from_millis(2));
+        let report = rec.report();
+        assert_eq!(report.traced, 0);
+        assert_eq!(report.stat("end_to_end").expect("e2e").count, 0);
+    }
+
+    #[test]
+    fn first_stamp_wins_within_a_batch() {
+        let rec = TraceRecorder::new();
+        rec.set_sample(1);
+        let t0 = Instant::now();
+        rec.stamp_at(1, 0, Stage::Submitted, t0);
+        // A second command of the same batch re-stamps later: ignored.
+        rec.stamp_at(1, 0, Stage::Submitted, t0 + Duration::from_millis(50));
+        for (i, stage) in CHAIN.iter().enumerate().skip(1) {
+            rec.stamp_at(1, 0, *stage, t0 + Duration::from_millis(i as u64));
+        }
+        let e2e = rec.report().stat("end_to_end").expect("e2e").mean;
+        assert!(
+            e2e >= Duration::from_millis(5),
+            "e2e measured from the first Submitted stamp, got {e2e:?}"
+        );
+    }
+
+    #[test]
+    fn durable_range_stamps_only_sampled_sequences() {
+        let rec = TraceRecorder::new();
+        rec.set_sample(4);
+        let t0 = Instant::now();
+        // Open lifecycles for seqs 4 and 8 with an appended stamp.
+        for seq in [4u64, 8] {
+            rec.stamp_at(0, seq, Stage::Submitted, t0);
+            rec.stamp_at(0, seq, Stage::WalAppended, t0 + Duration::from_millis(1));
+        }
+        rec.stamp_durable_range(0, 3, 9);
+        for seq in [4u64, 8] {
+            rec.stamp(0, seq, Stage::Released);
+        }
+        let report = rec.report();
+        assert_eq!(report.stat("appended_to_durable").expect("a2d").count, 2);
+        // Chain incomplete (no Delivered/Exec stamps): not traced.
+        assert_eq!(report.traced, 0);
+    }
+
+    #[test]
+    fn contended_table_drops_instead_of_blocking() {
+        let rec = TraceRecorder::new();
+        rec.set_sample(1);
+        // Claim more lifecycles than the table holds without releasing.
+        for seq in 0..(SLOTS as u64 + 64) {
+            rec.stamp(0, seq, Stage::Submitted);
+        }
+        assert!(rec.dropped() > 0, "overflow must drop, not wedge");
+    }
+
+    #[test]
+    fn reset_clears_aggregates_and_slots() {
+        let rec = TraceRecorder::new();
+        rec.set_sample(1);
+        full_chain(&rec, 0, 0, Instant::now());
+        rec.stamp(0, 1, Stage::Submitted); // left in flight
+        assert_eq!(rec.report().traced, 1);
+        rec.reset();
+        let report = rec.report();
+        assert_eq!(report.traced, 0);
+        assert!(report.intervals.iter().all(|s| s.count == 0));
+        // The in-flight slot was wiped: a fresh lifecycle works.
+        full_chain(&rec, 0, 1, Instant::now());
+        assert_eq!(rec.report().traced, 1);
+    }
+
+    #[test]
+    fn global_recorder_is_shared() {
+        let a = global();
+        let b = global();
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -18,6 +18,7 @@ use crossbeam::channel::Receiver;
 use psmr_common::envelope::{Request, Response};
 use psmr_common::ids::{ClientId, CommandId, RequestId};
 use psmr_common::metrics::{counters, global};
+use psmr_common::trace::{self, Stage};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -148,6 +149,12 @@ impl ClientProxy {
                 .recv()
                 .expect("engine shut down with requests outstanding");
             if self.outstanding.remove(&resp.request).is_some() {
+                // The chain's last stage: the lifecycle ends where the
+                // client observes the response, not where the replica
+                // sent it.
+                if let Some((group, seq)) = resp.origin {
+                    trace::global().stamp(group, seq, Stage::Released);
+                }
                 return (resp.request, resp.payload);
             }
             // Duplicate from another replica: drop.
@@ -158,6 +165,9 @@ impl ClientProxy {
     pub fn try_recv_response(&mut self) -> Option<(RequestId, Bytes)> {
         while let Ok(resp) = self.inbox.try_recv() {
             if self.outstanding.remove(&resp.request).is_some() {
+                if let Some((group, seq)) = resp.origin {
+                    trace::global().stamp(group, seq, Stage::Released);
+                }
                 return Some((resp.request, resp.payload));
             }
         }

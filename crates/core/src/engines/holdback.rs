@@ -122,9 +122,14 @@ impl ResponseGate {
     /// executing workers release each other's holds with no extra
     /// thread wakeup, and the dedicated release thread only mops up
     /// when traffic goes quiet.
-    pub fn respond_at(&self, group: GroupId, seq: u64, client: ClientId, response: Response) {
+    pub fn respond_at(&self, group: GroupId, seq: u64, client: ClientId, mut response: Response) {
+        // Tag the response with its stream provenance so the client proxy
+        // can stamp the final lifecycle trace stage at first receipt.
+        response.origin = Some((group.as_raw(), seq));
         match &self.state {
-            None => self.router.respond(client, response),
+            None => {
+                self.router.respond(client, response);
+            }
             Some(state) => {
                 // Fast path: the covering fsync already landed (the sync
                 // thread usually wins the race against execution).

@@ -51,7 +51,8 @@ use crate::remap::RemappableMap;
 use crate::service::{RecoverableService, ResponseRouter, Service, SharedRouter};
 use psmr_common::envelope::{Request, Response};
 use psmr_common::ids::{ClientId, GroupId, ReplicaId, WorkerId};
-use psmr_common::metrics::{counters, global};
+use psmr_common::metrics::{counters, global, ScopedCounter};
+use psmr_common::trace::{self, Stage};
 use psmr_common::SystemConfig;
 use psmr_multicast::{MergedStream, MulticastSystem};
 use psmr_recovery::{CheckpointStore, RecoveryError, CHECKPOINT};
@@ -359,6 +360,10 @@ impl PsmrEngine {
                 all_group,
                 kill: Arc::clone(&kill),
                 hook: hook.clone(),
+                executed: global()
+                    .scoped("replica", replica as u64)
+                    .and("worker", i as u64)
+                    .counter(counters::COMMANDS_EXECUTED),
             };
             threads.push(
                 std::thread::Builder::new()
@@ -591,6 +596,9 @@ struct WorkerCtx<S> {
     all_group: GroupId,
     kill: Arc<AtomicBool>,
     hook: Option<CheckpointHook>,
+    /// Per-replica/per-worker executed-command counter, resolved once at
+    /// spawn so the hot path never formats a label.
+    executed: ScopedCounter,
 }
 
 /// The body of worker thread `t_i` — Algorithm 1, lines 7–26, plus the
@@ -606,6 +614,11 @@ fn worker_main<S: Service>(mut ctx: WorkerCtx<S>, mut stream: MergedStream) {
             Ok(None) => continue, // idle poll: re-check the crash flag
             Err(_) => return,     // system shut down
         };
+        trace::global().stamp(
+            delivered.group.as_raw(),
+            delivered.batch_seq,
+            Stage::Delivered,
+        );
         let Ok(req) = Request::decode(&delivered.payload) else {
             debug_assert!(false, "malformed request on stream {}", delivered.group);
             continue;
@@ -614,7 +627,18 @@ fn worker_main<S: Service>(mut ctx: WorkerCtx<S>, mut stream: MergedStream) {
             // Parallel mode (lines 10–13): multicast to a single group.
             // The response releases once the batch is durable (gated
             // deployments) — execution itself never waits.
+            trace::global().stamp(
+                delivered.group.as_raw(),
+                delivered.batch_seq,
+                Stage::ExecStart,
+            );
             let resp = ctx.service.execute(req.command, &req.payload);
+            ctx.executed.inc();
+            trace::global().stamp(
+                delivered.group.as_raw(),
+                delivered.batch_seq,
+                Stage::Executed,
+            );
             ctx.gate.respond_at(
                 delivered.group,
                 delivered.batch_seq,
@@ -649,6 +673,11 @@ fn worker_main<S: Service>(mut ctx: WorkerCtx<S>, mut stream: MergedStream) {
             // CHECKPOINT snapshots the quiesced state at this exact cut,
             // REMAP reconfigures the routing tables. Everything else
             // executes normally.
+            trace::global().stamp(
+                delivered.group.as_raw(),
+                delivered.batch_seq,
+                Stage::ExecStart,
+            );
             let resp = if req.command == CHECKPOINT {
                 match &ctx.hook {
                     Some(hook) => hook.execute(&delivered),
@@ -659,9 +688,18 @@ fn worker_main<S: Service>(mut ctx: WorkerCtx<S>, mut stream: MergedStream) {
             } else {
                 match ctx.map.try_install(req.command, &req.payload) {
                     Some(resp) => resp,
-                    None => ctx.service.execute(req.command, &req.payload),
+                    None => {
+                        let resp = ctx.service.execute(req.command, &req.payload);
+                        ctx.executed.inc();
+                        resp
+                    }
                 }
             };
+            trace::global().stamp(
+                delivered.group.as_raw(),
+                delivered.batch_seq,
+                Stage::Executed,
+            );
             ctx.gate.respond_at(
                 delivered.group,
                 delivered.batch_seq,

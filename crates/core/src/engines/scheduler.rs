@@ -19,6 +19,7 @@ use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use psmr_common::envelope::{Request, Response};
 use psmr_common::ids::GroupId;
 use psmr_common::metrics::{counters, global};
+use psmr_common::trace::{self, Stage};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -72,7 +73,13 @@ impl ExecStage {
                     .spawn(move || {
                         while let Ok(sched) = rx.recv() {
                             let req = sched.req;
+                            trace::global().stamp(
+                                sched.group.as_raw(),
+                                sched.seq,
+                                Stage::ExecStart,
+                            );
                             let resp = service.execute(req.command, &req.payload);
+                            trace::global().stamp(sched.group.as_raw(), sched.seq, Stage::Executed);
                             gate.respond_at(
                                 sched.group,
                                 sched.seq,
@@ -137,6 +144,7 @@ impl ExecStage {
     /// scheduler's only entry point; calling it from a single thread
     /// with the replica's delivery order yields deterministic execution.
     pub fn schedule(&mut self, req: Request, group: GroupId, seq: u64) {
+        trace::global().stamp(group.as_raw(), seq, Stage::Delivered);
         let k = self.worker_count();
         let sched = Sched { req, group, seq };
         match self.map.class(sched.req.command) {

@@ -3,7 +3,8 @@
 use crate::merge::MergedStream;
 use bytes::Bytes;
 use psmr_common::ids::{GroupId, WorkerId};
-use psmr_common::SystemConfig;
+use psmr_common::metrics::{global, histograms};
+use psmr_common::{trace, SystemConfig};
 use psmr_netsim::live::LiveNet;
 use psmr_paxos::runtime::{
     acceptor_node, DurabilityHub, GroupHandle, NetMsg, Pacing, PaxosGroup, WalMode, WalSyncer,
@@ -40,6 +41,12 @@ fn group_wal_mode(cfg: &SystemConfig, gid: usize, syncer: &Option<Arc<WalSyncer>
     };
     let wal =
         Arc::new(Wal::open(dir.join(format!("g{gid}")), opts).expect("open group write-ahead log"));
+    // Observed fsync latency, labeled per group and rolled up globally.
+    wal.observe_fsync(
+        global()
+            .scoped("group", gid)
+            .histogram(histograms::WAL_FSYNC_NS),
+    );
     match syncer {
         Some(syncer) => WalMode::Pipelined {
             wal,
@@ -219,6 +226,7 @@ impl MulticastSystem {
     pub fn spawn(cfg: &SystemConfig) -> Self {
         cfg.validate()
             .unwrap_or_else(|e| panic!("invalid SystemConfig: {e}"));
+        trace::global().set_sample(cfg.trace_sample);
         let syncer = deployment_syncer(cfg);
         let mut tick_txs = Vec::with_capacity(cfg.group_count());
         let groups = (0..cfg.group_count())
@@ -280,6 +288,7 @@ impl MulticastSystem {
     pub fn spawn_single(cfg: &SystemConfig) -> Self {
         cfg.validate()
             .unwrap_or_else(|e| panic!("invalid SystemConfig: {e}"));
+        trace::global().set_sample(cfg.trace_sample);
         let mut single = cfg.clone();
         single.mpl = 1;
         let syncer = deployment_syncer(cfg);

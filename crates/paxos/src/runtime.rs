@@ -24,6 +24,7 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 use psmr_common::metrics::{counters, gauges, global};
+use psmr_common::trace::{self, Stage};
 use psmr_common::SystemConfig;
 use psmr_netsim::live::LiveNet;
 use psmr_netsim::sim::NodeId;
@@ -197,6 +198,9 @@ impl WalMode {
 #[derive(Debug)]
 struct Pipeline {
     wal: Arc<Wal>,
+    /// Which group this log belongs to — labels the trace stamps the
+    /// sync thread emits when a pass advances the watermark.
+    group: usize,
     /// Highest stream seq appended to the log so far.
     appended: AtomicU64,
     /// Highest appended seq whose batch **carries commands** — the part
@@ -212,11 +216,12 @@ struct Pipeline {
 }
 
 impl Pipeline {
-    fn new(wal: Arc<Wal>) -> Self {
+    fn new(wal: Arc<Wal>, group: usize) -> Self {
         // Everything replayed from disk at open is already durable.
         let durable = wal.durable_next_seq().saturating_sub(1);
         Self {
             wal,
+            group,
             appended: AtomicU64::new(durable),
             urgent: AtomicU64::new(durable),
             durable: AtomicU64::new(durable),
@@ -360,6 +365,9 @@ fn sync_pass(
         inflight_gauge.set(pipeline.appended.load(Ordering::Acquire) - durable);
         if pipeline.wal.sync().is_ok() {
             let synced = pipeline.wal.durable_next_seq().saturating_sub(1);
+            // Stamp before publishing the watermark so a traced batch can
+            // never observe its release without the durability stamp.
+            trace::global().stamp_durable_range(pipeline.group, durable, synced);
             pipeline.durable.store(synced, Ordering::Release);
         } else {
             global().counter(counters::WAL_SYNC_FAILURES).inc();
@@ -438,7 +446,10 @@ struct StreamState {
 
 #[derive(Debug)]
 struct Inner {
-    submit_tx: Sender<Bytes>,
+    /// Commands queued for ordering, each carrying its enqueue time so the
+    /// `Submitted` trace stamp covers the channel wait (the proposer loop
+    /// can lag behind arrivals, e.g. while an inline-mode fsync runs).
+    submit_tx: Sender<(Instant, Bytes)>,
     stream: Mutex<StreamState>,
     /// Pipelined-commit state of a [`WalMode::Pipelined`] group, plus
     /// the deployment syncer to nudge after urgent appends.
@@ -467,6 +478,9 @@ impl Inner {
     /// lock. Only the single ordering thread calls this, so the
     /// out-of-lock sends stay in stream order.
     fn deliver(&self, batch: Arc<DecidedBatch>) {
+        if !batch.is_skip() {
+            trace::global().stamp(self.group_id, batch.seq, Stage::Ordered);
+        }
         let targets: Vec<Sender<Arc<DecidedBatch>>> = {
             let mut stream = self.stream.lock();
             debug_assert_eq!(batch.seq, stream.next_seq, "stream must stay contiguous");
@@ -499,6 +513,12 @@ impl Inner {
                         }
                     }
                 }
+            }
+            // Stamped whether or not a WAL is attached: in a no-WAL
+            // deployment the append is a no-op and the stage collapses to
+            // zero width, keeping the interval chain complete.
+            if !batch.is_skip() {
+                trace::global().stamp(self.group_id, batch.seq, Stage::WalAppended);
             }
             stream.next_seq = batch.seq + 1;
             stream.log.push_back(Arc::clone(&batch));
@@ -660,13 +680,13 @@ impl PaxosGroup {
         }
         let (pipeline, syncer) = match &mode {
             WalMode::Pipelined { wal, syncer } => {
-                let pipeline = Arc::new(Pipeline::new(Arc::clone(wal)));
+                let pipeline = Arc::new(Pipeline::new(Arc::clone(wal), group_id));
                 syncer.attach(Arc::clone(&pipeline));
                 (Some(pipeline), Some(Arc::clone(syncer)))
             }
             _ => (None, None),
         };
-        let (submit_tx, submit_rx) = bounded::<Bytes>(16 * 1024);
+        let (submit_tx, submit_rx) = bounded::<(Instant, Bytes)>(16 * 1024);
         let inner = Arc::new(Inner {
             submit_tx,
             stream: Mutex::new(StreamState {
@@ -760,7 +780,12 @@ impl GroupHandle {
             global().counter(counters::REQUESTS_DROPPED).inc();
             return;
         }
-        if self.inner.submit_tx.send(command).is_err() {
+        if self
+            .inner
+            .submit_tx
+            .send((Instant::now(), command))
+            .is_err()
+        {
             global().counter(counters::REQUESTS_DROPPED).inc();
         }
     }
@@ -995,7 +1020,7 @@ fn acceptor_main(
 fn coordinator_main(
     cfg: SystemConfig,
     inner: Arc<Inner>,
-    submit_rx: Receiver<Bytes>,
+    submit_rx: Receiver<(Instant, Bytes)>,
     inbox: Receiver<(NodeId, NetMsg)>,
     pacing: Pacing,
 ) {
@@ -1049,7 +1074,7 @@ fn coordinator_main(
 fn batched_main(
     cfg: SystemConfig,
     inner: Arc<Inner>,
-    submit_rx: Receiver<Bytes>,
+    submit_rx: Receiver<(Instant, Bytes)>,
     inbox: Receiver<(NodeId, NetMsg)>,
     mut prop: Proposer<Batch>,
     broadcast: impl Fn(Vec<NetMsg>),
@@ -1063,7 +1088,15 @@ fn batched_main(
     let seq_base = inner.stream.lock().next_seq;
     let mut batch: Vec<Bytes> = Vec::new();
     let mut batch_bytes = 0usize;
+    // Linger timer: when this loop *saw* the batch's first command.
     let mut batch_opened_at: Option<Instant> = None;
+    // Trace origin: when that command was *enqueued* — includes the
+    // channel wait, which grows whenever this loop lags behind arrivals.
+    let mut batch_arrived_at: Option<Instant> = None;
+    // Mirrors the proposer's instance counter (instances are assigned
+    // sequentially in submission order), so the stream seq of a batch is
+    // known at submit time — where the Submitted trace stamp belongs.
+    let mut submitted: u64 = 0;
 
     loop {
         if inner.shutdown.load(Ordering::Relaxed) {
@@ -1092,11 +1125,12 @@ fn batched_main(
         };
         crossbeam::channel::select! {
             recv(submit_rx) -> cmd => {
-                if let Ok(cmd) = cmd {
+                if let Ok((at, cmd)) = cmd {
                     batch_bytes += cmd.len();
                     batch.push(cmd);
                     if batch_opened_at.is_none() {
                         batch_opened_at = Some(Instant::now());
+                        batch_arrived_at = Some(at);
                     }
                 }
             }
@@ -1111,11 +1145,12 @@ fn batched_main(
         // Drain whatever else is queued, without blocking.
         while batch_bytes < cfg.batch_bytes {
             match submit_rx.try_recv() {
-                Ok(cmd) => {
+                Ok((at, cmd)) => {
                     batch_bytes += cmd.len();
                     batch.push(cmd);
                     if batch_opened_at.is_none() {
                         batch_opened_at = Some(Instant::now());
+                        batch_arrived_at = Some(at);
                     }
                 }
                 Err(_) => break,
@@ -1136,6 +1171,15 @@ fn batched_main(
             let full = std::mem::take(&mut batch);
             batch_bytes = 0;
             batch_opened_at = None;
+            if let Some(arrived) = batch_arrived_at.take() {
+                trace::global().stamp_at(
+                    inner.group_id,
+                    seq_base + submitted,
+                    Stage::Submitted,
+                    arrived,
+                );
+            }
+            submitted += 1;
             // One Arc for phase 2: every acceptor receives the same
             // shared value, never a deep clone of the commands.
             broadcast(prop.submit(Arc::new(full)));
@@ -1168,7 +1212,7 @@ fn batched_main(
 fn round_paced_main(
     cfg: SystemConfig,
     inner: Arc<Inner>,
-    submit_rx: Receiver<Bytes>,
+    submit_rx: Receiver<(Instant, Bytes)>,
     inbox: Receiver<(NodeId, NetMsg)>,
     ticks: Receiver<u64>,
     mut prop: Proposer<Batch>,
@@ -1178,14 +1222,21 @@ fn round_paced_main(
     let mut open_rounds: VecDeque<(usize, Vec<Bytes>)> = VecDeque::new();
     // A WAL-seeded stream continues the pre-crash numbering.
     let mut next_seq: u64 = inner.stream.lock().next_seq;
+    // Commands received between ticks, and when the oldest was enqueued.
+    // The enqueue time travels with the command, so the Submitted trace
+    // stamp covers both the channel wait and the up-to-one-tick round
+    // wait — all of it is round-paced latency, not measurement setup.
+    let mut pending: Vec<Bytes> = Vec::new();
+    let mut pending_opened: Option<Instant> = None;
 
     loop {
         if inner.shutdown.load(Ordering::Relaxed) {
             return;
         }
 
-        // 1. Wait for a tick or an acceptor reply (ticks only flow once the
-        //    deployment has started, which also gates the first round).
+        // 1. Wait for a tick, a submission, or an acceptor reply (ticks
+        //    only flow once the deployment has started, which also gates
+        //    the first round).
         crossbeam::channel::select! {
             recv(ticks) -> tick => {
                 if tick.is_err() {
@@ -1193,9 +1244,15 @@ fn round_paced_main(
                 }
                 // Close one round: everything submitted since the last
                 // tick, split into <= batch_bytes instances.
+                while let Ok((at, cmd)) = submit_rx.try_recv() {
+                    if pending_opened.is_none() {
+                        pending_opened = Some(at);
+                    }
+                    pending.push(cmd);
+                }
                 let mut instances: Vec<Vec<Bytes>> = vec![Vec::new()];
                 let mut last_bytes = 0usize;
-                while let Ok(cmd) = submit_rx.try_recv() {
+                for cmd in pending.drain(..) {
                     if last_bytes + cmd.len() > cfg.batch_bytes
                         && !instances.last().expect("non-empty").is_empty()
                     {
@@ -1205,9 +1262,28 @@ fn round_paced_main(
                     last_bytes += cmd.len();
                     instances.last_mut().expect("non-empty").push(cmd);
                 }
+                // Each queued round consumes exactly one stream seq, so
+                // this round's seq is known now — stamp the submit time
+                // of its oldest command before proposing.
+                if let Some(opened) = pending_opened.take() {
+                    trace::global().stamp_at(
+                        inner.group_id,
+                        next_seq + open_rounds.len() as u64,
+                        Stage::Submitted,
+                        opened,
+                    );
+                }
                 open_rounds.push_back((instances.len(), Vec::new()));
                 for instance_batch in instances {
                     broadcast(prop.submit(Arc::new(instance_batch)));
+                }
+            }
+            recv(submit_rx) -> cmd => {
+                if let Ok((at, cmd)) = cmd {
+                    if pending_opened.is_none() {
+                        pending_opened = Some(at);
+                    }
+                    pending.push(cmd);
                 }
             }
             recv(inbox) -> msg => {

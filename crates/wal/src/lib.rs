@@ -69,10 +69,11 @@
 use bytes::Bytes;
 use parking_lot::Mutex;
 use psmr_common::crc::crc32;
-use psmr_common::metrics::{counters, global};
+use psmr_common::metrics::{counters, global, ScopedHistogram};
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Segment-file magic: identifies a P-SMR write-ahead-log segment.
 const MAGIC: &[u8; 8] = b"PSMRWAL1";
@@ -158,6 +159,10 @@ pub struct Wal {
     dir: PathBuf,
     opts: WalOptions,
     inner: Mutex<Inner>,
+    /// Where commit-`fsync` latencies are recorded once a deployment
+    /// attaches its per-group histogram ([`Wal::observe_fsync`]).
+    /// Separate from `opts`, which stays `Copy`.
+    fsync_observer: Mutex<Option<ScopedHistogram>>,
 }
 
 impl Wal {
@@ -216,7 +221,25 @@ impl Wal {
                 appends: 0,
                 fsyncs: 0,
             }),
+            fsync_observer: Mutex::new(None),
         })
+    }
+
+    /// Attaches the histogram every **commit** `fsync`'s latency is
+    /// recorded into (segment-seal syncs on rotation are not commit
+    /// syncs and are not recorded). Deployments attach a per-group
+    /// scoped histogram (`wal_fsync_ns{group=G}`) at spawn — the
+    /// observed-sync-cost input an adaptive `wal_sync_pace` needs.
+    pub fn observe_fsync(&self, histogram: ScopedHistogram) {
+        *self.fsync_observer.lock() = Some(histogram);
+    }
+
+    /// Records one commit-fsync latency into the attached observer, if
+    /// any.
+    fn record_fsync(&self, started: Instant) {
+        if let Some(observer) = self.fsync_observer.lock().as_ref() {
+            observer.record(started.elapsed());
+        }
     }
 
     /// The directory the log lives in.
@@ -320,7 +343,9 @@ impl Wal {
         inner.appends += 1;
         global().counter(counters::WAL_APPENDS).inc();
         if inner.unsynced >= self.opts.batch {
+            let sync_started = Instant::now();
             inner.active.as_ref().expect("active").sync_all()?;
+            self.record_fsync(sync_started);
             inner.unsynced = 0;
             inner.synced_next_seq = inner.next_seq;
             inner.synced_bytes = inner.active_bytes;
@@ -372,7 +397,9 @@ impl Wal {
                 inner.segments.len(),
             )
         };
+        let sync_started = Instant::now();
         file.sync_all()?;
+        self.record_fsync(sync_started);
         let mut inner = self.inner.lock();
         if covered_seq > inner.synced_next_seq {
             inner.synced_next_seq = covered_seq;
@@ -667,6 +694,35 @@ mod tests {
 
     fn cmd(tag: u8, len: usize) -> Bytes {
         Bytes::from(vec![tag; len])
+    }
+
+    #[test]
+    fn attached_observer_sees_commit_fsyncs_only() {
+        use psmr_common::metrics::{histograms, MetricsRegistry};
+        let dir = unique_dir("observe");
+        let registry = MetricsRegistry::new();
+        let wal = Wal::open(&dir, opts(1 << 20, 2)).expect("open");
+        wal.observe_fsync(
+            registry
+                .scoped("group", 0)
+                .histogram(histograms::WAL_FSYNC_NS),
+        );
+        wal.append(1, &[cmd(1, 16)]).expect("append");
+        assert_eq!(
+            registry.histogram(histograms::WAL_FSYNC_NS).count(),
+            0,
+            "window open, no commit sync yet"
+        );
+        wal.append(2, &[cmd(2, 16)]).expect("append closes window");
+        assert_eq!(registry.histogram("wal_fsync_ns{group=0}").count(), 1);
+        wal.append(3, &[cmd(3, 16)]).expect("append");
+        wal.sync().expect("explicit sync");
+        assert_eq!(
+            registry.histogram(histograms::WAL_FSYNC_NS).count(),
+            2,
+            "the out-of-lock sync() path records too"
+        );
+        fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]
