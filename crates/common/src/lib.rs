@@ -16,6 +16,10 @@
 //!   decided batches through order → append → deliver → execute → release,
 //! * [`export`] — metrics exposition (one-shot text dump, periodic JSONL
 //!   snapshotter),
+//! * [`runtime`] — the injected clock/scheduler pair every
+//!   nondeterministic decision in the protocol stack flows through
+//!   (real time + FIFO in production, virtual time + seeded
+//!   interleaving control under the `psmr-sim` exploration harness),
 //! * [`crc`] — the CRC-32 both durability layers (snapshot files, WAL
 //!   record frames) guard their bytes with,
 //! * [`cpu`] — Linux `/proc`-based CPU-utilization sampling, reproducing the
@@ -39,9 +43,11 @@ pub mod error;
 pub mod export;
 pub mod ids;
 pub mod metrics;
+pub mod runtime;
 pub mod trace;
 
 pub use config::{ConfigError, SystemConfig};
 pub use envelope::{Request, Response};
 pub use error::CommonError;
 pub use ids::{ClientId, CommandId, GroupId, ReplicaId, RequestId, WorkerId};
+pub use runtime::{Clock, ClockHandle, Runtime, Scheduler};

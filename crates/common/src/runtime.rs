@@ -1,0 +1,434 @@
+//! Injected time and scheduling for the protocol stack.
+//!
+//! Every nondeterministic decision the replicated cores make — when a
+//! timer fires, how long a pacing sleep lasts, whether a simulated
+//! network send is delivered — flows through the two traits here:
+//!
+//! * [`Clock`] — wall-clock reads and sleeps. Production code uses
+//!   [`RealClock`] (plain `Instant::now` / `thread::sleep`); tests can
+//!   inject a [`VirtualClock`] whose time only moves when the test (or
+//!   an idle sleeper, in auto mode) advances it, so timer-driven
+//!   behavior is checked in virtual time instead of depending on how
+//!   fast the host happens to run.
+//! * [`Scheduler`] — interleaving control. The cores announce the
+//!   schedule points that matter for protocol correctness (a network
+//!   send, an ordered delivery, a WAL fsync) and a test scheduler can
+//!   perturb them: drop the message, delay the delivery, stall the
+//!   fsync. [`FifoScheduler`] is the production no-op — everything
+//!   proceeds immediately in arrival order.
+//!
+//! A [`Runtime`] bundles one of each and is threaded through the
+//! spawn paths (`LiveNet` carries it, so every Paxos group inherits
+//! the runtime of the net it communicates over). `Runtime::real()` is
+//! the default everywhere; the `psmr-sim` crate builds seeded
+//! runtimes on top of these traits to explore interleavings.
+
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------- Clock
+
+/// A source of time the protocol cores read and sleep on.
+///
+/// Implementations must be cheap to call from hot paths: `now` backs
+/// per-command latency stamps.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// The current time in this clock's timebase.
+    fn now(&self) -> Instant;
+
+    /// Blocks the calling thread for `d` of this clock's time.
+    fn sleep(&self, d: Duration);
+
+    /// Upper bound on how long a blocking wait (channel recv, condvar)
+    /// may park on a *real* OS primitive before re-checking deadlines
+    /// expressed in this clock's timebase. The real clock returns the
+    /// full remaining duration (the OS wait IS the deadline); a virtual
+    /// clock returns a short real slice so waiters notice `advance`
+    /// calls promptly.
+    fn poll_slice(&self, remaining: Duration) -> Duration;
+
+    /// Whether this clock's timebase is decoupled from the host's.
+    fn is_virtual(&self) -> bool {
+        false
+    }
+}
+
+/// Shared handle to an injected clock.
+pub type ClockHandle = Arc<dyn Clock>;
+
+/// The production clock: host time, host sleeps.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealClock;
+
+impl Clock for RealClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+
+    fn poll_slice(&self, remaining: Duration) -> Duration {
+        remaining
+    }
+}
+
+/// How long a virtual-clock waiter parks on the host between checks.
+const VIRTUAL_POLL: Duration = Duration::from_millis(1);
+
+struct VirtualState {
+    /// Virtual nanoseconds since `epoch`.
+    now_ns: u64,
+    /// Once closed, every sleep returns immediately — the escape hatch
+    /// for shutdown paths whose threads would otherwise wait for an
+    /// `advance` that is never coming.
+    closed: bool,
+}
+
+/// A test clock whose time moves only when advanced.
+///
+/// Two modes:
+///
+/// * [`VirtualClock::manual`] — time moves *only* via [`advance`]
+///   (and [`close`], which releases all sleepers). Fully deterministic:
+///   a sleeper wakes exactly when the test advances past its deadline.
+/// * [`VirtualClock::auto`] — as above, but a sleeper that has parked
+///   for `slice` of host time with no progress advances the clock to
+///   its own deadline ("time passes when everyone is idle"). Keeps
+///   whole deployments live without a driving test thread, while still
+///   letting tests fast-forward explicitly.
+///
+/// [`advance`]: VirtualClock::advance
+/// [`close`]: VirtualClock::close
+pub struct VirtualClock {
+    epoch: Instant,
+    state: Mutex<VirtualState>,
+    tick: Condvar,
+    auto_slice: Option<Duration>,
+}
+
+impl fmt::Debug for VirtualClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("VirtualClock")
+            .field("now_ns", &st.now_ns)
+            .field("closed", &st.closed)
+            .field("auto_slice", &self.auto_slice)
+            .finish()
+    }
+}
+
+impl VirtualClock {
+    fn with_mode(auto_slice: Option<Duration>) -> Arc<Self> {
+        Arc::new(VirtualClock {
+            epoch: Instant::now(),
+            state: Mutex::new(VirtualState {
+                now_ns: 0,
+                closed: false,
+            }),
+            tick: Condvar::new(),
+            auto_slice,
+        })
+    }
+
+    /// A clock that moves only on [`advance`](Self::advance)/[`close`](Self::close).
+    pub fn manual() -> Arc<Self> {
+        Self::with_mode(None)
+    }
+
+    /// A clock where idle sleepers self-advance after `slice` host time.
+    pub fn auto(slice: Duration) -> Arc<Self> {
+        Self::with_mode(Some(slice))
+    }
+
+    /// Virtual nanoseconds since the clock was created.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).now_ns
+    }
+
+    /// Moves virtual time forward and wakes every sleeper whose
+    /// deadline has now passed.
+    pub fn advance(&self, d: Duration) {
+        {
+            let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.now_ns = st.now_ns.saturating_add(d.as_nanos() as u64);
+        }
+        self.tick.notify_all();
+    }
+
+    /// Releases all current and future sleepers immediately. Call
+    /// before tearing down a deployment running on a manual clock.
+    pub fn close(&self) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.tick.notify_all();
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Instant {
+        let ns = self.state.lock().unwrap_or_else(|e| e.into_inner()).now_ns;
+        self.epoch + Duration::from_nanos(ns)
+    }
+
+    fn sleep(&self, d: Duration) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let deadline = st.now_ns.saturating_add(d.as_nanos() as u64);
+        loop {
+            if st.closed || st.now_ns >= deadline {
+                return;
+            }
+            match self.auto_slice {
+                Some(slice) => {
+                    let (guard, timeout) = self
+                        .tick
+                        .wait_timeout(st, slice)
+                        .unwrap_or_else(|e| e.into_inner());
+                    st = guard;
+                    if timeout.timed_out() && st.now_ns < deadline {
+                        // Everyone is idle: this sleeper is the one that
+                        // makes time pass.
+                        st.now_ns = deadline;
+                        self.tick.notify_all();
+                    }
+                }
+                None => {
+                    st = self.tick.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    fn poll_slice(&self, remaining: Duration) -> Duration {
+        remaining.min(VIRTUAL_POLL)
+    }
+
+    fn is_virtual(&self) -> bool {
+        true
+    }
+}
+
+// ------------------------------------------------------------ Scheduler
+
+/// A point in the protocol where scheduling decisions are observable.
+///
+/// The cores call [`Scheduler::reach`] when crossing one; a test
+/// scheduler may delay the calling thread there (perturbing the
+/// interleaving) or record it. Production reaches are no-ops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulePoint {
+    /// A message is about to enter a peer's inbox on the simulated net.
+    NetSend { from: u64, to: u64 },
+    /// An ordered batch is about to fan out to a group's subscribers.
+    Delivered { group: u64, seq: u64 },
+    /// A WAL fsync pass is about to run for a group's ordered log.
+    WalFsync { group: u64 },
+}
+
+/// The fate of a simulated network send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendVerdict {
+    /// Enqueue into the destination inbox as usual.
+    Deliver,
+    /// Silently lose the message (the sender never learns).
+    Drop,
+}
+
+/// Interleaving control for the protocol cores.
+///
+/// Implementations must never block indefinitely: a delay injected at
+/// a schedule point stalls a protocol thread, so it must be bounded.
+pub trait Scheduler: Send + Sync + fmt::Debug {
+    /// Decides the fate of a simulated network send, *in addition to*
+    /// the fault filters (`FaultPlan`, link cuts) the net applies.
+    fn on_send(&self, _from: u64, _to: u64) -> SendVerdict {
+        SendVerdict::Deliver
+    }
+
+    /// Announces that the calling thread is crossing `point`. May
+    /// delay the caller (bounded) to perturb the interleaving.
+    fn reach(&self, _point: SchedulePoint) {}
+}
+
+/// The production scheduler: deliver everything, delay nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FifoScheduler;
+
+impl Scheduler for FifoScheduler {}
+
+// -------------------------------------------------------------- Runtime
+
+/// The injected clock + scheduler pair the spawn paths thread through
+/// the stack. Cloning shares both.
+#[derive(Clone, Debug)]
+pub struct Runtime {
+    /// Time source for stamps, pacing sleeps and timeout deadlines.
+    pub clock: ClockHandle,
+    /// Interleaving control consulted at schedule points.
+    pub sched: Arc<dyn Scheduler>,
+}
+
+impl Runtime {
+    /// Real time, FIFO scheduling — the production runtime.
+    pub fn real() -> Self {
+        Runtime {
+            clock: Arc::new(RealClock),
+            sched: Arc::new(FifoScheduler),
+        }
+    }
+
+    /// A runtime with an injected clock and the no-op scheduler.
+    pub fn with_clock(clock: ClockHandle) -> Self {
+        Runtime {
+            clock,
+            sched: Arc::new(FifoScheduler),
+        }
+    }
+
+    /// A fully custom runtime.
+    pub fn new(clock: ClockHandle, sched: Arc<dyn Scheduler>) -> Self {
+        Runtime { clock, sched }
+    }
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Runtime::real()
+    }
+}
+
+// -------------------------------------------------- clock-aware waits
+
+/// `Receiver::recv_timeout` with the deadline interpreted in `clock`'s
+/// timebase.
+///
+/// On the real clock this is exactly `rx.recv_timeout(timeout)`. On a
+/// virtual clock the wait parks in short host-time slices and re-checks
+/// the virtual deadline, so a test that advances the clock expires the
+/// timeout without `timeout` of host time passing.
+pub fn recv_timeout_via<T>(
+    clock: &dyn Clock,
+    rx: &crossbeam::channel::Receiver<T>,
+    timeout: Duration,
+) -> Result<T, crossbeam::channel::RecvTimeoutError> {
+    use crossbeam::channel::{RecvTimeoutError, TryRecvError};
+    if !clock.is_virtual() {
+        return rx.recv_timeout(timeout);
+    }
+    let deadline = clock.now() + timeout;
+    loop {
+        match rx.try_recv() {
+            Ok(v) => return Ok(v),
+            Err(TryRecvError::Disconnected) => return Err(RecvTimeoutError::Disconnected),
+            Err(TryRecvError::Empty) => {}
+        }
+        let now = clock.now();
+        if now >= deadline {
+            return Err(RecvTimeoutError::Timeout);
+        }
+        match rx.recv_timeout(clock.poll_slice(deadline - now)) {
+            Ok(v) => return Ok(v),
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return Err(RecvTimeoutError::Disconnected),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn real_clock_sleeps_and_reads() {
+        let clock = RealClock;
+        let before = clock.now();
+        clock.sleep(Duration::from_millis(2));
+        assert!(clock.now() >= before + Duration::from_millis(2));
+        assert!(!clock.is_virtual());
+        assert_eq!(
+            clock.poll_slice(Duration::from_secs(5)),
+            Duration::from_secs(5)
+        );
+    }
+
+    #[test]
+    fn manual_virtual_clock_moves_only_on_advance() {
+        let vc = VirtualClock::manual();
+        let t0 = vc.now();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(vc.now(), t0, "host time must not leak into the clock");
+        vc.advance(Duration::from_secs(3));
+        assert_eq!(vc.now(), t0 + Duration::from_secs(3));
+    }
+
+    #[test]
+    fn virtual_sleeper_wakes_on_advance_not_host_time() {
+        let vc = VirtualClock::manual();
+        let woke = Arc::new(AtomicBool::new(false));
+        let (vc2, woke2) = (Arc::clone(&vc), Arc::clone(&woke));
+        let t = std::thread::spawn(move || {
+            vc2.sleep(Duration::from_secs(3600));
+            woke2.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!woke.load(Ordering::SeqCst), "an hour of virtual time");
+        vc.advance(Duration::from_secs(3600));
+        t.join().unwrap();
+        assert!(woke.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn closed_virtual_clock_releases_sleepers() {
+        let vc = VirtualClock::manual();
+        let vc2 = Arc::clone(&vc);
+        let t = std::thread::spawn(move || vc2.sleep(Duration::from_secs(3600)));
+        std::thread::sleep(Duration::from_millis(5));
+        vc.close();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn auto_virtual_clock_self_advances_when_idle() {
+        let vc = VirtualClock::auto(Duration::from_millis(5));
+        let before = std::time::Instant::now();
+        vc.sleep(Duration::from_secs(3600));
+        assert!(before.elapsed() < Duration::from_secs(10));
+        assert!(vc.elapsed_ns() >= 3600 * 1_000_000_000);
+    }
+
+    #[test]
+    fn recv_timeout_via_expires_in_virtual_time() {
+        let vc = VirtualClock::manual();
+        let (_tx, rx) = crossbeam::channel::unbounded::<u64>();
+        let vc2 = Arc::clone(&vc);
+        let t = std::thread::spawn(move || recv_timeout_via(&*vc2, &rx, Duration::from_secs(3600)));
+        std::thread::sleep(Duration::from_millis(10));
+        vc.advance(Duration::from_secs(3600));
+        assert!(matches!(
+            t.join().unwrap(),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn recv_timeout_via_delivers_messages() {
+        let vc = VirtualClock::manual();
+        let (tx, rx) = crossbeam::channel::unbounded::<u64>();
+        tx.send(7).unwrap();
+        assert_eq!(
+            recv_timeout_via(&*vc, &rx, Duration::from_secs(1)).unwrap(),
+            7
+        );
+    }
+
+    #[test]
+    fn fifo_scheduler_delivers_everything() {
+        let s = FifoScheduler;
+        assert_eq!(s.on_send(1, 2), SendVerdict::Deliver);
+        s.reach(SchedulePoint::WalFsync { group: 0 });
+    }
+}

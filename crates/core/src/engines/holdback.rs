@@ -25,6 +25,7 @@ use parking_lot::Mutex;
 use psmr_common::envelope::Response;
 use psmr_common::ids::{ClientId, GroupId};
 use psmr_common::metrics::{counters, global};
+use psmr_common::runtime::ClockHandle;
 use psmr_multicast::DurabilityView;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -75,7 +76,7 @@ impl ResponseGate {
     /// watermark advance (the on-bump observer — same scheduling quantum
     /// as the covering fsync); and a timer safety-net thread mops up
     /// anything parked during a quiet period.
-    pub fn gated(router: SharedRouter, view: DurabilityView) -> Arc<Self> {
+    pub fn gated(router: SharedRouter, view: DurabilityView, clock: ClockHandle) -> Arc<Self> {
         let state = Arc::new(GateState {
             view,
             pending: Mutex::new(Vec::new()),
@@ -94,7 +95,7 @@ impl ResponseGate {
             let state = Arc::clone(&state);
             std::thread::Builder::new()
                 .name("response-release".into())
-                .spawn(move || release_main(&router, &state))
+                .spawn(move || release_main(&router, &state, &clock))
                 .expect("spawn response-release thread")
         };
         Arc::new(Self {
@@ -105,10 +106,14 @@ impl ResponseGate {
     }
 
     /// Convenience: gated when the deployment is pipelined, passthrough
-    /// otherwise.
-    pub fn for_view(router: SharedRouter, view: Option<DurabilityView>) -> Arc<Self> {
+    /// otherwise. The safety-net release timer runs on `clock`.
+    pub fn for_view(
+        router: SharedRouter,
+        view: Option<DurabilityView>,
+        clock: ClockHandle,
+    ) -> Arc<Self> {
         match view {
-            Some(view) => Self::gated(router, view),
+            Some(view) => Self::gated(router, view, clock),
             None => Self::passthrough(router),
         }
     }
@@ -199,9 +204,9 @@ fn drain_released(router: &SharedRouter, state: &GateState) {
 /// window just *after* the bump that covered it, with no later traffic
 /// to drain it. A timer (instead of parking on the hub) keeps this
 /// thread from waking on every fsync.
-fn release_main(router: &SharedRouter, state: &GateState) {
+fn release_main(router: &SharedRouter, state: &GateState, clock: &ClockHandle) {
     while !state.stop.load(Ordering::Relaxed) {
-        std::thread::sleep(Duration::from_millis(10));
+        clock.sleep(Duration::from_millis(10));
         drain_released(router, state);
     }
 }

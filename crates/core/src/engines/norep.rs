@@ -117,9 +117,13 @@ impl NoRepEngine {
         engine.store = Some(store);
         // Honor the config contract shared by every recoverable engine:
         // with `checkpoint_interval` set, checkpoints happen on their own.
-        engine.checkpointer = cfg
-            .checkpoint_interval
-            .map(|interval| auto_checkpointer(Arc::clone(&engine.sink) as _, interval));
+        engine.checkpointer = cfg.checkpoint_interval.map(|interval| {
+            auto_checkpointer(
+                Arc::clone(&engine.sink) as _,
+                interval,
+                Arc::new(psmr_common::runtime::RealClock),
+            )
+        });
         engine
     }
 

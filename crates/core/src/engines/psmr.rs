@@ -52,6 +52,7 @@ use crate::service::{RecoverableService, ResponseRouter, Service, SharedRouter};
 use psmr_common::envelope::{Request, Response};
 use psmr_common::ids::{ClientId, GroupId, ReplicaId, WorkerId};
 use psmr_common::metrics::{counters, global, ScopedCounter};
+use psmr_common::runtime::Runtime;
 use psmr_common::trace::{self, Stage};
 use psmr_common::SystemConfig;
 use psmr_multicast::{MergedStream, MulticastSystem};
@@ -82,7 +83,22 @@ impl PsmrEngine {
     /// `factory` must produce identical initial states — replica
     /// determinism starts from equal initial states (§III).
     pub fn spawn<S: Service>(cfg: &SystemConfig, map: CommandMap, factory: impl Fn() -> S) -> Self {
-        Self::spawn_with_router(cfg, Router::Fixed(map), factory)
+        Self::spawn_with_router(cfg, Router::Fixed(map), factory, Runtime::real())
+    }
+
+    /// Like [`PsmrEngine::spawn`] with an injected [`Runtime`]: every
+    /// wall-clock read, pacing sleep and schedule point of the whole
+    /// stack (Paxos groups, merge streams, WAL syncer, response gate)
+    /// flows through `rt`'s clock and scheduler. Production code uses
+    /// [`Runtime::real`]; the deterministic-simulation harness injects
+    /// seeded schedulers and virtual clocks here.
+    pub fn spawn_with_runtime<S: Service>(
+        cfg: &SystemConfig,
+        map: CommandMap,
+        factory: impl Fn() -> S,
+        rt: Runtime,
+    ) -> Self {
+        Self::spawn_with_router(cfg, Router::Fixed(map), factory, rt)
     }
 
     /// Like [`PsmrEngine::spawn`] with an online-reconfigurable C-G: remap
@@ -94,15 +110,16 @@ impl PsmrEngine {
         map: RemappableMap,
         factory: impl Fn() -> S,
     ) -> Self {
-        Self::spawn_with_router(cfg, Router::Remappable(map), factory)
+        Self::spawn_with_router(cfg, Router::Remappable(map), factory, Runtime::real())
     }
 
     fn spawn_with_router<S: Service>(
         cfg: &SystemConfig,
         map: Router,
         factory: impl Fn() -> S,
+        rt: Runtime,
     ) -> Self {
-        let mut engine = Self::scaffold(cfg, map);
+        let mut engine = Self::scaffold(cfg, map, rt);
         for replica in 0..cfg.n_replicas {
             let service = Arc::new(factory());
             let slot = engine.spawn_replica(cfg, replica, service, None, None);
@@ -124,7 +141,19 @@ impl PsmrEngine {
         map: CommandMap,
         factory: impl Fn() -> S + Send + Sync + 'static,
     ) -> Self {
-        Self::spawn_recoverable_with_router(cfg, Router::Fixed(map), factory)
+        Self::spawn_recoverable_with_router(cfg, Router::Fixed(map), factory, Runtime::real())
+    }
+
+    /// [`PsmrEngine::spawn_recoverable`] with an injected [`Runtime`]
+    /// (see [`PsmrEngine::spawn_with_runtime`]). The transfer fabric's
+    /// timeouts and the periodic checkpointer also run on `rt`'s clock.
+    pub fn spawn_recoverable_with_runtime<S: RecoverableService>(
+        cfg: &SystemConfig,
+        map: CommandMap,
+        factory: impl Fn() -> S + Send + Sync + 'static,
+        rt: Runtime,
+    ) -> Self {
+        Self::spawn_recoverable_with_router(cfg, Router::Fixed(map), factory, rt)
     }
 
     /// Like [`PsmrEngine::spawn_recoverable`] with an online-remappable
@@ -137,15 +166,16 @@ impl PsmrEngine {
         map: RemappableMap,
         factory: impl Fn() -> S + Send + Sync + 'static,
     ) -> Self {
-        Self::spawn_recoverable_with_router(cfg, Router::Remappable(map), factory)
+        Self::spawn_recoverable_with_router(cfg, Router::Remappable(map), factory, Runtime::real())
     }
 
     fn spawn_recoverable_with_router<S: RecoverableService>(
         cfg: &SystemConfig,
         map: Router,
         factory: impl Fn() -> S + Send + Sync + 'static,
+        rt: Runtime,
     ) -> Self {
-        let mut engine = Self::scaffold(cfg, map);
+        let mut engine = Self::scaffold(cfg, map, rt);
         let dyn_factory: Arc<dyn Fn() -> Arc<dyn RecoverableService> + Send + Sync> =
             Arc::new(move || Arc::new(factory()) as Arc<dyn RecoverableService>);
         let epoch_router = engine.sink.router.clone();
@@ -154,6 +184,7 @@ impl PsmrEngine {
             Arc::clone(&dyn_factory),
             Arc::new(move || epoch_router.epoch_table()),
         );
+        recovery.set_clock(Arc::clone(&engine.system.runtime().clock));
         for replica in 0..cfg.n_replicas {
             let service = (dyn_factory)();
             let hook = recovery.hook_for(replica, &service, Some(engine.sink.handle.clone()), 0);
@@ -162,9 +193,13 @@ impl PsmrEngine {
             engine.replicas.push(slot);
         }
         engine.system.start();
-        recovery.checkpointer = cfg
-            .checkpoint_interval
-            .map(|interval| auto_checkpointer(Arc::clone(&engine.sink) as _, interval));
+        recovery.checkpointer = cfg.checkpoint_interval.map(|interval| {
+            auto_checkpointer(
+                Arc::clone(&engine.sink) as _,
+                interval,
+                Arc::clone(&engine.system.runtime().clock),
+            )
+        });
         engine.recovery = Some(recovery);
         engine
     }
@@ -205,7 +240,18 @@ impl PsmrEngine {
         map: CommandMap,
         factory: impl Fn() -> S + Send + Sync + 'static,
     ) -> Result<(Self, Vec<RecoveryReport>), RecoveryError> {
-        let mut engine = Self::scaffold(cfg, Router::Fixed(map));
+        Self::cold_start_with_runtime(cfg, map, factory, Runtime::real())
+    }
+
+    /// [`PsmrEngine::cold_start`] with an injected [`Runtime`] (see
+    /// [`PsmrEngine::spawn_with_runtime`]).
+    pub fn cold_start_with_runtime<S: RecoverableService>(
+        cfg: &SystemConfig,
+        map: CommandMap,
+        factory: impl Fn() -> S + Send + Sync + 'static,
+        rt: Runtime,
+    ) -> Result<(Self, Vec<RecoveryReport>), RecoveryError> {
+        let mut engine = Self::scaffold(cfg, Router::Fixed(map), rt);
         // Replayed commands re-respond to the client ids of the dead
         // incarnation; fresh clients must not collide with them or a
         // replayed response answers a new request. Stream positions are
@@ -227,6 +273,7 @@ impl PsmrEngine {
             Arc::clone(&dyn_factory),
             Arc::new(move || epoch_router.epoch_table()),
         );
+        recovery.set_clock(Arc::clone(&engine.system.runtime().clock));
         let mut reports = Vec::new();
         let mut failure = None;
         for replica in 0..cfg.n_replicas {
@@ -278,9 +325,13 @@ impl PsmrEngine {
             return Err(e);
         }
         engine.system.start();
-        recovery.checkpointer = cfg
-            .checkpoint_interval
-            .map(|interval| auto_checkpointer(Arc::clone(&engine.sink) as _, interval));
+        recovery.checkpointer = cfg.checkpoint_interval.map(|interval| {
+            auto_checkpointer(
+                Arc::clone(&engine.sink) as _,
+                interval,
+                Arc::clone(&engine.system.runtime().clock),
+            )
+        });
         engine.recovery = Some(recovery);
         global().counter(counters::COLD_STARTS).inc();
         Ok((engine, reports))
@@ -288,10 +339,14 @@ impl PsmrEngine {
 
     /// Builds the multicast substrate and client-side plumbing; replicas
     /// attach afterwards.
-    fn scaffold(cfg: &SystemConfig, map: Router) -> Self {
-        let system = MulticastSystem::spawn(cfg);
+    fn scaffold(cfg: &SystemConfig, map: Router, rt: Runtime) -> Self {
+        let system = MulticastSystem::spawn_with_runtime(cfg, rt);
         let router: SharedRouter = Arc::new(ResponseRouter::new());
-        let gate = ResponseGate::for_view(Arc::clone(&router), system.durability());
+        let gate = ResponseGate::for_view(
+            Arc::clone(&router),
+            system.durability(),
+            Arc::clone(&system.runtime().clock),
+        );
         let sink = Arc::new(CgSink {
             handle: system.handle(),
             router: map,

@@ -17,11 +17,12 @@ use crate::service::RecoverableService;
 use psmr_common::envelope::Request;
 use psmr_common::ids::{ClientId, GroupId, RequestId};
 use psmr_common::metrics::{counters, global};
+use psmr_common::runtime::{ClockHandle, RealClock};
 use psmr_common::SystemConfig;
 use psmr_multicast::{Delivered, MulticastHandle};
 use psmr_netsim::NodeId;
 use psmr_recovery::transfer::{
-    fetch_latest, probe_latest, StateTransferServer, TransferNet, TransferSource,
+    fetch_latest_via, probe_latest_via, StateTransferServer, TransferNet, TransferSource,
 };
 use psmr_recovery::{
     AutoCheckpointer, Checkpoint, CheckpointStore, DurableStore, RecoveryError, StreamCut,
@@ -217,6 +218,9 @@ pub(crate) struct EngineRecovery {
     epoch: EpochSource,
     chunk_bytes: usize,
     timeout: Duration,
+    /// Timebase the transfer timeouts are measured on (injected by
+    /// runtime-aware spawn paths; real time by default).
+    clock: ClockHandle,
     /// Periodic CHECKPOINT driver (when `cfg.checkpoint_interval` set).
     pub checkpointer: Option<AutoCheckpointer>,
 }
@@ -269,8 +273,15 @@ impl EngineRecovery {
             epoch,
             chunk_bytes: cfg.transfer_chunk_bytes,
             timeout: cfg.transfer_timeout,
+            clock: Arc::new(RealClock),
             checkpointer: None,
         }
+    }
+
+    /// Measures the transfer timeouts on `clock` instead of real time
+    /// (runtime-aware spawn paths call this right after `build`).
+    pub fn set_clock(&mut self, clock: ClockHandle) {
+        self.clock = clock;
     }
 
     /// The checkpoint hook of one replica, seeded for a fresh spawn
@@ -350,7 +361,7 @@ impl EngineRecovery {
         // bytes move unless the disk candidate fails below. A disk-only
         // recovery (no peer answering) keeps the epoch persisted with
         // the snapshot.
-        let probed = probe_latest(&self.net, me, &peer_nodes, self.timeout).ok();
+        let probed = probe_latest_via(&*self.clock, &self.net, me, &peer_nodes, self.timeout).ok();
         if let Some(p) = &probed {
             install_table(&p.table);
         }
@@ -381,7 +392,7 @@ impl EngineRecovery {
         // Peer transfer, re-fetching a bounded number of times when a
         // checkpoint installed mid-restart trims the cut being restored.
         for _ in 0..=REFETCH_ATTEMPTS {
-            let f = match fetch_latest(&self.net, me, &peer_nodes, self.timeout) {
+            let f = match fetch_latest_via(&*self.clock, &self.net, me, &peer_nodes, self.timeout) {
                 Ok(f) => f,
                 Err(e) => {
                     return Err(match (newest_tried, e) {
@@ -619,9 +630,10 @@ const CHECKPOINTER_CLIENT: ClientId = ClientId::new(u64::MAX);
 pub(crate) fn auto_checkpointer(
     sink: Arc<dyn RequestSink>,
     interval: Duration,
+    clock: ClockHandle,
 ) -> AutoCheckpointer {
     let mut next_request = 0u64;
-    AutoCheckpointer::spawn(interval, move || {
+    AutoCheckpointer::spawn_with_clock(interval, clock, move || {
         let request = Request::new(
             CHECKPOINTER_CLIENT,
             RequestId::new(next_request),

@@ -73,6 +73,7 @@ impl SpSmrEngine {
             Arc::new(move || Arc::new(factory()) as Arc<dyn RecoverableService>);
         let mut recovery =
             EngineRecovery::build(cfg, Arc::clone(&dyn_factory), super::recover::fixed_epoch());
+        recovery.set_clock(Arc::clone(&engine.system.runtime().clock));
         for replica in 0..cfg.n_replicas {
             let service = (dyn_factory)();
             let hook = recovery.hook_for(replica, &service, Some(engine.sink.handle.clone()), 0);
@@ -87,9 +88,13 @@ impl SpSmrEngine {
             engine.replicas.push(slot);
         }
         engine.system.start();
-        recovery.checkpointer = cfg
-            .checkpoint_interval
-            .map(|interval| auto_checkpointer(Arc::clone(&engine.sink) as _, interval));
+        recovery.checkpointer = cfg.checkpoint_interval.map(|interval| {
+            auto_checkpointer(
+                Arc::clone(&engine.sink) as _,
+                interval,
+                Arc::clone(&engine.system.runtime().clock),
+            )
+        });
         engine.recovery = Some(recovery);
         engine
     }
@@ -114,6 +119,7 @@ impl SpSmrEngine {
             Arc::new(move || Arc::new(factory()) as Arc<dyn RecoverableService>);
         let mut recovery =
             EngineRecovery::build(cfg, Arc::clone(&dyn_factory), super::recover::fixed_epoch());
+        recovery.set_clock(Arc::clone(&engine.system.runtime().clock));
         let mut reports = Vec::new();
         let mut failure = None;
         for replica in 0..cfg.n_replicas {
@@ -155,9 +161,13 @@ impl SpSmrEngine {
             return Err(e);
         }
         engine.system.start();
-        recovery.checkpointer = cfg
-            .checkpoint_interval
-            .map(|interval| auto_checkpointer(Arc::clone(&engine.sink) as _, interval));
+        recovery.checkpointer = cfg.checkpoint_interval.map(|interval| {
+            auto_checkpointer(
+                Arc::clone(&engine.sink) as _,
+                interval,
+                Arc::clone(&engine.system.runtime().clock),
+            )
+        });
         engine.recovery = Some(recovery);
         global().counter(counters::COLD_STARTS).inc();
         Ok((engine, reports))
@@ -178,7 +188,11 @@ impl SpSmrEngine {
     fn scaffold(cfg: &SystemConfig, map: CommandMap) -> Self {
         let system = MulticastSystem::spawn_single(cfg);
         let router: SharedRouter = Arc::new(ResponseRouter::new());
-        let gate = ResponseGate::for_view(Arc::clone(&router), system.durability());
+        let gate = ResponseGate::for_view(
+            Arc::clone(&router),
+            system.durability(),
+            Arc::clone(&system.runtime().clock),
+        );
         let sink = Arc::new(TotalOrderSink {
             handle: system.handle(),
         });

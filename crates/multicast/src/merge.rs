@@ -16,6 +16,9 @@
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use psmr_common::ids::GroupId;
+use psmr_common::runtime::{
+    recv_timeout_via, ClockHandle, FifoScheduler, RealClock, SchedulePoint, Scheduler,
+};
 use psmr_paxos::runtime::DecidedBatch;
 use psmr_recovery::StreamCut;
 use std::collections::VecDeque;
@@ -53,6 +56,16 @@ pub struct MergedStream {
     /// `(group, seq)` at offsets `<= offset` were already executed before
     /// the cut and must not be redelivered.
     resume_skip: Option<StreamCut>,
+    /// Timebase of [`MergedStream::next_timeout`] deadlines — the
+    /// deployment's injected clock, so a virtual-time test controls when
+    /// worker polls expire.
+    clock: ClockHandle,
+    /// Schedule-point hook crossed for every command handed to this
+    /// subscriber. Unlike the group-side fan-out point (which delays
+    /// every replica equally), this one is **per subscriber**: an
+    /// injected scheduler can skew one replica's worker against
+    /// another's, which is where ordering bugs hide.
+    sched: Arc<dyn Scheduler>,
 }
 
 impl MergedStream {
@@ -81,7 +94,26 @@ impl MergedStream {
             delivered: 0,
             skipped_batches: 0,
             resume_skip: None,
+            clock: Arc::new(RealClock),
+            sched: Arc::new(FifoScheduler),
         }
+    }
+
+    /// Replaces the timebase of [`MergedStream::next_timeout`] deadlines
+    /// (the spawn paths pass the deployment's injected clock through
+    /// here).
+    pub fn with_clock(mut self, clock: ClockHandle) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Installs the scheduler whose [`SchedulePoint::Delivered`] hook is
+    /// crossed before each command is handed to this subscriber (the
+    /// spawn paths pass the deployment's injected scheduler through
+    /// here; production keeps the no-op FIFO scheduler).
+    pub fn with_sched(mut self, sched: Arc<dyn Scheduler>) -> Self {
+        self.sched = sched;
+        self
     }
 
     /// Builds a merge that **resumes** right after the command at `cut`
@@ -123,7 +155,20 @@ impl MergedStream {
             delivered: 0,
             skipped_batches: 0,
             resume_skip: Some(cut),
+            clock: Arc::new(RealClock),
+            sched: Arc::new(FifoScheduler),
         }
+    }
+
+    /// Crosses the per-subscriber delivery schedule point and hands the
+    /// command out.
+    fn hand_out(&mut self, cmd: Delivered) -> Delivered {
+        self.delivered += 1;
+        self.sched.reach(SchedulePoint::Delivered {
+            group: cmd.group.as_raw() as u64,
+            seq: cmd.batch_seq,
+        });
+        cmd
     }
 
     /// Queues the commands of `batch` (arriving from stream `group`),
@@ -178,8 +223,7 @@ impl MergedStream {
     pub fn next(&mut self) -> Option<Delivered> {
         loop {
             if let Some(cmd) = self.ready.pop_front() {
-                self.delivered += 1;
-                return Some(cmd);
+                return Some(self.hand_out(cmd));
             }
             let (group, rx) = &self.streams[self.cursor];
             let batch = rx.recv().ok()?;
@@ -201,18 +245,17 @@ impl MergedStream {
     /// zero traffic, and a per-receive timeout would never fire — leaving
     /// crashed workers blocked here indefinitely.
     pub fn next_timeout(&mut self, timeout: Duration) -> Result<Option<Delivered>, Disconnected> {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = self.clock.now() + timeout;
         loop {
             if let Some(cmd) = self.ready.pop_front() {
-                self.delivered += 1;
-                return Ok(Some(cmd));
+                return Ok(Some(self.hand_out(cmd)));
             }
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let remaining = deadline.saturating_duration_since(self.clock.now());
             if remaining.is_zero() {
                 return Ok(None);
             }
             let (group, rx) = &self.streams[self.cursor];
-            match rx.recv_timeout(remaining) {
+            match recv_timeout_via(&*self.clock, rx, remaining) {
                 Ok(batch) => {
                     debug_assert_eq!(
                         batch.seq, self.round,
@@ -233,8 +276,7 @@ impl MergedStream {
     pub fn try_next(&mut self) -> Result<Option<Delivered>, Disconnected> {
         loop {
             if let Some(cmd) = self.ready.pop_front() {
-                self.delivered += 1;
-                return Ok(Some(cmd));
+                return Ok(Some(self.hand_out(cmd)));
             }
             let (group, rx) = &self.streams[self.cursor];
             match rx.try_recv() {

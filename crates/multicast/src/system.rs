@@ -4,6 +4,7 @@ use crate::merge::MergedStream;
 use bytes::Bytes;
 use psmr_common::ids::{GroupId, WorkerId};
 use psmr_common::metrics::{global, histograms};
+use psmr_common::runtime::Runtime;
 use psmr_common::{trace, SystemConfig};
 use psmr_netsim::live::LiveNet;
 use psmr_paxos::runtime::{
@@ -27,7 +28,12 @@ use std::time::Duration;
 /// Panics when the log cannot be opened or replayed — a deployment that
 /// asked for a durable ordered log must not come up silently
 /// non-durable.
-fn group_wal_mode(cfg: &SystemConfig, gid: usize, syncer: &Option<Arc<WalSyncer>>) -> WalMode {
+fn group_wal_mode(
+    cfg: &SystemConfig,
+    gid: usize,
+    syncer: &Option<Arc<WalSyncer>>,
+    rt: &Runtime,
+) -> WalMode {
     let Some(dir) = cfg.wal_dir.as_ref() else {
         return WalMode::None;
     };
@@ -47,6 +53,14 @@ fn group_wal_mode(cfg: &SystemConfig, gid: usize, syncer: &Option<Arc<WalSyncer>
             .scoped("group", gid)
             .histogram(histograms::WAL_FSYNC_NS),
     );
+    // Every fsync of this log — inline windowed commits included — is a
+    // schedule point the injected scheduler can stretch.
+    {
+        let sched = Arc::clone(&rt.sched);
+        wal.set_sync_hook(Some(Arc::new(move || {
+            sched.reach(psmr_common::runtime::SchedulePoint::WalFsync { group: gid as u64 });
+        })));
+    }
     match syncer {
         Some(syncer) => WalMode::Pipelined {
             wal,
@@ -58,8 +72,9 @@ fn group_wal_mode(cfg: &SystemConfig, gid: usize, syncer: &Option<Arc<WalSyncer>
 
 /// The shared sync thread of a pipelined deployment (`None` when
 /// pipelining is off or no WAL is configured).
-fn deployment_syncer(cfg: &SystemConfig) -> Option<Arc<WalSyncer>> {
-    (cfg.wal_pipeline && cfg.wal_dir.is_some()).then(|| WalSyncer::spawn(cfg.wal_sync_pace))
+fn deployment_syncer(cfg: &SystemConfig, rt: &Runtime) -> Option<Arc<WalSyncer>> {
+    (cfg.wal_pipeline && cfg.wal_dir.is_some())
+        .then(|| WalSyncer::spawn_rt(cfg.wal_sync_pace, rt.clone()))
 }
 
 /// The destination set `γ` of a multicast (Algorithm 1, line 2).
@@ -152,6 +167,9 @@ pub struct MulticastSystem {
     /// Shared WAL sync thread of a pipelined (`cfg.wal_pipeline`)
     /// deployment.
     syncer: Option<Arc<WalSyncer>>,
+    /// The injected clock/scheduler pair everything in this deployment
+    /// steps on (real time + FIFO unless a test injected otherwise).
+    rt: Runtime,
 }
 
 /// Read-side of a pipelined deployment's durability state: per-group
@@ -224,10 +242,23 @@ impl MulticastSystem {
     /// Panics when `cfg` fails [`SystemConfig::validate`] or a
     /// configured write-ahead log cannot be opened.
     pub fn spawn(cfg: &SystemConfig) -> Self {
+        Self::spawn_with_runtime(cfg, Runtime::real())
+    }
+
+    /// Like [`MulticastSystem::spawn`], but every nondeterministic
+    /// decision of the deployment — the shared round ticker, WAL sync
+    /// pacing, fault delays, fan-out — steps on the injected `rt`
+    /// instead of real time and FIFO scheduling. The `psmr-sim`
+    /// exploration harness enters through here.
+    ///
+    /// # Panics
+    ///
+    /// As [`MulticastSystem::spawn`].
+    pub fn spawn_with_runtime(cfg: &SystemConfig, rt: Runtime) -> Self {
         cfg.validate()
             .unwrap_or_else(|e| panic!("invalid SystemConfig: {e}"));
         trace::global().set_sample(cfg.trace_sample);
-        let syncer = deployment_syncer(cfg);
+        let syncer = deployment_syncer(cfg, &rt);
         let mut tick_txs = Vec::with_capacity(cfg.group_count());
         let groups = (0..cfg.group_count())
             .map(|gid| {
@@ -236,9 +267,9 @@ impl MulticastSystem {
                 PaxosGroup::spawn_with_wal_mode(
                     gid,
                     cfg,
-                    LiveNet::new(),
+                    LiveNet::with_runtime(rt.clone()),
                     Pacing::Ticks(rx),
-                    group_wal_mode(cfg, gid, &syncer),
+                    group_wal_mode(cfg, gid, &syncer, &rt),
                 )
             })
             .collect();
@@ -248,12 +279,13 @@ impl MulticastSystem {
         let thread = {
             let run = Arc::clone(&run);
             let started = Arc::clone(&started);
+            let clock = Arc::clone(&rt.clock);
             std::thread::Builder::new()
                 .name("mcast-ticker".into())
                 .spawn(move || {
                     let mut tick = 0u64;
                     while run.load(Ordering::Relaxed) {
-                        std::thread::sleep(interval);
+                        clock.sleep(interval);
                         if !started.load(Ordering::Relaxed) {
                             continue;
                         }
@@ -274,6 +306,7 @@ impl MulticastSystem {
                 thread: Some(thread),
             }),
             syncer,
+            rt,
         }
     }
 
@@ -286,27 +319,43 @@ impl MulticastSystem {
     /// Panics when `cfg` fails [`SystemConfig::validate`] or a
     /// configured write-ahead log cannot be opened.
     pub fn spawn_single(cfg: &SystemConfig) -> Self {
+        Self::spawn_single_with_runtime(cfg, Runtime::real())
+    }
+
+    /// The injected-runtime variant of [`MulticastSystem::spawn_single`]
+    /// (see [`MulticastSystem::spawn_with_runtime`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`MulticastSystem::spawn_single`].
+    pub fn spawn_single_with_runtime(cfg: &SystemConfig, rt: Runtime) -> Self {
         cfg.validate()
             .unwrap_or_else(|e| panic!("invalid SystemConfig: {e}"));
         trace::global().set_sample(cfg.trace_sample);
         let mut single = cfg.clone();
         single.mpl = 1;
-        let syncer = deployment_syncer(cfg);
+        let syncer = deployment_syncer(cfg, &rt);
         // Layout: g_0 doubles as the only stream; group count is still
         // mpl+1 but only g_0 is used. Spawn just g_0 to avoid idle threads.
         let groups = vec![PaxosGroup::spawn_with_wal_mode(
             0,
             &single,
-            LiveNet::new(),
+            LiveNet::with_runtime(rt.clone()),
             Pacing::Batched,
-            group_wal_mode(cfg, 0, &syncer),
+            group_wal_mode(cfg, 0, &syncer, &rt),
         )];
         Self {
             groups,
             cfg: single,
             ticker: None,
             syncer,
+            rt,
         }
+    }
+
+    /// The injected runtime this deployment steps on.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
     }
 
     /// The durability view of a pipelined deployment (`None` unless
@@ -392,12 +441,16 @@ impl MulticastSystem {
             (gi, self.groups[gi.as_raw()].subscribe()),
             (gall, self.groups[gall.as_raw()].subscribe()),
         ])
+        .with_clock(Arc::clone(&self.rt.clock))
+        .with_sched(Arc::clone(&self.rt.sched))
     }
 
     /// Subscribes to the single totally-ordered stream of a
     /// [`MulticastSystem::spawn_single`] deployment.
     pub fn single_stream(&self) -> MergedStream {
         MergedStream::new(vec![(GroupId::new(0), self.groups[0].subscribe())])
+            .with_clock(Arc::clone(&self.rt.clock))
+            .with_sched(Arc::clone(&self.rt.sched))
     }
 
     /// Re-subscribes worker `t_i` **after** the system started, resuming
@@ -448,7 +501,9 @@ impl MulticastSystem {
                 })
         };
         let streams = vec![(gi, sub(gi, cut.seq + 1)?), (gall, sub(gall, cut.seq)?)];
-        Ok(MergedStream::resume(streams, cut))
+        Ok(MergedStream::resume(streams, cut)
+            .with_clock(Arc::clone(&self.rt.clock))
+            .with_sched(Arc::clone(&self.rt.sched)))
     }
 
     /// Subscribes worker `t_i` from the **beginning of the retained
@@ -487,7 +542,9 @@ impl MulticastSystem {
                 .subscribe_from(1)
                 .map_err(|_| RecoveryError::LogTrimmed { group, needed: 1 })
         };
-        Ok(MergedStream::new(vec![(gi, sub(gi)?), (gall, sub(gall)?)]))
+        Ok(MergedStream::new(vec![(gi, sub(gi)?), (gall, sub(gall)?)])
+            .with_clock(Arc::clone(&self.rt.clock))
+            .with_sched(Arc::clone(&self.rt.sched)))
     }
 
     /// Subscribes to the single stream of a
@@ -505,7 +562,9 @@ impl MulticastSystem {
             .handle()
             .subscribe_from(1)
             .map_err(|_| RecoveryError::LogTrimmed { group, needed: 1 })?;
-        Ok(MergedStream::new(vec![(group, rx)]))
+        Ok(MergedStream::new(vec![(group, rx)])
+            .with_clock(Arc::clone(&self.rt.clock))
+            .with_sched(Arc::clone(&self.rt.sched)))
     }
 
     /// Re-subscribes to the single stream of a
@@ -525,7 +584,9 @@ impl MulticastSystem {
                 group: cut.group,
                 needed: cut.seq,
             })?;
-        Ok(MergedStream::resume(vec![(cut.group, rx)], cut))
+        Ok(MergedStream::resume(vec![(cut.group, rx)], cut)
+            .with_clock(Arc::clone(&self.rt.clock))
+            .with_sched(Arc::clone(&self.rt.sched)))
     }
 
     /// The live network of one group, for fault injection (crashing

@@ -10,6 +10,7 @@
 use crate::sim::NodeId;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
+use psmr_common::runtime::{Runtime, SendVerdict};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -76,6 +77,7 @@ struct Shared<M> {
 #[derive(Debug)]
 pub struct LiveNet<M> {
     shared: Arc<Shared<M>>,
+    runtime: Runtime,
     rng_seed: u64,
 }
 
@@ -83,14 +85,24 @@ impl<M> Clone for LiveNet<M> {
     fn clone(&self) -> Self {
         Self {
             shared: Arc::clone(&self.shared),
+            runtime: self.runtime.clone(),
             rng_seed: self.rng_seed,
         }
     }
 }
 
 impl<M: Send + 'static> LiveNet<M> {
-    /// Creates an empty network.
+    /// Creates an empty network on the production runtime (real clock,
+    /// FIFO scheduling).
     pub fn new() -> Self {
+        Self::with_runtime(Runtime::real())
+    }
+
+    /// Creates an empty network whose sends consult `runtime`'s
+    /// scheduler and whose fault delays sleep on its clock. Everything
+    /// spawned over this net (Paxos groups, transfer servers) inherits
+    /// the runtime via [`LiveNet::runtime`].
+    pub fn with_runtime(runtime: Runtime) -> Self {
         Self {
             shared: Arc::new(Shared {
                 inboxes: RwLock::new(HashMap::new()),
@@ -99,8 +111,15 @@ impl<M: Send + 'static> LiveNet<M> {
                 crashed: RwLock::new(HashMap::new()),
                 shutdown: AtomicBool::new(false),
             }),
+            runtime,
             rng_seed: 0xD15EA5E,
         }
+    }
+
+    /// The injected runtime this net (and everything running over it)
+    /// steps on.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
     }
 
     /// Registers a node and returns its inbox.
@@ -138,6 +157,12 @@ impl<M: Send + 'static> LiveNet<M> {
                 *remaining -= 1;
             }
         }
+        // The injected scheduler sees every send that survived the
+        // fault filters above; a simulation scheduler may drop or delay
+        // it here to perturb the interleaving.
+        if self.runtime.sched.on_send(from.as_raw(), to.as_raw()) == SendVerdict::Drop {
+            return false;
+        }
         let fault = self.shared.faults.read().get(&(from, to)).copied();
         if let Some(fault) = fault {
             if fault.loss > 0.0 {
@@ -150,7 +175,7 @@ impl<M: Send + 'static> LiveNet<M> {
                 }
             }
             if !fault.delay.is_zero() {
-                std::thread::sleep(fault.delay);
+                self.runtime.clock.sleep(fault.delay);
             }
         }
         match self.shared.inboxes.read().get(&to) {

@@ -24,6 +24,7 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 use psmr_common::metrics::{counters, gauges, global};
+use psmr_common::runtime::{recv_timeout_via, Runtime, SchedulePoint};
 use psmr_common::trace::{self, Stage};
 use psmr_common::SystemConfig;
 use psmr_netsim::live::LiveNet;
@@ -256,6 +257,9 @@ pub struct WalSyncer {
 #[derive(Debug)]
 struct SyncerShared {
     hub: Arc<DurabilityHub>,
+    /// Injected clock (pacing sleeps, lazy-flush timing) and scheduler
+    /// (the `WalFsync` schedule point before each pipeline's fsync).
+    rt: Runtime,
     pace: Duration,
     pipelines: Mutex<Vec<Arc<Pipeline>>>,
     stop: AtomicBool,
@@ -271,11 +275,21 @@ struct SyncerShared {
 const LAZY_SYNC_EVERY: Duration = Duration::from_millis(20);
 
 impl WalSyncer {
-    /// Spawns the sync thread with the given pacing interval; groups
-    /// attach as they spawn with [`WalMode::Pipelined`].
+    /// Spawns the sync thread with the given pacing interval on the
+    /// production runtime; groups attach as they spawn with
+    /// [`WalMode::Pipelined`].
     pub fn spawn(pace: Duration) -> Arc<Self> {
+        Self::spawn_rt(pace, Runtime::real())
+    }
+
+    /// Like [`WalSyncer::spawn`], but pacing sleeps run on the injected
+    /// clock and every per-pipeline fsync crosses the
+    /// [`SchedulePoint::WalFsync`] schedule point of the injected
+    /// scheduler first.
+    pub fn spawn_rt(pace: Duration, rt: Runtime) -> Arc<Self> {
         let shared = Arc::new(SyncerShared {
             hub: Arc::new(DurabilityHub::new()),
+            rt,
             pace,
             pipelines: Mutex::new(Vec::new()),
             stop: AtomicBool::new(false),
@@ -362,6 +376,11 @@ fn sync_pass(
         if target <= durable {
             continue;
         }
+        // The window between fan-out and fsync is where power failures
+        // bite; let an injected scheduler stretch it.
+        shared.rt.sched.reach(SchedulePoint::WalFsync {
+            group: pipeline.group as u64,
+        });
         inflight_gauge.set(pipeline.appended.load(Ordering::Acquire) - durable);
         if pipeline.wal.sync().is_ok() {
             let synced = pipeline.wal.durable_next_seq().saturating_sub(1);
@@ -379,19 +398,22 @@ fn sync_pass(
 }
 
 fn syncer_main(shared: &SyncerShared) {
+    let clock = &shared.rt.clock;
     let inflight_gauge = global().gauge(gauges::WAL_INFLIGHT);
-    let mut last_pass = Instant::now() - shared.pace;
-    let mut last_lazy = Instant::now();
+    let mut last_pass = clock.now() - shared.pace;
+    let mut last_lazy = clock.now();
     loop {
         {
             let mut pending = shared.park.lock().unwrap_or_else(|e| e.into_inner());
             while !*pending && !shared.stop.load(Ordering::Relaxed) {
                 let (next, timed_out) = shared
                     .cv
-                    .wait_timeout(pending, LAZY_SYNC_EVERY)
+                    .wait_timeout(pending, clock.poll_slice(LAZY_SYNC_EVERY))
                     .unwrap_or_else(|e| e.into_inner());
                 pending = next;
-                if timed_out.timed_out() {
+                if timed_out.timed_out()
+                    && clock.now().saturating_duration_since(last_lazy) >= LAZY_SYNC_EVERY
+                {
                     break; // lazy pass: flush skip-only windows
                 }
             }
@@ -403,17 +425,19 @@ fn syncer_main(shared: &SyncerShared) {
         }
         if !stopping {
             // Pace the commits: everything appended while we sleep joins
-            // this pass's group commit.
-            let since = last_pass.elapsed();
+            // this pass's group commit. `wal_sync_pace` is measured on
+            // the injected clock, so a virtual-time test controls when
+            // passes run.
+            let since = clock.now().saturating_duration_since(last_pass);
             if since < shared.pace {
-                std::thread::sleep(shared.pace - since);
+                clock.sleep(shared.pace - since);
             }
         }
-        let lazy = stopping || last_lazy.elapsed() >= LAZY_SYNC_EVERY;
+        let lazy = stopping || clock.now().saturating_duration_since(last_lazy) >= LAZY_SYNC_EVERY;
         if sync_pass(shared, lazy, &inflight_gauge) {
             shared.hub.bump();
         }
-        last_pass = Instant::now();
+        last_pass = clock.now();
         if lazy {
             last_lazy = last_pass;
         }
@@ -463,6 +487,10 @@ struct Inner {
     started: AtomicBool,
     decided: AtomicU64,
     net: LiveNet<NetMsg>,
+    /// Injected clock + scheduler, inherited from the net the group was
+    /// spawned on: submit stamps and coordinator timers read the clock,
+    /// fan-out crosses the `Delivered` schedule point.
+    rt: Runtime,
     group_id: usize,
 }
 
@@ -531,6 +559,13 @@ impl Inner {
             // log instead. Exactly-once either way.
             stream.subscribers.clone()
         };
+        // Outside the stream lock, before the fan-out sends: an injected
+        // scheduler can stall the ordering thread here — the window
+        // between append and fan-out — without holding up `trim_below`.
+        self.rt.sched.reach(SchedulePoint::Delivered {
+            group: self.group_id as u64,
+            seq: batch.seq,
+        });
         let mut dead: Vec<&Sender<Arc<DecidedBatch>>> = Vec::new();
         for tx in &targets {
             match tx.try_send(Arc::clone(&batch)) {
@@ -702,6 +737,7 @@ impl PaxosGroup {
             shutdown: AtomicBool::new(false),
             started: AtomicBool::new(false),
             decided: AtomicU64::new(0),
+            rt: net.runtime().clone(),
             net: net.clone(),
             group_id,
         });
@@ -783,7 +819,7 @@ impl GroupHandle {
         if self
             .inner
             .submit_tx
-            .send((Instant::now(), command))
+            .send((self.inner.rt.clock.now(), command))
             .is_err()
         {
             global().counter(counters::REQUESTS_DROPPED).inc();
@@ -1001,7 +1037,7 @@ fn acceptor_main(
 ) {
     let mut acceptor = crate::acceptor::Acceptor::<Batch>::new();
     loop {
-        match inbox.recv_timeout(Duration::from_millis(50)) {
+        match recv_timeout_via(&*inner.rt.clock, &inbox, Duration::from_millis(50)) {
             Ok((from, msg)) => {
                 if let Some(reply) = acceptor.handle(msg) {
                     net.send(node, from, reply);
@@ -1045,7 +1081,7 @@ fn coordinator_main(
         if inner.shutdown.load(Ordering::Relaxed) {
             return;
         }
-        match inbox.recv_timeout(Duration::from_millis(20)) {
+        match recv_timeout_via(&*inner.rt.clock, &inbox, Duration::from_millis(20)) {
             Ok((from, msg)) => {
                 let out = prop.handle(from.as_raw(), msg);
                 broadcast(out);
@@ -1086,6 +1122,9 @@ fn batched_main(
     // A WAL-seeded stream continues the pre-crash numbering: Paxos
     // instances restart at 0 each incarnation, the stream seq does not.
     let seq_base = inner.stream.lock().next_seq;
+    // Linger timing runs on the injected clock so a virtual-time test
+    // controls exactly when batches close.
+    let clock = Arc::clone(&inner.rt.clock);
     let mut batch: Vec<Bytes> = Vec::new();
     let mut batch_bytes = 0usize;
     // Linger timer: when this loop *saw* the batch's first command.
@@ -1119,7 +1158,7 @@ fn batched_main(
         let timeout = match batch_opened_at {
             Some(t) => cfg
                 .batch_delay
-                .saturating_sub(t.elapsed())
+                .saturating_sub(clock.now().saturating_duration_since(t))
                 .max(Duration::from_micros(1)),
             None => Duration::from_millis(5),
         };
@@ -1129,7 +1168,7 @@ fn batched_main(
                     batch_bytes += cmd.len();
                     batch.push(cmd);
                     if batch_opened_at.is_none() {
-                        batch_opened_at = Some(Instant::now());
+                        batch_opened_at = Some(clock.now());
                         batch_arrived_at = Some(at);
                     }
                 }
@@ -1140,7 +1179,7 @@ fn batched_main(
                     Err(_) => return,
                 }
             }
-            default(timeout) => {}
+            default(clock.poll_slice(timeout)) => {}
         }
         // Drain whatever else is queued, without blocking.
         while batch_bytes < cfg.batch_bytes {
@@ -1149,7 +1188,7 @@ fn batched_main(
                     batch_bytes += cmd.len();
                     batch.push(cmd);
                     if batch_opened_at.is_none() {
-                        batch_opened_at = Some(Instant::now());
+                        batch_opened_at = Some(clock.now());
                         batch_arrived_at = Some(at);
                     }
                 }
@@ -1163,7 +1202,7 @@ fn batched_main(
         // 2. Close the batch if full or lingered long enough (respect the
         //    pipeline cap).
         let linger_expired = batch_opened_at
-            .map(|t| t.elapsed() >= cfg.batch_delay)
+            .map(|t| clock.now().saturating_duration_since(t) >= cfg.batch_delay)
             .unwrap_or(false);
         if (batch_bytes >= cfg.batch_bytes || (linger_expired && !batch.is_empty()))
             && prop.inflight_len() < MAX_INFLIGHT
@@ -1292,7 +1331,7 @@ fn round_paced_main(
                     Err(_) => return,
                 }
             }
-            default(Duration::from_millis(5)) => {}
+            default(inner.rt.clock.poll_slice(Duration::from_millis(5))) => {}
         }
         // Drain queued replies without blocking.
         while let Ok((from, msg)) = inbox.try_recv() {

@@ -46,8 +46,8 @@ pub mod transfer;
 
 pub use durable::{DurableCheckpoint, DurableStore};
 pub use transfer::{
-    fetch_latest, probe_latest, FetchedState, ProbedState, StateTransferServer, TransferError,
-    TransferMsg, TransferNet, TransferSource,
+    fetch_latest, fetch_latest_via, probe_latest, probe_latest_via, FetchedState, ProbedState,
+    StateTransferServer, TransferError, TransferMsg, TransferNet, TransferSource,
 };
 
 use parking_lot::Mutex;
@@ -345,7 +345,18 @@ pub struct AutoCheckpointer {
 
 impl AutoCheckpointer {
     /// Spawns the driver; `trigger` runs once per `interval`.
-    pub fn spawn(interval: Duration, mut trigger: impl FnMut() + Send + 'static) -> Self {
+    pub fn spawn(interval: Duration, trigger: impl FnMut() + Send + 'static) -> Self {
+        Self::spawn_with_clock(interval, Arc::new(psmr_common::runtime::RealClock), trigger)
+    }
+
+    /// [`AutoCheckpointer::spawn`] with the interval measured on an
+    /// injected clock — under a virtual clock the driver fires when the
+    /// test advances time, not when the host does.
+    pub fn spawn_with_clock(
+        interval: Duration,
+        clock: psmr_common::runtime::ClockHandle,
+        mut trigger: impl FnMut() + Send + 'static,
+    ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let thread = std::thread::Builder::new()
@@ -358,7 +369,7 @@ impl AutoCheckpointer {
                     .max(Duration::from_micros(100));
                 let mut elapsed = Duration::ZERO;
                 while !stop_flag.load(Ordering::Relaxed) {
-                    std::thread::sleep(slice);
+                    clock.sleep(slice);
                     elapsed += slice;
                     if elapsed >= interval {
                         elapsed = Duration::ZERO;

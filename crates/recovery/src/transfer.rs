@@ -30,6 +30,7 @@
 
 use crate::{Checkpoint, StreamCut};
 use psmr_common::metrics::{counters, global};
+use psmr_common::runtime::{recv_timeout_via, Clock, RealClock};
 use psmr_netsim::live::LiveNet;
 use psmr_netsim::NodeId;
 use std::fmt;
@@ -292,13 +293,26 @@ pub fn fetch_latest(
     peers: &[NodeId],
     timeout: Duration,
 ) -> Result<FetchedState, TransferError> {
+    fetch_latest_via(&RealClock, net, me, peers, timeout)
+}
+
+/// [`fetch_latest`] with every per-message timeout interpreted in
+/// `clock`'s timebase — the variant deterministic-simulation harnesses
+/// inject a virtual clock into.
+pub fn fetch_latest_via(
+    clock: &dyn Clock,
+    net: &TransferNet,
+    me: NodeId,
+    peers: &[NodeId],
+    timeout: Duration,
+) -> Result<FetchedState, TransferError> {
     if peers.is_empty() {
         return Err(TransferError::NoPeers);
     }
     let inbox = net.register(me);
     let mut fallbacks = 0u64;
     for &peer in peers {
-        match fetch_from(net, &inbox, me, peer, timeout) {
+        match fetch_from(clock, net, &inbox, me, peer, timeout) {
             Some(mut fetched) => {
                 fetched.fallbacks = fallbacks;
                 global().counter(counters::TRANSFERS_COMPLETED).inc();
@@ -318,6 +332,7 @@ pub fn fetch_latest(
 /// One attempt against one peer; `None` on timeout, digest mismatch,
 /// `NotFound`, or protocol confusion.
 fn fetch_from(
+    clock: &dyn Clock,
     net: &TransferNet,
     inbox: &crossbeam::channel::Receiver<(NodeId, TransferMsg)>,
     me: NodeId,
@@ -329,7 +344,7 @@ fn fetch_from(
     }
     // Await the offer, ignoring stragglers from previously abandoned peers.
     let (id, cut, epoch, table, len, chunks, digest) = loop {
-        match inbox.recv_timeout(timeout) {
+        match recv_timeout_via(clock, inbox, timeout) {
             Ok((
                 from,
                 TransferMsg::Offer {
@@ -350,7 +365,7 @@ fn fetch_from(
     let mut snapshot = Vec::with_capacity(usize::try_from(len).ok()?);
     let mut next = 0u32;
     while next < chunks {
-        match inbox.recv_timeout(timeout) {
+        match recv_timeout_via(clock, inbox, timeout) {
             Ok((from, TransferMsg::Chunk { index, bytes })) if from == peer => {
                 if index != next {
                     return None; // protocol violation; don't guess
@@ -405,6 +420,18 @@ pub fn probe_latest(
     peers: &[NodeId],
     timeout: Duration,
 ) -> Result<ProbedState, TransferError> {
+    probe_latest_via(&RealClock, net, me, peers, timeout)
+}
+
+/// [`probe_latest`] with the per-message timeout interpreted in
+/// `clock`'s timebase (see [`fetch_latest_via`]).
+pub fn probe_latest_via(
+    clock: &dyn Clock,
+    net: &TransferNet,
+    me: NodeId,
+    peers: &[NodeId],
+    timeout: Duration,
+) -> Result<ProbedState, TransferError> {
     if peers.is_empty() {
         return Err(TransferError::NoPeers);
     }
@@ -414,7 +441,7 @@ pub fn probe_latest(
             continue; // peer already known-dead
         }
         loop {
-            match inbox.recv_timeout(timeout) {
+            match recv_timeout_via(clock, &inbox, timeout) {
                 Ok((
                     from,
                     TransferMsg::Offer {

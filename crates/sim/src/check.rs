@@ -1,0 +1,193 @@
+//! Shared correctness checkers for integration tests and the
+//! exploration harness.
+//!
+//! The workspace's end-to-end, recovery and cold-start tests all drive
+//! the same closed-loop kvstore clients and check the same per-key
+//! linearizability property; the helpers live here once so the
+//! schedule-exploration harness ([`mod@crate::explore`]) reuses them
+//! verbatim — a history the harness flags would fail the integration
+//! tests for the same reason.
+
+use psmr_core::linear::{check_register, OpRecord, RegisterOp, Verdict};
+use psmr_core::service::RecoverableService;
+use psmr_core::ClientProxy;
+use psmr_kvstore::{KvOp, KvResult};
+use psmr_recovery::{CheckpointStore, Snapshot};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Keys the closed-loop sessions touch (pre-loaded by
+/// `KvService::with_keys(KEYS)`, so key `k` starts at value `k`).
+pub const KEYS: u64 = 8;
+
+/// A fresh per-test temp directory (removed if it already exists).
+pub fn unique_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("psmr-sim-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Executes one store operation through a client proxy.
+pub fn kv(client: &mut ClientProxy, op: KvOp) -> KvResult {
+    KvResult::decode(&client.execute(op.command(), op.encode()))
+}
+
+/// Runs one closed-loop client session: a mix of updates and reads
+/// over [`KEYS`] keys, recording invocation/response times for the
+/// linearizability check. `c` numbers the session; written values
+/// (`c * 1_000_000 + i`) are globally unique as long as every
+/// concurrent session uses a distinct `c` and issues fewer than a
+/// million ops — sessions of a later incarnation keep the histories
+/// disjoint by continuing the numbering (e.g. `10 + c`).
+///
+/// The write/read decision runs on period 3 while the key stride runs
+/// on period 2 (mod [`KEYS`]): both must not share a period, or writes
+/// and reads partition onto disjoint keys and every per-key history
+/// becomes vacuously linearizable.
+pub fn client_session(
+    mut client: ClientProxy,
+    c: u64,
+    ops: u64,
+    t0: Instant,
+) -> Vec<(u64, OpRecord)> {
+    let mut records = Vec::new();
+    for i in 0..ops {
+        let key = (c * 3 + i) % KEYS;
+        let invoked = t0.elapsed().as_nanos() as u64;
+        let op = if (i + c).is_multiple_of(3) {
+            let value = c * 1_000_000 + i;
+            assert_eq!(kv(&mut client, KvOp::Update { key, value }), KvResult::Ok);
+            RegisterOp::Write { value }
+        } else {
+            match kv(&mut client, KvOp::Read { key }) {
+                KvResult::Value(v) => RegisterOp::Read { value: Some(v) },
+                other => panic!("read failed: {other:?}"),
+            }
+        };
+        let returned = t0.elapsed().as_nanos() as u64;
+        records.push((
+            key,
+            OpRecord {
+                invoked,
+                returned,
+                op,
+            },
+        ));
+    }
+    records
+}
+
+/// Checks every per-key history for linearizability (initial value of
+/// key `k` is `k`, the `with_keys` pre-load). Returns the first
+/// violating key with its history on failure — the non-panicking
+/// variant the exploration harness needs to keep searching after a
+/// failing schedule.
+///
+/// The Wing&Gong searcher is sized for histories of < 64 ops per key;
+/// longer ones are reported as an error rather than silently skipped.
+pub fn check_linearizable(records: &[(u64, OpRecord)]) -> Result<(), String> {
+    let mut by_key: HashMap<u64, Vec<OpRecord>> = HashMap::new();
+    for (key, rec) in records {
+        by_key.entry(*key).or_default().push(*rec);
+    }
+    let mut keys: Vec<u64> = by_key.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let history = &by_key[&key];
+        if history.len() >= 64 {
+            return Err(format!(
+                "key {key}: history of {} ops exceeds the checker's bound",
+                history.len()
+            ));
+        }
+        if check_register(history, Some(key)) != Verdict::Linearizable {
+            return Err(format!(
+                "key {key}: history of {} ops is NOT linearizable: {history:?}",
+                history.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Panicking wrapper over [`check_linearizable`] for integration tests.
+pub fn assert_linearizable(records: Vec<(u64, OpRecord)>) {
+    if let Err(e) = check_linearizable(&records) {
+        panic!("{e}");
+    }
+}
+
+/// Polls until replicas 0 and 1 produce byte-identical deterministic
+/// snapshots (they converged on the same executed prefix).
+pub fn await_convergence(service_of: impl Fn(usize) -> Option<Arc<dyn RecoverableService>>) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let s0 = service_of(0).map(|s| s.snapshot());
+        let s1 = service_of(1).map(|s| s.snapshot());
+        if s0.is_some() && s0 == s1 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replicas did not converge within the deadline"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Blocks until the deployment has installed at least one checkpoint a
+/// crashed replica can later restart from.
+pub fn await_checkpoint(store: &CheckpointStore) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while store.latest_id() == 0 {
+        assert!(Instant::now() < deadline, "no checkpoint was ever taken");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(invoked: u64, returned: u64, op: RegisterOp) -> OpRecord {
+        OpRecord {
+            invoked,
+            returned,
+            op,
+        }
+    }
+
+    #[test]
+    fn accepts_a_linearizable_history() {
+        let records = vec![
+            (3, rec(0, 10, RegisterOp::Write { value: 7 })),
+            (3, rec(20, 30, RegisterOp::Read { value: Some(7) })),
+        ];
+        assert!(check_linearizable(&records).is_ok());
+        assert_linearizable(records);
+    }
+
+    #[test]
+    fn flags_a_stale_read_after_an_acknowledged_write() {
+        // The write returned before the read was invoked, yet the read
+        // observed the initial value: a real-time ordering violation.
+        let records = vec![
+            (3, rec(0, 10, RegisterOp::Write { value: 7 })),
+            (3, rec(20, 30, RegisterOp::Read { value: Some(3) })),
+        ];
+        let err = check_linearizable(&records).unwrap_err();
+        assert!(err.contains("key 3"), "{err}");
+        assert!(err.contains("NOT linearizable"), "{err}");
+    }
+
+    #[test]
+    fn flags_oversized_histories_instead_of_skipping_them() {
+        let records: Vec<(u64, OpRecord)> = (0..64)
+            .map(|i| (0, rec(i * 2, i * 2 + 1, RegisterOp::Write { value: i })))
+            .collect();
+        let err = check_linearizable(&records).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+}

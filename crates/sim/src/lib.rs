@@ -1,0 +1,35 @@
+//! Deterministic schedule exploration for the P-SMR stack.
+//!
+//! The protocol cores route every nondeterministic decision — pacing
+//! sleeps, timer firings, delivery fan-out, WAL fsync passes — through
+//! the injected [`psmr_common::runtime`] abstractions. This crate
+//! builds the exploration harness on top:
+//!
+//! * [`sched`] — a seeded PRNG ([`sched::SimRng`]), the schedule plan
+//!   derived purely from a seed ([`sched::SchedulePlan`]), and the
+//!   [`sched::SimScheduler`] that perturbs the stack's schedule points
+//!   with the plan's bounded delays.
+//! * [`mod@explore`] — runs whole kvstore deployments under seeded
+//!   schedules across three fault profiles (delivery chaos, crash +
+//!   restart, power failure), checks linearizability and the
+//!   acknowledged ⇒ fsynced durability invariant after each schedule,
+//!   and reports the first failing seed for deterministic replay.
+//! * [`check`] — the shared correctness checkers (closed-loop client
+//!   sessions, per-key Wing&Gong linearizability, convergence polls)
+//!   the workspace integration tests also use.
+//!
+//! Replay contract: a schedule is *identified by its seed*. The
+//! recorded event log is derived from the seed alone (the plan), so
+//! running the same seed twice yields identical logs and the same
+//! fault injections at the same workload points; thread-level timing
+//! inside one schedule still varies with the host, which is exactly
+//! why each seed's plan is kept host-independent — re-running a
+//! failing seed re-applies the same perturbations.
+
+pub mod check;
+pub mod explore;
+pub mod sched;
+
+pub use check::{assert_linearizable, check_linearizable, client_session, KEYS};
+pub use explore::{explore, run_schedule, ExploreReport, Failure, FaultProfile, SimOptions};
+pub use sched::{SchedulePlan, SimRng, SimScheduler};

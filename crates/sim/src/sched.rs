@@ -1,0 +1,258 @@
+//! Seeded schedule plans and the scheduler that applies them.
+//!
+//! A schedule is identified by a `u64` seed. [`SchedulePlan::generate`]
+//! expands the seed into a *plan*: a table of bounded delays for the
+//! stack's schedule points plus the fault injections (crash/restart
+//! offsets, WAL-sync hold windows, the power-fail point) the driver
+//! applies at fixed workload offsets. The plan — and with it the
+//! recorded event log — is a pure function of `(seed, profile)`, so
+//! replaying a seed re-applies exactly the same perturbations.
+//!
+//! [`SimScheduler`] implements [`psmr_common::runtime::Scheduler`] over
+//! a plan: every [`SchedulePoint`] a protocol thread crosses consumes
+//! the next entry of the delay table (round-robin) and stalls the
+//! caller for that bounded duration, skewing per-group and per-replica
+//! progress without ever wedging the deployment. Delays are the only
+//! perturbation the scheduler itself applies; message *drops* stay the
+//! business of the existing fault hooks (link cuts, crashed acceptors)
+//! because the Paxos cores do not retransmit on every path and an
+//! unplanned drop could turn an exploration run into a hang.
+
+use crate::explore::FaultProfile;
+use psmr_common::runtime::{SchedulePoint, Scheduler};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// A small, fast, deterministic PRNG (splitmix64). Not for
+/// cryptography — for expanding schedule seeds into plans, where the
+/// only requirements are determinism and decent dispersion.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value in `0..n` (`n > 0`).
+    pub fn gen_range(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// True with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.gen_range(den) < num
+    }
+}
+
+/// A fault injection the exploration driver applies at a planned
+/// offset into the schedule's workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannedFault {
+    /// Crash replica 1 `crash_after_ms` into the workload, keep it
+    /// down for `down_ms`, then restart it (retrying briefly when a
+    /// concurrent checkpoint trims the restart cut).
+    CrashRestart {
+        /// Milliseconds into the workload at which to crash.
+        crash_after_ms: u64,
+        /// How long the replica stays down before the restart.
+        down_ms: u64,
+    },
+    /// Freeze every group's WAL sync thread for the window, holding
+    /// all acknowledgments behind the durability watermark.
+    HoldWalSync {
+        /// Milliseconds into the workload at which to freeze.
+        after_ms: u64,
+        /// Length of the frozen window.
+        hold_ms: u64,
+    },
+}
+
+/// The seed-derived plan of one schedule: bounded delays for the
+/// protocol's schedule points plus the fault injections to apply.
+#[derive(Debug, Clone)]
+pub struct SchedulePlan {
+    /// The identifying seed.
+    pub seed: u64,
+    /// Which fault profile shaped the plan.
+    pub profile: FaultProfile,
+    /// Round-robin delay table consumed at schedule points.
+    pub point_delays: Vec<Duration>,
+    /// Driver-applied fault injections, in workload-offset order.
+    pub faults: Vec<PlannedFault>,
+    /// Human-readable event log of the plan. Derived from the seed
+    /// alone — identical across replays of the same `(seed, profile)`.
+    pub events: Vec<String>,
+}
+
+/// Entries in the round-robin delay table.
+const DELAY_SLOTS: usize = 61; // prime, so the table does not sync with group counts
+
+impl SchedulePlan {
+    /// Expands `(seed, profile)` into a plan. Pure: equal inputs yield
+    /// an identical plan and event log.
+    pub fn generate(seed: u64, profile: FaultProfile) -> Self {
+        // Mix the profile into the stream so the same seed explores
+        // different corners under different profiles.
+        let mut rng = SimRng::new(seed ^ ((profile as u64 + 1) << 56));
+        let mut events = Vec::new();
+        events.push(format!("plan seed={seed} profile={profile:?}"));
+
+        let mut point_delays = Vec::with_capacity(DELAY_SLOTS);
+        for slot in 0..DELAY_SLOTS {
+            // Roughly half the slots stall; bounded well below every
+            // protocol timeout so schedules always terminate.
+            let micros = if rng.chance(1, 2) {
+                rng.gen_range(1500)
+            } else {
+                0
+            };
+            if micros > 0 {
+                events.push(format!("delay slot={slot} micros={micros}"));
+            }
+            point_delays.push(Duration::from_micros(micros));
+        }
+
+        let mut faults = Vec::new();
+        match profile {
+            FaultProfile::DeliveryChaos => {}
+            FaultProfile::CrashRestart => {
+                let crash_after_ms = 5 + rng.gen_range(40);
+                let down_ms = 10 + rng.gen_range(60);
+                events.push(format!(
+                    "crash replica=1 after_ms={crash_after_ms} down_ms={down_ms}"
+                ));
+                faults.push(PlannedFault::CrashRestart {
+                    crash_after_ms,
+                    down_ms,
+                });
+            }
+            FaultProfile::PowerFail => {
+                let after_ms = 5 + rng.gen_range(30);
+                let hold_ms = 30 + rng.gen_range(80);
+                events.push(format!(
+                    "hold-wal-sync after_ms={after_ms} hold_ms={hold_ms}"
+                ));
+                events.push("power-fail after workload; cold start; audit acked writes".into());
+                faults.push(PlannedFault::HoldWalSync { after_ms, hold_ms });
+            }
+        }
+        Self {
+            seed,
+            profile,
+            point_delays,
+            faults,
+            events,
+        }
+    }
+}
+
+/// A [`Scheduler`] that perturbs interleavings with a plan's bounded
+/// delays. Each crossed schedule point consumes the next delay-table
+/// entry; the table is seed-derived, the consumption order follows the
+/// host's actual interleaving — which is the point: the same seed
+/// applies the same *pressure pattern*, shifting relative progress of
+/// the protocol threads.
+#[derive(Debug)]
+pub struct SimScheduler {
+    delays: Vec<Duration>,
+    cursor: AtomicUsize,
+}
+
+impl SimScheduler {
+    /// Builds the scheduler over a plan's delay table.
+    pub fn from_plan(plan: &SchedulePlan) -> Self {
+        Self {
+            delays: plan.point_delays.clone(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl Scheduler for SimScheduler {
+    fn reach(&self, _point: SchedulePoint) {
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let d = self.delays[i % self.delays.len()];
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_disperses() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), xs.len(), "no collisions in a short stream");
+        let mut c = SimRng::new(43);
+        assert_ne!(c.next_u64(), xs[0], "nearby seeds diverge");
+    }
+
+    #[test]
+    fn plans_are_pure_functions_of_seed_and_profile() {
+        for profile in FaultProfile::all() {
+            for seed in [0u64, 1, 7, 0xDEAD_BEEF] {
+                let a = SchedulePlan::generate(seed, profile);
+                let b = SchedulePlan::generate(seed, profile);
+                assert_eq!(a.events, b.events);
+                assert_eq!(a.point_delays, b.point_delays);
+                assert_eq!(a.faults, b.faults);
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_shape_the_planned_faults() {
+        let chaos = SchedulePlan::generate(1, FaultProfile::DeliveryChaos);
+        assert!(chaos.faults.is_empty());
+        let crash = SchedulePlan::generate(1, FaultProfile::CrashRestart);
+        assert!(matches!(
+            crash.faults[..],
+            [PlannedFault::CrashRestart { .. }]
+        ));
+        let power = SchedulePlan::generate(1, FaultProfile::PowerFail);
+        assert!(matches!(
+            power.faults[..],
+            [PlannedFault::HoldWalSync { .. }]
+        ));
+        // Different profiles explore different corners of the same seed.
+        assert_ne!(chaos.point_delays, crash.point_delays);
+    }
+
+    #[test]
+    fn scheduler_delays_are_bounded() {
+        let plan = SchedulePlan::generate(9, FaultProfile::DeliveryChaos);
+        for d in &plan.point_delays {
+            assert!(*d < Duration::from_millis(2));
+        }
+        let sched = SimScheduler::from_plan(&plan);
+        let t0 = std::time::Instant::now();
+        for _ in 0..10 {
+            sched.reach(SchedulePoint::WalFsync { group: 0 });
+        }
+        assert!(t0.elapsed() < Duration::from_millis(100));
+    }
+}

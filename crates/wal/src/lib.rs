@@ -73,7 +73,13 @@ use psmr_common::metrics::{counters, global, ScopedHistogram};
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Callback invoked immediately before every commit `fsync`
+/// ([`Wal::set_sync_hook`]). Boxed behind an `Arc` so the syncing
+/// thread can call it without holding the hook lock.
+pub type SyncHook = Arc<dyn Fn() + Send + Sync>;
 
 /// Segment-file magic: identifies a P-SMR write-ahead-log segment.
 const MAGIC: &[u8; 8] = b"PSMRWAL1";
@@ -154,7 +160,6 @@ struct Inner {
 ///
 /// All methods take `&self`; the log is internally locked so the
 /// ordering thread can append while other threads trim or inspect it.
-#[derive(Debug)]
 pub struct Wal {
     dir: PathBuf,
     opts: WalOptions,
@@ -163,6 +168,20 @@ pub struct Wal {
     /// attaches its per-group histogram ([`Wal::observe_fsync`]).
     /// Separate from `opts`, which stays `Copy`.
     fsync_observer: Mutex<Option<ScopedHistogram>>,
+    /// Invoked immediately before every commit `fsync` — the schedule
+    /// point a deterministic-simulation harness hooks to observe (or
+    /// perturb around) durability boundaries ([`Wal::set_sync_hook`]).
+    sync_hook: Mutex<Option<SyncHook>>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.dir)
+            .field("opts", &self.opts)
+            .field("inner", &self.inner)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Wal {
@@ -222,6 +241,7 @@ impl Wal {
                 fsyncs: 0,
             }),
             fsync_observer: Mutex::new(None),
+            sync_hook: Mutex::new(None),
         })
     }
 
@@ -232,6 +252,24 @@ impl Wal {
     /// observed-sync-cost input an adaptive `wal_sync_pace` needs.
     pub fn observe_fsync(&self, histogram: ScopedHistogram) {
         *self.fsync_observer.lock() = Some(histogram);
+    }
+
+    /// Installs (or clears) the callback invoked immediately before
+    /// every commit `fsync` — both the windowed sync inside
+    /// [`Wal::append`] and explicit [`Wal::sync`] calls. A schedule
+    /// exploration harness uses this as its durability yield point;
+    /// production deployments leave it unset.
+    pub fn set_sync_hook(&self, hook: Option<SyncHook>) {
+        *self.sync_hook.lock() = hook;
+    }
+
+    /// Fires the installed sync hook, if any, without holding the hook
+    /// lock across the call.
+    fn fire_sync_hook(&self) {
+        let hook = self.sync_hook.lock().clone();
+        if let Some(hook) = hook {
+            hook();
+        }
     }
 
     /// Records one commit-fsync latency into the attached observer, if
@@ -343,6 +381,7 @@ impl Wal {
         inner.appends += 1;
         global().counter(counters::WAL_APPENDS).inc();
         if inner.unsynced >= self.opts.batch {
+            self.fire_sync_hook();
             let sync_started = Instant::now();
             inner.active.as_ref().expect("active").sync_all()?;
             self.record_fsync(sync_started);
@@ -397,6 +436,7 @@ impl Wal {
                 inner.segments.len(),
             )
         };
+        self.fire_sync_hook();
         let sync_started = Instant::now();
         file.sync_all()?;
         self.record_fsync(sync_started);

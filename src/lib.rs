@@ -23,5 +23,6 @@ pub use psmr_netfs as netfs;
 pub use psmr_netsim as netsim;
 pub use psmr_paxos as paxos;
 pub use psmr_recovery as recovery;
+pub use psmr_sim as sim;
 pub use psmr_wal as wal;
 pub use psmr_workload as workload;

@@ -19,16 +19,10 @@ use psmr_suite::common::ids::ReplicaId;
 use psmr_suite::common::metrics::{counters, global};
 use psmr_suite::common::SystemConfig;
 use psmr_suite::core::engines::{Engine, PsmrEngine, RecoverySource, SmrEngine, SpSmrEngine};
-use psmr_suite::core::linear::{check_register, OpRecord, RegisterOp, Verdict};
-use psmr_suite::core::ClientProxy;
 use psmr_suite::kvstore::{fine_dependency_spec, KvOp, KvResult, KvService};
-use psmr_suite::recovery::Snapshot;
-use std::collections::HashMap;
+use psmr_suite::sim::check::{assert_linearizable, client_session, kv, KEYS};
 use std::path::PathBuf;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-const KEYS: u64 = 8;
 
 /// Fresh per-test directories for the WAL and the snapshots.
 fn unique_dirs(tag: &str) -> (PathBuf, PathBuf) {
@@ -52,64 +46,6 @@ fn cfg(mpl: usize, tag: &str) -> SystemConfig {
         .wal_dir(Some(wal))
         .snapshot_dir(Some(snap));
     cfg
-}
-
-fn kv(client: &mut ClientProxy, op: KvOp) -> KvResult {
-    KvResult::decode(&client.execute(op.command(), op.encode()))
-}
-
-/// One closed-loop client session: updates and reads over `KEYS` keys,
-/// recording invocation/response times for the linearizability check.
-/// `value_base` keeps written values globally unique across sessions
-/// and incarnations.
-fn client_session(
-    mut client: ClientProxy,
-    value_base: u64,
-    ops: u64,
-    t0: Instant,
-) -> Vec<(u64, OpRecord)> {
-    let mut records = Vec::new();
-    for i in 0..ops {
-        let key = (value_base / 1_000_000 * 3 + i) % KEYS;
-        let invoked = t0.elapsed().as_nanos() as u64;
-        let op = if (i + value_base).is_multiple_of(2) {
-            let value = value_base + i;
-            assert_eq!(kv(&mut client, KvOp::Update { key, value }), KvResult::Ok);
-            RegisterOp::Write { value }
-        } else {
-            match kv(&mut client, KvOp::Read { key }) {
-                KvResult::Value(v) => RegisterOp::Read { value: Some(v) },
-                other => panic!("read failed: {other:?}"),
-            }
-        };
-        let returned = t0.elapsed().as_nanos() as u64;
-        records.push((
-            key,
-            OpRecord {
-                invoked,
-                returned,
-                op,
-            },
-        ));
-    }
-    records
-}
-
-/// Every per-key history must be linearizable (initial value of key `k`
-/// is `k`, the `with_keys` pre-load).
-fn assert_linearizable(records: Vec<(u64, OpRecord)>) {
-    let mut by_key: HashMap<u64, Vec<OpRecord>> = HashMap::new();
-    for (key, rec) in records {
-        by_key.entry(key).or_default().push(rec);
-    }
-    for (key, history) in by_key {
-        assert!(history.len() < 64, "sized for the checker");
-        assert_eq!(
-            check_register(&history, Some(key)),
-            Verdict::Linearizable,
-            "key {key}"
-        );
-    }
 }
 
 /// Blocks until every replica's snapshot directory holds at least one
@@ -138,27 +74,15 @@ fn await_persisted(snap_dir: &std::path::Path, replicas: usize) {
     }
 }
 
-/// Polls until both replicas' deterministic snapshots are byte-identical.
-fn await_convergence(engine_service: impl Fn(ReplicaId) -> Option<Vec<u8>>) {
-    let deadline = Instant::now() + Duration::from_secs(20);
-    loop {
-        let s0 = engine_service(ReplicaId::new(0));
-        let s1 = engine_service(ReplicaId::new(1));
-        if s0.is_some() && s0 == s1 {
-            return;
-        }
-        assert!(
-            Instant::now() < deadline,
-            "cold-started replicas did not converge"
-        );
-        std::thread::sleep(Duration::from_millis(10));
-    }
-}
-
-fn service_snapshot(
-    service: Option<Arc<dyn psmr_suite::core::service::RecoverableService>>,
-) -> Option<Vec<u8>> {
-    service.map(|s| s.snapshot())
+/// Polls until both replicas' deterministic snapshots are byte-identical
+/// (the shared helper keyed by raw replica index).
+fn await_convergence(
+    service_of: impl Fn(
+        ReplicaId,
+    )
+        -> Option<std::sync::Arc<dyn psmr_suite::core::service::RecoverableService>>,
+) {
+    psmr_suite::sim::check::await_convergence(|r| service_of(ReplicaId::new(r)));
 }
 
 /// The acceptance scenario: kill every replica of a loaded P-SMR
@@ -181,7 +105,7 @@ fn psmr_whole_deployment_cold_starts_from_disk_under_load() {
     let handles: Vec<_> = (0..3u64)
         .map(|c| {
             let client = engine.client();
-            std::thread::spawn(move || client_session(client, c * 1_000_000, 40, t0))
+            std::thread::spawn(move || client_session(client, c, 40, t0))
         })
         .collect();
     let mut records = Vec::new();
@@ -233,7 +157,7 @@ fn psmr_whole_deployment_cold_starts_from_disk_under_load() {
         "the ordered suffix came back from the WAL"
     );
 
-    await_convergence(|r| service_snapshot(engine.replica_service(r)));
+    await_convergence(|r| engine.replica_service(r));
 
     // The cold-started deployment keeps serving; the combined history
     // (acknowledged ops of both incarnations) is linearizable — no
@@ -241,14 +165,14 @@ fn psmr_whole_deployment_cold_starts_from_disk_under_load() {
     let handles: Vec<_> = (0..3u64)
         .map(|c| {
             let client = engine.client();
-            std::thread::spawn(move || client_session(client, (10 + c) * 1_000_000, 40, t0))
+            std::thread::spawn(move || client_session(client, 10 + c, 40, t0))
         })
         .collect();
     for h in handles {
         records.extend(h.join().unwrap());
     }
     assert_linearizable(records);
-    await_convergence(|r| service_snapshot(engine.replica_service(r)));
+    await_convergence(|r| engine.replica_service(r));
     engine.shutdown();
     cleanup("psmr");
 }
@@ -273,7 +197,7 @@ fn psmr_cold_starts_linearizably_with_pipelined_group_commit() {
     let handles: Vec<_> = (0..3u64)
         .map(|c| {
             let client = engine.client();
-            std::thread::spawn(move || client_session(client, c * 1_000_000, 30, t0))
+            std::thread::spawn(move || client_session(client, c, 30, t0))
         })
         .collect();
     let mut records = Vec::new();
@@ -292,11 +216,11 @@ fn psmr_cold_starts_linearizably_with_pipelined_group_commit() {
         })
         .expect("cold start");
     assert_eq!(reports.len(), 2);
-    await_convergence(|r| service_snapshot(engine.replica_service(r)));
+    await_convergence(|r| engine.replica_service(r));
     let handles: Vec<_> = (0..3u64)
         .map(|c| {
             let client = engine.client();
-            std::thread::spawn(move || client_session(client, (10 + c) * 1_000_000, 30, t0))
+            std::thread::spawn(move || client_session(client, 10 + c, 30, t0))
         })
         .collect();
     for h in handles {
@@ -379,7 +303,7 @@ fn pipelined_crash_before_fsync_never_released_the_lost_suffix() {
             KvService::with_keys(KEYS)
         })
         .expect("cold start after power failure");
-    await_convergence(|r| service_snapshot(engine.replica_service(r)));
+    await_convergence(|r| engine.replica_service(r));
     let mut client = engine.client();
     for key in 0..KEYS {
         assert_eq!(
@@ -429,7 +353,7 @@ fn psmr_cold_starts_from_the_wal_alone_without_any_checkpoint() {
     assert!(reports
         .iter()
         .all(|r| r.source == RecoverySource::WalOnly && r.checkpoint_id == 0));
-    await_convergence(|r| service_snapshot(engine.replica_service(r)));
+    await_convergence(|r| engine.replica_service(r));
     let mut client = engine.client();
     for key in 0..KEYS {
         let last = (0..30u64).filter(|i| i % KEYS == key).max().unwrap();
@@ -480,7 +404,7 @@ fn smr_whole_deployment_cold_starts_from_disk() {
     let (engine, reports) =
         SmrEngine::cold_start(&config, || KvService::with_keys(KEYS)).expect("cold start");
     assert!(reports.iter().any(|r| r.source == RecoverySource::Disk));
-    await_convergence(|r| service_snapshot(engine.replica_service(r)));
+    await_convergence(|r| engine.replica_service(r));
     let mut client = engine.client();
     assert_eq!(
         kv(&mut client, KvOp::Read { key: 0 }),
@@ -527,7 +451,7 @@ fn spsmr_whole_deployment_cold_starts_from_disk() {
         })
         .expect("cold start");
     assert_eq!(reports.len(), 2);
-    await_convergence(|r| service_snapshot(engine.replica_service(r)));
+    await_convergence(|r| engine.replica_service(r));
     let mut client = engine.client();
     for key in 0..KEYS {
         let last = (0..30u64).filter(|i| i % KEYS == key).max().unwrap();

@@ -5,9 +5,8 @@
 
 use psmr_suite::common::SystemConfig;
 use psmr_suite::core::engines::{Engine, NoRepEngine, PsmrEngine, SmrEngine, SpSmrEngine};
-use psmr_suite::core::linear::{check_register, OpRecord, RegisterOp, Verdict};
 use psmr_suite::kvstore::{fine_dependency_spec, KvOp, KvResult, LockedKvEngine};
-use std::collections::HashMap;
+use psmr_suite::sim::check::{assert_linearizable, client_session, kv, KEYS};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -17,10 +16,6 @@ fn cfg(mpl: usize) -> SystemConfig {
         .batch_delay(Duration::from_micros(100))
         .skip_interval(Duration::from_micros(500));
     cfg
-}
-
-fn kv(client: &mut psmr_suite::core::ClientProxy, op: KvOp) -> KvResult {
-    KvResult::decode(&client.execute(op.command(), op.encode()))
 }
 
 /// The same deterministic script must yield identical responses on every
@@ -78,57 +73,21 @@ fn psmr_kvstore_history_is_linearizable() {
     let engine = Arc::new(PsmrEngine::spawn(
         &cfg(4),
         fine_dependency_spec().into_map(),
-        || psmr_suite::kvstore::KvService::with_keys(8),
+        || psmr_suite::kvstore::KvService::with_keys(KEYS),
     ));
     let t0 = Instant::now();
     let mut handles = Vec::new();
     for c in 0..5u64 {
-        let engine = Arc::clone(&engine);
+        let client = engine.client();
         handles.push(std::thread::spawn(move || {
-            let mut client = engine.client();
-            let mut records = Vec::new();
-            for i in 0..40u64 {
-                let key = (c * 3 + i) % 8;
-                let invoked = t0.elapsed().as_nanos() as u64;
-                let op = if (i + c) % 2 == 0 {
-                    let value = c * 1_000_000 + i;
-                    let r = kv(&mut client, KvOp::Update { key, value });
-                    assert_eq!(r, KvResult::Ok);
-                    RegisterOp::Write { value }
-                } else {
-                    match kv(&mut client, KvOp::Read { key }) {
-                        KvResult::Value(v) => RegisterOp::Read { value: Some(v) },
-                        other => panic!("read failed: {other:?}"),
-                    }
-                };
-                let returned = t0.elapsed().as_nanos() as u64;
-                records.push((
-                    key,
-                    OpRecord {
-                        invoked,
-                        returned,
-                        op,
-                    },
-                ));
-            }
-            records
+            client_session(client, c, 40, t0)
         }));
     }
-    let mut by_key: HashMap<u64, Vec<OpRecord>> = HashMap::new();
+    let mut records = Vec::new();
     for h in handles {
-        for (key, rec) in h.join().unwrap() {
-            by_key.entry(key).or_default().push(rec);
-        }
+        records.extend(h.join().unwrap());
     }
-    for (key, history) in by_key {
-        assert!(history.len() < 64, "sized for the checker");
-        // Initial value of key k is k (with_keys pre-load).
-        assert_eq!(
-            check_register(&history, Some(key)),
-            Verdict::Linearizable,
-            "key {key}"
-        );
-    }
+    assert_linearizable(records);
     match Arc::try_unwrap(engine) {
         Ok(engine) => engine.shutdown(),
         Err(_) => panic!("clients still hold the engine"),

@@ -14,23 +14,14 @@ use psmr_suite::common::SystemConfig;
 use psmr_suite::core::engines::{
     Engine, NoRepEngine, PsmrEngine, RecoverySource, SmrEngine, SpSmrEngine,
 };
-use psmr_suite::core::linear::{check_register, OpRecord, RegisterOp, Verdict};
 use psmr_suite::core::remap::{RemapTable, RemappableMap, REMAP};
 use psmr_suite::core::ClientProxy;
 use psmr_suite::kvstore::{fine_dependency_spec, KvOp, KvResult, KvService};
 use psmr_suite::recovery::{RecoveryError, TransferError};
-use std::collections::HashMap;
-use std::path::PathBuf;
+use psmr_suite::sim::check::{
+    assert_linearizable, await_checkpoint, client_session, kv, unique_dir, KEYS,
+};
 use std::time::{Duration, Instant};
-
-const KEYS: u64 = 8;
-
-/// A fresh per-test temp directory for durable snapshots.
-fn unique_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("psmr-it-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
-}
 
 fn cfg(mpl: usize) -> SystemConfig {
     let mut cfg = SystemConfig::new(mpl);
@@ -41,92 +32,15 @@ fn cfg(mpl: usize) -> SystemConfig {
     cfg
 }
 
-fn kv(client: &mut ClientProxy, op: KvOp) -> KvResult {
-    KvResult::decode(&client.execute(op.command(), op.encode()))
-}
-
-/// Runs one closed-loop client: updates and reads over `KEYS` keys,
-/// recording invocation/response times for the linearizability check.
-fn client_session(mut client: ClientProxy, c: u64, ops: u64, t0: Instant) -> Vec<(u64, OpRecord)> {
-    let mut records = Vec::new();
-    for i in 0..ops {
-        let key = (c * 3 + i) % KEYS;
-        let invoked = t0.elapsed().as_nanos() as u64;
-        let op = if (i + c).is_multiple_of(2) {
-            let value = c * 1_000_000 + i;
-            assert_eq!(kv(&mut client, KvOp::Update { key, value }), KvResult::Ok);
-            RegisterOp::Write { value }
-        } else {
-            match kv(&mut client, KvOp::Read { key }) {
-                KvResult::Value(v) => RegisterOp::Read { value: Some(v) },
-                other => panic!("read failed: {other:?}"),
-            }
-        };
-        let returned = t0.elapsed().as_nanos() as u64;
-        records.push((
-            key,
-            OpRecord {
-                invoked,
-                returned,
-                op,
-            },
-        ));
-    }
-    records
-}
-
-/// Every per-key history must be linearizable (initial value of key `k`
-/// is `k`, the `with_keys` pre-load).
-fn assert_linearizable(records: Vec<(u64, OpRecord)>) {
-    let mut by_key: HashMap<u64, Vec<OpRecord>> = HashMap::new();
-    for (key, rec) in records {
-        by_key.entry(key).or_default().push(rec);
-    }
-    for (key, history) in by_key {
-        assert!(history.len() < 64, "sized for the checker");
-        assert_eq!(
-            check_register(&history, Some(key)),
-            Verdict::Linearizable,
-            "key {key}"
-        );
-    }
-}
-
-/// Polls until both replicas' deterministic snapshots are byte-identical.
+/// Polls until both replicas' deterministic snapshots are byte-identical
+/// (the shared helper keyed by raw replica index).
 fn await_convergence(
     service_of: impl Fn(
         ReplicaId,
     )
         -> Option<std::sync::Arc<dyn psmr_suite::core::service::RecoverableService>>,
 ) {
-    use psmr_suite::recovery::Snapshot;
-    let deadline = Instant::now() + Duration::from_secs(20);
-    loop {
-        let s0 = service_of(ReplicaId::new(0))
-            .expect("replica 0 alive")
-            .snapshot();
-        let s1 = service_of(ReplicaId::new(1))
-            .expect("replica 1 alive")
-            .snapshot();
-        if s0 == s1 {
-            return;
-        }
-        assert!(
-            Instant::now() < deadline,
-            "replicas did not converge after restart"
-        );
-        std::thread::sleep(Duration::from_millis(10));
-    }
-}
-
-/// Blocks until the deployment has installed at least one checkpoint the
-/// crashed replica can later restart from.
-fn await_checkpoint(store: &psmr_suite::recovery::CheckpointStore) {
-    let deadline = Instant::now() + Duration::from_secs(10);
-    while store.latest_id() == 0 {
-        assert!(Instant::now() < deadline, "no checkpoint was ever taken");
-        std::thread::sleep(Duration::from_millis(5));
-    }
+    psmr_suite::sim::check::await_convergence(|r| service_of(ReplicaId::new(r)));
 }
 
 /// The acceptance scenario for P-SMR: crash replica 1 while 4 clients
@@ -665,6 +579,74 @@ fn norep_cold_starts_from_its_own_disk_snapshot() {
     drop(client);
     engine.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression for response provenance under the retransmit/restart race:
+/// a request submitted right before a replica crash is retransmitted
+/// while the replica is down and the replica then restarts, so the same
+/// logical command is re-ordered and re-executed — up to four responses
+/// head for the proxy. The dedup must release exactly one, and that
+/// first release must carry `Response::origin` through to the
+/// `Released` trace stamp (finalizing the sampled lifecycle); losing
+/// the origin on any response path silently breaks end-to-end latency
+/// attribution.
+#[test]
+fn retransmitted_request_racing_a_restart_keeps_provenance_and_dedup() {
+    let trace = psmr_suite::common::trace::global();
+    let mut engine =
+        PsmrEngine::spawn_recoverable(&cfg(2), fine_dependency_spec().into_map(), || {
+            KvService::with_keys(KEYS)
+        });
+    let store = engine.checkpoint_store().expect("recoverable deployment");
+    let mut client = engine.client();
+    // One settled command proves the pipeline is up before sampling
+    // starts, so the traced() delta below belongs to the raced request.
+    assert_eq!(
+        kv(&mut client, KvOp::Update { key: 0, value: 1 }),
+        KvResult::Ok
+    );
+    await_checkpoint(&store);
+
+    let sample_before = trace.sample();
+    trace.set_sample(1);
+    let traced_before = trace.traced();
+
+    // The race: submit, crash replica 1 (which may or may not have
+    // executed the command yet), retransmit into the degraded
+    // deployment, then bring the replica back.
+    let op = KvOp::Update {
+        key: 1,
+        value: 4242,
+    };
+    let id = client.submit(op.command(), op.encode());
+    engine.crash_replica(ReplicaId::new(1)).expect("crash");
+    assert_eq!(client.retransmit_outstanding(), 1);
+    std::thread::sleep(Duration::from_millis(50));
+    engine.restart_replica(ReplicaId::new(1)).expect("restart");
+
+    // Exactly one logical response is released …
+    let (got, payload) = client.recv_response();
+    assert_eq!(got, id);
+    assert_eq!(KvResult::decode(&payload), KvResult::Ok);
+    assert_eq!(client.outstanding(), 0);
+    // … and the duplicates (second replica, retransmitted incarnation)
+    // are discarded even after ample time to arrive.
+    std::thread::sleep(Duration::from_millis(200));
+    assert!(
+        client.try_recv_response().is_none(),
+        "dedup released a duplicate response"
+    );
+
+    // The released response carried its (group, seq) origin into the
+    // trace: a sampled lifecycle finalized at Released.
+    assert!(
+        trace.traced() > traced_before,
+        "no lifecycle finalized at Released — Response::origin was lost"
+    );
+
+    trace.set_sample(sample_before);
+    drop(client);
+    engine.shutdown();
 }
 
 /// `ChannelSink`-style silent drops and client retransmissions are
