@@ -502,6 +502,20 @@ pub mod counters {
     /// per-worker labeled views (`commands_executed{replica=R,worker=W}`)
     /// that roll up here.
     pub const COMMANDS_EXECUTED: &str = "commands_executed";
+    /// TCP peer links re-established after a drop (successful re-dials
+    /// past the first connection; the initial connect does not count).
+    pub const NET_RECONNECTS: &str = "net_reconnects";
+    /// Frames written again after a reconnect replayed the link's
+    /// bounded resend buffer.
+    pub const NET_FRAMES_RESENT: &str = "net_frames_resent";
+    /// Inbound frames discarded as duplicates (sequence number at or
+    /// below the last one seen from that peer — resend-buffer replay).
+    pub const NET_FRAMES_DUP_DROPPED: &str = "net_frames_dup_dropped";
+    /// Frames evicted unsent from a full per-peer resend buffer (the
+    /// transport is best-effort, like the simulated substrate).
+    pub const NET_FRAMES_DROPPED: &str = "net_frames_dropped";
+    /// Frames successfully written to a TCP peer link.
+    pub const NET_FRAMES_SENT: &str = "net_frames_sent";
 }
 
 /// Well-known histogram names (see [`MetricsRegistry::histogram`]).

@@ -251,7 +251,29 @@ impl PsmrEngine {
         factory: impl Fn() -> S + Send + Sync + 'static,
         rt: Runtime,
     ) -> Result<(Self, Vec<RecoveryReport>), RecoveryError> {
-        let mut engine = Self::scaffold(cfg, Router::Fixed(map), rt);
+        Self::cold_start_with_router(cfg, Router::Fixed(map), factory, rt)
+    }
+
+    /// [`PsmrEngine::cold_start`] of a deployment spawned with
+    /// [`PsmrEngine::spawn_recoverable_remappable`]: each replica
+    /// re-installs the remap overlay table persisted with its snapshot
+    /// before replaying the log suffix, so pins taken before the
+    /// checkpoint route exactly as they did live.
+    pub fn cold_start_remappable<S: RecoverableService>(
+        cfg: &SystemConfig,
+        map: RemappableMap,
+        factory: impl Fn() -> S + Send + Sync + 'static,
+    ) -> Result<(Self, Vec<RecoveryReport>), RecoveryError> {
+        Self::cold_start_with_router(cfg, Router::Remappable(map), factory, Runtime::real())
+    }
+
+    fn cold_start_with_router<S: RecoverableService>(
+        cfg: &SystemConfig,
+        map: Router,
+        factory: impl Fn() -> S + Send + Sync + 'static,
+        rt: Runtime,
+    ) -> Result<(Self, Vec<RecoveryReport>), RecoveryError> {
+        let mut engine = Self::scaffold(cfg, map, rt);
         // Replayed commands re-respond to the client ids of the dead
         // incarnation; fresh clients must not collide with them or a
         // replayed response answers a new request. Stream positions are
@@ -276,12 +298,17 @@ impl PsmrEngine {
         recovery.set_clock(Arc::clone(&engine.system.runtime().clock));
         let mut reports = Vec::new();
         let mut failure = None;
+        let table_router = engine.sink.router.clone();
         for replica in 0..cfg.n_replicas {
             let recovered = {
                 let system = &engine.system;
                 recovery.cold_start(
                     replica,
                     cfg.all_group(),
+                    // Pins persisted with the snapshot predate the replayed
+                    // log suffix: re-install them before subscribing or
+                    // remapped commands re-route to their old group.
+                    &|table| table_router.install_fetched(table),
                     |cut| {
                         (0..cfg.mpl)
                             .map(|i| system.worker_stream_at(WorkerId::new(i), cut))

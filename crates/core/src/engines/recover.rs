@@ -144,13 +144,16 @@ impl CheckpointHook {
             Some(durable) => {
                 if self.store.install(cut, id, snapshot.clone()) {
                     global().counter(counters::CHECKPOINTS_TAKEN).inc();
-                    let (epoch, _) = (self.epoch)();
+                    // The overlay table rides the snapshot file: a cold
+                    // start must re-install the remap pins in force at
+                    // this cut before replaying the log suffix.
+                    let (epoch, table) = (self.epoch)();
                     // Disk trouble must not take the replica down with
                     // it: the in-memory checkpoint is installed either
                     // way, and load-time crc checks keep a bad write
                     // from ever being trusted.
                     let checkpoint = Checkpoint { id, cut, snapshot };
-                    if durable.persist(&checkpoint, epoch).is_ok() {
+                    if durable.persist(&checkpoint, epoch, &table).is_ok() {
                         let _ = durable.retain_newest(DISK_RETAIN);
                     }
                 }
@@ -370,6 +373,13 @@ impl EngineRecovery {
         let mut newest_tried: Option<StreamCut> = None;
         if let Some(d) = disk {
             let epoch = cluster_epoch.unwrap_or(d.epoch);
+            // No live peer answered the probe: the overlay table persisted
+            // with the snapshot is the best (and correct) routing state —
+            // it was in force at this cut.
+            if probed.is_none() {
+                install_table(&d.table);
+            }
+            let table = d.table;
             newest_tried = Some(d.checkpoint.cut);
             // An inner Err(()) means the cut was trimmed; fall through to
             // the peers.
@@ -383,6 +393,7 @@ impl EngineRecovery {
                     checkpoint,
                     RecoverySource::Disk,
                     epoch,
+                    &table,
                     0,
                     disk_checkpoint,
                 ));
@@ -416,6 +427,7 @@ impl EngineRecovery {
             install_table(&f.table);
             let peer = f.from.as_raw() as usize;
             let (epoch, fallbacks) = (f.epoch, f.fallbacks);
+            let table = f.table;
             if let Ok((service, streams, checkpoint)) =
                 self.try_restore(f.checkpoint, &mut subscribe)?
             {
@@ -426,6 +438,7 @@ impl EngineRecovery {
                     checkpoint,
                     RecoverySource::Peer(peer),
                     epoch,
+                    &table,
                     fallbacks,
                     disk_checkpoint,
                 ));
@@ -451,6 +464,13 @@ impl EngineRecovery {
     /// report (the serialized group for P-SMR, `g0` for single-stream
     /// engines).
     ///
+    /// `install_table` receives the remap overlay table persisted with
+    /// the snapshot being restored, **before** its streams are
+    /// subscribed: pins taken before the checkpoint are not in the
+    /// replayed log suffix, so this hand-off is the only way they
+    /// survive a whole-deployment restart. The from-scratch path skips
+    /// it — a full log replay re-executes the REMAP commands themselves.
+    ///
     /// # Errors
     ///
     /// [`RecoveryError::CutTrimmed`] when snapshots exist but the WAL no
@@ -461,6 +481,7 @@ impl EngineRecovery {
         &mut self,
         replica: usize,
         scratch_group: GroupId,
+        install_table: &dyn Fn(&[u8]),
         mut subscribe_at: impl FnMut(StreamCut) -> Result<S, RecoveryError>,
         subscribe_start: impl FnOnce() -> Result<S, RecoveryError>,
     ) -> Result<(Arc<dyn RecoverableService>, S, RecoveryReport), RecoveryError> {
@@ -473,6 +494,7 @@ impl EngineRecovery {
             if newest_tried.is_none() {
                 newest_tried = Some(candidate.checkpoint.cut);
             }
+            install_table(&candidate.table);
             // Inner Err(()) = this cut's suffix is unavailable; an older
             // snapshot may still sit inside the replayed stream (e.g.
             // when the newest outlived a partially lost WAL directory).
@@ -562,6 +584,7 @@ impl EngineRecovery {
         checkpoint: Checkpoint,
         source: RecoverySource,
         epoch: u64,
+        table: &[u8],
         transfer_fallbacks: u64,
         disk_checkpoint: Option<u64>,
     ) -> (Arc<dyn RecoverableService>, S, RecoveryReport) {
@@ -569,7 +592,7 @@ impl EngineRecovery {
         let store = Arc::new(CheckpointStore::new());
         store.install(checkpoint.cut, checkpoint.id, checkpoint.snapshot.clone());
         if let (Some(durable), RecoverySource::Peer(_)) = (&durable, source) {
-            if durable.persist(&checkpoint, epoch).is_ok() {
+            if durable.persist(&checkpoint, epoch, table).is_ok() {
                 let _ = durable.retain_newest(DISK_RETAIN);
             }
         }
@@ -687,6 +710,7 @@ impl ReplicaSlot {
 mod tests {
     use super::*;
     use crate::service::Service;
+    use parking_lot::Mutex;
     use psmr_common::ids::{CommandId, GroupId};
     use psmr_recovery::{RestoreError, Snapshot};
 
@@ -826,7 +850,7 @@ mod tests {
             .durable
             .as_ref()
             .expect("durable configured")
-            .persist(&checkpoint, 0)
+            .persist(&checkpoint, 0, &[])
             .unwrap();
         recovery.replicas[0].store.install(cut_at(7), 3, vec![7]);
         recovery.on_crash(1);
@@ -859,7 +883,7 @@ mod tests {
             .durable
             .as_ref()
             .expect("durable configured")
-            .persist(&stale, 0)
+            .persist(&stale, 0, &[])
             .unwrap();
         recovery.replicas[0].store.install(cut_at(9), 5, vec![7]);
         recovery.on_crash(1);
@@ -909,10 +933,19 @@ mod tests {
                     snapshot: vec![7],
                 },
                 5,
+                b"overlay",
             )
             .unwrap();
+        let installed = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&installed);
         let (_, (), report) = recovery
-            .cold_start(0, GroupId::new(1), |_| Ok(()), || Ok(()))
+            .cold_start(
+                0,
+                GroupId::new(1),
+                &move |t: &[u8]| sink.lock().push(t.to_vec()),
+                |_| Ok(()),
+                || Ok(()),
+            )
             .expect("cold start from disk");
         assert_eq!(report.source, RecoverySource::Disk);
         assert_eq!(report.checkpoint_id, 2);
@@ -922,9 +955,14 @@ mod tests {
             2,
             "recovered checkpoint seeds the fresh store"
         );
+        assert_eq!(
+            installed.lock().as_slice(),
+            &[b"overlay".to_vec()],
+            "the persisted overlay table is handed over before subscribing"
+        );
         // Replica 1 never persisted anything: scratch replay.
         let (_, (), report) = recovery
-            .cold_start(1, GroupId::new(1), |_| Ok(()), || Ok(()))
+            .cold_start(1, GroupId::new(1), &|_| {}, |_| Ok(()), || Ok(()))
             .expect("cold start from the log alone");
         assert_eq!(report.source, RecoverySource::WalOnly);
         assert_eq!(report.checkpoint_id, 0);
@@ -953,11 +991,13 @@ mod tests {
                     snapshot: vec![7],
                 },
                 0,
+                &[],
             )
             .unwrap();
         let result = recovery.cold_start::<()>(
             0,
             GroupId::new(1),
+            &|_| {},
             |cut| {
                 Err(RecoveryError::LogTrimmed {
                     group: cut.group,

@@ -132,9 +132,12 @@ impl SmrEngine {
         for replica in 0..cfg.n_replicas {
             let recovered = {
                 let system = &engine.system;
+                // Single-stream SMR has no remap router; the persisted
+                // overlay table (always empty here) has nowhere to go.
                 recovery.cold_start(
                     replica,
                     GroupId::new(0),
+                    &|_| {},
                     |cut| system.single_stream_at(cut),
                     || system.single_stream_from_start(),
                 )

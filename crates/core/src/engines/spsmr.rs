@@ -125,9 +125,13 @@ impl SpSmrEngine {
         for replica in 0..cfg.n_replicas {
             let recovered = {
                 let system = &engine.system;
+                // sP-SMR's map is fixed at spawn (no remap router); the
+                // persisted overlay table (always empty here) has nowhere
+                // to go.
                 recovery.cold_start(
                     replica,
                     GroupId::new(0),
+                    &|_| {},
                     |cut| system.single_stream_at(cut),
                     || system.single_stream_from_start(),
                 )

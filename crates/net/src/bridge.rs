@@ -1,0 +1,98 @@
+//! Bridges an in-process [`LiveNet`] onto a [`TcpMesh`] channel.
+//!
+//! The protocols (paxos groups, state-transfer servers) are written
+//! against `LiveNet` and stay unmodified in multi-process deployments.
+//! A bridge splices the two substrates together per message type:
+//!
+//! * **Egress** — the bridge installs a `LiveNet` gateway, so a send to
+//!   a node this process does not host is encoded and queued on the
+//!   mesh toward the owning process (`owner` maps `NodeId` → process).
+//! * **Ingress** — a thread drains the mesh channel, decodes each body
+//!   and injects it with [`LiveNet::deliver`], which never re-consults
+//!   the gateway: bridged traffic cannot loop back out.
+//!
+//! Codec and ownership are closures, so one bridge type serves paxos
+//! messages, transfer messages, and anything a deployment adds later.
+
+use crate::tcp::TcpMesh;
+use psmr_netsim::{LiveNet, NodeId};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Maps a protocol-level node id to the process hosting it (`None` =
+/// nobody; the send is dropped like any `LiveNet` send to an
+/// unregistered node).
+pub type OwnerFn = Arc<dyn Fn(NodeId) -> Option<usize> + Send + Sync>;
+
+/// Serializes a protocol message for the mesh (see [`crate::codec`]).
+pub type EncodeFn<M> = Arc<dyn Fn(&M) -> Vec<u8> + Send + Sync>;
+
+/// Parses a mesh body back into a protocol message; `None` drops the
+/// frame (malformed bodies are treated as loss, like any UDP-ish net).
+pub type DecodeFn<M> = Arc<dyn Fn(&[u8]) -> Option<M> + Send + Sync>;
+
+/// A spliced `LiveNet` ↔ mesh channel; keeps the ingress thread.
+#[derive(Debug)]
+pub struct Bridge {
+    ingress: Option<JoinHandle<()>>,
+}
+
+impl Bridge {
+    /// Splices `net` onto mesh channel `chan`.
+    ///
+    /// `owner` routes egress traffic; `encode`/`decode` are the message
+    /// type's wire codec (see [`crate::codec`]). The ingress thread runs
+    /// until the mesh shuts down (its subscription disconnects).
+    pub fn splice<M: Send + 'static>(
+        net: &LiveNet<M>,
+        mesh: &TcpMesh,
+        chan: u8,
+        owner: OwnerFn,
+        encode: EncodeFn<M>,
+        decode: DecodeFn<M>,
+    ) -> Self {
+        let egress_mesh = mesh.clone();
+        net.set_gateway(Arc::new(
+            move |from: NodeId, to: NodeId, msg: &M| match owner(to) {
+                Some(peer) => {
+                    egress_mesh.send(peer, chan, from.as_raw(), to.as_raw(), &encode(msg))
+                }
+                None => false,
+            },
+        ));
+        let rx = mesh.subscribe(chan);
+        let ingress_net = net.clone();
+        let ingress = std::thread::Builder::new()
+            .name(format!("bridge-chan{chan}"))
+            .spawn(move || {
+                while let Ok(inbound) = rx.recv() {
+                    if let Some(msg) = decode(&inbound.body) {
+                        ingress_net.deliver(
+                            NodeId::new(inbound.from),
+                            NodeId::new(inbound.to),
+                            msg,
+                        );
+                    }
+                }
+            })
+            .expect("spawn bridge ingress");
+        Self {
+            ingress: Some(ingress),
+        }
+    }
+
+    /// Joins the ingress thread (call after the mesh shut down).
+    pub fn stop(mut self) {
+        if let Some(t) = self.ingress.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Bridge {
+    fn drop(&mut self) {
+        if let Some(t) = self.ingress.take() {
+            let _ = t.join();
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Cluster topology: the `NodeId` → `SocketAddr` routing table a
+//! multi-process deployment is launched from.
+//!
+//! The config is a flat TOML file with one `[[node]]` section per
+//! process, in node-id order:
+//!
+//! ```toml
+//! [[node]]
+//! addr = "127.0.0.1:7401"        # mesh listener (node ↔ node traffic)
+//! client_addr = "127.0.0.1:7501" # client listener
+//! data_dir = "/var/lib/psmr/n0"  # WAL + snapshots of this node
+//! ```
+//!
+//! The parser below covers exactly that subset (sections, quoted-string
+//! and integer values, `#` comments) — the build environment vendors no
+//! TOML crate, and the deployment config needs nothing more.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// One process in the deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Address the node's mesh listener binds (peer traffic).
+    pub addr: String,
+    /// Address the node's client listener binds.
+    pub client_addr: String,
+    /// Directory holding the node's WAL and durable snapshots.
+    pub data_dir: PathBuf,
+}
+
+/// The parsed routing table. Node id = position of its `[[node]]`
+/// section; node 0 hosts the serialized orderer in the deployments the
+/// `psmr-node` binary spawns.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// The deployment's nodes, in id order.
+    pub nodes: Vec<NodeSpec>,
+}
+
+/// Why a cluster config did not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A line was neither a section header, a `key = value`, nor blank.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A `key = value` appeared before any `[[node]]` section.
+    KeyOutsideNode {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A node section is missing a required key.
+    MissingKey {
+        /// Index of the incomplete node.
+        node: usize,
+        /// The key that never appeared.
+        key: &'static str,
+    },
+    /// The file declared no nodes at all.
+    Empty,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Malformed { line } => write!(f, "line {line}: malformed"),
+            ClusterError::KeyOutsideNode { line } => {
+                write!(f, "line {line}: key before any [[node]] section")
+            }
+            ClusterError::MissingKey { node, key } => {
+                write!(f, "node {node}: missing required key `{key}`")
+            }
+            ClusterError::Empty => write!(f, "no [[node]] sections"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl ClusterConfig {
+    /// Parses the TOML subset described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError`] on any malformed or incomplete input.
+    pub fn parse(text: &str) -> Result<Self, ClusterError> {
+        let mut nodes: Vec<PartialNode> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = strip_comment(raw).trim().to_string();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if trimmed == "[[node]]" {
+                nodes.push(PartialNode::default());
+                continue;
+            }
+            let Some((key, value)) = trimmed.split_once('=') else {
+                return Err(ClusterError::Malformed { line });
+            };
+            let Some(node) = nodes.last_mut() else {
+                return Err(ClusterError::KeyOutsideNode { line });
+            };
+            let key = key.trim();
+            let value = parse_value(value.trim()).ok_or(ClusterError::Malformed { line })?;
+            match key {
+                "addr" => node.addr = Some(value),
+                "client_addr" => node.client_addr = Some(value),
+                "data_dir" => node.data_dir = Some(value),
+                // Unknown keys are tolerated so configs can carry
+                // operator annotations this version does not read.
+                _ => {}
+            }
+        }
+        if nodes.is_empty() {
+            return Err(ClusterError::Empty);
+        }
+        nodes
+            .into_iter()
+            .enumerate()
+            .map(|(node, partial)| partial.complete(node))
+            .collect::<Result<Vec<_>, _>>()
+            .map(|nodes| Self { nodes })
+    }
+
+    /// Reads and parses a config file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors are folded into [`ClusterError::Empty`]'s sibling — a
+    /// boxed error — by the caller; this returns the parse error or the
+    /// read error as a `String` for binary-friendly reporting.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+    }
+
+    /// Renders the config back to the TOML subset (launchers write the
+    /// file they hand to `psmr-node`).
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        for node in &self.nodes {
+            out.push_str("[[node]]\n");
+            out.push_str(&format!("addr = \"{}\"\n", node.addr));
+            out.push_str(&format!("client_addr = \"{}\"\n", node.client_addr));
+            out.push_str(&format!("data_dir = \"{}\"\n\n", node.data_dir.display()));
+        }
+        out
+    }
+
+    /// Number of nodes in the deployment.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the deployment has no nodes (never true for a parsed
+    /// config).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Drops a trailing `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// A `"quoted string"` or bare integer value.
+fn parse_value(value: &str) -> Option<String> {
+    if let Some(stripped) = value.strip_prefix('"') {
+        let inner = stripped.strip_suffix('"')?;
+        if inner.contains('"') {
+            return None;
+        }
+        return Some(inner.to_string());
+    }
+    value.parse::<i64>().ok().map(|_| value.to_string())
+}
+
+#[derive(Default)]
+struct PartialNode {
+    addr: Option<String>,
+    client_addr: Option<String>,
+    data_dir: Option<String>,
+}
+
+impl PartialNode {
+    fn complete(self, node: usize) -> Result<NodeSpec, ClusterError> {
+        let missing = |key| ClusterError::MissingKey { node, key };
+        Ok(NodeSpec {
+            addr: self.addr.ok_or(missing("addr"))?,
+            client_addr: self.client_addr.ok_or(missing("client_addr"))?,
+            data_dir: PathBuf::from(self.data_dir.ok_or(missing("data_dir"))?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# three-node loopback deployment
+[[node]]
+addr = "127.0.0.1:7401"   # mesh
+client_addr = "127.0.0.1:7501"
+data_dir = "/tmp/psmr/n0"
+
+[[node]]
+addr = "127.0.0.1:7402"
+client_addr = "127.0.0.1:7502"
+data_dir = "/tmp/psmr/n1"
+
+[[node]]
+addr = "127.0.0.1:7403"
+client_addr = "127.0.0.1:7503"
+data_dir = "/tmp/psmr/n2"
+"#;
+
+    #[test]
+    fn parses_the_documented_shape() {
+        let cfg = ClusterConfig::parse(SAMPLE).expect("parse");
+        assert_eq!(cfg.len(), 3);
+        assert_eq!(cfg.nodes[0].addr, "127.0.0.1:7401");
+        assert_eq!(cfg.nodes[2].client_addr, "127.0.0.1:7503");
+        assert_eq!(cfg.nodes[1].data_dir, PathBuf::from("/tmp/psmr/n1"));
+    }
+
+    #[test]
+    fn round_trips_through_to_toml() {
+        let cfg = ClusterConfig::parse(SAMPLE).expect("parse");
+        let again = ClusterConfig::parse(&cfg.to_toml()).expect("reparse");
+        assert_eq!(cfg, again);
+    }
+
+    #[test]
+    fn rejects_incomplete_and_malformed_input() {
+        assert_eq!(ClusterConfig::parse(""), Err(ClusterError::Empty));
+        assert_eq!(
+            ClusterConfig::parse("addr = \"x\""),
+            Err(ClusterError::KeyOutsideNode { line: 1 })
+        );
+        assert_eq!(
+            ClusterConfig::parse("[[node]]\naddr = \"x\"\nclient_addr = \"y\""),
+            Err(ClusterError::MissingKey {
+                node: 0,
+                key: "data_dir"
+            })
+        );
+        assert_eq!(
+            ClusterConfig::parse("[[node]]\nwhat even is this"),
+            Err(ClusterError::Malformed { line: 2 })
+        );
+        assert_eq!(
+            ClusterConfig::parse("[[node]]\naddr = unquoted"),
+            Err(ClusterError::Malformed { line: 2 })
+        );
+    }
+
+    #[test]
+    fn comments_inside_strings_are_not_comments() {
+        let cfg = ClusterConfig::parse(
+            "[[node]]\naddr = \"a#b:1\"\nclient_addr = \"c:2\"\ndata_dir = \"/d\"\n",
+        )
+        .expect("parse");
+        assert_eq!(cfg.nodes[0].addr, "a#b:1");
+    }
+}

@@ -1,0 +1,565 @@
+//! The TCP mesh: one process's view of the deployment's full mesh of
+//! loopback-or-LAN links.
+//!
+//! Each process runs a [`TcpMesh`]: a listener accepting inbound links
+//! from every peer, and one **dialer** per outbound peer that connects,
+//! reconnects with exponential backoff, and writes [`crate::frame`]
+//! envelopes from a per-peer outbound queue. Delivery semantics match
+//! the simulated [`psmr_netsim::live::LiveNet`] the protocols were built
+//! against: **best-effort, dup-suppressed, per-link FIFO**.
+//!
+//! * Every data frame carries a per-link sequence number. The dialer
+//!   keeps a bounded resend buffer and replays it wholesale after a
+//!   reconnect (`net_frames_resent`); the receiver drops any sequence
+//!   number at or below the last one seen from that peer
+//!   (`net_frames_dup_dropped`), so a replayed prefix never delivers
+//!   twice to the same incarnation.
+//! * Every mesh picks a fresh **incarnation id** at spawn. HELLO
+//!   carries the sender's; the receiver acks with its own, and resets
+//!   its dup filter when a peer's incarnation changed (a restarted
+//!   process restarts its sequence numbers). Symmetrically, a dialer
+//!   that sees a *new* incarnation in the ack discards every frame
+//!   queued before that dial began instead of replaying it: those
+//!   frames were addressed to a process that no longer exists, and
+//!   replaying them would resurrect state (e.g. trimmed log prefixes)
+//!   the restarted peer must instead rebuild through its own
+//!   protocols. Discards count as loss (`net_frames_dropped`).
+//! * A full resend buffer evicts its oldest **unsent** frame
+//!   (`net_frames_dropped`) — loss, exactly like a lossy `LiveNet`
+//!   link. Protocols already tolerate it (paxos retries, the decided-
+//!   batch relay re-subscribes on a gap).
+//! * Frames are multiplexed by an application-chosen channel byte
+//!   ([`TcpMesh::subscribe`]), so paxos traffic, state transfer, and the
+//!   relay/client planes share one socket pair per peer direction.
+
+use crate::cluster::ClusterConfig;
+use crate::frame::{encode_frame, FrameDecoder};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use psmr_common::metrics::{counters, global};
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Frames a dialer retains for replay-on-reconnect, per peer.
+const RESEND_CAP: usize = 4096;
+/// First retry delay after a failed dial.
+const BACKOFF_MIN: Duration = Duration::from_millis(10);
+/// Retry delays stop doubling here.
+const BACKOFF_MAX: Duration = Duration::from_secs(1);
+/// How often parked threads re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Frame kinds inside the envelope payload.
+const KIND_DATA: u8 = 0;
+/// `kind | sender proc u64 | sender incarnation u64`.
+const KIND_HELLO: u8 = 1;
+/// `kind | receiver incarnation u64` — the listener's reply to HELLO.
+const KIND_ACK: u8 = 2;
+/// `kind | seq u64 | chan u8 | from u64 | to u64` precedes a data body.
+const DATA_HEADER: usize = 1 + 8 + 1 + 8 + 8;
+/// How long a dialer waits for the HELLO ack before re-dialing.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// One received message: the logical endpoints the sender stamped plus
+/// the opaque body (decoded by the channel's own codec).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inbound {
+    /// Logical sender (a protocol-level node id, not the process id).
+    pub from: u64,
+    /// Logical destination.
+    pub to: u64,
+    /// The message bytes.
+    pub body: Vec<u8>,
+}
+
+/// Outbound state of one peer link, shared between `send` and the
+/// dialer thread.
+struct LinkState {
+    next_seq: u64,
+    /// `(seq, encoded frame)` — encoded once, replayed as-is.
+    buffer: VecDeque<(u64, Arc<Vec<u8>>)>,
+}
+
+struct Link {
+    state: Mutex<LinkState>,
+    /// Kicks the dialer out of its idle wait when a frame is queued.
+    wake: Sender<()>,
+    /// `highest seq ever written + 1`: frames below it are resends when
+    /// written again, frames at/above it were never sent (eviction of
+    /// one is real loss).
+    sent_watermark: AtomicU64,
+}
+
+struct MeshInner {
+    me: usize,
+    /// Distinguishes this process's lifetime from earlier ones at the
+    /// same address, so peers can tell a reconnect from a restart.
+    incarnation: u64,
+    shutdown: AtomicBool,
+    /// Index = peer id; `None` at `me`.
+    links: Vec<Option<Link>>,
+    subscribers: Mutex<HashMap<u8, Sender<Inbound>>>,
+    /// Per sending process: its incarnation and the highest data-frame
+    /// seq seen from it — the reconnect dup filter. A new incarnation
+    /// resets the seq floor (restarted peers restart their counters).
+    last_seen: Mutex<HashMap<u64, (u64, u64)>>,
+}
+
+/// This process's endpoint of the deployment mesh. Cloneable; all clones
+/// share the links.
+#[derive(Clone)]
+pub struct TcpMesh {
+    inner: Arc<MeshInner>,
+    threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for TcpMesh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpMesh")
+            .field("me", &self.inner.me)
+            .field("peers", &(self.inner.links.len() - 1))
+            .finish()
+    }
+}
+
+impl TcpMesh {
+    /// Binds `cluster.nodes[me].addr` and spawns the accept loop plus
+    /// one dialer per peer. Dialers start connecting immediately and
+    /// keep retrying with backoff until shutdown.
+    ///
+    /// # Errors
+    ///
+    /// The bind error when the mesh address is unavailable.
+    pub fn spawn(me: usize, cluster: &ClusterConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cluster.nodes[me].addr)?;
+        listener.set_nonblocking(true)?;
+        // Build each link together with its dialer's wake receiver
+        // (bounded(1): wakes coalesce while the dialer is busy).
+        let mut wake_rxs: Vec<Option<Receiver<()>>> = Vec::with_capacity(cluster.len());
+        let links = (0..cluster.len())
+            .map(|peer| {
+                if peer == me {
+                    wake_rxs.push(None);
+                    return None;
+                }
+                let (wake, wake_rx) = bounded(1);
+                wake_rxs.push(Some(wake_rx));
+                Some(Link {
+                    state: Mutex::new(LinkState {
+                        next_seq: 1,
+                        buffer: VecDeque::new(),
+                    }),
+                    wake,
+                    sent_watermark: AtomicU64::new(1),
+                })
+            })
+            .collect();
+        let inner = Arc::new(MeshInner {
+            me,
+            incarnation: fresh_incarnation(),
+            shutdown: AtomicBool::new(false),
+            links,
+            subscribers: Mutex::new(HashMap::new()),
+            last_seen: Mutex::new(HashMap::new()),
+        });
+        let mesh = Self {
+            inner,
+            threads: Arc::new(Mutex::new(Vec::new())),
+        };
+        let mut threads = Vec::new();
+        for (peer, wake_rx) in wake_rxs.into_iter().enumerate() {
+            let Some(wake_rx) = wake_rx else { continue };
+            let inner = Arc::clone(&mesh.inner);
+            let addr = cluster.nodes[peer].addr.clone();
+            let thread = std::thread::Builder::new()
+                .name(format!("mesh-{me}-dial-{peer}"))
+                .spawn(move || dialer_main(&inner, peer, &addr, wake_rx))
+                .expect("spawn mesh dialer");
+            threads.push(thread);
+        }
+        let inner = Arc::clone(&mesh.inner);
+        let accept_threads = Arc::clone(&mesh.threads);
+        let thread = std::thread::Builder::new()
+            .name(format!("mesh-{me}-accept"))
+            .spawn(move || accept_main(&inner, listener, &accept_threads))
+            .expect("spawn mesh acceptor");
+        threads.push(thread);
+        mesh.threads.lock().extend(threads);
+        Ok(mesh)
+    }
+
+    /// This process's id in the cluster config.
+    pub fn me(&self) -> usize {
+        self.inner.me
+    }
+
+    /// Queues one message for `peer` on channel `chan`. Returns `false`
+    /// only after shutdown (a down peer still queues: the dialer
+    /// delivers once it connects). `from`/`to` are protocol-level node
+    /// ids carried opaquely to the receiver.
+    pub fn send(&self, peer: usize, chan: u8, from: u64, to: u64, body: &[u8]) -> bool {
+        if self.inner.shutdown.load(Ordering::Relaxed) {
+            return false;
+        }
+        if peer == self.inner.me {
+            // Local loopback: reliable, no seq machinery.
+            dispatch(
+                &self.inner,
+                chan,
+                Inbound {
+                    from,
+                    to,
+                    body: body.to_vec(),
+                },
+            );
+            return true;
+        }
+        let Some(link) = self.inner.links.get(peer).and_then(|l| l.as_ref()) else {
+            return false;
+        };
+        let mut payload = Vec::with_capacity(DATA_HEADER + body.len());
+        let mut state = link.state.lock();
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        payload.push(KIND_DATA);
+        payload.extend_from_slice(&seq.to_le_bytes());
+        payload.push(chan);
+        payload.extend_from_slice(&from.to_le_bytes());
+        payload.extend_from_slice(&to.to_le_bytes());
+        payload.extend_from_slice(body);
+        if state.buffer.len() >= RESEND_CAP {
+            if let Some((evicted, _)) = state.buffer.pop_front() {
+                if evicted >= link.sent_watermark.load(Ordering::Relaxed) {
+                    global().counter(counters::NET_FRAMES_DROPPED).inc();
+                }
+            }
+        }
+        state
+            .buffer
+            .push_back((seq, Arc::new(encode_frame(&payload))));
+        drop(state);
+        let _ = link.wake.try_send(());
+        true
+    }
+
+    /// Registers (or replaces) the consumer of channel `chan`.
+    pub fn subscribe(&self, chan: u8) -> Receiver<Inbound> {
+        let (tx, rx) = unbounded();
+        self.inner.subscribers.lock().insert(chan, tx);
+        rx
+    }
+
+    /// Stops every mesh thread and joins them. Subscriber receivers
+    /// disconnect (their senders are dropped), so consumer threads
+    /// blocked on `recv()` unblock too. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        self.inner.subscribers.lock().clear();
+        for link in self.inner.links.iter().flatten() {
+            let _ = link.wake.try_send(());
+        }
+        let drained: Vec<JoinHandle<()>> = std::mem::take(&mut *self.threads.lock());
+        for t in drained {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A value distinguishing this process lifetime from any other process
+/// that answered (or will answer) at the same mesh address: wall-clock
+/// nanos folded with the pid.
+fn fresh_incarnation() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(1, |d| d.as_nanos() as u64);
+    nanos ^ (u64::from(std::process::id()) << 48)
+}
+
+/// Hands one inbound message to the channel's subscriber (or drops it —
+/// same contract as `LiveNet` sending to an unregistered node).
+fn dispatch(inner: &MeshInner, chan: u8, msg: Inbound) {
+    if let Some(tx) = inner.subscribers.lock().get(&chan) {
+        let _ = tx.send(msg);
+    }
+}
+
+/// The per-peer dialer: connect (with backoff), replay the resend
+/// buffer, then stream queued frames until the link drops.
+fn dialer_main(inner: &Arc<MeshInner>, peer: usize, addr: &str, wake: Receiver<()>) {
+    let link = inner.links[peer].as_ref().expect("dialer has a link");
+    let mut conn: Option<TcpStream> = None;
+    // Next seq to write on the current connection.
+    let mut cursor = 0u64;
+    let mut backoff = BACKOFF_MIN;
+    let mut ever_connected = false;
+    // The peer incarnation this link last replayed to.
+    let mut peer_incarnation: Option<u64> = None;
+    while !inner.shutdown.load(Ordering::Relaxed) {
+        let Some(stream) = conn.as_mut() else {
+            match TcpStream::connect(addr) {
+                Ok(mut stream) => {
+                    let _ = stream.set_nodelay(true);
+                    // Frames queued before this connect attempt were
+                    // addressed to whichever process was (or wasn't)
+                    // alive back then; if the ack below reveals a new
+                    // incarnation, exactly those frames are discarded.
+                    let pre_dial_seq = link.state.lock().next_seq;
+                    let mut hello = Vec::with_capacity(17);
+                    hello.push(KIND_HELLO);
+                    hello.extend_from_slice(&(inner.me as u64).to_le_bytes());
+                    hello.extend_from_slice(&inner.incarnation.to_le_bytes());
+                    let handshake = stream
+                        .write_all(&encode_frame(&hello))
+                        .and_then(|()| read_ack(inner, &mut stream));
+                    let acked = match handshake {
+                        Ok(acked) => acked,
+                        Err(_) => {
+                            std::thread::sleep(backoff.min(POLL));
+                            backoff = (backoff * 2).min(BACKOFF_MAX);
+                            continue;
+                        }
+                    };
+                    if ever_connected {
+                        global().counter(counters::NET_RECONNECTS).inc();
+                    }
+                    ever_connected = true;
+                    backoff = BACKOFF_MIN;
+                    let mut state = link.state.lock();
+                    let prior = peer_incarnation.replace(acked);
+                    if prior.is_some() && prior != Some(acked) {
+                        // A *different* process now answers at this
+                        // address. Frames retained for its predecessor
+                        // must not replay — discard them as loss —
+                        // while frames queued once this dial was
+                        // already underway still deliver.
+                        let watermark = link.sent_watermark.load(Ordering::Relaxed);
+                        let unsent = state
+                            .buffer
+                            .iter()
+                            .filter(|(s, _)| *s < pre_dial_seq && *s >= watermark)
+                            .count();
+                        global()
+                            .counter(counters::NET_FRAMES_DROPPED)
+                            .add(unsent as u64);
+                        state.buffer.retain(|(s, _)| *s >= pre_dial_seq);
+                    }
+                    // Replay the whole retained buffer on this fresh
+                    // connection; the receiver's seq filter drops what
+                    // its incarnation already saw.
+                    cursor = state.buffer.front().map_or(state.next_seq, |(seq, _)| *seq);
+                    drop(state);
+                    conn = Some(stream);
+                }
+                Err(_) => {
+                    // Sleep in short slices so shutdown stays prompt.
+                    let mut left = backoff;
+                    while left > Duration::ZERO && !inner.shutdown.load(Ordering::Relaxed) {
+                        let slice = left.min(POLL);
+                        std::thread::sleep(slice);
+                        left = left.saturating_sub(slice);
+                    }
+                    backoff = (backoff * 2).min(BACKOFF_MAX);
+                }
+            }
+            continue;
+        };
+        let next = {
+            let state = link.state.lock();
+            state
+                .buffer
+                .iter()
+                .find(|(seq, _)| *seq >= cursor)
+                .map(|(seq, frame)| (*seq, Arc::clone(frame)))
+        };
+        match next {
+            None => match wake.recv_timeout(POLL) {
+                Ok(()) | Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            },
+            Some((seq, frame)) => match stream.write_all(&frame) {
+                Ok(()) => {
+                    let watermark = link.sent_watermark.load(Ordering::Relaxed);
+                    if seq < watermark {
+                        global().counter(counters::NET_FRAMES_RESENT).inc();
+                    } else {
+                        global().counter(counters::NET_FRAMES_SENT).inc();
+                        link.sent_watermark.store(seq + 1, Ordering::Relaxed);
+                    }
+                    cursor = seq + 1;
+                }
+                Err(_) => {
+                    conn = None;
+                }
+            },
+        }
+    }
+}
+
+/// Blocks (bounded by [`HANDSHAKE_TIMEOUT`]) for the listener's ack and
+/// returns the peer's incarnation id.
+fn read_ack(inner: &MeshInner, stream: &mut TcpStream) -> std::io::Result<u64> {
+    stream.set_read_timeout(Some(POLL))?;
+    let give_up = std::time::Instant::now() + HANDSHAKE_TIMEOUT;
+    let mut decoder = FrameDecoder::new();
+    let mut buf = [0u8; 256];
+    loop {
+        if inner.shutdown.load(Ordering::Relaxed) || std::time::Instant::now() >= give_up {
+            return Err(std::io::Error::from(ErrorKind::TimedOut));
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Err(std::io::Error::from(ErrorKind::UnexpectedEof)),
+            Ok(n) => {
+                decoder.push(&buf[..n]);
+                if let Some(payload) = decoder
+                    .next()
+                    .map_err(|_| std::io::Error::from(ErrorKind::InvalidData))?
+                {
+                    if payload.len() != 9 || payload[0] != KIND_ACK {
+                        return Err(std::io::Error::from(ErrorKind::InvalidData));
+                    }
+                    return Ok(u64::from_le_bytes(payload[1..9].try_into().unwrap()));
+                }
+            }
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The accept loop: one reader thread per inbound connection.
+fn accept_main(
+    inner: &Arc<MeshInner>,
+    listener: TcpListener,
+    threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !inner.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(POLL));
+                let inner = Arc::clone(inner);
+                let me = inner.me;
+                let handle = std::thread::Builder::new()
+                    .name(format!("mesh-{me}-read"))
+                    .spawn(move || reader_main(&inner, stream))
+                    .expect("spawn mesh reader");
+                threads.lock().push(handle);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Reads one inbound connection: HELLO first, then seq-filtered data
+/// frames dispatched to channel subscribers. Any framing error tears
+/// the connection down (the peer's dialer re-establishes and replays).
+fn reader_main(inner: &Arc<MeshInner>, mut stream: TcpStream) {
+    let mut decoder = FrameDecoder::new();
+    let mut sender: Option<(u64, u64)> = None;
+    let mut buf = [0u8; 64 * 1024];
+    while !inner.shutdown.load(Ordering::Relaxed) {
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => {
+                decoder.push(&buf[..n]);
+                loop {
+                    match decoder.next() {
+                        Ok(Some(payload)) => {
+                            if !handle_payload(inner, &mut sender, &payload, &mut stream) {
+                                return;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => return,
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// One decoded frame payload; `false` = protocol violation, drop the
+/// connection.
+fn handle_payload(
+    inner: &MeshInner,
+    sender: &mut Option<(u64, u64)>,
+    payload: &[u8],
+    stream: &mut TcpStream,
+) -> bool {
+    match payload.first() {
+        Some(&KIND_HELLO) => {
+            if payload.len() != 17 {
+                return false;
+            }
+            let from_proc = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+            let incarnation = u64::from_le_bytes(payload[9..17].try_into().unwrap());
+            {
+                // A new incarnation of the peer restarts its sequence
+                // numbers; lift the dup floor so its frames deliver.
+                let mut last_seen = inner.last_seen.lock();
+                let entry = last_seen.entry(from_proc).or_insert((incarnation, 0));
+                if entry.0 != incarnation {
+                    *entry = (incarnation, 0);
+                }
+            }
+            *sender = Some((from_proc, incarnation));
+            let mut ack = Vec::with_capacity(9);
+            ack.push(KIND_ACK);
+            ack.extend_from_slice(&inner.incarnation.to_le_bytes());
+            stream.write_all(&encode_frame(&ack)).is_ok()
+        }
+        Some(&KIND_DATA) => {
+            let Some(&(from_proc, conn_incarnation)) = sender.as_ref() else {
+                return false; // data before HELLO
+            };
+            if payload.len() < DATA_HEADER {
+                return false;
+            }
+            let seq = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+            let chan = payload[9];
+            let from = u64::from_le_bytes(payload[10..18].try_into().unwrap());
+            let to = u64::from_le_bytes(payload[18..26].try_into().unwrap());
+            {
+                let mut last_seen = inner.last_seen.lock();
+                let (current, last) = last_seen.entry(from_proc).or_insert((conn_incarnation, 0));
+                // A lingering connection from a dead incarnation may
+                // still have buffered frames after the restarted peer's
+                // HELLO reset the floor; letting them through would
+                // raise the floor past the fresh sequence numbers and
+                // swallow the new incarnation's traffic.
+                if *current != conn_incarnation || seq <= *last {
+                    global().counter(counters::NET_FRAMES_DUP_DROPPED).inc();
+                    return true;
+                }
+                *last = seq;
+            }
+            dispatch(
+                inner,
+                chan,
+                Inbound {
+                    from,
+                    to,
+                    body: payload[DATA_HEADER..].to_vec(),
+                },
+            );
+            true
+        }
+        _ => false,
+    }
+}

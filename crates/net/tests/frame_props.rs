@@ -1,0 +1,193 @@
+//! Seeded frame-codec property test: arbitrary split/coalesce of the
+//! byte stream across `read()` boundaries, a torn final frame, and
+//! bit-flipped bytes must never panic the decoder, never invent a
+//! frame, and always yield the exact valid prefix.
+//!
+//! Same discipline as `crates/wal/tests/torn_tail.rs`: the whole case
+//! derives from the seed, so a failing line like `seed 17, cut at 113`
+//! reproduces exactly.
+
+use psmr_net::frame::{encode_frame, FrameDecoder, HEADER_LEN};
+
+/// splitmix64 — tiny, seedable, and good enough to scatter offsets.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A seeded message sequence and its concatenated wire image.
+fn build_stream(rng: &mut Rng) -> (Vec<Vec<u8>>, Vec<u8>) {
+    let count = rng.below(18) + 3;
+    let mut frames = Vec::new();
+    let mut wire = Vec::new();
+    for _ in 0..count {
+        let len = rng.below(200) as usize;
+        let payload: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+        wire.extend_from_slice(&encode_frame(&payload));
+        frames.push(payload);
+    }
+    (frames, wire)
+}
+
+/// Feeds `bytes` to the decoder in seeded arbitrary chunks — sometimes
+/// byte-by-byte, sometimes coalescing several frames per push — pulling
+/// every available frame between pushes. Returns the yielded frames and
+/// whether the decoder ended poisoned.
+fn drive(rng: &mut Rng, bytes: &[u8]) -> (Vec<Vec<u8>>, bool) {
+    let mut dec = FrameDecoder::new();
+    let mut yielded = Vec::new();
+    let mut at = 0;
+    while at < bytes.len() {
+        let chunk = (rng.below(512) + 1) as usize;
+        let end = (at + chunk).min(bytes.len());
+        dec.push(&bytes[at..end]);
+        at = end;
+        // Sometimes let input pile up before decoding (coalesce).
+        if rng.below(4) == 0 && at < bytes.len() {
+            continue;
+        }
+        loop {
+            match dec.next() {
+                Ok(Some(frame)) => yielded.push(frame),
+                Ok(None) => break,
+                Err(_) => return (yielded, true),
+            }
+        }
+    }
+    // Drain whatever the last pushes completed.
+    loop {
+        match dec.next() {
+            Ok(Some(frame)) => yielded.push(frame),
+            Ok(None) => return (yielded, false),
+            Err(_) => return (yielded, true),
+        }
+    }
+}
+
+/// Index of the frame containing wire byte `pos`, given each frame's
+/// total wire length.
+fn frame_at(frames: &[Vec<u8>], pos: usize) -> usize {
+    let mut offset = 0;
+    for (idx, f) in frames.iter().enumerate() {
+        offset += HEADER_LEN + f.len();
+        if pos < offset {
+            return idx;
+        }
+    }
+    frames.len()
+}
+
+#[test]
+fn torn_streams_yield_the_exact_complete_prefix() {
+    for seed in 0..48u64 {
+        let mut rng = Rng(seed);
+        let (frames, wire) = build_stream(&mut rng);
+        let cut = rng.below(wire.len() as u64 + 1) as usize;
+        let ctx = format!("seed {seed}: cut at {cut} of {}", wire.len());
+
+        // How many frames are wholly inside the prefix.
+        let mut complete = 0;
+        let mut offset = 0;
+        for f in &frames {
+            offset += HEADER_LEN + f.len();
+            if offset <= cut {
+                complete += 1;
+            } else {
+                break;
+            }
+        }
+
+        let (yielded, poisoned) = drive(&mut rng, &wire[..cut]);
+        assert!(!poisoned, "{ctx}: a torn tail is not corruption");
+        assert_eq!(
+            yielded.len(),
+            complete,
+            "{ctx}: decoder must yield every complete frame and nothing more"
+        );
+        assert_eq!(yielded, frames[..complete].to_vec(), "{ctx}");
+    }
+}
+
+#[test]
+fn bit_flips_never_surface_a_wrong_frame() {
+    for seed in 0..48u64 {
+        let mut rng = Rng(seed ^ 0xB17_F11B);
+        let (frames, mut wire) = build_stream(&mut rng);
+        let pos = rng.below(wire.len() as u64) as usize;
+        let bit = rng.below(8) as u8;
+        wire[pos] ^= 1 << bit;
+        let damaged = frame_at(&frames, pos);
+        let ctx = format!("seed {seed}: flip bit {bit} at byte {pos} (frame {damaged})");
+
+        let (yielded, poisoned) = drive(&mut rng, &wire);
+        // Every frame before the damaged one decodes exactly; the
+        // damaged frame either poisons the decoder (crc/size check) or
+        // desynchronizes the length field so the stream ends torn —
+        // never a wrong frame handed upward.
+        assert_eq!(
+            yielded.len(),
+            damaged,
+            "{ctx}: must yield exactly the frames before the corruption"
+        );
+        assert_eq!(yielded, frames[..damaged].to_vec(), "{ctx}");
+        if !poisoned {
+            // Not poisoned means the flipped length made the decoder
+            // wait for bytes that never arrive — legal, but only when
+            // the flip landed in a length field.
+            let in_header = {
+                let mut offset = 0;
+                let mut header = false;
+                for f in &frames {
+                    if pos < offset + HEADER_LEN {
+                        header = true;
+                        break;
+                    }
+                    offset += HEADER_LEN + f.len();
+                    if pos < offset {
+                        break;
+                    }
+                }
+                header
+            };
+            assert!(
+                in_header,
+                "{ctx}: an un-poisoned decoder is only legal for a header flip"
+            );
+        }
+    }
+}
+
+/// Byte-at-a-time feeding — the worst-case `read()` fragmentation —
+/// decodes identically to one big push.
+#[test]
+fn byte_at_a_time_equals_one_push() {
+    let mut rng = Rng(0xFEED);
+    let (frames, wire) = build_stream(&mut rng);
+    let mut one = FrameDecoder::new();
+    one.push(&wire);
+    let mut trickle = FrameDecoder::new();
+    let mut from_one = Vec::new();
+    while let Ok(Some(f)) = one.next() {
+        from_one.push(f);
+    }
+    let mut from_trickle = Vec::new();
+    for &b in &wire {
+        trickle.push(&[b]);
+        while let Ok(Some(f)) = trickle.next() {
+            from_trickle.push(f);
+        }
+    }
+    assert_eq!(from_one, frames);
+    assert_eq!(from_trickle, frames);
+}

@@ -31,5 +31,5 @@
 pub mod live;
 pub mod sim;
 
-pub use live::{LinkFault, LiveNet};
+pub use live::{Gateway, LinkFault, LiveNet};
 pub use sim::{Delivery, NodeId, SimConfig, SimNetwork};

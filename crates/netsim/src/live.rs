@@ -42,6 +42,21 @@ impl LinkFault {
     }
 }
 
+/// Egress hook for destinations with no local inbox: `(from, to, &msg)`,
+/// returns whether the message was handed to a remote substrate.
+pub type Gateway<M> = Arc<dyn Fn(NodeId, NodeId, &M) -> bool + Send + Sync>;
+
+/// Slot holding the optional gateway (newtype so `Shared` keeps its
+/// derived `Debug` despite the non-`Debug` closure inside).
+struct GatewaySlot<M>(RwLock<Option<Gateway<M>>>);
+
+impl<M> std::fmt::Debug for GatewaySlot<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let installed = self.0.read().is_some();
+        f.debug_tuple("GatewaySlot").field(&installed).finish()
+    }
+}
+
 #[derive(Debug)]
 struct Shared<M> {
     inboxes: RwLock<HashMap<NodeId, Sender<(NodeId, M)>>>,
@@ -51,6 +66,10 @@ struct Shared<M> {
     /// link at zero drops everything (models a sender dying mid-stream).
     cuts: RwLock<HashMap<(NodeId, NodeId), u64>>,
     crashed: RwLock<HashMap<NodeId, ()>>,
+    /// Where sends to nodes without a local inbox go (multi-process
+    /// deployments bridge them onto TCP); `None` = drop, the historical
+    /// single-process behavior.
+    gateway: GatewaySlot<M>,
     shutdown: AtomicBool,
 }
 
@@ -109,6 +128,7 @@ impl<M: Send + 'static> LiveNet<M> {
                 faults: RwLock::new(HashMap::new()),
                 cuts: RwLock::new(HashMap::new()),
                 crashed: RwLock::new(HashMap::new()),
+                gateway: GatewaySlot(RwLock::new(None)),
                 shutdown: AtomicBool::new(false),
             }),
             runtime,
@@ -177,6 +197,33 @@ impl<M: Send + 'static> LiveNet<M> {
             if !fault.delay.is_zero() {
                 self.runtime.clock.sleep(fault.delay);
             }
+        }
+        if let Some(tx) = self.shared.inboxes.read().get(&to) {
+            return tx.send((from, message)).is_ok();
+        }
+        // No local inbox: hand the message to the gateway (a TCP bridge
+        // in multi-process deployments) if one is installed.
+        match self.shared.gateway.0.read().as_ref() {
+            Some(gateway) => gateway(from, to, &message),
+            None => false,
+        }
+    }
+
+    /// Installs the egress gateway consulted for destinations with no
+    /// local inbox. Local delivery always wins; the gateway only ever
+    /// sees traffic for nodes this process does not host.
+    pub fn set_gateway(&self, gateway: Gateway<M>) {
+        *self.shared.gateway.0.write() = Some(gateway);
+    }
+
+    /// Delivers a message to a **locally registered** node, bypassing
+    /// the gateway — the injection point a TCP bridge's inbound thread
+    /// uses (never re-consulting the gateway, so bridged traffic cannot
+    /// loop back out). Returns `false` when the destination has no local
+    /// inbox or the net is shut down.
+    pub fn deliver(&self, from: NodeId, to: NodeId, message: M) -> bool {
+        if self.shared.shutdown.load(Ordering::Relaxed) {
+            return false;
         }
         match self.shared.inboxes.read().get(&to) {
             Some(tx) => tx.send((from, message)).is_ok(),
@@ -380,6 +427,29 @@ mod tests {
         net2.shutdown();
         assert!(waiter.join().unwrap(), "recv unblocked with disconnect");
         assert!(!net.send(n(0), n(1), 1));
+    }
+
+    #[test]
+    fn gateway_sees_only_unhosted_destinations() {
+        let net: LiveNet<u32> = LiveNet::new();
+        let local = net.register(n(1));
+        let seen = Arc::new(RwLock::new(Vec::new()));
+        let log = Arc::clone(&seen);
+        net.set_gateway(Arc::new(move |from, to, msg: &u32| {
+            log.write().push((from, to, *msg));
+            true
+        }));
+        // Local inbox wins: the gateway never sees this send.
+        assert!(net.send(n(0), n(1), 7));
+        assert_eq!(local.recv().unwrap().1, 7);
+        // Unhosted destination: routed through the gateway.
+        assert!(net.send(n(0), n(9), 8));
+        assert_eq!(*seen.read(), vec![(n(0), n(9), 8)]);
+        // deliver() injects locally and never consults the gateway.
+        assert!(net.deliver(n(9), n(1), 5));
+        assert_eq!(local.recv().unwrap(), (n(9), 5));
+        assert!(!net.deliver(n(9), n(42), 5), "no local inbox");
+        assert_eq!(seen.read().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Minimal command-line client of a `psmr-node` deployment.
+//!
+//! ```text
+//! psmr-client --addr 127.0.0.1:7501 --client 42 read 3
+//! psmr-client --addr 127.0.0.1:7501 --client 42 update 3 999
+//! psmr-client --addr 127.0.0.1:7501 --client 42 insert 100 1
+//! psmr-client --addr 127.0.0.1:7501 --client 42 delete 100
+//! psmr-client --addr 127.0.0.1:7501 --client 42 checkpoint
+//! ```
+//!
+//! `--client` must be unique across concurrently connected clients.
+
+use psmr_kvstore::{KvOp, KvResult};
+use psmr_node::{connect_with_retry, force_checkpoint};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: psmr-client --addr <host:port> --client <id> \
+         (read <key> | update <key> <value> | insert <key> <value> | delete <key> | checkpoint)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = None;
+    let mut client = 1u64;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next(),
+            "--client" => {
+                client = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => rest.push(arg),
+        }
+    }
+    let Some(addr) = addr else { usage() };
+    let mut conn = match connect_with_retry(&addr, client, Duration::from_secs(5)) {
+        Ok(conn) => conn,
+        Err(e) => {
+            eprintln!("psmr-client: connect {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let deadline = Duration::from_secs(10);
+    let parse = |s: &String| s.parse::<u64>().unwrap_or_else(|_| usage());
+    let op = match rest.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        ["read", _] => KvOp::Read {
+            key: parse(&rest[1]),
+        },
+        ["update", _, _] => KvOp::Update {
+            key: parse(&rest[1]),
+            value: parse(&rest[2]),
+        },
+        ["insert", _, _] => KvOp::Insert {
+            key: parse(&rest[1]),
+            value: parse(&rest[2]),
+        },
+        ["delete", _] => KvOp::Delete {
+            key: parse(&rest[1]),
+        },
+        ["checkpoint"] => match force_checkpoint(&mut conn, deadline) {
+            Ok(id) => {
+                println!("checkpoint {id}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("psmr-client: {e}");
+                std::process::exit(1);
+            }
+        },
+        _ => usage(),
+    };
+    match conn.execute(op.command(), op.encode(), deadline) {
+        Ok(result) => println!("{:?}", KvResult::decode(&result)),
+        Err(e) => {
+            eprintln!("psmr-client: {e}");
+            std::process::exit(1);
+        }
+    }
+}

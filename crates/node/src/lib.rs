@@ -1,0 +1,30 @@
+//! # psmr-node — multi-process deployment of the replicated kvstore
+//!
+//! Everything else in this workspace runs a whole deployment inside one
+//! OS process (the in-process [`psmr_netsim::LiveNet`] substrate). This
+//! crate turns the same building blocks into **N communicating OS
+//! processes** over the real TCP substrate of `psmr-net`:
+//!
+//! * the `psmr-node` binary hosts one node: its share of the paxos
+//!   group (the coordinator + WAL on node 0, a remote acceptor
+//!   elsewhere), a kvstore replica executing the decided stream, the
+//!   checkpoint/durable stores, a state-transfer server, and a client
+//!   listener — see [`process::run_node`];
+//! * the `psmr-client` binary is a minimal interactive client;
+//! * [`wire`] defines the deployment-owned wire formats (the decided-
+//!   batch relay plane and the client protocol) and the blocking
+//!   [`wire::NodeClient`].
+//!
+//! A deployment is described by a `psmr_net::ClusterConfig` TOML file;
+//! node 0 is the orderer. Followers receive the decided stream over the
+//! relay plane and fall back to TCP state transfer when the orderer has
+//! trimmed past their position — the rejoin path a SIGKILLed node with
+//! a wiped data directory takes.
+
+pub mod process;
+pub mod wire;
+
+pub use process::{
+    connect_with_retry, force_checkpoint, run_node, wipe_data_dir, NodeOptions, RunningNode,
+};
+pub use wire::{NodeClient, RelayMsg};

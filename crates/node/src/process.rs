@@ -1,0 +1,731 @@
+//! One OS process of a multi-process deployment.
+//!
+//! [`run_node`] assembles everything a `psmr-node` process hosts, from
+//! the cluster config and this process's id:
+//!
+//! * the [`TcpMesh`] endpoint plus two [`Bridge`]s — channel 0 carries
+//!   paxos traffic, channel 1 the state-transfer protocol — so the
+//!   consensus and recovery code run unmodified over real sockets;
+//! * on node 0 (the orderer): the paxos group — coordinator, WAL, and
+//!   acceptor 0 — spawned with [`PaxosGroup::spawn_hosted`], the
+//!   decided-batch **relay server** (mesh channel 2), and the periodic
+//!   checkpoint driver;
+//! * on every other node: a [`RemoteAcceptor`] (acceptor `me` of the
+//!   group) and the relay **follower** that streams decided batches
+//!   from node 0, re-subscribing on gaps and falling back to TCP state
+//!   transfer when the orderer has trimmed past its position;
+//! * on every node: the kvstore replica executing the decided stream,
+//!   its checkpoint/durable stores, a [`StateTransferServer`] serving
+//!   peers, and the client listener.
+//!
+//! Every replica executes the same single ordered stream, so all nodes
+//! converge on the same store state; a node answers exactly the clients
+//! connected to *it* (command provenance rides in the ordered
+//! [`Request`] envelope).
+
+use crate::wire::{encode_response, NodeClient, RelayMsg};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use psmr_common::envelope::Request;
+use psmr_common::ids::{ClientId, CommandId, GroupId, RequestId};
+use psmr_common::SystemConfig;
+use psmr_core::service::Service;
+use psmr_kvstore::KvService;
+use psmr_net::codec::{decode_paxos, decode_transfer, encode_paxos, encode_transfer};
+use psmr_net::frame::encode_frame;
+use psmr_net::{Bridge, ClusterConfig, TcpMesh};
+use psmr_netsim::{LiveNet, NodeId};
+use psmr_paxos::runtime::{
+    coordinator_node, GroupHandle, Pacing, PaxosGroup, RemoteAcceptor, SubscribeError, WalMode,
+};
+use psmr_paxos::NetMsg;
+use psmr_recovery::{
+    fetch_latest, AutoCheckpointer, Checkpoint, CheckpointStore, DurableStore, Snapshot,
+    StateTransferServer, StreamCut, TransferMsg, TransferSource, CHECKPOINT,
+};
+use psmr_wal::{Wal, WalOptions};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Client id the orderer's periodic checkpoint driver stamps on the
+/// CHECKPOINT commands it submits (never registered by a connection, so
+/// driver checkpoints produce no response traffic).
+const DRIVER_CLIENT: u64 = u64::MAX;
+
+/// Transfer-plane node id a fetching node registers under (servers sit
+/// at `NodeId(proc)`, fetchers at `NodeId(FETCHER_BASE + proc)`).
+const FETCHER_BASE: u64 = 100;
+
+/// Durable snapshots each node keeps on disk.
+const DISK_RETAIN: usize = 2;
+
+/// Tunables of one node process (CLI flags of `psmr-node`).
+#[derive(Debug, Clone)]
+pub struct NodeOptions {
+    /// Keys `0..keys` pre-loaded into every replica (value = key), the
+    /// `KvService::with_keys` initial state all nodes must share.
+    pub keys: u64,
+    /// Interval of node 0's periodic CHECKPOINT submissions (`None` =
+    /// checkpoints only when a client submits one explicitly).
+    pub checkpoint_interval: Option<Duration>,
+}
+
+impl Default for NodeOptions {
+    fn default() -> Self {
+        Self {
+            keys: 8,
+            checkpoint_interval: Some(Duration::from_millis(200)),
+        }
+    }
+}
+
+/// Everything a running node process must keep alive. Dropping it tears
+/// the node down (the binaries never do; deployments stop nodes with
+/// signals).
+pub struct RunningNode {
+    mesh: TcpMesh,
+    _paxos_bridge: Bridge,
+    _xfer_bridge: Bridge,
+    _xfer_server: StateTransferServer,
+    _group: Option<PaxosGroup>,
+    _racceptor: Option<RemoteAcceptor>,
+    _driver: Option<AutoCheckpointer>,
+}
+
+impl RunningNode {
+    /// Parks the calling thread forever — the binary's tail.
+    pub fn park(&self) -> ! {
+        loop {
+            std::thread::park();
+        }
+    }
+
+    /// The node's mesh endpoint (tests shut it down explicitly).
+    pub fn mesh(&self) -> &TcpMesh {
+        &self.mesh
+    }
+}
+
+/// The replica state one executor thread owns.
+struct Core {
+    me: usize,
+    service: Arc<KvService>,
+    store: Arc<CheckpointStore>,
+    durable: DurableStore,
+    clients: Clients,
+    /// Present on node 0 only; used to trim the stream at checkpoints.
+    handle: Option<GroupHandle>,
+    /// Position of the checkpoint this incarnation restored from:
+    /// commands at or before it are already reflected in the restored
+    /// snapshot and must be skipped on replay.
+    resume: Option<StreamCut>,
+}
+
+type Clients = Arc<Mutex<HashMap<u64, Arc<Mutex<TcpStream>>>>>;
+
+impl Core {
+    fn execute_batch(&mut self, seq: u64, commands: &[Bytes]) {
+        for (offset, raw) in commands.iter().enumerate() {
+            if let Some(cut) = self.resume {
+                if seq < cut.seq || (seq == cut.seq && offset <= cut.offset) {
+                    continue;
+                }
+                self.resume = None;
+            }
+            let Ok(req) = Request::decode(raw) else {
+                continue; // foreign bytes in the stream: skip, deterministically
+            };
+            if req.command == CHECKPOINT {
+                self.take_checkpoint(seq, offset, &req);
+            } else {
+                let result = self.service.execute(req.command, &req.payload);
+                self.respond(req.client, req.request, &result);
+            }
+        }
+    }
+
+    /// Snapshots the replica at `(seq, offset)` — every node executes
+    /// this at the same stream position, so the installed checkpoints
+    /// are byte-identical deployment-wide. Node 0 additionally trims the
+    /// ordered stream (and WAL) it no longer needs for catch-up.
+    fn take_checkpoint(&mut self, seq: u64, offset: usize, req: &Request) {
+        let cut = StreamCut {
+            group: GroupId::new(0),
+            seq,
+            offset,
+        };
+        let snapshot = self.service.snapshot();
+        let id = self.store.latest_id() + 1;
+        self.store.install(cut, id, snapshot.clone());
+        let checkpoint = Checkpoint { id, cut, snapshot };
+        if self.durable.persist(&checkpoint, 0, &[]).is_ok() {
+            let _ = self.durable.retain_newest(DISK_RETAIN);
+        }
+        if let Some(handle) = &self.handle {
+            handle.trim_below(seq);
+        }
+        // Ack client-submitted checkpoints once the trim is done (the
+        // driver's sentinel client has no connection; nothing is sent).
+        self.respond(req.client, req.request, &id.to_le_bytes());
+    }
+
+    fn respond(&self, client: ClientId, request: RequestId, result: &[u8]) {
+        let conn = self.clients.lock().get(&client.as_raw()).cloned();
+        if let Some(conn) = conn {
+            let frame = encode_frame(&encode_response(request, result));
+            if conn.lock().write_all(&frame).is_err() {
+                self.clients.lock().remove(&client.as_raw());
+            }
+        }
+    }
+}
+
+fn log(me: usize, msg: &str) {
+    eprintln!("psmr-node[{me}]: {msg}");
+}
+
+/// Assembles and starts one node process. Returns once every component
+/// is running; the caller keeps the [`RunningNode`] alive (binaries
+/// [`RunningNode::park`]).
+///
+/// # Errors
+///
+/// A human-readable reason when a socket cannot bind, a data directory
+/// cannot be created, or local recovery state cannot be read.
+pub fn run_node(
+    cluster: &ClusterConfig,
+    me: usize,
+    opts: &NodeOptions,
+) -> Result<RunningNode, String> {
+    let n = cluster.len();
+    if me >= n {
+        return Err(format!("node id {me} out of range: cluster has {n} nodes"));
+    }
+    let spec = cluster.nodes[me].clone();
+    std::fs::create_dir_all(&spec.data_dir)
+        .map_err(|e| format!("create {}: {e}", spec.data_dir.display()))?;
+
+    let mesh = TcpMesh::spawn(me, cluster).map_err(|e| format!("bind mesh {}: {e}", spec.addr))?;
+
+    // Paxos plane (mesh channel 0). Node layout: coordinator of group 0
+    // on node 0, acceptor i on node i.
+    let paxos_net: LiveNet<NetMsg> = LiveNet::new();
+    let paxos_bridge = Bridge::splice(
+        &paxos_net,
+        &mesh,
+        0,
+        Arc::new(move |node: NodeId| {
+            let raw = node.as_raw();
+            if node == coordinator_node(0) {
+                Some(0)
+            } else if (1..=n as u64).contains(&raw) {
+                Some((raw - 1) as usize)
+            } else {
+                None
+            }
+        }),
+        Arc::new(|msg: &NetMsg| encode_paxos(msg)),
+        Arc::new(|bytes: &[u8]| decode_paxos(bytes)),
+    );
+
+    // Transfer plane (mesh channel 1). Servers at NodeId(proc),
+    // fetchers at NodeId(FETCHER_BASE + proc).
+    let xfer_net: LiveNet<TransferMsg> = LiveNet::new();
+    let xfer_bridge = Bridge::splice(
+        &xfer_net,
+        &mesh,
+        1,
+        Arc::new(move |node: NodeId| {
+            let raw = node.as_raw();
+            if raw < n as u64 {
+                Some(raw as usize)
+            } else if (FETCHER_BASE..FETCHER_BASE + n as u64).contains(&raw) {
+                Some((raw - FETCHER_BASE) as usize)
+            } else {
+                None
+            }
+        }),
+        Arc::new(|msg: &TransferMsg| encode_transfer(msg)),
+        Arc::new(|bytes: &[u8]| decode_transfer(bytes)),
+    );
+
+    // Local replica state: restore the newest durable snapshot if one
+    // survived, otherwise start from the shared pre-loaded image.
+    let service = Arc::new(KvService::with_keys(opts.keys));
+    let store = Arc::new(CheckpointStore::new());
+    let durable = DurableStore::open(spec.data_dir.join("snap"))
+        .map_err(|e| format!("open snapshot dir: {e}"))?;
+    let mut resume = None;
+    if let Some(d) = durable.load_latest() {
+        service
+            .restore(&d.checkpoint.snapshot)
+            .map_err(|e| format!("restore durable snapshot: {e}"))?;
+        store.install(
+            d.checkpoint.cut,
+            d.checkpoint.id,
+            d.checkpoint.snapshot.clone(),
+        );
+        resume = Some(d.checkpoint.cut);
+        log(
+            me,
+            &format!(
+                "restored durable checkpoint {} at seq {}",
+                d.checkpoint.id, d.checkpoint.cut.seq
+            ),
+        );
+    }
+
+    let xfer_server = StateTransferServer::spawn(
+        xfer_net.clone(),
+        NodeId::new(me as u64),
+        Arc::new(StoreSource(Arc::clone(&store))),
+        4096,
+    );
+
+    let clients: Clients = Arc::new(Mutex::new(HashMap::new()));
+    let mut cfg = SystemConfig::new(1);
+    cfg.acceptors(n);
+
+    let mut group = None;
+    let mut racceptor = None;
+    let mut driver = None;
+    let submit: Arc<dyn Fn(Vec<u8>) + Send + Sync>;
+
+    if me == 0 {
+        let wal = Wal::open(spec.data_dir.join("wal"), WalOptions::default())
+            .map_err(|e| format!("open wal: {e}"))?;
+        let g = PaxosGroup::spawn_hosted(
+            0,
+            &cfg,
+            paxos_net.clone(),
+            Pacing::Batched,
+            WalMode::Inline(Arc::new(wal)),
+            &[0],
+        );
+        let handle = g.handle();
+        let from = resume.map_or(1, |cut: StreamCut| cut.seq);
+        let rx = match handle.subscribe_from(from) {
+            Ok(rx) => rx,
+            // A WAL trimmed past the durable cut cannot happen (trims
+            // follow checkpoints), but fail soft: resume at the edge.
+            Err(SubscribeError::Trimmed { first_retained }) => handle
+                .subscribe_from(first_retained)
+                .map_err(|e| format!("subscribe: {e}"))?,
+            Err(SubscribeError::Future { next_seq }) => handle
+                .subscribe_from(next_seq)
+                .map_err(|e| format!("subscribe: {e}"))?,
+        };
+        handle.start();
+
+        let mut core = Core {
+            me,
+            service: Arc::clone(&service),
+            store: Arc::clone(&store),
+            durable,
+            clients: Arc::clone(&clients),
+            handle: Some(handle.clone()),
+            resume,
+        };
+        std::thread::Builder::new()
+            .name("node-exec".into())
+            .spawn(move || {
+                while let Ok(batch) = rx.recv() {
+                    core.execute_batch(batch.seq, &batch.commands);
+                }
+            })
+            .map_err(|e| format!("spawn executor: {e}"))?;
+
+        relay_server(mesh.clone(), handle.clone());
+
+        if let Some(interval) = opts.checkpoint_interval {
+            let driver_handle = handle.clone();
+            driver = Some(AutoCheckpointer::spawn(interval, move || {
+                // next_seq is monotonic across incarnations (WAL-backed),
+                // so driver request ids never repeat after a restart.
+                let request = driver_handle.next_seq();
+                let req = Request::new(
+                    ClientId::new(DRIVER_CLIENT),
+                    RequestId::new(request),
+                    CHECKPOINT,
+                    Vec::new(),
+                );
+                driver_handle.submit(Bytes::from(req.encode()));
+            }));
+        }
+
+        let submit_handle = handle;
+        submit = Arc::new(move |command: Vec<u8>| {
+            submit_handle.submit(Bytes::from(command));
+        });
+        group = Some(g);
+    } else {
+        racceptor = Some(RemoteAcceptor::spawn(0, me, paxos_net.clone()));
+        let core = Core {
+            me,
+            service: Arc::clone(&service),
+            store: Arc::clone(&store),
+            durable,
+            clients: Arc::clone(&clients),
+            handle: None,
+            resume,
+        };
+        follower_ingest(mesh.clone(), xfer_net.clone(), core, n);
+
+        let submit_mesh = mesh.clone();
+        let from = me as u64;
+        submit = Arc::new(move |command: Vec<u8>| {
+            submit_mesh.send(0, 2, from, 0, &RelayMsg::Submit { command }.encode());
+        });
+    }
+
+    client_listener(me, &spec.client_addr, clients, submit)?;
+    log(me, &format!("serving clients on {}", spec.client_addr));
+
+    Ok(RunningNode {
+        mesh,
+        _paxos_bridge: paxos_bridge,
+        _xfer_bridge: xfer_bridge,
+        _xfer_server: xfer_server,
+        _group: group,
+        _racceptor: racceptor,
+        _driver: driver,
+    })
+}
+
+/// A node's checkpoint store as a state-transfer source (this
+/// deployment routes with a fixed C-G: epoch 0, empty table).
+struct StoreSource(Arc<CheckpointStore>);
+
+impl TransferSource for StoreSource {
+    fn latest(&self) -> Option<Checkpoint> {
+        self.0.latest()
+    }
+
+    fn epoch_table(&self) -> (u64, Vec<u8>) {
+        (0, Vec::new())
+    }
+}
+
+/// Node 0's relay server: answers `Subscribe` with a forwarder thread
+/// streaming decided batches to the follower, and orders forwarded
+/// `Submit`s. A newer `Subscribe` from the same follower supersedes the
+/// old forwarder (generation counter); the superseded thread drops its
+/// stream subscription, which the group prunes.
+fn relay_server(mesh: TcpMesh, handle: GroupHandle) {
+    let rx = mesh.subscribe(2);
+    std::thread::Builder::new()
+        .name("relay-server".into())
+        .spawn(move || {
+            let generations: Arc<Mutex<HashMap<u64, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+            while let Ok(inbound) = rx.recv() {
+                match RelayMsg::decode(&inbound.body) {
+                    Some(RelayMsg::Subscribe { from_seq }) => {
+                        let peer = inbound.from;
+                        let generation = {
+                            let mut g = generations.lock();
+                            let slot = g.entry(peer).or_insert(0);
+                            *slot += 1;
+                            *slot
+                        };
+                        match handle.subscribe_from(from_seq) {
+                            Ok(batches) => {
+                                let mesh = mesh.clone();
+                                let generations = Arc::clone(&generations);
+                                std::thread::Builder::new()
+                                    .name(format!("relay-fwd-{peer}"))
+                                    .spawn(move || loop {
+                                        let stale =
+                                            || generations.lock().get(&peer) != Some(&generation);
+                                        match batches.recv_timeout(Duration::from_millis(100)) {
+                                            Ok(batch) => {
+                                                if stale() {
+                                                    return;
+                                                }
+                                                let msg = RelayMsg::Batch {
+                                                    seq: batch.seq,
+                                                    commands: (*batch.commands).clone(),
+                                                };
+                                                if !mesh.send(
+                                                    peer as usize,
+                                                    2,
+                                                    0,
+                                                    peer,
+                                                    &msg.encode(),
+                                                ) {
+                                                    return;
+                                                }
+                                            }
+                                            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                                                if stale() {
+                                                    return;
+                                                }
+                                            }
+                                            Err(_) => return,
+                                        }
+                                    })
+                                    .expect("spawn relay forwarder");
+                            }
+                            Err(SubscribeError::Trimmed { first_retained }) => {
+                                mesh.send(
+                                    peer as usize,
+                                    2,
+                                    0,
+                                    peer,
+                                    &RelayMsg::Trimmed { first_retained }.encode(),
+                                );
+                            }
+                            Err(SubscribeError::Future { next_seq }) => {
+                                mesh.send(
+                                    peer as usize,
+                                    2,
+                                    0,
+                                    peer,
+                                    &RelayMsg::Future { next_seq }.encode(),
+                                );
+                            }
+                        }
+                    }
+                    Some(RelayMsg::Submit { command }) => {
+                        handle.submit(Bytes::from(command));
+                    }
+                    _ => {}
+                }
+            }
+        })
+        .expect("spawn relay server");
+}
+
+/// A follower's ingest loop: subscribes to the orderer's decided
+/// stream, executes batches in contiguous order, re-subscribes on gaps
+/// or silence, and falls back to TCP state transfer when the orderer
+/// trimmed past its position.
+fn follower_ingest(mesh: TcpMesh, xfer_net: LiveNet<TransferMsg>, mut core: Core, n: usize) {
+    let rx = mesh.subscribe(2);
+    std::thread::Builder::new()
+        .name("node-ingest".into())
+        .spawn(move || {
+            let me = core.me;
+            let peers: Vec<NodeId> = (0..n)
+                .filter(|&p| p != me)
+                .map(|p| NodeId::new(p as u64))
+                .collect();
+            let subscribe = |from_seq: u64| {
+                mesh.send(
+                    0,
+                    2,
+                    me as u64,
+                    0,
+                    &RelayMsg::Subscribe { from_seq }.encode(),
+                );
+            };
+            let mut next = core.resume.map_or(1, |cut| cut.seq);
+            subscribe(next);
+            let mut last_signal = Instant::now();
+            loop {
+                match rx.recv_timeout(Duration::from_millis(500)) {
+                    Ok(inbound) => match RelayMsg::decode(&inbound.body) {
+                        Some(RelayMsg::Batch { seq, commands }) => {
+                            if seq < next {
+                                continue; // replayed duplicate
+                            }
+                            if seq > next {
+                                // A gap: frames were lost (resend-buffer
+                                // overflow) — rewind the subscription.
+                                if last_signal.elapsed() > Duration::from_millis(200) {
+                                    subscribe(next);
+                                    last_signal = Instant::now();
+                                }
+                                continue;
+                            }
+                            core.execute_batch(seq, &commands);
+                            next += 1;
+                            last_signal = Instant::now();
+                        }
+                        Some(RelayMsg::Trimmed { first_retained }) => {
+                            log(
+                                me,
+                                &format!(
+                                    "stream trimmed to {first_retained}, need {next}: fetching state over TCP"
+                                ),
+                            );
+                            match fetch_latest(
+                                &xfer_net,
+                                NodeId::new(FETCHER_BASE + me as u64),
+                                &peers,
+                                Duration::from_secs(2),
+                            ) {
+                                Ok(fetched) => {
+                                    let ckpt = fetched.checkpoint;
+                                    if core.service.restore(&ckpt.snapshot).is_ok() {
+                                        core.store.install(ckpt.cut, ckpt.id, ckpt.snapshot.clone());
+                                        let _ = core.durable.persist(&ckpt, 0, &[]);
+                                        let _ = core.durable.retain_newest(DISK_RETAIN);
+                                        core.resume = Some(ckpt.cut);
+                                        next = ckpt.cut.seq;
+                                        log(
+                                            me,
+                                            &format!(
+                                                "state-transfer ok: checkpoint {} at seq {} from node {}",
+                                                ckpt.id,
+                                                ckpt.cut.seq,
+                                                fetched.from.as_raw()
+                                            ),
+                                        );
+                                    }
+                                }
+                                Err(e) => {
+                                    log(me, &format!("state transfer failed ({e}), retrying"));
+                                    std::thread::sleep(Duration::from_millis(300));
+                                }
+                            }
+                            subscribe(next);
+                            last_signal = Instant::now();
+                        }
+                        Some(RelayMsg::Future { next_seq }) => {
+                            next = next_seq;
+                            subscribe(next);
+                            last_signal = Instant::now();
+                        }
+                        _ => {}
+                    },
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                        // Silence: the subscribe may have raced the relay
+                        // server's startup, or our forwarder died with a
+                        // node-0 restart. Idempotent to repeat.
+                        if last_signal.elapsed() > Duration::from_secs(2) {
+                            subscribe(next);
+                            last_signal = Instant::now();
+                        }
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                }
+            }
+        })
+        .expect("spawn follower ingest");
+}
+
+/// The client plane: accepts connections on `client_addr`, decodes
+/// framed [`Request`]s, registers the connection under the request's
+/// client id (the executor routes responses through the registry), and
+/// hands the raw command to `submit` for ordering.
+fn client_listener(
+    me: usize,
+    client_addr: &str,
+    clients: Clients,
+    submit: Arc<dyn Fn(Vec<u8>) + Send + Sync>,
+) -> Result<(), String> {
+    let listener =
+        TcpListener::bind(client_addr).map_err(|e| format!("bind client {client_addr}: {e}"))?;
+    std::thread::Builder::new()
+        .name("client-accept".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { continue };
+                let _ = stream.set_nodelay(true);
+                let clients = Arc::clone(&clients);
+                let submit = Arc::clone(&submit);
+                std::thread::Builder::new()
+                    .name(format!("client-conn-{me}"))
+                    .spawn(move || client_conn(stream, &clients, &submit))
+                    .expect("spawn client connection");
+            }
+        })
+        .map_err(|e| format!("spawn client accept: {e}"))?;
+    Ok(())
+}
+
+fn client_conn(
+    mut stream: TcpStream,
+    clients: &Clients,
+    submit: &Arc<dyn Fn(Vec<u8>) + Send + Sync>,
+) {
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(writer));
+    let mut decoder = psmr_net::FrameDecoder::new();
+    let mut buf = [0u8; 16 * 1024];
+    let mut registered: Option<u64> = None;
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                decoder.push(&buf[..n]);
+                loop {
+                    match decoder.next() {
+                        Ok(Some(body)) => {
+                            let Ok(req) = Request::decode(&body) else {
+                                continue;
+                            };
+                            if registered != Some(req.client.as_raw()) {
+                                clients
+                                    .lock()
+                                    .insert(req.client.as_raw(), Arc::clone(&writer));
+                                registered = Some(req.client.as_raw());
+                            }
+                            submit(body);
+                        }
+                        Ok(None) => break,
+                        Err(_) => return, // poisoned framing: drop the conn
+                    }
+                }
+            }
+        }
+    }
+    if let Some(client) = registered {
+        clients.lock().remove(&client);
+    }
+}
+
+/// Convenience for tests and the `psmr-client` binary: connect to a
+/// node with retries (a booting deployment refuses connections until
+/// its listener is up).
+///
+/// # Errors
+///
+/// The last connect error once `deadline` is exhausted.
+pub fn connect_with_retry(
+    addr: &str,
+    client: u64,
+    deadline: Duration,
+) -> std::io::Result<NodeClient> {
+    let give_up = Instant::now() + deadline;
+    loop {
+        match NodeClient::connect(addr, client) {
+            Ok(conn) => return Ok(conn),
+            Err(e) if Instant::now() >= give_up => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Issues CHECKPOINT through a client connection and blocks for the
+/// ack — the deployment has snapshotted (and node 0 trimmed) once this
+/// returns. Used by tests to force the state-transfer path before
+/// restarting a wiped node.
+///
+/// # Errors
+///
+/// See [`NodeClient::execute`].
+pub fn force_checkpoint(client: &mut NodeClient, deadline: Duration) -> std::io::Result<u64> {
+    let ack = client.execute(CHECKPOINT, Vec::new(), deadline)?;
+    Ok(ack
+        .get(0..8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+        .unwrap_or(0))
+}
+
+/// Wipes a node's data directory (the rejoin-after-loss scenario: the
+/// restarted node must rebuild over TCP state transfer).
+pub fn wipe_data_dir(dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// One command id is reserved by the recovery layer; everything else is
+/// service-defined. Re-exported so binaries need not depend on
+/// `psmr-recovery` directly.
+pub const CHECKPOINT_COMMAND: CommandId = CHECKPOINT;

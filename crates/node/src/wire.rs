@@ -1,0 +1,301 @@
+//! Wire formats owned by the deployment layer: the decided-batch
+//! relay/submit plane (mesh channel 2) and the client ↔ node protocol.
+//!
+//! Both planes reuse the `psmr-net` frame envelope
+//! ([`psmr_net::frame`]); this module only defines what goes *inside*
+//! the frames. Everything is little-endian fixed-width integers with
+//! `u32` length prefixes, like [`psmr_net::codec`].
+
+use bytes::Bytes;
+use psmr_common::envelope::Request;
+use psmr_common::ids::{ClientId, CommandId, RequestId};
+use psmr_net::frame::{encode_frame, FrameDecoder};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// The relay/submit plane: how a non-orderer node receives the decided
+/// stream and forwards client submissions to the orderer (node 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelayMsg {
+    /// Follower → orderer: stream me decided batches from `from_seq`.
+    /// Idempotent; re-sent on gaps and after silence.
+    Subscribe {
+        /// First sequence number the follower still needs.
+        from_seq: u64,
+    },
+    /// Orderer → follower: one decided batch of ordered commands.
+    Batch {
+        /// Stream sequence number (contiguous from 1).
+        seq: u64,
+        /// The batch's commands (encoded [`Request`]s).
+        commands: Vec<Bytes>,
+    },
+    /// Orderer → follower: the retained log no longer reaches back to
+    /// the requested seq — state-transfer first, then re-subscribe.
+    Trimmed {
+        /// Oldest sequence number still retained.
+        first_retained: u64,
+    },
+    /// Orderer → follower: the requested seq has not been decided yet.
+    Future {
+        /// Sequence number the next decided batch will carry.
+        next_seq: u64,
+    },
+    /// Follower → orderer: order this client command (encoded
+    /// [`Request`] bytes, submitted verbatim).
+    Submit {
+        /// The marshalled request.
+        command: Vec<u8>,
+    },
+}
+
+impl RelayMsg {
+    /// Encodes the message as a channel-2 frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            RelayMsg::Subscribe { from_seq } => {
+                out.push(0);
+                out.extend_from_slice(&from_seq.to_le_bytes());
+            }
+            RelayMsg::Batch { seq, commands } => {
+                out.push(1);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&(commands.len() as u32).to_le_bytes());
+                for command in commands {
+                    out.extend_from_slice(&(command.len() as u32).to_le_bytes());
+                    out.extend_from_slice(command);
+                }
+            }
+            RelayMsg::Trimmed { first_retained } => {
+                out.push(2);
+                out.extend_from_slice(&first_retained.to_le_bytes());
+            }
+            RelayMsg::Future { next_seq } => {
+                out.push(3);
+                out.extend_from_slice(&next_seq.to_le_bytes());
+            }
+            RelayMsg::Submit { command } => {
+                out.push(4);
+                out.extend_from_slice(&(command.len() as u32).to_le_bytes());
+                out.extend_from_slice(command);
+            }
+        }
+        out
+    }
+
+    /// Decodes a channel-2 frame body; `None` on anything malformed.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let tag = *bytes.first()?;
+        let rest = &bytes[1..];
+        let u64_at = |at: usize| -> Option<u64> {
+            Some(u64::from_le_bytes(rest.get(at..at + 8)?.try_into().ok()?))
+        };
+        let msg = match tag {
+            0 => RelayMsg::Subscribe {
+                from_seq: u64_at(0)?,
+            },
+            1 => {
+                let seq = u64_at(0)?;
+                let count = u32::from_le_bytes(rest.get(8..12)?.try_into().ok()?) as usize;
+                let mut at = 12;
+                let mut commands = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    let len = u32::from_le_bytes(rest.get(at..at + 4)?.try_into().ok()?) as usize;
+                    at += 4;
+                    commands.push(Bytes::copy_from_slice(rest.get(at..at + len)?));
+                    at += len;
+                }
+                if at != rest.len() {
+                    return None;
+                }
+                return Some(RelayMsg::Batch { seq, commands });
+            }
+            2 => RelayMsg::Trimmed {
+                first_retained: u64_at(0)?,
+            },
+            3 => RelayMsg::Future {
+                next_seq: u64_at(0)?,
+            },
+            4 => {
+                let len = u32::from_le_bytes(rest.get(0..4)?.try_into().ok()?) as usize;
+                let command = rest.get(4..4 + len)?.to_vec();
+                if 4 + len != rest.len() {
+                    return None;
+                }
+                return Some(RelayMsg::Submit { command });
+            }
+            _ => return None,
+        };
+        // Fixed-width variants must consume the body exactly.
+        if rest.len() != 8 {
+            return None;
+        }
+        Some(msg)
+    }
+}
+
+/// Encodes one client-plane response frame body: `request u64 | payload`.
+pub fn encode_response(request: RequestId, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&request.as_raw().to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes a client-plane response frame body.
+pub fn decode_response(bytes: &[u8]) -> Option<(RequestId, Vec<u8>)> {
+    let request = u64::from_le_bytes(bytes.get(0..8)?.try_into().ok()?);
+    Some((RequestId::new(request), bytes[8..].to_vec()))
+}
+
+/// A blocking client of one node's client listener.
+///
+/// Requests travel as framed [`Request`] envelopes; the node responds
+/// with a framed `request id | result` body once the command has been
+/// ordered and executed locally. One outstanding request at a time (the
+/// closed-loop shape every test client uses).
+#[derive(Debug)]
+pub struct NodeClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    client: ClientId,
+    next_request: u64,
+}
+
+impl NodeClient {
+    /// Connects to a node's `client_addr`. `client` must be unique
+    /// across every live client of the deployment.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from the connect.
+    pub fn connect(addr: &str, client: u64) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+        Ok(Self {
+            stream,
+            decoder: FrameDecoder::new(),
+            client: ClientId::new(client),
+            next_request: 1,
+        })
+    }
+
+    /// Executes one command and blocks for its result.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, a poisoned frame stream, or `TimedOut` when no
+    /// response arrives within `deadline`.
+    pub fn execute(
+        &mut self,
+        command: CommandId,
+        payload: Vec<u8>,
+        deadline: Duration,
+    ) -> std::io::Result<Vec<u8>> {
+        let request = RequestId::new(self.next_request);
+        self.next_request += 1;
+        let req = Request::new(self.client, request, command, payload);
+        self.stream.write_all(&encode_frame(&req.encode()))?;
+        let give_up = Instant::now() + deadline;
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            // Drain every complete frame already buffered.
+            loop {
+                match self.decoder.next() {
+                    Ok(Some(body)) => {
+                        if let Some((for_request, result)) = decode_response(&body) {
+                            if for_request == request {
+                                return Ok(result);
+                            }
+                            // A response to an older (timed-out) request:
+                            // ignore and keep reading.
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        return Err(std::io::Error::new(
+                            ErrorKind::InvalidData,
+                            format!("response stream poisoned: {e}"),
+                        ))
+                    }
+                }
+            }
+            if Instant::now() >= give_up {
+                return Err(ErrorKind::TimedOut.into());
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Err(ErrorKind::UnexpectedEof.into()),
+                Ok(n) => self.decoder.push(&buf[..n]),
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock
+                        || e.kind() == ErrorKind::TimedOut
+                        || e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relay_messages_round_trip() {
+        let cases = vec![
+            RelayMsg::Subscribe { from_seq: 17 },
+            RelayMsg::Batch {
+                seq: 3,
+                commands: vec![Bytes::from_static(b"abc"), Bytes::new()],
+            },
+            RelayMsg::Batch {
+                seq: 9,
+                commands: Vec::new(),
+            },
+            RelayMsg::Trimmed { first_retained: 44 },
+            RelayMsg::Future { next_seq: 45 },
+            RelayMsg::Submit {
+                command: vec![1, 2, 3],
+            },
+        ];
+        for msg in cases {
+            assert_eq!(
+                RelayMsg::decode(&msg.encode()),
+                Some(msg.clone()),
+                "{msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_relay_bodies_decode_to_none() {
+        assert_eq!(RelayMsg::decode(&[]), None);
+        assert_eq!(RelayMsg::decode(&[9]), None);
+        let mut truncated = RelayMsg::Subscribe { from_seq: 1 }.encode();
+        truncated.pop();
+        assert_eq!(RelayMsg::decode(&truncated), None);
+        let mut padded = RelayMsg::Trimmed { first_retained: 2 }.encode();
+        padded.push(0);
+        assert_eq!(RelayMsg::decode(&padded), None);
+        let mut torn_batch = RelayMsg::Batch {
+            seq: 1,
+            commands: vec![Bytes::from_static(b"xy")],
+        }
+        .encode();
+        torn_batch.truncate(torn_batch.len() - 1);
+        assert_eq!(RelayMsg::decode(&torn_batch), None);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let body = encode_response(RequestId::new(7), b"result");
+        assert_eq!(
+            decode_response(&body),
+            Some((RequestId::new(7), b"result".to_vec()))
+        );
+        assert_eq!(decode_response(&[1, 2]), None);
+    }
+}

@@ -1,0 +1,310 @@
+//! Socket-level battery: a real 3-process deployment on loopback TCP.
+//!
+//! Boots three `psmr-node` OS processes from a generated cluster
+//! config, drives closed-loop kvstore client sessions against every
+//! node, SIGKILLs a follower mid-load, restarts it with a **wiped data
+//! directory** (forcing rejoin via TCP state transfer), and checks the
+//! combined per-key history — spanning both incarnations — for
+//! linearizability with the same checker the in-process tests use.
+//!
+//! Node logs land in `$TMPDIR/psmr-smoke-logs/` so CI can attach them
+//! as artifacts when the test fails.
+
+use psmr_core::linear::{OpRecord, RegisterOp};
+use psmr_kvstore::{KvOp, KvResult};
+use psmr_net::{ClusterConfig, NodeSpec};
+use psmr_node::{connect_with_retry, force_checkpoint, NodeClient};
+use psmr_sim::check::{check_linearizable, KEYS};
+use std::fs::File;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Kills every spawned node on drop, so a panicking test never leaks
+/// processes.
+struct Deployment {
+    children: Vec<Option<Child>>,
+    cluster: ClusterConfig,
+    logs: PathBuf,
+}
+
+impl Drop for Deployment {
+    fn drop(&mut self) {
+        for child in self.children.iter_mut().flatten() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Deployment {
+    fn spawn_node(&mut self, id: usize, log_name: &str) {
+        let log = File::create(self.logs.join(log_name)).expect("create node log");
+        let err = log.try_clone().expect("clone log handle");
+        let config = self.logs.join("cluster.toml");
+        let child = Command::new(env!("CARGO_BIN_EXE_psmr-node"))
+            .args(["--config", config.to_str().unwrap()])
+            .args(["--id", &id.to_string()])
+            .args(["--keys", &KEYS.to_string()])
+            .args(["--checkpoint-ms", "200"])
+            .stdout(Stdio::from(log))
+            .stderr(Stdio::from(err))
+            .spawn()
+            .expect("spawn psmr-node");
+        self.children[id] = Some(child);
+    }
+
+    fn kill_node(&mut self, id: usize) {
+        if let Some(mut child) = self.children[id].take() {
+            child.kill().expect("SIGKILL node");
+            child.wait().expect("reap node");
+        }
+    }
+
+    fn client_addr(&self, id: usize) -> &str {
+        &self.cluster.nodes[id].client_addr
+    }
+}
+
+fn free_ports(n: usize) -> Vec<u16> {
+    // Hold all listeners at once so the ports are pairwise distinct.
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind a free port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").port())
+        .collect()
+}
+
+fn deployment(tag: &str) -> Deployment {
+    let logs = std::env::temp_dir()
+        .join("psmr-smoke-logs")
+        .join(format!("{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&logs);
+    std::fs::create_dir_all(&logs).expect("create log dir");
+    let ports = free_ports(6);
+    let nodes = (0..3)
+        .map(|i| NodeSpec {
+            addr: format!("127.0.0.1:{}", ports[i]),
+            client_addr: format!("127.0.0.1:{}", ports[3 + i]),
+            data_dir: logs.join(format!("data-n{i}")),
+        })
+        .collect();
+    let cluster = ClusterConfig { nodes };
+    std::fs::write(logs.join("cluster.toml"), cluster.to_toml()).expect("write cluster config");
+    Deployment {
+        children: vec![None, None, None],
+        cluster,
+        logs,
+    }
+}
+
+/// Blocks until the node answers a read through the ordered stream —
+/// which implies its whole pipeline (mesh, relay/subscription, catch-up
+/// including any state transfer, executor, client plane) is live.
+fn await_serving(addr: &str, probe_client: u64) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(mut conn) = connect_with_retry(addr, probe_client, Duration::from_secs(5)) {
+            let op = KvOp::Read { key: 0 };
+            if let Ok(result) = conn.execute(op.command(), op.encode(), Duration::from_secs(5)) {
+                if matches!(KvResult::decode(&result), KvResult::Value(_)) {
+                    return;
+                }
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "node at {addr} never came up serving"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// One closed-loop session over the TCP client plane — the same op mix,
+/// value numbering, and record shape as `psmr_sim::check::client_session`,
+/// so the shared checker applies unchanged.
+fn session(addr: String, c: u64, ops: u64, t0: Instant) -> Vec<(u64, OpRecord)> {
+    let mut conn = connect_with_retry(&addr, 1000 + c, Duration::from_secs(10))
+        .unwrap_or_else(|e| panic!("session {c}: connect {addr}: {e}"));
+    let mut records = Vec::new();
+    let kv = |conn: &mut NodeClient, op: KvOp| {
+        let result = conn
+            .execute(op.command(), op.encode(), Duration::from_secs(30))
+            .unwrap_or_else(|e| panic!("session {c}: {op:?} failed: {e}"));
+        KvResult::decode(&result)
+    };
+    for i in 0..ops {
+        let key = (c * 3 + i) % KEYS;
+        let invoked = t0.elapsed().as_nanos() as u64;
+        let op = if (i + c).is_multiple_of(3) {
+            let value = c * 1_000_000 + i;
+            assert_eq!(kv(&mut conn, KvOp::Update { key, value }), KvResult::Ok);
+            RegisterOp::Write { value }
+        } else {
+            match kv(&mut conn, KvOp::Read { key }) {
+                KvResult::Value(v) => RegisterOp::Read { value: Some(v) },
+                other => panic!("session {c}: read returned {other:?}"),
+            }
+        };
+        let returned = t0.elapsed().as_nanos() as u64;
+        records.push((
+            key,
+            OpRecord {
+                invoked,
+                returned,
+                op,
+            },
+        ));
+    }
+    records
+}
+
+fn run_sessions(plan: Vec<(String, u64)>, ops: u64, t0: Instant) -> Vec<(u64, OpRecord)> {
+    let handles: Vec<_> = plan
+        .into_iter()
+        .map(|(addr, c)| std::thread::spawn(move || session(addr, c, ops, t0)))
+        .collect();
+    handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("session thread"))
+        .collect()
+}
+
+#[test]
+fn three_process_deployment_survives_sigkill_and_rejoins_via_state_transfer() {
+    let mut deploy = deployment("smoke");
+    for id in 0..3 {
+        deploy.spawn_node(id, &format!("n{id}.log"));
+    }
+    for id in 0..3 {
+        await_serving(deploy.client_addr(id), 900 + id as u64);
+    }
+
+    let t0 = Instant::now();
+    let mut records = Vec::new();
+
+    // Phase 1: closed-loop sessions against all three nodes.
+    records.extend(run_sessions(
+        (0..3)
+            .map(|c| (deploy.client_addr(c as usize).to_string(), c))
+            .collect(),
+        16,
+        t0,
+    ));
+
+    // Force a checkpoint through the client plane: once acked, node 0
+    // has snapshotted and trimmed its stream, so the wiped follower's
+    // rejoin below *must* go through TCP state transfer.
+    let mut admin =
+        connect_with_retry(deploy.client_addr(0), 999, Duration::from_secs(10)).expect("admin");
+    let ckpt = force_checkpoint(&mut admin, Duration::from_secs(30)).expect("checkpoint acked");
+    assert!(ckpt >= 1, "checkpoint driver produced id {ckpt}");
+
+    // Phase 2: load on the surviving nodes, and SIGKILL node 2 mid-load.
+    let phase2: Vec<_> = (0..2)
+        .map(|n| {
+            let addr = deploy.client_addr(n).to_string();
+            let c = 10 + n as u64;
+            std::thread::spawn(move || session(addr, c, 24, t0))
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+    deploy.kill_node(2);
+    for h in phase2 {
+        records.extend(h.join().expect("phase-2 session"));
+    }
+
+    // Restart node 2 with a wiped data directory: its only way back is
+    // a checkpoint fetched from a live peer over TCP.
+    let n2_data = deploy.cluster.nodes[2].data_dir.clone();
+    std::fs::remove_dir_all(&n2_data).expect("wipe node 2 data dir");
+    deploy.spawn_node(2, "n2-restart.log");
+    await_serving(deploy.client_addr(2), 950);
+
+    // Phase 3: all three nodes again, including the rejoined one.
+    records.extend(run_sessions(
+        (0..3)
+            .map(|c| (deploy.client_addr(c as usize).to_string(), 20 + c))
+            .collect(),
+        16,
+        t0,
+    ));
+
+    // The restarted incarnation really took the transfer path.
+    let restart_log =
+        std::fs::read_to_string(deploy.logs.join("n2-restart.log")).expect("read restart log");
+    assert!(
+        restart_log.contains("state-transfer ok"),
+        "rejoined node did not report a completed state transfer; logs in {}",
+        deploy.logs.display()
+    );
+
+    if let Err(violation) = check_linearizable(&records) {
+        panic!(
+            "cross-incarnation history is not linearizable: {violation}\nnode logs kept in {}",
+            deploy.logs.display()
+        );
+    }
+
+    // Keep the log dir only on failure paths above; a green run cleans up.
+    let logs = deploy.logs.clone();
+    drop(deploy);
+    let _ = std::fs::remove_dir_all(logs);
+}
+
+/// The boot-time catch-up path: a follower that starts *after* the
+/// orderer has already checkpointed and trimmed must also rebuild via
+/// transfer — and a client session against it still linearizes.
+#[test]
+fn late_follower_bootstraps_through_state_transfer() {
+    let mut deploy = deployment("late");
+    deploy.spawn_node(0, "n0.log");
+    deploy.spawn_node(1, "n1.log");
+    await_serving(deploy.client_addr(0), 900);
+    await_serving(deploy.client_addr(1), 901);
+
+    let t0 = Instant::now();
+    let mut records = run_sessions(
+        vec![
+            (deploy.client_addr(0).to_string(), 0),
+            (deploy.client_addr(1).to_string(), 1),
+        ],
+        12,
+        t0,
+    );
+    let mut admin =
+        connect_with_retry(deploy.client_addr(0), 999, Duration::from_secs(10)).expect("admin");
+    force_checkpoint(&mut admin, Duration::from_secs(30)).expect("checkpoint acked");
+
+    deploy.spawn_node(2, "n2.log");
+    await_serving(deploy.client_addr(2), 950);
+    records.extend(run_sessions(
+        vec![(deploy.client_addr(2).to_string(), 20)],
+        12,
+        t0,
+    ));
+
+    if let Err(violation) = check_linearizable(&records) {
+        panic!(
+            "late-follower history is not linearizable: {violation}\nnode logs kept in {}",
+            deploy.logs.display()
+        );
+    }
+    let logs = deploy.logs.clone();
+    drop(deploy);
+    let _ = std::fs::remove_dir_all(logs);
+}
+
+/// Sanity on the artifact the launcher writes: the generated config
+/// round-trips through the parser the binaries load with.
+#[test]
+fn generated_cluster_config_round_trips() {
+    let deploy = deployment("toml");
+    let loaded =
+        ClusterConfig::load(deploy.logs.join("cluster.toml")).expect("load generated config");
+    assert_eq!(loaded, deploy.cluster);
+    let _ = std::fs::remove_dir_all(&deploy.logs);
+}

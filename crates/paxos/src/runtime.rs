@@ -688,6 +688,31 @@ impl PaxosGroup {
         pacing: Pacing,
         mode: WalMode,
     ) -> Self {
+        let all: Vec<usize> = (0..cfg.n_acceptors).collect();
+        Self::spawn_hosted(group_id, cfg, net, pacing, mode, &all)
+    }
+
+    /// Like [`PaxosGroup::spawn_with_wal_mode`], but spawns acceptor
+    /// threads only for the indices in `local_acceptors`. The remaining
+    /// acceptors are expected to run elsewhere — typically in other OS
+    /// processes reached through the net's gateway (see
+    /// `psmr_netsim::live::LiveNet::set_gateway` and the `psmr-net`
+    /// bridge) — as [`RemoteAcceptor`]s registered under the same
+    /// [`acceptor_node`] ids. Quorum logic is unchanged: the coordinator
+    /// still addresses all `cfg.n_acceptors` acceptors and needs a
+    /// majority of them reachable to decide.
+    ///
+    /// # Panics
+    ///
+    /// See [`PaxosGroup::spawn_with_wal_mode`].
+    pub fn spawn_hosted(
+        group_id: usize,
+        cfg: &SystemConfig,
+        net: LiveNet<NetMsg>,
+        pacing: Pacing,
+        mode: WalMode,
+        local_acceptors: &[usize],
+    ) -> Self {
         let mut log = VecDeque::new();
         let mut next_seq = 1;
         if let Some(wal) = mode.wal() {
@@ -743,8 +768,13 @@ impl PaxosGroup {
         });
 
         let mut threads = Vec::new();
-        // Acceptor threads.
-        for i in 0..cfg.n_acceptors {
+        // Acceptor threads (only the locally hosted subset).
+        for &i in local_acceptors {
+            assert!(
+                i < cfg.n_acceptors,
+                "local acceptor index {i} out of range (group has {})",
+                cfg.n_acceptors
+            );
             let node = acceptor_node(group_id, i);
             let inbox = net.register(node);
             let net = net.clone();
@@ -802,6 +832,69 @@ impl PaxosGroup {
     pub fn shutdown(mut self) {
         self.handle.shutdown();
         for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A stand-alone acceptor thread: one group member hosted by a process
+/// that does not run the group's coordinator.
+///
+/// Multi-process deployments spawn the coordinator (and its co-located
+/// acceptor) with [`PaxosGroup::spawn_hosted`] on one node and a
+/// `RemoteAcceptor` per remaining node; the coordinator's phase-1/2
+/// traffic reaches them through the net's gateway (bridged over TCP by
+/// `psmr-net`). The acceptor is intentionally amnesiac across process
+/// restarts — safe in this deployment shape because the group runs a
+/// fixed coordinator that is also the distinguished learner: a value it
+/// decided is retained in its stream/WAL, so a restarted acceptor
+/// re-promising from scratch can never help a *different* value win.
+#[derive(Debug)]
+pub struct RemoteAcceptor {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl RemoteAcceptor {
+    /// Registers [`acceptor_node`]`(group_id, index)` on `net` and runs
+    /// the acceptor loop until [`RemoteAcceptor::shutdown`].
+    pub fn spawn(group_id: usize, index: usize, net: LiveNet<NetMsg>) -> Self {
+        let node = acceptor_node(group_id, index);
+        let inbox = net.register(node);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let clock = net.runtime().clock.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("racceptor-g{group_id}-a{index}"))
+            .spawn(move || {
+                let mut acceptor = crate::acceptor::Acceptor::<Batch>::new();
+                loop {
+                    match recv_timeout_via(&*clock, &inbox, Duration::from_millis(50)) {
+                        Ok((from, msg)) => {
+                            if let Some(reply) = acceptor.handle(msg) {
+                                net.send(node, from, reply);
+                            }
+                        }
+                        Err(RecvTimeoutError::Timeout) => {
+                            if stop_flag.load(Ordering::Relaxed) {
+                                return;
+                            }
+                        }
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+            })
+            .expect("spawn remote acceptor thread");
+        Self {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stops the acceptor thread and joins it.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
     }

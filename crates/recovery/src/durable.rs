@@ -22,11 +22,17 @@ use std::path::{Path, PathBuf};
 
 /// File magic: identifies a durable P-SMR snapshot.
 const MAGIC: &[u8; 8] = b"PSMRSNAP";
-/// On-disk layout version.
-const VERSION: u32 = 1;
-/// Fixed header length: magic + version + id + cut (group, seq, offset)
-/// + epoch + body length + body crc.
-const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 4;
+/// On-disk layout version: v2 adds the remap overlay table so repartition
+/// pins survive a cold start (see `table` in [`DurableCheckpoint`]).
+const VERSION: u32 = 2;
+/// The pre-table layout; still decoded (with an empty table) so existing
+/// snapshot files stay loadable.
+const VERSION_V1: u32 = 1;
+/// Fixed v2 header length: magic + version + id + cut (group, seq,
+/// offset) + epoch + table length + body length + crc over table ++ body.
+const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 4;
+/// Fixed v1 header length: as v2, without the table length field.
+const HEADER_LEN_V1: usize = 8 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 4;
 
 /// CRC-32 of the snapshot body — the shared [`psmr_common::crc::crc32`],
 /// the same checksum the WAL record frames use.
@@ -40,6 +46,11 @@ pub struct DurableCheckpoint {
     pub checkpoint: Checkpoint,
     /// Remap epoch in force when the checkpoint was taken.
     pub epoch: u64,
+    /// Serialized remap overlay table in force at `epoch` (empty when no
+    /// remap happened, and for files persisted by the v1 layout). A cold
+    /// start installs this before replaying the log suffix, so commands
+    /// pinned to a remapped group re-route exactly as they did live.
+    pub table: Vec<u8>,
 }
 
 /// One replica's on-disk checkpoint repository.
@@ -59,7 +70,7 @@ pub struct DurableCheckpoint {
 ///     cut: StreamCut { group: GroupId::new(2), seq: 9, offset: 0 },
 ///     snapshot: vec![1, 2, 3],
 /// };
-/// store.persist(&ckpt, 0).unwrap();
+/// store.persist(&ckpt, 0, &[]).unwrap();
 /// let back = store.load_latest().unwrap();
 /// assert_eq!(back.checkpoint, ckpt);
 /// std::fs::remove_dir_all(&dir).unwrap();
@@ -86,21 +97,27 @@ impl DurableStore {
         &self.dir
     }
 
-    /// Persists one checkpoint (tagged with the remap `epoch` in force):
-    /// writes `ckpt-<id>.psmr.tmp`, fsyncs, then atomically renames it
-    /// into place. Returns the published path.
+    /// Persists one checkpoint (tagged with the remap `epoch` in force
+    /// and its serialized overlay `table`): writes `ckpt-<id>.psmr.tmp`,
+    /// fsyncs, then atomically renames it into place. Returns the
+    /// published path.
     ///
     /// # Errors
     ///
     /// Returns the underlying error of the failed write/rename; a failed
     /// persist leaves no partial file visible to [`DurableStore::load_latest`].
-    pub fn persist(&self, checkpoint: &Checkpoint, epoch: u64) -> io::Result<PathBuf> {
+    pub fn persist(
+        &self,
+        checkpoint: &Checkpoint,
+        epoch: u64,
+        table: &[u8],
+    ) -> io::Result<PathBuf> {
         let name = format!("ckpt-{:020}.psmr", checkpoint.id);
         let tmp = self.dir.join(format!("{name}.tmp"));
         let published = self.dir.join(name);
         {
             let mut file = fs::File::create(&tmp)?;
-            file.write_all(&encode(checkpoint, epoch))?;
+            file.write_all(&encode(checkpoint, epoch, table))?;
             file.sync_all()?;
         }
         fs::rename(&tmp, &published)?;
@@ -180,10 +197,10 @@ impl DurableStore {
     }
 }
 
-/// Serializes a checkpoint into the on-disk layout (see module docs).
-fn encode(checkpoint: &Checkpoint, epoch: u64) -> Vec<u8> {
+/// Serializes a checkpoint into the v2 on-disk layout (see module docs).
+fn encode(checkpoint: &Checkpoint, epoch: u64, table: &[u8]) -> Vec<u8> {
     let body = &checkpoint.snapshot;
-    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    let mut out = Vec::with_capacity(HEADER_LEN + table.len() + body.len());
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&checkpoint.id.to_le_bytes());
@@ -191,22 +208,26 @@ fn encode(checkpoint: &Checkpoint, epoch: u64) -> Vec<u8> {
     out.extend_from_slice(&checkpoint.cut.seq.to_le_bytes());
     out.extend_from_slice(&(checkpoint.cut.offset as u64).to_le_bytes());
     out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&(table.len() as u64).to_le_bytes());
     out.extend_from_slice(&(body.len() as u64).to_le_bytes());
-    out.extend_from_slice(&crc32(body).to_le_bytes());
+    let mut crc_input = Vec::with_capacity(table.len() + body.len());
+    crc_input.extend_from_slice(table);
+    crc_input.extend_from_slice(body);
+    out.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+    out.extend_from_slice(table);
     out.extend_from_slice(body);
     out
 }
 
-/// Parses and verifies the on-disk layout. `None` on any mismatch.
+/// Parses and verifies the on-disk layout — v2, or v1 (no table field,
+/// decoded with an empty table). `None` on any mismatch.
 fn decode(bytes: &[u8]) -> Option<DurableCheckpoint> {
-    if bytes.len() < HEADER_LEN || &bytes[..8] != MAGIC {
+    if bytes.len() < HEADER_LEN_V1 || &bytes[..8] != MAGIC {
         return None;
     }
     let u32_at = |at: usize| -> u32 { u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) };
     let u64_at = |at: usize| -> u64 { u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) };
-    if u32_at(8) != VERSION {
-        return None;
-    }
+    let version = u32_at(8);
     let id = u64_at(12);
     let cut = StreamCut {
         group: GroupId::new(usize::try_from(u64_at(20)).ok()?),
@@ -214,19 +235,32 @@ fn decode(bytes: &[u8]) -> Option<DurableCheckpoint> {
         offset: usize::try_from(u64_at(36)).ok()?,
     };
     let epoch = u64_at(44);
-    let len = usize::try_from(u64_at(52)).ok()?;
-    let crc = u32_at(60);
-    let body = bytes.get(HEADER_LEN..)?;
-    if body.len() != len || crc32(body) != crc {
+    let (table_len, body_len, crc, payload) = match version {
+        VERSION => {
+            if bytes.len() < HEADER_LEN {
+                return None;
+            }
+            let table_len = usize::try_from(u64_at(52)).ok()?;
+            let body_len = usize::try_from(u64_at(60)).ok()?;
+            (table_len, body_len, u32_at(68), bytes.get(HEADER_LEN..)?)
+        }
+        VERSION_V1 => {
+            let body_len = usize::try_from(u64_at(52)).ok()?;
+            (0, body_len, u32_at(60), bytes.get(HEADER_LEN_V1..)?)
+        }
+        _ => return None,
+    };
+    if payload.len() != table_len + body_len || crc32(payload) != crc {
         return None;
     }
     Some(DurableCheckpoint {
         checkpoint: Checkpoint {
             id,
             cut,
-            snapshot: body.to_vec(),
+            snapshot: payload[table_len..].to_vec(),
         },
         epoch,
+        table: payload[..table_len].to_vec(),
     })
 }
 
@@ -277,8 +311,8 @@ mod tests {
         let dir = unique_dir("roundtrip");
         let store = DurableStore::open(&dir).unwrap();
         assert!(store.load_latest().is_none(), "empty store");
-        store.persist(&ckpt(1, 5, vec![1, 2, 3]), 7).unwrap();
-        store.persist(&ckpt(2, 9, vec![4, 5]), 8).unwrap();
+        store.persist(&ckpt(1, 5, vec![1, 2, 3]), 7, &[]).unwrap();
+        store.persist(&ckpt(2, 9, vec![4, 5]), 8, b"pins").unwrap();
         let latest = store.load_latest().expect("two files on disk");
         assert_eq!(latest.checkpoint.id, 2);
         assert_eq!(latest.checkpoint.cut.seq, 9);
@@ -292,9 +326,9 @@ mod tests {
         let dir = unique_dir("corrupt");
         let store = DurableStore::open(&dir).unwrap();
         let good = ckpt(1, 5, vec![9; 64]);
-        store.persist(&good, 0).unwrap();
+        store.persist(&good, 0, &[]).unwrap();
         // A newer-looking file with a flipped body byte: crc must reject it.
-        let mut bytes = encode(&ckpt(2, 9, vec![7; 64]), 0);
+        let mut bytes = encode(&ckpt(2, 9, vec![7; 64]), 0, &[]);
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         fs::write(dir.join("ckpt-00000000000000000002.psmr"), bytes).unwrap();
@@ -315,8 +349,8 @@ mod tests {
         let dir = unique_dir("truncated-newest");
         let store = DurableStore::open(&dir).unwrap();
         let older = ckpt(1, 5, vec![1; 128]);
-        store.persist(&older, 3).unwrap();
-        let newest_path = store.persist(&ckpt(2, 9, vec![2; 128]), 3).unwrap();
+        store.persist(&older, 3, &[]).unwrap();
+        let newest_path = store.persist(&ckpt(2, 9, vec![2; 128]), 3, &[]).unwrap();
         // Tear the newest file as a crashed write would.
         let bytes = fs::read(&newest_path).unwrap();
         fs::write(&newest_path, &bytes[..bytes.len() / 2]).unwrap();
@@ -333,8 +367,8 @@ mod tests {
         let dir = unique_dir("bitflip-newest");
         let store = DurableStore::open(&dir).unwrap();
         let older = ckpt(1, 5, vec![1; 64]);
-        store.persist(&older, 0).unwrap();
-        let newest_path = store.persist(&ckpt(2, 9, vec![2; 64]), 0).unwrap();
+        store.persist(&older, 0, &[]).unwrap();
+        let newest_path = store.persist(&ckpt(2, 9, vec![2; 64]), 0, &[]).unwrap();
         let mut bytes = fs::read(&newest_path).unwrap();
         let mid = HEADER_LEN + 32;
         bytes[mid] ^= 0x01;
@@ -354,7 +388,9 @@ mod tests {
         let dir = unique_dir("load-all");
         let store = DurableStore::open(&dir).unwrap();
         for (id, seq) in [(2u64, 20u64), (1, 10), (3, 30)] {
-            store.persist(&ckpt(id, seq, vec![id as u8]), 0).unwrap();
+            store
+                .persist(&ckpt(id, seq, vec![id as u8]), 0, &[])
+                .unwrap();
         }
         let ids: Vec<u64> = store.load_all().iter().map(|d| d.checkpoint.id).collect();
         assert_eq!(ids, vec![3, 2, 1]);
@@ -368,7 +404,7 @@ mod tests {
         // A crash between write and rename leaves only the .tmp behind.
         fs::write(
             dir.join("ckpt-00000000000000000001.psmr.tmp"),
-            encode(&ckpt(1, 5, vec![1]), 0),
+            encode(&ckpt(1, 5, vec![1]), 0, &[]),
         )
         .unwrap();
         assert!(store.load_latest().is_none());
@@ -381,7 +417,7 @@ mod tests {
         let store = DurableStore::open(&dir).unwrap();
         for id in 1..=5 {
             store
-                .persist(&ckpt(id, id * 10, vec![id as u8]), 0)
+                .persist(&ckpt(id, id * 10, vec![id as u8]), 0, &[])
                 .unwrap();
         }
         assert_eq!(store.retain_newest(2).unwrap(), 3);
@@ -391,13 +427,61 @@ mod tests {
         fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// The remap overlay table rides the snapshot file: it round-trips
+    /// through persist/load and sits under the same crc as the body.
+    #[test]
+    fn table_round_trips_and_is_crc_protected() {
+        let dir = unique_dir("table");
+        let store = DurableStore::open(&dir).unwrap();
+        let table = vec![0xAB; 37];
+        let path = store
+            .persist(&ckpt(1, 5, vec![1, 2, 3]), 4, &table)
+            .unwrap();
+        let loaded = store.load_latest().expect("persisted");
+        assert_eq!(loaded.table, table);
+        assert_eq!(loaded.epoch, 4);
+        assert_eq!(loaded.checkpoint.snapshot, vec![1, 2, 3]);
+        // Flip one table byte: the whole file must be rejected, not
+        // loaded with a silently-wrong routing overlay.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[HEADER_LEN + 10] ^= 0x04;
+        fs::write(&path, bytes).unwrap();
+        assert!(store.load_latest().is_none(), "corrupt table rejected");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Files written by the pre-table v1 layout still load — with an
+    /// empty table, the correct value for their era (remap state was not
+    /// persisted at all).
+    #[test]
+    fn v1_files_decode_with_an_empty_table() {
+        let body = vec![6u8; 16];
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC);
+        v1.extend_from_slice(&VERSION_V1.to_le_bytes());
+        v1.extend_from_slice(&3u64.to_le_bytes()); // id
+        v1.extend_from_slice(&4u64.to_le_bytes()); // cut.group
+        v1.extend_from_slice(&9u64.to_le_bytes()); // cut.seq
+        v1.extend_from_slice(&1u64.to_le_bytes()); // cut.offset
+        v1.extend_from_slice(&5u64.to_le_bytes()); // epoch
+        v1.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        v1.extend_from_slice(&crc32(&body).to_le_bytes());
+        v1.extend_from_slice(&body);
+        let loaded = decode(&v1).expect("v1 layout stays loadable");
+        assert_eq!(loaded.checkpoint.id, 3);
+        assert_eq!(loaded.checkpoint.cut.seq, 9);
+        assert_eq!(loaded.checkpoint.snapshot, body);
+        assert_eq!(loaded.epoch, 5);
+        assert_eq!(loaded.table, Vec::<u8>::new());
+    }
+
     #[test]
     fn truncated_header_and_wrong_version_are_rejected() {
         assert_eq!(decode(b"PSMRSNAP"), None);
-        let mut bytes = encode(&ckpt(1, 1, vec![1]), 0);
+        let mut bytes = encode(&ckpt(1, 1, vec![1]), 0, &[]);
         bytes[8] = 99; // version
         assert_eq!(decode(&bytes), None);
-        let ok = encode(&ckpt(1, 1, vec![1]), 0);
+        let ok = encode(&ckpt(1, 1, vec![1]), 0, &[]);
         assert_eq!(decode(&ok[..ok.len() - 1]), None, "truncated body");
     }
 }

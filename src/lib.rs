@@ -19,6 +19,7 @@ pub use psmr_core as core;
 pub use psmr_kvstore as kvstore;
 pub use psmr_lz as lz;
 pub use psmr_multicast as multicast;
+pub use psmr_net as net;
 pub use psmr_netfs as netfs;
 pub use psmr_netsim as netsim;
 pub use psmr_paxos as paxos;
