@@ -1,23 +1,67 @@
-//! Validates every `target/experiments/BENCH_*.json` artifact against
-//! the checked-in `bench_schema.txt`: missing required metrics, `null`
-//! (non-finite) values, and artifacts with no schema section all fail.
-//! See `psmr_bench::validate`.
+//! Validates perf and observability artifacts in CI.
+//!
+//! ```text
+//! validate_bench                      # BENCH_*.json vs bench_schema.txt
+//! validate_bench --metrics <dir>...   # parse-check *_metrics.jsonl trees
+//! ```
+//!
+//! Without flags: every `target/experiments/BENCH_*.json` artifact is
+//! checked against the checked-in `bench_schema.txt` — missing required
+//! metrics, `null` (non-finite) values, and artifacts with no schema
+//! section all fail. With `--metrics <dir>` (repeatable): instead,
+//! every `*_metrics.jsonl` flight-recorder file under each directory is
+//! parse-checked line by line. See `psmr_bench::validate`.
 
 use std::path::Path;
 
 fn main() {
-    match psmr_bench::validate::validate_dir(Path::new("target/experiments")) {
-        Ok(validated) => {
-            for file in &validated {
-                println!("ok: {file}");
+    let mut metrics_dirs: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--metrics" => match args.next() {
+                Some(dir) => metrics_dirs.push(dir),
+                None => {
+                    eprintln!("usage: validate_bench [--metrics <dir>]...");
+                    std::process::exit(2);
+                }
+            },
+            _ => {
+                eprintln!("usage: validate_bench [--metrics <dir>]...");
+                std::process::exit(2);
             }
-            println!("{} artifact(s) match bench_schema.txt", validated.len());
         }
-        Err(problems) => {
-            for p in &problems {
-                eprintln!("FAIL: {p}");
+    }
+
+    let results = if metrics_dirs.is_empty() {
+        vec![psmr_bench::validate::validate_dir(Path::new(
+            "target/experiments",
+        ))]
+    } else {
+        metrics_dirs
+            .iter()
+            .map(|dir| psmr_bench::validate::validate_metrics_dir(Path::new(dir)))
+            .collect()
+    };
+
+    let mut failed = false;
+    for result in results {
+        match result {
+            Ok(validated) => {
+                for file in &validated {
+                    println!("ok: {file}");
+                }
+                println!("{} artifact(s) valid", validated.len());
             }
-            std::process::exit(1);
+            Err(problems) => {
+                for p in &problems {
+                    eprintln!("FAIL: {p}");
+                }
+                failed = true;
+            }
         }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

@@ -6,6 +6,13 @@
 //! without a schema section, a missing required key, or a metric that
 //! rendered as `null` (non-finite) all fail the build — headline-metric
 //! drift has to be an explicit schema change, never an accident.
+//!
+//! The binary's `--metrics <dir>` mode parse-checks the
+//! `*_metrics.jsonl` flight-recorder files node processes write (see
+//! `psmr_common::export::JsonlSnapshotter`): every line must be a
+//! self-contained snapshot object carrying the
+//! `ts_ms`/`counters`/`gauges`/`histograms` sections, so the uploaded
+//! artifacts stay machine-readable.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -154,6 +161,90 @@ pub fn validate_dir(dir: &Path) -> Result<Vec<String>, Vec<String>> {
     }
 }
 
+/// Parse-checks one metrics flight-recorder body (a `*_metrics.jsonl`
+/// file): every line must be a self-contained JSON snapshot object with
+/// the four sections the snapshotter writes. Returns the problems found
+/// (empty = valid); an empty file is a problem — a node that never
+/// snapshotted recorded nothing.
+pub fn validate_metrics_jsonl(file: &str, body: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut lines = 0usize;
+    for (no, line) in body.lines().enumerate() {
+        lines += 1;
+        let shaped = line.starts_with('{') && line.ends_with('}');
+        if !shaped
+            || !line.contains("\"ts_ms\":")
+            || !line.contains("\"counters\":{")
+            || !line.contains("\"gauges\":{")
+            || !line.contains("\"histograms\":{")
+        {
+            problems.push(format!(
+                "{file}:{}: malformed metrics snapshot line",
+                no + 1
+            ));
+        }
+    }
+    if lines == 0 {
+        problems.push(format!("{file}: empty metrics JSONL"));
+    }
+    problems
+}
+
+/// Recursively parse-checks every `*_metrics.jsonl` under `dir` (node
+/// data directories nest one level per node).
+///
+/// # Errors
+///
+/// Every problem found; an unreadable tree or one containing no metrics
+/// JSONL at all is itself a problem — CI must not "pass" by validating
+/// nothing.
+pub fn validate_metrics_dir(dir: &Path) -> Result<Vec<String>, Vec<String>> {
+    let mut stack = vec![dir.to_path_buf()];
+    let mut validated = Vec::new();
+    let mut problems = Vec::new();
+    while let Some(d) = stack.pop() {
+        let entries = match std::fs::read_dir(&d) {
+            Ok(entries) => entries,
+            Err(e) => {
+                problems.push(format!("cannot read {}: {e}", d.display()));
+                continue;
+            }
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+                continue;
+            }
+            let Some(file) = path.file_name().and_then(|f| f.to_str()) else {
+                continue;
+            };
+            if !file.ends_with("_metrics.jsonl") {
+                continue;
+            }
+            let shown = path.display().to_string();
+            match std::fs::read_to_string(&path) {
+                Ok(body) => {
+                    problems.extend(validate_metrics_jsonl(&shown, &body));
+                    validated.push(shown);
+                }
+                Err(e) => problems.push(format!("{shown}: unreadable: {e}")),
+            }
+        }
+    }
+    if validated.is_empty() {
+        problems.push(format!(
+            "no *_metrics.jsonl under {} — did the nodes run?",
+            dir.display()
+        ));
+    }
+    if problems.is_empty() {
+        Ok(validated)
+    } else {
+        Err(problems)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +305,52 @@ mod tests {
             problems.iter().any(|p| p.contains("no section")),
             "{problems:?}"
         );
+    }
+
+    #[test]
+    fn metrics_jsonl_lines_are_parse_checked() {
+        let good = concat!(
+            "{\"ts_ms\":1,\"counters\":{\"a\":1},\"gauges\":{},\"histograms\":{}}\n",
+            "{\"ts_ms\":2,\"counters\":{},\"gauges\":{},\"histograms\":{}}\n"
+        );
+        assert!(validate_metrics_jsonl("f", good).is_empty());
+
+        let truncated = "{\"ts_ms\":1,\"counters\":{\"a\":1},\"gaug";
+        let problems = validate_metrics_jsonl("f", truncated);
+        assert!(
+            problems.iter().any(|p| p.contains("f:1: malformed")),
+            "{problems:?}"
+        );
+
+        let problems = validate_metrics_jsonl("f", "");
+        assert!(problems.iter().any(|p| p.contains("empty")), "{problems:?}");
+    }
+
+    #[test]
+    fn metrics_dir_walk_finds_nested_recorders() {
+        let root = std::env::temp_dir().join(format!("psmr-validate-{}", std::process::id()));
+        let nested = root.join("data-n1");
+        std::fs::create_dir_all(&nested).expect("mkdir");
+        std::fs::write(
+            nested.join("node1_metrics.jsonl"),
+            "{\"ts_ms\":1,\"counters\":{},\"gauges\":{},\"histograms\":{}}\n",
+        )
+        .expect("write");
+        std::fs::write(nested.join("flight.jsonl"), "not checked here\n").expect("write");
+        let validated = validate_metrics_dir(&root).expect("valid tree");
+        assert_eq!(validated.len(), 1, "{validated:?}");
+
+        std::fs::write(nested.join("node2_metrics.jsonl"), "garbage\n").expect("write");
+        let problems = validate_metrics_dir(&root).expect_err("malformed file fails");
+        assert!(
+            problems.iter().any(|p| p.contains("malformed")),
+            "{problems:?}"
+        );
+
+        let empty = root.join("no-nodes");
+        std::fs::create_dir_all(&empty).expect("mkdir");
+        assert!(validate_metrics_dir(&empty).is_err(), "empty tree fails");
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -133,6 +133,10 @@ impl JsonlSnapshotter {
                         .and_then(|()| file.write_all(b"\n"))
                         .and_then(|()| file.flush());
                 };
+                // First line lands at spawn, not one period in — a
+                // recorder that dies young (or a scraper reading right
+                // after boot) still sees a snapshot.
+                write_line(&mut file);
                 while !stop_flag.load(Ordering::Relaxed) {
                     // Sleep in small steps so stop() returns promptly
                     // even with a long period.
@@ -196,6 +200,46 @@ mod tests {
         assert!(text.contains("wal_appends 3"));
         assert!(text.contains("wal_inflight 5 / 5"));
         assert!(text.contains("wal_fsync_ns{group=1} 1 "));
+    }
+
+    #[test]
+    fn expose_text_is_deterministic_and_sorted() {
+        // Two registries populated with the same instruments in opposite
+        // orders must render byte-identically: admin-endpoint diffs and
+        // CI log comparisons depend on stable output.
+        let names = [
+            "net_frames_sent{peer=2}",
+            "net_frames_sent",
+            "net_frames_sent{peer=0}",
+            "commands_executed{replica=1,worker=0}",
+            "commands_executed",
+        ];
+        let forward = MetricsRegistry::new();
+        let backward = MetricsRegistry::new();
+        for (i, name) in names.iter().enumerate() {
+            forward.counter(name).add(i as u64 + 1);
+            forward.gauge(&format!("depth_{i}")).set(i as u64);
+            forward.histogram(name).record(Duration::from_micros(10));
+        }
+        for (i, name) in names.iter().enumerate().rev() {
+            backward.counter(name).add(i as u64 + 1);
+            backward.gauge(&format!("depth_{i}")).set(i as u64);
+            backward.histogram(name).record(Duration::from_micros(10));
+        }
+        let text = expose_text(&forward);
+        assert_eq!(text, expose_text(&backward), "registration order leaks");
+        assert_eq!(text, expose_text(&forward), "repeated dumps drift");
+        // Within each section the lines are sorted by name.
+        for section in text.split("# ").skip(1) {
+            let keys: Vec<&str> = section
+                .lines()
+                .skip(1)
+                .filter_map(|l| l.split(' ').next())
+                .collect();
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            assert_eq!(keys, sorted, "unsorted section:\n{section}");
+        }
     }
 
     #[test]

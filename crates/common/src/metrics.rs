@@ -516,6 +516,25 @@ pub mod counters {
     pub const NET_FRAMES_DROPPED: &str = "net_frames_dropped";
     /// Frames successfully written to a TCP peer link.
     pub const NET_FRAMES_SENT: &str = "net_frames_sent";
+    /// TCP peer links established, counting the first connection *and*
+    /// every re-dial (unlike `net_reconnects`, which counts only the
+    /// latter) — a freshly restarted process shows its links coming up
+    /// here.
+    pub const NET_CONNECTS: &str = "net_connects";
+    /// Payload bytes written to TCP peer links (frame bodies, not
+    /// counting the envelope header or replayed duplicates).
+    pub const NET_BYTES_SENT: &str = "net_bytes_sent";
+    /// Data frames accepted from TCP peer links (after duplicate
+    /// suppression).
+    pub const NET_FRAMES_RECEIVED: &str = "net_frames_received";
+    /// Payload bytes accepted from TCP peer links.
+    pub const NET_BYTES_RECEIVED: &str = "net_bytes_received";
+    /// Backoff sleeps a dialer served after a failed dial or handshake.
+    pub const NET_BACKOFF_SLEEPS: &str = "net_backoff_sleeps";
+    /// Inbound connections torn down because the frame stream poisoned
+    /// (crc mismatch, oversized frame) or a payload violated the mesh
+    /// protocol — the peer's dialer reconnects and replays.
+    pub const NET_DECODE_POISONED: &str = "net_decode_poisoned";
 }
 
 /// Well-known histogram names (see [`MetricsRegistry::histogram`]).
@@ -524,6 +543,9 @@ pub mod histograms {
     /// (`wal_fsync_ns{group=G}`) with a global rollup — the input a
     /// future adaptive `wal_sync_pace` controller needs.
     pub const WAL_FSYNC_NS: &str = "wal_fsync_ns";
+    /// HELLO → ack round-trip of the mesh handshake, recorded per peer
+    /// (`net_handshake_ns{peer=P}`) by the dialing side.
+    pub const NET_HANDSHAKE_NS: &str = "net_handshake_ns";
 }
 
 /// Well-known gauge names (see [`MetricsRegistry::gauge`]).

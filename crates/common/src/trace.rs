@@ -22,6 +22,16 @@
 //! time. `appended_to_durable` (pipelined WAL only) overlaps the chain
 //! and is reported separately.
 
+//!
+//! In multi-process deployments the chain **spans processes**: the
+//! ordering side exports the ages of its `Submitted`/`Ordered`/
+//! `WalAppended` stamps as a [`ChainPrefix`] (carried inside the relay
+//! envelope), and the executing side re-anchors them onto its own clock
+//! with [`TraceRecorder::adopt_prefix`] before stamping
+//! `Delivered`/`ExecStart`/`Executed`/`Released` locally — so a
+//! follower's report attributes the full end-to-end path, network hop
+//! included (transit lands in `appended_to_delivered`).
+
 use crate::metrics::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -279,6 +289,47 @@ impl TraceRecorder {
         slot.key.store(0, Ordering::Release);
     }
 
+    /// Reads the origin-side prefix of lifecycle `(group, seq)` as ages
+    /// relative to `now`, for propagation to another process. Returns
+    /// `None` unless the sequence is sampled, its slot is live, and all
+    /// three prefix stamps (`Submitted`, `Ordered`, `WalAppended`) are
+    /// present — a prefix is only exported once it is complete.
+    pub fn chain_prefix(&self, group: usize, seq: u64, now: Instant) -> Option<ChainPrefix> {
+        if !self.sampled(seq) {
+            return None;
+        }
+        let slot = self.lookup(Self::key(group, seq))?;
+        let submitted = slot.stamps[Stage::Submitted as usize].load(Ordering::Acquire);
+        let ordered = slot.stamps[Stage::Ordered as usize].load(Ordering::Acquire);
+        let appended = slot.stamps[Stage::WalAppended as usize].load(Ordering::Acquire);
+        if submitted == 0 || ordered == 0 || appended == 0 {
+            return None;
+        }
+        Some(ChainPrefix {
+            submitted_age_ns: self.stamp_ns(now).saturating_sub(submitted),
+            submit_to_ordered_ns: ordered.saturating_sub(submitted),
+            ordered_to_appended_ns: appended.saturating_sub(ordered),
+        })
+    }
+
+    /// Re-anchors a [`ChainPrefix`] received from another process onto
+    /// this recorder's clock: `Submitted` lands `submitted_age_ns`
+    /// before `now` (the local receive instant), `Ordered` and
+    /// `WalAppended` at their recorded offsets after it. Subsequent
+    /// local `Delivered`/`ExecStart`/`Executed`/`Released` stamps then
+    /// complete the chain, with the wire transit attributed to
+    /// `appended_to_delivered`.
+    pub fn adopt_prefix(&self, group: usize, seq: u64, prefix: &ChainPrefix, now: Instant) {
+        let submitted = now
+            .checked_sub(Duration::from_nanos(prefix.submitted_age_ns))
+            .unwrap_or(now);
+        let ordered = submitted + Duration::from_nanos(prefix.submit_to_ordered_ns);
+        let appended = ordered + Duration::from_nanos(prefix.ordered_to_appended_ns);
+        self.stamp_at(group, seq, Stage::Submitted, submitted);
+        self.stamp_at(group, seq, Stage::Ordered, ordered);
+        self.stamp_at(group, seq, Stage::WalAppended, appended);
+    }
+
     /// Lifecycles folded into the chain intervals so far.
     pub fn traced(&self) -> u64 {
         self.traced.load(Ordering::Relaxed)
@@ -332,6 +383,20 @@ impl Default for TraceRecorder {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// The origin-side stamps of a lifecycle, expressed relative to the
+/// moment the prefix was read ([`TraceRecorder::chain_prefix`]) so it
+/// survives the hop between processes whose monotonic clocks share no
+/// epoch. All three values are nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChainPrefix {
+    /// How long before the read instant `Submitted` was stamped.
+    pub submitted_age_ns: u64,
+    /// `Submitted` → `Ordered`.
+    pub submit_to_ordered_ns: u64,
+    /// `Ordered` → `WalAppended`.
+    pub ordered_to_appended_ns: u64,
 }
 
 /// Aggregated statistics of one traced interval.
@@ -527,6 +592,61 @@ mod tests {
         // The in-flight slot was wiped: a fresh lifecycle works.
         full_chain(&rec, 0, 1, Instant::now());
         assert_eq!(rec.report().traced, 1);
+    }
+
+    #[test]
+    fn chain_prefix_round_trips_across_recorders() {
+        // The ordering-side recorder stamps the prefix...
+        let origin = TraceRecorder::new();
+        origin.set_sample(1);
+        let t0 = Instant::now();
+        origin.stamp_at(0, 5, Stage::Submitted, t0);
+        origin.stamp_at(0, 5, Stage::Ordered, t0 + Duration::from_millis(2));
+        origin.stamp_at(0, 5, Stage::WalAppended, t0 + Duration::from_millis(3));
+        let read_at = t0 + Duration::from_millis(10);
+        let prefix = origin.chain_prefix(0, 5, read_at).expect("complete prefix");
+        assert_eq!(prefix.submit_to_ordered_ns, 2_000_000);
+        assert_eq!(prefix.ordered_to_appended_ns, 1_000_000);
+        assert_eq!(prefix.submitted_age_ns, 10_000_000);
+
+        // ...a second recorder (another process) adopts it and finishes
+        // the chain locally: the cross-process chain folds completely.
+        let remote = TraceRecorder::new();
+        remote.set_sample(1);
+        // Anchor the receive instant well after the remote recorder's
+        // epoch: in a real process the recorder is created at startup,
+        // long before any prefix is adopted.
+        let rx = Instant::now() + Duration::from_millis(50);
+        remote.adopt_prefix(0, 5, &prefix, rx);
+        remote.stamp_at(0, 5, Stage::Delivered, rx);
+        remote.stamp_at(0, 5, Stage::ExecStart, rx + Duration::from_millis(1));
+        remote.stamp_at(0, 5, Stage::Executed, rx + Duration::from_millis(2));
+        remote.stamp_at(0, 5, Stage::Released, rx + Duration::from_millis(3));
+        let report = remote.report();
+        assert_eq!(report.traced, 1, "adopted chain folds on the remote side");
+        let e2e = report.stat("end_to_end").expect("e2e").mean;
+        assert_eq!(report.chain_sum(), e2e);
+        // Transit (the 10ms age minus the 3ms spent ordering) lands in
+        // appended_to_delivered.
+        let transit = report.stat("appended_to_delivered").expect("a2d").mean;
+        assert_eq!(transit, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn incomplete_or_unsampled_prefixes_are_not_exported() {
+        let rec = TraceRecorder::new();
+        rec.set_sample(2);
+        let t0 = Instant::now();
+        rec.stamp_at(0, 4, Stage::Submitted, t0);
+        rec.stamp_at(0, 4, Stage::Ordered, t0);
+        // WalAppended missing: no prefix yet.
+        assert_eq!(rec.chain_prefix(0, 4, t0), None);
+        rec.stamp_at(0, 4, Stage::WalAppended, t0);
+        assert!(rec.chain_prefix(0, 4, t0).is_some());
+        // Unsampled sequence: never exported.
+        assert_eq!(rec.chain_prefix(0, 3, t0), None);
+        // Unknown sequence: no slot.
+        assert_eq!(rec.chain_prefix(0, 100, t0), None);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! [[node]]
 //! addr = "127.0.0.1:7401"        # mesh listener (node ↔ node traffic)
 //! client_addr = "127.0.0.1:7501" # client listener
+//! admin_addr = "127.0.0.1:7601"  # admin endpoint (metrics/trace/status)
 //! data_dir = "/var/lib/psmr/n0"  # WAL + snapshots of this node
 //! ```
 //!
@@ -25,6 +26,10 @@ pub struct NodeSpec {
     pub addr: String,
     /// Address the node's client listener binds.
     pub client_addr: String,
+    /// Address the node's admin endpoint binds (`metrics` / `trace` /
+    /// `status` queries). Empty string = admin endpoint disabled, so
+    /// pre-existing configs keep parsing.
+    pub admin_addr: String,
     /// Directory holding the node's WAL and durable snapshots.
     pub data_dir: PathBuf,
 }
@@ -108,6 +113,7 @@ impl ClusterConfig {
             match key {
                 "addr" => node.addr = Some(value),
                 "client_addr" => node.client_addr = Some(value),
+                "admin_addr" => node.admin_addr = Some(value),
                 "data_dir" => node.data_dir = Some(value),
                 // Unknown keys are tolerated so configs can carry
                 // operator annotations this version does not read.
@@ -147,6 +153,9 @@ impl ClusterConfig {
             out.push_str("[[node]]\n");
             out.push_str(&format!("addr = \"{}\"\n", node.addr));
             out.push_str(&format!("client_addr = \"{}\"\n", node.client_addr));
+            if !node.admin_addr.is_empty() {
+                out.push_str(&format!("admin_addr = \"{}\"\n", node.admin_addr));
+            }
             out.push_str(&format!("data_dir = \"{}\"\n\n", node.data_dir.display()));
         }
         out
@@ -193,6 +202,7 @@ fn parse_value(value: &str) -> Option<String> {
 struct PartialNode {
     addr: Option<String>,
     client_addr: Option<String>,
+    admin_addr: Option<String>,
     data_dir: Option<String>,
 }
 
@@ -202,6 +212,7 @@ impl PartialNode {
         Ok(NodeSpec {
             addr: self.addr.ok_or(missing("addr"))?,
             client_addr: self.client_addr.ok_or(missing("client_addr"))?,
+            admin_addr: self.admin_addr.unwrap_or_default(),
             data_dir: PathBuf::from(self.data_dir.ok_or(missing("data_dir"))?),
         })
     }
@@ -221,6 +232,7 @@ data_dir = "/tmp/psmr/n0"
 [[node]]
 addr = "127.0.0.1:7402"
 client_addr = "127.0.0.1:7502"
+admin_addr = "127.0.0.1:7602"
 data_dir = "/tmp/psmr/n1"
 
 [[node]]
@@ -236,6 +248,10 @@ data_dir = "/tmp/psmr/n2"
         assert_eq!(cfg.nodes[0].addr, "127.0.0.1:7401");
         assert_eq!(cfg.nodes[2].client_addr, "127.0.0.1:7503");
         assert_eq!(cfg.nodes[1].data_dir, PathBuf::from("/tmp/psmr/n1"));
+        // admin_addr is optional: absent sections parse to "".
+        assert_eq!(cfg.nodes[1].admin_addr, "127.0.0.1:7602");
+        assert_eq!(cfg.nodes[0].admin_addr, "");
+        assert_eq!(cfg.nodes[2].admin_addr, "");
     }
 
     #[test]

@@ -31,4 +31,4 @@ pub mod tcp;
 pub use bridge::{Bridge, OwnerFn};
 pub use cluster::{ClusterConfig, ClusterError, NodeSpec};
 pub use frame::{encode_frame, FrameDecoder, FrameError, MAX_FRAME};
-pub use tcp::{Inbound, TcpMesh};
+pub use tcp::{Inbound, PeerStatus, TcpMesh};

@@ -36,7 +36,7 @@ use crate::cluster::ClusterConfig;
 use crate::frame::{encode_frame, FrameDecoder};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
-use psmr_common::metrics::{counters, global};
+use psmr_common::metrics::{counters, global, histograms, ScopedCounter, ScopedHistogram};
 use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -93,6 +93,70 @@ struct Link {
     /// written again, frames at/above it were never sent (eviction of
     /// one is real loss).
     sent_watermark: AtomicU64,
+    /// Whether the dialer currently holds an acked connection — the
+    /// admin `status` endpoint's per-peer connectivity bit.
+    connected: AtomicBool,
+    /// `net_frames_dropped{peer=P}` — shared between `send` (eviction)
+    /// and the dialer (incarnation-change discard).
+    dropped: ScopedCounter,
+}
+
+/// The dialer side's per-peer (`{peer=P}`) instruments, resolved once
+/// per dialer thread so the send path never re-hashes metric names.
+struct DialerMetrics {
+    connects: ScopedCounter,
+    reconnects: ScopedCounter,
+    backoff_sleeps: ScopedCounter,
+    frames_sent: ScopedCounter,
+    bytes_sent: ScopedCounter,
+    frames_resent: ScopedCounter,
+    handshake_ns: ScopedHistogram,
+}
+
+impl DialerMetrics {
+    fn new(peer: usize) -> Self {
+        let scope = global().scoped("peer", peer);
+        Self {
+            connects: scope.counter(counters::NET_CONNECTS),
+            reconnects: scope.counter(counters::NET_RECONNECTS),
+            backoff_sleeps: scope.counter(counters::NET_BACKOFF_SLEEPS),
+            frames_sent: scope.counter(counters::NET_FRAMES_SENT),
+            bytes_sent: scope.counter(counters::NET_BYTES_SENT),
+            frames_resent: scope.counter(counters::NET_FRAMES_RESENT),
+            handshake_ns: scope.histogram(histograms::NET_HANDSHAKE_NS),
+        }
+    }
+}
+
+/// The receiver side's per-sending-process (`{peer=P}`) instruments,
+/// resolved when the connection's HELLO reveals who is talking.
+struct ReaderMetrics {
+    frames_received: ScopedCounter,
+    bytes_received: ScopedCounter,
+    dup_dropped: ScopedCounter,
+}
+
+impl ReaderMetrics {
+    fn new(from_proc: u64) -> Self {
+        let scope = global().scoped("peer", from_proc);
+        Self {
+            frames_received: scope.counter(counters::NET_FRAMES_RECEIVED),
+            bytes_received: scope.counter(counters::NET_BYTES_RECEIVED),
+            dup_dropped: scope.counter(counters::NET_FRAMES_DUP_DROPPED),
+        }
+    }
+}
+
+/// Dialer-side health of one outbound peer link, as reported by
+/// [`TcpMesh::peer_status`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerStatus {
+    /// The peer's node id.
+    pub peer: usize,
+    /// Whether the outbound link currently holds an acked connection.
+    pub connected: bool,
+    /// Frames parked in the bounded resend buffer.
+    pub resend_depth: usize,
 }
 
 struct MeshInner {
@@ -156,6 +220,10 @@ impl TcpMesh {
                     }),
                     wake,
                     sent_watermark: AtomicU64::new(1),
+                    connected: AtomicBool::new(false),
+                    dropped: global()
+                        .scoped("peer", peer)
+                        .counter(counters::NET_FRAMES_DROPPED),
                 })
             })
             .collect();
@@ -198,6 +266,28 @@ impl TcpMesh {
         self.inner.me
     }
 
+    /// This process lifetime's incarnation id (what peers see in HELLO).
+    pub fn incarnation(&self) -> u64 {
+        self.inner.incarnation
+    }
+
+    /// Dialer-side health of every outbound peer link, in peer-id order
+    /// (this node itself is omitted).
+    pub fn peer_status(&self) -> Vec<PeerStatus> {
+        self.inner
+            .links
+            .iter()
+            .enumerate()
+            .filter_map(|(peer, link)| {
+                link.as_ref().map(|l| PeerStatus {
+                    peer,
+                    connected: l.connected.load(Ordering::Relaxed),
+                    resend_depth: l.state.lock().buffer.len(),
+                })
+            })
+            .collect()
+    }
+
     /// Queues one message for `peer` on channel `chan`. Returns `false`
     /// only after shutdown (a down peer still queues: the dialer
     /// delivers once it connects). `from`/`to` are protocol-level node
@@ -235,7 +325,7 @@ impl TcpMesh {
         if state.buffer.len() >= RESEND_CAP {
             if let Some((evicted, _)) = state.buffer.pop_front() {
                 if evicted >= link.sent_watermark.load(Ordering::Relaxed) {
-                    global().counter(counters::NET_FRAMES_DROPPED).inc();
+                    link.dropped.inc();
                 }
             }
         }
@@ -292,6 +382,7 @@ fn dispatch(inner: &MeshInner, chan: u8, msg: Inbound) {
 /// buffer, then stream queued frames until the link drops.
 fn dialer_main(inner: &Arc<MeshInner>, peer: usize, addr: &str, wake: Receiver<()>) {
     let link = inner.links[peer].as_ref().expect("dialer has a link");
+    let metrics = DialerMetrics::new(peer);
     let mut conn: Option<TcpStream> = None;
     // Next seq to write on the current connection.
     let mut cursor = 0u64;
@@ -313,22 +404,27 @@ fn dialer_main(inner: &Arc<MeshInner>, peer: usize, addr: &str, wake: Receiver<(
                     hello.push(KIND_HELLO);
                     hello.extend_from_slice(&(inner.me as u64).to_le_bytes());
                     hello.extend_from_slice(&inner.incarnation.to_le_bytes());
+                    let handshake_start = std::time::Instant::now();
                     let handshake = stream
                         .write_all(&encode_frame(&hello))
                         .and_then(|()| read_ack(inner, &mut stream));
                     let acked = match handshake {
                         Ok(acked) => acked,
                         Err(_) => {
+                            metrics.backoff_sleeps.inc();
                             std::thread::sleep(backoff.min(POLL));
                             backoff = (backoff * 2).min(BACKOFF_MAX);
                             continue;
                         }
                     };
+                    metrics.handshake_ns.record(handshake_start.elapsed());
+                    metrics.connects.inc();
                     if ever_connected {
-                        global().counter(counters::NET_RECONNECTS).inc();
+                        metrics.reconnects.inc();
                     }
                     ever_connected = true;
                     backoff = BACKOFF_MIN;
+                    link.connected.store(true, Ordering::Relaxed);
                     let mut state = link.state.lock();
                     let prior = peer_incarnation.replace(acked);
                     if prior.is_some() && prior != Some(acked) {
@@ -343,9 +439,7 @@ fn dialer_main(inner: &Arc<MeshInner>, peer: usize, addr: &str, wake: Receiver<(
                             .iter()
                             .filter(|(s, _)| *s < pre_dial_seq && *s >= watermark)
                             .count();
-                        global()
-                            .counter(counters::NET_FRAMES_DROPPED)
-                            .add(unsent as u64);
+                        link.dropped.add(unsent as u64);
                         state.buffer.retain(|(s, _)| *s >= pre_dial_seq);
                     }
                     // Replay the whole retained buffer on this fresh
@@ -357,6 +451,7 @@ fn dialer_main(inner: &Arc<MeshInner>, peer: usize, addr: &str, wake: Receiver<(
                 }
                 Err(_) => {
                     // Sleep in short slices so shutdown stays prompt.
+                    metrics.backoff_sleeps.inc();
                     let mut left = backoff;
                     while left > Duration::ZERO && !inner.shutdown.load(Ordering::Relaxed) {
                         let slice = left.min(POLL);
@@ -383,17 +478,19 @@ fn dialer_main(inner: &Arc<MeshInner>, peer: usize, addr: &str, wake: Receiver<(
             },
             Some((seq, frame)) => match stream.write_all(&frame) {
                 Ok(()) => {
+                    metrics.bytes_sent.add(frame.len() as u64);
                     let watermark = link.sent_watermark.load(Ordering::Relaxed);
                     if seq < watermark {
-                        global().counter(counters::NET_FRAMES_RESENT).inc();
+                        metrics.frames_resent.inc();
                     } else {
-                        global().counter(counters::NET_FRAMES_SENT).inc();
+                        metrics.frames_sent.inc();
                         link.sent_watermark.store(seq + 1, Ordering::Relaxed);
                     }
                     cursor = seq + 1;
                 }
                 Err(_) => {
                     conn = None;
+                    link.connected.store(false, Ordering::Relaxed);
                 }
             },
         }
@@ -467,7 +564,17 @@ fn accept_main(
 fn reader_main(inner: &Arc<MeshInner>, mut stream: TcpStream) {
     let mut decoder = FrameDecoder::new();
     let mut sender: Option<(u64, u64)> = None;
+    let mut metrics: Option<ReaderMetrics> = None;
     let mut buf = [0u8; 64 * 1024];
+    // A framing/protocol violation (not a clean close or shutdown)
+    // counts as a poisoned decode, labeled by sender once known.
+    let poisoned = |sender: &Option<(u64, u64)>| match sender {
+        Some((from_proc, _)) => global()
+            .scoped("peer", from_proc)
+            .counter(counters::NET_DECODE_POISONED)
+            .inc(),
+        None => global().counter(counters::NET_DECODE_POISONED).inc(),
+    };
     while !inner.shutdown.load(Ordering::Relaxed) {
         match stream.read(&mut buf) {
             Ok(0) => return,
@@ -476,12 +583,22 @@ fn reader_main(inner: &Arc<MeshInner>, mut stream: TcpStream) {
                 loop {
                     match decoder.next() {
                         Ok(Some(payload)) => {
-                            if !handle_payload(inner, &mut sender, &payload, &mut stream) {
+                            if !handle_payload(
+                                inner,
+                                &mut sender,
+                                &mut metrics,
+                                &payload,
+                                &mut stream,
+                            ) {
+                                poisoned(&sender);
                                 return;
                             }
                         }
                         Ok(None) => break,
-                        Err(_) => return,
+                        Err(_) => {
+                            poisoned(&sender);
+                            return;
+                        }
                     }
                 }
             }
@@ -499,6 +616,7 @@ fn reader_main(inner: &Arc<MeshInner>, mut stream: TcpStream) {
 fn handle_payload(
     inner: &MeshInner,
     sender: &mut Option<(u64, u64)>,
+    metrics: &mut Option<ReaderMetrics>,
     payload: &[u8],
     stream: &mut TcpStream,
 ) -> bool {
@@ -519,6 +637,7 @@ fn handle_payload(
                 }
             }
             *sender = Some((from_proc, incarnation));
+            *metrics = Some(ReaderMetrics::new(from_proc));
             let mut ack = Vec::with_capacity(9);
             ack.push(KIND_ACK);
             ack.extend_from_slice(&inner.incarnation.to_le_bytes());
@@ -530,6 +649,10 @@ fn handle_payload(
             };
             if payload.len() < DATA_HEADER {
                 return false;
+            }
+            if let Some(m) = metrics.as_ref() {
+                m.frames_received.inc();
+                m.bytes_received.add(payload.len() as u64);
             }
             let seq = u64::from_le_bytes(payload[1..9].try_into().unwrap());
             let chan = payload[9];
@@ -544,7 +667,10 @@ fn handle_payload(
                 // raise the floor past the fresh sequence numbers and
                 // swallow the new incarnation's traffic.
                 if *current != conn_incarnation || seq <= *last {
-                    global().counter(counters::NET_FRAMES_DUP_DROPPED).inc();
+                    match metrics.as_ref() {
+                        Some(m) => m.dup_dropped.inc(),
+                        None => global().counter(counters::NET_FRAMES_DUP_DROPPED).inc(),
+                    }
                     return true;
                 }
                 *last = seq;

@@ -24,6 +24,12 @@ use std::time::{Duration, Instant};
 
 const DEADLINE: Duration = Duration::from_secs(20);
 
+/// The labeled name a `scoped("peer", p)` instrument writes alongside
+/// its plain rollup.
+fn peer_counter(name: &str, peer: u64) -> String {
+    format!("{name}{{peer={peer}}}")
+}
+
 /// Reserves a loopback port by binding and immediately releasing it.
 fn free_addr() -> String {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind :0");
@@ -37,6 +43,7 @@ fn two_nodes(addr0: String, addr1: String) -> ClusterConfig {
     let node = |addr: String| NodeSpec {
         addr,
         client_addr: "127.0.0.1:0".to_string(),
+        admin_addr: String::new(),
         data_dir: std::env::temp_dir().join("psmr-net-test"),
     };
     ClusterConfig {
@@ -124,6 +131,15 @@ fn peer_down_at_connect_queues_and_delivers_once_it_arrives() {
     // Let a few dial attempts fail so the test exercises the backoff
     // path, not just a slow first connect.
     std::thread::sleep(Duration::from_millis(120));
+    // While the peer is down the link reports disconnected with the
+    // queued frames parked in its resend buffer.
+    let status = mesh.peer_status();
+    assert_eq!(status.len(), 1, "one outbound peer");
+    assert_eq!(status[0].peer, 1);
+    assert!(!status[0].connected, "peer is down");
+    assert_eq!(status[0].resend_depth, 3, "queued frames are buffered");
+    let backoffs = global().value(&peer_counter(counters::NET_BACKOFF_SLEEPS, 1));
+    assert!(backoffs > 0, "failed dials must count backoff sleeps");
     let listener = TcpListener::bind(&addr1).expect("bind peer late");
     let (mut conn, _) = listener.accept().expect("accept");
     conn.write_all(&raw_ack(70)).expect("ack hello");
@@ -149,6 +165,17 @@ fn peer_down_at_connect_queues_and_delivers_once_it_arrives() {
         ],
         "queued frames deliver in order once the peer is up"
     );
+    // The handshake flipped the link to connected and counted under the
+    // peer-labeled connect counter.
+    let start = Instant::now();
+    while !mesh.peer_status()[0].connected {
+        assert!(start.elapsed() < DEADLINE, "link never marked connected");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        global().value(&peer_counter(counters::NET_CONNECTS, 1)) > 0,
+        "successful handshakes must count under net_connects{{peer=1}}"
+    );
     mesh.shutdown();
 }
 
@@ -168,6 +195,8 @@ fn severed_connection_reconnects_and_replays_the_buffer() {
 
     let reconnects_before = global().value(counters::NET_RECONNECTS);
     let resent_before = global().value(counters::NET_FRAMES_RESENT);
+    let labeled_reconnects_before = global().value(&peer_counter(counters::NET_RECONNECTS, 1));
+    let labeled_resent_before = global().value(&peer_counter(counters::NET_FRAMES_RESENT, 1));
     drop(conn); // sever mid-stream
 
     // Keep offering traffic until the dialer notices the dead socket
@@ -226,6 +255,16 @@ fn severed_connection_reconnects_and_replays_the_buffer() {
         );
         std::thread::sleep(Duration::from_millis(10));
     }
+    // The same events land on the peer-labeled instruments the admin
+    // endpoint exposes, not only the plain rollups.
+    assert!(
+        global().value(&peer_counter(counters::NET_RECONNECTS, 1)) > labeled_reconnects_before,
+        "re-dial must count under net_reconnects{{peer=1}}"
+    );
+    assert!(
+        global().value(&peer_counter(counters::NET_FRAMES_RESENT, 1)) >= labeled_resent_before + 3,
+        "replays must count under net_frames_resent{{peer=1}}"
+    );
     mesh.shutdown();
 }
 
@@ -238,6 +277,9 @@ fn receiver_drops_replayed_duplicates_after_reconnect() {
     let mesh = TcpMesh::spawn(1, &two_nodes(addr0, addr1.clone())).expect("spawn mesh");
     let inbox = mesh.subscribe(3);
     let dups_before = global().value(counters::NET_FRAMES_DUP_DROPPED);
+    // The fake sender HELLOs as process 0, so its drops are labeled
+    // peer=0 on the receiving mesh.
+    let labeled_dups_before = global().value(&peer_counter(counters::NET_FRAMES_DUP_DROPPED, 0));
 
     // First incarnation of the sending connection: seqs 1..=5.
     let mut conn = TcpStream::connect(&addr1).expect("dial mesh");
@@ -279,6 +321,11 @@ fn receiver_drops_replayed_duplicates_after_reconnect() {
     assert!(
         global().value(counters::NET_FRAMES_DUP_DROPPED) >= dups_before + 3,
         "suppressed replays must count under net_frames_dup_dropped"
+    );
+    assert!(
+        global().value(&peer_counter(counters::NET_FRAMES_DUP_DROPPED, 0))
+            >= labeled_dups_before + 3,
+        "suppressed replays must count under net_frames_dup_dropped{{peer=0}}"
     );
     mesh.shutdown();
 }

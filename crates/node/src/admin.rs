@@ -1,0 +1,291 @@
+//! The per-node admin endpoint: a line-oriented diagnostic protocol
+//! every `psmr-node` serves on its `admin_addr`.
+//!
+//! Protocol: the client writes one command per line; the server answers
+//! with zero or more payload lines terminated by a line containing only
+//! `.`. The connection stays open for further commands. Commands:
+//!
+//! * `metrics` — the [`psmr_common::export::expose_text`] dump of the
+//!   process's global registry (peer-labeled mesh counters included);
+//! * `metrics.json` — one [`psmr_common::export::snapshot_json_line`]
+//!   object, the same shape the flight-recorder JSONL uses;
+//! * `trace` — the node's [`TraceReport`] as `key value` lines
+//!   (`traced`, `dropped`, `chain_sum_ns`, one `interval` line per
+//!   [`psmr_common::trace::INTERVAL_NAMES`] entry). Scrapers divide
+//!   `chain_sum_ns` by their own measured end-to-end latency to get
+//!   the attributed percentage;
+//! * `status` — role, incarnation, per-peer mesh connectivity and
+//!   resend-buffer depth, per-group watermarks, and the last
+//!   checkpoint cut;
+//! * anything else — a single `err unknown command` line.
+
+use psmr_common::export::{expose_text, snapshot_json_line};
+use psmr_common::metrics::global as metrics_global;
+use psmr_common::trace::{global as trace_global, TraceReport};
+use psmr_net::TcpMesh;
+use psmr_paxos::runtime::GroupHandle;
+use psmr_recovery::CheckpointStore;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything the admin endpoint reports on, shared with the rest of
+/// the node process.
+pub struct AdminHub {
+    /// This node's id.
+    pub me: usize,
+    /// The mesh endpoint (incarnation + per-peer link health).
+    pub mesh: TcpMesh,
+    /// Present on the orderer only: the group's watermarks.
+    pub handle: Option<GroupHandle>,
+    /// Highest stream sequence the local executor has applied.
+    pub executed: Arc<AtomicU64>,
+    /// The in-memory checkpoint store (last installed cut).
+    pub store: Arc<CheckpointStore>,
+}
+
+/// Renders a [`TraceReport`] as the `trace` command's payload.
+pub fn render_trace(report: &TraceReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "traced {}", report.traced);
+    let _ = writeln!(out, "dropped {}", report.dropped);
+    let _ = writeln!(out, "chain_sum_ns {}", report.chain_sum().as_nanos());
+    for stat in &report.intervals {
+        let _ = writeln!(
+            out,
+            "interval {} count={} mean_ns={} p50_ns={} p99_ns={} max_ns={}",
+            stat.name,
+            stat.count,
+            stat.mean.as_nanos(),
+            stat.p50.as_nanos(),
+            stat.p99.as_nanos(),
+            stat.max.as_nanos()
+        );
+    }
+    out
+}
+
+/// Renders the `status` payload from the hub's current state.
+fn render_status(hub: &AdminHub) -> String {
+    let mut out = String::new();
+    let role = if hub.handle.is_some() {
+        "orderer"
+    } else {
+        "follower"
+    };
+    let _ = writeln!(out, "node {}", hub.me);
+    let _ = writeln!(out, "role {role}");
+    let _ = writeln!(out, "incarnation {}", hub.mesh.incarnation());
+    for peer in hub.mesh.peer_status() {
+        let _ = writeln!(
+            out,
+            "peer {} connected={} resend_depth={}",
+            peer.peer, peer.connected, peer.resend_depth
+        );
+    }
+    let executed = hub.executed.load(Ordering::Relaxed);
+    match &hub.handle {
+        Some(handle) => {
+            let _ = writeln!(
+                out,
+                "group 0 durable_seq={} next_seq={} executed_seq={executed}",
+                handle.durable_seq(),
+                handle.next_seq()
+            );
+        }
+        None => {
+            // A follower's durability watermark is its newest installed
+            // checkpoint; everything past it lives only in memory.
+            let durable = hub.store.latest().map_or(0, |c| c.cut.seq);
+            let _ = writeln!(out, "group 0 durable_seq={durable} executed_seq={executed}");
+        }
+    }
+    match hub.store.latest() {
+        Some(c) => {
+            let _ = writeln!(
+                out,
+                "checkpoint id={} seq={} offset={}",
+                c.id, c.cut.seq, c.cut.offset
+            );
+        }
+        None => {
+            let _ = writeln!(out, "checkpoint none");
+        }
+    }
+    out
+}
+
+/// One command's full payload (without the terminating `.` line).
+fn respond(hub: &AdminHub, command: &str) -> String {
+    match command {
+        "metrics" => expose_text(metrics_global()),
+        "metrics.json" => {
+            let mut line = snapshot_json_line(metrics_global());
+            line.push('\n');
+            line
+        }
+        "trace" => render_trace(&trace_global().report()),
+        "status" => render_status(hub),
+        _ => "err unknown command\n".to_string(),
+    }
+}
+
+/// Serves one accepted admin connection until EOF or a write error.
+fn serve_conn(hub: &AdminHub, stream: TcpStream) {
+    let Ok(reader) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let reader = BufReader::new(reader);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        let command = line.trim();
+        if command.is_empty() {
+            continue;
+        }
+        let mut payload = respond(hub, command);
+        if !payload.ends_with('\n') {
+            payload.push('\n');
+        }
+        payload.push_str(".\n");
+        if writer.write_all(payload.as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Binds `addr` and serves the admin protocol from a background thread
+/// (one further thread per accepted connection). Runs for the life of
+/// the process.
+///
+/// # Errors
+///
+/// A human-readable reason when the address cannot be bound.
+pub fn serve(addr: &str, hub: AdminHub) -> Result<(), String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind admin {addr}: {e}"))?;
+    let me = hub.me;
+    let hub = Arc::new(hub);
+    std::thread::Builder::new()
+        .name(format!("admin-{me}"))
+        .spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { continue };
+                let _ = stream.set_nodelay(true);
+                let hub = Arc::clone(&hub);
+                std::thread::Builder::new()
+                    .name(format!("admin-conn-{me}"))
+                    .spawn(move || serve_conn(&hub, stream))
+                    .expect("spawn admin connection");
+            }
+        })
+        .map_err(|e| format!("spawn admin listener: {e}"))?;
+    Ok(())
+}
+
+/// Sends one admin `command` to `addr` and returns the payload (the
+/// lines before the `.` terminator, newline-joined).
+///
+/// # Errors
+///
+/// Socket errors, or `TimedOut`/`UnexpectedEof` when no terminated
+/// response arrives within `timeout`.
+pub fn query(addr: &str, command: &str, timeout: Duration) -> std::io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(timeout))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(format!("{command}\n").as_bytes())?;
+    let mut reader = BufReader::new(stream);
+    let mut payload = String::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        if line.trim_end() == "." {
+            return Ok(payload);
+        }
+        payload.push_str(&line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psmr_common::trace::TraceRecorder;
+    use psmr_net::{ClusterConfig, NodeSpec};
+
+    fn free_addr() -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind :0");
+        let addr = listener.local_addr().expect("addr").to_string();
+        drop(listener);
+        addr
+    }
+
+    fn hub_for_test() -> (AdminHub, TcpMesh) {
+        let node = |addr: String| NodeSpec {
+            addr,
+            client_addr: "127.0.0.1:0".into(),
+            admin_addr: String::new(),
+            data_dir: std::env::temp_dir().join("psmr-admin-test"),
+        };
+        let cluster = ClusterConfig {
+            nodes: vec![node(free_addr()), node(free_addr())],
+        };
+        let mesh = TcpMesh::spawn(0, &cluster).expect("mesh");
+        let hub = AdminHub {
+            me: 0,
+            mesh: mesh.clone(),
+            handle: None,
+            executed: Arc::new(AtomicU64::new(7)),
+            store: Arc::new(CheckpointStore::new()),
+        };
+        (hub, mesh)
+    }
+
+    #[test]
+    fn admin_endpoint_answers_every_command() {
+        let (hub, mesh) = hub_for_test();
+        let addr = free_addr();
+        serve(&addr, hub).expect("serve");
+        let timeout = Duration::from_secs(5);
+
+        let metrics = query(&addr, "metrics", timeout).expect("metrics");
+        assert!(metrics.contains("# counters"), "{metrics}");
+
+        let json = query(&addr, "metrics.json", timeout).expect("metrics.json");
+        assert!(json.trim().starts_with('{') && json.trim().ends_with('}'));
+        assert!(json.contains("\"counters\":{"), "{json}");
+
+        let trace = query(&addr, "trace", timeout).expect("trace");
+        assert!(trace.contains("traced "), "{trace}");
+        assert!(trace.contains("chain_sum_ns "), "{trace}");
+        assert!(trace.contains("interval end_to_end "), "{trace}");
+
+        let status = query(&addr, "status", timeout).expect("status");
+        assert!(status.contains("node 0"), "{status}");
+        assert!(status.contains("role follower"), "{status}");
+        assert!(status.contains("incarnation "), "{status}");
+        assert!(status.contains("peer 1 connected="), "{status}");
+        assert!(status.contains("executed_seq=7"), "{status}");
+        assert!(status.contains("checkpoint none"), "{status}");
+
+        let err = query(&addr, "bogus", timeout).expect("bogus");
+        assert_eq!(err.trim(), "err unknown command");
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn trace_rendering_exposes_the_chain() {
+        let rec = TraceRecorder::new();
+        rec.set_sample(1);
+        let rendered = render_trace(&rec.report());
+        assert!(rendered.starts_with("traced 0\n"), "{rendered}");
+        for name in psmr_common::trace::INTERVAL_NAMES {
+            assert!(rendered.contains(&format!("interval {name} ")), "{name}");
+        }
+    }
+}

@@ -6,27 +6,69 @@
 //! psmr-client --addr 127.0.0.1:7501 --client 42 insert 100 1
 //! psmr-client --addr 127.0.0.1:7501 --client 42 delete 100
 //! psmr-client --addr 127.0.0.1:7501 --client 42 checkpoint
+//! psmr-client ops --config cluster.toml
 //! ```
 //!
 //! `--client` must be unique across concurrently connected clients.
+//! `ops` is the operator's view: it scrapes every node's admin endpoint
+//! from the cluster config and prints one merged table (role, stream
+//! watermarks, durability lag, mesh health, throughput).
 
 use psmr_kvstore::{KvOp, KvResult};
-use psmr_node::{connect_with_retry, force_checkpoint};
+use psmr_net::ClusterConfig;
+use psmr_node::{connect_with_retry, force_checkpoint, ops};
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: psmr-client --addr <host:port> --client <id> \
-         (read <key> | update <key> <value> | insert <key> <value> | delete <key> | checkpoint)"
+         (read <key> | update <key> <value> | insert <key> <value> | delete <key> | checkpoint)\n\
+         \u{20}      psmr-client ops --config <cluster.toml> [--timeout-ms <ms>]"
     );
     std::process::exit(2);
+}
+
+fn run_ops_command(mut args: impl Iterator<Item = String>) -> ! {
+    let mut config = None;
+    let mut timeout = Duration::from_secs(2);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { usage() };
+        match flag.as_str() {
+            "--config" => config = Some(value),
+            "--timeout-ms" => {
+                timeout = Duration::from_millis(value.parse().unwrap_or_else(|_| usage()));
+            }
+            _ => usage(),
+        }
+    }
+    let Some(config) = config else { usage() };
+    let cluster = match ClusterConfig::load(&config) {
+        Ok(cluster) => cluster,
+        Err(e) => {
+            eprintln!("psmr-client: {e}");
+            std::process::exit(1);
+        }
+    };
+    match ops::run_ops(&cluster, timeout) {
+        Ok(table) => {
+            print!("{table}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("psmr-client: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
     let mut addr = None;
     let mut client = 1u64;
     let mut rest: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("ops") {
+        run_ops_command(args.skip(1));
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = args.next(),

@@ -1,20 +1,27 @@
 //! One node of a multi-process deployment.
 //!
 //! ```text
-//! psmr-node --config cluster.toml --id 0 [--keys 8] [--checkpoint-ms 200]
+//! psmr-node --config cluster.toml --id 0 [--keys 8] [--checkpoint-ms 200] [--trace-sample 32]
 //! ```
 //!
 //! `--id` indexes the `[[node]]` sections of the config; node 0 hosts
 //! the orderer. `--checkpoint-ms 0` disables the periodic checkpoint
-//! driver (node 0 only; other nodes ignore the flag).
+//! driver (node 0 only; other nodes ignore the flag). `--trace-sample n`
+//! stamps every `n`-th stream sequence with the lifecycle trace (0
+//! disables tracing).
+//!
+//! Panics in any thread are routed through the structured logger (so
+//! they land in the node's flight recorder) and then exit the process
+//! with a nonzero code — a wedged half-dead node never lingers.
 
 use psmr_net::ClusterConfig;
-use psmr_node::{run_node, NodeOptions};
+use psmr_node::{logger, run_node, NodeOptions};
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: psmr-node --config <cluster.toml> --id <n> [--keys <k>] [--checkpoint-ms <ms>]"
+        "usage: psmr-node --config <cluster.toml> --id <n> [--keys <k>] [--checkpoint-ms <ms>] \
+         [--trace-sample <n>]"
     );
     std::process::exit(2);
 }
@@ -34,12 +41,14 @@ fn main() {
                 let ms: u64 = value.parse().unwrap_or_else(|_| usage());
                 opts.checkpoint_interval = (ms > 0).then(|| Duration::from_millis(ms));
             }
+            "--trace-sample" => opts.trace_sample = value.parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
     let (Some(config), Some(id)) = (config, id) else {
         usage();
     };
+    logger::install_panic_hook(id);
     let cluster = match ClusterConfig::load(&config) {
         Ok(cluster) => cluster,
         Err(e) => {

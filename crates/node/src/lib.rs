@@ -10,10 +10,17 @@
 //!   elsewhere), a kvstore replica executing the decided stream, the
 //!   checkpoint/durable stores, a state-transfer server, and a client
 //!   listener — see [`process::run_node`];
-//! * the `psmr-client` binary is a minimal interactive client;
+//! * the `psmr-client` binary is a minimal interactive client, plus the
+//!   `ops` subcommand that scrapes every node's [`admin`] endpoint into
+//!   one merged cluster table (see [`ops`]);
 //! * [`wire`] defines the deployment-owned wire formats (the decided-
 //!   batch relay plane and the client protocol) and the blocking
-//!   [`wire::NodeClient`].
+//!   [`wire::NodeClient`];
+//! * [`admin`] serves the per-node line-oriented diagnostic protocol
+//!   (`metrics`, `metrics.json`, `trace`, `status`) on a node's
+//!   `admin_addr`;
+//! * [`logger`] is the leveled structured logger teeing every event
+//!   into the node's `flight.jsonl` flight recorder.
 //!
 //! A deployment is described by a `psmr_net::ClusterConfig` TOML file;
 //! node 0 is the orderer. Followers receive the decided stream over the
@@ -21,6 +28,9 @@
 //! trimmed past their position — the rejoin path a SIGKILLed node with
 //! a wiped data directory takes.
 
+pub mod admin;
+pub mod logger;
+pub mod ops;
 pub mod process;
 pub mod wire;
 

@@ -1,0 +1,200 @@
+//! Leveled, timestamped structured logging for `psmr-node` processes.
+//!
+//! Every event goes two places:
+//!
+//! * **stderr**, as a human-readable line
+//!   (`[<unix_ms>] psmr-node[<id>] LEVEL <msg>`) — what an operator
+//!   tailing the process sees, and what the multi-process tests grep;
+//! * the node's **flight recorder** — `flight.jsonl` in the node's data
+//!   dir, one self-contained JSON object per event
+//!   (`{"ts_ms":..,"level":"..","node":..,"msg":".."}`), hand-formatted
+//!   like [`psmr_common::export`] because the workspace carries no JSON
+//!   dependency. CI uploads these files from every node after a run,
+//!   pass or fail, so post-mortems never depend on reproducing a
+//!   failure.
+//!
+//! [`init`] is idempotent per process (first data dir wins — a process
+//! hosts one node). Before `init`, events still reach stderr, so library
+//! code logs unconditionally. [`install_panic_hook`] routes panics from
+//! *any* thread through the same two sinks and then exits the process
+//! with a nonzero code: a panicked background thread (executor, ingest,
+//! relay) otherwise leaves a wedged node that hangs deployment tests
+//! instead of failing them.
+
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::OnceLock;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Exit code a panicking node process dies with once the hook from
+/// [`install_panic_hook`] has logged the panic.
+pub const PANIC_EXIT_CODE: i32 = 101;
+
+/// Event severity. Rendered uppercase in the human line, lowercase in
+/// the JSONL event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Normal lifecycle progress.
+    Info,
+    /// Degraded but self-healing (retries, fallbacks).
+    Warn,
+    /// A failure the process cannot recover from by itself.
+    Error,
+}
+
+impl Level {
+    fn upper(self) -> &'static str {
+        match self {
+            Level::Info => "INFO",
+            Level::Warn => "WARN",
+            Level::Error => "ERROR",
+        }
+    }
+
+    fn lower(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+struct Sink {
+    me: usize,
+    file: Mutex<File>,
+}
+
+static SINK: OnceLock<Sink> = OnceLock::new();
+
+/// Milliseconds since the unix epoch — the `ts_ms` every event carries.
+fn now_ms() -> u128 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or(Duration::ZERO)
+        .as_millis()
+}
+
+/// Escapes a message for embedding in a JSON string.
+fn json_escape(msg: &str) -> String {
+    let mut out = String::with_capacity(msg.len());
+    for c in msg.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Opens (appends to) `data_dir/flight.jsonl` and binds the flight
+/// recorder to node `me`. Idempotent: only the first call takes effect.
+///
+/// # Errors
+///
+/// The error of opening the flight-recorder file for append.
+pub fn init(me: usize, data_dir: &Path) -> std::io::Result<()> {
+    if SINK.get().is_some() {
+        return Ok(());
+    }
+    let file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(data_dir.join("flight.jsonl"))?;
+    let _ = SINK.set(Sink {
+        me,
+        file: Mutex::new(file),
+    });
+    Ok(())
+}
+
+/// Logs one event at `level` for node `me` (stderr always; the flight
+/// recorder too once [`init`] ran).
+pub fn log(level: Level, me: usize, msg: &str) {
+    let ts = now_ms();
+    eprintln!("[{ts}] psmr-node[{me}] {} {msg}", level.upper());
+    if let Some(sink) = SINK.get() {
+        let line = format!(
+            "{{\"ts_ms\":{ts},\"level\":\"{}\",\"node\":{},\"msg\":\"{}\"}}\n",
+            level.lower(),
+            sink.me,
+            json_escape(msg)
+        );
+        let mut file = sink.file.lock();
+        let _ = file.write_all(line.as_bytes()).and_then(|()| file.flush());
+    }
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(me: usize, msg: &str) {
+    log(Level::Info, me, msg);
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(me: usize, msg: &str) {
+    log(Level::Warn, me, msg);
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(me: usize, msg: &str) {
+    log(Level::Error, me, msg);
+}
+
+/// Routes panics from any thread through the structured logger, then
+/// exits with [`PANIC_EXIT_CODE`]. Installed by the `psmr-node` binary
+/// (not by [`crate::process::run_node`]: in-process tests must keep the
+/// harness's unwinding hook).
+pub fn install_panic_hook(me: usize) {
+    std::panic::set_hook(Box::new(move |info| {
+        let thread = std::thread::current();
+        let msg = format!(
+            "panic in thread '{}': {info}",
+            thread.name().unwrap_or("<unnamed>")
+        );
+        error(me, &msg.replace('\n', " "));
+        std::process::exit(PANIC_EXIT_CODE);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_covers_quotes_and_control_bytes() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny\t"), "x\\ny\\t");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn init_binds_the_flight_recorder_once() {
+        let dir = std::env::temp_dir().join(format!("psmr-logger-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        init(3, &dir).expect("init");
+        init(4, &dir).expect("re-init is a no-op");
+        info(3, "hello \"flight\" recorder");
+        warn(3, "fallback engaged");
+        let body = std::fs::read_to_string(dir.join("flight.jsonl")).expect("read");
+        let lines: Vec<&str> = body.lines().collect();
+        assert!(lines.len() >= 2, "both events recorded: {body}");
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"ts_ms\":"), "{line}");
+            assert!(line.contains("\"node\":3"), "first init wins: {line}");
+        }
+        assert!(body.contains("\\\"flight\\\""), "quotes escaped: {body}");
+        assert!(body.contains("\"level\":\"warn\""), "{body}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

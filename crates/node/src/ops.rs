@@ -1,0 +1,218 @@
+//! `psmr-ops`: scrape every node's admin endpoint and merge the answers
+//! into one cluster table.
+//!
+//! For each node in a [`ClusterConfig`] the scraper issues `status` and
+//! `metrics.json` against the node's `admin_addr` and derives:
+//!
+//! * the node's role and stream watermarks (`executed_seq`,
+//!   `durable_seq`);
+//! * **durability lag** = the cluster's highest executed sequence minus
+//!   the node's own durable watermark — how much ordered work the node
+//!   would lose (and re-fetch) if it died right now;
+//! * mesh health: peers connected / total, the deepest resend buffer,
+//!   and the node's reconnect count;
+//! * throughput so far: the `commands_executed` counter.
+//!
+//! Nodes without an `admin_addr`, or unreachable ones, render as an
+//! `unreachable` row instead of failing the whole scrape — the table is
+//! an operator's view of a possibly-degraded cluster.
+
+use crate::admin;
+use psmr_net::ClusterConfig;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One node's scraped state (or the reason it could not be scraped).
+#[derive(Debug, Clone, Default)]
+pub struct NodeReport {
+    /// Node id (position in the cluster config).
+    pub node: usize,
+    /// `orderer` / `follower` from `status`.
+    pub role: String,
+    /// Highest stream sequence the node has executed.
+    pub executed_seq: u64,
+    /// The node's durability watermark (WAL on the orderer, newest
+    /// installed checkpoint on followers).
+    pub durable_seq: u64,
+    /// Peers with a live outbound link.
+    pub peers_up: usize,
+    /// Outbound peers total.
+    pub peers_total: usize,
+    /// Deepest per-peer resend buffer.
+    pub max_resend_depth: usize,
+    /// `commands_executed` counter (rollup).
+    pub commands_executed: u64,
+    /// `net_reconnects` counter (rollup).
+    pub reconnects: u64,
+    /// Why the node could not be scraped, if it could not.
+    pub error: Option<String>,
+}
+
+/// First integer following `key` in `text` (fields render as `key=N` or
+/// `key N`).
+fn int_after(text: &str, key: &str) -> Option<u64> {
+    let at = text.find(key)? + key.len();
+    let digits: String = text[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// The rollup counter `name` out of a `metrics.json` line. Labeled
+/// variants carry `{...}` before the closing quote, so matching
+/// `"name":` hits exactly the plain rollup.
+fn json_counter(json: &str, name: &str) -> u64 {
+    int_after(json, &format!("\"{name}\":")).unwrap_or(0)
+}
+
+/// Scrapes one node's admin endpoint into a report.
+fn scrape_node(node: usize, admin_addr: &str, timeout: Duration) -> NodeReport {
+    let mut report = NodeReport {
+        node,
+        ..NodeReport::default()
+    };
+    if admin_addr.is_empty() {
+        report.error = Some("no admin_addr configured".to_string());
+        return report;
+    }
+    let status = match admin::query(admin_addr, "status", timeout) {
+        Ok(s) => s,
+        Err(e) => {
+            report.error = Some(format!("unreachable: {e}"));
+            return report;
+        }
+    };
+    report.role = status
+        .lines()
+        .find_map(|l| l.strip_prefix("role "))
+        .unwrap_or("?")
+        .to_string();
+    report.executed_seq = int_after(&status, "executed_seq=").unwrap_or(0);
+    report.durable_seq = int_after(&status, "durable_seq=").unwrap_or(0);
+    for line in status.lines().filter(|l| l.starts_with("peer ")) {
+        report.peers_total += 1;
+        if line.contains("connected=true") {
+            report.peers_up += 1;
+        }
+        let depth = int_after(line, "resend_depth=").unwrap_or(0) as usize;
+        report.max_resend_depth = report.max_resend_depth.max(depth);
+    }
+    match admin::query(admin_addr, "metrics.json", timeout) {
+        Ok(json) => {
+            report.commands_executed = json_counter(&json, "commands_executed");
+            report.reconnects = json_counter(&json, "net_reconnects");
+        }
+        Err(e) => report.error = Some(format!("metrics unreachable: {e}")),
+    }
+    report
+}
+
+/// Scrapes every node of the deployment.
+pub fn scrape(cluster: &ClusterConfig, timeout: Duration) -> Vec<NodeReport> {
+    cluster
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(node, spec)| scrape_node(node, &spec.admin_addr, timeout))
+        .collect()
+}
+
+/// Renders the merged cluster table. Lag = the cluster's highest
+/// executed sequence minus each node's durable watermark.
+pub fn render_table(reports: &[NodeReport]) -> String {
+    let cluster_max = reports.iter().map(|r| r.executed_seq).max().unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<5} {:<9} {:>9} {:>9} {:>7} {:>7} {:>7} {:>10} {:>10}",
+        "node", "role", "executed", "durable", "lag", "peers", "resend", "cmds", "reconnects"
+    );
+    for r in reports {
+        if let Some(err) = &r.error {
+            let _ = writeln!(out, "{:<5} {err}", r.node);
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<5} {:<9} {:>9} {:>9} {:>7} {:>7} {:>7} {:>10} {:>10}",
+            r.node,
+            r.role,
+            r.executed_seq,
+            r.durable_seq,
+            cluster_max.saturating_sub(r.durable_seq),
+            format!("{}/{}", r.peers_up, r.peers_total),
+            r.max_resend_depth,
+            r.commands_executed,
+            r.reconnects
+        );
+    }
+    out
+}
+
+/// Scrapes the cluster and returns the rendered table — the `psmr-ops`
+/// subcommand's whole job.
+///
+/// # Errors
+///
+/// Only when *no* node answered: a degraded-but-alive cluster renders
+/// with `unreachable` rows instead.
+pub fn run_ops(cluster: &ClusterConfig, timeout: Duration) -> Result<String, String> {
+    let reports = scrape(cluster, timeout);
+    if reports.iter().all(|r| r.error.is_some()) {
+        return Err("no node admin endpoint reachable".to_string());
+    }
+    Ok(render_table(&reports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_parsing_handles_both_shapes() {
+        assert_eq!(int_after("executed_seq=42 x", "executed_seq="), Some(42));
+        assert_eq!(int_after("traced 7\n", "traced "), Some(7));
+        assert_eq!(int_after("nope", "executed_seq="), None);
+        let json = r#"{"counters":{"net_reconnects{peer=1}":9,"net_reconnects":12}}"#;
+        assert_eq!(json_counter(json, "net_reconnects"), 12);
+        assert_eq!(json_counter(json, "commands_executed"), 0);
+    }
+
+    #[test]
+    fn table_reports_lag_against_the_cluster_maximum() {
+        let reports = vec![
+            NodeReport {
+                node: 0,
+                role: "orderer".into(),
+                executed_seq: 100,
+                durable_seq: 100,
+                peers_up: 2,
+                peers_total: 2,
+                commands_executed: 400,
+                ..NodeReport::default()
+            },
+            NodeReport {
+                node: 1,
+                role: "follower".into(),
+                executed_seq: 90,
+                durable_seq: 60,
+                peers_up: 2,
+                peers_total: 2,
+                ..NodeReport::default()
+            },
+            NodeReport {
+                node: 2,
+                error: Some("unreachable: timed out".into()),
+                ..NodeReport::default()
+            },
+        ];
+        let table = render_table(&reports);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4, "{table}");
+        assert!(lines[1].contains("orderer"), "{table}");
+        // Node 1's lag: cluster max 100 − its durable 60.
+        assert!(lines[2].contains("40"), "{table}");
+        assert!(lines[3].contains("unreachable"), "{table}");
+    }
+}

@@ -23,11 +23,16 @@
 //! connected to *it* (command provenance rides in the ordered
 //! [`Request`] envelope).
 
+use crate::admin::{self, AdminHub};
+use crate::logger;
 use crate::wire::{encode_response, NodeClient, RelayMsg};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use psmr_common::envelope::Request;
+use psmr_common::export::JsonlSnapshotter;
 use psmr_common::ids::{ClientId, CommandId, GroupId, RequestId};
+use psmr_common::metrics::{counters, global as metrics_global};
+use psmr_common::trace::{global as trace_global, ChainPrefix, Stage};
 use psmr_common::SystemConfig;
 use psmr_core::service::Service;
 use psmr_kvstore::KvService;
@@ -48,6 +53,7 @@ use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -63,6 +69,21 @@ const FETCHER_BASE: u64 = 100;
 /// Durable snapshots each node keeps on disk.
 const DISK_RETAIN: usize = 2;
 
+/// How often the metrics flight recorder appends a snapshot.
+const METRICS_SNAPSHOT_PERIOD: Duration = Duration::from_millis(250);
+
+/// Sequences the orderer keeps exported trace prefixes around for (the
+/// relay forwarders of lagging followers may ask for old batches).
+const PREFIX_RETAIN: u64 = 2048;
+
+/// Exported trace prefixes, keyed by stream sequence: the node-0
+/// executor deposits each sampled batch's [`ChainPrefix`] (with its
+/// export instant) *before* releasing the trace slot, so the relay
+/// forwarders can attach it to the wire envelope even after the local
+/// lifecycle folded. Forwarders re-age `submitted_age_ns` by the time
+/// the prefix sat in the cache.
+type PrefixCache = Arc<Mutex<HashMap<u64, (ChainPrefix, Instant)>>>;
+
 /// Tunables of one node process (CLI flags of `psmr-node`).
 #[derive(Debug, Clone)]
 pub struct NodeOptions {
@@ -72,6 +93,9 @@ pub struct NodeOptions {
     /// Interval of node 0's periodic CHECKPOINT submissions (`None` =
     /// checkpoints only when a client submits one explicitly).
     pub checkpoint_interval: Option<Duration>,
+    /// Lifecycle-trace sampling: every `trace_sample`-th stream sequence
+    /// is stamped (0 disables tracing).
+    pub trace_sample: u64,
 }
 
 impl Default for NodeOptions {
@@ -79,6 +103,7 @@ impl Default for NodeOptions {
         Self {
             keys: 8,
             checkpoint_interval: Some(Duration::from_millis(200)),
+            trace_sample: 32,
         }
     }
 }
@@ -94,6 +119,7 @@ pub struct RunningNode {
     _group: Option<PaxosGroup>,
     _racceptor: Option<RemoteAcceptor>,
     _driver: Option<AutoCheckpointer>,
+    _metrics_recorder: JsonlSnapshotter,
 }
 
 impl RunningNode {
@@ -123,12 +149,22 @@ struct Core {
     /// commands at or before it are already reflected in the restored
     /// snapshot and must be skipped on replay.
     resume: Option<StreamCut>,
+    /// Highest stream sequence this replica has applied — the admin
+    /// `status` endpoint's `executed_seq` watermark.
+    executed: Arc<AtomicU64>,
 }
 
 type Clients = Arc<Mutex<HashMap<u64, Arc<Mutex<TcpStream>>>>>;
 
 impl Core {
     fn execute_batch(&mut self, seq: u64, commands: &[Bytes]) {
+        // Lifecycle stamps land only where a slot is live: on node 0 the
+        // embedded group claimed it at Submitted; on followers the
+        // ingest loop claimed it by adopting the wire-carried prefix.
+        let rec = trace_global();
+        rec.stamp(0, seq, Stage::Delivered);
+        rec.stamp(0, seq, Stage::ExecStart);
+        let mut applied = 0u64;
         for (offset, raw) in commands.iter().enumerate() {
             if let Some(cut) = self.resume {
                 if seq < cut.seq || (seq == cut.seq && offset <= cut.offset) {
@@ -145,7 +181,16 @@ impl Core {
                 let result = self.service.execute(req.command, &req.payload);
                 self.respond(req.client, req.request, &result);
             }
+            applied += 1;
         }
+        rec.stamp(0, seq, Stage::Executed);
+        rec.stamp(0, seq, Stage::Released);
+        if applied > 0 {
+            metrics_global()
+                .counter(counters::COMMANDS_EXECUTED)
+                .add(applied);
+        }
+        self.executed.store(seq, Ordering::Relaxed);
     }
 
     /// Snapshots the replica at `(seq, offset)` — every node executes
@@ -184,10 +229,6 @@ impl Core {
     }
 }
 
-fn log(me: usize, msg: &str) {
-    eprintln!("psmr-node[{me}]: {msg}");
-}
-
 /// Assembles and starts one node process. Returns once every component
 /// is running; the caller keeps the [`RunningNode`] alive (binaries
 /// [`RunningNode::park`]).
@@ -208,6 +249,14 @@ pub fn run_node(
     let spec = cluster.nodes[me].clone();
     std::fs::create_dir_all(&spec.data_dir)
         .map_err(|e| format!("create {}: {e}", spec.data_dir.display()))?;
+    logger::init(me, &spec.data_dir).map_err(|e| format!("open flight recorder: {e}"))?;
+    trace_global().set_sample(opts.trace_sample);
+    let metrics_recorder = JsonlSnapshotter::spawn(
+        metrics_global(),
+        spec.data_dir.join(format!("node{me}_metrics.jsonl")),
+        METRICS_SNAPSHOT_PERIOD,
+    )
+    .map_err(|e| format!("open metrics recorder: {e}"))?;
 
     let mesh = TcpMesh::spawn(me, cluster).map_err(|e| format!("bind mesh {}: {e}", spec.addr))?;
 
@@ -270,7 +319,7 @@ pub fn run_node(
             d.checkpoint.snapshot.clone(),
         );
         resume = Some(d.checkpoint.cut);
-        log(
+        logger::info(
             me,
             &format!(
                 "restored durable checkpoint {} at seq {}",
@@ -287,12 +336,14 @@ pub fn run_node(
     );
 
     let clients: Clients = Arc::new(Mutex::new(HashMap::new()));
+    let executed = Arc::new(AtomicU64::new(0));
     let mut cfg = SystemConfig::new(1);
     cfg.acceptors(n);
 
     let mut group = None;
     let mut racceptor = None;
     let mut driver = None;
+    let mut admin_handle = None;
     let submit: Arc<dyn Fn(Vec<u8>) + Send + Sync>;
 
     if me == 0 {
@@ -329,17 +380,32 @@ pub fn run_node(
             clients: Arc::clone(&clients),
             handle: Some(handle.clone()),
             resume,
+            executed: Arc::clone(&executed),
         };
+        let prefixes: PrefixCache = Arc::new(Mutex::new(HashMap::new()));
+        let exec_prefixes = Arc::clone(&prefixes);
         std::thread::Builder::new()
             .name("node-exec".into())
             .spawn(move || {
                 while let Ok(batch) = rx.recv() {
+                    // Export the trace prefix before executing: the
+                    // Released stamp below frees the slot, and the relay
+                    // forwarders still need the prefix afterwards.
+                    if let Some(p) = trace_global().chain_prefix(0, batch.seq, Instant::now()) {
+                        let mut cache = exec_prefixes.lock();
+                        cache.insert(batch.seq, (p, Instant::now()));
+                        if cache.len() as u64 > PREFIX_RETAIN {
+                            let floor = batch.seq.saturating_sub(PREFIX_RETAIN);
+                            cache.retain(|&s, _| s > floor);
+                        }
+                    }
                     core.execute_batch(batch.seq, &batch.commands);
                 }
             })
             .map_err(|e| format!("spawn executor: {e}"))?;
 
-        relay_server(mesh.clone(), handle.clone());
+        relay_server(mesh.clone(), handle.clone(), prefixes);
+        admin_handle = Some(handle.clone());
 
         if let Some(interval) = opts.checkpoint_interval {
             let driver_handle = handle.clone();
@@ -372,6 +438,7 @@ pub fn run_node(
             clients: Arc::clone(&clients),
             handle: None,
             resume,
+            executed: Arc::clone(&executed),
         };
         follower_ingest(mesh.clone(), xfer_net.clone(), core, n);
 
@@ -383,7 +450,21 @@ pub fn run_node(
     }
 
     client_listener(me, &spec.client_addr, clients, submit)?;
-    log(me, &format!("serving clients on {}", spec.client_addr));
+    logger::info(me, &format!("serving clients on {}", spec.client_addr));
+
+    if !spec.admin_addr.is_empty() {
+        admin::serve(
+            &spec.admin_addr,
+            AdminHub {
+                me,
+                mesh: mesh.clone(),
+                handle: admin_handle,
+                executed,
+                store,
+            },
+        )?;
+        logger::info(me, &format!("serving admin on {}", spec.admin_addr));
+    }
 
     Ok(RunningNode {
         mesh,
@@ -393,6 +474,7 @@ pub fn run_node(
         _group: group,
         _racceptor: racceptor,
         _driver: driver,
+        _metrics_recorder: metrics_recorder,
     })
 }
 
@@ -410,12 +492,23 @@ impl TransferSource for StoreSource {
     }
 }
 
+/// Reads the exported trace prefix for `seq`, preferring the executor's
+/// cache (re-aged by its cache residency) and falling back to the live
+/// trace slot for batches the executor has not reached yet.
+fn prefix_for(prefixes: &PrefixCache, seq: u64) -> Option<ChainPrefix> {
+    if let Some((mut p, exported_at)) = prefixes.lock().get(&seq).copied() {
+        p.submitted_age_ns += exported_at.elapsed().as_nanos() as u64;
+        return Some(p);
+    }
+    trace_global().chain_prefix(0, seq, Instant::now())
+}
+
 /// Node 0's relay server: answers `Subscribe` with a forwarder thread
 /// streaming decided batches to the follower, and orders forwarded
 /// `Submit`s. A newer `Subscribe` from the same follower supersedes the
 /// old forwarder (generation counter); the superseded thread drops its
 /// stream subscription, which the group prunes.
-fn relay_server(mesh: TcpMesh, handle: GroupHandle) {
+fn relay_server(mesh: TcpMesh, handle: GroupHandle, prefixes: PrefixCache) {
     let rx = mesh.subscribe(2);
     std::thread::Builder::new()
         .name("relay-server".into())
@@ -435,6 +528,7 @@ fn relay_server(mesh: TcpMesh, handle: GroupHandle) {
                             Ok(batches) => {
                                 let mesh = mesh.clone();
                                 let generations = Arc::clone(&generations);
+                                let prefixes = Arc::clone(&prefixes);
                                 std::thread::Builder::new()
                                     .name(format!("relay-fwd-{peer}"))
                                     .spawn(move || loop {
@@ -447,6 +541,7 @@ fn relay_server(mesh: TcpMesh, handle: GroupHandle) {
                                                 }
                                                 let msg = RelayMsg::Batch {
                                                     seq: batch.seq,
+                                                    trace: prefix_for(&prefixes, batch.seq),
                                                     commands: (*batch.commands).clone(),
                                                 };
                                                 if !mesh.send(
@@ -528,7 +623,11 @@ fn follower_ingest(mesh: TcpMesh, xfer_net: LiveNet<TransferMsg>, mut core: Core
             loop {
                 match rx.recv_timeout(Duration::from_millis(500)) {
                     Ok(inbound) => match RelayMsg::decode(&inbound.body) {
-                        Some(RelayMsg::Batch { seq, commands }) => {
+                        Some(RelayMsg::Batch {
+                            seq,
+                            trace,
+                            commands,
+                        }) => {
                             if seq < next {
                                 continue; // replayed duplicate
                             }
@@ -541,12 +640,21 @@ fn follower_ingest(mesh: TcpMesh, xfer_net: LiveNet<TransferMsg>, mut core: Core
                                 }
                                 continue;
                             }
+                            if let Some(prefix) = trace {
+                                // Re-anchor the wire-carried chain prefix
+                                // locally so execute_batch's stamps extend
+                                // it into a cross-process chain.
+                                let now = Instant::now();
+                                let rec = trace_global();
+                                rec.adopt_prefix(0, seq, &prefix, now);
+                                rec.stamp_at(0, seq, Stage::Delivered, now);
+                            }
                             core.execute_batch(seq, &commands);
                             next += 1;
                             last_signal = Instant::now();
                         }
                         Some(RelayMsg::Trimmed { first_retained }) => {
-                            log(
+                            logger::info(
                                 me,
                                 &format!(
                                     "stream trimmed to {first_retained}, need {next}: fetching state over TCP"
@@ -566,7 +674,7 @@ fn follower_ingest(mesh: TcpMesh, xfer_net: LiveNet<TransferMsg>, mut core: Core
                                         let _ = core.durable.retain_newest(DISK_RETAIN);
                                         core.resume = Some(ckpt.cut);
                                         next = ckpt.cut.seq;
-                                        log(
+                                        logger::info(
                                             me,
                                             &format!(
                                                 "state-transfer ok: checkpoint {} at seq {} from node {}",
@@ -578,7 +686,7 @@ fn follower_ingest(mesh: TcpMesh, xfer_net: LiveNet<TransferMsg>, mut core: Core
                                     }
                                 }
                                 Err(e) => {
-                                    log(me, &format!("state transfer failed ({e}), retrying"));
+                                    logger::warn(me, &format!("state transfer failed ({e}), retrying"));
                                     std::thread::sleep(Duration::from_millis(300));
                                 }
                             }

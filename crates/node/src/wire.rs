@@ -9,6 +9,7 @@
 use bytes::Bytes;
 use psmr_common::envelope::Request;
 use psmr_common::ids::{ClientId, CommandId, RequestId};
+use psmr_common::trace::ChainPrefix;
 use psmr_net::frame::{encode_frame, FrameDecoder};
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
@@ -28,6 +29,12 @@ pub enum RelayMsg {
     Batch {
         /// Stream sequence number (contiguous from 1).
         seq: u64,
+        /// The orderer's trace-chain prefix for this batch (ages of its
+        /// `Submitted`/`Ordered`/`WalAppended` stamps), present when the
+        /// sequence is sampled and the prefix is complete. The follower
+        /// re-anchors it with `TraceRecorder::adopt_prefix` so its own
+        /// report spans the full cross-process chain.
+        trace: Option<ChainPrefix>,
         /// The batch's commands (encoded [`Request`]s).
         commands: Vec<Bytes>,
     },
@@ -59,9 +66,22 @@ impl RelayMsg {
                 out.push(0);
                 out.extend_from_slice(&from_seq.to_le_bytes());
             }
-            RelayMsg::Batch { seq, commands } => {
+            RelayMsg::Batch {
+                seq,
+                trace,
+                commands,
+            } => {
                 out.push(1);
                 out.extend_from_slice(&seq.to_le_bytes());
+                match trace {
+                    Some(prefix) => {
+                        out.push(1);
+                        out.extend_from_slice(&prefix.submitted_age_ns.to_le_bytes());
+                        out.extend_from_slice(&prefix.submit_to_ordered_ns.to_le_bytes());
+                        out.extend_from_slice(&prefix.ordered_to_appended_ns.to_le_bytes());
+                    }
+                    None => out.push(0),
+                }
                 out.extend_from_slice(&(commands.len() as u32).to_le_bytes());
                 for command in commands {
                     out.extend_from_slice(&(command.len() as u32).to_le_bytes());
@@ -98,8 +118,18 @@ impl RelayMsg {
             },
             1 => {
                 let seq = u64_at(0)?;
-                let count = u32::from_le_bytes(rest.get(8..12)?.try_into().ok()?) as usize;
-                let mut at = 12;
+                let trace = match *rest.get(8)? {
+                    0 => None,
+                    1 => Some(ChainPrefix {
+                        submitted_age_ns: u64_at(9)?,
+                        submit_to_ordered_ns: u64_at(17)?,
+                        ordered_to_appended_ns: u64_at(25)?,
+                    }),
+                    _ => return None,
+                };
+                let mut at = if trace.is_some() { 33 } else { 9 };
+                let count = u32::from_le_bytes(rest.get(at..at + 4)?.try_into().ok()?) as usize;
+                at += 4;
                 let mut commands = Vec::with_capacity(count.min(4096));
                 for _ in 0..count {
                     let len = u32::from_le_bytes(rest.get(at..at + 4)?.try_into().ok()?) as usize;
@@ -110,7 +140,11 @@ impl RelayMsg {
                 if at != rest.len() {
                     return None;
                 }
-                return Some(RelayMsg::Batch { seq, commands });
+                return Some(RelayMsg::Batch {
+                    seq,
+                    trace,
+                    commands,
+                });
             }
             2 => RelayMsg::Trimmed {
                 first_retained: u64_at(0)?,
@@ -249,10 +283,12 @@ mod tests {
             RelayMsg::Subscribe { from_seq: 17 },
             RelayMsg::Batch {
                 seq: 3,
+                trace: None,
                 commands: vec![Bytes::from_static(b"abc"), Bytes::new()],
             },
             RelayMsg::Batch {
                 seq: 9,
+                trace: None,
                 commands: Vec::new(),
             },
             RelayMsg::Trimmed { first_retained: 44 },
@@ -282,11 +318,53 @@ mod tests {
         assert_eq!(RelayMsg::decode(&padded), None);
         let mut torn_batch = RelayMsg::Batch {
             seq: 1,
+            trace: None,
             commands: vec![Bytes::from_static(b"xy")],
         }
         .encode();
         torn_batch.truncate(torn_batch.len() - 1);
         assert_eq!(RelayMsg::decode(&torn_batch), None);
+        // An unknown traced-flag byte is malformed, not an empty batch.
+        let mut bad_flag = RelayMsg::Batch {
+            seq: 1,
+            trace: None,
+            commands: Vec::new(),
+        }
+        .encode();
+        bad_flag[9] = 7;
+        assert_eq!(RelayMsg::decode(&bad_flag), None);
+    }
+
+    #[test]
+    fn batch_envelope_carries_and_restores_the_origin_stamp() {
+        // The cross-process trace propagation rides in the relay batch:
+        // the orderer's prefix ages must survive the wire byte-exact.
+        let prefix = ChainPrefix {
+            submitted_age_ns: 1_234_567,
+            submit_to_ordered_ns: 42_000,
+            ordered_to_appended_ns: 9_999,
+        };
+        let msg = RelayMsg::Batch {
+            seq: 88,
+            trace: Some(prefix),
+            commands: vec![Bytes::from_static(b"cmd"), Bytes::from_static(b"")],
+        };
+        let decoded = RelayMsg::decode(&msg.encode()).expect("decode");
+        let RelayMsg::Batch {
+            seq,
+            trace,
+            commands,
+        } = decoded
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(seq, 88);
+        assert_eq!(trace, Some(prefix));
+        assert_eq!(commands.len(), 2);
+        // A truncated stamp is malformed, not silently un-traced.
+        let mut torn = msg.encode();
+        torn.truncate(1 + 8 + 1 + 16); // tag | seq | flag | 2 of 3 ages
+        assert_eq!(RelayMsg::decode(&torn), None);
     }
 
     #[test]
