@@ -535,6 +535,38 @@ pub mod counters {
     /// (crc mismatch, oversized frame) or a payload violated the mesh
     /// protocol — the peer's dialer reconnects and replays.
     pub const NET_DECODE_POISONED: &str = "net_decode_poisoned";
+    /// Outbound frames the chaos policy swallowed (drop probability) —
+    /// per peer (`chaos_frames_dropped{peer=P}`), like every `chaos_*`
+    /// counter below.
+    pub const CHAOS_FRAMES_DROPPED: &str = "chaos_frames_dropped";
+    /// Outbound frames the chaos policy held back by a fixed+jittered
+    /// delay before writing.
+    pub const CHAOS_FRAMES_DELAYED: &str = "chaos_frames_delayed";
+    /// Outbound frames the chaos policy wrote twice (the receiver's dup
+    /// filter must absorb the copy).
+    pub const CHAOS_FRAMES_DUPLICATED: &str = "chaos_frames_duplicated";
+    /// Outbound frames the chaos policy bit-flipped before writing (the
+    /// receiver's decoder poisons and the connection is torn down).
+    pub const CHAOS_FRAMES_CORRUPTED: &str = "chaos_frames_corrupted";
+    /// Frames refused by a chaos partition: outbound writes withheld
+    /// (`partition=out`) or inbound data frames discarded before
+    /// dispatch (`partition=in`).
+    pub const CHAOS_FRAMES_PARTITIONED: &str = "chaos_frames_partitioned";
+    /// Sleeps the chaos bandwidth throttle inserted ahead of writes.
+    pub const CHAOS_THROTTLE_SLEEPS: &str = "chaos_throttle_sleeps";
+    /// Times a self-healing wire client re-established its node
+    /// connection after a socket error or response silence.
+    pub const CLIENT_RECONNECTS: &str = "client_reconnects";
+    /// Times a self-healing wire client rotated to a different
+    /// configured node address while reconnecting.
+    pub const CLIENT_FAILOVERS: &str = "client_failovers";
+    /// Ordered command copies a node executor suppressed because the
+    /// `(client, request)` id had already executed — the retransmission
+    /// path answering from the cached response instead of re-applying.
+    pub const REQUESTS_DEDUPED: &str = "requests_deduped";
+    /// Reads a node answered from its local store without ordering,
+    /// tagged with their staleness (degraded-mode opt-in service).
+    pub const STALE_READS_SERVED: &str = "stale_reads_served";
 }
 
 /// Well-known histogram names (see [`MetricsRegistry::histogram`]).

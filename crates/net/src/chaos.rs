@@ -1,0 +1,522 @@
+//! Per-link network fault injection for the real TCP mesh.
+//!
+//! The in-process substrates (`psmr-netsim`, `psmr-sim`) can drop,
+//! delay, and sever links because they *are* the network; the TCP mesh
+//! delegates delivery to the kernel and loses that lever. This module
+//! restores it: a [`ChaosPolicy`] describes, per outbound peer, the
+//! faults a [`crate::tcp::TcpMesh`] must inject into its own writer and
+//! reader paths, and a shared [`ChaosHandle`] lets tests and the admin
+//! endpoint swap the policy on a **live** node — no restart, no special
+//! build.
+//!
+//! Faults compose per frame, in this order:
+//!
+//! 1. **partition** — `out` withholds every data write on the link
+//!    (the connection stays up, frames queue in the resend buffer);
+//!    `in` discards inbound data frames from the peer before dispatch.
+//!    Together they make a symmetric partition of this node.
+//! 2. **drop** — with probability `drop_pct`%, the frame is consumed
+//!    without being written: loss, exactly like a resend-buffer
+//!    eviction.
+//! 3. **delay / jitter / throttle** — the writer sleeps
+//!    `delay + U(0, jitter) + len/throttle_bps` before the write,
+//!    serializing the link at the throttled bandwidth.
+//! 4. **corrupt** — with probability `corrupt_pct`%, one byte of the
+//!    written frame image is flipped. The receiver's crc check poisons
+//!    its decoder and tears the connection down; the dialer reconnects
+//!    and replays — the full corruption-recovery path under test.
+//! 5. **duplicate** — with probability `duplicate_pct`%, the frame is
+//!    written twice; the receiver's sequence filter must drop the copy.
+//!
+//! Handshake frames (HELLO/ack) are exempt so a chaotic link can still
+//! *form*; chaos shapes data traffic. Every injected fault ticks a
+//! peer-labeled `chaos_*` counter, so injected misbehavior is exactly
+//! as observable as organic misbehavior.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A tiny seedable generator (splitmix64) shared by the chaos engine
+/// and the mesh's jittered backoff. Not cryptographic; just scatter.
+#[derive(Debug)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// A generator with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// The next raw 64-bit value.
+    pub fn raw(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (`0` when `n == 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        self.raw() % n
+    }
+
+    /// `d` randomized into `[d/2, d]` — the shape every backoff in the
+    /// deployment uses, so simultaneous retriers de-synchronize instead
+    /// of re-dialing a restarted peer in lockstep.
+    pub fn jittered(&mut self, d: Duration) -> Duration {
+        let half = d / 2;
+        half + Duration::from_nanos(
+            self.below(half.as_nanos().min(u128::from(u64::MAX)) as u64 + 1),
+        )
+    }
+}
+
+/// The fault mix injected on one outbound (and, for `partition_in`,
+/// inbound) peer link. The default is a clean link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkChaos {
+    /// Percent (0–100) of data frames consumed without being written.
+    pub drop_pct: u8,
+    /// Fixed delay inserted before every data write.
+    pub delay: Duration,
+    /// Uniform extra delay in `[0, jitter]` added on top of `delay`.
+    pub jitter: Duration,
+    /// Percent (0–100) of data frames written twice.
+    pub duplicate_pct: u8,
+    /// Percent (0–100) of data frames written with one byte flipped.
+    pub corrupt_pct: u8,
+    /// Withhold every outbound data write on this link.
+    pub partition_out: bool,
+    /// Discard every inbound data frame from this peer before dispatch.
+    pub partition_in: bool,
+    /// Serialize writes at this many payload bytes per second
+    /// (0 = unthrottled).
+    pub throttle_bps: u64,
+}
+
+impl LinkChaos {
+    /// Whether this is the default clean link (nothing to inject).
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Parses the admin-verb argument grammar: whitespace-separated
+    /// `key=value` pairs, unspecified keys staying at their clean
+    /// default. Keys: `drop`, `dup`, `corrupt` (percent 0–100),
+    /// `delay_ms`, `jitter_ms`, `throttle_bps`, and
+    /// `partition=out|in|both|off`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason on an unknown key, an out-of-range
+    /// percentage, or an unparsable value.
+    pub fn parse_args(args: &[&str]) -> Result<Self, String> {
+        let mut chaos = Self::default();
+        for arg in args {
+            let Some((key, value)) = arg.split_once('=') else {
+                return Err(format!("`{arg}`: expected key=value"));
+            };
+            let pct = || -> Result<u8, String> {
+                let v: u8 = value.parse().map_err(|_| format!("`{arg}`: bad percent"))?;
+                if v > 100 {
+                    return Err(format!("`{arg}`: percent over 100"));
+                }
+                Ok(v)
+            };
+            let ms = || -> Result<Duration, String> {
+                value
+                    .parse::<u64>()
+                    .map(Duration::from_millis)
+                    .map_err(|_| format!("`{arg}`: bad milliseconds"))
+            };
+            match key {
+                "drop" => chaos.drop_pct = pct()?,
+                "dup" => chaos.duplicate_pct = pct()?,
+                "corrupt" => chaos.corrupt_pct = pct()?,
+                "delay_ms" => chaos.delay = ms()?,
+                "jitter_ms" => chaos.jitter = ms()?,
+                "throttle_bps" => {
+                    chaos.throttle_bps = value.parse().map_err(|_| format!("`{arg}`: bad rate"))?;
+                }
+                "partition" => match value {
+                    "out" => chaos.partition_out = true,
+                    "in" => chaos.partition_in = true,
+                    "both" => {
+                        chaos.partition_out = true;
+                        chaos.partition_in = true;
+                    }
+                    "off" => {
+                        chaos.partition_out = false;
+                        chaos.partition_in = false;
+                    }
+                    _ => return Err(format!("`{arg}`: expected out|in|both|off")),
+                },
+                _ => return Err(format!("`{arg}`: unknown key")),
+            }
+        }
+        Ok(chaos)
+    }
+}
+
+impl fmt::Display for LinkChaos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let partition = match (self.partition_out, self.partition_in) {
+            (true, true) => "both",
+            (true, false) => "out",
+            (false, true) => "in",
+            (false, false) => "off",
+        };
+        write!(
+            f,
+            "drop={} delay_ms={} jitter_ms={} dup={} corrupt={} partition={partition} throttle_bps={}",
+            self.drop_pct,
+            self.delay.as_millis(),
+            self.jitter.as_millis(),
+            self.duplicate_pct,
+            self.corrupt_pct,
+            self.throttle_bps
+        )
+    }
+}
+
+/// The live policy: per-peer link faults. Peers without an entry are
+/// clean.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosPolicy {
+    /// Peer id → the faults injected on that link.
+    pub links: HashMap<usize, LinkChaos>,
+}
+
+/// What the writer must do with one data frame, as decided by
+/// [`ChaosHandle::egress_plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EgressPlan {
+    /// The link is partitioned outbound: write nothing, keep the frame
+    /// queued, re-check later.
+    Withhold,
+    /// Consume the frame without writing it (injected loss).
+    Drop,
+    /// Write the frame after `delay`, flipping the byte at
+    /// `corrupt_at` (index reduced by the caller into the frame's
+    /// crc+payload region, so the damage is always crc-detectable) in a
+    /// scratch copy when set, and writing the (uncorrupted) frame a
+    /// second time when `duplicate`.
+    Write {
+        /// Sleep before the write (fixed + jitter + throttle share).
+        delay: Duration,
+        /// Whether a bandwidth throttle contributed to `delay`.
+        throttled: bool,
+        /// Raw random byte position; the caller reduces it into the
+        /// frame region whose damage the receiver can detect (never the
+        /// length field). `None` writes the frame verbatim.
+        corrupt_at: Option<u64>,
+        /// Write the clean frame image a second time.
+        duplicate: bool,
+    },
+}
+
+/// The clean-link fast path: write verbatim, no delay.
+pub const CLEAN_WRITE: EgressPlan = EgressPlan::Write {
+    delay: Duration::ZERO,
+    throttled: false,
+    corrupt_at: None,
+    duplicate: false,
+};
+
+struct HandleInner {
+    /// Fast path: `false` means every link is clean and the mesh's hot
+    /// paths skip the policy lock entirely.
+    active: AtomicBool,
+    policy: parking_lot::Mutex<ChaosPolicy>,
+    /// splitmix64 state, advanced lock-free by every roll.
+    rng: AtomicU64,
+}
+
+/// Shared, runtime-swappable view of a mesh's chaos policy. Cloning is
+/// cheap; all clones see every update.
+#[derive(Clone)]
+pub struct ChaosHandle {
+    inner: Arc<HandleInner>,
+}
+
+impl fmt::Debug for ChaosHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChaosHandle")
+            .field("active", &self.inner.active.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for ChaosHandle {
+    fn default() -> Self {
+        Self::new(0x9E37_79B9)
+    }
+}
+
+impl ChaosHandle {
+    /// A handle over an all-clean policy, rolling from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: Arc::new(HandleInner {
+                active: AtomicBool::new(false),
+                policy: parking_lot::Mutex::new(ChaosPolicy::default()),
+                rng: AtomicU64::new(seed),
+            }),
+        }
+    }
+
+    /// Reseeds the fault dice (tests pin this for reproducibility).
+    pub fn reseed(&self, seed: u64) {
+        self.inner.rng.store(seed, Ordering::Relaxed);
+    }
+
+    /// Whether any link currently has faults configured.
+    pub fn is_active(&self) -> bool {
+        self.inner.active.load(Ordering::Relaxed)
+    }
+
+    /// Installs (or replaces) the fault mix of one peer link. A clean
+    /// `chaos` removes the entry.
+    pub fn set(&self, peer: usize, chaos: LinkChaos) {
+        let mut policy = self.inner.policy.lock();
+        if chaos.is_clean() {
+            policy.links.remove(&peer);
+        } else {
+            policy.links.insert(peer, chaos);
+        }
+        let active = !policy.links.is_empty();
+        self.inner.active.store(active, Ordering::Relaxed);
+    }
+
+    /// Removes every configured fault (the heal switch).
+    pub fn clear(&self) {
+        self.inner.policy.lock().links.clear();
+        self.inner.active.store(false, Ordering::Relaxed);
+    }
+
+    /// Removes one peer's faults.
+    pub fn clear_peer(&self, peer: usize) {
+        self.set(peer, LinkChaos::default());
+    }
+
+    /// The configured links, in peer order (empty = all clean).
+    pub fn snapshot(&self) -> Vec<(usize, LinkChaos)> {
+        let policy = self.inner.policy.lock();
+        let mut links: Vec<(usize, LinkChaos)> =
+            policy.links.iter().map(|(&p, &c)| (p, c)).collect();
+        links.sort_unstable_by_key(|&(p, _)| p);
+        links
+    }
+
+    /// One lock-free splitmix64 roll.
+    fn roll(&self) -> u64 {
+        let state = self
+            .inner
+            .rng
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Percent dice: `true` with probability `pct`%.
+    fn hit(&self, pct: u8) -> bool {
+        pct > 0 && self.roll() % 100 < u64::from(pct)
+    }
+
+    /// Decides the fate of one outbound data frame of `len` encoded
+    /// bytes toward `peer`. The clean fast path never takes the policy
+    /// lock.
+    pub fn egress_plan(&self, peer: usize, len: usize) -> EgressPlan {
+        if !self.is_active() {
+            return CLEAN_WRITE;
+        }
+        let Some(chaos) = self.inner.policy.lock().links.get(&peer).copied() else {
+            return CLEAN_WRITE;
+        };
+        if chaos.partition_out {
+            return EgressPlan::Withhold;
+        }
+        if self.hit(chaos.drop_pct) {
+            return EgressPlan::Drop;
+        }
+        let mut delay = chaos.delay;
+        if !chaos.jitter.is_zero() {
+            let extra =
+                self.roll() % (chaos.jitter.as_nanos().min(u128::from(u64::MAX)) as u64 + 1);
+            delay += Duration::from_nanos(extra);
+        }
+        let throttled = chaos.throttle_bps > 0 && len > 0;
+        if throttled {
+            delay += Duration::from_nanos(
+                (len as u128 * 1_000_000_000 / u128::from(chaos.throttle_bps))
+                    .min(u128::from(u64::MAX)) as u64,
+            );
+        }
+        EgressPlan::Write {
+            delay,
+            throttled,
+            corrupt_at: self.hit(chaos.corrupt_pct).then(|| self.roll()),
+            duplicate: self.hit(chaos.duplicate_pct),
+        }
+    }
+
+    /// Whether an inbound data frame from `peer` must be discarded
+    /// (`partition=in`). The clean fast path never takes the policy
+    /// lock.
+    pub fn ingress_blocked(&self, peer: usize) -> bool {
+        if !self.is_active() {
+            return false;
+        }
+        self.inner
+            .policy
+            .lock()
+            .links
+            .get(&peer)
+            .is_some_and(|c| c.partition_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_round_trips_through_display() {
+        let parsed = LinkChaos::parse_args(&[
+            "drop=5",
+            "delay_ms=200",
+            "jitter_ms=50",
+            "dup=2",
+            "corrupt=1",
+            "partition=out",
+            "throttle_bps=65536",
+        ])
+        .expect("parse");
+        assert_eq!(parsed.drop_pct, 5);
+        assert_eq!(parsed.delay, Duration::from_millis(200));
+        assert_eq!(parsed.jitter, Duration::from_millis(50));
+        assert!(parsed.partition_out && !parsed.partition_in);
+        let rendered = parsed.to_string();
+        let args: Vec<&str> = rendered.split_whitespace().collect();
+        assert_eq!(LinkChaos::parse_args(&args).expect("reparse"), parsed);
+    }
+
+    #[test]
+    fn grammar_rejects_nonsense() {
+        assert!(LinkChaos::parse_args(&["drop=101"]).is_err());
+        assert!(LinkChaos::parse_args(&["drop"]).is_err());
+        assert!(LinkChaos::parse_args(&["volume=11"]).is_err());
+        assert!(LinkChaos::parse_args(&["partition=sideways"]).is_err());
+        assert!(LinkChaos::parse_args(&["delay_ms=fast"]).is_err());
+        assert_eq!(
+            LinkChaos::parse_args(&[]).expect("empty is clean"),
+            LinkChaos::default()
+        );
+    }
+
+    #[test]
+    fn clean_handle_is_inert_and_lock_free() {
+        let handle = ChaosHandle::new(7);
+        assert!(!handle.is_active());
+        assert_eq!(handle.egress_plan(1, 100), CLEAN_WRITE);
+        assert!(!handle.ingress_blocked(1));
+        assert!(handle.snapshot().is_empty());
+    }
+
+    #[test]
+    fn set_clear_and_snapshot_swap_at_runtime() {
+        let handle = ChaosHandle::new(7);
+        let chaos = LinkChaos {
+            partition_out: true,
+            ..LinkChaos::default()
+        };
+        handle.set(2, chaos);
+        assert!(handle.is_active());
+        assert_eq!(handle.egress_plan(2, 10), EgressPlan::Withhold);
+        assert_eq!(handle.egress_plan(1, 10), CLEAN_WRITE);
+        assert_eq!(handle.snapshot(), vec![(2, chaos)]);
+        // Installing the clean default removes the entry — and healing
+        // through a clone is visible to every holder.
+        let clone = handle.clone();
+        clone.set(2, LinkChaos::default());
+        assert!(!handle.is_active());
+        assert_eq!(handle.egress_plan(2, 10), CLEAN_WRITE);
+        handle.set(1, chaos);
+        handle.clear();
+        assert!(handle.snapshot().is_empty());
+    }
+
+    #[test]
+    fn probabilities_converge_on_their_rates() {
+        let handle = ChaosHandle::new(42);
+        handle.set(
+            1,
+            LinkChaos {
+                drop_pct: 25,
+                ..LinkChaos::default()
+            },
+        );
+        let drops = (0..4000)
+            .filter(|_| handle.egress_plan(1, 64) == EgressPlan::Drop)
+            .count();
+        // 25% ± generous slack; seeded, so this is deterministic.
+        assert!((700..1300).contains(&drops), "drops={drops}");
+    }
+
+    #[test]
+    fn delay_jitter_and_throttle_compose() {
+        let handle = ChaosHandle::new(9);
+        handle.set(
+            3,
+            LinkChaos {
+                delay: Duration::from_millis(10),
+                jitter: Duration::from_millis(5),
+                throttle_bps: 1000,
+                ..LinkChaos::default()
+            },
+        );
+        for _ in 0..100 {
+            match handle.egress_plan(3, 500) {
+                EgressPlan::Write { delay, .. } => {
+                    // 10ms fixed + [0,5]ms jitter + 500B at 1000B/s = 500ms.
+                    assert!(delay >= Duration::from_millis(510), "{delay:?}");
+                    assert!(delay <= Duration::from_millis(515), "{delay:?}");
+                }
+                other => panic!("unexpected plan {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_partition_blocks_both_directions() {
+        let handle = ChaosHandle::new(1);
+        handle.set(
+            0,
+            LinkChaos::parse_args(&["partition=both"]).expect("parse"),
+        );
+        assert_eq!(handle.egress_plan(0, 8), EgressPlan::Withhold);
+        assert!(handle.ingress_blocked(0));
+        handle.clear();
+        assert_eq!(handle.egress_plan(0, 8), CLEAN_WRITE);
+        assert!(!handle.ingress_blocked(0));
+    }
+
+    #[test]
+    fn rng_jitter_stays_in_the_half_open_band() {
+        let mut rng = Rng::seeded(11);
+        for _ in 0..1000 {
+            let d = rng.jittered(Duration::from_millis(100));
+            assert!(d >= Duration::from_millis(50) && d <= Duration::from_millis(100));
+        }
+    }
+}

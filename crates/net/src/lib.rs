@@ -10,6 +10,9 @@
 //!
 //! * [`frame`] — length-prefixed, crc-framed envelopes over a byte
 //!   stream (torn tails yield a clean prefix; corrupt frames poison).
+//! * [`chaos`] — per-link fault injection (drop, delay, duplicate,
+//!   corrupt, partition, throttle) behind a runtime-swappable policy
+//!   handle, threaded into the mesh's writer/reader paths.
 //! * [`cluster`] — the `NodeId` → `SocketAddr` routing table, parsed
 //!   from a small TOML subset.
 //! * [`tcp`] — the per-process mesh: per-peer outbound queues,
@@ -23,12 +26,14 @@
 //! these together into an N-process deployment.
 
 pub mod bridge;
+pub mod chaos;
 pub mod cluster;
 pub mod codec;
 pub mod frame;
 pub mod tcp;
 
 pub use bridge::{Bridge, OwnerFn};
+pub use chaos::{ChaosHandle, ChaosPolicy, LinkChaos};
 pub use cluster::{ClusterConfig, ClusterError, NodeSpec};
 pub use frame::{encode_frame, FrameDecoder, FrameError, MAX_FRAME};
 pub use tcp::{Inbound, PeerStatus, TcpMesh};

@@ -32,6 +32,7 @@
 //!   ([`TcpMesh::subscribe`]), so paxos traffic, state transfer, and the
 //!   relay/client planes share one socket pair per peer direction.
 
+use crate::chaos::{ChaosHandle, EgressPlan, Rng, CLEAN_WRITE};
 use crate::cluster::ClusterConfig;
 use crate::frame::{encode_frame, FrameDecoder};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
@@ -111,6 +112,12 @@ struct DialerMetrics {
     bytes_sent: ScopedCounter,
     frames_resent: ScopedCounter,
     handshake_ns: ScopedHistogram,
+    chaos_dropped: ScopedCounter,
+    chaos_delayed: ScopedCounter,
+    chaos_duplicated: ScopedCounter,
+    chaos_corrupted: ScopedCounter,
+    chaos_partitioned: ScopedCounter,
+    chaos_throttle_sleeps: ScopedCounter,
 }
 
 impl DialerMetrics {
@@ -124,6 +131,12 @@ impl DialerMetrics {
             bytes_sent: scope.counter(counters::NET_BYTES_SENT),
             frames_resent: scope.counter(counters::NET_FRAMES_RESENT),
             handshake_ns: scope.histogram(histograms::NET_HANDSHAKE_NS),
+            chaos_dropped: scope.counter(counters::CHAOS_FRAMES_DROPPED),
+            chaos_delayed: scope.counter(counters::CHAOS_FRAMES_DELAYED),
+            chaos_duplicated: scope.counter(counters::CHAOS_FRAMES_DUPLICATED),
+            chaos_corrupted: scope.counter(counters::CHAOS_FRAMES_CORRUPTED),
+            chaos_partitioned: scope.counter(counters::CHAOS_FRAMES_PARTITIONED),
+            chaos_throttle_sleeps: scope.counter(counters::CHAOS_THROTTLE_SLEEPS),
         }
     }
 }
@@ -172,6 +185,9 @@ struct MeshInner {
     /// seq seen from it — the reconnect dup filter. A new incarnation
     /// resets the seq floor (restarted peers restart their counters).
     last_seen: Mutex<HashMap<u64, (u64, u64)>>,
+    /// The live fault-injection policy consulted by every dialer write
+    /// and every inbound data frame. All clean by default.
+    chaos: ChaosHandle,
 }
 
 /// This process's endpoint of the deployment mesh. Cloneable; all clones
@@ -227,13 +243,15 @@ impl TcpMesh {
                 })
             })
             .collect();
+        let incarnation = fresh_incarnation();
         let inner = Arc::new(MeshInner {
             me,
-            incarnation: fresh_incarnation(),
+            incarnation,
             shutdown: AtomicBool::new(false),
             links,
             subscribers: Mutex::new(HashMap::new()),
             last_seen: Mutex::new(HashMap::new()),
+            chaos: ChaosHandle::new(incarnation ^ (me as u64)),
         });
         let mesh = Self {
             inner,
@@ -269,6 +287,13 @@ impl TcpMesh {
     /// This process lifetime's incarnation id (what peers see in HELLO).
     pub fn incarnation(&self) -> u64 {
         self.inner.incarnation
+    }
+
+    /// The mesh's live fault-injection policy. Install faults through
+    /// it ([`ChaosHandle::set`]) and they take effect on the very next
+    /// frame — no restart, no rebuild.
+    pub fn chaos(&self) -> &ChaosHandle {
+        &self.inner.chaos
     }
 
     /// Dialer-side health of every outbound peer link, in peer-id order
@@ -383,6 +408,9 @@ fn dispatch(inner: &MeshInner, chan: u8, msg: Inbound) {
 fn dialer_main(inner: &Arc<MeshInner>, peer: usize, addr: &str, wake: Receiver<()>) {
     let link = inner.links[peer].as_ref().expect("dialer has a link");
     let metrics = DialerMetrics::new(peer);
+    // Jitters the dial backoff so the followers of a restarted peer
+    // spread their re-dials instead of arriving in lockstep.
+    let mut rng = Rng::seeded(inner.incarnation ^ ((peer as u64) << 32));
     let mut conn: Option<TcpStream> = None;
     // Next seq to write on the current connection.
     let mut cursor = 0u64;
@@ -412,7 +440,7 @@ fn dialer_main(inner: &Arc<MeshInner>, peer: usize, addr: &str, wake: Receiver<(
                         Ok(acked) => acked,
                         Err(_) => {
                             metrics.backoff_sleeps.inc();
-                            std::thread::sleep(backoff.min(POLL));
+                            std::thread::sleep(rng.jittered(backoff.min(POLL)));
                             backoff = (backoff * 2).min(BACKOFF_MAX);
                             continue;
                         }
@@ -452,7 +480,7 @@ fn dialer_main(inner: &Arc<MeshInner>, peer: usize, addr: &str, wake: Receiver<(
                 Err(_) => {
                     // Sleep in short slices so shutdown stays prompt.
                     metrics.backoff_sleeps.inc();
-                    let mut left = backoff;
+                    let mut left = rng.jittered(backoff);
                     while left > Duration::ZERO && !inner.shutdown.load(Ordering::Relaxed) {
                         let slice = left.min(POLL);
                         std::thread::sleep(slice);
@@ -476,23 +504,106 @@ fn dialer_main(inner: &Arc<MeshInner>, peer: usize, addr: &str, wake: Receiver<(
                 Ok(()) | Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => return,
             },
-            Some((seq, frame)) => match stream.write_all(&frame) {
-                Ok(()) => {
-                    metrics.bytes_sent.add(frame.len() as u64);
-                    let watermark = link.sent_watermark.load(Ordering::Relaxed);
-                    if seq < watermark {
-                        metrics.frames_resent.inc();
-                    } else {
-                        metrics.frames_sent.inc();
-                        link.sent_watermark.store(seq + 1, Ordering::Relaxed);
+            Some((seq, frame)) => {
+                let mut plan = inner.chaos.egress_plan(peer, frame.len());
+                // Frame-destroying faults (loss, corruption) hit a
+                // frame's *first* transmission only: a replayed frame
+                // (seq below the sent watermark) is the recovery path
+                // for a teardown that already happened, and re-rolling
+                // destructive dice on it would let a growing backlog
+                // make every replay fail — a wedged link instead of a
+                // faulty one. Partition, delay, and throttle still
+                // shape replays like any other bytes.
+                if seq < link.sent_watermark.load(Ordering::Relaxed) {
+                    match &mut plan {
+                        EgressPlan::Drop => plan = CLEAN_WRITE,
+                        EgressPlan::Write { corrupt_at, .. } => *corrupt_at = None,
+                        EgressPlan::Withhold => {}
                     }
-                    cursor = seq + 1;
                 }
-                Err(_) => {
-                    conn = None;
-                    link.connected.store(false, Ordering::Relaxed);
+                match plan {
+                    EgressPlan::Withhold => {
+                        // Partitioned outbound: keep the frame queued (it is
+                        // not loss — it delivers when the partition heals)
+                        // and park briefly before re-checking the policy.
+                        metrics.chaos_partitioned.inc();
+                        std::thread::sleep(POLL);
+                    }
+                    EgressPlan::Drop => {
+                        // Injected loss: consume the frame exactly as if the
+                        // write happened, so the link's seq accounting stays
+                        // coherent and nothing ever replays it.
+                        metrics.chaos_dropped.inc();
+                        if seq >= link.sent_watermark.load(Ordering::Relaxed) {
+                            link.sent_watermark.store(seq + 1, Ordering::Relaxed);
+                        }
+                        cursor = seq + 1;
+                    }
+                    EgressPlan::Write {
+                        delay,
+                        throttled,
+                        corrupt_at,
+                        duplicate,
+                    } => {
+                        if !delay.is_zero() {
+                            metrics.chaos_delayed.inc();
+                            if throttled {
+                                metrics.chaos_throttle_sleeps.inc();
+                            }
+                            // Sleep in short slices so shutdown stays prompt.
+                            let mut left = delay;
+                            while left > Duration::ZERO && !inner.shutdown.load(Ordering::Relaxed) {
+                                let slice = left.min(POLL);
+                                std::thread::sleep(slice);
+                                left = left.saturating_sub(slice);
+                            }
+                        }
+                        // Corruption flips one byte in a scratch copy; the
+                        // canonical image stays in the resend buffer, so the
+                        // receiver's crc teardown + our reconnect replay
+                        // eventually delivers the frame intact. The flip
+                        // lands past the 4-byte length field (crc or
+                        // payload): a flipped *length* would desync the
+                        // decoder into silently awaiting a phantom frame —
+                        // no poison, no teardown, a wedged link — whereas a
+                        // crc/payload flip is always detected.
+                        let corrupted = corrupt_at.map(|at| {
+                            metrics.chaos_corrupted.inc();
+                            let mut copy: Vec<u8> = (*frame).clone();
+                            let idx = 4 + (at % (copy.len() as u64 - 4)) as usize;
+                            copy[idx] ^= 0x01;
+                            copy
+                        });
+                        let image: &[u8] = corrupted.as_deref().unwrap_or(&frame);
+                        let write = stream.write_all(image).and_then(|()| {
+                            if duplicate {
+                                // The receiver's seq filter drops the copy.
+                                metrics.chaos_duplicated.inc();
+                                stream.write_all(&frame)
+                            } else {
+                                Ok(())
+                            }
+                        });
+                        match write {
+                            Ok(()) => {
+                                metrics.bytes_sent.add(frame.len() as u64);
+                                let watermark = link.sent_watermark.load(Ordering::Relaxed);
+                                if seq < watermark {
+                                    metrics.frames_resent.inc();
+                                } else {
+                                    metrics.frames_sent.inc();
+                                    link.sent_watermark.store(seq + 1, Ordering::Relaxed);
+                                }
+                                cursor = seq + 1;
+                            }
+                            Err(_) => {
+                                conn = None;
+                                link.connected.store(false, Ordering::Relaxed);
+                            }
+                        }
+                    }
                 }
-            },
+            }
         }
     }
 }
@@ -653,6 +764,16 @@ fn handle_payload(
             if let Some(m) = metrics.as_ref() {
                 m.frames_received.inc();
                 m.bytes_received.add(payload.len() as u64);
+            }
+            if inner.chaos.ingress_blocked(from_proc as usize) {
+                // Inbound partition: discard before the dup-floor
+                // update so the frame still delivers when the peer's
+                // dialer replays it after the partition heals.
+                global()
+                    .scoped("peer", from_proc)
+                    .counter(counters::CHAOS_FRAMES_PARTITIONED)
+                    .inc();
+                return true;
             }
             let seq = u64::from_le_bytes(payload[1..9].try_into().unwrap());
             let chan = payload[9];

@@ -168,6 +168,85 @@ fn bit_flips_never_surface_a_wrong_frame() {
     }
 }
 
+/// Chaos-shaped streams — seeded compositions of the mutations the
+/// `psmr-net` chaos engine injects on live links (duplicated chunks,
+/// bit flips, truncation) — must never panic the decoder and never make
+/// it invent a frame: everything yielded is byte-identical to a frame
+/// that was actually encoded, and a poisoned decoder stays poisoned.
+#[test]
+fn chaos_streams_never_yield_invented_frames() {
+    for seed in 0..96u64 {
+        let mut rng = Rng(seed ^ 0xC4A0_55ED);
+        let (frames, wire) = build_stream(&mut rng);
+        let mut bytes = wire.clone();
+        let mutations = rng.below(3) + 1;
+        let mut applied = Vec::new();
+        for _ in 0..mutations {
+            if bytes.is_empty() {
+                break;
+            }
+            match rng.below(3) {
+                0 => {
+                    // Duplicate a chunk in place — whole-frame chunks
+                    // model the chaos duplicator, partial chunks model
+                    // replayed overlap after a reconnect.
+                    let start = rng.below(bytes.len() as u64) as usize;
+                    let len = (rng.below(256) + 1) as usize;
+                    let end = (start + len).min(bytes.len());
+                    let mut spliced = bytes[..end].to_vec();
+                    spliced.extend_from_slice(&bytes[start..end]);
+                    spliced.extend_from_slice(&bytes[end..]);
+                    bytes = spliced;
+                    applied.push(format!("dup {start}..{end}"));
+                }
+                1 => {
+                    let pos = rng.below(bytes.len() as u64) as usize;
+                    let bit = rng.below(8) as u8;
+                    bytes[pos] ^= 1 << bit;
+                    applied.push(format!("flip {pos}:{bit}"));
+                }
+                _ => {
+                    let keep = rng.below(bytes.len() as u64 + 1) as usize;
+                    bytes.truncate(keep);
+                    applied.push(format!("truncate to {keep}"));
+                }
+            }
+        }
+        let ctx = format!("seed {seed}: {}", applied.join(", "));
+
+        let (yielded, poisoned) = drive(&mut rng, &bytes);
+        for frame in &yielded {
+            assert!(
+                frames.iter().any(|original| original == frame),
+                "{ctx}: decoder yielded a frame that was never encoded"
+            );
+        }
+        if poisoned {
+            // Poison must be sticky: re-drive the same bytes in one
+            // push and keep pulling past the first error. Decoding is
+            // fragmentation-invariant, so the one-push decoder must
+            // reach the same poison within a bounded number of pulls.
+            let mut dec = FrameDecoder::new();
+            dec.push(&bytes);
+            let mut hit_err = false;
+            for _ in 0..bytes.len() + 4 {
+                match dec.next() {
+                    Err(_) => {
+                        hit_err = true;
+                        break;
+                    }
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                }
+            }
+            assert!(hit_err, "{ctx}: chunked drive poisoned, one push did not");
+            for _ in 0..3 {
+                assert!(dec.next().is_err(), "{ctx}: poisoned decoder recovered");
+            }
+        }
+    }
+}
+
 /// Byte-at-a-time feeding — the worst-case `read()` fragmentation —
 /// decodes identically to one big push.
 #[test]

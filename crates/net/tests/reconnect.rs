@@ -288,6 +288,21 @@ fn receiver_drops_replayed_duplicates_after_reconnect() {
         conn.write_all(&raw_data_frame(seq, 3, &[seq as u8]))
             .expect("send");
     }
+    // Drain the first incarnation's deliveries before replaying: the
+    // two connections are read by different threads, and an undrained
+    // frame here could otherwise race the replay below, lose the
+    // dup-floor race, and be suppressed as a false duplicate.
+    let mut seen = Vec::new();
+    let start = Instant::now();
+    while seen.len() < 5 {
+        assert!(
+            start.elapsed() < DEADLINE,
+            "missing first-connection deliveries; got {seen:?}"
+        );
+        if let Ok(inbound) = inbox.recv_timeout(Duration::from_millis(50)) {
+            seen.push(inbound.body[0]);
+        }
+    }
     drop(conn);
 
     // Reconnect (same incarnation: same fake process) and replay a
@@ -302,7 +317,6 @@ fn receiver_drops_replayed_duplicates_after_reconnect() {
 
     // Exactly once each: 1..=8 in order, with the replayed 3..=5
     // suppressed.
-    let mut seen = Vec::new();
     let start = Instant::now();
     while seen.len() < 8 {
         assert!(

@@ -14,15 +14,23 @@
 //!   [`psmr_common::trace::INTERVAL_NAMES`] entry). Scrapers divide
 //!   `chain_sum_ns` by their own measured end-to-end latency to get
 //!   the attributed percentage;
-//! * `status` — role, incarnation, per-peer mesh connectivity and
+//! * `status` — role, incarnation, health (`ok` or `degraded` with the
+//!   orderer-link staleness), per-peer mesh connectivity and
 //!   resend-buffer depth, per-group watermarks, and the last
 //!   checkpoint cut;
+//! * `chaos get` — the mesh's live fault-injection policy, one
+//!   `peer N <grammar>` line per faulted link (`chaos none` if clean);
+//! * `chaos set <peer> key=value...` — install a fault mix on one
+//!   outbound link, e.g. `chaos set 1 drop=5 delay_ms=200
+//!   jitter_ms=50 partition=out` (see [`psmr_net::LinkChaos`] for the
+//!   grammar); answers `ok` or `err <reason>`;
+//! * `chaos clear [peer]` — heal one link, or every link;
 //! * anything else — a single `err unknown command` line.
 
 use psmr_common::export::{expose_text, snapshot_json_line};
 use psmr_common::metrics::global as metrics_global;
 use psmr_common::trace::{global as trace_global, TraceReport};
-use psmr_net::TcpMesh;
+use psmr_net::{LinkChaos, TcpMesh};
 use psmr_paxos::runtime::GroupHandle;
 use psmr_recovery::CheckpointStore;
 use std::fmt::Write as _;
@@ -45,6 +53,26 @@ pub struct AdminHub {
     pub executed: Arc<AtomicU64>,
     /// The in-memory checkpoint store (last installed cut).
     pub store: Arc<CheckpointStore>,
+    /// When this node last heard from the orderer (unix ms).
+    pub last_ordered: Arc<AtomicU64>,
+    /// Orderer-link silence past this bound reports `degraded`.
+    pub degraded_after: Duration,
+}
+
+impl AdminHub {
+    /// The node's health verdict: `("ok" | "degraded", staleness ms)`.
+    /// The orderer is its own ordering source and never degrades; a
+    /// follower degrades when the orderer link has been silent past the
+    /// configured bound (on an idle cluster, node 0's periodic
+    /// CHECKPOINT batches are the heartbeat).
+    pub fn health(&self) -> (&'static str, u64) {
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64);
+        let stale_ms = now.saturating_sub(self.last_ordered.load(Ordering::Relaxed));
+        let degraded = self.handle.is_none() && stale_ms > self.degraded_after.as_millis() as u64;
+        (if degraded { "degraded" } else { "ok" }, stale_ms)
+    }
 }
 
 /// Renders a [`TraceReport`] as the `trace` command's payload.
@@ -79,6 +107,8 @@ fn render_status(hub: &AdminHub) -> String {
     let _ = writeln!(out, "node {}", hub.me);
     let _ = writeln!(out, "role {role}");
     let _ = writeln!(out, "incarnation {}", hub.mesh.incarnation());
+    let (health, stale_ms) = hub.health();
+    let _ = writeln!(out, "health {health} stale_ms={stale_ms}");
     for peer in hub.mesh.peer_status() {
         let _ = writeln!(
             out,
@@ -118,17 +148,62 @@ fn render_status(hub: &AdminHub) -> String {
     out
 }
 
+/// Handles the `chaos` verb family against the mesh's live policy.
+fn respond_chaos(hub: &AdminHub, args: &[&str]) -> String {
+    let chaos = hub.mesh.chaos();
+    match args {
+        ["get"] => {
+            let links = chaos.snapshot();
+            if links.is_empty() {
+                return "chaos none\n".to_string();
+            }
+            let mut out = String::new();
+            for (peer, link) in links {
+                let _ = writeln!(out, "peer {peer} {link}");
+            }
+            out
+        }
+        ["set", peer, rest @ ..] => {
+            let Ok(peer) = peer.parse::<usize>() else {
+                return "err bad peer id\n".to_string();
+            };
+            match LinkChaos::parse_args(rest) {
+                Ok(link) => {
+                    chaos.set(peer, link);
+                    "ok\n".to_string()
+                }
+                Err(reason) => format!("err {reason}\n"),
+            }
+        }
+        ["clear"] => {
+            chaos.clear();
+            "ok\n".to_string()
+        }
+        ["clear", peer] => match peer.parse::<usize>() {
+            Ok(peer) => {
+                chaos.clear_peer(peer);
+                "ok\n".to_string()
+            }
+            Err(_) => "err bad peer id\n".to_string(),
+        },
+        _ => "err usage: chaos get | chaos set <peer> key=value... | chaos clear [peer]\n"
+            .to_string(),
+    }
+}
+
 /// One command's full payload (without the terminating `.` line).
 fn respond(hub: &AdminHub, command: &str) -> String {
-    match command {
-        "metrics" => expose_text(metrics_global()),
-        "metrics.json" => {
+    let words: Vec<&str> = command.split_whitespace().collect();
+    match words.as_slice() {
+        ["metrics"] => expose_text(metrics_global()),
+        ["metrics.json"] => {
             let mut line = snapshot_json_line(metrics_global());
             line.push('\n');
             line
         }
-        "trace" => render_trace(&trace_global().report()),
-        "status" => render_status(hub),
+        ["trace"] => render_trace(&trace_global().report()),
+        ["status"] => render_status(hub),
+        ["chaos", args @ ..] => respond_chaos(hub, args),
         _ => "err unknown command\n".to_string(),
     }
 }
@@ -236,12 +311,17 @@ mod tests {
             nodes: vec![node(free_addr()), node(free_addr())],
         };
         let mesh = TcpMesh::spawn(0, &cluster).expect("mesh");
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64);
         let hub = AdminHub {
             me: 0,
             mesh: mesh.clone(),
             handle: None,
             executed: Arc::new(AtomicU64::new(7)),
             store: Arc::new(CheckpointStore::new()),
+            last_ordered: Arc::new(AtomicU64::new(now)),
+            degraded_after: Duration::from_secs(3),
         };
         (hub, mesh)
     }
@@ -269,12 +349,74 @@ mod tests {
         assert!(status.contains("node 0"), "{status}");
         assert!(status.contains("role follower"), "{status}");
         assert!(status.contains("incarnation "), "{status}");
+        assert!(status.contains("health ok stale_ms="), "{status}");
         assert!(status.contains("peer 1 connected="), "{status}");
         assert!(status.contains("executed_seq=7"), "{status}");
         assert!(status.contains("checkpoint none"), "{status}");
 
         let err = query(&addr, "bogus", timeout).expect("bogus");
         assert_eq!(err.trim(), "err unknown command");
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn chaos_verbs_drive_the_live_policy() {
+        let (hub, mesh) = hub_for_test();
+        let addr = free_addr();
+        serve(&addr, hub).expect("serve");
+        let timeout = Duration::from_secs(5);
+
+        assert_eq!(
+            query(&addr, "chaos get", timeout).expect("get").trim(),
+            "chaos none"
+        );
+        assert_eq!(
+            query(
+                &addr,
+                "chaos set 1 drop=5 delay_ms=200 jitter_ms=50",
+                timeout
+            )
+            .expect("set")
+            .trim(),
+            "ok"
+        );
+        // The verb acted on the *live* mesh policy, not a copy.
+        assert!(mesh.chaos().is_active());
+        let get = query(&addr, "chaos get", timeout).expect("get");
+        assert!(
+            get.contains("peer 1") && get.contains("drop=5") && get.contains("delay_ms=200"),
+            "{get}"
+        );
+        // Bad grammar is rejected without touching the policy.
+        let err = query(&addr, "chaos set 1 drop=200", timeout).expect("bad set");
+        assert!(err.starts_with("err "), "{err}");
+        let err = query(&addr, "chaos set x drop=1", timeout).expect("bad peer");
+        assert!(err.starts_with("err "), "{err}");
+        assert_eq!(
+            query(&addr, "chaos clear 1", timeout)
+                .expect("clear")
+                .trim(),
+            "ok"
+        );
+        assert!(!mesh.chaos().is_active());
+        assert_eq!(
+            query(&addr, "chaos clear", timeout)
+                .expect("clear all")
+                .trim(),
+            "ok"
+        );
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn degraded_health_reflects_orderer_silence() {
+        let (hub, mesh) = hub_for_test();
+        // Pretend the follower last heard from the orderer long ago.
+        hub.last_ordered.store(1, Ordering::Relaxed);
+        let (health, stale_ms) = hub.health();
+        assert_eq!(health, "degraded");
+        assert!(stale_ms > 3_000);
+        assert!(render_status(&hub).contains("health degraded"));
         mesh.shutdown();
     }
 

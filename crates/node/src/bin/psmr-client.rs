@@ -5,27 +5,62 @@
 //! psmr-client --addr 127.0.0.1:7501 --client 42 update 3 999
 //! psmr-client --addr 127.0.0.1:7501 --client 42 insert 100 1
 //! psmr-client --addr 127.0.0.1:7501 --client 42 delete 100
+//! psmr-client --addr 127.0.0.1:7501 --client 42 stale-read 3
 //! psmr-client --addr 127.0.0.1:7501 --client 42 checkpoint
+//! psmr-client --config cluster.toml --client 42 read 3
 //! psmr-client ops --config cluster.toml
 //! ```
 //!
 //! `--client` must be unique across concurrently connected clients.
-//! `ops` is the operator's view: it scrapes every node's admin endpoint
-//! from the cluster config and prints one merged table (role, stream
-//! watermarks, durability lag, mesh health, throughput).
+//! `--config` replaces `--addr` with the whole deployment: the client
+//! connects to the first reachable node and fails over across the
+//! remaining `client_addr`s on socket errors or deadline pressure.
+//! `stale-read` asks the contacted node to answer from its **local**
+//! replica without ordering the request — the reply carries how stale
+//! the replica's ordered stream is. `ops` is the operator's view: it
+//! scrapes every node's admin endpoint from the cluster config and
+//! prints one merged table (role, health, stream watermarks, durability
+//! lag, mesh health, throughput).
+//!
+//! Every failure path exits nonzero with a single-line error (no
+//! panics); unreachable-deployment errors list each address the client
+//! tried.
 
 use psmr_kvstore::{KvOp, KvResult};
 use psmr_net::ClusterConfig;
-use psmr_node::{connect_with_retry, force_checkpoint, ops};
+use psmr_node::{connect_with_retry, force_checkpoint, ops, NodeClient};
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: psmr-client --addr <host:port> --client <id> \
-         (read <key> | update <key> <value> | insert <key> <value> | delete <key> | checkpoint)\n\
+        "usage: psmr-client (--addr <host:port> | --config <cluster.toml>) --client <id> \
+         (read <key> | stale-read <key> | update <key> <value> | insert <key> <value> | \
+         delete <key> | checkpoint)\n\
          \u{20}      psmr-client ops --config <cluster.toml> [--timeout-ms <ms>]"
     );
     std::process::exit(2);
+}
+
+/// Builds the failover client out of every node's `client_addr`.
+fn connect_cluster(config: &str, client: u64) -> NodeClient {
+    let cluster = match ClusterConfig::load(config) {
+        Ok(cluster) => cluster,
+        Err(e) => {
+            eprintln!("psmr-client: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addrs: Vec<String> = cluster
+        .nodes
+        .iter()
+        .map(|n| n.client_addr.clone())
+        .filter(|a| !a.is_empty())
+        .collect();
+    if addrs.is_empty() {
+        eprintln!("psmr-client: no node in {config} has a client_addr");
+        std::process::exit(1);
+    }
+    NodeClient::connect_multi(addrs, client)
 }
 
 fn run_ops_command(mut args: impl Iterator<Item = String>) -> ! {
@@ -63,6 +98,7 @@ fn run_ops_command(mut args: impl Iterator<Item = String>) -> ! {
 
 fn main() {
     let mut addr = None;
+    let mut config = None;
     let mut client = 1u64;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1).peekable();
@@ -72,6 +108,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = args.next(),
+            "--config" => config = Some(args.next().unwrap_or_else(|| usage())),
             "--client" => {
                 client = args
                     .next()
@@ -81,13 +118,16 @@ fn main() {
             _ => rest.push(arg),
         }
     }
-    let Some(addr) = addr else { usage() };
-    let mut conn = match connect_with_retry(&addr, client, Duration::from_secs(5)) {
-        Ok(conn) => conn,
-        Err(e) => {
-            eprintln!("psmr-client: connect {addr}: {e}");
-            std::process::exit(1);
-        }
+    let mut conn = match (addr, config) {
+        (Some(addr), None) => match connect_with_retry(&addr, client, Duration::from_secs(5)) {
+            Ok(conn) => conn,
+            Err(e) => {
+                eprintln!("psmr-client: connect {addr}: {e}");
+                std::process::exit(1);
+            }
+        },
+        (None, Some(config)) => connect_cluster(&config, client),
+        _ => usage(),
     };
     let deadline = Duration::from_secs(10);
     let parse = |s: &String| s.parse::<u64>().unwrap_or_else(|_| usage());
@@ -106,6 +146,25 @@ fn main() {
         ["delete", _] => KvOp::Delete {
             key: parse(&rest[1]),
         },
+        ["stale-read", _] => {
+            let op = KvOp::Read {
+                key: parse(&rest[1]),
+            };
+            match conn.execute_stale(op.command(), &op.encode(), deadline) {
+                Ok((stale, result)) => {
+                    println!(
+                        "stale_ms={} {:?}",
+                        stale.as_millis(),
+                        KvResult::decode(&result)
+                    );
+                    return;
+                }
+                Err(e) => {
+                    eprintln!("psmr-client: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         ["checkpoint"] => match force_checkpoint(&mut conn, deadline) {
             Ok(id) => {
                 println!("checkpoint {id}");

@@ -1,14 +1,18 @@
 //! One node of a multi-process deployment.
 //!
 //! ```text
-//! psmr-node --config cluster.toml --id 0 [--keys 8] [--checkpoint-ms 200] [--trace-sample 32]
+//! psmr-node --config cluster.toml --id 0 [--keys 8] [--checkpoint-ms 200] [--trace-sample 32] \
+//!           [--degraded-after-ms 3000]
 //! ```
 //!
 //! `--id` indexes the `[[node]]` sections of the config; node 0 hosts
 //! the orderer. `--checkpoint-ms 0` disables the periodic checkpoint
 //! driver (node 0 only; other nodes ignore the flag). `--trace-sample n`
 //! stamps every `n`-th stream sequence with the lifecycle trace (0
-//! disables tracing).
+//! disables tracing). `--degraded-after-ms` sets how long a follower may
+//! go without hearing from the orderer before its admin `status`
+//! reports `degraded` (keep it well above the checkpoint interval — on
+//! an idle cluster the periodic checkpoints are the heartbeat).
 //!
 //! Panics in any thread are routed through the structured logger (so
 //! they land in the node's flight recorder) and then exit the process
@@ -21,7 +25,7 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: psmr-node --config <cluster.toml> --id <n> [--keys <k>] [--checkpoint-ms <ms>] \
-         [--trace-sample <n>]"
+         [--trace-sample <n>] [--degraded-after-ms <ms>]"
     );
     std::process::exit(2);
 }
@@ -42,6 +46,10 @@ fn main() {
                 opts.checkpoint_interval = (ms > 0).then(|| Duration::from_millis(ms));
             }
             "--trace-sample" => opts.trace_sample = value.parse().unwrap_or_else(|_| usage()),
+            "--degraded-after-ms" => {
+                opts.degraded_after =
+                    Duration::from_millis(value.parse().unwrap_or_else(|_| usage()));
+            }
             _ => usage(),
         }
     }

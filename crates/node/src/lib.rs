@@ -14,10 +14,14 @@
 //!   `ops` subcommand that scrapes every node's [`admin`] endpoint into
 //!   one merged cluster table (see [`ops`]);
 //! * [`wire`] defines the deployment-owned wire formats (the decided-
-//!   batch relay plane and the client protocol) and the blocking
-//!   [`wire::NodeClient`];
+//!   batch relay plane and the client protocol) and the blocking,
+//!   **self-healing** [`wire::NodeClient`] — it reconnects with
+//!   jittered backoff and retransmits the in-flight request under the
+//!   same `(client, request)` id, which the node-side dedup table turns
+//!   into exactly-once execution;
 //! * [`admin`] serves the per-node line-oriented diagnostic protocol
-//!   (`metrics`, `metrics.json`, `trace`, `status`) on a node's
+//!   (`metrics`, `metrics.json`, `trace`, `status`, and the
+//!   `chaos get|set|clear` fault-injection verbs) on a node's
 //!   `admin_addr`;
 //! * [`logger`] is the leveled structured logger teeing every event
 //!   into the node's `flight.jsonl` flight recorder.
@@ -37,4 +41,4 @@ pub mod wire;
 pub use process::{
     connect_with_retry, force_checkpoint, run_node, wipe_data_dir, NodeOptions, RunningNode,
 };
-pub use wire::{NodeClient, RelayMsg};
+pub use wire::{NodeClient, RelayMsg, STALE_READ};

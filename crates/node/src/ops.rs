@@ -29,6 +29,9 @@ pub struct NodeReport {
     pub node: usize,
     /// `orderer` / `follower` from `status`.
     pub role: String,
+    /// `ok` / `degraded` from `status` — a follower is degraded when
+    /// its orderer link has been silent past the node's staleness bound.
+    pub health: String,
     /// Highest stream sequence the node has executed.
     pub executed_seq: u64,
     /// The node's durability watermark (WAL on the orderer, newest
@@ -88,6 +91,12 @@ fn scrape_node(node: usize, admin_addr: &str, timeout: Duration) -> NodeReport {
         .find_map(|l| l.strip_prefix("role "))
         .unwrap_or("?")
         .to_string();
+    report.health = status
+        .lines()
+        .find_map(|l| l.strip_prefix("health "))
+        .and_then(|l| l.split_whitespace().next())
+        .unwrap_or("?")
+        .to_string();
     report.executed_seq = int_after(&status, "executed_seq=").unwrap_or(0);
     report.durable_seq = int_after(&status, "durable_seq=").unwrap_or(0);
     for line in status.lines().filter(|l| l.starts_with("peer ")) {
@@ -125,8 +134,17 @@ pub fn render_table(reports: &[NodeReport]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<5} {:<9} {:>9} {:>9} {:>7} {:>7} {:>7} {:>10} {:>10}",
-        "node", "role", "executed", "durable", "lag", "peers", "resend", "cmds", "reconnects"
+        "{:<5} {:<9} {:<9} {:>9} {:>9} {:>7} {:>7} {:>7} {:>10} {:>10}",
+        "node",
+        "role",
+        "health",
+        "executed",
+        "durable",
+        "lag",
+        "peers",
+        "resend",
+        "cmds",
+        "reconnects"
     );
     for r in reports {
         if let Some(err) = &r.error {
@@ -135,9 +153,10 @@ pub fn render_table(reports: &[NodeReport]) -> String {
         }
         let _ = writeln!(
             out,
-            "{:<5} {:<9} {:>9} {:>9} {:>7} {:>7} {:>7} {:>10} {:>10}",
+            "{:<5} {:<9} {:<9} {:>9} {:>9} {:>7} {:>7} {:>7} {:>10} {:>10}",
             r.node,
             r.role,
+            r.health,
             r.executed_seq,
             r.durable_seq,
             cluster_max.saturating_sub(r.durable_seq),
@@ -185,6 +204,7 @@ mod tests {
             NodeReport {
                 node: 0,
                 role: "orderer".into(),
+                health: "ok".into(),
                 executed_seq: 100,
                 durable_seq: 100,
                 peers_up: 2,
@@ -195,6 +215,7 @@ mod tests {
             NodeReport {
                 node: 1,
                 role: "follower".into(),
+                health: "degraded".into(),
                 executed_seq: 90,
                 durable_seq: 60,
                 peers_up: 2,
@@ -210,9 +231,12 @@ mod tests {
         let table = render_table(&reports);
         let lines: Vec<&str> = table.lines().collect();
         assert_eq!(lines.len(), 4, "{table}");
+        assert!(lines[0].contains("health"), "{table}");
         assert!(lines[1].contains("orderer"), "{table}");
+        assert!(lines[1].contains("ok"), "{table}");
         // Node 1's lag: cluster max 100 − its durable 60.
         assert!(lines[2].contains("40"), "{table}");
+        assert!(lines[2].contains("degraded"), "{table}");
         assert!(lines[3].contains("unreachable"), "{table}");
     }
 }

@@ -25,7 +25,9 @@
 
 use crate::admin::{self, AdminHub};
 use crate::logger;
-use crate::wire::{encode_response, NodeClient, RelayMsg};
+use crate::wire::{
+    decode_stale_read, encode_response, encode_stale_response, NodeClient, RelayMsg, STALE_READ,
+};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use psmr_common::envelope::Request;
@@ -96,6 +98,12 @@ pub struct NodeOptions {
     /// Lifecycle-trace sampling: every `trace_sample`-th stream sequence
     /// is stamped (0 disables tracing).
     pub trace_sample: u64,
+    /// How long a follower may go without hearing from the orderer
+    /// before its admin `status` reports `degraded`. Must comfortably
+    /// exceed `checkpoint_interval` — on an otherwise idle cluster the
+    /// periodic CHECKPOINT batches are the heartbeat this bound
+    /// measures against.
+    pub degraded_after: Duration,
 }
 
 impl Default for NodeOptions {
@@ -104,6 +112,7 @@ impl Default for NodeOptions {
             keys: 8,
             checkpoint_interval: Some(Duration::from_millis(200)),
             trace_sample: 32,
+            degraded_after: Duration::from_secs(3),
         }
     }
 }
@@ -136,6 +145,11 @@ impl RunningNode {
     }
 }
 
+/// Per-client retransmission state: the newest executed request id and
+/// its cached response. Built purely from the ordered stream, so every
+/// replica holds the identical table.
+type DedupTable = HashMap<u64, (u64, Vec<u8>)>;
+
 /// The replica state one executor thread owns.
 struct Core {
     me: usize,
@@ -152,6 +166,13 @@ struct Core {
     /// Highest stream sequence this replica has applied — the admin
     /// `status` endpoint's `executed_seq` watermark.
     executed: Arc<AtomicU64>,
+    /// Server-side exactly-once: a retransmitted request (same
+    /// `(client, request)` id pushed into the stream again by a
+    /// reconnecting [`NodeClient`]) is answered from the cached
+    /// response instead of executing twice. Rides inside checkpoints
+    /// (see [`encode_node_snapshot`]) so restored replicas keep
+    /// recognizing duplicates of pre-cut originals.
+    dedup: DedupTable,
 }
 
 type Clients = Arc<Mutex<HashMap<u64, Arc<Mutex<TcpStream>>>>>;
@@ -178,7 +199,32 @@ impl Core {
             if req.command == CHECKPOINT {
                 self.take_checkpoint(seq, offset, &req);
             } else {
+                let client_raw = req.client.as_raw();
+                let request_raw = req.request.as_raw();
+                if client_raw != DRIVER_CLIENT {
+                    match self.dedup.get(&client_raw) {
+                        Some(&(last, ref cached)) if request_raw == last => {
+                            // A retransmitted copy of the newest command
+                            // from this client: re-answer from the cache,
+                            // never re-execute.
+                            metrics_global().counter(counters::REQUESTS_DEDUPED).inc();
+                            let cached = cached.clone();
+                            self.respond(req.client, req.request, &cached);
+                            continue;
+                        }
+                        Some(&(last, _)) if request_raw < last => {
+                            // An even older straggler (its client has
+                            // already moved on): drop, deterministically.
+                            metrics_global().counter(counters::REQUESTS_DEDUPED).inc();
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
                 let result = self.service.execute(req.command, &req.payload);
+                if client_raw != DRIVER_CLIENT {
+                    self.dedup.insert(client_raw, (request_raw, result.clone()));
+                }
                 self.respond(req.client, req.request, &result);
             }
             applied += 1;
@@ -203,7 +249,7 @@ impl Core {
             seq,
             offset,
         };
-        let snapshot = self.service.snapshot();
+        let snapshot = encode_node_snapshot(&self.dedup, &self.service.snapshot());
         let id = self.store.latest_id() + 1;
         self.store.install(cut, id, snapshot.clone());
         let checkpoint = Checkpoint { id, cut, snapshot };
@@ -227,6 +273,54 @@ impl Core {
             }
         }
     }
+}
+
+/// Wraps the service snapshot into the node-layer checkpoint image:
+/// `count u32 | (client u64, request u64, len u32, response)* | service
+/// bytes`. The dedup table must travel with the snapshot — a replica
+/// restored at cut C skips every pre-cut command, and without the table
+/// a retransmitted duplicate of a pre-cut original would execute again
+/// (diverging from replicas that saw the original). Entries are sorted
+/// so the image stays byte-identical deployment-wide.
+fn encode_node_snapshot(dedup: &DedupTable, service: &[u8]) -> Vec<u8> {
+    let mut entries: Vec<(&u64, &(u64, Vec<u8>))> = dedup.iter().collect();
+    entries.sort_unstable_by_key(|(client, _)| **client);
+    let mut out = Vec::with_capacity(4 + service.len());
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (client, (request, response)) in entries {
+        out.extend_from_slice(&client.to_le_bytes());
+        out.extend_from_slice(&request.to_le_bytes());
+        out.extend_from_slice(&(response.len() as u32).to_le_bytes());
+        out.extend_from_slice(response);
+    }
+    out.extend_from_slice(service);
+    out
+}
+
+/// Splits a node-layer checkpoint image back into the dedup table and
+/// the service snapshot bytes; `None` on malformed bytes.
+fn decode_node_snapshot(bytes: &[u8]) -> Option<(DedupTable, &[u8])> {
+    let count = u32::from_le_bytes(bytes.get(0..4)?.try_into().ok()?) as usize;
+    let mut at = 4;
+    let mut dedup = DedupTable::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let client = u64::from_le_bytes(bytes.get(at..at + 8)?.try_into().ok()?);
+        let request = u64::from_le_bytes(bytes.get(at + 8..at + 16)?.try_into().ok()?);
+        let len = u32::from_le_bytes(bytes.get(at + 16..at + 20)?.try_into().ok()?) as usize;
+        at += 20;
+        let response = bytes.get(at..at + len)?.to_vec();
+        at += len;
+        dedup.insert(client, (request, response));
+    }
+    Some((dedup, bytes.get(at..)?))
+}
+
+/// Wall-clock milliseconds — the freshness timestamps behind the
+/// degraded-mode bound and the stale-read tag.
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64)
 }
 
 /// Assembles and starts one node process. Returns once every component
@@ -309,10 +403,14 @@ pub fn run_node(
     let durable = DurableStore::open(spec.data_dir.join("snap"))
         .map_err(|e| format!("open snapshot dir: {e}"))?;
     let mut resume = None;
+    let mut restored_dedup = DedupTable::new();
     if let Some(d) = durable.load_latest() {
+        let (dedup, service_bytes) = decode_node_snapshot(&d.checkpoint.snapshot)
+            .ok_or_else(|| "malformed node snapshot image".to_string())?;
         service
-            .restore(&d.checkpoint.snapshot)
+            .restore(service_bytes)
             .map_err(|e| format!("restore durable snapshot: {e}"))?;
+        restored_dedup = dedup;
         store.install(
             d.checkpoint.cut,
             d.checkpoint.id,
@@ -337,6 +435,11 @@ pub fn run_node(
 
     let clients: Clients = Arc::new(Mutex::new(HashMap::new()));
     let executed = Arc::new(AtomicU64::new(0));
+    // When this node last heard from the orderer (unix ms). Seeded to
+    // "now" so a booting node is not instantly degraded; on node 0 the
+    // executor refreshes it per batch, on followers the ingest loop
+    // refreshes it on every relay signal.
+    let last_ordered = Arc::new(AtomicU64::new(unix_ms()));
     let mut cfg = SystemConfig::new(1);
     cfg.acceptors(n);
 
@@ -381,9 +484,11 @@ pub fn run_node(
             handle: Some(handle.clone()),
             resume,
             executed: Arc::clone(&executed),
+            dedup: restored_dedup,
         };
         let prefixes: PrefixCache = Arc::new(Mutex::new(HashMap::new()));
         let exec_prefixes = Arc::clone(&prefixes);
+        let exec_last_ordered = Arc::clone(&last_ordered);
         std::thread::Builder::new()
             .name("node-exec".into())
             .spawn(move || {
@@ -400,6 +505,7 @@ pub fn run_node(
                         }
                     }
                     core.execute_batch(batch.seq, &batch.commands);
+                    exec_last_ordered.store(unix_ms(), Ordering::Relaxed);
                 }
             })
             .map_err(|e| format!("spawn executor: {e}"))?;
@@ -439,8 +545,15 @@ pub fn run_node(
             handle: None,
             resume,
             executed: Arc::clone(&executed),
+            dedup: restored_dedup,
         };
-        follower_ingest(mesh.clone(), xfer_net.clone(), core, n);
+        follower_ingest(
+            mesh.clone(),
+            xfer_net.clone(),
+            core,
+            n,
+            Arc::clone(&last_ordered),
+        );
 
         let submit_mesh = mesh.clone();
         let from = me as u64;
@@ -449,7 +562,23 @@ pub fn run_node(
         });
     }
 
-    client_listener(me, &spec.client_addr, clients, submit)?;
+    // Stale reads answer from the local replica without an ordering
+    // round-trip: read-only commands only, tagged with how long ago
+    // this node last heard from the orderer.
+    let stale_service = Arc::clone(&service);
+    let stale_last = Arc::clone(&last_ordered);
+    let stale: StaleFn = Arc::new(move |command, payload| {
+        if command != psmr_kvstore::READ {
+            return Err(format!(
+                "command {} is not a read-only command",
+                command.as_raw()
+            ));
+        }
+        let stale_ms = unix_ms().saturating_sub(stale_last.load(Ordering::Relaxed));
+        Ok((stale_ms, stale_service.execute(command, payload)))
+    });
+
+    client_listener(me, &spec.client_addr, clients, submit, stale)?;
     logger::info(me, &format!("serving clients on {}", spec.client_addr));
 
     if !spec.admin_addr.is_empty() {
@@ -461,6 +590,8 @@ pub fn run_node(
                 handle: admin_handle,
                 executed,
                 store,
+                last_ordered,
+                degraded_after: opts.degraded_after,
             },
         )?;
         logger::info(me, &format!("serving admin on {}", spec.admin_addr));
@@ -598,7 +729,13 @@ fn relay_server(mesh: TcpMesh, handle: GroupHandle, prefixes: PrefixCache) {
 /// stream, executes batches in contiguous order, re-subscribes on gaps
 /// or silence, and falls back to TCP state transfer when the orderer
 /// trimmed past its position.
-fn follower_ingest(mesh: TcpMesh, xfer_net: LiveNet<TransferMsg>, mut core: Core, n: usize) {
+fn follower_ingest(
+    mesh: TcpMesh,
+    xfer_net: LiveNet<TransferMsg>,
+    mut core: Core,
+    n: usize,
+    last_ordered: Arc<AtomicU64>,
+) {
     let rx = mesh.subscribe(2);
     std::thread::Builder::new()
         .name("node-ingest".into())
@@ -622,7 +759,12 @@ fn follower_ingest(mesh: TcpMesh, xfer_net: LiveNet<TransferMsg>, mut core: Core
             let mut last_signal = Instant::now();
             loop {
                 match rx.recv_timeout(Duration::from_millis(500)) {
-                    Ok(inbound) => match RelayMsg::decode(&inbound.body) {
+                    Ok(inbound) => {
+                        // Any relay-plane traffic proves the orderer
+                        // link is alive — the freshness the degraded
+                        // bound and the stale-read tag measure against.
+                        last_ordered.store(unix_ms(), Ordering::Relaxed);
+                        match RelayMsg::decode(&inbound.body) {
                         Some(RelayMsg::Batch {
                             seq,
                             trace,
@@ -668,7 +810,13 @@ fn follower_ingest(mesh: TcpMesh, xfer_net: LiveNet<TransferMsg>, mut core: Core
                             ) {
                                 Ok(fetched) => {
                                     let ckpt = fetched.checkpoint;
-                                    if core.service.restore(&ckpt.snapshot).is_ok() {
+                                    let restored = decode_node_snapshot(&ckpt.snapshot).map(
+                                        |(dedup, service_bytes)| {
+                                            (dedup, core.service.restore(service_bytes))
+                                        },
+                                    );
+                                    if let Some((dedup, Ok(()))) = restored {
+                                        core.dedup = dedup;
                                         core.store.install(ckpt.cut, ckpt.id, ckpt.snapshot.clone());
                                         let _ = core.durable.persist(&ckpt, 0, &[]);
                                         let _ = core.durable.retain_newest(DISK_RETAIN);
@@ -699,7 +847,8 @@ fn follower_ingest(mesh: TcpMesh, xfer_net: LiveNet<TransferMsg>, mut core: Core
                             last_signal = Instant::now();
                         }
                         _ => {}
-                    },
+                        }
+                    }
                     Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                         // Silence: the subscribe may have raced the relay
                         // server's startup, or our forwarder died with a
@@ -716,15 +865,22 @@ fn follower_ingest(mesh: TcpMesh, xfer_net: LiveNet<TransferMsg>, mut core: Core
         .expect("spawn follower ingest");
 }
 
+/// Answers a stale read locally: `(staleness ms, result)` on success, a
+/// refusal reason otherwise.
+type StaleFn = Arc<dyn Fn(CommandId, &[u8]) -> Result<(u64, Vec<u8>), String> + Send + Sync>;
+
 /// The client plane: accepts connections on `client_addr`, decodes
 /// framed [`Request`]s, registers the connection under the request's
 /// client id (the executor routes responses through the registry), and
-/// hands the raw command to `submit` for ordering.
+/// hands the raw command to `submit` for ordering — except
+/// [`STALE_READ`]s, which `stale` answers from the local replica
+/// without an ordering round-trip.
 fn client_listener(
     me: usize,
     client_addr: &str,
     clients: Clients,
     submit: Arc<dyn Fn(Vec<u8>) + Send + Sync>,
+    stale: StaleFn,
 ) -> Result<(), String> {
     let listener =
         TcpListener::bind(client_addr).map_err(|e| format!("bind client {client_addr}: {e}"))?;
@@ -736,9 +892,10 @@ fn client_listener(
                 let _ = stream.set_nodelay(true);
                 let clients = Arc::clone(&clients);
                 let submit = Arc::clone(&submit);
+                let stale = Arc::clone(&stale);
                 std::thread::Builder::new()
                     .name(format!("client-conn-{me}"))
-                    .spawn(move || client_conn(stream, &clients, &submit))
+                    .spawn(move || client_conn(stream, &clients, &submit, &stale))
                     .expect("spawn client connection");
             }
         })
@@ -750,6 +907,7 @@ fn client_conn(
     mut stream: TcpStream,
     clients: &Clients,
     submit: &Arc<dyn Fn(Vec<u8>) + Send + Sync>,
+    stale: &StaleFn,
 ) {
     let Ok(writer) = stream.try_clone() else {
         return;
@@ -769,6 +927,26 @@ fn client_conn(
                             let Ok(req) = Request::decode(&body) else {
                                 continue;
                             };
+                            if req.command == STALE_READ {
+                                // Served from the local store, bypassing
+                                // ordering: never blocks on a lost
+                                // orderer link.
+                                let outcome = match decode_stale_read(&req.payload) {
+                                    Some((command, payload)) => stale(command, payload),
+                                    None => Err("malformed stale-read payload".to_string()),
+                                };
+                                if outcome.is_ok() {
+                                    metrics_global().counter(counters::STALE_READS_SERVED).inc();
+                                }
+                                let frame = encode_frame(&encode_response(
+                                    req.request,
+                                    &encode_stale_response(&outcome),
+                                ));
+                                if writer.lock().write_all(&frame).is_err() {
+                                    break;
+                                }
+                                continue;
+                            }
                             if registered != Some(req.client.as_raw()) {
                                 clients
                                     .lock()
@@ -802,11 +980,14 @@ pub fn connect_with_retry(
     deadline: Duration,
 ) -> std::io::Result<NodeClient> {
     let give_up = Instant::now() + deadline;
+    // Jittered so a swarm of booting clients does not hammer the
+    // listener in lockstep.
+    let mut rng = psmr_net::chaos::Rng::seeded(client ^ 0x5EED_C1E0);
     loop {
         match NodeClient::connect(addr, client) {
             Ok(conn) => return Ok(conn),
             Err(e) if Instant::now() >= give_up => return Err(e),
-            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            Err(_) => std::thread::sleep(rng.jittered(Duration::from_millis(50))),
         }
     }
 }

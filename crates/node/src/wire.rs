@@ -9,11 +9,19 @@
 use bytes::Bytes;
 use psmr_common::envelope::Request;
 use psmr_common::ids::{ClientId, CommandId, RequestId};
+use psmr_common::metrics::{counters, global};
 use psmr_common::trace::ChainPrefix;
+use psmr_net::chaos::Rng;
 use psmr_net::frame::{encode_frame, FrameDecoder};
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
+
+/// The command id reserved for stale reads: the node answers from its
+/// **local** store without ordering the command, tagging the response
+/// with how stale the replica might be. The payload wraps the real
+/// (read-only) command — see [`encode_stale_read`].
+pub const STALE_READ: CommandId = CommandId::new(u32::MAX - 2);
 
 /// The relay/submit plane: how a non-orderer node receives the decided
 /// stream and forwards client submissions to the orderer (node 0).
@@ -184,18 +192,105 @@ pub fn decode_response(bytes: &[u8]) -> Option<(RequestId, Vec<u8>)> {
     Some((RequestId::new(request), bytes[8..].to_vec()))
 }
 
-/// A blocking client of one node's client listener.
+/// Encodes a [`STALE_READ`] request payload: the wrapped read-only
+/// command (`command u32 | payload`).
+pub fn encode_stale_read(command: CommandId, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&command.as_raw().to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes a [`STALE_READ`] request payload.
+pub fn decode_stale_read(bytes: &[u8]) -> Option<(CommandId, &[u8])> {
+    let command = u32::from_le_bytes(bytes.get(0..4)?.try_into().ok()?);
+    Some((CommandId::new(command), &bytes[4..]))
+}
+
+/// Encodes a [`STALE_READ`] response payload: tag `0` + the staleness
+/// bound in milliseconds + the local result, or tag `1` + a reason when
+/// the node refused (non-read command, no local view).
+pub fn encode_stale_response(outcome: &Result<(u64, Vec<u8>), String>) -> Vec<u8> {
+    match outcome {
+        Ok((stale_ms, result)) => {
+            let mut out = Vec::with_capacity(9 + result.len());
+            out.push(0);
+            out.extend_from_slice(&stale_ms.to_le_bytes());
+            out.extend_from_slice(result);
+            out
+        }
+        Err(reason) => {
+            let mut out = Vec::with_capacity(1 + reason.len());
+            out.push(1);
+            out.extend_from_slice(reason.as_bytes());
+            out
+        }
+    }
+}
+
+/// Decodes a [`STALE_READ`] response payload; `None` on malformed bytes.
+pub fn decode_stale_response(bytes: &[u8]) -> Option<Result<(u64, Vec<u8>), String>> {
+    match *bytes.first()? {
+        0 => {
+            let stale_ms = u64::from_le_bytes(bytes.get(1..9)?.try_into().ok()?);
+            Some(Ok((stale_ms, bytes[9..].to_vec())))
+        }
+        1 => Some(Err(String::from_utf8_lossy(&bytes[1..]).into_owned())),
+        _ => None,
+    }
+}
+
+/// How long the first send waits for its response before
+/// retransmitting; the window doubles per retransmission (capped by
+/// [`TRY_TIMEOUT_MAX`]) so a slow-but-alive deployment sees a bounded
+/// number of duplicates instead of a fixed-cadence retransmit storm
+/// that adds load exactly when the system has none to spare.
+const DEFAULT_TRY_TIMEOUT: Duration = Duration::from_millis(500);
+/// Per-try windows stop doubling here.
+const TRY_TIMEOUT_MAX: Duration = Duration::from_secs(4);
+/// First re-dial delay after a failed connect; doubles (jittered) to
+/// [`DIAL_BACKOFF_MAX`].
+const DIAL_BACKOFF_MIN: Duration = Duration::from_millis(10);
+/// Re-dial delays stop doubling here.
+const DIAL_BACKOFF_MAX: Duration = Duration::from_millis(500);
+
+/// A self-healing blocking client of the deployment's client listeners.
 ///
-/// Requests travel as framed [`Request`] envelopes; the node responds
+/// Requests travel as framed [`Request`] envelopes; a node responds
 /// with a framed `request id | result` body once the command has been
 /// ordered and executed locally. One outstanding request at a time (the
 /// closed-loop shape every test client uses).
+///
+/// **Self-healing:** on a socket error, a poisoned response stream, or
+/// a per-try deadline expiry, [`execute`](Self::execute) reconnects
+/// (with jittered backoff, rotating through every configured address)
+/// and **retransmits the in-flight request under the same
+/// `(client, request)` id** — the nodes' server-side dedup answers
+/// duplicates from its response cache, so a command is never executed
+/// twice no matter how many copies the retries pushed into the ordered
+/// stream. Request ids are seeded from the wall clock and only ever
+/// increase, so a restarted client process reusing its client id cannot
+/// collide with its own pre-crash ids. `execute` fails only when the
+/// overall `deadline` passes with no node reachable and responsive.
 #[derive(Debug)]
 pub struct NodeClient {
-    stream: TcpStream,
-    decoder: FrameDecoder,
+    /// Failover set, in preference order; `current` indexes it.
+    addrs: Vec<String>,
+    current: usize,
+    conn: Option<(TcpStream, FrameDecoder)>,
+    ever_connected: bool,
     client: ClientId,
     next_request: u64,
+    try_timeout: Duration,
+    rng: Rng,
+}
+
+/// Wall-clock microseconds: the monotonic base new request ids start
+/// from, so a client incarnation never reuses a predecessor's ids.
+fn request_base() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(1, |d| d.as_micros() as u64)
 }
 
 impl NodeClient {
@@ -204,25 +299,64 @@ impl NodeClient {
     ///
     /// # Errors
     ///
-    /// Any socket error from the connect.
+    /// Any socket error from the initial connect (later errors heal
+    /// inside [`execute`](Self::execute) instead).
     pub fn connect(addr: &str, client: u64) -> std::io::Result<Self> {
+        let mut this = Self::connect_multi(vec![addr.to_string()], client);
+        this.conn = Some(Self::dial(addr)?);
+        this.ever_connected = true;
+        Ok(this)
+    }
+
+    /// A client over a failover set: addresses are tried in order,
+    /// rotating on connect failure, starting at `addrs[0]`. No
+    /// connection is attempted until the first request needs one.
+    ///
+    /// # Panics
+    ///
+    /// When `addrs` is empty.
+    pub fn connect_multi(addrs: Vec<String>, client: u64) -> Self {
+        assert!(!addrs.is_empty(), "a client needs at least one address");
+        let base = request_base();
+        Self {
+            addrs,
+            current: 0,
+            conn: None,
+            ever_connected: false,
+            client: ClientId::new(client),
+            next_request: base,
+            rng: Rng::seeded(base ^ client),
+            try_timeout: DEFAULT_TRY_TIMEOUT,
+        }
+    }
+
+    /// Reconfigures how long the *first* transmission waits for its
+    /// response before the client retransmits (default 500ms); each
+    /// further retransmission doubles the window. The overall `deadline`
+    /// of [`execute`](Self::execute) still bounds the whole call.
+    pub fn set_try_timeout(&mut self, try_timeout: Duration) {
+        self.try_timeout = try_timeout.max(Duration::from_millis(1));
+    }
+
+    /// The failover set this client rotates through.
+    pub fn addresses(&self) -> &[String] {
+        &self.addrs
+    }
+
+    fn dial(addr: &str) -> std::io::Result<(TcpStream, FrameDecoder)> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(Duration::from_millis(50)))?;
-        Ok(Self {
-            stream,
-            decoder: FrameDecoder::new(),
-            client: ClientId::new(client),
-            next_request: 1,
-        })
+        Ok((stream, FrameDecoder::new()))
     }
 
-    /// Executes one command and blocks for its result.
+    /// Executes one command and blocks for its result, reconnecting and
+    /// retransmitting as needed until `deadline`.
     ///
     /// # Errors
     ///
-    /// Socket errors, a poisoned frame stream, or `TimedOut` when no
-    /// response arrives within `deadline`.
+    /// `TimedOut` when the deadline passes without a response — the
+    /// message names every address attempted.
     pub fn execute(
         &mut self,
         command: CommandId,
@@ -232,44 +366,143 @@ impl NodeClient {
         let request = RequestId::new(self.next_request);
         self.next_request += 1;
         let req = Request::new(self.client, request, command, payload);
-        self.stream.write_all(&encode_frame(&req.encode()))?;
+        self.transact(request, &encode_frame(&req.encode()), deadline)
+    }
+
+    /// Executes a read-only command against the target node's **local**
+    /// store via [`STALE_READ`] — no ordering round-trip, served even
+    /// by a degraded node. Returns the node's staleness bound (how long
+    /// ago it last heard from the orderer) alongside the result.
+    ///
+    /// # Errors
+    ///
+    /// `TimedOut` past `deadline`, or `InvalidData` when the node
+    /// refused (e.g. the wrapped command is not read-only).
+    pub fn execute_stale(
+        &mut self,
+        command: CommandId,
+        payload: &[u8],
+        deadline: Duration,
+    ) -> std::io::Result<(Duration, Vec<u8>)> {
+        let body = self.execute(STALE_READ, encode_stale_read(command, payload), deadline)?;
+        match decode_stale_response(&body) {
+            Some(Ok((stale_ms, result))) => Ok((Duration::from_millis(stale_ms), result)),
+            Some(Err(reason)) => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("stale read refused: {reason}"),
+            )),
+            None => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                "malformed stale-read response",
+            )),
+        }
+    }
+
+    /// The send → await → (reconnect, retransmit) loop shared by every
+    /// request shape.
+    fn transact(
+        &mut self,
+        request: RequestId,
+        frame: &[u8],
+        deadline: Duration,
+    ) -> std::io::Result<Vec<u8>> {
         let give_up = Instant::now() + deadline;
+        let mut sends = 0u64;
+        let mut backoff = DIAL_BACKOFF_MIN;
+        let mut try_window = self.try_timeout;
         let mut buf = [0u8; 16 * 1024];
         loop {
-            // Drain every complete frame already buffered.
-            loop {
-                match self.decoder.next() {
-                    Ok(Some(body)) => {
-                        if let Some((for_request, result)) = decode_response(&body) {
-                            if for_request == request {
-                                return Ok(result);
-                            }
-                            // A response to an older (timed-out) request:
-                            // ignore and keep reading.
+            if Instant::now() >= give_up {
+                return Err(self.deadline_error(deadline));
+            }
+            // Establish (or re-establish) a connection, rotating through
+            // the failover set on refusal.
+            if self.conn.is_none() {
+                match Self::dial(&self.addrs[self.current]) {
+                    Ok(conn) => {
+                        self.conn = Some(conn);
+                        if self.ever_connected {
+                            global().counter(counters::CLIENT_RECONNECTS).inc();
                         }
+                        self.ever_connected = true;
+                        backoff = DIAL_BACKOFF_MIN;
                     }
-                    Ok(None) => break,
-                    Err(e) => {
-                        return Err(std::io::Error::new(
-                            ErrorKind::InvalidData,
-                            format!("response stream poisoned: {e}"),
-                        ))
+                    Err(_) => {
+                        if self.addrs.len() > 1 {
+                            self.current = (self.current + 1) % self.addrs.len();
+                            global().counter(counters::CLIENT_FAILOVERS).inc();
+                        }
+                        let remaining = give_up.saturating_duration_since(Instant::now());
+                        std::thread::sleep(self.rng.jittered(backoff).min(remaining));
+                        backoff = (backoff * 2).min(DIAL_BACKOFF_MAX);
+                        continue;
                     }
                 }
             }
-            if Instant::now() >= give_up {
-                return Err(ErrorKind::TimedOut.into());
+            let (stream, decoder) = self.conn.as_mut().expect("connection established above");
+            // (Re)transmit under the unchanged request id: server-side
+            // dedup keeps duplicate copies from executing twice.
+            if stream.write_all(frame).is_err() {
+                self.conn = None;
+                continue;
             }
-            match self.stream.read(&mut buf) {
-                Ok(0) => return Err(ErrorKind::UnexpectedEof.into()),
-                Ok(n) => self.decoder.push(&buf[..n]),
-                Err(e)
-                    if e.kind() == ErrorKind::WouldBlock
-                        || e.kind() == ErrorKind::TimedOut
-                        || e.kind() == ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
+            if sends > 0 {
+                global().counter(counters::REQUESTS_RETRANSMITTED).inc();
+            }
+            sends += 1;
+            // Await the response until the per-try deadline; then fall
+            // through to retransmit (same connection if it held) with a
+            // doubled window, so retries decongest instead of piling on.
+            let try_up = (Instant::now() + try_window).min(give_up);
+            try_window = (try_window * 2).min(TRY_TIMEOUT_MAX);
+            let mut broken = false;
+            'read: while !broken {
+                loop {
+                    match decoder.next() {
+                        Ok(Some(body)) => {
+                            if let Some((for_request, result)) = decode_response(&body) {
+                                if for_request == request {
+                                    return Ok(result);
+                                }
+                                // A response to an older (timed-out)
+                                // request: ignore and keep reading.
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            broken = true;
+                            continue 'read;
+                        }
+                    }
+                }
+                if Instant::now() >= try_up {
+                    break;
+                }
+                match stream.read(&mut buf) {
+                    Ok(0) => broken = true,
+                    Ok(n) => decoder.push(&buf[..n]),
+                    Err(e)
+                        if e.kind() == ErrorKind::WouldBlock
+                            || e.kind() == ErrorKind::TimedOut
+                            || e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => broken = true,
+                }
+            }
+            if broken {
+                self.conn = None;
             }
         }
+    }
+
+    fn deadline_error(&self, deadline: Duration) -> std::io::Error {
+        std::io::Error::new(
+            ErrorKind::TimedOut,
+            format!(
+                "no response within {:?} (tried {})",
+                deadline,
+                self.addrs.join(", ")
+            ),
+        )
     }
 }
 
@@ -365,6 +598,53 @@ mod tests {
         let mut torn = msg.encode();
         torn.truncate(1 + 8 + 1 + 16); // tag | seq | flag | 2 of 3 ages
         assert_eq!(RelayMsg::decode(&torn), None);
+    }
+
+    #[test]
+    fn stale_read_payloads_round_trip() {
+        let body = encode_stale_read(CommandId::new(0), b"key");
+        assert_eq!(
+            decode_stale_read(&body),
+            Some((CommandId::new(0), b"key".as_slice()))
+        );
+        assert_eq!(decode_stale_read(&[1, 2]), None);
+
+        let ok: Result<(u64, Vec<u8>), String> = Ok((250, b"value".to_vec()));
+        assert_eq!(decode_stale_response(&encode_stale_response(&ok)), Some(ok));
+        let err: Result<(u64, Vec<u8>), String> = Err("not a read".into());
+        assert_eq!(
+            decode_stale_response(&encode_stale_response(&err)),
+            Some(err)
+        );
+        assert_eq!(decode_stale_response(&[7]), None);
+        assert_eq!(decode_stale_response(&[0, 1]), None);
+    }
+
+    #[test]
+    fn request_ids_are_monotonic_across_client_incarnations() {
+        // Two clients born in sequence with the same client id must not
+        // overlap id ranges: ids seed from the wall clock and only grow.
+        let a = NodeClient::connect_multi(vec!["127.0.0.1:1".into()], 7);
+        std::thread::sleep(Duration::from_millis(2));
+        let b = NodeClient::connect_multi(vec!["127.0.0.1:1".into()], 7);
+        assert!(b.next_request > a.next_request);
+        assert_eq!(a.addresses(), ["127.0.0.1:1".to_string()]);
+    }
+
+    #[test]
+    fn unreachable_target_times_out_with_attempted_addresses() {
+        let mut client =
+            NodeClient::connect_multi(vec!["127.0.0.1:9".into(), "127.0.0.1:10".into()], 3);
+        client.set_try_timeout(Duration::from_millis(20));
+        let err = client
+            .execute(CommandId::new(0), Vec::new(), Duration::from_millis(120))
+            .expect_err("nothing listens on discard ports");
+        assert_eq!(err.kind(), ErrorKind::TimedOut);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("127.0.0.1:9") && msg.contains("127.0.0.1:10"),
+            "error must list every attempted address: {msg}"
+        );
     }
 
     #[test]

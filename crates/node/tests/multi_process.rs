@@ -14,6 +14,13 @@
 //! restarted follower's flight-recorder JSONL must show its
 //! state-transfer catch-up.
 //!
+//! The `chaos_`-prefixed tests are the **fault battery**: they drive
+//! the same closed-loop workload while the admin `chaos` verb injects
+//! one-way partitions, frame corruption, and jittered delay into the
+//! live mesh — plus an orderer SIGKILL + restart under failover clients
+//! — asserting the injected faults leave their full counter trail and
+//! that every history spanning a fault epoch stays linearizable.
+//!
 //! Node logs land in `$TMPDIR/psmr-smoke-logs/` so CI can attach them
 //! as artifacts when the test fails.
 
@@ -47,6 +54,10 @@ impl Drop for Deployment {
 
 impl Deployment {
     fn spawn_node(&mut self, id: usize, log_name: &str) {
+        self.spawn_node_with(id, log_name, &[]);
+    }
+
+    fn spawn_node_with(&mut self, id: usize, log_name: &str, extra: &[&str]) {
         let log = File::create(self.logs.join(log_name)).expect("create node log");
         let err = log.try_clone().expect("clone log handle");
         let config = self.logs.join("cluster.toml");
@@ -56,6 +67,7 @@ impl Deployment {
             .args(["--keys", &KEYS.to_string()])
             .args(["--checkpoint-ms", "200"])
             .args(["--trace-sample", "1"])
+            .args(extra)
             .stdout(Stdio::from(log))
             .stderr(Stdio::from(err))
             .spawn()
@@ -150,8 +162,15 @@ fn await_serving(addr: &str, probe_client: u64) {
 /// value numbering, and record shape as `psmr_sim::check::client_session`,
 /// so the shared checker applies unchanged.
 fn session(addr: String, c: u64, ops: u64, t0: Instant) -> Vec<(u64, OpRecord)> {
-    let mut conn = connect_with_retry(&addr, 1000 + c, Duration::from_secs(10))
+    let conn = connect_with_retry(&addr, 1000 + c, Duration::from_secs(10))
         .unwrap_or_else(|e| panic!("session {c}: connect {addr}: {e}"));
+    session_conn(conn, c, ops, t0)
+}
+
+/// The session loop over an already-built client — so chaos tests can
+/// run the same workload through a failover set or a shortened
+/// per-try timeout.
+fn session_conn(mut conn: NodeClient, c: u64, ops: u64, t0: Instant) -> Vec<(u64, OpRecord)> {
     let mut records = Vec::new();
     let kv = |conn: &mut NodeClient, op: KvOp| {
         let result = conn
@@ -227,6 +246,44 @@ fn int_after(text: &str, key: &str) -> u64 {
     digits
         .parse()
         .unwrap_or_else(|_| panic!("`{key}` not followed by an integer:\n{text}"))
+}
+
+/// Non-panicking variant of [`int_after`] for counters that may not
+/// exist yet (a counter is only rendered once first incremented).
+fn try_int_after(text: &str, key: &str) -> Option<u64> {
+    let at = text.find(key)? + key.len();
+    let digits: String = text[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// One `chaos ...` admin verb against a live node, asserting it was
+/// accepted.
+fn chaos(admin_addr: &str, args: &str) {
+    let reply = scrape(admin_addr, &format!("chaos {args}"));
+    assert!(
+        reply.starts_with("ok"),
+        "chaos {args} at {admin_addr} rejected: {reply}"
+    );
+}
+
+/// Polls a node's `status` until its health verdict matches `want`.
+fn await_health(admin_addr: &str, want: &str) {
+    let needle = format!("health {want}");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let status = scrape(admin_addr, "status");
+        if status.contains(&needle) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "node at {admin_addr} never reported `{needle}`:\n{status}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
 }
 
 /// Mean client-side end-to-end latency over a batch of session records.
@@ -541,6 +598,336 @@ fn late_follower_bootstraps_through_state_transfer() {
     if let Err(violation) = check_linearizable(&records) {
         panic!(
             "late-follower history is not linearizable: {violation}\nnode logs kept in {}",
+            deploy.logs.display()
+        );
+    }
+    let logs = deploy.logs.clone();
+    drop(deploy);
+    if std::env::var_os("PSMR_KEEP_LOGS").is_none() {
+        let _ = std::fs::remove_dir_all(logs);
+    }
+}
+
+/// Chaos battery, part 1 — a one-way partition: the orderer's egress to
+/// follower 1 is withheld at the mesh (the reverse direction still
+/// flows). The healthy majority keeps ordering, the cut-off follower
+/// reports `degraded` (and the ops table shows it), stale reads against
+/// it still answer locally with an honest staleness tag, and healing
+/// the link flushes the withheld backlog in order — the combined
+/// history spanning the whole fault epoch stays linearizable.
+#[test]
+fn chaos_one_way_partition_degrades_follower_then_heals() {
+    let _serial = deployment_lock();
+    let mut deploy = deployment("chaos-part");
+    for id in 0..3 {
+        deploy.spawn_node_with(id, &format!("n{id}.log"), &["--degraded-after-ms", "1000"]);
+    }
+    for id in 0..3 {
+        await_serving(deploy.client_addr(id), 900 + id as u64);
+    }
+    let t0 = Instant::now();
+    let mut records = run_sessions(
+        (0..3)
+            .map(|c| (deploy.client_addr(c as usize).to_string(), c))
+            .collect(),
+        8,
+        t0,
+    );
+
+    chaos(deploy.admin_addr(0), "set 1 partition=out");
+    let live = scrape(deploy.admin_addr(0), "chaos get");
+    assert!(
+        live.contains("peer 1") && live.contains("partition=out"),
+        "chaos get does not reflect the set policy:\n{live}"
+    );
+
+    await_health(deploy.admin_addr(1), "degraded");
+    assert!(
+        scrape(deploy.admin_addr(0), "status").contains("health ok"),
+        "the orderer must never report degraded"
+    );
+    assert!(
+        scrape(deploy.admin_addr(2), "status").contains("health ok"),
+        "the unpartitioned follower degraded too"
+    );
+    let m0 = scrape(deploy.admin_addr(0), "metrics");
+    assert!(
+        int_after(&m0, "chaos_frames_partitioned{peer=1} ") >= 1,
+        "withheld frames invisible in the injecting node's counters:\n{m0}"
+    );
+    let table = ops::run_ops(&deploy.cluster, Duration::from_secs(5)).expect("ops scrape");
+    assert!(
+        table.contains("degraded"),
+        "ops table hides the degraded follower:\n{table}"
+    );
+
+    // Ordering continues on the healthy majority while the link is cut.
+    records.extend(run_sessions(
+        vec![
+            (deploy.client_addr(0).to_string(), 10),
+            (deploy.client_addr(2).to_string(), 12),
+        ],
+        8,
+        t0,
+    ));
+
+    // The partitioned follower still answers stale reads from its local
+    // store, tagged with how far behind it has fallen.
+    let mut stale_conn = NodeClient::connect(deploy.client_addr(1), 777).expect("stale conn");
+    let op = KvOp::Read { key: 0 };
+    let (stale, body) = stale_conn
+        .execute_stale(op.command(), &op.encode(), Duration::from_secs(10))
+        .expect("stale read against a degraded follower");
+    assert!(
+        stale >= Duration::from_millis(1000),
+        "staleness tag {stale:?} is under the degradation bound the node already tripped"
+    );
+    assert!(
+        matches!(KvResult::decode(&body), KvResult::Value(_)),
+        "stale read returned a non-value"
+    );
+    let m1 = scrape(deploy.admin_addr(1), "metrics");
+    assert!(
+        int_after(&m1, "stale_reads_served ") >= 1,
+        "stale read not counted:\n{m1}"
+    );
+
+    // Heal: the withheld backlog flushes in order and health recovers.
+    chaos(deploy.admin_addr(0), "clear");
+    assert!(
+        scrape(deploy.admin_addr(0), "chaos get").contains("chaos none"),
+        "clear left policy behind"
+    );
+    await_health(deploy.admin_addr(1), "ok");
+    records.extend(run_sessions(
+        vec![(deploy.client_addr(1).to_string(), 20)],
+        8,
+        t0,
+    ));
+
+    if let Err(violation) = check_linearizable(&records) {
+        panic!(
+            "partition-epoch history is not linearizable: {violation}\nnode logs kept in {}",
+            deploy.logs.display()
+        );
+    }
+    let logs = deploy.logs.clone();
+    drop(deploy);
+    if std::env::var_os("PSMR_KEEP_LOGS").is_none() {
+        let _ = std::fs::remove_dir_all(logs);
+    }
+}
+
+/// Chaos battery, part 2 — frame corruption on the orderer→follower
+/// link: a flipped byte must poison the receiver's decoder (never
+/// surface a wrong frame), tear the connection down, and heal by
+/// replaying the *uncorrupted* resend buffer on reconnect. All of it is
+/// observable: `chaos_frames_corrupted` on the injector,
+/// `net_decode_poisoned` on the victim, `net_frames_resent` and
+/// `net_reconnects` on the healed link — and the history stays
+/// linearizable across every torn connection.
+#[test]
+fn chaos_frame_corruption_recovers_by_replay() {
+    let _serial = deployment_lock();
+    let mut deploy = deployment("chaos-corrupt");
+    for id in 0..3 {
+        deploy.spawn_node(id, &format!("n{id}.log"));
+    }
+    for id in 0..3 {
+        await_serving(deploy.client_addr(id), 900 + id as u64);
+    }
+    let t0 = Instant::now();
+
+    chaos(deploy.admin_addr(0), "set 1 corrupt=5");
+    let mut records = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut round = 0u64;
+    loop {
+        // Drive load through the corrupted relay path; each round's ops
+        // are real history for the final check.
+        records.extend(run_sessions(
+            vec![(deploy.client_addr(1).to_string(), 30 + round)],
+            8,
+            t0,
+        ));
+        round += 1;
+        let m0 = scrape(deploy.admin_addr(0), "metrics");
+        let m1 = scrape(deploy.admin_addr(1), "metrics");
+        let corrupted = try_int_after(&m0, "chaos_frames_corrupted{peer=1} ").unwrap_or(0);
+        let poisoned = try_int_after(&m1, "net_decode_poisoned{peer=0} ").unwrap_or(0);
+        let resent = try_int_after(&m0, "net_frames_resent{peer=1} ").unwrap_or(0);
+        let reconnects = try_int_after(&m0, "net_reconnects{peer=1} ").unwrap_or(0);
+        if corrupted >= 1 && poisoned >= 1 && resent >= 1 && reconnects >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "corruption epoch never left its full counter trail: corrupted={corrupted} \
+             poisoned={poisoned} resent={resent} reconnects={reconnects}"
+        );
+    }
+    chaos(deploy.admin_addr(0), "clear");
+
+    records.extend(run_sessions(
+        (0..3)
+            .map(|c| (deploy.client_addr(c as usize).to_string(), 50 + c))
+            .collect(),
+        8,
+        t0,
+    ));
+    if let Err(violation) = check_linearizable(&records) {
+        panic!(
+            "corruption-epoch history is not linearizable: {violation}\nnode logs kept in {}",
+            deploy.logs.display()
+        );
+    }
+    let logs = deploy.logs.clone();
+    drop(deploy);
+    if std::env::var_os("PSMR_KEEP_LOGS").is_none() {
+        let _ = std::fs::remove_dir_all(logs);
+    }
+}
+
+/// Chaos battery, part 3 — jittered delay on the relay link slows every
+/// response past a deliberately short client try-timeout: the client
+/// must retransmit under the *same* request id, and server-side dedup
+/// must absorb the re-ordered duplicates so nothing executes twice —
+/// closed-loop load stays linearizable even though every op was sent
+/// more than once.
+#[test]
+fn chaos_delay_forces_retransmits_that_dedup_absorbs() {
+    use psmr_common::metrics::{counters, global};
+    let _serial = deployment_lock();
+    let mut deploy = deployment("chaos-delay");
+    for id in 0..3 {
+        // Every ordered command costs *two* delayed frames on the slow
+        // link (phase2a to the remote acceptor + the relay batch), so
+        // the background checkpoint cadence must stay well under the
+        // link's serialized capacity or the queue never drains.
+        deploy.spawn_node_with(id, &format!("n{id}.log"), &["--checkpoint-ms", "2000"]);
+    }
+    for id in 0..3 {
+        await_serving(deploy.client_addr(id), 900 + id as u64);
+    }
+    let t0 = Instant::now();
+
+    chaos(deploy.admin_addr(0), "set 1 delay_ms=120 jitter_ms=80");
+    let deduped_before = try_int_after(
+        &scrape(deploy.admin_addr(0), "metrics"),
+        "requests_deduped ",
+    )
+    .unwrap_or(0);
+    let retransmits_before = global().value(counters::REQUESTS_RETRANSMITTED);
+
+    // Every op through follower 1 now takes >= 120ms (the relay leg is
+    // delayed), so a 100ms first-try timeout guarantees at least one
+    // retransmission per op; the client's doubling try window keeps the
+    // duplicates bounded.
+    let mut conn = NodeClient::connect(deploy.client_addr(1), 1300).expect("delay client");
+    conn.set_try_timeout(Duration::from_millis(100));
+    let mut records = session_conn(conn, 40, 8, t0);
+
+    assert!(
+        global().value(counters::REQUESTS_RETRANSMITTED) > retransmits_before,
+        "the short try-timeout never retransmitted"
+    );
+    let m0 = scrape(deploy.admin_addr(0), "metrics");
+    assert!(
+        int_after(&m0, "chaos_frames_delayed{peer=1} ") >= 1,
+        "delays invisible in the injector's counters:\n{m0}"
+    );
+    assert!(
+        try_int_after(&m0, "requests_deduped ").unwrap_or(0) > deduped_before,
+        "re-ordered duplicates were not absorbed by dedup:\n{m0}"
+    );
+
+    chaos(deploy.admin_addr(0), "clear");
+    records.extend(run_sessions(
+        (0..3)
+            .map(|c| (deploy.client_addr(c as usize).to_string(), 50 + c))
+            .collect(),
+        8,
+        t0,
+    ));
+    if let Err(violation) = check_linearizable(&records) {
+        panic!(
+            "delay-epoch history is not linearizable: {violation}\nnode logs kept in {}",
+            deploy.logs.display()
+        );
+    }
+    let logs = deploy.logs.clone();
+    drop(deploy);
+    if std::env::var_os("PSMR_KEEP_LOGS").is_none() {
+        let _ = std::fs::remove_dir_all(logs);
+    }
+}
+
+/// Chaos battery, part 4 — the orderer is SIGKILLed and restarted (data
+/// dir intact) while failover clients are mid-session. Every in-flight
+/// request must complete without manual intervention: clients reconnect
+/// and rotate through their failover set, retransmit under unchanged
+/// request ids, the follower meshes replay queued submissions to the
+/// restarted orderer, and dedup keeps re-ordered duplicates from
+/// executing twice — proven by the cross-epoch linearizability check.
+#[test]
+fn chaos_orderer_restart_mid_session_heals_clients() {
+    use psmr_common::metrics::{counters, global};
+    let _serial = deployment_lock();
+    let mut deploy = deployment("chaos-restart");
+    for id in 0..3 {
+        deploy.spawn_node(id, &format!("n{id}.log"));
+    }
+    for id in 0..3 {
+        await_serving(deploy.client_addr(id), 900 + id as u64);
+    }
+    let t0 = Instant::now();
+    let reconnects_before = global().value(counters::CLIENT_RECONNECTS);
+
+    // Three failover clients, each starting at a different node so one
+    // is always talking to the orderer when it dies.
+    let handles: Vec<_> = (0..3usize)
+        .map(|c| {
+            let addrs: Vec<String> = (0..3)
+                .map(|i| deploy.client_addr((c + i) % 3).to_string())
+                .collect();
+            std::thread::spawn(move || {
+                let mut conn = NodeClient::connect_multi(addrs, 1400 + c as u64);
+                conn.set_try_timeout(Duration::from_millis(300));
+                // Long sessions: healthy ops take single-digit
+                // milliseconds, so the workload must be deep enough to
+                // still be mid-flight when the orderer dies below.
+                session_conn(conn, 60 + c as u64, 120, t0)
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(100));
+    deploy.kill_node(0);
+    std::thread::sleep(Duration::from_millis(500));
+    deploy.spawn_node(0, "n0-restart.log");
+
+    let mut records = Vec::new();
+    for h in handles {
+        records.extend(h.join().expect("session across the orderer restart"));
+    }
+    assert!(
+        global().value(counters::CLIENT_RECONNECTS) > reconnects_before,
+        "no client self-healed across the restart"
+    );
+
+    for id in 0..3 {
+        await_serving(deploy.client_addr(id), 960 + id as u64);
+    }
+    records.extend(run_sessions(
+        (0..3)
+            .map(|c| (deploy.client_addr(c as usize).to_string(), 70 + c))
+            .collect(),
+        8,
+        t0,
+    ));
+    if let Err(violation) = check_linearizable(&records) {
+        panic!(
+            "restart-epoch history is not linearizable: {violation}\nnode logs kept in {}",
             deploy.logs.display()
         );
     }
